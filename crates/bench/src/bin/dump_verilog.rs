@@ -1,0 +1,36 @@
+//! Exports every bundled case-study design as Verilog-2001 into
+//! `verilog_out/` (or the directory given as the first argument), so the
+//! models can be simulated or synthesized with standard EDA tools.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "verilog_out".into())
+        .into();
+    fs::create_dir_all(&dir)?;
+    let mut modules = vec![
+        fastpath_designs::sha512::build_module(),
+        fastpath_designs::aes_opencores::build_module(),
+        fastpath_designs::aes_secworks::build_module(),
+        fastpath_designs::zipcpu_div::build_module(),
+        fastpath_designs::fwrisc_mds::build_module(),
+        fastpath_designs::cva6_div::build_module(),
+        fastpath_designs::cv32e40s::build_module(true),
+        fastpath_designs::cv32e40s::build_module(false),
+        fastpath_designs::boom::build_module(),
+    ];
+    for module in modules.drain(..) {
+        let path = dir.join(format!("{}.v", module.name()));
+        fs::write(&path, fastpath_rtl::to_verilog(&module))?;
+        println!(
+            "wrote {} ({} signals, {} state bits)",
+            path.display(),
+            module.signal_count(),
+            module.state_bits()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Development probe: run the FastPath flow on one design and dump events.
+use fastpath::run_fastpath;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SHA512".into());
+    let studies = fastpath_designs::all_case_studies();
+    let study = studies
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("unknown design");
+    let t0 = std::time::Instant::now();
+    let report = run_fastpath(&study);
+    println!("== {} ({:?}) ==", report.design, t0.elapsed());
+    println!("verdict: {} via {}", report.verdict, report.method);
+    println!(
+        "state: {} signals / {} bits",
+        report.state_signals, report.state_bits
+    );
+    println!(
+        "propagations: ift={:?} total={:?}",
+        report.ift_propagations, report.total_propagations
+    );
+    println!("inspections: {}", report.manual_inspections);
+    println!("constraints: {:?}", report.derived_constraints);
+    println!("invariants: {:?}", report.invariants_added);
+    println!("vulnerabilities: {:?}", report.vulnerabilities);
+    for e in &report.events {
+        println!("  {e:?}");
+    }
+    println!("timings: {:?}", report.timings);
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness support (see the `table1` binary and `benches/`).

@@ -1,0 +1,257 @@
+//! The formal-only baseline: original UPEC-DIT as in [22].
+//!
+//! The baseline skips structural analysis and simulation entirely. It
+//! starts the iterative partitioning from `Z' = Z` (all state signals) and
+//! inspects **every** counterexample manually: each divergent signal
+//! removed from `Z'`, each derived constraint, each added invariant, and
+//! each confirmed vulnerability counts toward the effort metric. The gap
+//! between this count and FastPath's is exactly Table I's "Reduction".
+
+use crate::flow::FlowContext;
+use crate::report::{
+    CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
+};
+use crate::study::CaseStudy;
+use crate::witness::WitnessReplay;
+use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
+use fastpath_rtl::SignalId;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Runs the formal-only UPEC-DIT baseline on a case study.
+pub fn run_baseline(study: &CaseStudy) -> FlowReport {
+    let mut ctx = FlowContext::new(study);
+    let mut instance = &study.instance;
+    let mut fixed_used = false;
+
+    'design: loop {
+        let module = &instance.module;
+        let mut z_prime: BTreeSet<SignalId> =
+            module.state_signals().into_iter().collect();
+        let mut active_constraints: Vec<usize> = Vec::new();
+        let mut active_invariants: Vec<usize> = Vec::new();
+        let mut active_cond_eqs: Vec<usize> = Vec::new();
+
+        'rebuild: loop {
+            let spec = UpecSpec {
+                software_constraints: active_constraints
+                    .iter()
+                    .map(|&i| instance.constraints[i].expr)
+                    .collect(),
+                invariants: active_invariants
+                    .iter()
+                    .map(|&i| instance.invariants[i].expr)
+                    .collect(),
+                conditional_equalities: active_cond_eqs
+                    .iter()
+                    .map(|&i| {
+                        let ce = &instance.cond_eqs[i];
+                        (ce.cond, ce.signal)
+                    })
+                    .collect(),
+            };
+            let t0 = Instant::now();
+            let mut upec = Upec2Safety::new(module, &spec);
+            ctx.timings.formal_elaboration += t0.elapsed();
+
+            loop {
+                let z_vec: Vec<SignalId> = z_prime.iter().copied().collect();
+                // The original procedure inspects internal propagations in
+                // discovery order; only when the state partitioning is
+                // stable is the full property (including the attacker
+                // -observable outputs) concluded.
+                let t0 = Instant::now();
+                let mut outcome = upec.check_state_only(&z_vec);
+                if outcome.holds() {
+                    outcome = upec.check(&z_vec);
+                }
+                ctx.timings.formal_checks += t0.elapsed();
+                ctx.timings.check_count += 1;
+                ctx.events.push(FlowEvent::UpecCheck {
+                    holds: outcome.holds(),
+                });
+                let cex = match outcome {
+                    UpecOutcome::Holds => {
+                        ctx.events.push(FlowEvent::FixedPoint);
+                        let verdict = if active_constraints.is_empty() {
+                            Verdict::DataOblivious
+                        } else {
+                            Verdict::ConstrainedDataOblivious(
+                                active_constraints
+                                    .iter()
+                                    .map(|&i| {
+                                        instance.constraints[i].name.clone()
+                                    })
+                                    .collect(),
+                            )
+                        };
+                        let total =
+                            module.state_signals().len() - z_prime.len();
+                        return ctx.finish(
+                            module,
+                            verdict,
+                            CompletionMethod::Upec,
+                            None,
+                            Some(total),
+                        );
+                    }
+                    UpecOutcome::Counterexample(cex) => cex,
+                };
+
+                let replay = WitnessReplay::new(module, &cex);
+
+                if let Some(ii) = instance
+                    .invariants
+                    .iter()
+                    .enumerate()
+                    .position(|(i, inv)| {
+                        !active_invariants.contains(&i)
+                            && !replay.invariant_holds(module, inv.expr)
+                    })
+                {
+                    ctx.inspections += 1;
+                    active_invariants.push(ii);
+                    ctx.events.push(FlowEvent::InvariantAdded {
+                        name: instance.invariants[ii].name.clone(),
+                    });
+                    continue 'rebuild;
+                }
+
+                if let Some(ci) = instance
+                    .cond_eqs
+                    .iter()
+                    .enumerate()
+                    .position(|(i, ce)| {
+                        !active_cond_eqs.contains(&i)
+                            && crate::flow::cond_eq_violated_in_witness(
+                                module, &replay, ce,
+                            )
+                    })
+                {
+                    ctx.inspections += 1;
+                    active_cond_eqs.push(ci);
+                    ctx.events.push(FlowEvent::InvariantAdded {
+                        name: instance.cond_eqs[ci].name.clone(),
+                    });
+                    continue 'rebuild;
+                }
+
+                if let Some(ci) = instance
+                    .constraints
+                    .iter()
+                    .enumerate()
+                    .position(|(i, c)| {
+                        !active_constraints.contains(&i)
+                            && !replay.constraint_holds(module, c.expr)
+                    })
+                {
+                    ctx.inspections += 1;
+                    active_constraints.push(ci);
+                    ctx.events.push(FlowEvent::ConstraintDerived {
+                        name: instance.constraints[ci].name.clone(),
+                        stage: Stage::Formal,
+                    });
+                    continue 'rebuild;
+                }
+
+                if !cex.divergent_outputs.is_empty() {
+                    ctx.inspections += 1;
+                    let names: Vec<String> = cex
+                        .divergent_outputs
+                        .iter()
+                        .map(|&y| module.signal(y).name.clone())
+                        .collect();
+                    let description = format!(
+                        "confidential data reaches control output(s) {}",
+                        names.join(", ")
+                    );
+                    ctx.vulnerabilities.push(description.clone());
+                    ctx.events.push(FlowEvent::VulnerabilityFound {
+                        description,
+                        stage: Stage::Formal,
+                    });
+                    if let (Some(fixed), false) =
+                        (&study.fixed_instance, fixed_used)
+                    {
+                        fixed_used = true;
+                        instance = fixed;
+                        ctx.events.push(FlowEvent::DesignFixed);
+                        continue 'design;
+                    }
+                    return ctx.finish(
+                        module,
+                        Verdict::NotDataOblivious,
+                        CompletionMethod::Upec,
+                        None,
+                        Some(module.state_signals().len() - z_prime.len()),
+                    );
+                }
+
+                debug_assert!(!cex.divergent_state.is_empty());
+                ctx.inspections += cex.divergent_state.len() as u64;
+                for s in &cex.divergent_state {
+                    z_prime.remove(s);
+                }
+                ctx.events.push(FlowEvent::PropagationsRemoved {
+                    count: cex.divergent_state.len(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::run_fastpath;
+    use crate::report::effort_reduction;
+    use crate::study::DesignInstance;
+    use fastpath_rtl::ModuleBuilder;
+
+    /// A wide data path: IFT discharges it for free, the baseline inspects
+    /// every register on it.
+    fn wide_datapath() -> CaseStudy {
+        let mut b = ModuleBuilder::new("wide");
+        let data = b.data_input("data", 8);
+        let d = b.sig(data);
+        let mut prev = d;
+        for i in 0..6 {
+            let r = b.reg(&format!("stage{i}"), 8, 0);
+            b.set_next(r, prev).expect("drive");
+            prev = b.sig(r);
+        }
+        b.data_output("out", prev);
+        let tick = b.reg("tick", 1, 0);
+        let t = b.sig(tick);
+        let nt = b.not(t);
+        b.set_next(tick, nt).expect("drive");
+        b.control_output("phase", t);
+        // A benign structural connection so the HFG cannot discharge the
+        // design early: both mux branches are identical, so no information
+        // actually flows.
+        let data_bit = b.bit(d, 0);
+        let shaped = b.mux(data_bit, t, t);
+        b.control_output("phase_dbg", shaped);
+        let mut study =
+            CaseStudy::new("wide", DesignInstance::new(b.build().expect("valid")));
+        study.cycles = 100;
+        study
+    }
+
+    #[test]
+    fn baseline_inspects_the_pipeline_fastpath_does_not() {
+        let study = wide_datapath();
+        let base = run_baseline(&study);
+        let fast = run_fastpath(&study);
+        assert_eq!(base.verdict, Verdict::DataOblivious);
+        assert_eq!(fast.verdict, Verdict::DataOblivious);
+        // All six pipeline registers are data propagations.
+        assert_eq!(base.total_propagations, Some(6));
+        assert_eq!(fast.total_propagations, Some(6));
+        // The baseline inspected them manually; FastPath's IFT pass found
+        // them automatically.
+        assert_eq!(base.manual_inspections, 6);
+        assert_eq!(fast.manual_inspections, 0);
+        assert_eq!(effort_reduction(&base, &fast), 100.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Fine-grained per-pair analysis.
+//!
+//! Sec. V of the paper mentions "a more fine-grained analysis that
+//! considers a propagation path for each combination `(x_D, y_C)`". This
+//! module provides the structural version over the HFG: for each data
+//! input / control output pair, whether any potential flow path exists at
+//! all, and a sample path for the ones that do.
+
+use fastpath_hfg::{extract_hfg, PathQuery, QueryOptions};
+use fastpath_rtl::{Module, SignalId};
+
+/// The structural relationship of one `(x_D, y_C)` pair.
+#[derive(Clone, Debug)]
+pub struct PairResult {
+    /// The data input.
+    pub data_input: SignalId,
+    /// The control output.
+    pub control_output: SignalId,
+    /// Whether any HFG path connects them.
+    pub path_exists: bool,
+    /// The signals along one shortest-found path (empty if none).
+    pub sample_path: Vec<SignalId>,
+}
+
+/// Per-pair structural analysis of a module.
+#[derive(Clone, Debug)]
+pub struct PairwiseAnalysis {
+    /// One entry per `(x_D, y_C)` combination.
+    pub pairs: Vec<PairResult>,
+}
+
+impl PairwiseAnalysis {
+    /// Runs the analysis.
+    pub fn run(module: &Module) -> Self {
+        let hfg = extract_hfg(module);
+        let query = PathQuery::new(&hfg);
+        let mut pairs = Vec::new();
+        for x in module.data_inputs() {
+            for y in module.control_outputs() {
+                let path_exists = query.reachable(x, y);
+                let sample_path = if path_exists {
+                    query
+                        .paths(
+                            x,
+                            y,
+                            QueryOptions {
+                                max_paths: 1,
+                                max_length: 64,
+                            },
+                        )
+                        .first()
+                        .map(|p| p.signals(&hfg))
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                pairs.push(PairResult {
+                    data_input: x,
+                    control_output: y,
+                    path_exists,
+                    sample_path,
+                });
+            }
+        }
+        PairwiseAnalysis { pairs }
+    }
+
+    /// The number of pairs with a potential flow path.
+    pub fn connected_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.path_exists).count()
+    }
+
+    /// Renders a human-readable summary.
+    pub fn summary(&self, module: &Module) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.pairs {
+            let _ = writeln!(
+                out,
+                "  {} -> {}: {}",
+                module.signal(p.data_input).name,
+                module.signal(p.control_output).name,
+                if p.path_exists {
+                    "potential path"
+                } else {
+                    "no structural path (proven non-interferent)"
+                }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::ModuleBuilder;
+
+    #[test]
+    fn pairwise_distinguishes_connected_pairs() {
+        let mut b = ModuleBuilder::new("m");
+        let key = b.data_input("key", 8);
+        let pt = b.data_input("pt", 8);
+        let k = b.sig(key);
+        let r = b.reg("r", 8, 0);
+        b.set_next(r, k).expect("drive");
+        let r_sig = b.sig(r);
+        // `ready` depends on key (through r) but never on pt.
+        let ready = b.red_or(r_sig);
+        b.control_output("ready", ready);
+        let p = b.sig(pt);
+        b.data_output("ct", p);
+        let tick = b.reg("tick", 1, 0);
+        let t = b.sig(tick);
+        let nt = b.not(t);
+        b.set_next(tick, nt).expect("drive");
+        b.control_output("phase", t);
+        let m = b.build().expect("valid");
+
+        let analysis = PairwiseAnalysis::run(&m);
+        assert_eq!(analysis.pairs.len(), 4); // 2 inputs x 2 outputs
+        assert_eq!(analysis.connected_count(), 1);
+        let connected =
+            analysis.pairs.iter().find(|p| p.path_exists).expect("one");
+        assert_eq!(m.signal(connected.data_input).name, "key");
+        assert_eq!(m.signal(connected.control_output).name, "ready");
+        assert!(connected.sample_path.len() >= 2);
+        let summary = analysis.summary(&m);
+        assert!(summary.contains("potential path"));
+        assert!(summary.contains("non-interferent"));
+    }
+}
+
+/// Dynamic (IFT-based) per-pair analysis: taints one data input at a time
+/// and records which control outputs its information reaches under the
+/// study's (restricted) testbench — the simulation-level counterpart of
+/// the structural [`PairwiseAnalysis`].
+///
+/// A `false` entry means "no flow observed for these stimuli", which is
+/// *not* a guarantee (that is the formal step's job); a `true` entry is a
+/// concrete flow.
+#[derive(Clone, Debug)]
+pub struct DynamicPairwise {
+    /// `(data input, control output, flow observed)` per combination.
+    pub pairs: Vec<(fastpath_rtl::SignalId, fastpath_rtl::SignalId, bool)>,
+}
+
+impl DynamicPairwise {
+    /// Runs one single-source IFT simulation per data input of the study's
+    /// primary instance, with all of the study's candidate constraints
+    /// applied to the testbench (the intended-usage scenario).
+    pub fn run(study: &crate::CaseStudy) -> Self {
+        use fastpath_sim::{TaintSimulator, Testbench as _};
+        let instance = &study.instance;
+        let module = &instance.module;
+        let outputs = module.control_outputs();
+        let mut pairs = Vec::new();
+        for x in module.data_inputs() {
+            let mut tb = fastpath_sim::RandomTestbench::new(
+                module,
+                study.seed,
+            );
+            if let Some(cfg) = &instance.configure_testbench {
+                cfg(module, &mut tb);
+            }
+            for constraint in &instance.constraints {
+                if let Some(r) = &constraint.restrict_testbench {
+                    r(module, &mut tb);
+                }
+            }
+            let mut sim = TaintSimulator::new(module, study.policy);
+            for &d in &instance.initial_declassified {
+                sim.declassify(d);
+            }
+            let mut reached: Vec<bool> = vec![false; outputs.len()];
+            for cycle in 0..study.cycles {
+                for (input, value) in tb.drive(cycle) {
+                    sim.set_input(input, value, input == x);
+                }
+                sim.settle();
+                for (k, &y) in outputs.iter().enumerate() {
+                    if sim.is_tainted(y) {
+                        reached[k] = true;
+                    }
+                }
+                sim.clock();
+            }
+            for (k, &y) in outputs.iter().enumerate() {
+                pairs.push((x, y, reached[k]));
+            }
+        }
+        DynamicPairwise { pairs }
+    }
+
+    /// The number of pairs with an observed flow.
+    pub fn observed_count(&self) -> usize {
+        self.pairs.iter().filter(|(_, _, f)| *f).count()
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+    use crate::{CaseStudy, DesignInstance};
+    use fastpath_rtl::ModuleBuilder;
+
+    #[test]
+    fn dynamic_pairwise_refines_the_structural_matrix() {
+        // key reaches `ready` both structurally and dynamically; nonce has
+        // a structural path that is never active (mux with equal
+        // branches): structural=connected, dynamic=no flow.
+        let mut b = ModuleBuilder::new("m");
+        let key = b.data_input("key", 8);
+        let nonce = b.data_input("nonce", 8);
+        let k = b.sig(key);
+        let n = b.sig(nonce);
+        let r = b.reg("r", 8, 0);
+        b.set_next(r, k).expect("drive");
+        let rs = b.sig(r);
+        let ready = b.red_or(rs);
+        b.control_output("ready", ready);
+        let tick = b.reg("tick", 1, 0);
+        let t = b.sig(tick);
+        let nt = b.not(t);
+        b.set_next(tick, nt).expect("drive");
+        let n0 = b.bit(n, 0);
+        let shaped = b.mux(n0, t, t); // structural but inactive
+        b.control_output("phase", shaped);
+        let m = b.build().expect("valid");
+
+        let mut study = CaseStudy::new("toy", DesignInstance::new(m));
+        study.cycles = 60;
+        let structural = PairwiseAnalysis::run(&study.instance.module);
+        let dynamic = DynamicPairwise::run(&study);
+        // Structural: key->ready, key->phase? key doesn't reach phase;
+        // nonce->phase connected.
+        assert!(structural.connected_count() >= 2);
+        // Dynamic: only key->ready actually flows.
+        assert_eq!(dynamic.observed_count(), 1);
+        let module = &study.instance.module;
+        let flow = dynamic
+            .pairs
+            .iter()
+            .find(|(_, _, f)| *f)
+            .expect("one observed flow");
+        assert_eq!(module.signal(flow.0).name, "key");
+        assert_eq!(module.signal(flow.1).name, "ready");
+        // Dynamic flows are a subset of structural connectivity (the
+        // over-approximation theorem, per pair).
+        for &(x, y, observed) in &dynamic.pairs {
+            if observed {
+                let hit = structural
+                    .pairs
+                    .iter()
+                    .find(|p| p.data_input == x && p.control_output == y)
+                    .expect("pair present");
+                assert!(hit.path_exists);
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Verdicts, flow events, and verification reports.
+
+use fastpath_rtl::SignalId;
+use std::fmt;
+use std::time::Duration;
+
+/// The analysis result for a design (Table I "Data-Oblivious" column).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Data-oblivious unconditionally (*True*).
+    DataOblivious,
+    /// Data-oblivious only under the listed derived software constraints
+    /// (*Constrained*).
+    ConstrainedDataOblivious(Vec<String>),
+    /// Not data-oblivious under any reasonable constraint (*False*).
+    NotDataOblivious,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::DataOblivious => write!(f, "True"),
+            Verdict::ConstrainedDataOblivious(_) => write!(f, "Constrained"),
+            Verdict::NotDataOblivious => write!(f, "False"),
+        }
+    }
+}
+
+/// The FastPath stage at which the analysis completed (Table I "Method").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompletionMethod {
+    /// Structural proof: no HFG path from `X_D` to `Y_C`.
+    Hfg,
+    /// Terminated during IFT simulation (an unconstrained leak was found).
+    Ift,
+    /// Exhaustive UPEC-DIT proof.
+    Upec,
+}
+
+impl fmt::Display for CompletionMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompletionMethod::Hfg => write!(f, "HFG"),
+            CompletionMethod::Ift => write!(f, "IFT"),
+            CompletionMethod::Upec => write!(f, "UPEC"),
+        }
+    }
+}
+
+/// The stage of the flow an event occurred in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Structural analysis (Sec. IV-A).
+    Structural,
+    /// IFT-enhanced simulation (Sec. IV-B).
+    Simulation,
+    /// UPEC-DIT formal verification (Sec. IV-C).
+    Formal,
+}
+
+/// One step of the flow — together these trace every edge of the paper's
+/// Fig. 1 diagram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlowEvent {
+    /// HFG built; records whether any `X_D → Y_C` path exists.
+    HfgAnalysis {
+        /// `false` enables the early exit.
+        paths_exist: bool,
+    },
+    /// Early termination by structural proof.
+    StructuralProof,
+    /// One IFT simulation run.
+    IftRun {
+        /// Property violations observed.
+        violations: usize,
+        /// State signals tainted.
+        tainted: usize,
+        /// State signals untainted (`|Z'|`).
+        untainted: usize,
+    },
+    /// A counterexample led to deriving a software constraint
+    /// (feedback edge: constraint ⇒ re-simulate).
+    ConstraintDerived {
+        /// Constraint name.
+        name: String,
+        /// Where the counterexample came from.
+        stage: Stage,
+    },
+    /// The IFT flow policy was refined (declassification).
+    PolicyRefined {
+        /// The declassified signal.
+        signal: SignalId,
+    },
+    /// A spurious formal counterexample was excluded with an invariant.
+    InvariantAdded {
+        /// Invariant name.
+        name: String,
+    },
+    /// A genuine vulnerability was confirmed.
+    VulnerabilityFound {
+        /// Description for the report.
+        description: String,
+        /// Stage that exposed it.
+        stage: Stage,
+    },
+    /// The design was replaced by its fixed variant and the flow restarted.
+    DesignFixed,
+    /// A formal counterexample showed legal data propagation; the listed
+    /// number of signals were inspected and removed from `Z'`.
+    PropagationsRemoved {
+        /// How many signals were removed (each one manual inspection).
+        count: usize,
+    },
+    /// One UPEC-DIT property check.
+    UpecCheck {
+        /// Whether the inductive property held.
+        holds: bool,
+    },
+    /// The fixed point was reached: `Z'` is a semantic partitioning.
+    FixedPoint,
+}
+
+/// Wall-clock timings per stage (reproduces the Sec. V-E discussion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// HFG construction + path queries.
+    pub structural: Duration,
+    /// All IFT simulation runs.
+    pub simulation: Duration,
+    /// 2-safety model elaboration (AIG + CNF).
+    pub formal_elaboration: Duration,
+    /// All UPEC property checks.
+    pub formal_checks: Duration,
+    /// Number of UPEC checks performed.
+    pub check_count: u64,
+}
+
+/// The result of running the FastPath flow (or the formal-only baseline)
+/// on one case study.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// Completing method (Table I "Method").
+    pub method: CompletionMethod,
+    /// Number of state-holding word-level signals.
+    pub state_signals: usize,
+    /// Total state bits.
+    pub state_bits: u64,
+    /// Data propagations found by IFT alone (`None` if the IFT stage never
+    /// ran — e.g. HFG early exit or the baseline flow).
+    pub ift_propagations: Option<usize>,
+    /// Total data propagations (state signals outside the final `Z'`).
+    pub total_propagations: Option<usize>,
+    /// The paper's effort metric: manually inspected counterexamples /
+    /// divergent signals.
+    pub manual_inspections: u64,
+    /// Derived software constraints (names).
+    pub derived_constraints: Vec<String>,
+    /// Invariants that were needed.
+    pub invariants_added: Vec<String>,
+    /// Confirmed vulnerabilities.
+    pub vulnerabilities: Vec<String>,
+    /// The full event trace (Fig. 1 edges).
+    pub events: Vec<FlowEvent>,
+    /// Stage timings.
+    pub timings: StageTimings,
+}
+
+impl FlowReport {
+    /// Formats a single Table-I-style row.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<16} {:<12} {:<6} {:>8} {:>8} {:>6} {:>7} {:>10}",
+            self.design,
+            self.verdict.to_string(),
+            self.method.to_string(),
+            self.state_signals,
+            self.state_bits,
+            self.ift_propagations
+                .map_or("-".to_string(), |n| n.to_string()),
+            self.total_propagations
+                .map_or("-".to_string(), |n| n.to_string()),
+            self.manual_inspections
+        )
+    }
+}
+
+/// Reduction in manual effort of `fastpath` over `baseline`, in percent
+/// (the paper's final Table I column).
+pub fn effort_reduction(baseline: &FlowReport, fastpath: &FlowReport) -> f64 {
+    if baseline.manual_inspections == 0 {
+        return 0.0;
+    }
+    100.0
+        * (baseline.manual_inspections.saturating_sub(
+            fastpath.manual_inspections,
+        )) as f64
+        / baseline.manual_inspections as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(inspections: u64) -> FlowReport {
+        FlowReport {
+            design: "d".into(),
+            verdict: Verdict::DataOblivious,
+            method: CompletionMethod::Hfg,
+            state_signals: 0,
+            state_bits: 0,
+            ift_propagations: None,
+            total_propagations: None,
+            manual_inspections: inspections,
+            derived_constraints: vec![],
+            invariants_added: vec![],
+            vulnerabilities: vec![],
+            events: vec![],
+            timings: StageTimings::default(),
+        }
+    }
+
+    #[test]
+    fn reduction_formula() {
+        assert_eq!(effort_reduction(&dummy(33), &dummy(0)), 100.0);
+        assert!((effort_reduction(&dummy(12), &dummy(3)) - 75.0).abs() < 1e-9);
+        assert_eq!(effort_reduction(&dummy(0), &dummy(0)), 0.0);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::DataOblivious.to_string(), "True");
+        assert_eq!(
+            Verdict::ConstrainedDataOblivious(vec!["x".into()]).to_string(),
+            "Constrained"
+        );
+        assert_eq!(Verdict::NotDataOblivious.to_string(), "False");
+    }
+}

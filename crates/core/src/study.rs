@@ -1,0 +1,168 @@
+//! Case-study packaging: everything the FastPath flow needs to verify one
+//! design.
+//!
+//! A [`CaseStudy`] bundles the design under verification with its security
+//! specification *and* the raw material a verification engineer would bring
+//! to the table: candidate software constraints (with their testbench
+//! restrictions), candidate invariants, flow-policy refinements, and —
+//! when a design has a known fix — the repaired variant to switch to after
+//! a vulnerability is confirmed.
+//!
+//! The flow ([`run_fastpath`](crate::run_fastpath)) *derives* which
+//! constraints and invariants are actually needed by classifying concrete
+//! counterexamples; the candidates here are only the vocabulary it may draw
+//! from, mirroring how an engineer knows the design's intended usage.
+
+use fastpath_rtl::{ExprId, Module, SignalId};
+use fastpath_sim::{FlowPolicy, RandomTestbench};
+use std::fmt;
+use std::rc::Rc;
+
+/// A closure that restricts or shapes the random testbench (e.g. fixing a
+/// mode bit, excluding opcodes).
+pub type TestbenchRestriction = Rc<dyn Fn(&Module, &mut RandomTestbench)>;
+
+/// A named 1-bit predicate over the design's signals, used as a software
+/// constraint or an invariant. The expression lives in the module's own
+/// arena (build it with the same `ModuleBuilder` before `build()`).
+#[derive(Clone)]
+pub struct NamedPredicate {
+    /// Human-readable name (reported in derived-constraint lists).
+    pub name: String,
+    /// The 1-bit predicate expression.
+    pub expr: ExprId,
+    /// How to impose the predicate on the random testbench, if it speaks
+    /// about inputs. `None` for state-only predicates (invariants).
+    pub restrict_testbench: Option<TestbenchRestriction>,
+}
+
+impl fmt::Debug for NamedPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NamedPredicate")
+            .field("name", &self.name)
+            .field("expr", &self.expr)
+            .field(
+                "restrict_testbench",
+                &self.restrict_testbench.is_some(),
+            )
+            .finish()
+    }
+}
+
+impl NamedPredicate {
+    /// A predicate without a testbench restriction.
+    pub fn new(name: impl Into<String>, expr: ExprId) -> Self {
+        NamedPredicate {
+            name: name.into(),
+            expr,
+            restrict_testbench: None,
+        }
+    }
+
+    /// A predicate with a testbench restriction.
+    pub fn with_restriction(
+        name: impl Into<String>,
+        expr: ExprId,
+        restrict: impl Fn(&Module, &mut RandomTestbench) + 'static,
+    ) -> Self {
+        NamedPredicate {
+            name: name.into(),
+            expr,
+            restrict_testbench: Some(Rc::new(restrict)),
+        }
+    }
+}
+
+/// A candidate conditional 2-safety equality: whenever `cond` holds in
+/// both instances of the UPEC model, `signal` must be equal between them.
+/// Activated by the flow when a counterexample violates it, like an
+/// invariant (and counted as one manual inspection).
+#[derive(Clone, Debug)]
+pub struct NamedCondEq {
+    /// Human-readable name.
+    pub name: String,
+    /// 1-bit condition expression (in the module arena).
+    pub cond: fastpath_rtl::ExprId,
+    /// The register whose conditional equality is asserted.
+    pub signal: SignalId,
+}
+
+/// One concrete design variant plus its specification vocabulary.
+#[derive(Clone)]
+pub struct DesignInstance {
+    /// The design under verification, with interface roles annotated.
+    pub module: Module,
+    /// Candidate software constraints (activated on demand by the flow).
+    pub constraints: Vec<NamedPredicate>,
+    /// Candidate invariants against spurious symbolic-state
+    /// counterexamples.
+    pub invariants: Vec<NamedPredicate>,
+    /// Candidate conditional 2-safety equalities (see [`NamedCondEq`]).
+    pub cond_eqs: Vec<NamedCondEq>,
+    /// Base testbench configuration (protocol signals, value bounds).
+    pub configure_testbench: Option<TestbenchRestriction>,
+    /// Flow-policy refinements the engineer may apply when the taint policy
+    /// is too conservative (signals whose labels are intended flows).
+    pub declassify_candidates: Vec<SignalId>,
+    /// Signals declassified from the start (intended data sinks).
+    pub initial_declassified: Vec<SignalId>,
+}
+
+impl fmt::Debug for DesignInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DesignInstance")
+            .field("module", &self.module.name())
+            .field("constraints", &self.constraints.len())
+            .field("invariants", &self.invariants.len())
+            .finish()
+    }
+}
+
+impl DesignInstance {
+    /// A bare instance with no specification vocabulary.
+    pub fn new(module: Module) -> Self {
+        DesignInstance {
+            module,
+            constraints: Vec::new(),
+            invariants: Vec::new(),
+            cond_eqs: Vec::new(),
+            configure_testbench: None,
+            declassify_candidates: Vec::new(),
+            initial_declassified: Vec::new(),
+        }
+    }
+}
+
+/// A complete case study: the design (plus optional fixed variant) and the
+/// verification run parameters.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Display name (Table I row label).
+    pub name: String,
+    /// The design as shipped.
+    pub instance: DesignInstance,
+    /// The repaired variant, if the design has a known vulnerability and a
+    /// fix (the flow switches to it after confirming the leak).
+    pub fixed_instance: Option<DesignInstance>,
+    /// IFT simulation length in cycles.
+    pub cycles: u64,
+    /// Random-testbench seed (determinism).
+    pub seed: u64,
+    /// Taint propagation policy for the IFT step.
+    pub policy: FlowPolicy,
+}
+
+impl CaseStudy {
+    /// A case study with default run parameters (1000 cycles, seed 1,
+    /// precise policy, no fixed variant).
+    pub fn new(name: impl Into<String>, instance: DesignInstance) -> Self {
+        CaseStudy {
+            name: name.into(),
+            instance,
+            fixed_instance: None,
+            cycles: 1000,
+            seed: 1,
+            policy: FlowPolicy::Precise,
+        }
+    }
+}

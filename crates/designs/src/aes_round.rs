@@ -1,0 +1,193 @@
+//! Shared AES-128 round primitives (SubBytes, ShiftRows, MixColumns, key
+//! schedule) over 16 byte-expressions, used by both AES case studies.
+
+use crate::common::{aes_sbox, xtime};
+use fastpath_rtl::{ExprId, ModuleBuilder};
+
+/// AES round-constant bytes for rounds 1..=10.
+pub const RCON: [u64; 11] =
+    [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Applies the S-box to all 16 state bytes.
+pub fn sub_bytes(b: &mut ModuleBuilder, state: &[ExprId; 16]) -> [ExprId; 16] {
+    std::array::from_fn(|i| aes_sbox(b, state[i]))
+}
+
+/// ShiftRows on a column-major state (`state[4*col + row]`).
+pub fn shift_rows(state: &[ExprId; 16]) -> [ExprId; 16] {
+    std::array::from_fn(|i| {
+        let row = i % 4;
+        let col = i / 4;
+        state[4 * ((col + row) % 4) + row]
+    })
+}
+
+/// MixColumns on a column-major state.
+pub fn mix_columns(b: &mut ModuleBuilder, state: &[ExprId; 16]) -> [ExprId; 16] {
+    let mut out = [state[0]; 16];
+    for col in 0..4 {
+        let s: [ExprId; 4] = std::array::from_fn(|r| state[4 * col + r]);
+        let x: [ExprId; 4] = std::array::from_fn(|r| xtime(b, s[r]));
+        for r in 0..4 {
+            // out[r] = 2*s[r] ^ 3*s[r+1] ^ s[r+2] ^ s[r+3]
+            let three = b.xor(x[(r + 1) % 4], s[(r + 1) % 4]);
+            let t = b.xor(x[r], three);
+            let u = b.xor(t, s[(r + 2) % 4]);
+            out[4 * col + r] = b.xor(u, s[(r + 3) % 4]);
+        }
+    }
+    out
+}
+
+/// XORs two 16-byte vectors.
+pub fn add_round_key(
+    b: &mut ModuleBuilder,
+    state: &[ExprId; 16],
+    key: &[ExprId; 16],
+) -> [ExprId; 16] {
+    std::array::from_fn(|i| b.xor(state[i], key[i]))
+}
+
+/// One on-the-fly key-schedule step: derives round key `r+1` from round key
+/// `r` given the 1-based round number expression is not needed — the rcon
+/// byte is passed as an expression.
+pub fn next_round_key(
+    b: &mut ModuleBuilder,
+    key: &[ExprId; 16],
+    rcon: ExprId,
+) -> [ExprId; 16] {
+    // Words are columns: w0 = key[0..4], ..., w3 = key[12..16].
+    // temp = SubWord(RotWord(w3)) ^ (rcon, 0, 0, 0)
+    let rot: [ExprId; 4] =
+        [key[13], key[14], key[15], key[12]];
+    let sub: [ExprId; 4] = std::array::from_fn(|i| aes_sbox(b, rot[i]));
+    let mut out = [key[0]; 16];
+    let first = b.xor(sub[0], rcon);
+    out[0] = b.xor(key[0], first);
+    for r in 1..4 {
+        out[r] = b.xor(key[r], sub[r]);
+    }
+    for w in 1..4 {
+        for r in 0..4 {
+            out[4 * w + r] = b.xor(key[4 * w + r], out[4 * (w - 1) + r]);
+        }
+    }
+    out
+}
+
+/// A full middle round: SubBytes, ShiftRows, MixColumns, AddRoundKey.
+pub fn full_round(
+    b: &mut ModuleBuilder,
+    state: &[ExprId; 16],
+    key: &[ExprId; 16],
+) -> [ExprId; 16] {
+    let s = sub_bytes(b, state);
+    let s = shift_rows(&s);
+    let s = mix_columns(b, &s);
+    add_round_key(b, &s, key)
+}
+
+/// The final round (no MixColumns).
+pub fn final_round(
+    b: &mut ModuleBuilder,
+    state: &[ExprId; 16],
+    key: &[ExprId; 16],
+) -> [ExprId; 16] {
+    let s = sub_bytes(b, state);
+    let s = shift_rows(&s);
+    add_round_key(b, &s, key)
+}
+
+/// Software reference AES-128 encryption for testing.
+#[allow(clippy::needless_range_loop)]
+pub fn reference_encrypt(key: [u8; 16], plaintext: [u8; 16]) -> [u8; 16] {
+    fn sbox(x: u8) -> u8 {
+        crate::common::AES_SBOX[x as usize] as u8
+    }
+    fn xt(x: u8) -> u8 {
+        let d = (x as u16) << 1;
+        if d & 0x100 != 0 {
+            (d ^ 0x11b) as u8
+        } else {
+            d as u8
+        }
+    }
+    // Expand keys.
+    let mut round_keys = [[0u8; 16]; 11];
+    round_keys[0] = key;
+    for r in 1..11 {
+        let prev = round_keys[r - 1];
+        let mut out = [0u8; 16];
+        let rot = [prev[13], prev[14], prev[15], prev[12]];
+        let sub: [u8; 4] = std::array::from_fn(|i| sbox(rot[i]));
+        out[0] = prev[0] ^ sub[0] ^ RCON[r] as u8;
+        for i in 1..4 {
+            out[i] = prev[i] ^ sub[i];
+        }
+        for w in 1..4 {
+            for i in 0..4 {
+                out[4 * w + i] = prev[4 * w + i] ^ out[4 * (w - 1) + i];
+            }
+        }
+        round_keys[r] = out;
+    }
+    // Rounds (column-major state).
+    let mut s = plaintext;
+    for i in 0..16 {
+        s[i] ^= round_keys[0][i];
+    }
+    for r in 1..11 {
+        // SubBytes
+        for byte in s.iter_mut() {
+            *byte = sbox(*byte);
+        }
+        // ShiftRows
+        let t = s;
+        for i in 0..16 {
+            let row = i % 4;
+            let col = i / 4;
+            s[i] = t[4 * ((col + row) % 4) + row];
+        }
+        // MixColumns (not in the last round)
+        if r != 10 {
+            let t = s;
+            for col in 0..4 {
+                let c: [u8; 4] = std::array::from_fn(|i| t[4 * col + i]);
+                for i in 0..4 {
+                    s[4 * col + i] = xt(c[i])
+                        ^ xt(c[(i + 1) % 4])
+                        ^ c[(i + 1) % 4]
+                        ^ c[(i + 2) % 4]
+                        ^ c[(i + 3) % 4];
+                }
+            }
+        }
+        for i in 0..16 {
+            s[i] ^= round_keys[r][i];
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_fips197_vector() {
+        // FIPS-197 Appendix B.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
+            0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11,
+            0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32,
+        ];
+        assert_eq!(reference_encrypt(key, pt), expected);
+    }
+}

@@ -1,0 +1,272 @@
+//! An AES-128 core in the style of `secworks/aes`: a two-phase FSM that
+//! first expands the full key schedule into a 44-word key memory, then
+//! encrypts one round per cycle reading round keys back out of the memory.
+//!
+//! Compared to [`aes_opencores`](crate::aes_opencores) this doubles the
+//! state footprint (the paper reports 2470 state bits vs 554) while keeping
+//! the same security structure: all control is counter/FSM-driven, so the
+//! HFG proves data-obliviousness structurally.
+
+use crate::aes_round::{add_round_key, final_round, full_round, RCON};
+use crate::common::aes_sbox;
+use fastpath::{CaseStudy, DesignInstance};
+use fastpath_rtl::{ExprId, Module, ModuleBuilder, SignalId};
+
+const IDLE: u64 = 0;
+const EXPAND: u64 = 1;
+const ENCRYPT: u64 = 2;
+
+/// Builds the two-phase AES-128 module.
+///
+/// Interface: `start` (control), `key_{0..15}` / `pt_{0..15}` (confidential
+/// bytes), `ready`/`done_o` (control outputs), `ct_{0..15}` (data outputs).
+pub fn build_module() -> Module {
+    let mut b = ModuleBuilder::new("aes_secworks");
+    let start = b.control_input("start", 1);
+    let start_sig = b.sig(start);
+    let key_in: [ExprId; 16] = std::array::from_fn(|i| {
+        let s = b.data_input(&format!("key_{i}"), 8);
+        b.sig(s)
+    });
+    let pt_in: [ExprId; 16] = std::array::from_fn(|i| {
+        let s = b.data_input(&format!("pt_{i}"), 8);
+        b.sig(s)
+    });
+
+    // ---- control FSM ------------------------------------------------------
+    let phase = b.reg("phase", 2, IDLE);
+    let idx = b.reg("expand_idx", 6, 0);
+    let round = b.reg("round_ctr", 4, 0);
+    let done = b.reg("done", 1, 0);
+    let phase_sig = b.sig(phase);
+    let idx_sig = b.sig(idx);
+    let round_sig = b.sig(round);
+    let done_sig = b.sig(done);
+
+    let in_idle = b.eq_lit(phase_sig, IDLE);
+    let in_expand = b.eq_lit(phase_sig, EXPAND);
+    let in_encrypt = b.eq_lit(phase_sig, ENCRYPT);
+    let expand_last = b.eq_lit(idx_sig, 43);
+    let round_last = b.eq_lit(round_sig, 10);
+
+    let lit_idle = b.lit(2, IDLE);
+    let lit_expand = b.lit(2, EXPAND);
+    let lit_encrypt = b.lit(2, ENCRYPT);
+    let expand_done = b.and(in_expand, expand_last);
+    let encrypt_done = b.and(in_encrypt, round_last);
+    let after_expand = b.mux(expand_done, lit_encrypt, phase_sig);
+    let after_encrypt = b.mux(encrypt_done, lit_idle, after_expand);
+    let phase_next = b.mux(start_sig, lit_expand, after_encrypt);
+    b.set_next(phase, phase_next).expect("phase driven");
+
+    let one6 = b.lit(6, 1);
+    let idx_inc = b.add(idx_sig, one6);
+    let idx_step = b.mux(in_expand, idx_inc, idx_sig);
+    let lit4_6 = b.lit(6, 4);
+    let idx_next = b.mux(start_sig, lit4_6, idx_step);
+    b.set_next(idx, idx_next).expect("idx driven");
+
+    let one4 = b.lit(4, 1);
+    let round_inc = b.add(round_sig, one4);
+    let round_step = b.mux(in_encrypt, round_inc, round_sig);
+    let one4_lit = b.lit(4, 1);
+    let round_at_expand_end = b.mux(expand_done, one4_lit, round_step);
+    let zero4 = b.lit(4, 0);
+    let round_next = b.mux(start_sig, zero4, round_at_expand_end);
+    b.set_next(round, round_next).expect("round driven");
+
+    let f1 = b.bit_lit(false);
+    let done_hold = b.or(done_sig, encrypt_done);
+    let done_next = b.mux(start_sig, f1, done_hold);
+    b.set_next(done, done_next).expect("done driven");
+
+    b.control_output("ready", in_idle);
+    b.control_output("done_o", done_sig);
+
+    // ---- key memory: 44 x 32-bit expanded schedule -------------------------
+    let w: Vec<SignalId> =
+        (0..44).map(|i| b.reg(&format!("w_{i}"), 32, 0)).collect();
+    let w_sigs: Vec<ExprId> = w.iter().map(|&r| b.sig(r)).collect();
+    // Previous computed word is cached to avoid one 44:1 read mux.
+    let last_w = b.reg("last_w", 32, 0);
+    let last_w_sig = b.sig(last_w);
+
+    // w[idx - 4] read port.
+    let idx_m4 = {
+        let four = b.lit(6, 4);
+        b.sub(idx_sig, four)
+    };
+    let mut w_m4 = b.lit(32, 0);
+    for (i, &ws) in w_sigs.iter().enumerate() {
+        let here = b.eq_lit(idx_m4, i as u64);
+        w_m4 = b.mux(here, ws, w_m4);
+    }
+
+    // SubWord(RotWord(last_w)) ^ rcon for idx % 4 == 0.
+    let bytes: [ExprId; 4] = std::array::from_fn(|i| {
+        b.slice(last_w_sig, (i as u32) * 8 + 7, (i as u32) * 8)
+    });
+    // RotWord on little-endian packing {b3,b2,b1,b0}: rotated word bytes.
+    let rot: [ExprId; 4] = [bytes[1], bytes[2], bytes[3], bytes[0]];
+    let sub: [ExprId; 4] = std::array::from_fn(|i| aes_sbox(&mut b, rot[i]));
+    let idx_div4 = b.slice(idx_sig, 5, 2);
+    let rcon_table: Vec<u64> = RCON.to_vec();
+    let rcon = b.rom_lookup(idx_div4, &rcon_table, 8);
+    let sub0x = b.xor(sub[0], rcon);
+    let subword = {
+        let hi = b.concat(sub[3], sub[2]);
+        let lo = b.concat(sub[1], sub0x);
+        b.concat(hi, lo)
+    };
+    let idx_mod4 = b.slice(idx_sig, 1, 0);
+    let is_word_boundary = b.eq_lit(idx_mod4, 0);
+    let temp = b.mux(is_word_boundary, subword, last_w_sig);
+    let computed = b.xor(w_m4, temp);
+
+    // Write ports: during EXPAND, w[idx] <= computed; w[0..4] load the key.
+    let key_words: [ExprId; 4] = std::array::from_fn(|wi| {
+        let b0 = key_in[4 * wi];
+        let b1 = key_in[4 * wi + 1];
+        let b2 = key_in[4 * wi + 2];
+        let b3 = key_in[4 * wi + 3];
+        let hi = b.concat(b3, b2);
+        let lo = b.concat(b1, b0);
+        b.concat(hi, lo)
+    });
+    for (i, &reg) in w.iter().enumerate() {
+        let ws = w_sigs[i];
+        let next = if i < 4 {
+            b.mux(start_sig, key_words[i], ws)
+        } else {
+            let here = b.eq_lit(idx_sig, i as u64);
+            let writing = b.and(in_expand, here);
+            b.mux(writing, computed, ws)
+        };
+        b.set_next(reg, next).expect("w driven");
+    }
+    let last_w_next = {
+        let during_expand = b.mux(in_expand, computed, last_w_sig);
+        // At start, the last loaded key word (w3) seeds the schedule.
+        b.mux(start_sig, key_words[3], during_expand)
+    };
+    b.set_next(last_w, last_w_next).expect("last_w driven");
+
+    // ---- round-key read port: words 4*round .. 4*round+3 ------------------
+    let rkey_bytes: [ExprId; 16] = {
+        let mut out = [key_in[0]; 16];
+        for wi in 0..4 {
+            // Select w[4*round + wi].
+            let mut word = b.lit(32, 0);
+            for r in 0..11usize {
+                let here = b.eq_lit(round_sig, r as u64);
+                word = b.mux(here, w_sigs[4 * r + wi], word);
+            }
+            for byte in 0..4 {
+                out[4 * wi + byte] = b.slice(
+                    word,
+                    (byte as u32) * 8 + 7,
+                    (byte as u32) * 8,
+                );
+            }
+        }
+        out
+    };
+
+    // ---- state registers and round datapath -------------------------------
+    let state: [SignalId; 16] =
+        std::array::from_fn(|i| b.reg(&format!("state_{i}"), 8, 0));
+    let state_sigs: [ExprId; 16] = std::array::from_fn(|i| b.sig(state[i]));
+    let initial = add_round_key(&mut b, &pt_in, &rkey_bytes);
+    let mid = full_round(&mut b, &state_sigs, &rkey_bytes);
+    let fin = final_round(&mut b, &state_sigs, &rkey_bytes);
+    let first_enc_round = b.eq_lit(round_sig, 0);
+    for i in 0..16 {
+        let round_out = b.mux(round_last, fin[i], mid[i]);
+        let with_init = b.mux(first_enc_round, initial[i], round_out);
+        // The initial AddRoundKey happens in the last EXPAND cycle (round
+        // counter is 0 then); rounds run during ENCRYPT.
+        let stepping = b.or(in_encrypt, expand_done);
+        let next = b.mux(stepping, with_init, state_sigs[i]);
+        b.set_next(state[i], next).expect("state driven");
+        b.data_output(&format!("ct_{i}"), state_sigs[i]);
+    }
+
+    b.build().expect("aes_secworks module is valid")
+}
+
+/// The AES (secworks-style) case study.
+pub fn case_study() -> CaseStudy {
+    let mut study =
+        CaseStudy::new("AES (secworks)", DesignInstance::new(build_module()));
+    study.cycles = 400;
+    study.seed = 0x5EC;
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes_round::reference_encrypt;
+    use fastpath_rtl::BitVec;
+    use fastpath_sim::Simulator;
+
+    #[test]
+    fn hardware_matches_fips197() {
+        let key = [
+            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
+            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32u8, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
+            0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+        ];
+        let expected = reference_encrypt(key, pt);
+
+        let m = build_module();
+        let mut sim = Simulator::new(&m);
+        for i in 0..16 {
+            let k = m.signal_by_name(&format!("key_{i}")).expect("key");
+            let p = m.signal_by_name(&format!("pt_{i}")).expect("pt");
+            sim.set_input(k, BitVec::from_u64(8, key[i] as u64));
+            sim.set_input(p, BitVec::from_u64(8, pt[i] as u64));
+        }
+        let start = m.signal_by_name("start").expect("start");
+        let done = m.signal_by_name("done_o").expect("done");
+        sim.set_input_u64(start, 1);
+        sim.step();
+        sim.set_input_u64(start, 0);
+        let mut cycles = 0;
+        loop {
+            sim.settle();
+            if sim.value(done).is_true() {
+                break;
+            }
+            sim.step();
+            cycles += 1;
+            assert!(cycles < 100, "must finish (40 expand + 10 encrypt)");
+        }
+        for i in 0..16 {
+            let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
+            assert_eq!(
+                sim.value(ct).to_u64(),
+                expected[i] as u64,
+                "ciphertext byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_footprint_exceeds_opencores_variant() {
+        let here = build_module();
+        let there = crate::aes_opencores::build_module();
+        assert!(here.state_bits() > there.state_bits());
+    }
+
+    #[test]
+    fn no_structural_path_to_handshake() {
+        let m = build_module();
+        let hfg = fastpath_hfg::extract_hfg(&m);
+        let q = fastpath_hfg::PathQuery::new(&hfg);
+        assert!(q.no_flow_possible(&m.data_inputs(), &m.control_outputs()));
+    }
+}

@@ -1,0 +1,1109 @@
+//! A cv32e40s-style in-order RISC-V core — the paper's headline case study.
+//!
+//! A 4-stage (IF/ID/EX/WB) pipeline over a compact 16-bit RV-flavoured ISA
+//! with: a register file with *secret registers* (x4–x7, the
+//! constant-time-programming discipline), a `data_ind_timing` mode that
+//! fixes the divider latency, a two-cycle MULH path, byte/word memory
+//! accesses with misaligned-word splitting, branches and register-indirect
+//! jumps, and an OBI-like data-memory interface.
+//!
+//! **The leak (CWE-1420-style operand exposure).** In the as-shipped
+//! (`leaky`) variant, the operands latched in the ID/EX pipeline buffer are
+//! *always* driven onto `data_addr_o` / `data_wdata_o`, even when
+//! `data_req_o` is low — any bus observer (faulty or malicious IP) can read
+//! internal operands of every instruction, making `data_ind_timing`
+//! irrelevant. This reproduces the previously-unknown vulnerability the
+//! paper found and fixed: the `fixed` variant gates both outputs with
+//! `data_req_o`.
+//!
+//! The derived software constraints mirror the paper's: `data_ind_timing`
+//! enabled, and the secret-register discipline (no branches/jumps/addresses
+//! /stores based on secret registers; secret results only into secret
+//! registers) — asserted over the architectural *and* pipeline state.
+
+use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
+use fastpath_rtl::{BitVec, ExprId, Module, ModuleBuilder, RegFile};
+use rand::Rng as _;
+use std::rc::Rc;
+
+const XLEN: u32 = 16;
+
+/// Instruction classes in bits `[15:13]`.
+pub mod class {
+    /// Register-register ALU (funct in `[12:10]`).
+    pub const ALU: u64 = 0;
+    /// Add-immediate.
+    pub const ADDI: u64 = 1;
+    /// Memory load (size bit 3: 0 = byte, 1 = word).
+    pub const LOAD: u64 = 2;
+    /// Memory store.
+    pub const STORE: u64 = 3;
+    /// Branch-if-equal.
+    pub const BRANCH: u64 = 4;
+    /// Multiply/divide (funct: 0 MUL, 1 MULH, 2 DIV, 3 REM).
+    pub const MULDIV: u64 = 5;
+    /// Register-indirect jump.
+    pub const JALR: u64 = 6;
+    /// No operation.
+    pub const NOP: u64 = 7;
+}
+
+/// What the builder hands the case study.
+struct Built {
+    module: Module,
+    dit_on: ExprId,
+    discipline: ExprId,
+    /// Single-instance invariants (name, predicate).
+    invariants: Vec<(&'static str, ExprId)>,
+    /// (name, condition, signal-name) for the conditional equalities.
+    cond_eqs: Vec<(&'static str, ExprId, &'static str)>,
+}
+
+/// Builds the core.
+///
+/// `leaky` selects the as-shipped variant with the operand-exposure bug;
+/// `false` builds the repaired core.
+pub fn build_module(leaky: bool) -> Module {
+    construct(leaky).module
+}
+
+#[allow(clippy::too_many_lines)]
+fn construct(leaky: bool) -> Built {
+    let name = if leaky { "cv32e40s" } else { "cv32e40s_fixed" };
+    let mut b = ModuleBuilder::new(name);
+
+    // ---- interface --------------------------------------------------------
+    let instr_i = b.control_input("instr_i", 16);
+    let dit_mode = b.control_input("data_ind_timing", 1);
+    let data_rdata_i = b.data_input("data_rdata_i", XLEN);
+    let instr = b.sig(instr_i);
+    let dit = b.sig(dit_mode);
+    let rdata = b.sig(data_rdata_i);
+
+    // ---- decode of the incoming instruction -------------------------------
+    let f_class = b.slice(instr, 15, 13);
+    let _f_funct = b.slice(instr, 12, 10);
+    let f_rd = b.slice(instr, 9, 7);
+    let f_rs1 = b.slice(instr, 6, 4);
+    let f_rs2 = b.slice(instr, 3, 1);
+    let _f_size = b.bit(instr, 3); // LOAD/STORE: 1 = word
+    let _f_mem_imm = b.slice(instr, 2, 0);
+    let _f_imm4 = b.slice(instr, 3, 0);
+
+    // ---- pipeline registers -----------------------------------------------
+    let pc = b.reg("pc", XLEN, 0);
+    let id_instr = b.reg("id_instr", 16, 0xE000); // NOP
+    let id_valid = b.reg("id_valid", 1, 0);
+    let id_pc = b.reg("id_pc", XLEN, 0);
+
+    let ex_valid = b.reg("ex_valid", 1, 0);
+    let ex_class = b.reg("ex_class", 3, class::NOP);
+    let ex_funct = b.reg("ex_funct", 3, 0);
+    let ex_rd = b.reg("ex_rd", 3, 0);
+    let ex_op_a = b.reg("ex_op_a", XLEN, 0);
+    let ex_op_b = b.reg("ex_op_b", XLEN, 0);
+    let ex_store_data = b.reg("ex_store_data", XLEN, 0);
+    let ex_imm = b.reg("ex_imm", XLEN, 0);
+    let ex_size = b.reg("ex_size", 1, 0);
+    let ex_target = b.reg("ex_branch_target", XLEN, 0);
+    let ex_sec_a = b.reg("ex_sec_a", 1, 0);
+    let ex_sec_b = b.reg("ex_sec_b", 1, 0);
+    let ex_rd_sec = b.reg("ex_rd_sec", 1, 0);
+
+    let wb_value = b.reg("wb_value", XLEN, 0);
+    let wb_rd = b.reg("wb_rd", 3, 0);
+    let wb_we = b.reg("wb_we", 1, 0);
+    let wb_sec = b.reg("wb_sec", 1, 0);
+    let wb_rd_sec = b.reg("wb_rd_sec", 1, 0);
+
+    // Divider state.
+    let div_busy = b.reg("div_busy", 1, 0);
+    let div_count = b.reg("div_count", 5, 0);
+    let div_den = b.reg("div_den", XLEN, 0);
+    let div_stream = b.reg("div_stream", XLEN, 0);
+    let div_quo = b.reg("div_quo", XLEN, 0);
+    let div_rem = b.reg("div_rem", XLEN, 0);
+
+    // Two-cycle MULH path.
+    let mulh_pending = b.reg("mulh_pending", 1, 0);
+    let mulh_acc = b.reg("mulh_acc", XLEN, 0);
+
+    // Misaligned-access splitting.
+    let misal_pending = b.reg("misal_pending", 1, 0);
+    let misal_buf = b.reg("misal_buf", XLEN, 0);
+
+    // ---- register file -----------------------------------------------------
+    let mut rf = RegFile::new(&mut b, "x", 8, XLEN).with_zero_register();
+
+    let pc_s = b.sig(pc);
+    let id_instr_s = b.sig(id_instr);
+    let id_valid_s = b.sig(id_valid);
+    let id_pc_s = b.sig(id_pc);
+    let ex_valid_s = b.sig(ex_valid);
+    let ex_class_s = b.sig(ex_class);
+    let ex_funct_s = b.sig(ex_funct);
+    let ex_rd_s = b.sig(ex_rd);
+    let ex_op_a_s = b.sig(ex_op_a);
+    let ex_op_b_s = b.sig(ex_op_b);
+    let ex_store_s = b.sig(ex_store_data);
+    let ex_imm_s = b.sig(ex_imm);
+    let ex_size_s = b.sig(ex_size);
+    let ex_target_s = b.sig(ex_target);
+    let ex_sec_a_s = b.sig(ex_sec_a);
+    let ex_sec_b_s = b.sig(ex_sec_b);
+    let ex_rd_sec_s = b.sig(ex_rd_sec);
+    let wb_value_s = b.sig(wb_value);
+    let wb_rd_s = b.sig(wb_rd);
+    let wb_we_s = b.sig(wb_we);
+    let wb_sec_s = b.sig(wb_sec);
+    let wb_rd_sec_s = b.sig(wb_rd_sec);
+    let div_busy_s = b.sig(div_busy);
+    let div_count_s = b.sig(div_count);
+    let div_den_s = b.sig(div_den);
+    let div_stream_s = b.sig(div_stream);
+    let div_quo_s = b.sig(div_quo);
+    let div_rem_s = b.sig(div_rem);
+    let mulh_pending_s = b.sig(mulh_pending);
+    let mulh_acc_s = b.sig(mulh_acc);
+    let misal_pending_s = b.sig(misal_pending);
+    let misal_buf_s = b.sig(misal_buf);
+
+    // ---- ID stage: decode + operand fetch ----------------------------------
+    let id_class = b.slice(id_instr_s, 15, 13);
+    let id_funct = b.slice(id_instr_s, 12, 10);
+    let id_rd = b.slice(id_instr_s, 9, 7);
+    let id_rs1 = b.slice(id_instr_s, 6, 4);
+    let id_rs2 = b.slice(id_instr_s, 3, 1);
+    let id_size = b.bit(id_instr_s, 3);
+    let id_mem_imm = b.slice(id_instr_s, 2, 0);
+    let id_imm4 = b.slice(id_instr_s, 3, 0);
+    let id_is_store = b.eq_lit(id_class, class::STORE);
+    // STORE uses rd-field as the data register rs2'.
+    let id_data_reg = b.mux(id_is_store, id_rd, id_rs2);
+    let op_a = rf.read(&mut b, id_rs1);
+    let op_b_reg = rf.read(&mut b, id_rs2);
+    let store_val = rf.read(&mut b, id_data_reg);
+    let id_is_addi = b.eq_lit(id_class, class::ADDI);
+    let imm_ext = b.sext(id_imm4, XLEN);
+    let mem_imm_ext = b.zext(id_mem_imm, XLEN);
+    let id_is_mem = {
+        let l = b.eq_lit(id_class, class::LOAD);
+        b.or(l, id_is_store)
+    };
+    let id_imm = b.mux(id_is_mem, mem_imm_ext, imm_ext);
+    // Operand gating: classes whose rs2/rs1 fields alias immediates (or
+    // that do not read a register at all) latch zero instead of a stray
+    // register-file word. This keeps the operand buffers' contents in sync
+    // with their secrecy flags.
+    let zero_x = b.lit(XLEN, 0);
+    let id_uses_rs2 = {
+        let alu = b.eq_lit(id_class, class::ALU);
+        let md = b.eq_lit(id_class, class::MULDIV);
+        let br = b.eq_lit(id_class, class::BRANCH);
+        let a = b.or(alu, md);
+        b.or(a, br)
+    };
+    let op_b_gated = b.mux(id_uses_rs2, op_b_reg, zero_x);
+    let op_b = b.mux(id_is_addi, imm_ext, op_b_gated);
+    let id_is_nop = b.eq_lit(id_class, class::NOP);
+    let op_a = b.mux(id_is_nop, zero_x, op_a);
+    let store_val = b.mux(id_is_store, store_val, zero_x);
+    // Branch target: id_pc + sext(funct<<1).
+    let br_off = {
+        let f = b.zext(id_funct, 4);
+        let one = b.lit(4, 1);
+        let shifted = b.shl(f, one);
+        b.sext(shifted, XLEN)
+    };
+    let id_target = b.add(id_pc_s, br_off);
+    // Secrecy classes of the referenced registers (x4..x7 are secret),
+    // accounting for fields that alias immediates per class.
+    let (sec_rs1, sec_rs2, sec_rd) =
+        effective_secrecy(&mut b, id_class, id_rd, id_rs1, id_rs2);
+
+    // ---- EX stage ----------------------------------------------------------
+    let ex_is_alu = b.eq_lit(ex_class_s, class::ALU);
+    let ex_is_addi = b.eq_lit(ex_class_s, class::ADDI);
+    let ex_is_load = b.eq_lit(ex_class_s, class::LOAD);
+    let ex_is_store = b.eq_lit(ex_class_s, class::STORE);
+    let ex_is_branch = b.eq_lit(ex_class_s, class::BRANCH);
+    let ex_is_muldiv = b.eq_lit(ex_class_s, class::MULDIV);
+    let ex_is_jalr = b.eq_lit(ex_class_s, class::JALR);
+    let ex_is_mem = b.or(ex_is_load, ex_is_store);
+
+    // ALU.
+    let alu_add = b.add(ex_op_a_s, ex_op_b_s);
+    let alu_sub = b.sub(ex_op_a_s, ex_op_b_s);
+    let alu_and = b.and(ex_op_a_s, ex_op_b_s);
+    let alu_or = b.or(ex_op_a_s, ex_op_b_s);
+    let alu_xor = b.xor(ex_op_a_s, ex_op_b_s);
+    let shamt = {
+        let low = b.slice(ex_op_b_s, 3, 0);
+        b.zext(low, XLEN)
+    };
+    let alu_sll = b.shl(ex_op_a_s, shamt);
+    let alu_srl = b.lshr(ex_op_a_s, shamt);
+    let alu_sra = b.ashr(ex_op_a_s, shamt);
+    let f0 = b.eq_lit(ex_funct_s, 0);
+    let f1 = b.eq_lit(ex_funct_s, 1);
+    let f2 = b.eq_lit(ex_funct_s, 2);
+    let f3 = b.eq_lit(ex_funct_s, 3);
+    let f4 = b.eq_lit(ex_funct_s, 4);
+    let f5 = b.eq_lit(ex_funct_s, 5);
+    let f6 = b.eq_lit(ex_funct_s, 6);
+    let alu_result = b.select(
+        &[
+            (f0, alu_add),
+            (f1, alu_sub),
+            (f2, alu_and),
+            (f3, alu_or),
+            (f4, alu_xor),
+            (f5, alu_sll),
+            (f6, alu_srl),
+        ],
+        alu_sra,
+    );
+    let addi_result = alu_add;
+
+    // Multiplier: MUL single-cycle; MULH takes a second cycle through
+    // `mulh_acc`.
+    let prod_lo = b.mul(ex_op_a_s, ex_op_b_s);
+    let a32 = b.zext(ex_op_a_s, 2 * XLEN);
+    let b32 = b.zext(ex_op_b_s, 2 * XLEN);
+    let prod_full = b.mul(a32, b32);
+    let prod_hi = b.slice(prod_full, 2 * XLEN - 1, XLEN);
+    let _ex_is_mul = {
+        let m = b.eq_lit(ex_funct_s, 0);
+        b.and(ex_is_muldiv, m)
+    };
+    let ex_is_mulh = {
+        let m = b.eq_lit(ex_funct_s, 1);
+        b.and(ex_is_muldiv, m)
+    };
+    let ex_is_div = {
+        let d = b.eq_lit(ex_funct_s, 2);
+        let r = b.eq_lit(ex_funct_s, 3);
+        let dr = b.or(d, r);
+        b.and(ex_is_muldiv, dr)
+    };
+    let ex_is_rem = {
+        let r = b.eq_lit(ex_funct_s, 3);
+        b.and(ex_is_muldiv, r)
+    };
+    // MULH sequencing: first EX cycle latches the high product, second
+    // delivers it.
+    let mulh_start = {
+        let np = b.not(mulh_pending_s);
+        let v = b.and(ex_valid_s, ex_is_mulh);
+        b.and(v, np)
+    };
+    let mulh_finish = mulh_pending_s;
+    let mulh_pending_next = mulh_start;
+    b.set_next(mulh_pending, mulh_pending_next).expect("mulh_pending");
+    let mulh_acc_next = b.mux(mulh_start, prod_hi, mulh_acc_s);
+    b.set_next(mulh_acc, mulh_acc_next).expect("mulh_acc");
+
+    // Divider: starts when a DIV/REM reaches EX; latency is 16 with
+    // data_ind_timing, else the dividend's significant-bit count (the
+    // data-dependent fast path the DIT mode exists to disable).
+    let div_start = {
+        let nb = b.not(div_busy_s);
+        let v = b.and(ex_valid_s, ex_is_div);
+        b.and(v, nb)
+    };
+    let mut sig_bits = b.lit(5, 1);
+    for i in 1..XLEN {
+        let bit = b.bit(ex_op_a_s, i);
+        let this = b.lit(5, (i + 1) as u64);
+        sig_bits = b.mux(bit, this, sig_bits);
+    }
+    let sixteen = b.lit(5, 16);
+    let div_latency = b.mux(dit, sixteen, sig_bits);
+    let one5 = b.lit(5, 1);
+    let div_count_dec = b.sub(div_count_s, one5);
+    let div_count_run = b.mux(div_busy_s, div_count_dec, div_count_s);
+    let div_count_next = b.mux(div_start, div_latency, div_count_run);
+    b.set_next(div_count, div_count_next).expect("div_count");
+    let div_finishing = {
+        let at1 = b.eq_lit(div_count_s, 1);
+        b.and(div_busy_s, at1)
+    };
+    let nfin = b.not(div_finishing);
+    let keep = b.and(div_busy_s, nfin);
+    let t1 = b.bit_lit(true);
+    let div_busy_next = b.mux(div_start, t1, keep);
+    b.set_next(div_busy, div_busy_next).expect("div_busy");
+    // Restoring datapath, dividend MSB-aligned by (16 - latency).
+    let shift_amt = {
+        let lat = b.zext(div_latency, XLEN);
+        let w16 = b.lit(XLEN, 16);
+        b.sub(w16, lat)
+    };
+    let aligned = b.shl(ex_op_a_s, shift_amt);
+    let one_w = b.lit(XLEN, 1);
+    let stream_shl = b.shl(div_stream_s, one_w);
+    let stream_run = b.mux(div_busy_s, stream_shl, div_stream_s);
+    let stream_next = b.mux(div_start, aligned, stream_run);
+    b.set_next(div_stream, stream_next).expect("div_stream");
+    let den_next = b.mux(div_start, ex_op_b_s, div_den_s);
+    b.set_next(div_den, den_next).expect("div_den");
+    let rem_shift = {
+        let low = b.slice(div_rem_s, XLEN - 2, 0);
+        let msb = b.bit(div_stream_s, XLEN - 1);
+        b.concat(low, msb)
+    };
+    let ge = b.ule(div_den_s, rem_shift);
+    let rem_sub = b.sub(rem_shift, div_den_s);
+    let rem_stepped = b.mux(ge, rem_sub, rem_shift);
+    let rem_run = b.mux(div_busy_s, rem_stepped, div_rem_s);
+    let zero_w = b.lit(XLEN, 0);
+    let rem_next = b.mux(div_start, zero_w, rem_run);
+    b.set_next(div_rem, rem_next).expect("div_rem");
+    let quo_shift = {
+        let low = b.slice(div_quo_s, XLEN - 2, 0);
+        b.concat(low, ge)
+    };
+    let quo_run = b.mux(div_busy_s, quo_shift, div_quo_s);
+    let quo_next = b.mux(div_start, zero_w, quo_run);
+    b.set_next(div_quo, quo_next).expect("div_quo");
+
+    // Memory unit.
+    let mem_addr = b.add(ex_op_a_s, ex_imm_s);
+    let addr_odd = b.bit(mem_addr, 0);
+    let misaligned = {
+        let v = b.and(ex_valid_s, ex_is_mem);
+        let w = b.and(v, ex_size_s);
+        b.and(w, addr_odd)
+    };
+    let misal_start = {
+        let np = b.not(misal_pending_s);
+        b.and(misaligned, np)
+    };
+    b.set_next(misal_pending, misal_start).expect("misal_pending");
+    let misal_buf_next = b.mux(misal_start, rdata, misal_buf_s);
+    b.set_next(misal_buf, misal_buf_next).expect("misal_buf");
+    let mem_req = {
+        let v = b.and(ex_valid_s, ex_is_mem);
+        b.or(v, misal_pending_s)
+    };
+    let one_addr = b.lit(XLEN, 1);
+    let second_addr = b.add(mem_addr, one_addr);
+    let req_addr = b.mux(misal_pending_s, second_addr, mem_addr);
+    // Load result.
+    let byte_val = {
+        let low = b.slice(rdata, 7, 0);
+        b.zext(low, XLEN)
+    };
+    let word_val = rdata;
+    let aligned_val = b.mux(ex_size_s, word_val, byte_val);
+    let misal_val = {
+        let hi = b.slice(rdata, 7, 0);
+        let lo = b.slice(misal_buf_s, 15, 8);
+        b.concat(hi, lo)
+    };
+    let load_val = b.mux(misal_pending_s, misal_val, aligned_val);
+
+    // Stall & flush.
+    let div_stall = {
+        let will_be_busy = b.or(div_start, div_busy_s);
+        let not_finishing = b.not(div_finishing);
+        b.and(will_be_busy, not_finishing)
+    };
+    let mulh_stall = mulh_start;
+    let misal_stall = misal_start;
+    let stall = {
+        let s = b.or(div_stall, mulh_stall);
+        b.or(s, misal_stall)
+    };
+    let branch_taken = {
+        let eq = b.eq(ex_op_a_s, ex_op_b_s);
+        let v = b.and(ex_valid_s, ex_is_branch);
+        b.and(v, eq)
+    };
+    let jalr_taken = b.and(ex_valid_s, ex_is_jalr);
+    let flush = b.or(branch_taken, jalr_taken);
+    let jump_dest = b.mux(ex_is_jalr, ex_op_a_s, ex_target_s);
+
+    // ---- write-back ---------------------------------------------------------
+    let pc_plus2_ex = b.add(ex_target_s, zero_w); // placeholder, JALR link below
+    let _ = pc_plus2_ex;
+    // At the finishing cycle the last iteration's result is still
+    // combinational (it commits at the same edge the pipeline advances),
+    // so write-back reads the stepped values.
+    let div_res = b.mux(ex_is_rem, rem_stepped, quo_shift);
+    let muldiv_res = {
+        let m = b.mux(ex_is_mulh, mulh_acc_s, prod_lo);
+        b.mux(ex_is_div, div_res, m)
+    };
+    let ex_result = b.select(
+        &[
+            (ex_is_alu, alu_result),
+            (ex_is_addi, addi_result),
+            (ex_is_load, load_val),
+            (ex_is_muldiv, muldiv_res),
+            (ex_is_jalr, ex_target_s), // link register: sequential pc
+        ],
+        zero_w,
+    );
+    // Completion: single-cycle ops complete immediately; div at
+    // div_finishing; mulh at its second cycle; misaligned loads at the
+    // second transaction.
+    let single_cycle = {
+        let md = b.or(ex_is_div, ex_is_mulh);
+        let mem_multi = misaligned;
+        let multi = b.or(md, mem_multi);
+        let nm = b.not(multi);
+        b.and(ex_valid_s, nm)
+    };
+    let completes = {
+        let c1 = b.or(single_cycle, div_finishing);
+        let c2 = b.or(c1, mulh_finish);
+        b.or(c2, misal_pending_s)
+    };
+    let writes = {
+        let st = b.or(ex_is_store, ex_is_branch);
+        let is_nop = b.eq_lit(ex_class_s, class::NOP);
+        let no_wb = b.or(st, is_nop);
+        let can = b.not(no_wb);
+        let c = b.and(completes, can);
+        b.and(c, ex_valid_s)
+    };
+    let wb_we_next = writes;
+    b.set_next(wb_we, wb_we_next).expect("wb_we");
+    let wb_val_next = b.mux(writes, ex_result, wb_value_s);
+    b.set_next(wb_value, wb_val_next).expect("wb_value");
+    let wb_rd_next = b.mux(writes, ex_rd_s, wb_rd_s);
+    b.set_next(wb_rd, wb_rd_next).expect("wb_rd");
+    // Secrecy of the written value: loads always import secrets; otherwise
+    // inherited from the operands.
+    let op_sec = b.or(ex_sec_a_s, ex_sec_b_s);
+    // Loads import secrets; multiplier/divider results are architecturally
+    // treated as confidential (their units hold secret operand state).
+    let ld_or_md = b.or(ex_is_load, ex_is_muldiv);
+    let val_sec = b.or(ld_or_md, op_sec);
+    let wb_sec_next = b.mux(writes, val_sec, wb_sec_s);
+    b.set_next(wb_sec, wb_sec_next).expect("wb_sec");
+    let wb_rd_sec_next = b.mux(writes, ex_rd_sec_s, wb_rd_sec_s);
+    b.set_next(wb_rd_sec, wb_rd_sec_next).expect("wb_rd_sec");
+    rf.write(&mut b, wb_we_s, wb_rd_s, wb_value_s);
+    rf.finish(&mut b).expect("register file");
+
+    // ---- pipeline advance ---------------------------------------------------
+    let not_stall = b.not(stall);
+    let advance = not_stall;
+    // IF.
+    let two = b.lit(XLEN, 2);
+    let pc_inc = b.add(pc_s, two);
+    let pc_step = b.mux(advance, pc_inc, pc_s);
+    let pc_next = b.mux(flush, jump_dest, pc_step);
+    b.set_next(pc, pc_next).expect("pc");
+    // IF/ID.
+    let id_instr_step = b.mux(advance, instr, id_instr_s);
+    let nop = b.lit(16, 0xE000);
+    let id_instr_next = b.mux(flush, nop, id_instr_step);
+    b.set_next(id_instr, id_instr_next).expect("id_instr");
+    let id_valid_step = b.mux(advance, t1, id_valid_s);
+    let f1b = b.bit_lit(false);
+    let id_valid_next = b.mux(flush, f1b, id_valid_step);
+    b.set_next(id_valid, id_valid_next).expect("id_valid");
+    let id_pc_step = b.mux(advance, pc_s, id_pc_s);
+    b.set_next(id_pc, id_pc_step).expect("id_pc");
+    // ID/EX.
+    let issue = b.and(advance, id_valid_s);
+    let ex_valid_hold = b.mux(advance, id_valid_s, ex_valid_s);
+    let f1b_early = b.bit_lit(false);
+    let ex_valid_next = b.mux(flush, f1b_early, ex_valid_hold);
+    b.set_next(ex_valid, ex_valid_next).expect("ex_valid");
+    macro_rules! pipe {
+        ($reg:ident, $new:expr, $cur:expr) => {{
+            let next = b.mux(issue, $new, $cur);
+            b.set_next($reg, next).expect(stringify!($reg));
+        }};
+    }
+    pipe!(ex_class, id_class, ex_class_s);
+    pipe!(ex_funct, id_funct, ex_funct_s);
+    pipe!(ex_rd, id_rd, ex_rd_s);
+    pipe!(ex_op_a, op_a, ex_op_a_s);
+    pipe!(ex_op_b, op_b, ex_op_b_s);
+    pipe!(ex_store_data, store_val, ex_store_s);
+    pipe!(ex_imm, id_imm, ex_imm_s);
+    pipe!(ex_size, id_size, ex_size_s);
+    pipe!(ex_target, id_target, ex_target_s);
+    pipe!(ex_sec_a, sec_rs1, ex_sec_a_s);
+    pipe!(ex_sec_b, sec_rs2, ex_sec_b_s);
+    pipe!(ex_rd_sec, sec_rd, ex_rd_sec_s);
+
+    // ---- observable interface ----------------------------------------------
+    b.control_output("instr_addr_o", pc_s);
+    let always = b.bit_lit(true);
+    b.control_output("instr_req_o", always);
+    b.control_output("data_req_o", mem_req);
+    let ex_is_store_req = {
+        let s = b.and(ex_valid_s, ex_is_store);
+        let second = b.and(misal_pending_s, ex_is_store);
+        b.or(s, second)
+    };
+    b.control_output("data_we_o", ex_is_store_req);
+    if leaky {
+        // THE BUG: operands pass straight to the bus, request or not.
+        b.control_output("data_addr_o", req_addr);
+        b.control_output("data_wdata_o", ex_store_s);
+    } else {
+        let gated_addr = b.mux(mem_req, req_addr, zero_w);
+        b.control_output("data_addr_o", gated_addr);
+        let we_req = b.and(mem_req, ex_is_store_req);
+        let gated_wdata = b.mux(we_req, ex_store_s, zero_w);
+        b.control_output("data_wdata_o", gated_wdata);
+    }
+    let core_busy = b.or(stall, div_busy_s);
+    b.control_output("core_busy_o", core_busy);
+
+    // ---- the specification vocabulary ----------------------------------------
+    let dit_on = b.eq_lit(dit, 1);
+
+    // Secret-register discipline, over the incoming instruction, the ID
+    // stage, and the EX/WB stages (pipeline state must also conform, which
+    // doubles as the constraint's inductive closure).
+    let disc_fetch =
+        discipline_pred(&mut b, f_class, f_rd, f_rs1, f_rs2);
+    let disc_id = {
+        let sec_rd_id = sec_rd;
+        discipline_flags(
+            &mut b, id_class, sec_rs1, sec_rs2, sec_rd_id,
+        )
+    };
+    let id_conform = {
+        let nv = b.not(id_valid_s);
+        b.or(nv, disc_id)
+    };
+    let disc_ex = discipline_flags(
+        &mut b, ex_class_s, ex_sec_a_s, ex_sec_b_s, ex_rd_sec_s,
+    );
+    let ex_conform = {
+        let nv = b.not(ex_valid_s);
+        b.or(nv, disc_ex)
+    };
+    let wb_conform = {
+        // A secret value may only be written to a secret register.
+        let bad = {
+            let not_rd_sec = b.not(wb_rd_sec_s);
+            let s = b.and(wb_sec_s, not_rd_sec);
+            b.and(wb_we_s, s)
+        };
+        b.not(bad)
+    };
+    let discipline = {
+        let a = b.and(disc_fetch, id_conform);
+        let c = b.and(a, ex_conform);
+        b.and(c, wb_conform)
+    };
+
+    // Invariant: a pending second (misaligned) transaction implies the
+    // memory instruction that started it is still held valid in EX — the
+    // stall logic guarantees this from reset, but the symbolic initial
+    // state does not know it.
+    let misal_inv = {
+        let is_load = b.eq_lit(ex_class_s, class::LOAD);
+        let is_store = b.eq_lit(ex_class_s, class::STORE);
+        let mem = b.or(is_load, is_store);
+        let vm = b.and(ex_valid_s, mem);
+        let np = b.not(misal_pending_s);
+        b.or(np, vm)
+    };
+    // Invariants: the pipeline's secrecy flags always mirror bit 2 of the
+    // destination index they were derived from (trivially true from reset,
+    // unknown to the symbolic initial state).
+    let ex_flag_inv = {
+        let idx_sec = b.bit(ex_rd_s, 2);
+        let x = b.xor(ex_rd_sec_s, idx_sec);
+        b.not(x)
+    };
+    let wb_flag_inv = {
+        let idx_sec = b.bit(wb_rd_s, 2);
+        let x = b.xor(wb_rd_sec_s, idx_sec);
+        b.not(x)
+    };
+    let invariants = vec![
+        ("misaligned_implies_mem_in_ex", misal_inv),
+        ("ex_rd_secrecy_flag_consistent", ex_flag_inv),
+        ("wb_rd_secrecy_flag_consistent", wb_flag_inv),
+    ];
+
+    // Conditional 2-safety equalities: the operand/result buffers are
+    // equal across instances whenever their secrecy flags are clear.
+    let pub_a = b.not(ex_sec_a_s);
+    let pub_b = b.not(ex_sec_b_s);
+    let pub_wb = b.not(wb_sec_s);
+    let cond_eqs = vec![
+        ("public_operand_a_eq", pub_a, "ex_op_a"),
+        ("public_operand_b_eq", pub_b, "ex_op_b"),
+        ("public_store_data_eq", pub_b, "ex_store_data"),
+        ("public_writeback_eq", pub_wb, "wb_value"),
+    ];
+
+    Built {
+        module: b.build().expect("cv32e40s module is valid"),
+        dit_on,
+        discipline,
+        invariants,
+        cond_eqs,
+    }
+}
+
+/// The register-discipline predicate over a raw instruction word.
+fn discipline_pred(
+    b: &mut ModuleBuilder,
+    f_class: ExprId,
+    f_rd: ExprId,
+    f_rs1: ExprId,
+    f_rs2: ExprId,
+) -> ExprId {
+    let (sec_a, sec_b, sec_rd) =
+        effective_secrecy(b, f_class, f_rd, f_rs1, f_rs2);
+    discipline_flags(b, f_class, sec_a, sec_b, sec_rd)
+}
+
+/// Effective operand secrecy per class: the rs2 field is a register only
+/// for ALU/MULDIV/BRANCH; STORE keeps its data register in the rd field;
+/// other classes use the field as immediate bits (never secret). rs1 is a
+/// register for everything but NOP.
+fn effective_secrecy(
+    b: &mut ModuleBuilder,
+    cls: ExprId,
+    rd: ExprId,
+    rs1: ExprId,
+    rs2: ExprId,
+) -> (ExprId, ExprId, ExprId) {
+    let raw_a = b.bit(rs1, 2);
+    let raw_b = b.bit(rs2, 2);
+    let raw_rd = b.bit(rd, 2);
+    let f = b.bit_lit(false);
+    let is_nop = b.eq_lit(cls, class::NOP);
+    let sec_a = b.mux(is_nop, f, raw_a);
+    let uses_rs2 = {
+        let alu = b.eq_lit(cls, class::ALU);
+        let md = b.eq_lit(cls, class::MULDIV);
+        let br = b.eq_lit(cls, class::BRANCH);
+        let a = b.or(alu, md);
+        b.or(a, br)
+    };
+    let is_store = b.eq_lit(cls, class::STORE);
+    let rs2_sec = b.mux(uses_rs2, raw_b, f);
+    let sec_b = b.mux(is_store, raw_rd, rs2_sec);
+    (sec_a, sec_b, raw_rd)
+}
+
+/// The discipline over decoded class + secrecy flags:
+/// arithmetic may mix secrets only into secret destinations; loads import
+/// into secret registers from public addresses; stores, branches and jumps
+/// touch only public registers.
+fn discipline_flags(
+    b: &mut ModuleBuilder,
+    cls: ExprId,
+    sec_a: ExprId,
+    sec_b: ExprId,
+    sec_rd: ExprId,
+) -> ExprId {
+    let is = |b: &mut ModuleBuilder, c: u64| b.eq_lit(cls, c);
+    let any_src_sec = b.or(sec_a, sec_b);
+    let not_src_sec = b.not(any_src_sec);
+    let arith_ok = b.or(not_src_sec, sec_rd);
+
+    let alu = is(b, class::ALU);
+    let addi = is(b, class::ADDI);
+    let arith = b.or(alu, addi);
+    let arith_rule = {
+        let na = b.not(arith);
+        b.or(na, arith_ok)
+    };
+    // Multiplier/divider results are always confidential.
+    let muldiv = is(b, class::MULDIV);
+    let muldiv_rule = {
+        let nm = b.not(muldiv);
+        b.or(nm, sec_rd)
+    };
+
+    let load = is(b, class::LOAD);
+    let not_sec_a = b.not(sec_a);
+    let load_ok = b.and(sec_rd, not_sec_a);
+    let load_rule = {
+        let nl = b.not(load);
+        b.or(nl, load_ok)
+    };
+
+    let store = is(b, class::STORE);
+    let not_sec_b = b.not(sec_b);
+    let store_ok = b.and(not_sec_a, not_sec_b);
+    let store_rule = {
+        let ns = b.not(store);
+        b.or(ns, store_ok)
+    };
+
+    let branch = is(b, class::BRANCH);
+    let branch_rule = {
+        let nb = b.not(branch);
+        b.or(nb, store_ok)
+    };
+
+    let jalr = is(b, class::JALR);
+    let jalr_rule = {
+        let nj = b.not(jalr);
+        b.or(nj, not_sec_a)
+    };
+
+    let r1 = b.and(arith_rule, load_rule);
+    let r2 = b.and(r1, store_rule);
+    let r3 = b.and(r2, branch_rule);
+    let r4 = b.and(r3, jalr_rule);
+    b.and(r4, muldiv_rule)
+}
+
+/// Generates a random instruction conforming to the secret-register
+/// discipline. `include_mulh` controls whether the rudimentary testbench
+/// ever issues MULH (the paper's testbench did not exercise the multiplier
+/// high-half path).
+pub fn random_disciplined_instr(
+    rng: &mut rand::rngs::StdRng,
+    include_mulh: bool,
+) -> u64 {
+    let pub_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(0..4u64);
+    let sec_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(4..8u64);
+    let any_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(0..8u64);
+    let classes = [
+        class::ALU,
+        class::ADDI,
+        class::LOAD,
+        class::STORE,
+        class::BRANCH,
+        class::MULDIV,
+        class::JALR,
+        class::NOP,
+    ];
+    let cls = classes[rng.gen_range(0..classes.len())];
+    let (funct, rd, rs1, rs2): (u64, u64, u64, u64) = match cls {
+        class::ALU => {
+            let rs1 = any_reg(rng);
+            let rs2 = any_reg(rng);
+            let rd = if rs1 >= 4 || rs2 >= 4 {
+                sec_reg(rng)
+            } else {
+                any_reg(rng)
+            };
+            (rng.gen_range(0..8u64), rd, rs1, rs2)
+        }
+        class::MULDIV => {
+            let funct = if include_mulh {
+                rng.gen_range(0..4u64)
+            } else {
+                [0u64, 2, 3][rng.gen_range(0..3)]
+            };
+            // Results are confidential: destination is a secret register.
+            (funct, sec_reg(rng), any_reg(rng), any_reg(rng))
+        }
+        class::ADDI => {
+            let rs1 = any_reg(rng);
+            let rd = if rs1 >= 4 { sec_reg(rng) } else { any_reg(rng) };
+            // The rs2 field holds immediate bits for ADDI.
+            (rng.gen_range(0..8), rd, rs1, rng.gen_range(0..8))
+        }
+        // Loads import secrets into secret registers via public addresses;
+        // the rs2 field carries size/immediate bits.
+        class::LOAD => (
+            rng.gen_range(0..8),
+            sec_reg(rng),
+            pub_reg(rng),
+            rng.gen_range(0..8),
+        ),
+        // Stores keep their data register (rd field) and base public.
+        class::STORE => (
+            rng.gen_range(0..8),
+            pub_reg(rng),
+            pub_reg(rng),
+            rng.gen_range(0..8),
+        ),
+        class::BRANCH => (
+            rng.gen_range(0..8),
+            any_reg(rng),
+            pub_reg(rng),
+            pub_reg(rng),
+        ),
+        class::JALR => (rng.gen_range(0..8), any_reg(rng), pub_reg(rng), 0),
+        _ => (0, 0, 0, 0),
+    };
+    (cls << 13)
+        | ((funct & 7) << 10)
+        | ((rd & 7) << 7)
+        | ((rs1 & 7) << 4)
+        | ((rs2 & 7) << 1)
+        | rng.gen_range(0..2u64)
+}
+
+
+/// The cv32e40s case study: as-shipped (leaky) plus the fixed variant, the
+/// two derived constraints, and the rudimentary (MULH-free) testbench.
+pub fn case_study() -> CaseStudy {
+    let make_instance = |leaky: bool| {
+        let built = construct(leaky);
+        let module = built.module;
+        let instr = module.signal_by_name("instr_i").expect("instr");
+        let dit = module.signal_by_name("data_ind_timing").expect("dit");
+        let mut instance = DesignInstance::new(module);
+        instance.constraints.push(NamedPredicate {
+            name: "data_ind_timing_enabled".into(),
+            expr: built.dit_on,
+            restrict_testbench: Some(Rc::new(move |_m, tb| {
+                tb.fix(dit, 1);
+            })),
+        });
+        instance.constraints.push(NamedPredicate {
+            name: "secret_register_discipline".into(),
+            expr: built.discipline,
+            restrict_testbench: Some(Rc::new(move |_m, tb| {
+                tb.with_generator(instr, |_c, rng| {
+                    BitVec::from_u64(16, random_disciplined_instr(rng, false))
+                });
+            })),
+        });
+        for (name, expr) in &built.invariants {
+            instance
+                .invariants
+                .push(NamedPredicate::new(*name, *expr));
+        }
+        for (name, cond, signal_name) in &built.cond_eqs {
+            let signal = instance
+                .module
+                .signal_by_name(signal_name)
+                .expect("cond-eq signal");
+            instance.cond_eqs.push(fastpath::NamedCondEq {
+                name: (*name).into(),
+                cond: *cond,
+                signal,
+            });
+        }
+        instance
+    };
+    let mut study = CaseStudy::new("cv32e40s", make_instance(true));
+    study.fixed_instance = Some(make_instance(false));
+    study.cycles = 1500;
+    study.seed = 0xC5;
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_sim::Simulator;
+
+    /// Drives a program through the (fixed) core, one instruction per
+    /// cycle, then returns the simulator for inspection.
+    fn run_program(program: &[u64], extra_cycles: u64) -> (Module, Simulator<'static>) {
+        let module = Box::leak(Box::new(build_module(false)));
+        let mut sim = Simulator::new(module);
+        let instr = module.signal_by_name("instr_i").expect("instr");
+        let dit = module.signal_by_name("data_ind_timing").expect("dit");
+        let busy = module.signal_by_name("core_busy_o").expect("busy");
+        sim.set_input_u64(dit, 1);
+        let mut pos = 0usize;
+        let mut cycles = 0u64;
+        while pos < program.len() || cycles < extra_cycles {
+            let word = if pos < program.len() {
+                program[pos]
+            } else {
+                0xE000 // NOP
+            };
+            sim.set_input_u64(instr, word);
+            sim.settle();
+            let stalled = sim.value(busy).is_true();
+            sim.clock();
+            if !stalled && pos < program.len() {
+                pos += 1;
+            }
+            cycles += 1;
+            assert!(cycles < 10_000, "program must finish");
+            if pos >= program.len() {
+                if cycles >= extra_cycles {
+                    break;
+                }
+            }
+        }
+        for _ in 0..6 {
+            sim.set_input_u64(instr, 0xE000);
+            sim.step();
+        }
+        (module.clone(), sim)
+    }
+
+    fn encode(cls: u64, funct: u64, rd: u64, rs1: u64, rs2: u64) -> u64 {
+        (cls << 13) | (funct << 10) | (rd << 7) | (rs1 << 4) | (rs2 << 1)
+    }
+
+    fn reg_value(m: &Module, sim: &Simulator, i: usize) -> u64 {
+        let id = m.signal_by_name(&format!("x_{i}")).expect("reg");
+        sim.value(id).to_u64()
+    }
+
+    #[test]
+    fn addi_and_alu_compute() {
+        // x1 = 5; x2 = 7; x3 = x1 + x2
+        let program = [
+            encode(class::ADDI, 0, 1, 0, 0) | (5 << 0), // imm in [3:0]
+            encode(class::ADDI, 0, 2, 0, 0) | 7,
+            0xE000,
+            0xE000,
+            encode(class::ALU, 0, 3, 1, 2),
+        ];
+        let (m, sim) = run_program(&program, 20);
+        assert_eq!(reg_value(&m, &sim, 1), 5);
+        assert_eq!(reg_value(&m, &sim, 2), 7);
+        assert_eq!(reg_value(&m, &sim, 3), 12);
+    }
+
+    #[test]
+    fn division_with_dit_is_constant_latency() {
+        // Latency of a DIV must not depend on operand values when DIT=1.
+        let m = build_module(false);
+        let instr = m.signal_by_name("instr_i").expect("instr");
+        let dit = m.signal_by_name("data_ind_timing").expect("dit");
+        let busy = m.signal_by_name("core_busy_o").expect("busy");
+        let mut latencies = Vec::new();
+        for dividend in [1u64, 0x7FFF] {
+            let mut sim = Simulator::new(&m);
+            sim.set_input_u64(dit, 1);
+            // x1 = dividend (via ADDI of low bits — use value 1 vs 15 to
+            // keep it encodable, then shift);
+            let seed_val = if dividend == 1 { 1 } else { 15 };
+            let program = [
+                encode(class::ADDI, 0, 5, 0, 0) | seed_val,
+                0xE000,
+                0xE000,
+                encode(class::MULDIV, 2, 6, 5, 5), // x6 = x5 / x5
+            ];
+            let mut pos = 0;
+            let mut count = 0u64;
+            let mut div_cycles = 0u64;
+            while pos < program.len() || count < 40 {
+                let word =
+                    if pos < program.len() { program[pos] } else { 0xE000 };
+                sim.set_input_u64(instr, word);
+                sim.settle();
+                let stalled = sim.value(busy).is_true();
+                if stalled {
+                    div_cycles += 1;
+                }
+                sim.clock();
+                if !stalled && pos < program.len() {
+                    pos += 1;
+                }
+                count += 1;
+                if count >= 60 {
+                    break;
+                }
+            }
+            latencies.push(div_cycles);
+        }
+        assert_eq!(
+            latencies[0], latencies[1],
+            "DIT must equalize division latency"
+        );
+    }
+
+    #[test]
+    fn leaky_variant_exposes_operands_fixed_variant_does_not() {
+        // Run an ALU instruction (no memory access) on known operand
+        // values and watch the data bus.
+        let program = [
+            encode(class::ADDI, 0, 1, 0, 0) | 7,
+            0xE000,
+            0xE000,
+            encode(class::ALU, 0, 2, 1, 1), // x2 = x1 + x1 (operand 7)
+            0xE000,
+        ];
+        for (leaky, expect_leak) in [(true, true), (false, false)] {
+            let m = build_module(leaky);
+            let instr = m.signal_by_name("instr_i").expect("instr");
+            let dit = m.signal_by_name("data_ind_timing").expect("dit");
+            let addr_o = m.signal_by_name("data_addr_o").expect("addr");
+            let req_o = m.signal_by_name("data_req_o").expect("req");
+            let mut sim = Simulator::new(&m);
+            sim.set_input_u64(dit, 1);
+            let mut leaked = false;
+            for (i, &w) in program.iter().enumerate() {
+                sim.set_input_u64(instr, w);
+                sim.settle();
+                // When no request is active, the bus must not show operand
+                // -derived values.
+                if !sim.value(req_o).is_true()
+                    && sim.value(addr_o).to_u64() != 0
+                {
+                    leaked = true;
+                }
+                let _ = i;
+                sim.clock();
+            }
+            for _ in 0..5 {
+                sim.set_input_u64(instr, 0xE000);
+                sim.settle();
+                if !sim.value(req_o).is_true()
+                    && sim.value(addr_o).to_u64() != 0
+                {
+                    leaked = true;
+                }
+                sim.clock();
+            }
+            assert_eq!(
+                leaked, expect_leak,
+                "leak expectation for leaky={leaky}"
+            );
+        }
+    }
+
+    #[test]
+    fn branches_redirect_the_pc() {
+        // BEQ x0, x0 (always taken) with offset funct=3 -> target id_pc+6.
+        let m = build_module(false);
+        let instr = m.signal_by_name("instr_i").expect("instr");
+        let dit = m.signal_by_name("data_ind_timing").expect("dit");
+        let pc_o = m.signal_by_name("instr_addr_o").expect("pc");
+        let mut sim = Simulator::new(&m);
+        sim.set_input_u64(dit, 1);
+        let branch = encode(class::BRANCH, 3, 0, 0, 0);
+        let mut trace = Vec::new();
+        for cycle in 0..8 {
+            let word = if cycle == 0 { branch } else { 0xE000 };
+            sim.set_input_u64(instr, word);
+            sim.settle();
+            trace.push(sim.value(pc_o).to_u64());
+            sim.clock();
+        }
+        // The branch is fetched at pc=0, reaches EX at cycle 2, so pc
+        // jumps to 0+6=6 at cycle 3 instead of continuing 0,2,4,6,8.
+        assert_eq!(trace[0], 0);
+        assert_eq!(trace[1], 2);
+        assert_eq!(trace[2], 4);
+        assert_eq!(trace[3], 6, "taken branch must redirect: {trace:?}");
+    }
+
+    #[test]
+    fn disciplined_generator_satisfies_predicate() {
+        use rand::SeedableRng as _;
+        let built = construct(false);
+        let m = &built.module;
+        let instr = m.signal_by_name("instr_i").expect("instr");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut env: Vec<fastpath_rtl::BitVec> = m
+            .signals()
+            .map(|(_, s)| fastpath_rtl::BitVec::zero(s.width))
+            .collect();
+        for _ in 0..500 {
+            let word = random_disciplined_instr(&mut rng, false);
+            env[instr.index()] = fastpath_rtl::BitVec::from_u64(16, word);
+            // Evaluate just the fetch-stage part of the discipline: with an
+            // idle pipeline (valid flags 0), the whole predicate reduces to
+            // the fetch rule.
+            assert!(
+                m.eval(built.discipline, &env).is_true(),
+                "instruction {word:#06x} violates the discipline"
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The Featherweight RISC-V multiply/divide/shift (MDS) unit.
+//!
+//! A single multi-cycle functional unit shared by multiplication, division
+//! and shifting, as in the FWRISC core. Multiplication and division run a
+//! fixed 16 iterations; **shifting iterates once per shift-amount bit**, so
+//! shift timing depends on the (confidential) shift amount — the data
+//! dependency the paper's IFT run confirms. Excluding shifts (the derived
+//! *no-shifting* software constraint) makes the unit data-oblivious.
+//!
+//! Three *abort-path* registers snapshot the in-flight datapath when a new
+//! request arrives while the unit is still busy. The bundled testbench
+//! (like the paper's "simplicity of the testbench") pulses `start` at a
+//! fixed period longer than any operation, so the abort path is never
+//! exercised and the snapshots stay untainted in simulation — these are the
+//! "three additional data propagations" that only the formal step finds
+//! (Table I: IFT 5, +UPEC 8). Three further sticky flags (signed-overflow
+//! division, division by zero, equal operands) are guarded by operand
+//! comparisons and therefore found by IFT directly.
+
+use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
+use fastpath_rtl::{BitVec, Module, ModuleBuilder};
+use std::rc::Rc;
+
+const W: u32 = 16;
+
+/// Operation encodings on the `op` input.
+pub mod ops {
+    /// Low half of the product.
+    pub const MUL: u64 = 0;
+    /// High half of the product.
+    pub const MULH: u64 = 1;
+    /// Quotient.
+    pub const DIV: u64 = 2;
+    /// Remainder.
+    pub const REM: u64 = 3;
+    /// Shift left logical (variable latency!).
+    pub const SLL: u64 = 4;
+    /// Shift right logical (variable latency!).
+    pub const SRL: u64 = 5;
+    /// Shift right arithmetic (variable latency!).
+    pub const SRA: u64 = 6;
+    /// No operation.
+    pub const NOP: u64 = 7;
+}
+
+/// Builds the MDS module.
+///
+/// Interface: `start`, `op` (control); `rs1`, `rs2` (confidential);
+/// `busy_o`, `done_o` (control outputs); `result`, `status` (data outputs).
+pub fn build_module() -> Module {
+    build_with_predicate().0
+}
+
+/// Builds the module together with the `no_shifting` predicate expression
+/// (predicates must live in the module's own arena).
+pub fn build_with_predicate() -> (Module, fastpath_rtl::ExprId) {
+    let mut b = ModuleBuilder::new("fwrisc_mds");
+    let start = b.control_input("start", 1);
+    let op = b.control_input("op", 3);
+    let rs1 = b.data_input("rs1", W);
+    let rs2 = b.data_input("rs2", W);
+    let start_s = b.sig(start);
+    let op_s = b.sig(op);
+    let rs1_s = b.sig(rs1);
+    let rs2_s = b.sig(rs2);
+
+    // State.
+    let rs1_r = b.reg("rs1_r", W, 0);
+    let rs2_r = b.reg("rs2_r", W, 0);
+    let op_r = b.reg("op_r", 3, 0);
+    let count = b.reg("count", 5, 0);
+    let busy = b.reg("busy", 1, 0);
+    let done = b.reg("done", 1, 0);
+    let acc = b.reg("acc", 2 * W, 0); // multiplier accumulator
+    let mcand = b.reg("mcand", 2 * W, 0); // shifted multiplicand
+    let rem = b.reg("rem", W, 0);
+    let quo = b.reg("quo", W, 0);
+    let sh = b.reg("sh", W, 0); // iterative shifter data
+    let ovf_seen = b.reg("div_overflow_seen", 1, 0);
+    let dbz_latch = b.reg("dbz_latch", W, 0);
+    let exact_eq_seen = b.reg("exact_eq_seen", 1, 0);
+
+    let rs1r_s = b.sig(rs1_r);
+    let rs2r_s = b.sig(rs2_r);
+    let opr_s = b.sig(op_r);
+    let count_s = b.sig(count);
+    let busy_s = b.sig(busy);
+    let done_s = b.sig(done);
+    let acc_s = b.sig(acc);
+    let mcand_s = b.sig(mcand);
+    let rem_s = b.sig(rem);
+    let quo_s = b.sig(quo);
+    let sh_s = b.sig(sh);
+    let ovf_s = b.sig(ovf_seen);
+    let dbz_s = b.sig(dbz_latch);
+    let exact_s = b.sig(exact_eq_seen);
+
+    // Decode (of the *request*, at start).
+    let is_shift_req = {
+        let sll = b.eq_lit(op_s, ops::SLL);
+        let srl = b.eq_lit(op_s, ops::SRL);
+        let sra = b.eq_lit(op_s, ops::SRA);
+        let s = b.or(sll, srl);
+        b.or(s, sra)
+    };
+    let is_nop_req = b.eq_lit(op_s, ops::NOP);
+
+    // Latency: fixed 16 for mul/div, shamt for shifts (the leak), 0 for
+    // NOP.
+    let shamt = {
+        let low = b.slice(rs2_s, 3, 0);
+        b.zext(low, 5)
+    };
+    let sixteen = b.lit(5, 16);
+    let zero5 = b.lit(5, 0);
+    let latency = {
+        let base = b.mux(is_shift_req, shamt, sixteen);
+        b.mux(is_nop_req, zero5, base)
+    };
+
+    // Counter / busy / done.
+    let one5 = b.lit(5, 1);
+    let count_dec = b.sub(count_s, one5);
+    let count_step = b.mux(busy_s, count_dec, count_s);
+    let count_next = b.mux(start_s, latency, count_step);
+    b.set_next(count, count_next).expect("count");
+    let finishing = {
+        let at_one = b.eq_lit(count_s, 1);
+        b.and(busy_s, at_one)
+    };
+    let not_fin = b.not(finishing);
+    let busy_keep = b.and(busy_s, not_fin);
+    let latency_nonzero = b.ne(latency, zero5);
+    let busy_next = b.mux(start_s, latency_nonzero, busy_keep);
+    b.set_next(busy, busy_next).expect("busy");
+    let latency_zero = b.eq(latency, zero5);
+    let done_now = b.and(start_s, latency_zero);
+    let done_set = b.or(finishing, done_now);
+    let done_hold = b.or(done_s, done_set);
+    let done_next = b.mux(start_s, latency_zero, done_hold);
+    b.set_next(done, done_next).expect("done");
+
+    // Operand registers.
+    let rs1_next = b.mux(start_s, rs1_s, rs1r_s);
+    b.set_next(rs1_r, rs1_next).expect("rs1_r");
+    let rs2_next = b.mux(start_s, rs2_s, rs2r_s);
+    b.set_next(rs2_r, rs2_next).expect("rs2_r");
+    let op_next = b.mux(start_s, op_s, opr_s);
+    b.set_next(op_r, op_next).expect("op_r");
+
+    // --- multiplier: shift-and-add over 16 cycles --------------------------
+    let is_mul = {
+        let m = b.eq_lit(opr_s, ops::MUL);
+        let mh = b.eq_lit(opr_s, ops::MULH);
+        b.or(m, mh)
+    };
+    let mul_bit = b.bit(sh_s, 0);
+    let zero2w = b.lit(2 * W, 0);
+    let addend = b.mux(mul_bit, mcand_s, zero2w);
+    let acc_add = b.add(acc_s, addend);
+    let mul_step = b.and(busy_s, is_mul);
+    let acc_step = b.mux(mul_step, acc_add, acc_s);
+    let acc_next = b.mux(start_s, zero2w, acc_step);
+    b.set_next(acc, acc_next).expect("acc");
+    let one_sh = b.lit(2 * W, 1);
+    let mcand_shl = b.shl(mcand_s, one_sh);
+    let mcand_step = b.mux(mul_step, mcand_shl, mcand_s);
+    let rs1_ext = b.zext(rs1_s, 2 * W);
+    let mcand_next = b.mux(start_s, rs1_ext, mcand_step);
+    b.set_next(mcand, mcand_next).expect("mcand");
+
+    // --- divider: restoring, fixed 16 cycles --------------------------------
+    let is_div = {
+        let d = b.eq_lit(opr_s, ops::DIV);
+        let r = b.eq_lit(opr_s, ops::REM);
+        b.or(d, r)
+    };
+    let div_step = b.and(busy_s, is_div);
+    let rem_shift = {
+        let low = b.slice(rem_s, W - 2, 0);
+        let msb = b.bit(sh_s, W - 1);
+        b.concat(low, msb)
+    };
+    let ge = b.ule(rs2r_s, rem_shift);
+    let rem_sub = b.sub(rem_shift, rs2r_s);
+    let rem_stepped = b.mux(ge, rem_sub, rem_shift);
+    let rem_iter = b.mux(div_step, rem_stepped, rem_s);
+    let zero_w = b.lit(W, 0);
+    let rem_next = b.mux(start_s, zero_w, rem_iter);
+    b.set_next(rem, rem_next).expect("rem");
+    let quo_shift = {
+        let low = b.slice(quo_s, W - 2, 0);
+        b.concat(low, ge)
+    };
+    let quo_iter = b.mux(div_step, quo_shift, quo_s);
+    let quo_next = b.mux(start_s, zero_w, quo_iter);
+    b.set_next(quo, quo_next).expect("quo");
+
+    // --- shared shift register ---------------------------------------------
+    // During DIV it streams the dividend MSB-first; during shifts it holds
+    // the value being shifted one position per cycle; during MUL it streams
+    // the multiplier (LSB-first) — reusing one register as FWRISC does.
+    let is_sll = b.eq_lit(opr_s, ops::SLL);
+    let is_sra = b.eq_lit(opr_s, ops::SRA);
+    let one_w = b.lit(W, 1);
+    let sh_left = b.shl(sh_s, one_w);
+    let sh_lright = b.lshr(sh_s, one_w);
+    let sh_aright = b.ashr(sh_s, one_w);
+    let sh_right = b.mux(is_sra, sh_aright, sh_lright);
+    let sh_shifted = b.mux(is_sll, sh_left, sh_right);
+    let is_shift_r = {
+        let srl = b.eq_lit(opr_s, ops::SRL);
+        let s = b.or(is_sll, srl);
+        b.or(s, is_sra)
+    };
+    let div_stream = b.shl(sh_s, one_w);
+    let mul_stream = b.lshr(sh_s, one_w);
+    let sh_div_or_mul = b.mux(is_div, div_stream, mul_stream);
+    let sh_op = b.mux(is_shift_r, sh_shifted, sh_div_or_mul);
+    let sh_step = b.mux(busy_s, sh_op, sh_s);
+    // The register loads the multiplier (rs2) for MUL/MULH and the
+    // dividend / shift value (rs1) otherwise.
+    let is_mul_req = {
+        let m = b.eq_lit(op_s, ops::MUL);
+        let mh = b.eq_lit(op_s, ops::MULH);
+        b.or(m, mh)
+    };
+    let sh_load = b.mux(is_mul_req, rs2_s, rs1_s);
+    let sh_next = b.mux(start_s, sh_load, sh_step);
+    b.set_next(sh, sh_next).expect("sh");
+
+    // --- the three corner-case status registers ----------------------------
+    let start_div = {
+        let d = b.eq_lit(op_s, ops::DIV);
+        let r = b.eq_lit(op_s, ops::REM);
+        let dr = b.or(d, r);
+        b.and(start_s, dr)
+    };
+    // (1) signed-overflow division: INT_MIN / -1.
+    let int_min = b.lit(W, 0x8000);
+    let minus_one = b.lit(W, 0xFFFF);
+    let is_int_min = b.eq(rs1_s, int_min);
+    let is_minus_one = b.eq(rs2_s, minus_one);
+    let ovf_cond = {
+        let both = b.and(is_int_min, is_minus_one);
+        b.and(start_div, both)
+    };
+    let ovf_next = b.or(ovf_s, ovf_cond);
+    b.set_next(ovf_seen, ovf_next).expect("ovf");
+    // (2) division by zero latches the dividend (RISC-V-style result).
+    let rs2_zero = b.eq(rs2_s, zero_w);
+    let dbz_cond = b.and(start_div, rs2_zero);
+    let dbz_next = b.mux(dbz_cond, rs1_s, dbz_s);
+    b.set_next(dbz_latch, dbz_next).expect("dbz");
+    // (3) exactly equal operands on a division.
+    let eq_ops = b.eq(rs1_s, rs2_s);
+    let rs1_nonzero = b.ne(rs1_s, zero_w);
+    let exact_cond = {
+        let e = b.and(eq_ops, rs1_nonzero);
+        b.and(start_div, e)
+    };
+    let exact_next = b.or(exact_s, exact_cond);
+    b.set_next(exact_eq_seen, exact_next).expect("exact");
+
+    // --- abort-path snapshots: start while busy ------------------------------
+    // FWRISC latches the interrupted computation for debugging. The guard
+    // (`start & busy`) is public, and the bundled testbench never asserts
+    // it, so these three registers stay LOW during simulation even though
+    // they structurally receive confidential data.
+    let abort = b.and(start_s, busy_s);
+    let abort_rem = b.reg("abort_rem_snapshot", W, 0);
+    let abort_quo = b.reg("abort_quo_snapshot", W, 0);
+    let abort_stream = b.reg("abort_stream_snapshot", W, 0);
+    let ar_s = b.sig(abort_rem);
+    let aq_s = b.sig(abort_quo);
+    let as_s = b.sig(abort_stream);
+    let ar_next = b.mux(abort, rem_s, ar_s);
+    b.set_next(abort_rem, ar_next).expect("abort_rem");
+    let aq_next = b.mux(abort, quo_s, aq_s);
+    b.set_next(abort_quo, aq_next).expect("abort_quo");
+    let as_next = b.mux(abort, sh_s, as_s);
+    b.set_next(abort_stream, as_next).expect("abort_stream");
+
+    // --- outputs ------------------------------------------------------------
+    b.control_output("busy_o", busy_s);
+    b.control_output("done_o", done_s);
+    let mul_lo = b.slice(acc_s, W - 1, 0);
+    let mul_hi = b.slice(acc_s, 2 * W - 1, W);
+    let is_mulh = b.eq_lit(opr_s, ops::MULH);
+    let mul_res = b.mux(is_mulh, mul_hi, mul_lo);
+    let is_rem_op = b.eq_lit(opr_s, ops::REM);
+    let div_res = b.mux(is_rem_op, rem_s, quo_s);
+    let res_md = b.mux(is_div, div_res, mul_res);
+    let result = b.mux(is_shift_r, sh_s, res_md);
+    b.data_output("result", result);
+    let status = {
+        let flags = b.concat(ovf_s, exact_s);
+        let low = b.slice(dbz_s, 13, 0);
+        b.concat(flags, low)
+    };
+    b.data_output("status", status);
+
+    // The derived software constraint: no shift operations issued.
+    let no_shift = {
+        let four = b.lit(3, 4);
+        let below_shifts = b.ult(op_s, four);
+        let nop = b.eq_lit(op_s, ops::NOP);
+        b.or(below_shifts, nop)
+    };
+
+    (b.build().expect("fwrisc_mds module is valid"), no_shift)
+}
+
+/// The FWRISC MDS case study, with the *no-shifting* constraint in the
+/// vocabulary and a request pulse every 20 cycles.
+pub fn case_study() -> CaseStudy {
+    let (module, no_shift_expr) = build_with_predicate();
+    let start = module.signal_by_name("start").expect("start");
+    let op = module.signal_by_name("op").expect("op");
+    let mut instance = DesignInstance::new(module);
+    instance.constraints.push(NamedPredicate {
+        name: "no_shifting".into(),
+        expr: no_shift_expr,
+        restrict_testbench: Some(Rc::new(move |_m, tb| {
+            tb.with_generator(op, |_c, rng| {
+                use rand::Rng as _;
+                // MUL, MULH, DIV, REM, NOP — no shifts.
+                let choices = [0u64, 1, 2, 3, 7];
+                BitVec::from_u64(3, choices[rng.gen_range(0..5)])
+            });
+        })),
+    });
+    instance.configure_testbench = Some(Rc::new(move |_m, tb| {
+        tb.with_generator(start, |cycle, _| {
+            BitVec::from_bool(cycle % 20 == 0)
+        });
+    }));
+    let mut study = CaseStudy::new("FWRISCV-MDS", instance);
+    study.cycles = 1200;
+    study.seed = 0xF3;
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_sim::Simulator;
+
+    fn run_op(op_code: u64, rs1: u64, rs2: u64) -> (u64, u64) {
+        let m = build_module();
+        let mut sim = Simulator::new(&m);
+        let start = m.signal_by_name("start").expect("start");
+        let op = m.signal_by_name("op").expect("op");
+        let a = m.signal_by_name("rs1").expect("rs1");
+        let c = m.signal_by_name("rs2").expect("rs2");
+        let done = m.signal_by_name("done_o").expect("done");
+        let result = m.signal_by_name("result").expect("result");
+        sim.set_input_u64(start, 1);
+        sim.set_input_u64(op, op_code);
+        sim.set_input_u64(a, rs1);
+        sim.set_input_u64(c, rs2);
+        sim.step();
+        sim.set_input_u64(start, 0);
+        let mut cycles = 1u64;
+        loop {
+            sim.settle();
+            if sim.value(done).is_true() {
+                break;
+            }
+            sim.step();
+            cycles += 1;
+            assert!(cycles < 40, "operation must terminate");
+        }
+        (sim.value(result).to_u64(), cycles)
+    }
+
+    #[test]
+    fn multiplication_results() {
+        let (lo, lat1) = run_op(ops::MUL, 1234, 567);
+        assert_eq!(lo, (1234u64 * 567) & 0xFFFF);
+        let (hi, lat2) = run_op(ops::MULH, 1234, 567);
+        assert_eq!(hi, (1234u64 * 567) >> 16);
+        assert_eq!(lat1, lat2, "multiplication latency is fixed");
+    }
+
+    #[test]
+    fn division_results() {
+        let (q, _) = run_op(ops::DIV, 1000, 7);
+        assert_eq!(q, 142);
+        let (r, _) = run_op(ops::REM, 1000, 7);
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn division_latency_is_fixed_even_for_zero_divisor() {
+        let (_, lat_a) = run_op(ops::DIV, 1000, 7);
+        let (_, lat_b) = run_op(ops::DIV, 1000, 0);
+        let (_, lat_c) = run_op(ops::DIV, 0xFFFF, 1);
+        assert_eq!(lat_a, lat_b);
+        assert_eq!(lat_a, lat_c);
+    }
+
+    #[test]
+    fn shift_results_and_variable_latency() {
+        let (v, lat3) = run_op(ops::SLL, 0x0001, 3);
+        assert_eq!(v, 0x0008);
+        let (v, lat12) = run_op(ops::SRL, 0x8000, 12);
+        assert_eq!(v, 0x0008);
+        let (v, _) = run_op(ops::SRA, 0x8000, 3);
+        assert_eq!(v, 0xF000);
+        assert_eq!(lat12, lat3 + 9, "latency equals the shift amount");
+    }
+
+    #[test]
+    fn corner_case_flags_latch() {
+        // Overflow division INT_MIN / -1.
+        let m = build_module();
+        let mut sim = Simulator::new(&m);
+        let start = m.signal_by_name("start").expect("start");
+        let op = m.signal_by_name("op").expect("op");
+        let a = m.signal_by_name("rs1").expect("rs1");
+        let c = m.signal_by_name("rs2").expect("rs2");
+        let ovf = m.signal_by_name("div_overflow_seen").expect("ovf");
+        sim.set_input_u64(start, 1);
+        sim.set_input_u64(op, ops::DIV);
+        sim.set_input_u64(a, 0x8000);
+        sim.set_input_u64(c, 0xFFFF);
+        sim.step();
+        assert!(sim.value(ovf).is_true());
+    }
+}

@@ -1,0 +1,74 @@
+//! # fastpath-designs
+//!
+//! The eight case-study designs of the paper's Table I, rebuilt on the
+//! `fastpath-rtl` IR (see DESIGN.md for the substitution rationale):
+//!
+//! | Design | Module | Expected outcome |
+//! |---|---|---|
+//! | SHA512 | [`sha512`] | True via HFG |
+//! | AES (opencores) | [`aes_opencores`] | True via HFG |
+//! | AES (secworks) | [`aes_secworks`] | True via HFG |
+//! | CVA6-DIV | [`cva6_div`] | Constrained via UPEC |
+//! | FWRISCV-MDS | [`fwrisc_mds`] | Constrained via UPEC |
+//! | ZipCPU-DIV | [`zipcpu_div`] | False via IFT |
+//! | cv32e40s | [`cv32e40s`] | Constrained via UPEC + operand leak |
+//! | BOOM | [`boom`] | Constrained via UPEC |
+//!
+//! Each module provides `build_module()` (the raw RTL) and `case_study()`
+//! (the module packaged with its security specification vocabulary for the
+//! [`fastpath`] flow).
+
+#![warn(missing_docs)]
+
+pub mod aes_opencores;
+pub mod aes_round;
+pub mod aes_secworks;
+pub mod boom;
+pub mod common;
+pub mod cv32e40s;
+pub mod cva6_div;
+pub mod fwrisc_mds;
+pub mod sha512;
+pub mod zipcpu_div;
+
+use fastpath::CaseStudy;
+
+/// All eight case studies in Table I row order.
+pub fn all_case_studies() -> Vec<CaseStudy> {
+    vec![
+        sha512::case_study(),
+        aes_opencores::case_study(),
+        aes_secworks::case_study(),
+        cva6_div::case_study(),
+        fwrisc_mds::case_study(),
+        zipcpu_div::case_study(),
+        cv32e40s::case_study(),
+        boom::case_study(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_studies_build() {
+        let studies = all_case_studies();
+        assert_eq!(studies.len(), 8);
+        let names: Vec<&str> =
+            studies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "SHA512",
+                "AES (opencores)",
+                "AES (secworks)",
+                "CVA6-DIV",
+                "FWRISCV-MDS",
+                "ZipCPU-DIV",
+                "cv32e40s",
+                "BOOM"
+            ]
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! The ZipCPU-style sequential divider.
+//!
+//! One quotient bit per cycle, **plus** the data-dependent behaviours the
+//! paper's IFT run flags:
+//!
+//! - *early termination for a divisor of zero* (raise `err` and finish
+//!   immediately instead of iterating), and
+//! - a sign-normalisation *pre-cycle* taken only for negative signed
+//!   operands.
+//!
+//! Both make the `busy`/`done` timing a function of the confidential
+//! operands. There is no reasonable software constraint that removes the
+//! dependency, so the verdict is *False*, established already by the IFT
+//! simulation — the design never reaches the formal stage (Table I row
+//! "ZipCPU-DIV": method IFT, result False).
+
+use fastpath::{CaseStudy, DesignInstance};
+use fastpath_rtl::{Module, ModuleBuilder};
+
+const WIDTH: u32 = 16;
+
+/// Builds the divider module.
+///
+/// Interface: `start`, `signed_op` (control); `dividend`, `divisor`
+/// (confidential); `busy`, `done`, `err` (control outputs); `quotient`
+/// (data output).
+pub fn build_module() -> Module {
+    let mut b = ModuleBuilder::new("zipcpu_div");
+    let start = b.control_input("start", 1);
+    let signed_op = b.control_input("signed_op", 1);
+    let dividend = b.data_input("dividend", WIDTH);
+    let divisor = b.data_input("divisor", WIDTH);
+    let start_sig = b.sig(start);
+    let signed_sig = b.sig(signed_op);
+    let dividend_sig = b.sig(dividend);
+    let divisor_sig = b.sig(divisor);
+
+    // State: operand copies, remainder/quotient accumulators, bit counter,
+    // busy/done/err flags, and a pre-cycle flag for sign normalisation.
+    let num = b.reg("num", WIDTH, 0);
+    let den = b.reg("den", WIDTH, 0);
+    let quo = b.reg("quo", WIDTH, 0);
+    let rem = b.reg("rem", WIDTH, 0);
+    let count = b.reg("count", 5, 0);
+    let busy = b.reg("busy", 1, 0);
+    let done = b.reg("done", 1, 0);
+    let err = b.reg("err", 1, 0);
+    let pre = b.reg("pre_cycle", 1, 0);
+    let neg_out = b.reg("negate_result", 1, 0);
+
+    let num_s = b.sig(num);
+    let den_s = b.sig(den);
+    let quo_s = b.sig(quo);
+    let rem_s = b.sig(rem);
+    let count_s = b.sig(count);
+    let busy_s = b.sig(busy);
+    let done_s = b.sig(done);
+    let err_s = b.sig(err);
+    let pre_s = b.sig(pre);
+    let neg_s = b.sig(neg_out);
+
+    // Start conditions — all functions of the *data*:
+    let zero_w = b.lit(WIDTH, 0);
+    let div_by_zero = b.eq(divisor_sig, zero_w);
+    let num_neg = b.bit(dividend_sig, WIDTH - 1);
+    let den_neg = b.bit(divisor_sig, WIDTH - 1);
+    let any_neg = b.or(num_neg, den_neg);
+    let needs_pre = b.and(signed_sig, any_neg);
+
+    // busy: set at start unless dividing by zero; cleared when the counter
+    // reaches the last bit.
+    let last_bit = b.eq_lit(count_s, (WIDTH - 1) as u64);
+    let iterating = {
+        let not_pre = b.not(pre_s);
+        b.and(busy_s, not_pre)
+    };
+    let finishing = b.and(iterating, last_bit);
+    let not_fin = b.not(finishing);
+    let busy_keep = b.and(busy_s, not_fin);
+    let not_dbz = b.not(div_by_zero);
+    let busy_next = b.mux(start_sig, not_dbz, busy_keep);
+    b.set_next(busy, busy_next).expect("busy");
+
+    // The early-termination leak: `done`/`err` fire immediately on a zero
+    // divisor.
+    let done_hold = b.or(done_s, finishing);
+    let done_next = b.mux(start_sig, div_by_zero, done_hold);
+    b.set_next(done, done_next).expect("done");
+    let err_next = b.mux(start_sig, div_by_zero, err_s);
+    b.set_next(err, err_next).expect("err");
+
+    // Sign pre-cycle: one extra cycle of latency for negative operands.
+    // The flag is consumed (cleared) after a single cycle.
+    let f2 = b.bit_lit(false);
+    let pre_clear = b.mux(pre_s, f2, pre_s);
+    let pre_next = b.mux(start_sig, needs_pre, pre_clear);
+    b.set_next(pre, pre_next).expect("pre");
+
+    // Counter.
+    let one5 = b.lit(5, 1);
+    let count_inc = b.add(count_s, one5);
+    let count_step = b.mux(iterating, count_inc, count_s);
+    let zero5 = b.lit(5, 0);
+    let count_next = b.mux(start_sig, zero5, count_step);
+    b.set_next(count, count_next).expect("count");
+
+    // Operand normalisation (absolute values) during the pre-cycle.
+    let num_abs = {
+        let neg = b.neg(num_s);
+        let nn = b.bit(num_s, WIDTH - 1);
+        b.mux(nn, neg, num_s)
+    };
+    let den_abs = {
+        let neg = b.neg(den_s);
+        let dn = b.bit(den_s, WIDTH - 1);
+        b.mux(dn, neg, den_s)
+    };
+    let num_norm = b.mux(pre_s, num_abs, num_s);
+    let den_norm = b.mux(pre_s, den_abs, den_s);
+    // Shift the dividend out MSB-first during iteration.
+    let num_shifted = {
+        let low = b.slice(num_s, WIDTH - 2, 0);
+        let fbit = b.bit_lit(false);
+        b.concat(low, fbit)
+    };
+    let num_iter = b.mux(iterating, num_shifted, num_norm);
+    let num_next = b.mux(start_sig, dividend_sig, num_iter);
+    b.set_next(num, num_next).expect("num");
+    let den_next = b.mux(start_sig, divisor_sig, den_norm);
+    b.set_next(den, den_next).expect("den");
+
+    // Restoring division step.
+    let rem_shift = {
+        let low = b.slice(rem_s, WIDTH - 2, 0);
+        let msb = b.bit(num_s, WIDTH - 1);
+        b.concat(low, msb)
+    };
+    let ge = b.ule(den_s, rem_shift);
+    let rem_sub = b.sub(rem_shift, den_s);
+    let rem_stepped = b.mux(ge, rem_sub, rem_shift);
+    let rem_iter = b.mux(iterating, rem_stepped, rem_s);
+    let rem_next = b.mux(start_sig, zero_w, rem_iter);
+    b.set_next(rem, rem_next).expect("rem");
+
+    let quo_shift = {
+        let low = b.slice(quo_s, WIDTH - 2, 0);
+        b.concat(low, ge)
+    };
+    let quo_iter = b.mux(iterating, quo_shift, quo_s);
+    let quo_next = b.mux(start_sig, zero_w, quo_iter);
+    b.set_next(quo, quo_next).expect("quo");
+
+    let neg_needed = {
+        let nn = b.bit(num_s, WIDTH - 1);
+        let dn = b.bit(den_s, WIDTH - 1);
+        let x = b.xor(nn, dn);
+        b.and(signed_sig, x)
+    };
+    let neg_next = b.mux(pre_s, neg_needed, neg_s);
+    b.set_next(neg_out, neg_next).expect("neg");
+
+    // Observable control interface.
+    b.control_output("busy_o", busy_s);
+    b.control_output("done_o", done_s);
+    b.control_output("err_o", err_s);
+    // Result (intended data sink).
+    let quo_neg = b.neg(quo_s);
+    let result = b.mux(neg_s, quo_neg, quo_s);
+    b.data_output("quotient", result);
+
+    b.build().expect("zipcpu_div module is valid")
+}
+
+/// The ZipCPU divider case study: no constraint vocabulary — the timing
+/// dependency is inherent.
+pub fn case_study() -> CaseStudy {
+    let mut study =
+        CaseStudy::new("ZipCPU-DIV", DesignInstance::new(build_module()));
+    study.cycles = 600;
+    study.seed = 0x21;
+    // Pulse `start` every 24 cycles so divisions complete in between.
+    let module = &study.instance.module;
+    let start = module.signal_by_name("start").expect("start");
+    study.instance.configure_testbench =
+        Some(std::rc::Rc::new(move |_m, tb| {
+            tb.with_generator(start, |cycle, _| {
+                fastpath_rtl::BitVec::from_bool(cycle % 24 == 0)
+            });
+        }));
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_sim::Simulator;
+
+    fn run_division(
+        dividend: u64,
+        divisor: u64,
+        signed_op: bool,
+    ) -> (u64, u64, bool) {
+        let m = build_module();
+        let mut sim = Simulator::new(&m);
+        let start = m.signal_by_name("start").expect("start");
+        let s = m.signal_by_name("signed_op").expect("signed");
+        let nd = m.signal_by_name("dividend").expect("dividend");
+        let dd = m.signal_by_name("divisor").expect("divisor");
+        let done = m.signal_by_name("done_o").expect("done");
+        let err = m.signal_by_name("err_o").expect("err");
+        let q = m.signal_by_name("quotient").expect("quotient");
+        sim.set_input_u64(start, 1);
+        sim.set_input_u64(s, signed_op as u64);
+        sim.set_input_u64(nd, dividend);
+        sim.set_input_u64(dd, divisor);
+        sim.step();
+        sim.set_input_u64(start, 0);
+        let mut cycles = 1u64;
+        loop {
+            sim.settle();
+            if sim.value(done).is_true() {
+                break;
+            }
+            sim.step();
+            cycles += 1;
+            assert!(cycles < 60, "division must terminate");
+        }
+        (sim.value(q).to_u64(), cycles, sim.value(err).is_true())
+    }
+
+    #[test]
+    fn unsigned_quotients_are_correct() {
+        for (a, d) in [(100u64, 7u64), (65535, 255), (5, 9), (42, 1)] {
+            let (q, _, err) = run_division(a, d, false);
+            assert!(!err);
+            assert_eq!(q, a / d, "{a}/{d}");
+        }
+    }
+
+    #[test]
+    fn signed_division_handles_negatives() {
+        // -100 / 7 = -14 (truncated)
+        let minus_100 = (!100u64 + 1) & 0xFFFF;
+        let (q, _, err) = run_division(minus_100, 7, true);
+        assert!(!err);
+        let expected = (!14u64 + 1) & 0xFFFF;
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn divide_by_zero_terminates_early_with_error() {
+        let (_, cycles_err, err) = run_division(1234, 0, false);
+        assert!(err);
+        let (_, cycles_ok, _) = run_division(1234, 5, false);
+        assert!(
+            cycles_err < cycles_ok,
+            "early termination must be observable: {cycles_err} vs \
+             {cycles_ok}"
+        );
+    }
+
+    #[test]
+    fn signed_negative_operands_take_a_pre_cycle() {
+        let (_, lat_pos, _) = run_division(100, 7, true);
+        let minus_100 = (!100u64 + 1) & 0xFFFF;
+        let (_, lat_neg, _) = run_division(minus_100, 7, true);
+        assert_eq!(lat_neg, lat_pos + 1, "sign pre-cycle adds latency");
+    }
+}

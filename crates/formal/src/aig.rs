@@ -1,0 +1,329 @@
+//! And-Inverter Graph (AIG) with structural hashing.
+//!
+//! The AIG is the bit-level representation the formal engine lowers RTL
+//! into before CNF encoding. Nodes are 2-input AND gates; inversion is a
+//! complement bit on edges; node 0 is the constant FALSE. Structural
+//! hashing plus local simplification (constant folding, idempotence,
+//! contradiction) keeps the graph compact.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Not;
+
+/// An AIG edge: a node index with a complement bit (`node << 1 | compl`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant false literal.
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant true literal.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// The node this literal points at.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// `true` iff the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` for the two constant literals.
+    pub fn is_constant(self) -> bool {
+        self.node() == 0
+    }
+
+    fn new(node: usize, complemented: bool) -> Self {
+        AigLit(((node as u32) << 1) | complemented as u32)
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    /// Constant false (node 0 only).
+    False,
+    /// A free primary input.
+    Input,
+    /// A 2-input AND gate.
+    And(AigLit, AigLit),
+}
+
+/// An And-Inverter Graph.
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_formal::{Aig, AigLit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.input();
+/// let b = aig.input();
+/// let c = aig.and(a, b);
+/// // Structural hashing: the same AND is the same literal.
+/// assert_eq!(aig.and(a, b), c);
+/// // Local simplification: x & !x == false.
+/// assert_eq!(aig.and(a, !a), AigLit::FALSE);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(AigLit, AigLit), usize>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::False],
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The number of nodes (including the constant and inputs).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of AND gates.
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// Allocates a fresh primary input.
+    pub fn input(&mut self) -> AigLit {
+        let id = self.nodes.len();
+        self.nodes.push(Node::Input);
+        AigLit::new(id, false)
+    }
+
+    /// A constant literal from a `bool`.
+    pub fn constant(&self, value: bool) -> AigLit {
+        if value {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+
+    /// `a AND b`, with constant folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Local simplifications.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(x, y)) {
+            return AigLit::new(node, false);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::And(x, y));
+        self.strash.insert((x, y), id);
+        AigLit::new(id, false)
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let l = self.and(a, !b);
+        let r = self.and(!a, b);
+        self.or(l, r)
+    }
+
+    /// `a XNOR b` (equivalence).
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// `if s then a else b`.
+    pub fn mux(&mut self, s: AigLit, a: AigLit, b: AigLit) -> AigLit {
+        let t = self.and(s, a);
+        let e = self.and(!s, b);
+        self.or(t, e)
+    }
+
+    /// AND over a list (`true` for empty).
+    pub fn and_all(&mut self, lits: &[AigLit]) -> AigLit {
+        lits.iter()
+            .fold(AigLit::TRUE, |acc, &l| self.and(acc, l))
+    }
+
+    /// OR over a list (`false` for empty).
+    pub fn or_all(&mut self, lits: &[AigLit]) -> AigLit {
+        lits.iter()
+            .fold(AigLit::FALSE, |acc, &l| self.or(acc, l))
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    pub fn full_adder(
+        &mut self,
+        a: AigLit,
+        b: AigLit,
+        carry_in: AigLit,
+    ) -> (AigLit, AigLit) {
+        let ab = self.xor(a, b);
+        let sum = self.xor(ab, carry_in);
+        let c1 = self.and(a, b);
+        let c2 = self.and(ab, carry_in);
+        let carry = self.or(c1, c2);
+        (sum, carry)
+    }
+
+    /// Evaluates a literal given values for every input node, used for
+    /// counterexample replay and testing.
+    ///
+    /// `inputs[node]` supplies the value of input node `node` (entries for
+    /// non-input nodes are ignored).
+    pub fn eval(&self, lit: AigLit, inputs: &[bool]) -> bool {
+        let mut values: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        self.eval_memo(lit, inputs, &mut values)
+    }
+
+    fn eval_memo(
+        &self,
+        lit: AigLit,
+        inputs: &[bool],
+        values: &mut Vec<Option<bool>>,
+    ) -> bool {
+        let node_value = if let Some(v) = values[lit.node()] {
+            v
+        } else {
+            let v = match self.nodes[lit.node()] {
+                Node::False => false,
+                Node::Input => inputs[lit.node()],
+                Node::And(a, b) => {
+                    self.eval_memo(a, inputs, values)
+                        && self.eval_memo(b, inputs, values)
+                }
+            };
+            values[lit.node()] = Some(v);
+            v
+        };
+        node_value ^ lit.is_complemented()
+    }
+
+    /// Whether a node is a primary input.
+    pub fn is_input(&self, node: usize) -> bool {
+        matches!(self.nodes[node], Node::Input)
+    }
+
+    /// The fanins of an AND node, if it is one.
+    pub fn and_fanins(&self, node: usize) -> Option<(AigLit, AigLit)> {
+        match self.nodes[node] {
+            Node::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(a, AigLit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.or(a, !a), AigLit::TRUE);
+    }
+
+    #[test]
+    fn structural_hashing_is_commutative() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        assert_eq!(g.and(a, b), g.and(b, a));
+        let before = g.node_count();
+        let _ = g.and(b, a);
+        assert_eq!(g.node_count(), before);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        let an = a.node();
+        let bn = b.node();
+        let mut inputs = vec![false; g.node_count()];
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)]
+        {
+            inputs[an] = va;
+            inputs[bn] = vb;
+            assert_eq!(g.eval(x, &inputs), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut g = Aig::new();
+        let s = g.input();
+        let a = g.input();
+        let b = g.input();
+        let m = g.mux(s, a, b);
+        let mut inputs = vec![false; g.node_count()];
+        inputs[a.node()] = true;
+        inputs[b.node()] = false;
+        inputs[s.node()] = true;
+        assert!(g.eval(m, &inputs));
+        inputs[s.node()] = false;
+        assert!(!g.eval(m, &inputs));
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let (sum, carry) = g.full_adder(a, b, c);
+        let mut inputs = vec![false; g.node_count()];
+        for bits in 0..8u32 {
+            let (va, vb, vc) =
+                (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            inputs[a.node()] = va;
+            inputs[b.node()] = vb;
+            inputs[c.node()] = vc;
+            let total = va as u32 + vb as u32 + vc as u32;
+            assert_eq!(g.eval(sum, &inputs), total % 2 == 1);
+            assert_eq!(g.eval(carry, &inputs), total >= 2);
+        }
+    }
+}

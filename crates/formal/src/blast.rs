@@ -1,0 +1,369 @@
+//! Bit-blasting: lowering word-level RTL expressions into the AIG.
+//!
+//! A [`Frame`] is one time-step view of a module: every signal mapped to a
+//! vector of AIG literals. Leaves (inputs and registers) are supplied by
+//! the caller — as fresh AIG inputs for a symbolic state, as constants for
+//! a reset state, or shared with another instance to encode equality for
+//! free — and the combinational signals are derived from the drivers.
+
+use crate::aig::{Aig, AigLit};
+use crate::words::{
+    add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word,
+    not_word, or_word, reduce_and_word, reduce_or_word, reduce_xor_word,
+    sext_word, shift_word, sle_word, slt_word, sub_word, ule_word, ult_word,
+    xor_word, zext_word, ShiftKind,
+};
+use fastpath_rtl::{
+    BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp,
+};
+
+/// One time-frame of a module in the AIG: a word of literals per signal.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    bits: Vec<Vec<AigLit>>,
+}
+
+impl Frame {
+    /// The literal vector of a signal (LSB first).
+    pub fn signal(&self, id: SignalId) -> &[AigLit] {
+        &self.bits[id.index()]
+    }
+}
+
+/// How to create the leaf (input/register) literals of a frame.
+pub trait LeafSource {
+    /// Produces the literal vector for leaf signal `id` of width `width`.
+    fn leaf(&mut self, aig: &mut Aig, id: SignalId, width: u32)
+        -> Vec<AigLit>;
+}
+
+/// Leaves as fresh symbolic AIG inputs.
+#[derive(Debug, Default)]
+pub struct SymbolicLeaves;
+
+impl LeafSource for SymbolicLeaves {
+    fn leaf(
+        &mut self,
+        aig: &mut Aig,
+        _id: SignalId,
+        width: u32,
+    ) -> Vec<AigLit> {
+        (0..width).map(|_| aig.input()).collect()
+    }
+}
+
+/// Leaves from a fixed assignment (used for reset states in BMC).
+#[derive(Debug)]
+pub struct ConstantLeaves<'v> {
+    /// Values per signal index; signals without a value become symbolic.
+    pub values: Vec<Option<&'v BitVec>>,
+}
+
+impl LeafSource for ConstantLeaves<'_> {
+    fn leaf(
+        &mut self,
+        aig: &mut Aig,
+        id: SignalId,
+        width: u32,
+    ) -> Vec<AigLit> {
+        match self.values.get(id.index()).copied().flatten() {
+            Some(v) => constant_word(aig, width, |i| v.bit(i)),
+            None => (0..width).map(|_| aig.input()).collect(),
+        }
+    }
+}
+
+/// Builds a frame: leaves from `source`, combinational signals derived.
+pub fn build_frame(
+    aig: &mut Aig,
+    module: &Module,
+    source: &mut dyn LeafSource,
+) -> Frame {
+    let mut bits: Vec<Vec<AigLit>> = vec![Vec::new(); module.signal_count()];
+    for (id, signal) in module.signals() {
+        if matches!(signal.kind, SignalKind::Input | SignalKind::Register) {
+            bits[id.index()] = source.leaf(aig, id, signal.width);
+        }
+    }
+    complete_frame(aig, module, bits)
+}
+
+/// Builds a frame whose leaf literals are given explicitly (inputs and
+/// registers); derives the combinational signals.
+pub fn build_frame_with_leaves(
+    aig: &mut Aig,
+    module: &Module,
+    leaves: Vec<Vec<AigLit>>,
+) -> Frame {
+    complete_frame(aig, module, leaves)
+}
+
+fn complete_frame(
+    aig: &mut Aig,
+    module: &Module,
+    mut bits: Vec<Vec<AigLit>>,
+) -> Frame {
+    let mut memo: Vec<Option<Vec<AigLit>>> = vec![None; module.expr_count()];
+    for &sig in module.comb_order() {
+        let driver = module.driver(sig).expect("comb signal driven");
+        let word = blast_expr(aig, module, &bits, &mut memo, driver);
+        bits[sig.index()] = word;
+    }
+    Frame { bits }
+}
+
+/// The next-state words of every register, computed from `frame`.
+///
+/// Returned in the order of [`Module::state_signals`].
+pub fn next_state(
+    aig: &mut Aig,
+    module: &Module,
+    frame: &Frame,
+) -> Vec<Vec<AigLit>> {
+    let mut memo: Vec<Option<Vec<AigLit>>> = vec![None; module.expr_count()];
+    module
+        .state_signals()
+        .into_iter()
+        .map(|reg| {
+            let driver = module.driver(reg).expect("register driven");
+            blast_expr(aig, module, &frame.bits, &mut memo, driver)
+        })
+        .collect()
+}
+
+/// Bit-blasts a single (1-bit or wider) expression in the context of a
+/// frame. Useful for constraint and invariant predicates.
+pub fn blast_expr_in_frame(
+    aig: &mut Aig,
+    module: &Module,
+    frame: &Frame,
+    expr: ExprId,
+) -> Vec<AigLit> {
+    let mut memo: Vec<Option<Vec<AigLit>>> = vec![None; module.expr_count()];
+    blast_expr(aig, module, &frame.bits, &mut memo, expr)
+}
+
+fn blast_expr(
+    aig: &mut Aig,
+    module: &Module,
+    env: &[Vec<AigLit>],
+    memo: &mut Vec<Option<Vec<AigLit>>>,
+    root: ExprId,
+) -> Vec<AigLit> {
+    if let Some(word) = &memo[root.index()] {
+        return word.clone();
+    }
+    let word = match module.expr(root).clone() {
+        Expr::Const(v) => constant_word(aig, v.width(), |i| v.bit(i)),
+        Expr::Signal(s) => {
+            debug_assert!(
+                !env[s.index()].is_empty(),
+                "signal `{}` read before defined during blasting",
+                module.signal(s).name
+            );
+            env[s.index()].clone()
+        }
+        Expr::Unary(op, a) => {
+            let a = blast_expr(aig, module, env, memo, a);
+            match op {
+                UnaryOp::Not => not_word(&a),
+                UnaryOp::Neg => neg_word(aig, &a),
+                UnaryOp::RedAnd => vec![reduce_and_word(aig, &a)],
+                UnaryOp::RedOr => vec![reduce_or_word(aig, &a)],
+                UnaryOp::RedXor => vec![reduce_xor_word(aig, &a)],
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let a = blast_expr(aig, module, env, memo, a);
+            let b = blast_expr(aig, module, env, memo, b);
+            match op {
+                BinaryOp::And => and_word(aig, &a, &b),
+                BinaryOp::Or => or_word(aig, &a, &b),
+                BinaryOp::Xor => xor_word(aig, &a, &b),
+                BinaryOp::Add => add_word(aig, &a, &b),
+                BinaryOp::Sub => sub_word(aig, &a, &b),
+                BinaryOp::Mul => mul_word(aig, &a, &b),
+                BinaryOp::Shl => shift_word(aig, ShiftKind::Shl, &a, &b),
+                BinaryOp::Lshr => shift_word(aig, ShiftKind::Lshr, &a, &b),
+                BinaryOp::Ashr => shift_word(aig, ShiftKind::Ashr, &a, &b),
+                BinaryOp::Eq => vec![eq_word(aig, &a, &b)],
+                BinaryOp::Ne => vec![!eq_word(aig, &a, &b)],
+                BinaryOp::Ult => vec![ult_word(aig, &a, &b)],
+                BinaryOp::Ule => vec![ule_word(aig, &a, &b)],
+                BinaryOp::Slt => vec![slt_word(aig, &a, &b)],
+                BinaryOp::Sle => vec![sle_word(aig, &a, &b)],
+            }
+        }
+        Expr::Mux {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            let c = blast_expr(aig, module, env, memo, cond);
+            let t = blast_expr(aig, module, env, memo, then_expr);
+            let e = blast_expr(aig, module, env, memo, else_expr);
+            mux_word(aig, c[0], &t, &e)
+        }
+        Expr::Slice { arg, hi, lo } => {
+            let a = blast_expr(aig, module, env, memo, arg);
+            a[lo as usize..=hi as usize].to_vec()
+        }
+        Expr::Concat(hi, lo) => {
+            let h = blast_expr(aig, module, env, memo, hi);
+            let mut l = blast_expr(aig, module, env, memo, lo);
+            l.extend(h);
+            l
+        }
+        Expr::Zext { arg, width } => {
+            let a = blast_expr(aig, module, env, memo, arg);
+            zext_word(&a, width)
+        }
+        Expr::Sext { arg, width } => {
+            let a = blast_expr(aig, module, env, memo, arg);
+            sext_word(&a, width)
+        }
+    };
+    memo[root.index()] = Some(word.clone());
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::ModuleBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Cross-checks bit-blasted semantics against the interpreter on random
+    /// inputs for a module exercising every operator.
+    #[test]
+    fn frame_matches_interpreter_on_operator_soup() {
+        let mut b = ModuleBuilder::new("soup");
+        let a = b.input("a", 13);
+        let c = b.input("c", 13);
+        let sh = b.input("sh", 4);
+        let a_sig = b.sig(a);
+        let c_sig = b.sig(c);
+        let sh_sig = b.sig(sh);
+        let mut outs = Vec::new();
+        let add = b.add(a_sig, c_sig);
+        outs.push(b.output("o_add", add));
+        let sub = b.sub(a_sig, c_sig);
+        outs.push(b.output("o_sub", sub));
+        let mul = b.mul(a_sig, c_sig);
+        outs.push(b.output("o_mul", mul));
+        let xo = b.xor(a_sig, c_sig);
+        let an = b.and(a_sig, xo);
+        let orr = b.or(an, c_sig);
+        outs.push(b.output("o_logic", orr));
+        let shl = b.shl(a_sig, sh_sig);
+        outs.push(b.output("o_shl", shl));
+        let lshr = b.lshr(a_sig, sh_sig);
+        outs.push(b.output("o_lshr", lshr));
+        let ashr = b.ashr(a_sig, sh_sig);
+        outs.push(b.output("o_ashr", ashr));
+        let ult = b.ult(a_sig, c_sig);
+        let slt = b.slt(a_sig, c_sig);
+        let ule = b.ule(a_sig, c_sig);
+        let sle = b.sle(a_sig, c_sig);
+        let eq = b.eq(a_sig, c_sig);
+        let cmps = b.concat_all(&[ult, slt, ule, sle, eq]);
+        outs.push(b.output("o_cmp", cmps));
+        let neg = b.neg(a_sig);
+        outs.push(b.output("o_neg", neg));
+        let nt = b.not(a_sig);
+        outs.push(b.output("o_not", nt));
+        let ra = b.red_and(a_sig);
+        let ro = b.red_or(a_sig);
+        let rx = b.red_xor(a_sig);
+        let reds = b.concat_all(&[ra, ro, rx]);
+        outs.push(b.output("o_red", reds));
+        let sl = b.slice(a_sig, 9, 3);
+        let se = b.sext(sl, 13);
+        let ze = b.zext(sl, 13);
+        let mixed = b.mux(eq, se, ze);
+        outs.push(b.output("o_mix", mixed));
+        let m = b.build().expect("valid");
+
+        let mut aig = Aig::new();
+        let mut leaves = SymbolicLeaves;
+        let frame = build_frame(&mut aig, &m, &mut leaves);
+
+        let mut rng = StdRng::seed_from_u64(0xB1A57);
+        for _ in 0..200 {
+            let va = rng.gen_range(0..(1u64 << 13));
+            let vc = rng.gen_range(0..(1u64 << 13));
+            let vsh = rng.gen_range(0..16u64);
+            // Build the AIG input assignment.
+            let mut inputs = vec![false; aig.node_count()];
+            let assign = |inputs: &mut Vec<bool>,
+                          frame: &Frame,
+                          sig: SignalId,
+                          val: u64| {
+                for (i, &lit) in frame.signal(sig).iter().enumerate() {
+                    inputs[lit.node()] = (val >> i) & 1 == 1;
+                }
+            };
+            assign(&mut inputs, &frame, a, va);
+            assign(&mut inputs, &frame, c, vc);
+            assign(&mut inputs, &frame, sh, vsh);
+            // Interpreter environment.
+            let mut env: Vec<BitVec> =
+                m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+            env[a.index()] = BitVec::from_u64(13, va);
+            env[c.index()] = BitVec::from_u64(13, vc);
+            env[sh.index()] = BitVec::from_u64(4, vsh);
+            for &out in &outs {
+                let driver = m.driver(out).expect("driven");
+                let expected = m.eval(driver, &env);
+                let got: u64 = frame
+                    .signal(out)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &lit)| (aig.eval(lit, &inputs) as u64) << i)
+                    .sum();
+                assert_eq!(
+                    got,
+                    expected.to_u64(),
+                    "output {} with a={va} c={vc} sh={vsh}",
+                    m.signal(out).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_leaves_fix_registers() {
+        let mut b = ModuleBuilder::new("m");
+        let r = b.reg("r", 8, 0x5A);
+        let r_sig = b.sig(r);
+        b.output("out", r_sig);
+        let one = b.lit(8, 1);
+        let next = b.add(r_sig, one);
+        b.set_next(r, next).expect("drive");
+        let m = b.build().expect("valid");
+
+        let inits: Vec<Option<&BitVec>> =
+            m.signals().map(|(_, s)| s.init.as_ref()).collect();
+        let mut aig = Aig::new();
+        let mut leaves = ConstantLeaves { values: inits };
+        let frame = build_frame(&mut aig, &m, &mut leaves);
+        let out = m.signal_by_name("out").expect("out");
+        let inputs = vec![false; aig.node_count()];
+        let got: u64 = frame
+            .signal(out)
+            .iter()
+            .enumerate()
+            .map(|(i, &lit)| (aig.eval(lit, &inputs) as u64) << i)
+            .sum();
+        assert_eq!(got, 0x5A);
+        // And next-state is 0x5B.
+        let nexts = next_state(&mut aig, &m, &frame);
+        let next_val: u64 = nexts[0]
+            .iter()
+            .enumerate()
+            .map(|(i, &lit)| (aig.eval(lit, &inputs) as u64) << i)
+            .sum();
+        assert_eq!(next_val, 0x5B);
+    }
+}

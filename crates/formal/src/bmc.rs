@@ -1,0 +1,612 @@
+//! Bounded model checking from the reset state.
+//!
+//! BMC complements the UPEC induction in two roles:
+//!
+//! - validating candidate **invariants** before they are assumed (an
+//!   invariant that BMC can violate within `k` cycles is simply wrong);
+//! - confirming that a leak found from the *symbolic* state is actually
+//!   **reachable from reset**, which is how the inspection oracles
+//!   distinguish real vulnerabilities from spurious counterexamples.
+
+use crate::aig::{Aig, AigLit};
+use crate::blast::{build_frame_with_leaves, next_state, Frame};
+use crate::tseitin::CnfEncoder;
+use fastpath_rtl::{BitVec, ExprId, Module, SignalId, SignalKind};
+use fastpath_sat::SolveResult;
+
+/// Result of a bounded check of a 1-bit property.
+#[derive(Clone, Debug)]
+pub enum BmcResult {
+    /// The property held in every cycle up to the bound.
+    Bounded {
+        /// The number of cycles explored.
+        depth: u32,
+    },
+    /// The property failed.
+    Violated {
+        /// The 0-based cycle of the first found violation.
+        cycle: u32,
+        /// Concrete input values per explored cycle (one entry per input
+        /// signal, in module order), for replaying the trace.
+        inputs: Vec<Vec<(SignalId, BitVec)>>,
+    },
+}
+
+impl BmcResult {
+    /// `true` iff no violation was found.
+    pub fn holds(&self) -> bool {
+        matches!(self, BmcResult::Bounded { .. })
+    }
+}
+
+/// Checks that the 1-bit expression `property` holds in every cycle for
+/// `depth` cycles starting from reset, with every listed 1-bit `constraint`
+/// assumed in every cycle (environment assumptions).
+///
+/// # Panics
+///
+/// Panics if `property` or a constraint is not 1 bit wide.
+pub fn bmc_check(
+    module: &Module,
+    property: ExprId,
+    constraints: &[ExprId],
+    depth: u32,
+) -> BmcResult {
+    assert_eq!(module.expr_width(property), 1, "property must be 1 bit");
+    let mut aig = Aig::new();
+    let mut encoder = CnfEncoder::new();
+
+    let n = module.signal_count();
+    // Reset frame: registers at their init values.
+    let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    let mut frame_inputs: Vec<Vec<(SignalId, Vec<AigLit>)>> = Vec::new();
+    let mut cycle_inputs: Vec<(SignalId, Vec<AigLit>)> = Vec::new();
+    for (id, signal) in module.signals() {
+        match signal.kind {
+            SignalKind::Register => {
+                let init = signal.init.as_ref().expect("register init");
+                leaves[id.index()] = (0..signal.width)
+                    .map(|i| aig.constant(init.bit(i)))
+                    .collect();
+            }
+            SignalKind::Input => {
+                let bits: Vec<AigLit> =
+                    (0..signal.width).map(|_| aig.input()).collect();
+                cycle_inputs.push((id, bits.clone()));
+                leaves[id.index()] = bits;
+            }
+            _ => {}
+        }
+    }
+    let mut frame = build_frame_with_leaves(&mut aig, module, leaves);
+    frame_inputs.push(cycle_inputs);
+
+    for cycle in 0..depth {
+        for &c in constraints {
+            let lit =
+                crate::blast::blast_expr_in_frame(&mut aig, module, &frame, c);
+            assert_eq!(lit.len(), 1, "constraint must be 1 bit");
+            encoder.assert_true(&aig, lit[0]);
+        }
+        let prop =
+            crate::blast::blast_expr_in_frame(&mut aig, module, &frame, property);
+        let bad = encoder.lit(&aig, !prop[0]);
+        if encoder.solve_with(&[bad]) == SolveResult::Sat {
+            let inputs = frame_inputs
+                .iter()
+                .map(|per_cycle| {
+                    per_cycle
+                        .iter()
+                        .map(|(id, bits)| {
+                            (*id, extract_word(&encoder, bits))
+                        })
+                        .collect()
+                })
+                .collect();
+            return BmcResult::Violated { cycle, inputs };
+        }
+        if cycle + 1 == depth {
+            break;
+        }
+        // Advance one frame.
+        frame = advance(&mut aig, module, &frame, &mut frame_inputs);
+    }
+    BmcResult::Bounded { depth }
+}
+
+/// Checks that an invariant is inductive: it holds at reset and is
+/// preserved by every transition from any state satisfying it (plus the
+/// given constraints). A `true` result means the invariant is safe to
+/// assume in the UPEC model.
+pub fn invariant_is_inductive(
+    module: &Module,
+    invariant: ExprId,
+    constraints: &[ExprId],
+) -> bool {
+    // Base case: holds at reset (depth-1 BMC).
+    if !bmc_check(module, invariant, constraints, 1).holds() {
+        return false;
+    }
+    // Step: symbolic state satisfying the invariant, prove it at t+1.
+    let mut aig = Aig::new();
+    let mut encoder = CnfEncoder::new();
+    let n = module.signal_count();
+    let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    for (id, signal) in module.signals() {
+        if matches!(signal.kind, SignalKind::Register | SignalKind::Input) {
+            leaves[id.index()] =
+                (0..signal.width).map(|_| aig.input()).collect();
+        }
+    }
+    let frame_t = build_frame_with_leaves(&mut aig, module, leaves);
+    assert_predicates(&mut aig, &mut encoder, module, &frame_t, constraints);
+    let inv_t =
+        crate::blast::blast_expr_in_frame(&mut aig, module, &frame_t, invariant);
+    encoder.assert_true(&aig, inv_t[0]);
+
+    let nexts = next_state(&mut aig, module, &frame_t);
+    let mut leaves_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    for (reg, bits) in module.state_signals().into_iter().zip(nexts) {
+        leaves_t1[reg.index()] = bits;
+    }
+    for (id, signal) in module.signals() {
+        if signal.kind == SignalKind::Input {
+            leaves_t1[id.index()] =
+                (0..signal.width).map(|_| aig.input()).collect();
+        }
+    }
+    let frame_t1 = build_frame_with_leaves(&mut aig, module, leaves_t1);
+    assert_predicates(&mut aig, &mut encoder, module, &frame_t1, constraints);
+    let inv_t1 = crate::blast::blast_expr_in_frame(
+        &mut aig, module, &frame_t1, invariant,
+    );
+    let bad = encoder.lit(&aig, !inv_t1[0]);
+    encoder.solve_with(&[bad]) == SolveResult::Unsat
+}
+
+fn assert_predicates(
+    aig: &mut Aig,
+    encoder: &mut CnfEncoder,
+    module: &Module,
+    frame: &Frame,
+    predicates: &[ExprId],
+) {
+    for &p in predicates {
+        let lit = crate::blast::blast_expr_in_frame(aig, module, frame, p);
+        assert_eq!(lit.len(), 1, "predicate must be 1 bit");
+        encoder.assert_true(aig, lit[0]);
+    }
+}
+
+fn advance(
+    aig: &mut Aig,
+    module: &Module,
+    frame: &Frame,
+    frame_inputs: &mut Vec<Vec<(SignalId, Vec<AigLit>)>>,
+) -> Frame {
+    let n = module.signal_count();
+    let nexts = next_state(aig, module, frame);
+    let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    for (reg, bits) in module.state_signals().into_iter().zip(nexts) {
+        leaves[reg.index()] = bits;
+    }
+    let mut cycle_inputs = Vec::new();
+    for (id, signal) in module.signals() {
+        if signal.kind == SignalKind::Input {
+            let bits: Vec<AigLit> =
+                (0..signal.width).map(|_| aig.input()).collect();
+            cycle_inputs.push((id, bits.clone()));
+            leaves[id.index()] = bits;
+        }
+    }
+    frame_inputs.push(cycle_inputs);
+    build_frame_with_leaves(aig, module, leaves)
+}
+
+fn extract_word(encoder: &CnfEncoder, bits: &[AigLit]) -> BitVec {
+    let mut v = BitVec::zero(bits.len().max(1) as u32);
+    for (i, &b) in bits.iter().enumerate() {
+        if encoder.model_value(b).unwrap_or(false) {
+            v.set_bit(i as u32, true);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::ModuleBuilder;
+
+    /// A counter that must never exceed 10 — and never does (wraps at 10).
+    fn capped_counter(cap: u64) -> (Module, ExprId) {
+        let mut b = ModuleBuilder::new("cap");
+        let cnt = b.reg("cnt", 8, 0);
+        let c = b.sig(cnt);
+        let one = b.lit(8, 1);
+        let inc = b.add(c, one);
+        let zero = b.lit(8, 0);
+        let at_cap = b.eq_lit(c, cap);
+        let next = b.mux(at_cap, zero, inc);
+        b.set_next(cnt, next).expect("drive");
+        b.output("count", c);
+        let bound = b.lit(8, cap);
+        let property = b.ule(c, bound);
+        (b.build().expect("valid"), property)
+    }
+
+    #[test]
+    fn bounded_property_holds() {
+        let (m, property) = capped_counter(10);
+        assert!(bmc_check(&m, property, &[], 30).holds());
+    }
+
+    #[test]
+    fn violation_found_at_correct_depth() {
+        // Property `cnt <= 5` fails first at cycle 6 (cnt counts 0..=10).
+        let (m, _) = capped_counter(10);
+        let mut b = ModuleBuilder::new("unused");
+        let _ = &mut b;
+        // Rebuild with the tighter property inside the same arena.
+        let mut b = ModuleBuilder::new("cap");
+        let cnt = b.reg("cnt", 8, 0);
+        let c = b.sig(cnt);
+        let one = b.lit(8, 1);
+        let inc = b.add(c, one);
+        let zero = b.lit(8, 0);
+        let at_cap = b.eq_lit(c, 10);
+        let next = b.mux(at_cap, zero, inc);
+        b.set_next(cnt, next).expect("drive");
+        b.output("count", c);
+        let five = b.lit(8, 5);
+        let property = b.ule(c, five);
+        let m2 = b.build().expect("valid");
+        let _ = m;
+        match bmc_check(&m2, property, &[], 30) {
+            BmcResult::Violated { cycle, .. } => assert_eq!(cycle, 6),
+            BmcResult::Bounded { .. } => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn constraints_restrict_inputs() {
+        // out = in; property out == 0 holds only under constraint in == 0.
+        let mut b = ModuleBuilder::new("pass");
+        let i = b.input("i", 4);
+        let i_sig = b.sig(i);
+        let r = b.reg("r", 4, 0);
+        b.set_next(r, i_sig).expect("drive");
+        let r_sig = b.sig(r);
+        b.output("o", r_sig);
+        let property = b.eq_lit(r_sig, 0);
+        let constraint = b.eq_lit(i_sig, 0);
+        let m = b.build().expect("valid");
+        assert!(!bmc_check(&m, property, &[], 4).holds());
+        assert!(bmc_check(&m, property, &[constraint], 4).holds());
+    }
+
+    #[test]
+    fn witness_inputs_replay() {
+        // Property: r != 9. BMC finds an input assignment driving r to 9;
+        // replaying it in the simulator must reproduce the violation.
+        let mut b = ModuleBuilder::new("wit");
+        let i = b.input("i", 4);
+        let i_sig = b.sig(i);
+        let r = b.reg("r", 4, 0);
+        b.set_next(r, i_sig).expect("drive");
+        let r_sig = b.sig(r);
+        b.output("o", r_sig);
+        let property = b.ne(r_sig, i_sig); // fails when input repeats
+        let m = b.build().expect("valid");
+        match bmc_check(&m, property, &[], 5) {
+            BmcResult::Violated { cycle, inputs } => {
+                // Replay with the plain simulator.
+                let mut sim = fastpath_sim::Simulator::new(&m);
+                for frame in inputs.iter().take(cycle as usize + 1) {
+                    for (id, value) in frame {
+                        sim.set_input(*id, value.clone());
+                    }
+                    sim.settle();
+                    if sim.cycle() == cycle as u64 {
+                        // Property must be false here.
+                        let r_id = m.signal_by_name("r").expect("r");
+                        let i_id = m.signal_by_name("i").expect("i");
+                        assert_eq!(sim.value(r_id), sim.value(i_id));
+                        return;
+                    }
+                    sim.clock();
+                }
+                panic!("violation cycle not reached in replay");
+            }
+            BmcResult::Bounded { .. } => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn one_hot_invariant_is_inductive() {
+        let mut b = ModuleBuilder::new("onehot");
+        let state = b.reg("state", 2, 0b01);
+        let s = b.sig(state);
+        let s0 = b.bit(s, 0);
+        let s1 = b.bit(s, 1);
+        let swapped = b.concat(s0, s1);
+        b.set_next(state, swapped).expect("drive");
+        b.output("o", s);
+        let onehot = b.xor(s0, s1);
+        let both = b.and(s0, s1);
+        let bogus = b.not(both); // true at reset but NOT inductive
+        let m = b.build().expect("valid");
+        assert!(invariant_is_inductive(&m, onehot, &[]));
+        // `!both` admits state 00, whose successor 00 still satisfies it —
+        // so it actually *is* inductive; use an invariant that is not:
+        // "state == 01" is violated by the transition to 10.
+        let _ = bogus;
+        let mut b = ModuleBuilder::new("onehot2");
+        let state = b.reg("state", 2, 0b01);
+        let s = b.sig(state);
+        let s0 = b.bit(s, 0);
+        let s1 = b.bit(s, 1);
+        let swapped = b.concat(s0, s1);
+        b.set_next(state, swapped).expect("drive");
+        b.output("o", s);
+        let stuck = b.eq_lit(s, 0b01);
+        let m2 = b.build().expect("valid");
+        assert!(!invariant_is_inductive(&m2, stuck, &[]));
+    }
+}
+
+/// Result of a 2-safety bounded check (see [`two_safety_bmc`]).
+#[derive(Clone, Debug)]
+pub enum TwoSafetyBmcResult {
+    /// No observable divergence exists within the bound: every pair of
+    /// runs from reset that agrees on the control inputs agrees on all
+    /// control outputs for `depth` cycles.
+    Bounded {
+        /// Cycles explored.
+        depth: u32,
+    },
+    /// A concrete leak: two input traces from reset, equal on control
+    /// inputs, driving some control output apart at `cycle`.
+    Diverges {
+        /// The 0-based cycle of the divergence.
+        cycle: u32,
+        /// The diverging control output.
+        output: fastpath_rtl::SignalId,
+        /// Instance-1 inputs per cycle.
+        inputs_a: Vec<Vec<(SignalId, BitVec)>>,
+        /// Instance-2 inputs per cycle (differ only on data inputs).
+        inputs_b: Vec<Vec<(SignalId, BitVec)>>,
+    },
+}
+
+impl TwoSafetyBmcResult {
+    /// `true` iff no divergence was found.
+    pub fn holds(&self) -> bool {
+        matches!(self, TwoSafetyBmcResult::Bounded { .. })
+    }
+}
+
+/// Bounded 2-safety check **from reset**: both instances start at the
+/// architectural reset state, control inputs are shared, data inputs are
+/// free per instance, and the given 1-bit constraints are assumed on both
+/// instances in every cycle. Searches for a cycle where any control output
+/// differs.
+///
+/// This complements [`Upec2Safety`](crate::Upec2Safety): the induction
+/// proves unbounded security from a symbolic (possibly unreachable) state;
+/// this check *demonstrates* a leak with a concrete, replayable pair of
+/// traces — which is how a reported vulnerability is confirmed reachable.
+pub fn two_safety_bmc(
+    module: &Module,
+    constraints: &[ExprId],
+    depth: u32,
+) -> TwoSafetyBmcResult {
+    use fastpath_rtl::SignalRole;
+
+    let mut aig = Aig::new();
+    let mut encoder = CnfEncoder::new();
+    let n = module.signal_count();
+
+    // Reset frame: shared constants (both instances identical).
+    let mut leaves_a: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    let mut leaves_b: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    let mut trace_a: Vec<Vec<(SignalId, Vec<AigLit>)>> = Vec::new();
+    let mut trace_b: Vec<Vec<(SignalId, Vec<AigLit>)>> = Vec::new();
+
+    let alloc_inputs = |aig: &mut Aig,
+                        leaves_a: &mut Vec<Vec<AigLit>>,
+                        leaves_b: &mut Vec<Vec<AigLit>>,
+                        trace_a: &mut Vec<Vec<(SignalId, Vec<AigLit>)>>,
+                        trace_b: &mut Vec<Vec<(SignalId, Vec<AigLit>)>>| {
+        let mut frame_a = Vec::new();
+        let mut frame_b = Vec::new();
+        for (id, signal) in module.signals() {
+            if signal.kind != SignalKind::Input {
+                continue;
+            }
+            let bits_a: Vec<AigLit> =
+                (0..signal.width).map(|_| aig.input()).collect();
+            let bits_b: Vec<AigLit> = if signal.role == SignalRole::DataIn {
+                (0..signal.width).map(|_| aig.input()).collect()
+            } else {
+                bits_a.clone()
+            };
+            frame_a.push((id, bits_a.clone()));
+            frame_b.push((id, bits_b.clone()));
+            leaves_a[id.index()] = bits_a;
+            leaves_b[id.index()] = bits_b;
+        }
+        trace_a.push(frame_a);
+        trace_b.push(frame_b);
+    };
+
+    for (id, signal) in module.signals() {
+        if signal.kind == SignalKind::Register {
+            let init = signal.init.as_ref().expect("register init");
+            let bits: Vec<AigLit> = (0..signal.width)
+                .map(|i| aig.constant(init.bit(i)))
+                .collect();
+            leaves_a[id.index()] = bits.clone();
+            leaves_b[id.index()] = bits;
+        }
+    }
+    alloc_inputs(
+        &mut aig,
+        &mut leaves_a,
+        &mut leaves_b,
+        &mut trace_a,
+        &mut trace_b,
+    );
+    let mut frame_a = build_frame_with_leaves(&mut aig, module, leaves_a);
+    let mut frame_b = build_frame_with_leaves(&mut aig, module, leaves_b);
+
+    let outputs = module.control_outputs();
+    for cycle in 0..depth {
+        for frame in [&frame_a, &frame_b] {
+            assert_predicates(&mut aig, &mut encoder, module, frame, constraints);
+        }
+        // Per-output divergence monitors for this cycle.
+        let mut monitors = Vec::new();
+        for &y in &outputs {
+            let eq = crate::words::eq_word(
+                &mut aig,
+                frame_a.signal(y),
+                frame_b.signal(y),
+            );
+            monitors.push((y, !eq));
+        }
+        let live: Vec<fastpath_sat::Lit> = monitors
+            .iter()
+            .filter(|&&(_, d)| d != AigLit::FALSE)
+            .map(|&(_, d)| encoder.lit(&aig, d))
+            .collect();
+        if !live.is_empty() {
+            let selector = encoder.fresh_var();
+            let mut clause = vec![selector.negative()];
+            clause.extend(&live);
+            encoder.add_clause(&clause);
+            if encoder.solve_with(&[selector.positive()])
+                == SolveResult::Sat
+            {
+                let output = monitors
+                    .iter()
+                    .find(|&&(_, d)| {
+                        encoder.model_value(d).unwrap_or(false)
+                    })
+                    .map(|&(y, _)| y)
+                    .expect("some monitor fired");
+                let extract =
+                    |trace: &[Vec<(SignalId, Vec<AigLit>)>]| -> Vec<_> {
+                        trace
+                            .iter()
+                            .map(|per_cycle| {
+                                per_cycle
+                                    .iter()
+                                    .map(|(id, bits)| {
+                                        (*id, extract_word(&encoder, bits))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect()
+                    };
+                return TwoSafetyBmcResult::Diverges {
+                    cycle,
+                    output,
+                    inputs_a: extract(&trace_a),
+                    inputs_b: extract(&trace_b),
+                };
+            }
+        }
+        if cycle + 1 == depth {
+            break;
+        }
+        // Advance both instances one frame.
+        let next_a = next_state(&mut aig, module, &frame_a);
+        let next_b = next_state(&mut aig, module, &frame_b);
+        let mut leaves_a: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+        let mut leaves_b: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+        for (reg, (na, nb)) in module
+            .state_signals()
+            .into_iter()
+            .zip(next_a.into_iter().zip(next_b))
+        {
+            leaves_a[reg.index()] = na;
+            leaves_b[reg.index()] = nb;
+        }
+        alloc_inputs(
+            &mut aig,
+            &mut leaves_a,
+            &mut leaves_b,
+            &mut trace_a,
+            &mut trace_b,
+        );
+        frame_a = build_frame_with_leaves(&mut aig, module, leaves_a);
+        frame_b = build_frame_with_leaves(&mut aig, module, leaves_b);
+    }
+    TwoSafetyBmcResult::Bounded { depth }
+}
+
+/// Checks that a *set* of invariants is inductive **as a conjunction**:
+/// every invariant holds at reset, and assuming all of them at `t` (plus
+/// the constraints during `[t, t+1]`) proves all of them at `t+1`.
+///
+/// This is the soundness side-condition for assuming the set in the UPEC
+/// model: single-invariant induction is too strong a requirement (members
+/// may depend on each other), while asserting a member at `t+1` as a
+/// hypothesis would be circular.
+pub fn invariants_are_jointly_inductive(
+    module: &Module,
+    invariants: &[ExprId],
+    constraints: &[ExprId],
+) -> bool {
+    // Base case: each holds at reset.
+    for &inv in invariants {
+        if !bmc_check(module, inv, constraints, 1).holds() {
+            return false;
+        }
+    }
+    // Step.
+    let mut aig = Aig::new();
+    let mut encoder = CnfEncoder::new();
+    let n = module.signal_count();
+    let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    for (id, signal) in module.signals() {
+        if matches!(signal.kind, SignalKind::Register | SignalKind::Input) {
+            leaves[id.index()] =
+                (0..signal.width).map(|_| aig.input()).collect();
+        }
+    }
+    let frame_t = build_frame_with_leaves(&mut aig, module, leaves);
+    assert_predicates(&mut aig, &mut encoder, module, &frame_t, constraints);
+    assert_predicates(&mut aig, &mut encoder, module, &frame_t, invariants);
+
+    let nexts = next_state(&mut aig, module, &frame_t);
+    let mut leaves_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+    for (reg, bits) in module.state_signals().into_iter().zip(nexts) {
+        leaves_t1[reg.index()] = bits;
+    }
+    for (id, signal) in module.signals() {
+        if signal.kind == SignalKind::Input {
+            leaves_t1[id.index()] =
+                (0..signal.width).map(|_| aig.input()).collect();
+        }
+    }
+    let frame_t1 = build_frame_with_leaves(&mut aig, module, leaves_t1);
+    assert_predicates(&mut aig, &mut encoder, module, &frame_t1, constraints);
+    // Some invariant fails at t+1?
+    let mut bads = Vec::new();
+    for &inv in invariants {
+        let lit = crate::blast::blast_expr_in_frame(
+            &mut aig, module, &frame_t1, inv,
+        );
+        bads.push(encoder.lit(&aig, !lit[0]));
+    }
+    if bads.is_empty() {
+        return true;
+    }
+    let selector = encoder.fresh_var();
+    let mut clause = vec![selector.negative()];
+    clause.extend(&bads);
+    encoder.add_clause(&clause);
+    encoder.solve_with(&[selector.positive()]) == SolveResult::Unsat
+}

@@ -1,0 +1,409 @@
+//! Word-level circuits over AIG literal vectors.
+//!
+//! A word is a `Vec<AigLit>`, least-significant bit first. These builders
+//! implement the RTL operator semantics of `fastpath-rtl` exactly (modular
+//! arithmetic, saturating shifts), so the bit-blasted model and the
+//! simulator agree bit-for-bit — a property the test suite checks
+//! exhaustively on small widths and randomly on large ones.
+
+use crate::aig::{Aig, AigLit};
+
+/// A constant word.
+pub fn constant_word(aig: &Aig, width: u32, bits: impl Fn(u32) -> bool) -> Vec<AigLit> {
+    (0..width).map(|i| aig.constant(bits(i))).collect()
+}
+
+/// Bitwise NOT.
+pub fn not_word(word: &[AigLit]) -> Vec<AigLit> {
+    word.iter().map(|&b| !b).collect()
+}
+
+/// Bitwise AND.
+pub fn and_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    a.iter().zip(b).map(|(&x, &y)| aig.and(x, y)).collect()
+}
+
+/// Bitwise OR.
+pub fn or_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    a.iter().zip(b).map(|(&x, &y)| aig.or(x, y)).collect()
+}
+
+/// Bitwise XOR.
+pub fn xor_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    a.iter().zip(b).map(|(&x, &y)| aig.xor(x, y)).collect()
+}
+
+/// Ripple-carry addition with carry-in; returns `(sum, carry_out)`.
+pub fn add_with_carry(
+    aig: &mut Aig,
+    a: &[AigLit],
+    b: &[AigLit],
+    carry_in: AigLit,
+) -> (Vec<AigLit>, AigLit) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = aig.full_adder(x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Modular addition.
+pub fn add_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    add_with_carry(aig, a, b, AigLit::FALSE).0
+}
+
+/// Modular subtraction (`a + !b + 1`).
+pub fn sub_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    let nb = not_word(b);
+    add_with_carry(aig, a, &nb, AigLit::TRUE).0
+}
+
+/// Two's-complement negation.
+pub fn neg_word(aig: &mut Aig, a: &[AigLit]) -> Vec<AigLit> {
+    let zero = vec![AigLit::FALSE; a.len()];
+    sub_word(aig, &zero, a)
+}
+
+/// Modular multiplication via shift-and-add partial products.
+pub fn mul_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
+    debug_assert_eq!(a.len(), b.len());
+    let width = a.len();
+    let mut acc = vec![AigLit::FALSE; width];
+    for (i, &bi) in b.iter().enumerate() {
+        if bi == AigLit::FALSE {
+            continue;
+        }
+        // Partial product: (a << i) & b_i, truncated to width.
+        let mut pp = vec![AigLit::FALSE; width];
+        for j in i..width {
+            pp[j] = aig.and(a[j - i], bi);
+        }
+        acc = add_word(aig, &acc, &pp);
+    }
+    acc
+}
+
+/// Equality: 1-bit result.
+pub fn eq_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    debug_assert_eq!(a.len(), b.len());
+    let xnors: Vec<AigLit> =
+        a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+    aig.and_all(&xnors)
+}
+
+/// Unsigned less-than: `!carry_out(a - b)`.
+pub fn ult_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let nb = not_word(b);
+    let (_, carry) = add_with_carry(aig, a, &nb, AigLit::TRUE);
+    !carry
+}
+
+/// Unsigned less-or-equal.
+pub fn ule_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let gt = ult_word(aig, b, a);
+    !gt
+}
+
+/// Signed less-than.
+pub fn slt_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let sign_a = *a.last().expect("non-empty word");
+    let sign_b = *b.last().expect("non-empty word");
+    let unsigned = ult_word(aig, a, b);
+    let signs_differ = aig.xor(sign_a, sign_b);
+    // If signs differ, a < b iff a is negative; otherwise unsigned compare.
+    aig.mux(signs_differ, sign_a, unsigned)
+}
+
+/// Signed less-or-equal.
+pub fn sle_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
+    let gt = slt_word(aig, b, a);
+    !gt
+}
+
+/// Per-bit mux: `s ? a : b`.
+pub fn mux_word(
+    aig: &mut Aig,
+    s: AigLit,
+    a: &[AigLit],
+    b: &[AigLit],
+) -> Vec<AigLit> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| aig.mux(s, x, y)).collect()
+}
+
+/// Shift kind for [`shift_word`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShiftKind {
+    /// Logical left.
+    Shl,
+    /// Logical right.
+    Lshr,
+    /// Arithmetic right.
+    Ashr,
+}
+
+/// Barrel shifter by a dynamic amount. Amounts ≥ width saturate to zero
+/// (`Shl`/`Lshr`) or to the replicated sign bit (`Ashr`), matching the RTL
+/// simulator semantics.
+pub fn shift_word(
+    aig: &mut Aig,
+    kind: ShiftKind,
+    value: &[AigLit],
+    amount: &[AigLit],
+) -> Vec<AigLit> {
+    let width = value.len();
+    let sign = *value.last().expect("non-empty word");
+    let fill = match kind {
+        ShiftKind::Ashr => sign,
+        _ => AigLit::FALSE,
+    };
+    let mut current = value.to_vec();
+    // Stages for amount bits that shift by less than the width.
+    let mut oversized = AigLit::FALSE;
+    for (i, &bit) in amount.iter().enumerate() {
+        let step = 1u128 << i.min(100);
+        if step >= width as u128 {
+            oversized = aig.or(oversized, bit);
+            continue;
+        }
+        let step = step as usize;
+        let shifted: Vec<AigLit> = (0..width)
+            .map(|j| match kind {
+                ShiftKind::Shl => {
+                    if j >= step {
+                        current[j - step]
+                    } else {
+                        AigLit::FALSE
+                    }
+                }
+                ShiftKind::Lshr | ShiftKind::Ashr => {
+                    if j + step < width {
+                        current[j + step]
+                    } else {
+                        fill
+                    }
+                }
+            })
+            .collect();
+        current = mux_word(aig, bit, &shifted, &current);
+    }
+    // If any oversized amount bit is set, the result saturates.
+    let saturated = vec![fill; width];
+    mux_word(aig, oversized, &saturated, &current)
+}
+
+/// OR-reduction.
+pub fn reduce_or_word(aig: &mut Aig, a: &[AigLit]) -> AigLit {
+    aig.or_all(a)
+}
+
+/// AND-reduction.
+pub fn reduce_and_word(aig: &mut Aig, a: &[AigLit]) -> AigLit {
+    aig.and_all(a)
+}
+
+/// XOR-reduction (parity).
+pub fn reduce_xor_word(aig: &mut Aig, a: &[AigLit]) -> AigLit {
+    a.iter()
+        .fold(AigLit::FALSE, |acc, &b| aig.xor(acc, b))
+}
+
+/// Zero-extension / truncation to `width`.
+pub fn zext_word(word: &[AigLit], width: u32) -> Vec<AigLit> {
+    let mut out = word.to_vec();
+    out.resize(width as usize, AigLit::FALSE);
+    out.truncate(width as usize);
+    out
+}
+
+/// Sign-extension / truncation to `width`.
+pub fn sext_word(word: &[AigLit], width: u32) -> Vec<AigLit> {
+    let sign = *word.last().expect("non-empty word");
+    let mut out = word.to_vec();
+    out.resize(width as usize, sign);
+    out.truncate(width as usize);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::BitVec;
+
+    /// Evaluates a word circuit on concrete operand values.
+    struct Harness {
+        aig: Aig,
+        a_bits: Vec<AigLit>,
+        b_bits: Vec<AigLit>,
+        width: u32,
+    }
+
+    impl Harness {
+        fn new(width: u32) -> Self {
+            let mut aig = Aig::new();
+            let a_bits = (0..width).map(|_| aig.input()).collect();
+            let b_bits = (0..width).map(|_| aig.input()).collect();
+            Harness {
+                aig,
+                a_bits,
+                b_bits,
+                width,
+            }
+        }
+
+        fn eval_word(&self, out: &[AigLit], a: u64, b: u64) -> u64 {
+            let mut inputs = vec![false; self.aig.node_count()];
+            for i in 0..self.width {
+                inputs[self.a_bits[i as usize].node()] = (a >> i) & 1 == 1;
+                inputs[self.b_bits[i as usize].node()] = (b >> i) & 1 == 1;
+            }
+            out.iter()
+                .enumerate()
+                .map(|(i, &lit)| (self.aig.eval(lit, &inputs) as u64) << i)
+                .sum()
+        }
+    }
+
+    /// Exhaustively checks a 4-bit binary circuit against a `BitVec` oracle.
+    fn check_exhaustive_4bit(
+        build: impl Fn(&mut Aig, &[AigLit], &[AigLit]) -> Vec<AigLit>,
+        oracle: impl Fn(&BitVec, &BitVec) -> BitVec,
+    ) {
+        let mut h = Harness::new(4);
+        let a_bits = h.a_bits.clone();
+        let b_bits = h.b_bits.clone();
+        let out = build(&mut h.aig, &a_bits, &b_bits);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let got = h.eval_word(&out, a, b);
+                let expected = oracle(
+                    &BitVec::from_u64(4, a),
+                    &BitVec::from_u64(4, b),
+                )
+                .to_u64();
+                assert_eq!(got, expected, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_bitvec() {
+        check_exhaustive_4bit(
+            |g, a, b| add_word(g, a, b),
+            |a, b| a.wrapping_add(b),
+        );
+    }
+
+    #[test]
+    fn sub_matches_bitvec() {
+        check_exhaustive_4bit(
+            |g, a, b| sub_word(g, a, b),
+            |a, b| a.wrapping_sub(b),
+        );
+    }
+
+    #[test]
+    fn mul_matches_bitvec() {
+        check_exhaustive_4bit(
+            |g, a, b| mul_word(g, a, b),
+            |a, b| a.wrapping_mul(b),
+        );
+    }
+
+    #[test]
+    fn comparisons_match_bitvec() {
+        use std::cmp::Ordering;
+        check_exhaustive_4bit(
+            |g, a, b| vec![ult_word(g, a, b)],
+            |a, b| {
+                BitVec::from_bool(a.cmp_unsigned(b) == Ordering::Less)
+                    .zext(1)
+            },
+        );
+        check_exhaustive_4bit(
+            |g, a, b| vec![slt_word(g, a, b)],
+            |a, b| {
+                BitVec::from_bool(a.cmp_signed(b) == Ordering::Less).zext(1)
+            },
+        );
+        check_exhaustive_4bit(
+            |g, a, b| vec![eq_word(g, a, b)],
+            |a, b| BitVec::from_bool(a == b).zext(1),
+        );
+    }
+
+    #[test]
+    fn shifts_match_bitvec() {
+        check_exhaustive_4bit(
+            |g, a, b| shift_word(g, ShiftKind::Shl, a, b),
+            |a, b| a.shl(b.to_u64()),
+        );
+        check_exhaustive_4bit(
+            |g, a, b| shift_word(g, ShiftKind::Lshr, a, b),
+            |a, b| a.lshr(b.to_u64()),
+        );
+        check_exhaustive_4bit(
+            |g, a, b| shift_word(g, ShiftKind::Ashr, a, b),
+            |a, b| a.ashr(b.to_u64()),
+        );
+    }
+
+    #[test]
+    fn neg_and_reductions() {
+        let mut h = Harness::new(4);
+        let a_bits = h.a_bits.clone();
+        let neg = neg_word(&mut h.aig, &a_bits);
+        let red_or = vec![reduce_or_word(&mut h.aig, &a_bits)];
+        let red_and = vec![reduce_and_word(&mut h.aig, &a_bits)];
+        let red_xor = vec![reduce_xor_word(&mut h.aig, &a_bits)];
+        for a in 0..16u64 {
+            let bv = BitVec::from_u64(4, a);
+            assert_eq!(
+                h.eval_word(&neg, a, 0),
+                bv.wrapping_neg().to_u64()
+            );
+            assert_eq!(
+                h.eval_word(&red_or, a, 0),
+                bv.reduce_or().to_u64()
+            );
+            assert_eq!(
+                h.eval_word(&red_and, a, 0),
+                bv.reduce_and().to_u64()
+            );
+            assert_eq!(
+                h.eval_word(&red_xor, a, 0),
+                bv.reduce_xor().to_u64()
+            );
+        }
+    }
+
+    #[test]
+    fn extensions() {
+        let mut h = Harness::new(4);
+        let a_bits = h.a_bits.clone();
+        let z = zext_word(&a_bits, 8);
+        let s = sext_word(&a_bits, 8);
+        assert_eq!(h.eval_word(&z, 0b1010, 0), 0b0000_1010);
+        assert_eq!(h.eval_word(&s, 0b1010, 0), 0b1111_1010);
+        let t = zext_word(&a_bits, 2);
+        assert_eq!(h.eval_word(&t, 0b1010, 0), 0b10);
+    }
+
+    #[test]
+    fn oversized_shift_amounts_saturate() {
+        // 4-bit value, 4-bit amount: amounts 8..15 have bit 3 set (step 8
+        // >= width), must yield zero / sign-fill.
+        let mut h = Harness::new(4);
+        let a_bits = h.a_bits.clone();
+        let b_bits = h.b_bits.clone();
+        let shl = shift_word(&mut h.aig, ShiftKind::Shl, &a_bits, &b_bits);
+        let ashr = shift_word(&mut h.aig, ShiftKind::Ashr, &a_bits, &b_bits);
+        assert_eq!(h.eval_word(&shl, 0b1111, 9), 0);
+        assert_eq!(h.eval_word(&ashr, 0b1000, 12), 0b1111);
+        assert_eq!(h.eval_word(&ashr, 0b0111, 12), 0);
+    }
+}

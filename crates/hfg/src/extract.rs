@@ -1,0 +1,271 @@
+//! HFG extraction: static analysis of a [`Module`]'s driver expressions.
+//!
+//! For every driven signal we walk its driver expression and record:
+//!
+//! - an **explicit** edge from each signal whose value reaches the driven
+//!   signal through operators, guarded by the stack of mux conditions that
+//!   enclose the occurrence;
+//! - an **implicit** edge from each signal appearing in a mux select
+//!   condition, because the selector steers which value propagates (classic
+//!   implicit flow / control dependence).
+//!
+//! The analysis is purely structural: no reachability reasoning, no constant
+//! propagation beyond what hash-consing already folded. It therefore
+//! over-approximates flows — the soundness direction FastPath needs.
+
+use crate::graph::{Edge, EdgeId, FlowKind, Guard, Hfg};
+use fastpath_rtl::{Expr, ExprId, Module, SignalId};
+use std::collections::HashSet;
+
+/// Options controlling HFG extraction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractOptions {
+    /// Maximum mux-nesting depth for which guards are recorded. Deeper
+    /// guards are dropped (making the edge *less* conditional, which keeps
+    /// the over-approximation sound while bounding edge labels).
+    pub max_guard_depth: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { max_guard_depth: 16 }
+    }
+}
+
+/// Extracts the HyperFlow Graph of a module with default options.
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_hfg::extract_hfg;
+/// use fastpath_rtl::ModuleBuilder;
+///
+/// # fn main() -> Result<(), fastpath_rtl::RtlError> {
+/// let mut b = ModuleBuilder::new("m");
+/// let a = b.input("a", 8);
+/// let a_sig = b.sig(a);
+/// b.output("out", a_sig);
+/// let module = b.build()?;
+/// let hfg = extract_hfg(&module);
+/// assert_eq!(hfg.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_hfg(module: &Module) -> Hfg {
+    extract_hfg_with(module, ExtractOptions::default())
+}
+
+/// Extracts the HyperFlow Graph with explicit options.
+pub fn extract_hfg_with(module: &Module, options: ExtractOptions) -> Hfg {
+    let mut collector = Collector {
+        module,
+        options,
+        edges: Vec::new(),
+        dedup: HashSet::new(),
+    };
+    for (dst, _) in module.signals() {
+        if let Some(driver) = module.driver(dst) {
+            let mut guards = Vec::new();
+            collector.walk(driver, dst, &mut guards);
+        }
+    }
+    Hfg::new(module, collector.edges)
+}
+
+struct Collector<'m> {
+    module: &'m Module,
+    options: ExtractOptions,
+    edges: Vec<Edge>,
+    dedup: HashSet<(SignalId, SignalId, Vec<Guard>, FlowKind)>,
+}
+
+impl Collector<'_> {
+    fn emit(
+        &mut self,
+        src: SignalId,
+        dst: SignalId,
+        guards: &[Guard],
+        kind: FlowKind,
+    ) {
+        let key = (src, dst, guards.to_vec(), kind);
+        if self.dedup.insert(key) {
+            let id = EdgeId(self.edges.len() as u32);
+            self.edges.push(Edge {
+                id,
+                src,
+                dst,
+                guards: guards.to_vec(),
+                kind,
+            });
+        }
+    }
+
+    fn walk(&mut self, expr: ExprId, dst: SignalId, guards: &mut Vec<Guard>) {
+        match self.module.expr(expr) {
+            Expr::Const(_) => {}
+            Expr::Signal(s) => {
+                self.emit(*s, dst, guards, FlowKind::Explicit);
+            }
+            Expr::Unary(_, a)
+            | Expr::Slice { arg: a, .. }
+            | Expr::Zext { arg: a, .. }
+            | Expr::Sext { arg: a, .. } => self.walk(*a, dst, guards),
+            Expr::Binary(_, a, b) | Expr::Concat(a, b) => {
+                self.walk(*a, dst, guards);
+                self.walk(*b, dst, guards);
+            }
+            Expr::Mux {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                // Implicit flows: every signal in the selector's support
+                // steers the result.
+                for s in self.module.expr_supports(*cond) {
+                    self.emit(s, dst, guards, FlowKind::Implicit);
+                }
+                let (cond, then_expr, else_expr) =
+                    (*cond, *then_expr, *else_expr);
+                if guards.len() < self.options.max_guard_depth {
+                    guards.push(Guard {
+                        cond,
+                        polarity: true,
+                    });
+                    self.walk(then_expr, dst, guards);
+                    guards.pop();
+                    guards.push(Guard {
+                        cond,
+                        polarity: false,
+                    });
+                    self.walk(else_expr, dst, guards);
+                    guards.pop();
+                } else {
+                    // Depth cap: drop the new guard, keep soundness.
+                    self.walk(then_expr, dst, guards);
+                    self.walk(else_expr, dst, guards);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::ModuleBuilder;
+
+    #[test]
+    fn explicit_edge_from_operand() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let a_sig = b.sig(a);
+        let c_sig = b.sig(c);
+        let sum = b.add(a_sig, c_sig);
+        let out = b.output("out", sum);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        let srcs: Vec<SignalId> =
+            hfg.incoming(out).map(|e| e.src).collect();
+        assert!(srcs.contains(&a));
+        assert!(srcs.contains(&c));
+        assert_eq!(hfg.edge_count(), 2);
+    }
+
+    #[test]
+    fn implicit_edge_from_mux_selector() {
+        let mut b = ModuleBuilder::new("m");
+        let sel = b.input("sel", 1);
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        let sel_sig = b.sig(sel);
+        let a_sig = b.sig(a);
+        let c_sig = b.sig(c);
+        let muxed = b.mux(sel_sig, a_sig, c_sig);
+        let out = b.output("out", muxed);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        let sel_edge = hfg
+            .incoming(out)
+            .find(|e| e.src == sel)
+            .expect("selector edge");
+        assert_eq!(sel_edge.kind, FlowKind::Implicit);
+        let a_edge = hfg
+            .incoming(out)
+            .find(|e| e.src == a)
+            .expect("data edge");
+        assert_eq!(a_edge.kind, FlowKind::Explicit);
+        assert_eq!(a_edge.guards.len(), 1);
+        assert!(a_edge.guards[0].polarity);
+        let c_edge = hfg
+            .incoming(out)
+            .find(|e| e.src == c)
+            .expect("data edge");
+        assert!(!c_edge.guards[0].polarity);
+    }
+
+    #[test]
+    fn constants_produce_no_edges() {
+        let mut b = ModuleBuilder::new("m");
+        let k = b.lit(8, 42);
+        b.output("out", k);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        assert_eq!(hfg.edge_count(), 0);
+    }
+
+    #[test]
+    fn register_next_state_produces_edges() {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", 4);
+        let d_sig = b.sig(d);
+        let q = b.reg("q", 4, 0);
+        b.set_next(q, d_sig).expect("drive");
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        assert!(hfg.incoming(q).any(|e| e.src == d));
+    }
+
+    #[test]
+    fn guard_depth_cap_drops_guards_not_edges() {
+        let mut b = ModuleBuilder::new("m");
+        let x = b.input("x", 1);
+        let x_sig = b.sig(x);
+        let mut expr = x_sig;
+        let sels: Vec<_> = (0..5)
+            .map(|i| {
+                let s = b.input(&format!("sel{i}"), 1);
+                b.sig(s)
+            })
+            .collect();
+        let zero = b.bit_lit(false);
+        for &sel in &sels {
+            expr = b.mux(sel, expr, zero);
+        }
+        let out = b.output("out", expr);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg_with(&m, ExtractOptions { max_guard_depth: 2 });
+        let edge = hfg
+            .incoming(out)
+            .find(|e| e.src == x)
+            .expect("flow survives the cap");
+        assert!(edge.guards.len() <= 2);
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut b = ModuleBuilder::new("m");
+        let sel = b.input("sel", 1);
+        let a = b.input("a", 8);
+        let sel_sig = b.sig(sel);
+        let a_sig = b.sig(a);
+        let zero = b.lit(8, 0);
+        let muxed = b.mux(sel_sig, a_sig, zero);
+        b.output("out", muxed);
+        let m = b.build().expect("valid");
+        let stats = extract_hfg(&m).stats();
+        assert_eq!(stats.explicit_edges, 1);
+        assert_eq!(stats.implicit_edges, 1);
+        assert_eq!(stats.guarded_edges, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! The HyperFlow Graph data model.
+//!
+//! An HFG `G(N, E)` (paper Sec. III-A, after Meza & Kastner) has one node
+//! per hierarchical design signal and directed, labeled edges for *flow
+//! scenarios*: an edge `e(ui, n_s, n_d, C)` states that information can flow
+//! from `sig_s` to `sig_d` whenever all guarding conditions in `C` hold
+//! simultaneously. An empty guard set means the flow is always active.
+//!
+//! The graph is an *over-approximation* of real information flow: path
+//! queries can return false positives but never false negatives, which is
+//! exactly the property FastPath's early-exit check relies on.
+
+use fastpath_rtl::{ExprId, Module, SignalId};
+use std::fmt;
+
+/// Unique identifier of an HFG edge (the paper's `ui`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// The raw index of this edge in the graph's edge table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether an edge carries an explicit (dataflow) or implicit
+/// (control-dependence) flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlowKind {
+    /// The source's *value* feeds the destination through an operator.
+    Explicit,
+    /// The source steers *which* value reaches the destination (it appears
+    /// in a mux select or enable condition).
+    Implicit,
+}
+
+/// A guarding condition: the flow is active only when the referenced 1-bit
+/// condition expression evaluates to `polarity`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Guard {
+    /// The 1-bit condition expression in the module's arena.
+    pub cond: ExprId,
+    /// Required truth value of the condition.
+    pub polarity: bool,
+}
+
+/// A directed, labeled HFG edge `e(ui, n_s, n_d, C)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Unique identifier.
+    pub id: EdgeId,
+    /// Source signal `n_s`.
+    pub src: SignalId,
+    /// Destination signal `n_d`.
+    pub dst: SignalId,
+    /// Guarding conditions `C`; empty means always active.
+    pub guards: Vec<Guard>,
+    /// Explicit or implicit flow.
+    pub kind: FlowKind,
+}
+
+/// A HyperFlow Graph over the signals of one [`Module`].
+///
+/// Nodes are implicit (every signal is a node); edges are stored in a table
+/// with per-node adjacency indices for fast traversal.
+#[derive(Clone, Debug)]
+pub struct Hfg {
+    module_name: String,
+    signal_count: usize,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per source signal.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per destination signal.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Hfg {
+    pub(crate) fn new(module: &Module, edges: Vec<Edge>) -> Self {
+        let signal_count = module.signal_count();
+        let mut out_edges = vec![Vec::new(); signal_count];
+        let mut in_edges = vec![Vec::new(); signal_count];
+        for edge in &edges {
+            out_edges[edge.src.index()].push(edge.id);
+            in_edges[edge.dst.index()].push(edge.id);
+        }
+        Hfg {
+            module_name: module.name().to_string(),
+            signal_count,
+            edges,
+            out_edges,
+            in_edges,
+        }
+    }
+
+    /// The name of the module this graph was extracted from.
+    pub fn module_name(&self) -> &str {
+        &self.module_name
+    }
+
+    /// The number of nodes (= signals in the module).
+    pub fn node_count(&self) -> usize {
+        self.signal_count
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks up an edge.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a signal.
+    pub fn outgoing(&self, src: SignalId) -> impl Iterator<Item = &Edge> {
+        self.out_edges[src.index()].iter().map(|&id| self.edge(id))
+    }
+
+    /// Incoming edges of a signal.
+    pub fn incoming(&self, dst: SignalId) -> impl Iterator<Item = &Edge> {
+        self.in_edges[dst.index()].iter().map(|&id| self.edge(id))
+    }
+
+    /// Summary statistics for reports.
+    pub fn stats(&self) -> HfgStats {
+        let implicit = self
+            .edges
+            .iter()
+            .filter(|e| e.kind == FlowKind::Implicit)
+            .count();
+        let guarded = self.edges.iter().filter(|e| !e.guards.is_empty()).count();
+        HfgStats {
+            nodes: self.signal_count,
+            edges: self.edges.len(),
+            implicit_edges: implicit,
+            explicit_edges: self.edges.len() - implicit,
+            guarded_edges: guarded,
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT format (signal indices as labels).
+    pub fn to_dot(&self, module: &Module) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.module_name);
+        for (id, sig) in module.signals() {
+            let _ = writeln!(s, "  n{} [label=\"{}\"];", id.index(), sig.name);
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                FlowKind::Explicit => "solid",
+                FlowKind::Implicit => "dashed",
+            };
+            let _ = writeln!(
+                s,
+                "  n{} -> n{} [style={style}, label=\"{}g\"];",
+                e.src.index(),
+                e.dst.index(),
+                e.guards.len()
+            );
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Aggregate counts describing an [`Hfg`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HfgStats {
+    /// Number of nodes (signals).
+    pub nodes: usize,
+    /// Total number of edges.
+    pub edges: usize,
+    /// Edges carrying implicit (control) flows.
+    pub implicit_edges: usize,
+    /// Edges carrying explicit (data) flows.
+    pub explicit_edges: usize,
+    /// Edges with at least one guard condition.
+    pub guarded_edges: usize,
+}
+
+impl fmt::Display for HfgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges ({} explicit, {} implicit, {} guarded)",
+            self.nodes, self.edges, self.explicit_edges, self.implicit_edges,
+            self.guarded_edges
+        )
+    }
+}

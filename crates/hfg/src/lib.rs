@@ -1,0 +1,53 @@
+//! # fastpath-hfg
+//!
+//! HyperFlow Graph (HFG) construction and querying — the structural-analysis
+//! leg of the FastPath hybrid verification flow (paper Sec. III-A / IV-A).
+//!
+//! The HFG is an over-approximate static model of information flow in an
+//! RTL design: one node per signal, one labeled edge per flow scenario.
+//! Because the abstraction never misses a real flow, an *empty* path query
+//! `q(n_s, n_d) = ∅` proves that `sig_s` cannot influence `sig_d` — which
+//! lets FastPath discharge whole designs (the paper's crypto accelerators)
+//! without simulation or formal proof.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastpath_hfg::{extract_hfg, PathQuery};
+//! use fastpath_rtl::ModuleBuilder;
+//!
+//! # fn main() -> Result<(), fastpath_rtl::RtlError> {
+//! let mut b = ModuleBuilder::new("demo");
+//! let secret = b.data_input("secret", 32);
+//! let s = b.sig(secret);
+//! let acc = b.reg("acc", 32, 0);
+//! let acc_sig = b.sig(acc);
+//! let sum = b.add(acc_sig, s);
+//! b.set_next(acc, sum)?;
+//! b.data_output("digest", acc_sig);
+//! let count = b.reg("count", 4, 0);
+//! let count_sig = b.sig(count);
+//! let one = b.lit(4, 1);
+//! let inc = b.add(count_sig, one);
+//! b.set_next(count, inc)?;
+//! let done = b.eq_lit(count_sig, 15);
+//! let done_out = b.control_output("done", done);
+//! let module = b.build()?;
+//!
+//! let hfg = extract_hfg(&module);
+//! let query = PathQuery::new(&hfg);
+//! // The secret only reaches the digest, never the `done` handshake:
+//! assert!(query.no_flow_possible(&[secret], &[done_out]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod extract;
+mod graph;
+mod query;
+
+pub use extract::{extract_hfg, extract_hfg_with, ExtractOptions};
+pub use graph::{Edge, EdgeId, FlowKind, Guard, Hfg, HfgStats};
+pub use query::{HfgPath, PathQuery, QueryOptions};

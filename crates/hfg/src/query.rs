@@ -1,0 +1,331 @@
+//! HFG path queries.
+//!
+//! [`PathQuery`] implements the paper's `q(n_s, n_d)` primitive: it returns
+//! the set of HFG paths that could *potentially* carry information from a
+//! source signal to a destination signal. An empty result is a proof of
+//! non-interference for that pair (no false negatives); a non-empty result
+//! requires further analysis (simulation / formal) because paths may be
+//! unrealizable (false positives).
+
+use crate::graph::{EdgeId, Hfg};
+use fastpath_rtl::SignalId;
+use std::collections::VecDeque;
+
+/// A single HFG path: a finite sequence of edges `(e_1, …, e_k)` leading
+/// from the query source to the query destination.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HfgPath {
+    /// Edge ids in source-to-destination order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl HfgPath {
+    /// The number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the path has no edges (source equals destination).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The signals visited, in order, given the graph the path came from.
+    pub fn signals(&self, hfg: &Hfg) -> Vec<SignalId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            out.push(hfg.edge(first).src);
+        }
+        for &e in &self.edges {
+            out.push(hfg.edge(e).dst);
+        }
+        out
+    }
+}
+
+/// Limits for path enumeration; reachability checks are never limited.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Maximum number of paths to enumerate.
+    pub max_paths: usize,
+    /// Maximum path length in edges.
+    pub max_length: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            max_paths: 64,
+            max_length: 64,
+        }
+    }
+}
+
+/// Path-query engine over one [`Hfg`].
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_hfg::{extract_hfg, PathQuery};
+/// use fastpath_rtl::ModuleBuilder;
+///
+/// # fn main() -> Result<(), fastpath_rtl::RtlError> {
+/// let mut b = ModuleBuilder::new("m");
+/// let secret = b.data_input("secret", 8);
+/// let ready_in = b.control_input("ready_in", 1);
+/// let r = b.sig(ready_in);
+/// b.control_output("ready_out", r);
+/// let s = b.sig(secret);
+/// b.data_output("result", s);
+/// let module = b.build()?;
+/// let hfg = extract_hfg(&module);
+/// let query = PathQuery::new(&hfg);
+/// let ready_out = module.signal_by_name("ready_out").expect("exists");
+/// // No structural path secret -> ready_out: proven non-interferent.
+/// assert!(!query.reachable(secret, ready_out));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PathQuery<'g> {
+    hfg: &'g Hfg,
+}
+
+impl<'g> PathQuery<'g> {
+    /// Creates a query engine for the given graph.
+    pub fn new(hfg: &'g Hfg) -> Self {
+        PathQuery { hfg }
+    }
+
+    /// `true` iff at least one HFG path connects `src` to `dst`.
+    ///
+    /// A `false` answer is a *guarantee* that `src` cannot influence `dst`
+    /// (the HFG never under-approximates); `true` is only a possibility.
+    pub fn reachable(&self, src: SignalId, dst: SignalId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.hfg.node_count()];
+        seen[src.index()] = true;
+        let mut queue = VecDeque::from([src]);
+        while let Some(node) = queue.pop_front() {
+            for edge in self.hfg.outgoing(node) {
+                if edge.dst == dst {
+                    return true;
+                }
+                if !seen[edge.dst.index()] {
+                    seen[edge.dst.index()] = true;
+                    queue.push_back(edge.dst);
+                }
+            }
+        }
+        false
+    }
+
+    /// All signals reachable from `src` (excluding `src` itself unless it
+    /// lies on a cycle).
+    pub fn reachable_set(&self, src: SignalId) -> Vec<SignalId> {
+        let mut seen = vec![false; self.hfg.node_count()];
+        let mut queue = VecDeque::from([src]);
+        let mut visited_src = false;
+        let mut out = Vec::new();
+        while let Some(node) = queue.pop_front() {
+            for edge in self.hfg.outgoing(node) {
+                let i = edge.dst.index();
+                if edge.dst == src {
+                    if !visited_src {
+                        visited_src = true;
+                        out.push(src);
+                    }
+                    continue;
+                }
+                if !seen[i] {
+                    seen[i] = true;
+                    out.push(edge.dst);
+                    queue.push_back(edge.dst);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The paper's `q(n_s, n_d)`: enumerates simple paths from `src` to
+    /// `dst`, bounded by `options` (the bound only truncates enumeration;
+    /// use [`reachable`](Self::reachable) for the exact emptiness check).
+    pub fn paths(
+        &self,
+        src: SignalId,
+        dst: SignalId,
+        options: QueryOptions,
+    ) -> Vec<HfgPath> {
+        let mut out = Vec::new();
+        let mut on_path = vec![false; self.hfg.node_count()];
+        let mut stack = Vec::new();
+        on_path[src.index()] = true;
+        self.dfs(src, dst, &options, &mut on_path, &mut stack, &mut out);
+        out
+    }
+
+    fn dfs(
+        &self,
+        node: SignalId,
+        dst: SignalId,
+        options: &QueryOptions,
+        on_path: &mut Vec<bool>,
+        stack: &mut Vec<EdgeId>,
+        out: &mut Vec<HfgPath>,
+    ) {
+        if out.len() >= options.max_paths || stack.len() >= options.max_length
+        {
+            return;
+        }
+        for edge in self.hfg.outgoing(node) {
+            if out.len() >= options.max_paths {
+                return;
+            }
+            stack.push(edge.id);
+            if edge.dst == dst {
+                out.push(HfgPath {
+                    edges: stack.clone(),
+                });
+            } else if !on_path[edge.dst.index()] {
+                on_path[edge.dst.index()] = true;
+                self.dfs(edge.dst, dst, options, on_path, stack, out);
+                on_path[edge.dst.index()] = false;
+            }
+            stack.pop();
+        }
+    }
+
+    /// FastPath's early-exit condition (Sec. IV-A): `true` iff **no** pair
+    /// of a data input and a control output is structurally connected, i.e.
+    /// `∀ n_x ∈ X_D, ∀ n_y ∈ Y_C : q(n_x, n_y) = ∅`.
+    pub fn no_flow_possible(
+        &self,
+        data_inputs: &[SignalId],
+        control_outputs: &[SignalId],
+    ) -> bool {
+        data_inputs.iter().all(|&x| {
+            let reach = self.reachable_set(x);
+            control_outputs.iter().all(|y| !reach.contains(y) && *y != x)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_hfg;
+    use fastpath_rtl::ModuleBuilder;
+
+    fn chain_module() -> (fastpath_rtl::Module, Vec<SignalId>) {
+        // a -> r1 -> r2 -> out, plus an isolated input `iso`.
+        let mut b = ModuleBuilder::new("chain");
+        let a = b.input("a", 4);
+        let iso = b.input("iso", 4);
+        let a_sig = b.sig(a);
+        let r1 = b.reg("r1", 4, 0);
+        b.set_next(r1, a_sig).expect("drive");
+        let r1_sig = b.sig(r1);
+        let r2 = b.reg("r2", 4, 0);
+        b.set_next(r2, r1_sig).expect("drive");
+        let r2_sig = b.sig(r2);
+        let out = b.output("out", r2_sig);
+        let iso_sig = b.sig(iso);
+        let out_iso = b.output("out_iso", iso_sig);
+        let m = b.build().expect("valid");
+        (m, vec![a, r1, r2, out, iso, out_iso])
+    }
+
+    #[test]
+    fn reachability_along_chain() {
+        let (m, ids) = chain_module();
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        let (a, out, iso) = (ids[0], ids[3], ids[4]);
+        assert!(q.reachable(a, out));
+        assert!(!q.reachable(a, iso));
+        assert!(!q.reachable(out, a));
+    }
+
+    #[test]
+    fn paths_enumerates_the_chain() {
+        let (m, ids) = chain_module();
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        let paths = q.paths(ids[0], ids[3], QueryOptions::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+        let sigs = paths[0].signals(&hfg);
+        assert_eq!(sigs, vec![ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn path_limit_respected() {
+        // Diamond: src feeds out through two parallel wires.
+        let mut b = ModuleBuilder::new("diamond");
+        let a = b.input("a", 4);
+        let a_sig = b.sig(a);
+        let w1 = b.wire("w1", a_sig);
+        let w2 = b.wire("w2", a_sig);
+        let w1_sig = b.sig(w1);
+        let w2_sig = b.sig(w2);
+        let sum = b.add(w1_sig, w2_sig);
+        let out = b.output("out", sum);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        let all = q.paths(a, out, QueryOptions::default());
+        assert_eq!(all.len(), 2);
+        let capped = q.paths(
+            a,
+            out,
+            QueryOptions {
+                max_paths: 1,
+                max_length: 64,
+            },
+        );
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn early_exit_condition() {
+        let mut b = ModuleBuilder::new("sep");
+        let secret = b.data_input("secret", 8);
+        let go = b.control_input("go", 1);
+        let go_sig = b.sig(go);
+        let busy = b.reg("busy", 1, 0);
+        b.set_next(busy, go_sig).expect("drive");
+        let busy_sig = b.sig(busy);
+        let done = b.control_output("done", busy_sig);
+        let s_sig = b.sig(secret);
+        b.data_output("result", s_sig);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        assert!(q.no_flow_possible(&[secret], &[done]));
+        assert!(!q.no_flow_possible(&[go], &[done]));
+    }
+
+    #[test]
+    fn cycles_do_not_hang_queries() {
+        // Two registers feeding each other (sequential cycle is legal).
+        let mut b = ModuleBuilder::new("cyc");
+        let r1 = b.reg("r1", 4, 0);
+        let r2 = b.reg("r2", 4, 1);
+        let r1_sig = b.sig(r1);
+        let r2_sig = b.sig(r2);
+        b.set_next(r1, r2_sig).expect("drive");
+        b.set_next(r2, r1_sig).expect("drive");
+        let out = b.output("out", r1_sig);
+        let m = b.build().expect("valid");
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        assert!(q.reachable(r1, out));
+        assert!(q.reachable(r1, r1)); // on a cycle
+        let paths = q.paths(r2, out, QueryOptions::default());
+        assert!(!paths.is_empty());
+        assert!(q.reachable_set(r1).contains(&r1));
+    }
+}

@@ -1,0 +1,822 @@
+//! Ergonomic construction of [`Module`]s.
+//!
+//! [`ModuleBuilder`] interns expressions with hash-consing (structurally
+//! identical nodes share one arena slot), checks widths eagerly so mistakes
+//! fail at the construction site, and validates the finished module: every
+//! non-input signal has exactly one driver, register reset values fit, and
+//! the combinational logic is acyclic.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastpath_rtl::{ModuleBuilder, SignalRole};
+//!
+//! # fn main() -> Result<(), fastpath_rtl::RtlError> {
+//! let mut b = ModuleBuilder::new("counter");
+//! let en = b.input("en", 1);
+//! b.set_role(en, SignalRole::ControlIn);
+//! let count = b.reg("count", 8, 0);
+//! let count_sig = b.sig(count);
+//! let one = b.lit(8, 1);
+//! let next = b.add(count_sig, one);
+//! let en_sig = b.sig(en);
+//! b.set_next_if(count, en_sig, next)?;
+//! let done = b.eq_lit(count_sig, 255);
+//! b.output("done", done);
+//! let module = b.build()?;
+//! assert_eq!(module.state_bits(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
+use crate::module::{Module, Signal, SignalKind, SignalRole};
+use crate::value::BitVec;
+use crate::RtlError;
+use std::collections::HashMap;
+
+/// Incremental builder for a [`Module`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    signals: Vec<Signal>,
+    exprs: Vec<Expr>,
+    expr_widths: Vec<u32>,
+    drivers: Vec<Option<ExprId>>,
+    by_name: HashMap<String, SignalId>,
+    intern: HashMap<Expr, ExprId>,
+}
+
+impl ModuleBuilder {
+    /// Starts building a module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            signals: Vec::new(),
+            exprs: Vec::new(),
+            expr_widths: Vec::new(),
+            drivers: Vec::new(),
+            by_name: HashMap::new(),
+            intern: HashMap::new(),
+        }
+    }
+
+    fn add_signal(
+        &mut self,
+        name: &str,
+        width: u32,
+        kind: SignalKind,
+        init: Option<BitVec>,
+    ) -> SignalId {
+        assert!(width > 0, "signal `{name}` must have non-zero width");
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate signal name `{name}`"
+        );
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(Signal {
+            name: name.to_string(),
+            width,
+            kind,
+            role: SignalRole::Internal,
+            init,
+        });
+        self.drivers.push(None);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or zero width.
+    pub fn input(&mut self, name: &str, width: u32) -> SignalId {
+        self.add_signal(name, width, SignalKind::Input, None)
+    }
+
+    /// Declares a control input (`X_C`): shorthand for [`input`] +
+    /// [`set_role`].
+    ///
+    /// [`input`]: ModuleBuilder::input
+    /// [`set_role`]: ModuleBuilder::set_role
+    pub fn control_input(&mut self, name: &str, width: u32) -> SignalId {
+        let id = self.input(name, width);
+        self.set_role(id, SignalRole::ControlIn);
+        id
+    }
+
+    /// Declares a confidential data input (`X_D`).
+    pub fn data_input(&mut self, name: &str, width: u32) -> SignalId {
+        let id = self.input(name, width);
+        self.set_role(id, SignalRole::DataIn);
+        id
+    }
+
+    /// Declares an output driven by `expr`; its width is the expression's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn output(&mut self, name: &str, expr: ExprId) -> SignalId {
+        let width = self.expr_widths[expr.index()];
+        let id = self.add_signal(name, width, SignalKind::Output, None);
+        self.drivers[id.index()] = Some(expr);
+        id
+    }
+
+    /// Declares an attacker-observable control output (`Y_C`).
+    pub fn control_output(&mut self, name: &str, expr: ExprId) -> SignalId {
+        let id = self.output(name, expr);
+        self.set_role(id, SignalRole::ControlOut);
+        id
+    }
+
+    /// Declares a data output (`Y_D`).
+    pub fn data_output(&mut self, name: &str, expr: ExprId) -> SignalId {
+        let id = self.output(name, expr);
+        self.set_role(id, SignalRole::DataOut);
+        id
+    }
+
+    /// Declares a named combinational wire driven by `expr`.
+    pub fn wire(&mut self, name: &str, expr: ExprId) -> SignalId {
+        let width = self.expr_widths[expr.index()];
+        let id = self.add_signal(name, width, SignalKind::Wire, None);
+        self.drivers[id.index()] = Some(expr);
+        id
+    }
+
+    /// Declares a register with reset value `init` (truncated to `width`).
+    ///
+    /// The next-state expression must be supplied later with
+    /// [`set_next`](ModuleBuilder::set_next) (or
+    /// [`set_next_if`](ModuleBuilder::set_next_if)).
+    pub fn reg(&mut self, name: &str, width: u32, init: u64) -> SignalId {
+        let init = BitVec::from_u64(width, init);
+        self.add_signal(name, width, SignalKind::Register, Some(init))
+    }
+
+    /// Declares a register with an arbitrary-width reset value.
+    pub fn reg_init(&mut self, name: &str, init: BitVec) -> SignalId {
+        let width = init.width();
+        self.add_signal(name, width, SignalKind::Register, Some(init))
+    }
+
+    /// Sets the security role of a signal.
+    pub fn set_role(&mut self, id: SignalId, role: SignalRole) {
+        self.signals[id.index()].role = role;
+    }
+
+    /// Sets a register's next-state expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::MultipleDrivers`] if called twice for the same
+    /// register and [`RtlError::WidthMismatch`] if the expression width
+    /// differs from the register width.
+    pub fn set_next(
+        &mut self,
+        reg: SignalId,
+        next: ExprId,
+    ) -> Result<(), RtlError> {
+        let signal = &self.signals[reg.index()];
+        assert_eq!(
+            signal.kind,
+            SignalKind::Register,
+            "set_next on non-register `{}`",
+            signal.name
+        );
+        if self.drivers[reg.index()].is_some() {
+            return Err(RtlError::MultipleDrivers(signal.name.clone()));
+        }
+        let expr_width = self.expr_widths[next.index()];
+        if expr_width != signal.width {
+            return Err(RtlError::WidthMismatch {
+                context: format!("next-state of `{}`", signal.name),
+                left: expr_width,
+                right: signal.width,
+            });
+        }
+        self.drivers[reg.index()] = Some(next);
+        Ok(())
+    }
+
+    /// Sets a register's next state to `value` when `enable` is high,
+    /// holding the current value otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set_next`](ModuleBuilder::set_next).
+    pub fn set_next_if(
+        &mut self,
+        reg: SignalId,
+        enable: ExprId,
+        value: ExprId,
+    ) -> Result<(), RtlError> {
+        let hold = self.sig(reg);
+        let next = self.mux(enable, value, hold);
+        self.set_next(reg, next)
+    }
+
+    // ---- expression constructors -------------------------------------
+
+    fn intern(&mut self, expr: Expr) -> ExprId {
+        if let Some(&id) = self.intern.get(&expr) {
+            return id;
+        }
+        let id = ExprId(self.exprs.len() as u32);
+        // Width computation mirrors the operator rules; panics here surface
+        // construction bugs at the call site.
+        let width = self
+            .compute_width(&expr)
+            .unwrap_or_else(|e| panic!("invalid expression: {e}"));
+        self.exprs.push(expr.clone());
+        self.expr_widths.push(width);
+        self.intern.insert(expr, id);
+        id
+    }
+
+    fn compute_width(&self, expr: &Expr) -> Result<u32, RtlError> {
+        let w = |e: ExprId| self.expr_widths[e.index()];
+        Ok(match expr {
+            Expr::Const(v) => v.width(),
+            Expr::Signal(s) => self.signals[s.index()].width,
+            Expr::Unary(op, a) => match op {
+                UnaryOp::Not | UnaryOp::Neg => w(*a),
+                _ => 1,
+            },
+            Expr::Binary(op, a, b) => {
+                if op.is_shift() {
+                    w(*a)
+                } else {
+                    if w(*a) != w(*b) {
+                        return Err(RtlError::WidthMismatch {
+                            context: format!("{op:?}"),
+                            left: w(*a),
+                            right: w(*b),
+                        });
+                    }
+                    if op.is_comparison() {
+                        1
+                    } else {
+                        w(*a)
+                    }
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                if w(*cond) != 1 {
+                    return Err(RtlError::WidthMismatch {
+                        context: "mux condition".into(),
+                        left: w(*cond),
+                        right: 1,
+                    });
+                }
+                if w(*then_expr) != w(*else_expr) {
+                    return Err(RtlError::WidthMismatch {
+                        context: "mux branches".into(),
+                        left: w(*then_expr),
+                        right: w(*else_expr),
+                    });
+                }
+                w(*then_expr)
+            }
+            Expr::Slice { arg, hi, lo } => {
+                if hi < lo || *hi >= w(*arg) {
+                    return Err(RtlError::InvalidSlice {
+                        hi: *hi,
+                        lo: *lo,
+                        width: w(*arg),
+                    });
+                }
+                hi - lo + 1
+            }
+            Expr::Concat(a, b) => w(*a) + w(*b),
+            Expr::Zext { arg, width } | Expr::Sext { arg, width } => {
+                if *width < w(*arg) {
+                    return Err(RtlError::WidthMismatch {
+                        context: "extension".into(),
+                        left: *width,
+                        right: w(*arg),
+                    });
+                }
+                *width
+            }
+        })
+    }
+
+    /// The current value of a signal as an expression.
+    pub fn sig(&mut self, id: SignalId) -> ExprId {
+        self.intern(Expr::Signal(id))
+    }
+
+    /// A constant of the given width (value truncated to fit).
+    pub fn lit(&mut self, width: u32, value: u64) -> ExprId {
+        self.constant(BitVec::from_u64(width, value))
+    }
+
+    /// An arbitrary-width constant.
+    pub fn constant(&mut self, value: BitVec) -> ExprId {
+        self.intern(Expr::Const(value))
+    }
+
+    /// A 1-bit constant.
+    pub fn bit_lit(&mut self, value: bool) -> ExprId {
+        self.lit(1, value as u64)
+    }
+
+    /// Bitwise complement.
+    pub fn not(&mut self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::Not, a))
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::Neg, a))
+    }
+
+    /// AND-reduction.
+    pub fn red_and(&mut self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::RedAnd, a))
+    }
+
+    /// OR-reduction.
+    pub fn red_or(&mut self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::RedOr, a))
+    }
+
+    /// XOR-reduction.
+    pub fn red_xor(&mut self, a: ExprId) -> ExprId {
+        self.intern(Expr::Unary(UnaryOp::RedXor, a))
+    }
+
+    /// A binary operator application.
+    pub fn binary(&mut self, op: BinaryOp, a: ExprId, b: ExprId) -> ExprId {
+        self.intern(Expr::Binary(op, a, b))
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Xor, a, b)
+    }
+
+    /// Modular addition.
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Add, a, b)
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Sub, a, b)
+    }
+
+    /// Modular multiplication.
+    pub fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Mul, a, b)
+    }
+
+    /// Dynamic logical shift left.
+    pub fn shl(&mut self, a: ExprId, amount: ExprId) -> ExprId {
+        self.binary(BinaryOp::Shl, a, amount)
+    }
+
+    /// Dynamic logical shift right.
+    pub fn lshr(&mut self, a: ExprId, amount: ExprId) -> ExprId {
+        self.binary(BinaryOp::Lshr, a, amount)
+    }
+
+    /// Dynamic arithmetic shift right.
+    pub fn ashr(&mut self, a: ExprId, amount: ExprId) -> ExprId {
+        self.binary(BinaryOp::Ashr, a, amount)
+    }
+
+    /// Equality comparison.
+    pub fn eq(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Eq, a, b)
+    }
+
+    /// Inequality comparison.
+    pub fn ne(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Ule, a, b)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.binary(BinaryOp::Sle, a, b)
+    }
+
+    /// Comparison against a literal: `a == value`.
+    pub fn eq_lit(&mut self, a: ExprId, value: u64) -> ExprId {
+        let w = self.expr_widths[a.index()];
+        let l = self.lit(w, value);
+        self.eq(a, l)
+    }
+
+    /// 2-to-1 multiplexer.
+    pub fn mux(
+        &mut self,
+        cond: ExprId,
+        then_expr: ExprId,
+        else_expr: ExprId,
+    ) -> ExprId {
+        self.intern(Expr::Mux {
+            cond,
+            then_expr,
+            else_expr,
+        })
+    }
+
+    /// Bit-slice `a[hi..=lo]`.
+    pub fn slice(&mut self, a: ExprId, hi: u32, lo: u32) -> ExprId {
+        self.intern(Expr::Slice { arg: a, hi, lo })
+    }
+
+    /// Single-bit extraction `a[index]`.
+    pub fn bit(&mut self, a: ExprId, index: u32) -> ExprId {
+        self.slice(a, index, index)
+    }
+
+    /// Concatenation `{high, low}`.
+    pub fn concat(&mut self, high: ExprId, low: ExprId) -> ExprId {
+        self.intern(Expr::Concat(high, low))
+    }
+
+    /// Concatenation of many parts, first element in the most-significant
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat_all(&mut self, parts: &[ExprId]) -> ExprId {
+        let (&first, rest) = parts.split_first().expect("concat of nothing");
+        rest.iter()
+            .fold(first, |acc, &part| self.concat(acc, part))
+    }
+
+    /// Zero-extension to `width`.
+    pub fn zext(&mut self, a: ExprId, width: u32) -> ExprId {
+        if self.expr_widths[a.index()] == width {
+            return a;
+        }
+        self.intern(Expr::Zext { arg: a, width })
+    }
+
+    /// Sign-extension to `width`.
+    pub fn sext(&mut self, a: ExprId, width: u32) -> ExprId {
+        if self.expr_widths[a.index()] == width {
+            return a;
+        }
+        self.intern(Expr::Sext { arg: a, width })
+    }
+
+    /// Logical AND of 1-bit terms (`true` for an empty list).
+    pub fn all(&mut self, terms: &[ExprId]) -> ExprId {
+        let mut acc = self.bit_lit(true);
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Logical OR of 1-bit terms (`false` for an empty list).
+    pub fn any(&mut self, terms: &[ExprId]) -> ExprId {
+        let mut acc = self.bit_lit(false);
+        for &t in terms {
+            acc = self.or(acc, t);
+        }
+        acc
+    }
+
+    /// A priority selector: returns the value of the first case whose
+    /// condition holds, or `default` if none does.
+    pub fn select(
+        &mut self,
+        cases: &[(ExprId, ExprId)],
+        default: ExprId,
+    ) -> ExprId {
+        cases
+            .iter()
+            .rev()
+            .fold(default, |acc, &(cond, value)| self.mux(cond, value, acc))
+    }
+
+    /// A constant lookup table (ROM) read: builds a balanced mux tree over
+    /// `table`, indexed by `addr`. Out-of-range addresses return entry 0.
+    ///
+    /// Used to model combinational ROMs such as AES S-boxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is empty.
+    pub fn rom_lookup(
+        &mut self,
+        addr: ExprId,
+        table: &[u64],
+        data_width: u32,
+    ) -> ExprId {
+        assert!(!table.is_empty(), "ROM table must be non-empty");
+        let addr_width = self.expr_widths[addr.index()];
+        let leaves: Vec<ExprId> = table
+            .iter()
+            .map(|&v| self.lit(data_width, v))
+            .collect();
+        self.mux_tree(addr, addr_width, &leaves)
+    }
+
+    fn mux_tree(
+        &mut self,
+        addr: ExprId,
+        addr_width: u32,
+        leaves: &[ExprId],
+    ) -> ExprId {
+        if leaves.len() == 1 {
+            return leaves[0];
+        }
+        let mut level: Vec<ExprId> = leaves.to_vec();
+        let mut bit_index = 0;
+        while level.len() > 1 && bit_index < addr_width {
+            let select = self.bit(addr, bit_index);
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.mux(select, pair[1], pair[0]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+            bit_index += 1;
+        }
+        level[0]
+    }
+
+    /// The width of an already-built expression.
+    pub fn width_of(&self, expr: ExprId) -> u32 {
+        self.expr_widths[expr.index()]
+    }
+
+    /// Finishes the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any non-input signal lacks a driver, a register's
+    /// reset value has the wrong width, or the combinational logic (wires and
+    /// outputs, with registers and inputs as leaves) contains a cycle.
+    pub fn build(self) -> Result<Module, RtlError> {
+        // Driver completeness.
+        for (i, signal) in self.signals.iter().enumerate() {
+            match signal.kind {
+                SignalKind::Input => {}
+                _ => {
+                    if self.drivers[i].is_none() {
+                        return Err(RtlError::Undriven(signal.name.clone()));
+                    }
+                }
+            }
+            if let Some(init) = &signal.init {
+                if init.width() != signal.width {
+                    return Err(RtlError::InitWidthMismatch {
+                        signal: signal.name.clone(),
+                        expected: signal.width,
+                        actual: init.width(),
+                    });
+                }
+            }
+        }
+
+        let mut module = Module {
+            name: self.name,
+            signals: self.signals,
+            exprs: self.exprs,
+            expr_widths: self.expr_widths,
+            drivers: self.drivers,
+            by_name: self.by_name,
+            comb_order: Vec::new(),
+        };
+        module.comb_order = topo_sort_comb(&module)?;
+        Ok(module)
+    }
+}
+
+/// Topologically sorts the combinational signals (wires and outputs).
+pub(crate) fn topo_sort_comb(module: &Module) -> Result<Vec<SignalId>, RtlError> {
+    let n = module.signal_count();
+    // Dependencies of each comb signal on other comb signals.
+    let mut deps: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    let mut is_comb = vec![false; n];
+    for (id, signal) in module.signals() {
+        if matches!(signal.kind, SignalKind::Wire | SignalKind::Output) {
+            is_comb[id.index()] = true;
+        }
+    }
+    for (id, _) in module.signals() {
+        if !is_comb[id.index()] {
+            continue;
+        }
+        let driver = module.driver(id).expect("validated driver");
+        deps[id.index()] = module
+            .expr_supports(driver)
+            .into_iter()
+            .filter(|s| is_comb[s.index()])
+            .collect();
+    }
+
+    // Kahn's algorithm with cycle reporting via DFS on failure.
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    for (id, _) in module.signals() {
+        for &dep in &deps[id.index()] {
+            indegree[id.index()] += 1;
+            dependents[dep.index()].push(id);
+        }
+    }
+    let mut queue: Vec<SignalId> = module
+        .signals()
+        .filter(|(id, _)| is_comb[id.index()] && indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::new();
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        for &dependent in &dependents[id.index()] {
+            indegree[dependent.index()] -= 1;
+            if indegree[dependent.index()] == 0 {
+                queue.push(dependent);
+            }
+        }
+    }
+    let comb_total = is_comb.iter().filter(|&&c| c).count();
+    if order.len() != comb_total {
+        let cyclic: Vec<String> = module
+            .signals()
+            .filter(|(id, _)| is_comb[id.index()] && indegree[id.index()] > 0)
+            .map(|(_, s)| s.name.clone())
+            .collect();
+        return Err(RtlError::CombinationalCycle(cyclic));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BitVec;
+
+    #[test]
+    fn build_simple_counter() {
+        let mut b = ModuleBuilder::new("ctr");
+        let en = b.control_input("en", 1);
+        let count = b.reg("count", 4, 0);
+        let one = b.lit(4, 1);
+        let count_sig = b.sig(count);
+        let inc = b.add(count_sig, one);
+        let en_sig = b.sig(en);
+        b.set_next_if(count, en_sig, inc).expect("set_next");
+        let full = b.eq_lit(count_sig, 15);
+        b.control_output("full", full);
+        let m = b.build().expect("valid module");
+        assert_eq!(m.state_signals().len(), 1);
+        assert_eq!(m.state_bits(), 4);
+        assert_eq!(m.control_outputs().len(), 1);
+    }
+
+    #[test]
+    fn undriven_register_is_an_error() {
+        let mut b = ModuleBuilder::new("bad");
+        b.reg("r", 4, 0);
+        assert!(matches!(b.build(), Err(RtlError::Undriven(_))));
+    }
+
+    #[test]
+    fn double_driver_is_an_error() {
+        let mut b = ModuleBuilder::new("bad");
+        let r = b.reg("r", 4, 0);
+        let v = b.lit(4, 1);
+        b.set_next(r, v).expect("first driver");
+        assert!(matches!(
+            b.set_next(r, v),
+            Err(RtlError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_in_next_is_an_error() {
+        let mut b = ModuleBuilder::new("bad");
+        let r = b.reg("r", 4, 0);
+        let v = b.lit(8, 1);
+        assert!(matches!(
+            b.set_next(r, v),
+            Err(RtlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut b = ModuleBuilder::new("cyc");
+        // w1 = w2 + 1; w2 = w1 — requires forward declaration via a reg
+        // trick, so build the cycle through two wires referencing each
+        // other's signals: declare w1 on a placeholder input? Signals can
+        // only be referenced after declaration, so a direct cycle needs
+        // both declared first. Use wires driven by each other via sig().
+        let a = b.input("a", 1);
+        let a_sig = b.sig(a);
+        let w1 = b.wire("w1", a_sig);
+        // w2 depends on w1's *signal*, fine so far.
+        let w1_sig = b.sig(w1);
+        let w2 = b.wire("w2", w1_sig);
+        let _ = w2;
+        let m = b.build().expect("acyclic");
+        // Evaluation order must place w1 before w2.
+        let order = m.comb_order();
+        let p1 = order.iter().position(|&s| s == w1).expect("w1 present");
+        let p2 = order.iter().position(|&s| s == w2).expect("w2 present");
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut b = ModuleBuilder::new("cse");
+        let x = b.input("x", 8);
+        let xs = b.sig(x);
+        let a = b.add(xs, xs);
+        let a2 = b.add(xs, xs);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn rom_lookup_selects_correct_entry() {
+        let mut b = ModuleBuilder::new("rom");
+        let addr = b.input("addr", 3);
+        let addr_sig = b.sig(addr);
+        let table: Vec<u64> = (0..8).map(|i| i * 11).collect();
+        let data = b.rom_lookup(addr_sig, &table, 8);
+        b.output("data", data);
+        let m = b.build().expect("valid");
+        let data_id = m.signal_by_name("data").expect("data");
+        for i in 0..8u64 {
+            let mut env: Vec<BitVec> = m
+                .signals()
+                .map(|(_, s)| BitVec::zero(s.width))
+                .collect();
+            env[addr.index()] = BitVec::from_u64(3, i);
+            let driver = m.driver(data_id).expect("driven");
+            assert_eq!(m.eval(driver, &env).to_u64(), i * 11);
+        }
+    }
+
+    #[test]
+    fn select_is_priority_ordered() {
+        let mut b = ModuleBuilder::new("sel");
+        let c0 = b.input("c0", 1);
+        let c1 = b.input("c1", 1);
+        let c0s = b.sig(c0);
+        let c1s = b.sig(c1);
+        let v0 = b.lit(8, 10);
+        let v1 = b.lit(8, 20);
+        let dflt = b.lit(8, 30);
+        let out = b.select(&[(c0s, v0), (c1s, v1)], dflt);
+        b.output("out", out);
+        let m = b.build().expect("valid");
+        let out_id = m.signal_by_name("out").expect("out");
+        let driver = m.driver(out_id).expect("driven");
+        let mut env: Vec<BitVec> =
+            m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        // both set -> first case wins
+        env[c0.index()] = BitVec::from_bool(true);
+        env[c1.index()] = BitVec::from_bool(true);
+        assert_eq!(m.eval(driver, &env).to_u64(), 10);
+        env[c0.index()] = BitVec::from_bool(false);
+        assert_eq!(m.eval(driver, &env).to_u64(), 20);
+        env[c1.index()] = BitVec::from_bool(false);
+        assert_eq!(m.eval(driver, &env).to_u64(), 30);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cone-of-influence analysis.
+//!
+//! The *cone of influence* of a set of signals is every signal whose value
+//! can (structurally) affect them, following combinational drivers and
+//! register next-state functions transitively. The paper uses it as one of
+//! the HFG-enabled proof optimizations (Sec. IV-A); the formal engine uses
+//! it to drop irrelevant state from the 2-safety model.
+
+use crate::expr::SignalId;
+use crate::module::Module;
+use std::collections::VecDeque;
+
+/// Computes the cone of influence of `targets`: all signals (including the
+/// targets themselves) that can structurally affect any target.
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_rtl::{cone_of_influence, ModuleBuilder};
+///
+/// # fn main() -> Result<(), fastpath_rtl::RtlError> {
+/// let mut b = ModuleBuilder::new("m");
+/// let a = b.input("a", 1);
+/// let unused = b.input("unused", 1);
+/// let a_sig = b.sig(a);
+/// let out = b.output("out", a_sig);
+/// let m = b.build()?;
+/// let cone = cone_of_influence(&m, &[out]);
+/// assert!(cone.contains(&a));
+/// assert!(!cone.contains(&unused));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cone_of_influence(module: &Module, targets: &[SignalId]) -> Vec<SignalId> {
+    let mut in_cone = vec![false; module.signal_count()];
+    let mut queue: VecDeque<SignalId> = VecDeque::new();
+    for &t in targets {
+        if !in_cone[t.index()] {
+            in_cone[t.index()] = true;
+            queue.push_back(t);
+        }
+    }
+    while let Some(sig) = queue.pop_front() {
+        if let Some(driver) = module.driver(sig) {
+            for dep in module.expr_supports(driver) {
+                if !in_cone[dep.index()] {
+                    in_cone[dep.index()] = true;
+                    queue.push_back(dep);
+                }
+            }
+        }
+    }
+    (0..module.signal_count())
+        .filter(|&i| in_cone[i])
+        .map(SignalId::from_index)
+        .collect()
+}
+
+/// Computes the forward fan-out cone: all signals that `sources` can
+/// structurally affect (including the sources themselves).
+pub fn fanout_cone(module: &Module, sources: &[SignalId]) -> Vec<SignalId> {
+    // Build reverse adjacency once.
+    let n = module.signal_count();
+    let mut dependents: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    for (id, _) in module.signals() {
+        if let Some(driver) = module.driver(id) {
+            for dep in module.expr_supports(driver) {
+                dependents[dep.index()].push(id);
+            }
+        }
+    }
+    let mut reached = vec![false; n];
+    let mut queue: VecDeque<SignalId> = VecDeque::new();
+    for &s in sources {
+        if !reached[s.index()] {
+            reached[s.index()] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(sig) = queue.pop_front() {
+        for &dependent in &dependents[sig.index()] {
+            if !reached[dependent.index()] {
+                reached[dependent.index()] = true;
+                queue.push_back(dependent);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| reached[i])
+        .map(SignalId::from_index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn cone_follows_registers() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let a_sig = b.sig(a);
+        let r = b.reg("r", 4, 0);
+        b.set_next(r, a_sig).expect("drive r");
+        let r_sig = b.sig(r);
+        let out = b.output("out", r_sig);
+        let m = b.build().expect("valid");
+        let cone = cone_of_influence(&m, &[out]);
+        assert!(cone.contains(&a));
+        assert!(cone.contains(&r));
+        assert!(cone.contains(&out));
+    }
+
+    #[test]
+    fn fanout_reaches_outputs() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let x = b.input("x", 4);
+        let a_sig = b.sig(a);
+        let x_sig = b.sig(x);
+        let r = b.reg("r", 4, 0);
+        b.set_next(r, a_sig).expect("drive r");
+        let r_sig = b.sig(r);
+        let out_a = b.output("out_a", r_sig);
+        let out_x = b.output("out_x", x_sig);
+        let m = b.build().expect("valid");
+        let fan = fanout_cone(&m, &[a]);
+        assert!(fan.contains(&out_a));
+        assert!(!fan.contains(&out_x));
+        assert!(!fan.contains(&x));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for RTL construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while constructing or validating a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// Two operands (or a construct's sub-terms) have incompatible widths.
+    WidthMismatch {
+        /// What was being checked.
+        context: String,
+        /// Width of the left / actual term.
+        left: u32,
+        /// Width of the right / expected term.
+        right: u32,
+    },
+    /// A slice range is empty or exceeds the operand width.
+    InvalidSlice {
+        /// Most-significant requested bit.
+        hi: u32,
+        /// Least-significant requested bit.
+        lo: u32,
+        /// Operand width.
+        width: u32,
+    },
+    /// A signal name was declared twice.
+    DuplicateSignal(String),
+    /// A signal was declared with width zero.
+    ZeroWidth(String),
+    /// A non-input signal has no driving expression.
+    Undriven(String),
+    /// A signal was assigned a driver twice.
+    MultipleDrivers(String),
+    /// The combinational logic contains a cycle through the named signals.
+    CombinationalCycle(Vec<String>),
+    /// A register's reset value width differs from the register width.
+    InitWidthMismatch {
+        /// Register name.
+        signal: String,
+        /// Register width.
+        expected: u32,
+        /// Reset-value width.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::WidthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "width mismatch in {context}: {left} vs {right}"),
+            RtlError::InvalidSlice { hi, lo, width } => {
+                write!(f, "invalid slice [{hi}:{lo}] of {width}-bit value")
+            }
+            RtlError::DuplicateSignal(name) => {
+                write!(f, "duplicate signal name `{name}`")
+            }
+            RtlError::ZeroWidth(name) => {
+                write!(f, "signal `{name}` has zero width")
+            }
+            RtlError::Undriven(name) => {
+                write!(f, "signal `{name}` has no driver")
+            }
+            RtlError::MultipleDrivers(name) => {
+                write!(f, "signal `{name}` has multiple drivers")
+            }
+            RtlError::CombinationalCycle(names) => {
+                write!(f, "combinational cycle through: {}", names.join(" -> "))
+            }
+            RtlError::InitWidthMismatch {
+                signal,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "register `{signal}` is {expected} bits but its reset value \
+                 is {actual} bits"
+            ),
+        }
+    }
+}
+
+impl Error for RtlError {}

@@ -1,0 +1,219 @@
+//! The word-level expression intermediate representation.
+//!
+//! Expressions are interned in their owning [`Module`](crate::Module):
+//! an [`ExprId`] indexes into the module's expression arena. All expressions
+//! are pure combinational functions of signals and constants; sequential
+//! behaviour lives exclusively in registers.
+
+use crate::value::BitVec;
+use std::fmt;
+
+/// Identifies a signal within a [`Module`](crate::Module).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The raw index of this signal in its module's signal table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `SignalId` from a raw index.
+    ///
+    /// Intended for tools (graph builders, solvers) that store signal ids in
+    /// dense tables; the index must have come from [`SignalId::index`] on the
+    /// same module.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifies an expression within a [`Module`](crate::Module)'s arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExprId(pub(crate) u32);
+
+impl ExprId {
+    /// The raw index of this expression in its module's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Unary word-level operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// AND-reduction to a single bit.
+    RedAnd,
+    /// OR-reduction to a single bit.
+    RedOr,
+    /// XOR-reduction (parity) to a single bit.
+    RedXor,
+}
+
+/// Binary word-level operators.
+///
+/// Shift amounts (`Shl`, `Lshr`, `Ashr`) may have a different width than the
+/// shifted operand; all other operators require equal operand widths.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinaryOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+    /// Modular multiplication (truncated to operand width).
+    Mul,
+    /// Logical shift left by a dynamic amount.
+    Shl,
+    /// Logical shift right by a dynamic amount.
+    Lshr,
+    /// Arithmetic shift right by a dynamic amount.
+    Ashr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Ult,
+    /// Unsigned less-or-equal (1-bit result).
+    Ule,
+    /// Signed less-than (1-bit result).
+    Slt,
+    /// Signed less-or-equal (1-bit result).
+    Sle,
+}
+
+impl BinaryOp {
+    /// `true` for operators whose result is a single bit.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Ult
+                | BinaryOp::Ule
+                | BinaryOp::Slt
+                | BinaryOp::Sle
+        )
+    }
+
+    /// `true` for the dynamic shift operators.
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinaryOp::Shl | BinaryOp::Lshr | BinaryOp::Ashr)
+    }
+}
+
+/// A node in the combinational expression arena.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// A constant value.
+    Const(BitVec),
+    /// A reference to a signal's current value.
+    Signal(SignalId),
+    /// A unary operator application.
+    Unary(UnaryOp, ExprId),
+    /// A binary operator application.
+    Binary(BinaryOp, ExprId, ExprId),
+    /// `if cond { then_expr } else { else_expr }` — `cond` must be 1 bit wide
+    /// and the branches must have equal widths.
+    Mux {
+        /// The 1-bit select condition.
+        cond: ExprId,
+        /// Value when `cond` is 1.
+        then_expr: ExprId,
+        /// Value when `cond` is 0.
+        else_expr: ExprId,
+    },
+    /// Bit-slice `arg[hi..=lo]` (inclusive, `hi >= lo`).
+    Slice {
+        /// Source expression.
+        arg: ExprId,
+        /// Most-significant extracted bit.
+        hi: u32,
+        /// Least-significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation `{high, low}` (Verilog-style, `high` in the upper bits).
+    Concat(ExprId, ExprId),
+    /// Zero-extension to `width` (which must be ≥ the operand width).
+    Zext {
+        /// Source expression.
+        arg: ExprId,
+        /// Target width.
+        width: u32,
+    },
+    /// Sign-extension to `width` (which must be ≥ the operand width).
+    Sext {
+        /// Source expression.
+        arg: ExprId,
+        /// Target width.
+        width: u32,
+    },
+}
+
+impl Expr {
+    /// The immediate operand expressions of this node.
+    pub fn operands(&self) -> Vec<ExprId> {
+        match *self {
+            Expr::Const(_) | Expr::Signal(_) => vec![],
+            Expr::Unary(_, a) | Expr::Slice { arg: a, .. } => vec![a],
+            Expr::Zext { arg, .. } | Expr::Sext { arg, .. } => vec![arg],
+            Expr::Binary(_, a, b) | Expr::Concat(a, b) => vec![a, b],
+            Expr::Mux {
+                cond,
+                then_expr,
+                else_expr,
+            } => vec![cond, then_expr, else_expr],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_lists() {
+        let a = ExprId(0);
+        let b = ExprId(1);
+        let c = ExprId(2);
+        assert!(Expr::Const(BitVec::zero(1)).operands().is_empty());
+        assert_eq!(Expr::Unary(UnaryOp::Not, a).operands(), vec![a]);
+        assert_eq!(
+            Expr::Binary(BinaryOp::Add, a, b).operands(),
+            vec![a, b]
+        );
+        assert_eq!(
+            Expr::Mux {
+                cond: a,
+                then_expr: b,
+                else_expr: c
+            }
+            .operands(),
+            vec![a, b, c]
+        );
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::Ashr.is_shift());
+        assert!(!BinaryOp::Xor.is_shift());
+    }
+}

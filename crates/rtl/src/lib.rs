@@ -1,0 +1,60 @@
+//! # fastpath-rtl
+//!
+//! Word-level RTL intermediate representation for the FastPath hardware
+//! security verification flow.
+//!
+//! A hardware design is a [`Module`]: a synchronous Mealy machine with
+//! named, fixed-width signals (inputs, outputs, wires, registers), a
+//! hash-consed arena of combinational expressions, and one driver per
+//! non-input signal. Modules are built with [`ModuleBuilder`], which checks
+//! widths eagerly and rejects undriven signals and combinational cycles.
+//!
+//! The security interface partitioning of the paper's threat model
+//! (control/data inputs `X_C`/`X_D`, control/data outputs `Y_C`/`Y_D`) is
+//! attached to signals as a [`SignalRole`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fastpath_rtl::{BitVec, ModuleBuilder};
+//!
+//! # fn main() -> Result<(), fastpath_rtl::RtlError> {
+//! // An 8-bit accumulator guarded by a control input.
+//! let mut b = ModuleBuilder::new("accum");
+//! let start = b.control_input("start", 1);
+//! let value = b.data_input("value", 8);
+//! let acc = b.reg("acc", 8, 0);
+//! let value_sig = b.sig(value);
+//! let acc_sig = b.sig(acc);
+//! let sum = b.add(acc_sig, value_sig);
+//! let start_sig = b.sig(start);
+//! b.set_next_if(acc, start_sig, sum)?;
+//! b.data_output("result", acc_sig);
+//! let module = b.build()?;
+//! assert_eq!(module.name(), "accum");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod cone;
+mod error;
+mod expr;
+mod module;
+mod netlist;
+pub mod random;
+mod regfile;
+mod value;
+mod verilog;
+
+pub use builder::ModuleBuilder;
+pub use cone::{cone_of_influence, fanout_cone};
+pub use error::RtlError;
+pub use expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
+pub use module::{eval_binary, Module, Signal, SignalKind, SignalRole};
+pub use netlist::{parse_netlist, write_netlist, ParseNetlistError};
+pub use regfile::RegFile;
+pub use value::BitVec;
+pub use verilog::to_verilog;

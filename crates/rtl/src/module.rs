@@ -1,0 +1,365 @@
+//! The RTL module model: a synchronous Mealy machine over word-level signals.
+//!
+//! A [`Module`] is the unit of verification. It owns:
+//!
+//! - a table of named, fixed-width *signals* ([`Signal`]), each of which is
+//!   an input, an output, a combinational wire, or a register;
+//! - an arena of combinational [`Expr`](crate::Expr) nodes;
+//! - one driving expression per non-input signal (registers are driven by
+//!   their *next-state* expression, sampled at the clock edge).
+//!
+//! This matches the paper's threat model (Sec. II): a standard FSM
+//! `M = (I, O, S, S0, δ, λ)` whose RTL signals partition into control/data
+//! inputs and outputs.
+
+use crate::expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
+use crate::value::BitVec;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a signal participates in the module interface and state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SignalKind {
+    /// Primary input, driven by the environment each cycle.
+    Input,
+    /// Primary output, driven by a combinational expression.
+    Output,
+    /// Internal combinational wire.
+    Wire,
+    /// State-holding register with a reset value and a next-state expression.
+    Register,
+}
+
+/// Security-interface role of a signal, per the paper's partitioning of
+/// inputs into `X_C`/`X_D` and outputs into `Y_C`/`Y_D` (Sec. II).
+///
+/// Internal signals are `Internal`; the partitioning is part of the security
+/// specification, not of the circuit function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SignalRole {
+    /// Not part of the security interface.
+    #[default]
+    Internal,
+    /// Control input `x_C`: constrained equal across the 2-safety instances.
+    ControlIn,
+    /// Data input `x_D`: the confidential information being tracked.
+    DataIn,
+    /// Control output `y_C`: attacker-observable; must never depend on `X_D`.
+    ControlOut,
+    /// Data output `y_D`: carries data by design; excluded from observation.
+    DataOut,
+}
+
+/// A named, fixed-width signal.
+#[derive(Clone, Debug)]
+pub struct Signal {
+    /// Hierarchical name, unique within the module.
+    pub name: String,
+    /// Width in bits (non-zero).
+    pub width: u32,
+    /// Structural kind.
+    pub kind: SignalKind,
+    /// Security-interface role.
+    pub role: SignalRole,
+    /// Reset value (registers only).
+    pub init: Option<BitVec>,
+}
+
+/// A complete synchronous RTL design.
+///
+/// Construct with [`ModuleBuilder`](crate::ModuleBuilder); a finished module
+/// is validated (single driver per signal, width-correct expressions, no
+/// combinational cycles) and immutable.
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub(crate) name: String,
+    pub(crate) signals: Vec<Signal>,
+    pub(crate) exprs: Vec<Expr>,
+    pub(crate) expr_widths: Vec<u32>,
+    /// Driving expression per signal (None for inputs).
+    pub(crate) drivers: Vec<Option<ExprId>>,
+    pub(crate) by_name: HashMap<String, SignalId>,
+    /// Wires and outputs in dependency order (registers/inputs are leaves).
+    pub(crate) comb_order: Vec<SignalId>,
+}
+
+impl Module {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Looks up a signal.
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id.index()]
+    }
+
+    /// Finds a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all `(id, signal)` pairs.
+    pub fn signals(&self) -> impl Iterator<Item = (SignalId, &Signal)> {
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId(i as u32), s))
+    }
+
+    /// All signals of the given kind.
+    pub fn signals_of_kind(&self, kind: SignalKind) -> Vec<SignalId> {
+        self.signals()
+            .filter(|(_, s)| s.kind == kind)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All signals of the given role.
+    pub fn signals_of_role(&self, role: SignalRole) -> Vec<SignalId> {
+        self.signals()
+            .filter(|(_, s)| s.role == role)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The confidential data inputs `X_D`.
+    pub fn data_inputs(&self) -> Vec<SignalId> {
+        self.signals_of_role(SignalRole::DataIn)
+    }
+
+    /// The attacker-observable control outputs `Y_C`.
+    pub fn control_outputs(&self) -> Vec<SignalId> {
+        self.signals_of_role(SignalRole::ControlOut)
+    }
+
+    /// All state-holding (register) signals `Z`.
+    pub fn state_signals(&self) -> Vec<SignalId> {
+        self.signals_of_kind(SignalKind::Register)
+    }
+
+    /// Total number of state bits (the paper's "State Size / Bits" column).
+    pub fn state_bits(&self) -> u64 {
+        self.state_signals()
+            .iter()
+            .map(|&id| self.signal(id).width as u64)
+            .sum()
+    }
+
+    /// An expression node.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.index()]
+    }
+
+    /// The width of an expression.
+    pub fn expr_width(&self, id: ExprId) -> u32 {
+        self.expr_widths[id.index()]
+    }
+
+    /// The number of expression nodes in the arena.
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// The driving expression of a signal (`None` for inputs).
+    pub fn driver(&self, id: SignalId) -> Option<ExprId> {
+        self.drivers[id.index()]
+    }
+
+    /// Combinational signals (wires and outputs) in evaluation order:
+    /// evaluating them in this order never reads an unevaluated wire.
+    pub fn comb_order(&self) -> &[SignalId] {
+        &self.comb_order
+    }
+
+    /// The signals read directly by an expression (transitively over the
+    /// expression arena, but not through registers).
+    pub fn expr_supports(&self, root: ExprId) -> Vec<SignalId> {
+        let mut seen = vec![false; self.exprs.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(e) = stack.pop() {
+            if seen[e.index()] {
+                continue;
+            }
+            seen[e.index()] = true;
+            if let Expr::Signal(s) = self.exprs[e.index()] {
+                out.push(s);
+            }
+            stack.extend(self.exprs[e.index()].operands());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates an expression under the given signal environment.
+    ///
+    /// `env[i]` must hold the current value of the signal with index `i`.
+    /// Shared sub-expressions are evaluated once (the arena is a DAG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` is inconsistent with the module's signal widths; a
+    /// validated module with a well-formed environment never panics.
+    pub fn eval(&self, root: ExprId, env: &[BitVec]) -> BitVec {
+        let mut memo: Vec<Option<BitVec>> = vec![None; self.exprs.len()];
+        self.eval_memo(root, env, &mut memo)
+    }
+
+    /// Evaluates an expression reusing a caller-provided memo table, so a
+    /// simulator can share work across the drivers of one cycle. `memo` must
+    /// have one entry per arena expression and be reset between cycles.
+    pub fn eval_memo(
+        &self,
+        root: ExprId,
+        env: &[BitVec],
+        memo: &mut [Option<BitVec>],
+    ) -> BitVec {
+        if let Some(v) = &memo[root.index()] {
+            return v.clone();
+        }
+        let value = match &self.exprs[root.index()] {
+            Expr::Const(v) => v.clone(),
+            Expr::Signal(s) => env[s.index()].clone(),
+            Expr::Unary(op, a) => {
+                let a = self.eval_memo(*a, env, memo);
+                match op {
+                    UnaryOp::Not => !&a,
+                    UnaryOp::Neg => a.wrapping_neg(),
+                    UnaryOp::RedAnd => a.reduce_and(),
+                    UnaryOp::RedOr => a.reduce_or(),
+                    UnaryOp::RedXor => a.reduce_xor(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.eval_memo(*a, env, memo);
+                let b = self.eval_memo(*b, env, memo);
+                eval_binary(*op, &a, &b)
+            }
+            Expr::Mux {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                if self.eval_memo(*cond, env, memo).is_true() {
+                    self.eval_memo(*then_expr, env, memo)
+                } else {
+                    self.eval_memo(*else_expr, env, memo)
+                }
+            }
+            Expr::Slice { arg, hi, lo } => {
+                self.eval_memo(*arg, env, memo).slice(*hi, *lo)
+            }
+            Expr::Concat(hi, lo) => {
+                let h = self.eval_memo(*hi, env, memo);
+                let l = self.eval_memo(*lo, env, memo);
+                h.concat(&l)
+            }
+            Expr::Zext { arg, width } => {
+                self.eval_memo(*arg, env, memo).zext(*width)
+            }
+            Expr::Sext { arg, width } => {
+                self.eval_memo(*arg, env, memo).sext(*width)
+            }
+        };
+        memo[root.index()] = Some(value.clone());
+        value
+    }
+}
+
+/// Evaluates a binary operator on concrete values.
+pub fn eval_binary(op: BinaryOp, a: &BitVec, b: &BitVec) -> BitVec {
+    use std::cmp::Ordering::*;
+    match op {
+        BinaryOp::And => a & b,
+        BinaryOp::Or => a | b,
+        BinaryOp::Xor => a ^ b,
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Shl => a.shl(shift_amount(b)),
+        BinaryOp::Lshr => a.lshr(shift_amount(b)),
+        BinaryOp::Ashr => a.ashr(shift_amount(b)),
+        BinaryOp::Eq => BitVec::from_bool(a == b),
+        BinaryOp::Ne => BitVec::from_bool(a != b),
+        BinaryOp::Ult => BitVec::from_bool(a.cmp_unsigned(b) == Less),
+        BinaryOp::Ule => BitVec::from_bool(a.cmp_unsigned(b) != Greater),
+        BinaryOp::Slt => BitVec::from_bool(a.cmp_signed(b) == Less),
+        BinaryOp::Sle => BitVec::from_bool(a.cmp_signed(b) != Greater),
+    }
+}
+
+fn shift_amount(b: &BitVec) -> u64 {
+    // Saturate huge shift amounts; the semantics of shl/lshr/ashr already
+    // saturate at the operand width.
+    b.try_to_u64().unwrap_or(u64::MAX)
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for (_, s) in self.signals() {
+            writeln!(
+                f,
+                "  {:?} {} : {} ({:?})",
+                s.kind, s.name, s.width, s.role
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Module {
+    /// Returns a copy of this module with the security-interface roles
+    /// reassigned by `assign` (signals for which it returns `None` keep
+    /// their current role).
+    ///
+    /// Non-interference is threat-model-agnostic: re-labelling which
+    /// inputs are *high* and which outputs are *low* retargets the same
+    /// verification flow at confidentiality, integrity, or any other
+    /// 2-domain policy (paper Sec. II: "our method is not limited to this
+    /// threat model").
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fastpath_rtl::{ModuleBuilder, SignalRole};
+    ///
+    /// # fn main() -> Result<(), fastpath_rtl::RtlError> {
+    /// let mut b = ModuleBuilder::new("m");
+    /// let untrusted = b.control_input("untrusted_cfg", 8);
+    /// let u = b.sig(untrusted);
+    /// b.data_output("actuator", u);
+    /// let module = b.build()?;
+    /// // Integrity view: the config port becomes the tracked (high)
+    /// // source, the actuator the protected (low) sink.
+    /// let integrity = module.with_roles(|_, s| match s.name.as_str() {
+    ///     "untrusted_cfg" => Some(SignalRole::DataIn),
+    ///     "actuator" => Some(SignalRole::ControlOut),
+    ///     _ => None,
+    /// });
+    /// assert_eq!(integrity.data_inputs().len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn with_roles(
+        &self,
+        assign: impl Fn(SignalId, &Signal) -> Option<SignalRole>,
+    ) -> Module {
+        let mut out = self.clone();
+        for i in 0..out.signals.len() {
+            let id = SignalId(i as u32);
+            if let Some(role) = assign(id, &out.signals[i]) {
+                out.signals[i].role = role;
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,687 @@
+//! A plain-text netlist interchange format for [`Module`]s.
+//!
+//! [`write_netlist`] serializes a module — signals, the expression arena in
+//! arena order, drivers — and [`parse_netlist`] reconstructs it exactly
+//! (identical signal/expression numbering), so designs round-trip
+//! losslessly. The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! fastpath-netlist 1
+//! module counter
+//! input en 1 controlin
+//! reg count 8 00 .
+//! output done 1 controlout e5
+//! expr 0 sig count
+//! expr 1 const 8 1
+//! expr 2 add e0 e1
+//! ...
+//! drive count e4
+//! endmodule
+//! ```
+
+use crate::expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
+use crate::module::{Module, Signal, SignalKind, SignalRole};
+use crate::value::BitVec;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Serializes a module to netlist text.
+pub fn write_netlist(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fastpath-netlist 1");
+    let _ = writeln!(out, "module {}", module.name());
+    for (id, s) in module.signals() {
+        match s.kind {
+            SignalKind::Input => {
+                let _ = writeln!(
+                    out,
+                    "input {} {} {}",
+                    s.name,
+                    s.width,
+                    role_str(s.role)
+                );
+            }
+            SignalKind::Register => {
+                let init = s.init.as_ref().expect("register init");
+                let _ = writeln!(
+                    out,
+                    "reg {} {} {:x} {}",
+                    s.name,
+                    s.width,
+                    init,
+                    role_str(s.role)
+                );
+            }
+            SignalKind::Wire => {
+                let _ = writeln!(out, "wire {} {}", s.name, s.width);
+            }
+            SignalKind::Output => {
+                let driver = module.driver(id).expect("output driven");
+                let _ = writeln!(
+                    out,
+                    "output {} {} {} e{}",
+                    s.name,
+                    s.width,
+                    role_str(s.role),
+                    driver.index()
+                );
+            }
+        }
+    }
+    for i in 0..module.expr_count() {
+        let _ = write!(out, "expr {i} ");
+        let _ = writeln!(out, "{}", expr_str(module, i));
+    }
+    for (id, s) in module.signals() {
+        if matches!(s.kind, SignalKind::Register | SignalKind::Wire) {
+            let driver = module.driver(id).expect("driven");
+            let _ = writeln!(out, "drive {} e{}", s.name, driver.index());
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn role_str(role: SignalRole) -> &'static str {
+    match role {
+        SignalRole::Internal => "internal",
+        SignalRole::ControlIn => "controlin",
+        SignalRole::DataIn => "datain",
+        SignalRole::ControlOut => "controlout",
+        SignalRole::DataOut => "dataout",
+    }
+}
+
+fn parse_role(token: &str) -> Option<SignalRole> {
+    Some(match token {
+        "internal" => SignalRole::Internal,
+        "controlin" => SignalRole::ControlIn,
+        "datain" => SignalRole::DataIn,
+        "controlout" => SignalRole::ControlOut,
+        "dataout" => SignalRole::DataOut,
+        _ => return None,
+    })
+}
+
+fn expr_str(module: &Module, index: usize) -> String {
+    let e = |id: ExprId| format!("e{}", id.index());
+    match module.expr(ExprId(index as u32)) {
+        Expr::Const(v) => format!("const {} {:x}", v.width(), v),
+        Expr::Signal(s) => format!("sig {}", module.signal(*s).name),
+        Expr::Unary(op, a) => {
+            let name = match op {
+                UnaryOp::Not => "not",
+                UnaryOp::Neg => "neg",
+                UnaryOp::RedAnd => "redand",
+                UnaryOp::RedOr => "redor",
+                UnaryOp::RedXor => "redxor",
+            };
+            format!("{name} {}", e(*a))
+        }
+        Expr::Binary(op, a, b) => {
+            let name = match op {
+                BinaryOp::And => "and",
+                BinaryOp::Or => "or",
+                BinaryOp::Xor => "xor",
+                BinaryOp::Add => "add",
+                BinaryOp::Sub => "sub",
+                BinaryOp::Mul => "mul",
+                BinaryOp::Shl => "shl",
+                BinaryOp::Lshr => "lshr",
+                BinaryOp::Ashr => "ashr",
+                BinaryOp::Eq => "eq",
+                BinaryOp::Ne => "ne",
+                BinaryOp::Ult => "ult",
+                BinaryOp::Ule => "ule",
+                BinaryOp::Slt => "slt",
+                BinaryOp::Sle => "sle",
+            };
+            format!("{name} {} {}", e(*a), e(*b))
+        }
+        Expr::Mux {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!("mux {} {} {}", e(*cond), e(*then_expr), e(*else_expr)),
+        Expr::Slice { arg, hi, lo } => {
+            format!("slice {} {hi} {lo}", e(*arg))
+        }
+        Expr::Concat(a, b) => format!("concat {} {}", e(*a), e(*b)),
+        Expr::Zext { arg, width } => format!("zext {} {width}", e(*arg)),
+        Expr::Sext { arg, width } => format!("sext {} {width}", e(*arg)),
+    }
+}
+
+/// An error while parsing netlist text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+/// Parses netlist text produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on any malformed construct, dangling
+/// reference, or failed validation (e.g. combinational cycles).
+pub fn parse_netlist(text: &str) -> Result<Module, ParseNetlistError> {
+    let mut parser = Parser::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parser
+            .line(line)
+            .map_err(|message| ParseNetlistError {
+                line: lineno + 1,
+                message,
+            })?;
+    }
+    parser.finish().map_err(|message| ParseNetlistError {
+        line: text.lines().count(),
+        message,
+    })
+}
+
+#[derive(Default)]
+struct Parser {
+    name: Option<String>,
+    signals: Vec<Signal>,
+    drivers: Vec<Option<ExprId>>,
+    by_name: HashMap<String, SignalId>,
+    /// (owner signal for outputs) deferred driver references by arena index.
+    pending_drivers: Vec<(SignalId, usize)>,
+    exprs: Vec<Expr>,
+    done: bool,
+}
+
+impl Parser {
+    fn add_signal(
+        &mut self,
+        name: &str,
+        width: u32,
+        kind: SignalKind,
+        role: SignalRole,
+        init: Option<BitVec>,
+    ) -> Result<SignalId, String> {
+        if width == 0 {
+            return Err(format!("signal `{name}` has zero width"));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(format!("duplicate signal `{name}`"));
+        }
+        let id = SignalId::from_index(self.signals.len());
+        self.signals.push(Signal {
+            name: name.to_string(),
+            width,
+            kind,
+            role,
+            init,
+        });
+        self.drivers.push(None);
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn parse_eref(&self, token: &str) -> Result<usize, String> {
+        let index: usize = token
+            .strip_prefix('e')
+            .ok_or_else(|| format!("expected expression ref, got `{token}`"))?
+            .parse()
+            .map_err(|_| format!("bad expression ref `{token}`"))?;
+        Ok(index)
+    }
+
+    fn bounded_eref(&self, token: &str) -> Result<ExprId, String> {
+        let index = self.parse_eref(token)?;
+        if index >= self.exprs.len() {
+            return Err(format!(
+                "expression e{index} referenced before definition"
+            ));
+        }
+        Ok(ExprId(index as u32))
+    }
+
+    fn line(&mut self, line: &str) -> Result<(), String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["fastpath-netlist", "1"] => Ok(()),
+            ["fastpath-netlist", v] => {
+                Err(format!("unsupported netlist version `{v}`"))
+            }
+            ["module", name] => {
+                if self.name.is_some() {
+                    return Err("duplicate module header".into());
+                }
+                self.name = Some((*name).to_string());
+                Ok(())
+            }
+            ["input", name, width, role] => {
+                let width = parse_num(width)?;
+                let role = parse_role(role)
+                    .ok_or_else(|| format!("bad role `{role}`"))?;
+                self.add_signal(name, width, SignalKind::Input, role, None)?;
+                Ok(())
+            }
+            ["reg", name, width, init, role] => {
+                let width = parse_num(width)?;
+                let init = parse_hex(init, width)?;
+                let role = if *role == "." {
+                    SignalRole::Internal
+                } else {
+                    parse_role(role)
+                        .ok_or_else(|| format!("bad role `{role}`"))?
+                };
+                self.add_signal(
+                    name,
+                    width,
+                    SignalKind::Register,
+                    role,
+                    Some(init),
+                )?;
+                Ok(())
+            }
+            ["wire", name, width] => {
+                let width = parse_num(width)?;
+                self.add_signal(
+                    name,
+                    width,
+                    SignalKind::Wire,
+                    SignalRole::Internal,
+                    None,
+                )?;
+                Ok(())
+            }
+            ["output", name, width, role, driver] => {
+                let width = parse_num(width)?;
+                let role = parse_role(role)
+                    .ok_or_else(|| format!("bad role `{role}`"))?;
+                let id = self.add_signal(
+                    name,
+                    width,
+                    SignalKind::Output,
+                    role,
+                    None,
+                )?;
+                let index = self.parse_eref(driver)?;
+                self.pending_drivers.push((id, index));
+                Ok(())
+            }
+            ["expr", index, rest @ ..] => {
+                let index: usize =
+                    index.parse().map_err(|_| "bad expr index")?;
+                if index != self.exprs.len() {
+                    return Err(format!(
+                        "expressions must be dense and ordered; expected \
+                         {}, got {index}",
+                        self.exprs.len()
+                    ));
+                }
+                let expr = self.parse_expr(rest)?;
+                self.exprs.push(expr);
+                Ok(())
+            }
+            ["drive", name, driver] => {
+                let id = *self
+                    .by_name
+                    .get(*name)
+                    .ok_or_else(|| format!("unknown signal `{name}`"))?;
+                let driver = self.bounded_eref(driver)?;
+                if self.drivers[id.index()].is_some() {
+                    return Err(format!("signal `{name}` driven twice"));
+                }
+                self.drivers[id.index()] = Some(driver);
+                Ok(())
+            }
+            ["endmodule"] => {
+                self.done = true;
+                Ok(())
+            }
+            _ => Err(format!("unrecognized line `{line}`")),
+        }
+    }
+
+    fn parse_expr(&self, tokens: &[&str]) -> Result<Expr, String> {
+        let unary = |op: UnaryOp, t: &[&str]| -> Result<Expr, String> {
+            Ok(Expr::Unary(op, self.bounded_eref(t[0])?))
+        };
+        let binary = |op: BinaryOp, t: &[&str]| -> Result<Expr, String> {
+            Ok(Expr::Binary(
+                op,
+                self.bounded_eref(t[0])?,
+                self.bounded_eref(t[1])?,
+            ))
+        };
+        match tokens {
+            ["const", width, hex] => {
+                let width = parse_num(width)?;
+                Ok(Expr::Const(parse_hex(hex, width)?))
+            }
+            ["sig", name] => {
+                let id = *self
+                    .by_name
+                    .get(*name)
+                    .ok_or_else(|| format!("unknown signal `{name}`"))?;
+                Ok(Expr::Signal(id))
+            }
+            ["not", a] => unary(UnaryOp::Not, &[a]),
+            ["neg", a] => unary(UnaryOp::Neg, &[a]),
+            ["redand", a] => unary(UnaryOp::RedAnd, &[a]),
+            ["redor", a] => unary(UnaryOp::RedOr, &[a]),
+            ["redxor", a] => unary(UnaryOp::RedXor, &[a]),
+            ["and", a, b] => binary(BinaryOp::And, &[a, b]),
+            ["or", a, b] => binary(BinaryOp::Or, &[a, b]),
+            ["xor", a, b] => binary(BinaryOp::Xor, &[a, b]),
+            ["add", a, b] => binary(BinaryOp::Add, &[a, b]),
+            ["sub", a, b] => binary(BinaryOp::Sub, &[a, b]),
+            ["mul", a, b] => binary(BinaryOp::Mul, &[a, b]),
+            ["shl", a, b] => binary(BinaryOp::Shl, &[a, b]),
+            ["lshr", a, b] => binary(BinaryOp::Lshr, &[a, b]),
+            ["ashr", a, b] => binary(BinaryOp::Ashr, &[a, b]),
+            ["eq", a, b] => binary(BinaryOp::Eq, &[a, b]),
+            ["ne", a, b] => binary(BinaryOp::Ne, &[a, b]),
+            ["ult", a, b] => binary(BinaryOp::Ult, &[a, b]),
+            ["ule", a, b] => binary(BinaryOp::Ule, &[a, b]),
+            ["slt", a, b] => binary(BinaryOp::Slt, &[a, b]),
+            ["sle", a, b] => binary(BinaryOp::Sle, &[a, b]),
+            ["mux", c, t, e] => Ok(Expr::Mux {
+                cond: self.bounded_eref(c)?,
+                then_expr: self.bounded_eref(t)?,
+                else_expr: self.bounded_eref(e)?,
+            }),
+            ["slice", a, hi, lo] => Ok(Expr::Slice {
+                arg: self.bounded_eref(a)?,
+                hi: parse_num(hi)?,
+                lo: parse_num(lo)?,
+            }),
+            ["concat", a, b] => Ok(Expr::Concat(
+                self.bounded_eref(a)?,
+                self.bounded_eref(b)?,
+            )),
+            ["zext", a, width] => Ok(Expr::Zext {
+                arg: self.bounded_eref(a)?,
+                width: parse_num(width)?,
+            }),
+            ["sext", a, width] => Ok(Expr::Sext {
+                arg: self.bounded_eref(a)?,
+                width: parse_num(width)?,
+            }),
+            _ => Err(format!("unrecognized expression `{tokens:?}`")),
+        }
+    }
+
+    fn finish(mut self) -> Result<Module, String> {
+        if !self.done {
+            return Err("missing endmodule".into());
+        }
+        let name = self.name.ok_or("missing module header")?;
+        for &(id, index) in &self.pending_drivers {
+            if index >= self.exprs.len() {
+                return Err(format!(
+                    "output `{}` references undefined e{index}",
+                    self.signals[id.index()].name
+                ));
+            }
+            self.drivers[id.index()] = Some(ExprId(index as u32));
+        }
+        for (i, s) in self.signals.iter().enumerate() {
+            if s.kind != SignalKind::Input && self.drivers[i].is_none() {
+                return Err(format!("signal `{}` has no driver", s.name));
+            }
+        }
+        // Compute expression widths bottom-up, rejecting malformed arenas.
+        let mut module = Module {
+            name,
+            signals: self.signals,
+            expr_widths: Vec::with_capacity(self.exprs.len()),
+            exprs: self.exprs,
+            drivers: self.drivers,
+            by_name: self.by_name,
+            comb_order: Vec::new(),
+        };
+        for i in 0..module.exprs.len() {
+            let width = infer_width(&module, i)
+                .map_err(|e| format!("expression e{i}: {e}"))?;
+            module.expr_widths.push(width);
+        }
+        // Driver width checks.
+        for (id, s) in module
+            .signals
+            .clone()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId::from_index(i), s.clone()))
+        {
+            if let Some(driver) = module.drivers[id.index()] {
+                let w = module.expr_widths[driver.index()];
+                if w != s.width {
+                    return Err(format!(
+                        "driver of `{}` is {w} bits, expected {}",
+                        s.name, s.width
+                    ));
+                }
+            }
+        }
+        module.comb_order = crate::builder::topo_sort_comb(&module)
+            .map_err(|e| e.to_string())?;
+        Ok(module)
+    }
+}
+
+/// Bottom-up width computation mirroring the builder's rules.
+fn infer_width(module: &Module, index: usize) -> Result<u32, String> {
+    let w = |e: ExprId| module.expr_widths[e.index()];
+    Ok(match &module.exprs[index] {
+        Expr::Const(v) => v.width(),
+        Expr::Signal(s) => module.signals[s.index()].width,
+        Expr::Unary(op, a) => match op {
+            UnaryOp::Not | UnaryOp::Neg => w(*a),
+            _ => 1,
+        },
+        Expr::Binary(op, a, b) => {
+            if op.is_shift() {
+                w(*a)
+            } else {
+                if w(*a) != w(*b) {
+                    return Err(format!(
+                        "width mismatch {} vs {}",
+                        w(*a),
+                        w(*b)
+                    ));
+                }
+                if op.is_comparison() {
+                    1
+                } else {
+                    w(*a)
+                }
+            }
+        }
+        Expr::Mux {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            if w(*cond) != 1 {
+                return Err("mux condition must be 1 bit".into());
+            }
+            if w(*then_expr) != w(*else_expr) {
+                return Err("mux branch widths differ".into());
+            }
+            w(*then_expr)
+        }
+        Expr::Slice { arg, hi, lo } => {
+            if hi < lo || *hi >= w(*arg) {
+                return Err(format!(
+                    "invalid slice [{hi}:{lo}] of {} bits",
+                    w(*arg)
+                ));
+            }
+            hi - lo + 1
+        }
+        Expr::Concat(a, b) => w(*a) + w(*b),
+        Expr::Zext { arg, width } | Expr::Sext { arg, width } => {
+            if *width < w(*arg) {
+                return Err("extension narrower than operand".into());
+            }
+            *width
+        }
+    })
+}
+
+fn parse_num(token: &str) -> Result<u32, String> {
+    token
+        .parse()
+        .map_err(|_| format!("bad number `{token}`"))
+}
+
+fn parse_hex(token: &str, width: u32) -> Result<BitVec, String> {
+    let mut v = BitVec::zero(width);
+    let mut bit = 0u32;
+    for c in token.chars().rev() {
+        let nibble = c
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex `{token}`"))?;
+        for k in 0..4 {
+            if bit + k < width && (nibble >> k) & 1 == 1 {
+                v.set_bit(bit + k, true);
+            }
+        }
+        bit += 4;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    fn sample() -> Module {
+        let mut b = ModuleBuilder::new("sample");
+        let a = b.data_input("a", 12);
+        let en = b.control_input("en", 1);
+        let a_sig = b.sig(a);
+        let en_sig = b.sig(en);
+        let r = b.reg_init("r", BitVec::from_u64(12, 0xABC));
+        let r_sig = b.sig(r);
+        let sum = b.add(r_sig, a_sig);
+        b.set_next_if(r, en_sig, sum).expect("drive");
+        let sl = b.slice(r_sig, 7, 2);
+        let w = b.wire("mid", sl);
+        let ws = b.sig(w);
+        let se = b.sext(ws, 12);
+        b.data_output("out", se);
+        let parity = b.red_xor(r_sig);
+        b.control_output("parity", parity);
+        b.build().expect("valid")
+    }
+
+    fn assert_same(a: &Module, b: &Module) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.signal_count(), b.signal_count());
+        for (id, s) in a.signals() {
+            let t = b.signal(id);
+            assert_eq!(s.name, t.name);
+            assert_eq!(s.width, t.width);
+            assert_eq!(s.kind, t.kind);
+            assert_eq!(s.role, t.role);
+            assert_eq!(s.init, t.init);
+            assert_eq!(a.driver(id), b.driver(id));
+        }
+        assert_eq!(a.expr_count(), b.expr_count());
+        for i in 0..a.expr_count() {
+            let id = ExprId(i as u32);
+            assert_eq!(a.expr(id), b.expr(id), "expr {i}");
+            assert_eq!(a.expr_width(id), b.expr_width(id), "width {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let m = sample();
+        let text = write_netlist(&m);
+        let parsed = parse_netlist(&text).expect("parses");
+        assert_same(&m, &parsed);
+        // And idempotent.
+        assert_eq!(text, write_netlist(&parsed));
+    }
+
+    #[test]
+    fn random_circuits_roundtrip() {
+        use crate::random::{random_module, RandomModuleConfig};
+        for seed in 0..40 {
+            let m = random_module(seed, RandomModuleConfig::default());
+            let text = write_netlist(&m);
+            let parsed = parse_netlist(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_same(&m, &parsed);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let cases = [
+            ("garbage", "unrecognized line"),
+            ("fastpath-netlist 9", "unsupported netlist version"),
+            (
+                "fastpath-netlist 1\nmodule m\nexpr 0 sig nothere\nendmodule",
+                "unknown signal",
+            ),
+            (
+                "fastpath-netlist 1\nmodule m\nexpr 1 const 4 0\nendmodule",
+                "dense and ordered",
+            ),
+            (
+                "fastpath-netlist 1\nmodule m\nreg r 4 0 .\nendmodule",
+                "no driver",
+            ),
+            (
+                "fastpath-netlist 1\nmodule m\nexpr 0 const 4 0\n\
+                 expr 1 const 8 0\nexpr 2 add e0 e1\nendmodule",
+                "width mismatch",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = parse_netlist(text).expect_err(needle);
+            assert!(
+                err.to_string().contains(needle),
+                "expected `{needle}` in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_module_simulates_identically() {
+        let m = sample();
+        let parsed = parse_netlist(&write_netlist(&m)).expect("parses");
+        // Evaluate a driver on both under a fixed environment.
+        let out = m.signal_by_name("out").expect("out");
+        let a = m.signal_by_name("a").expect("a");
+        let mut env: Vec<BitVec> =
+            m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        env[a.index()] = BitVec::from_u64(12, 0x123);
+        let r = m.signal_by_name("r").expect("r");
+        env[r.index()] = BitVec::from_u64(12, 0x456);
+        // Settle the wire first in both.
+        let mid = m.signal_by_name("mid").expect("mid");
+        env[mid.index()] =
+            m.eval(m.driver(mid).expect("driven"), &env);
+        let v1 = m.eval(m.driver(out).expect("driven"), &env);
+        let v2 = parsed.eval(parsed.driver(out).expect("driven"), &env);
+        assert_eq!(v1, v2);
+    }
+}

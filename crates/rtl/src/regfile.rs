@@ -1,0 +1,238 @@
+//! Register-file construction helper.
+//!
+//! Designs such as processor cores need addressable register files. The IR
+//! has no array primitive; [`RegFile`] lowers an array to one register per
+//! word plus mux trees, which keeps the HFG, taint tracking, and formal
+//! bit-blasting uniform and per-word precise.
+
+use crate::builder::ModuleBuilder;
+use crate::expr::{ExprId, SignalId};
+use crate::RtlError;
+
+/// An addressable array of registers with combinational read ports and any
+/// number of clocked write ports.
+///
+/// Call [`RegFile::new`] to declare the storage, [`RegFile::read`] for each
+/// read port, [`RegFile::write`] for each write port, and finally
+/// [`RegFile::finish`] once all write ports exist.
+#[derive(Debug)]
+pub struct RegFile {
+    words: Vec<SignalId>,
+    addr_width: u32,
+    data_width: u32,
+    /// (enable, addr, data) per write port, applied in priority order
+    /// (later ports win on an address collision).
+    writes: Vec<(ExprId, ExprId, ExprId)>,
+    /// If set, reads of address 0 return constant zero (RISC-V x0).
+    zero_reg: bool,
+}
+
+impl RegFile {
+    /// Declares `depth` registers of `data_width` bits named
+    /// `{name}_{index}`, all reset to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not a power of two or is < 2.
+    pub fn new(
+        b: &mut ModuleBuilder,
+        name: &str,
+        depth: usize,
+        data_width: u32,
+    ) -> Self {
+        assert!(
+            depth.is_power_of_two() && depth >= 2,
+            "register file depth must be a power of two >= 2"
+        );
+        let words = (0..depth)
+            .map(|i| b.reg(&format!("{name}_{i}"), data_width, 0))
+            .collect();
+        RegFile {
+            words,
+            addr_width: depth.trailing_zeros(),
+            data_width,
+            writes: Vec::new(),
+            zero_reg: false,
+        }
+    }
+
+    /// Makes address 0 read as constant zero and ignore writes
+    /// (RISC-V `x0` semantics).
+    pub fn with_zero_register(mut self) -> Self {
+        self.zero_reg = true;
+        self
+    }
+
+    /// The address width in bits.
+    pub fn addr_width(&self) -> u32 {
+        self.addr_width
+    }
+
+    /// The per-word signals (useful for naming state in reports).
+    pub fn words(&self) -> &[SignalId] {
+        &self.words
+    }
+
+    /// A combinational read port: returns the word selected by `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not exactly [`addr_width`](Self::addr_width) bits.
+    pub fn read(&self, b: &mut ModuleBuilder, addr: ExprId) -> ExprId {
+        assert_eq!(
+            b.width_of(addr),
+            self.addr_width,
+            "read address width mismatch"
+        );
+        let mut value = b.lit(self.data_width, 0);
+        for (i, &word) in self.words.iter().enumerate() {
+            if self.zero_reg && i == 0 {
+                continue;
+            }
+            let here = b.eq_lit(addr, i as u64);
+            let word_sig = b.sig(word);
+            value = b.mux(here, word_sig, value);
+        }
+        value
+    }
+
+    /// Registers a clocked write port: when `enable` is high, `data` is
+    /// written to `addr` at the clock edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address or data width mismatches.
+    pub fn write(
+        &mut self,
+        b: &mut ModuleBuilder,
+        enable: ExprId,
+        addr: ExprId,
+        data: ExprId,
+    ) {
+        assert_eq!(
+            b.width_of(addr),
+            self.addr_width,
+            "write address width mismatch"
+        );
+        assert_eq!(
+            b.width_of(data),
+            self.data_width,
+            "write data width mismatch"
+        );
+        assert_eq!(b.width_of(enable), 1, "write enable must be 1 bit");
+        self.writes.push((enable, addr, data));
+    }
+
+    /// Connects all write ports to the registers. Must be called exactly
+    /// once, after every [`write`](Self::write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (double drive).
+    pub fn finish(self, b: &mut ModuleBuilder) -> Result<(), RtlError> {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut next = b.sig(word);
+            if self.zero_reg && i == 0 {
+                b.set_next(word, next)?;
+                continue;
+            }
+            for &(enable, addr, data) in &self.writes {
+                let here = b.eq_lit(addr, i as u64);
+                let hit = b.and(enable, here);
+                next = b.mux(hit, data, next);
+            }
+            b.set_next(word, next)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BitVec;
+    use crate::{Module, SignalId};
+
+    /// Simulation-free helper: evaluate `sig`'s driver in `env`.
+    fn eval_sig(m: &Module, sig: SignalId, env: &[BitVec]) -> BitVec {
+        m.eval(m.driver(sig).expect("driven"), env)
+    }
+
+    fn env_of(m: &Module) -> Vec<BitVec> {
+        m.signals().map(|(_, s)| BitVec::zero(s.width)).collect()
+    }
+
+    #[test]
+    fn read_selects_addressed_word() {
+        let mut b = ModuleBuilder::new("rf");
+        let addr = b.input("addr", 2);
+        let rf = RegFile::new(&mut b, "x", 4, 8);
+        let words = rf.words().to_vec();
+        let addr_sig = b.sig(addr);
+        let rdata = rf.read(&mut b, addr_sig);
+        b.output("rdata", rdata);
+        rf.finish(&mut b).expect("finish");
+        let m = b.build().expect("valid");
+
+        let rdata_id = m.signal_by_name("rdata").expect("rdata");
+        let mut env = env_of(&m);
+        for (i, &w) in words.iter().enumerate() {
+            env[w.index()] = BitVec::from_u64(8, (i as u64) * 3 + 1);
+        }
+        for i in 0..4u64 {
+            env[addr.index()] = BitVec::from_u64(2, i);
+            assert_eq!(eval_sig(&m, rdata_id, &env).to_u64(), i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_register_reads_zero_and_ignores_writes() {
+        let mut b = ModuleBuilder::new("rf0");
+        let addr = b.input("addr", 2);
+        let wen = b.input("wen", 1);
+        let wdata = b.input("wdata", 8);
+        let mut rf = RegFile::new(&mut b, "x", 4, 8).with_zero_register();
+        let x0 = rf.words()[0];
+        let addr_sig = b.sig(addr);
+        let rdata = rf.read(&mut b, addr_sig);
+        b.output("rdata", rdata);
+        let wen_sig = b.sig(wen);
+        let wdata_sig = b.sig(wdata);
+        rf.write(&mut b, wen_sig, addr_sig, wdata_sig);
+        rf.finish(&mut b).expect("finish");
+        let m = b.build().expect("valid");
+
+        // Reads of x0 are zero even if the register were nonzero.
+        let rdata_id = m.signal_by_name("rdata").expect("rdata");
+        let mut env = env_of(&m);
+        env[x0.index()] = BitVec::from_u64(8, 0xAB);
+        env[addr.index()] = BitVec::from_u64(2, 0);
+        assert!(eval_sig(&m, rdata_id, &env).is_zero());
+
+        // x0's next-state ignores writes.
+        let mut env = env_of(&m);
+        env[wen.index()] = BitVec::from_bool(true);
+        env[wdata.index()] = BitVec::from_u64(8, 0xCD);
+        env[addr.index()] = BitVec::from_u64(2, 0);
+        let next = m.eval(m.driver(x0).expect("driven"), &env);
+        assert!(next.is_zero());
+    }
+
+    #[test]
+    fn later_write_port_wins_collision() {
+        let mut b = ModuleBuilder::new("rf2w");
+        let mut rf = RegFile::new(&mut b, "x", 2, 8);
+        let w1 = rf.words()[1];
+        let hi = b.bit_lit(true);
+        let a1 = b.lit(1, 1);
+        let d_a = b.lit(8, 0x11);
+        let d_b = b.lit(8, 0x22);
+        rf.write(&mut b, hi, a1, d_a);
+        rf.write(&mut b, hi, a1, d_b);
+        rf.finish(&mut b).expect("finish");
+        let m = b.build().expect("valid");
+        let env = env_of(&m);
+        let next = m.eval(m.driver(w1).expect("driven"), &env);
+        assert_eq!(next.to_u64(), 0x22);
+    }
+}

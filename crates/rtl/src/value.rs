@@ -1,0 +1,697 @@
+//! Arbitrary-width two-valued bit-vectors.
+//!
+//! [`BitVec`] is the value domain of the RTL intermediate representation:
+//! every signal, constant and simulation value is a `BitVec` of a fixed,
+//! non-zero width. Values are stored little-endian in 64-bit limbs and all
+//! operations keep the unused high bits of the top limb zeroed, so two
+//! `BitVec`s of equal width compare equal iff they denote the same number.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A fixed-width vector of bits, the universal RTL value type.
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_rtl::BitVec;
+///
+/// let a = BitVec::from_u64(8, 0xF0);
+/// let b = BitVec::from_u64(8, 0x0F);
+/// assert_eq!((&a | &b).to_u64(), 0xFF);
+/// assert_eq!(a.wrapping_add(&b).to_u64(), 0xFF);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+fn limb_count(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: u32) -> Self {
+        assert!(width > 0, "bit-vector width must be non-zero");
+        BitVec {
+            width,
+            limbs: vec![0; limb_count(width)],
+        }
+    }
+
+    /// Creates an all-ones vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn ones(width: u32) -> Self {
+        let mut v = BitVec {
+            width,
+            limbs: vec![u64::MAX; limb_count(width)],
+        };
+        assert!(width > 0, "bit-vector width must be non-zero");
+        v.normalize();
+        v
+    }
+
+    /// Creates a vector of the given width holding the low `width` bits of
+    /// `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut v = BitVec::zero(width);
+        v.limbs[0] = value;
+        v.normalize();
+        v
+    }
+
+    /// Creates a one-bit vector from a boolean.
+    pub fn from_bool(value: bool) -> Self {
+        BitVec::from_u64(1, value as u64)
+    }
+
+    /// Creates a vector from little-endian 64-bit limbs, truncating or
+    /// zero-extending to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_limbs(width: u32, limbs: &[u64]) -> Self {
+        let mut v = BitVec::zero(width);
+        for (dst, src) in v.limbs.iter_mut().zip(limbs) {
+            *dst = *src;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Parses a binary string (`msb` first), e.g. `"1010"` → width 4.
+    ///
+    /// Returns `None` on empty input or non-binary characters
+    /// (`_` separators are permitted and ignored).
+    pub fn parse_binary(s: &str) -> Option<Self> {
+        let bits: Vec<bool> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        if bits.is_empty() {
+            return None;
+        }
+        let mut v = BitVec::zero(bits.len() as u32);
+        for (i, &b) in bits.iter().rev().enumerate() {
+            v.set_bit(i as u32, b);
+        }
+        Some(v)
+    }
+
+    fn normalize(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// The width in bits (always non-zero).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The little-endian 64-bit limbs backing this vector.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns bit `index` (0 = least-significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.width()`.
+    pub fn bit(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit index {index} out of range");
+        (self.limbs[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.width()`.
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        assert!(index < self.width, "bit index {index} out of range");
+        let limb = &mut self.limbs[(index / 64) as usize];
+        if value {
+            *limb |= 1 << (index % 64);
+        } else {
+            *limb &= !(1 << (index % 64));
+        }
+    }
+
+    /// Returns the value as `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit above position 63 is set.
+    pub fn to_u64(&self) -> u64 {
+        assert!(
+            self.limbs[1..].iter().all(|&l| l == 0),
+            "value does not fit in u64"
+        );
+        self.limbs[0]
+    }
+
+    /// Returns the value as `u64`, or `None` if it does not fit.
+    pub fn try_to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().all(|&l| l == 0) {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff all bits are zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// `true` iff all bits are one.
+    pub fn is_ones(&self) -> bool {
+        self == &BitVec::ones(self.width)
+    }
+
+    /// `true` iff the vector is one bit wide and set.
+    pub fn is_true(&self) -> bool {
+        self.width == 1 && self.limbs[0] == 1
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// The most-significant (sign) bit.
+    pub fn sign_bit(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Bitwise-AND reduction (1-bit result).
+    pub fn reduce_and(&self) -> BitVec {
+        BitVec::from_bool(self.is_ones())
+    }
+
+    /// Bitwise-OR reduction (1-bit result).
+    pub fn reduce_or(&self) -> BitVec {
+        BitVec::from_bool(!self.is_zero())
+    }
+
+    /// Bitwise-XOR reduction (1-bit result): parity of the set bits.
+    pub fn reduce_xor(&self) -> BitVec {
+        BitVec::from_bool(self.count_ones() % 2 == 1)
+    }
+
+    fn assert_same_width(&self, rhs: &Self, op: &str) {
+        assert_eq!(
+            self.width, rhs.width,
+            "{op}: width mismatch {} vs {}",
+            self.width, rhs.width
+        );
+    }
+
+    /// Modular addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.assert_same_width(rhs, "add");
+        let mut out = BitVec::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Modular subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.assert_same_width(rhs, "sub");
+        self.wrapping_add(&rhs.wrapping_neg())
+    }
+
+    /// Modular negation (two's complement).
+    pub fn wrapping_neg(&self) -> Self {
+        let mut out = !self;
+        let one = BitVec::from_u64(self.width, 1);
+        out = out.wrapping_add(&one);
+        out
+    }
+
+    /// Modular multiplication (result truncated to the operand width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.assert_same_width(rhs, "mul");
+        let n = self.limbs.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry: u128 = 0;
+            for j in 0..n - i {
+                let cur = acc[i + j] as u128
+                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
+                    + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        let mut out = BitVec {
+            width: self.width,
+            limbs: acc,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Logical left shift by a dynamic amount; shifts ≥ width yield zero.
+    pub fn shl(&self, amount: u64) -> Self {
+        if amount >= self.width as u64 {
+            return BitVec::zero(self.width);
+        }
+        let amount = amount as u32;
+        let mut out = BitVec::zero(self.width);
+        let limb_shift = (amount / 64) as usize;
+        let bit_shift = amount % 64;
+        for i in (0..self.limbs.len()).rev() {
+            if i < limb_shift {
+                continue;
+            }
+            let mut v = self.limbs[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Logical right shift by a dynamic amount; shifts ≥ width yield zero.
+    pub fn lshr(&self, amount: u64) -> Self {
+        if amount >= self.width as u64 {
+            return BitVec::zero(self.width);
+        }
+        let amount = amount as u32;
+        let mut out = BitVec::zero(self.width);
+        let limb_shift = (amount / 64) as usize;
+        let bit_shift = amount % 64;
+        for i in 0..self.limbs.len() {
+            if i + limb_shift >= self.limbs.len() {
+                break;
+            }
+            let mut v = self.limbs[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < self.limbs.len() {
+                v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+            }
+            out.limbs[i] = v;
+        }
+        out
+    }
+
+    /// Arithmetic right shift by a dynamic amount; shifts ≥ width replicate
+    /// the sign bit everywhere.
+    pub fn ashr(&self, amount: u64) -> Self {
+        let sign = self.sign_bit();
+        if amount >= self.width as u64 {
+            return if sign {
+                BitVec::ones(self.width)
+            } else {
+                BitVec::zero(self.width)
+            };
+        }
+        let mut out = self.lshr(amount);
+        if sign {
+            let fill = self.width - amount as u32;
+            for i in fill..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Unsigned comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn cmp_unsigned(&self, rhs: &Self) -> Ordering {
+        self.assert_same_width(rhs, "ucmp");
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's-complement) comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn cmp_signed(&self, rhs: &Self) -> Ordering {
+        self.assert_same_width(rhs, "scmp");
+        match (self.sign_bit(), rhs.sign_bit()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.cmp_unsigned(rhs),
+        }
+    }
+
+    /// Extracts bits `[hi..=lo]` as a new vector of width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice: hi {hi} < lo {lo}");
+        assert!(hi < self.width, "slice: hi {hi} out of range");
+        let shifted = self.lshr(lo as u64);
+        let mut out = BitVec::zero(hi - lo + 1);
+        let n = out.limbs.len();
+        out.limbs.copy_from_slice(&shifted.limbs[..n]);
+        out.normalize();
+        out
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part).
+    pub fn concat(&self, low: &Self) -> Self {
+        let width = self.width + low.width;
+        let mut out = BitVec::zero(width);
+        for i in 0..low.width {
+            out.set_bit(i, low.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(low.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Zero-extends (or truncates) to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zext(&self, width: u32) -> Self {
+        if width <= self.width {
+            return self.slice(width - 1, 0);
+        }
+        let mut out = BitVec::zero(width);
+        for (dst, src) in out.limbs.iter_mut().zip(&self.limbs) {
+            *dst = *src;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Sign-extends (or truncates) to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn sext(&self, width: u32) -> Self {
+        if width <= self.width {
+            return self.slice(width - 1, 0);
+        }
+        let mut out = self.zext(width);
+        if self.sign_bit() {
+            for i in self.width..width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+}
+
+impl BitAnd for &BitVec {
+    type Output = BitVec;
+    fn bitand(self, rhs: Self) -> BitVec {
+        self.assert_same_width(rhs, "and");
+        let mut out = self.clone();
+        for (dst, src) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *dst &= *src;
+        }
+        out
+    }
+}
+
+impl BitOr for &BitVec {
+    type Output = BitVec;
+    fn bitor(self, rhs: Self) -> BitVec {
+        self.assert_same_width(rhs, "or");
+        let mut out = self.clone();
+        for (dst, src) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *dst |= *src;
+        }
+        out
+    }
+}
+
+impl BitXor for &BitVec {
+    type Output = BitVec;
+    fn bitxor(self, rhs: Self) -> BitVec {
+        self.assert_same_width(rhs, "xor");
+        let mut out = self.clone();
+        for (dst, src) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *dst ^= *src;
+        }
+        out
+    }
+}
+
+impl Not for &BitVec {
+    type Output = BitVec;
+    fn not(self) -> BitVec {
+        let mut out = self.clone();
+        for limb in &mut out.limbs {
+            *limb = !*limb;
+        }
+        out.normalize();
+        out
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut iter = self.limbs.iter().rev().skip_while(|&&l| l == 0);
+        match iter.next() {
+            None => write!(f, "0"),
+            Some(first) => {
+                write!(f, "{first:x}")?;
+                for limb in iter {
+                    write!(f, "{limb:016x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_width() {
+        let v = BitVec::from_u64(12, 0xABC);
+        assert_eq!(v.width(), 12);
+        assert_eq!(v.to_u64(), 0xABC);
+        assert!(BitVec::zero(1).is_zero());
+        assert!(BitVec::ones(7).is_ones());
+    }
+
+    #[test]
+    fn from_u64_truncates_to_width() {
+        let v = BitVec::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), 0xF);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = BitVec::zero(0);
+    }
+
+    #[test]
+    fn wide_values_cross_limb_boundary() {
+        let v = BitVec::from_limbs(130, &[u64::MAX, u64::MAX, u64::MAX]);
+        assert_eq!(v.count_ones(), 130);
+        assert!(v.bit(129));
+        assert!(v.is_ones());
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BitVec::from_limbs(128, &[u64::MAX, 0]);
+        let b = BitVec::from_u64(128, 1);
+        let s = a.wrapping_add(&b);
+        assert_eq!(s.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = BitVec::from_u64(8, 0xFF);
+        let b = BitVec::from_u64(8, 1);
+        assert!(a.wrapping_add(&b).is_zero());
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = BitVec::from_u64(8, 5);
+        let b = BitVec::from_u64(8, 7);
+        assert_eq!(a.wrapping_sub(&b).to_u64(), 0xFE); // -2 mod 256
+        assert_eq!(BitVec::from_u64(8, 1).wrapping_neg().to_u64(), 0xFF);
+    }
+
+    #[test]
+    fn mul_truncates() {
+        let a = BitVec::from_u64(8, 0x10);
+        let b = BitVec::from_u64(8, 0x10);
+        assert_eq!(a.wrapping_mul(&b).to_u64(), 0); // 0x100 mod 256
+        let c = BitVec::from_u64(16, 0x10);
+        let d = BitVec::from_u64(16, 0x10);
+        assert_eq!(c.wrapping_mul(&d).to_u64(), 0x100);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = BitVec::from_u64(128, u64::MAX);
+        let b = BitVec::from_u64(128, 2);
+        let p = a.wrapping_mul(&b);
+        assert_eq!(p.limbs(), &[u64::MAX - 1, 1]);
+    }
+
+    #[test]
+    fn shifts_basic() {
+        let v = BitVec::from_u64(8, 0b1001_0110);
+        assert_eq!(v.shl(2).to_u64(), 0b0101_1000);
+        assert_eq!(v.lshr(2).to_u64(), 0b0010_0101);
+        assert_eq!(v.ashr(2).to_u64(), 0b1110_0101);
+        assert!(v.shl(8).is_zero());
+        assert!(v.lshr(200).is_zero());
+        assert!(v.ashr(200).is_ones());
+    }
+
+    #[test]
+    fn shifts_cross_limbs() {
+        let v = BitVec::from_u64(128, 1);
+        assert_eq!(v.shl(100).lshr(100).to_u64(), 1);
+        let w = BitVec::from_u64(128, 0xFF).shl(64);
+        assert_eq!(w.limbs(), &[0, 0xFF]);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = BitVec::from_u64(8, 0x80); // -128 signed
+        let b = BitVec::from_u64(8, 0x01);
+        assert_eq!(a.cmp_unsigned(&b), Ordering::Greater);
+        assert_eq!(a.cmp_signed(&b), Ordering::Less);
+        assert_eq!(a.cmp_unsigned(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let v = BitVec::from_u64(16, 0xBEEF);
+        let hi = v.slice(15, 8);
+        let lo = v.slice(7, 0);
+        assert_eq!(hi.to_u64(), 0xBE);
+        assert_eq!(lo.to_u64(), 0xEF);
+        assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn extensions() {
+        let v = BitVec::from_u64(4, 0b1010);
+        assert_eq!(v.zext(8).to_u64(), 0b0000_1010);
+        assert_eq!(v.sext(8).to_u64(), 0b1111_1010);
+        assert_eq!(v.zext(2).to_u64(), 0b10); // truncation
+    }
+
+    #[test]
+    fn reductions() {
+        let v = BitVec::from_u64(4, 0b1010);
+        assert!(!v.reduce_and().is_true());
+        assert!(v.reduce_or().is_true());
+        assert!(!v.reduce_xor().is_true());
+        assert!(BitVec::from_u64(3, 0b100).reduce_xor().is_true());
+    }
+
+    #[test]
+    fn parse_binary() {
+        let v = BitVec::parse_binary("1010_0001").expect("valid binary");
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.to_u64(), 0xA1);
+        assert!(BitVec::parse_binary("").is_none());
+        assert!(BitVec::parse_binary("102").is_none());
+    }
+
+    #[test]
+    fn formatting() {
+        let v = BitVec::from_u64(12, 0xABC);
+        assert_eq!(format!("{v:x}"), "abc");
+        assert_eq!(format!("{v:b}"), "101010111100");
+        assert_eq!(format!("{v:?}"), "12'habc");
+    }
+
+    #[test]
+    fn bitwise_ops_mask_high_bits() {
+        let a = BitVec::from_u64(5, 0b10101);
+        let n = !&a;
+        assert_eq!(n.to_u64(), 0b01010);
+        assert_eq!((&a ^ &n).to_u64(), 0b11111);
+    }
+}

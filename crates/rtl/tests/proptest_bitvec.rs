@@ -1,0 +1,190 @@
+//! Property-based tests for `BitVec`: algebraic laws checked against a
+//! `u128` reference model on widths up to 64, plus structural laws
+//! (slice/concat/extend) on arbitrary widths including multi-limb ones.
+
+use fastpath_rtl::BitVec;
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+prop_compose! {
+    fn value_with_width()(width in 1u32..=64)(
+        width in Just(width),
+        value in 0u64..=u64::MAX,
+    ) -> (u32, u64) {
+        (width, value & (mask(width) as u64))
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((w, a) in value_with_width(), b in any::<u64>()) {
+        let b = b & (mask(w) as u64);
+        let got = BitVec::from_u64(w, a).wrapping_add(&BitVec::from_u64(w, b));
+        let expected = ((a as u128 + b as u128) & mask(w)) as u64;
+        prop_assert_eq!(got.to_u64(), expected);
+    }
+
+    #[test]
+    fn sub_matches_u128((w, a) in value_with_width(), b in any::<u64>()) {
+        let b = b & (mask(w) as u64);
+        let got = BitVec::from_u64(w, a).wrapping_sub(&BitVec::from_u64(w, b));
+        let expected =
+            ((a as u128).wrapping_sub(b as u128) & mask(w)) as u64;
+        prop_assert_eq!(got.to_u64(), expected);
+    }
+
+    #[test]
+    fn mul_matches_u128((w, a) in value_with_width(), b in any::<u64>()) {
+        let b = b & (mask(w) as u64);
+        let got = BitVec::from_u64(w, a).wrapping_mul(&BitVec::from_u64(w, b));
+        let expected = ((a as u128 * b as u128) & mask(w)) as u64;
+        prop_assert_eq!(got.to_u64(), expected);
+    }
+
+    #[test]
+    fn shifts_match_u128(
+        (w, a) in value_with_width(),
+        amount in 0u64..80,
+    ) {
+        let v = BitVec::from_u64(w, a);
+        let shl = if amount >= w as u64 {
+            0
+        } else {
+            (((a as u128) << amount) & mask(w)) as u64
+        };
+        prop_assert_eq!(v.shl(amount).to_u64(), shl);
+        let lshr = if amount >= w as u64 { 0 } else { a >> amount };
+        prop_assert_eq!(v.lshr(amount).to_u64(), lshr);
+    }
+
+    #[test]
+    fn ashr_matches_sign_extended_reference(
+        (w, a) in value_with_width(),
+        amount in 0u64..80,
+    ) {
+        let v = BitVec::from_u64(w, a);
+        // Reference: sign-extend into i128, shift, mask.
+        let sign = (a >> (w - 1)) & 1 == 1;
+        let extended: i128 = if sign {
+            (a as i128) | !(mask(w) as i128)
+        } else {
+            a as i128
+        };
+        let shifted = extended >> amount.min(127);
+        let expected = (shifted as u128 & mask(w)) as u64;
+        prop_assert_eq!(v.ashr(amount).to_u64(), expected);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero((w, a) in value_with_width()) {
+        let v = BitVec::from_u64(w, a);
+        let zero = BitVec::zero(w);
+        prop_assert_eq!(v.wrapping_neg(), zero.wrapping_sub(&v));
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative_across_limbs(
+        a in prop::collection::vec(any::<u64>(), 3),
+        b in prop::collection::vec(any::<u64>(), 3),
+        c in prop::collection::vec(any::<u64>(), 3),
+    ) {
+        let width = 150;
+        let a = BitVec::from_limbs(width, &a);
+        let b = BitVec::from_limbs(width, &b);
+        let c = BitVec::from_limbs(width, &c);
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+        prop_assert_eq!(
+            a.wrapping_add(&b).wrapping_add(&c),
+            a.wrapping_add(&b.wrapping_add(&c))
+        );
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_any_width(
+        limbs in prop::collection::vec(any::<u64>(), 1..4),
+        split_frac in 0.01f64..0.99,
+    ) {
+        let width = (limbs.len() as u32) * 64;
+        let v = BitVec::from_limbs(width, &limbs);
+        let split = ((width as f64 * split_frac) as u32).clamp(1, width - 1);
+        let hi = v.slice(width - 1, split);
+        let lo = v.slice(split - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn zext_then_slice_is_identity(
+        (w, a) in value_with_width(),
+        extra in 1u32..70,
+    ) {
+        let v = BitVec::from_u64(w, a);
+        let wide = v.zext(w + extra);
+        prop_assert_eq!(wide.slice(w - 1, 0), v);
+        // The extension bits are zero.
+        prop_assert!(wide.slice(w + extra - 1, w).is_zero());
+    }
+
+    #[test]
+    fn sext_preserves_signed_value((w, a) in value_with_width(), extra in 1u32..60) {
+        let v = BitVec::from_u64(w, a);
+        let wide = v.sext(w + extra);
+        let fill = wide.slice(w + extra - 1, w);
+        if v.sign_bit() {
+            prop_assert!(fill.is_ones());
+        } else {
+            prop_assert!(fill.is_zero());
+        }
+    }
+
+    #[test]
+    fn demorgan_holds((w, a) in value_with_width(), b in any::<u64>()) {
+        let b = b & (mask(w) as u64);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(!&(&x & &y), &!&x | &!&y);
+        prop_assert_eq!(!&(&x | &y), &!&x & &!&y);
+    }
+
+    #[test]
+    fn comparisons_match_reference((w, a) in value_with_width(), b in any::<u64>()) {
+        use std::cmp::Ordering;
+        let b = b & (mask(w) as u64);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(x.cmp_unsigned(&y), a.cmp(&b));
+        let sa = if (a >> (w - 1)) & 1 == 1 {
+            a as i128 - (1i128 << w)
+        } else {
+            a as i128
+        };
+        let sb = if (b >> (w - 1)) & 1 == 1 {
+            b as i128 - (1i128 << w)
+        } else {
+            b as i128
+        };
+        let expected = sa.cmp(&sb);
+        prop_assert_eq!(x.cmp_signed(&y), expected);
+        prop_assert_eq!(
+            x.cmp_unsigned(&y) == Ordering::Equal,
+            x == y
+        );
+    }
+
+    #[test]
+    fn reductions_match_popcount(limbs in prop::collection::vec(any::<u64>(), 1..3)) {
+        let width = (limbs.len() as u32) * 64;
+        let v = BitVec::from_limbs(width, &limbs);
+        let ones: u32 = limbs.iter().map(|l| l.count_ones()).sum();
+        prop_assert_eq!(v.count_ones(), ones);
+        prop_assert_eq!(v.reduce_xor().is_true(), ones % 2 == 1);
+        prop_assert_eq!(v.reduce_or().is_true(), ones > 0);
+        prop_assert_eq!(v.reduce_and().is_true(), ones == width);
+    }
+}

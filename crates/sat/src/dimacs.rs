@@ -1,0 +1,144 @@
+//! DIMACS CNF parsing and printing, for interoperability and debugging.
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CNF formula: variable count and clauses of literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared number of variables.
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh solver.
+    pub fn into_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> =
+            (0..self.num_vars).map(|_| solver.new_var()).collect();
+        let _ = vars;
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Renders as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &lit in clause {
+                let n = lit.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if lit.is_positive() { n } else { -n });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+}
+
+/// An error while parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError(String);
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DIMACS: {}", self.0)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens, or
+/// literals exceeding the declared variable count.
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError("expected `p cnf`".into()));
+            }
+            let nv = parts
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| ParseDimacsError("bad var count".into()))?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars
+            .ok_or_else(|| ParseDimacsError("clause before header".into()))?;
+        for token in line.split_whitespace() {
+            let n: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError(format!("bad token {token}")))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let index = n.unsigned_abs() as usize - 1;
+                if index >= nv {
+                    return Err(ParseDimacsError(format!(
+                        "literal {n} exceeds {nv} variables"
+                    )));
+                }
+                current.push(Var::from_index(index).lit(n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf {
+        num_vars: num_vars
+            .ok_or_else(|| ParseDimacsError("missing header".into()))?,
+        clauses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).expect("valid");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let re = parse_dimacs(&cnf.to_dimacs()).expect("valid");
+        assert_eq!(cnf, re);
+    }
+
+    #[test]
+    fn solves_parsed_formula() {
+        let text = "p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n";
+        let cnf = parse_dimacs(text).expect("valid");
+        let mut solver = cnf.into_solver();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_dimacs("p cnf x 2\n").is_err());
+        assert!(parse_dimacs("1 2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n5 0\n").is_err());
+        assert!(parse_dimacs("").is_err());
+    }
+}

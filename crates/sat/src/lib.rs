@@ -1,0 +1,33 @@
+//! # fastpath-sat
+//!
+//! A CDCL SAT solver, the decision-procedure substrate under FastPath's
+//! formal verification step (the paper used a commercial property checker;
+//! see DESIGN.md for the substitution argument).
+//!
+//! Features: two-watched-literal propagation, 1-UIP learning with clause
+//! minimization, VSIDS, phase saving, Luby restarts, learnt-DB reduction,
+//! incremental solving under assumptions, and DIMACS I/O.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastpath_sat::{SolveResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause(&[x.positive(), y.positive()]);
+//! solver.add_clause(&[x.negative()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(y), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dimacs;
+mod solver;
+mod types;
+
+pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use solver::{Solver, SolverStats};
+pub use types::{LBool, Lit, SolveResult, Var};

@@ -1,0 +1,944 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The implementation follows the MiniSat architecture: two-watched-literal
+//! propagation, first-UIP conflict analysis with clause learning and
+//! non-chronological backjumping, VSIDS variable activities with an indexed
+//! max-heap, phase saving, Luby-sequence restarts, and activity-based
+//! learnt-clause database reduction. Incremental solving under assumptions
+//! is supported, which is what the UPEC-DIT engine uses for its repeated
+//! property checks.
+
+use crate::types::{LBool, Lit, SolveResult, Var};
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    /// Literal-block distance at learning time (glue level).
+    lbd: u32,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// An indexed binary max-heap over variables ordered by activity.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    position: Vec<Option<u32>>,
+}
+
+impl VarHeap {
+    fn grow(&mut self, n: usize) {
+        self.position.resize(n, None);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.position[v.index()].is_some()
+    }
+
+    fn push(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = Some(self.heap.len() as u32);
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index()] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(pos) = self.position[v.index()] {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()]
+                <= activity[self.heap[parent].index()]
+            {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut largest = i;
+            for child in [left, right] {
+                if child < self.heap.len()
+                    && activity[self.heap[child].index()]
+                        > activity[self.heap[largest].index()]
+                {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = Some(i as u32);
+        self.position[self.heap[j].index()] = Some(j as u32);
+    }
+}
+
+/// Statistics accumulated across `solve` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use fastpath_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// // (a | b) & (!a | b) & (a | !b)  =>  a=1, b=1
+/// solver.add_clause(&[a.positive(), b.positive()]);
+/// solver.add_clause(&[a.negative(), b.positive()]);
+/// solver.add_clause(&[a.positive(), b.negative()]);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.value(a), Some(true));
+/// assert_eq!(solver.value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    model: Vec<bool>,
+    max_learnts: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            heap: VarHeap::default(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            model: Vec::new(),
+            max_learnts: 1000.0,
+        }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The number of (original, non-deleted) problem clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.push(v, &self.activity);
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already in an unsatisfiable state
+    /// (adding the empty clause, or a level-0 conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable that was never allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        // Simplify: sort, dedup, drop false lits, detect tautology/sat.
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // After sorting, `v` and `!v` are adjacent.
+        if sorted.windows(2).any(|w| w[0] == !w[1]) {
+            return true; // tautology: x | !x
+        }
+        let mut simplified: Vec<Lit> = Vec::with_capacity(sorted.len());
+        for &lit in &sorted {
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal {lit} references unallocated variable"
+            );
+            match self.lit_value(lit) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(lit),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        let w0 = Watch {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watch {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        let lbd = if learnt { self.compute_lbd(&lits) } else { 0 };
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            lbd,
+            deleted: false,
+        });
+        cref
+    }
+
+    /// Literal-block distance: number of distinct decision levels.
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].of_lit(lit)
+    }
+
+    /// The model value of a variable after a [`SolveResult::Sat`] outcome.
+    /// `None` before the first successful solve.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied()
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        let v = lit.var();
+        self.assigns[v.index()] = LBool::from_bool(lit.is_positive());
+        self.levels[v.index()] = self.decision_level();
+        self.reasons[v.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            // Take the watch list to avoid aliasing; we push back survivors.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            while i < ws.len() {
+                let watch = ws[i];
+                // Quick satisfied check via blocker.
+                if self.lit_value(watch.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = watch.clause as usize;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: watched literal being falsified is !p; put it
+                // at position 1.
+                let false_lit = !p;
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != watch.blocker
+                    && self.lit_value(first) == LBool::True
+                {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut found = None;
+                for k in 2..self.clauses[cref].lits.len() {
+                    if self.lit_value(self.clauses[cref].lits[k])
+                        != LBool::False
+                    {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    self.clauses[cref].lits.swap(1, k);
+                    let new_watched = self.clauses[cref].lits[1];
+                    self.watches[(!new_watched).index()].push(Watch {
+                        clause: watch.clause,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore remaining watches and bail.
+                    self.watches[p.index()].append(&mut ws.split_off(0));
+                    self.qhead = self.trail.len();
+                    return Some(watch.clause);
+                }
+                self.enqueue(first, Some(watch.clause));
+                i += 1;
+            }
+            self.watches[p.index()].append(&mut ws);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.clause_inc;
+        if c.activity > RESCALE_LIMIT {
+            for clause in self.clauses.iter_mut().filter(|c| c.learnt) {
+                clause.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(cref);
+            let start = usize::from(p.is_some());
+            // Collect literals from the reason/conflict clause.
+            let lits: Vec<Lit> =
+                self.clauses[cref as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.levels[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.levels[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand: last seen on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            cref = self.reasons[lit.var().index()]
+                .expect("non-decision literal has a reason");
+        }
+
+        // Recursive clause minimization (MiniSat ccmin-mode 2): a literal
+        // is redundant if it is implied by the remaining learnt literals
+        // through the implication graph. `seen` is still set for every
+        // learnt literal at this point, which the check relies on.
+        for l in &learnt {
+            self.seen[l.var().index()] = true;
+        }
+        let abstract_levels: u32 = learnt[1..]
+            .iter()
+            .map(|l| 1u32 << (self.levels[l.var().index()] & 31))
+            .fold(0, |a, b| a | b);
+        let mut to_clear: Vec<Lit> = learnt.clone();
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| {
+                self.reasons[l.var().index()].is_none()
+                    || !self.lit_redundant(l, abstract_levels, &mut to_clear)
+            })
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Backjump level = highest level among the non-UIP literals.
+        let backjump = minimized[1..]
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .max()
+            .unwrap_or(0);
+
+        // Clear seen flags.
+        for l in &to_clear {
+            self.seen[l.var().index()] = false;
+        }
+        (minimized, backjump)
+    }
+
+    /// Recursive redundancy check through the implication graph. Literals
+    /// whose entire reason cone is already `seen` (or level 0) are implied
+    /// by the rest of the learnt clause. Newly visited literals are marked
+    /// `seen` and recorded in `to_clear`.
+    fn lit_redundant(
+        &mut self,
+        lit: Lit,
+        abstract_levels: u32,
+        to_clear: &mut Vec<Lit>,
+    ) -> bool {
+        let mut stack = vec![lit];
+        let checkpoint = to_clear.len();
+        while let Some(q) = stack.pop() {
+            let reason = self.reasons[q.var().index()]
+                .expect("candidate literal has a reason");
+            let lits: Vec<Lit> =
+                self.clauses[reason as usize].lits[1..].to_vec();
+            for l in lits {
+                let v = l.var();
+                if self.seen[v.index()] || self.levels[v.index()] == 0 {
+                    continue;
+                }
+                let has_reason = self.reasons[v.index()].is_some();
+                let level_ok = (1u32 << (self.levels[v.index()] & 31))
+                    & abstract_levels
+                    != 0;
+                if has_reason && level_ok {
+                    self.seen[v.index()] = true;
+                    to_clear.push(l);
+                    stack.push(l);
+                } else {
+                    // Not redundant: roll back the marks from this probe.
+                    for undo in &to_clear[checkpoint..] {
+                        self.seen[undo.var().index()] = false;
+                    }
+                    to_clear.truncate(checkpoint);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.phase[v.index()] = lit.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reasons[v.index()] = None;
+            self.heap.push(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut locked = vec![false; self.clauses.len()];
+        for l in &self.trail {
+            if let Some(cref) = self.reasons[l.var().index()] {
+                locked[cref as usize] = true;
+            }
+        }
+        // Glue clauses (small LBD) are kept unconditionally; the rest are
+        // ranked worst-first by (high LBD, low activity) and the worst half
+        // removed.
+        let mut learnt_indices: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.learnt
+                    && !c.deleted
+                    && !locked[*i]
+                    && c.lits.len() > 2
+                    && c.lbd > 3
+            })
+            .map(|(i, _)| i)
+            .collect();
+        learnt_indices.sort_by(|&a, &b| {
+            let ca = &self.clauses[a];
+            let cb = &self.clauses[b];
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .expect("activities are finite"),
+            )
+        });
+        let remove = learnt_indices.len() / 2;
+        for &i in &learnt_indices[..remove] {
+            self.clauses[i].deleted = true;
+            self.stats.learnt_clauses -= 1;
+        }
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals: the formula plus each
+    /// assumption as a unit constraint for this call only.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions);
+        self.backtrack(0);
+        result
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut conflicts_until_restart = luby(self.stats.restarts) * LUBY_UNIT;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (mut learnt, backjump) = self.analyze(conflict);
+                // Backjump may land below the assumption levels; the main
+                // loop re-asserts assumptions as pseudo-decisions, so this
+                // is safe and keeps the learning machinery uniform.
+                self.backtrack(backjump);
+                if learnt.len() == 1 {
+                    // Unit learnt clause: backjump is 0, assert at level 0.
+                    debug_assert_eq!(self.decision_level(), 0);
+                    match self.lit_value(learnt[0]) {
+                        LBool::False => {
+                            self.ok = false;
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => self.enqueue(learnt[0], None),
+                        LBool::True => {}
+                    }
+                } else {
+                    // Watch the asserting literal and a literal from the
+                    // backjump level so the watch invariant survives
+                    // backtracking.
+                    let max_pos = (1..learnt.len())
+                        .max_by_key(|&i| self.levels[learnt[i].var().index()])
+                        .expect("clause has at least two literals");
+                    learnt.swap(1, max_pos);
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    debug_assert_eq!(self.lit_value(asserting), LBool::Undef);
+                    self.enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.clause_inc /= CLAUSE_DECAY;
+                conflicts_until_restart =
+                    conflicts_until_restart.saturating_sub(1);
+                if self.stats.learnt_clauses as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                // No conflict: restart, assume, or decide.
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                    conflicts_until_restart =
+                        luby(self.stats.restarts) * LUBY_UNIT;
+                }
+                // Re-assert pending assumptions as pseudo-decisions (one
+                // decision level per assumption, in order).
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied; open an empty level to keep
+                            // the level↔assumption indexing aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return SolveResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self
+                            .assigns
+                            .iter()
+                            .map(|&a| a == LBool::True)
+                            .collect();
+                        return SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = v.lit(self.phase[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, … (0-indexed).
+fn luby(x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        s.add_clause(&[a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive(), a.negative()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // a & (a->b) & (b->c) & (c->d)  =>  all true
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[vars[0].positive()]);
+        for w in vars.windows(2) {
+            s.add_clause(&[w[0].negative(), w[1].positive()]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // 3 pigeons, 2 holes: p[i][h] = pigeon i in hole h.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        // Every pigeon somewhere.
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        // No two pigeons share a hole.
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve_with(&[a.negative()]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_with(&[a.negative(), b.negative()]),
+            SolveResult::Unsat
+        );
+        // The solver is still usable and SAT without those assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn conflicting_assumptions_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_with(&[a.positive(), a.negative()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.add_clause(&[b.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Brute-force evaluation of a CNF for cross-checking.
+    fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
+        for bits in 0u64..(1 << num_vars) {
+            let assignment =
+                |v: usize| -> bool { (bits >> v) & 1 == 1 };
+            if cnf.iter().all(|clause| {
+                clause.iter().any(|&(v, pos)| assignment(v) == pos)
+            }) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn random_cnfs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xFA57);
+        for _ in 0..300 {
+            let num_vars = rng.gen_range(1..=8usize);
+            let num_clauses = rng.gen_range(1..=20usize);
+            let cnf: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+                .map(|_| {
+                    let len = rng.gen_range(1..=3usize);
+                    (0..len)
+                        .map(|_| {
+                            (rng.gen_range(0..num_vars), rng.gen_bool(0.5))
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut s = Solver::new();
+            let vars: Vec<Var> =
+                (0..num_vars).map(|_| s.new_var()).collect();
+            for clause in &cnf {
+                let lits: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, pos)| vars[v].lit(pos))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            let expected = brute_force_sat(num_vars, &cnf);
+            let got = s.solve() == SolveResult::Sat;
+            assert_eq!(got, expected, "cnf: {cnf:?}");
+            if got {
+                // Verify the model actually satisfies the CNF.
+                for clause in &cnf {
+                    assert!(clause.iter().any(|&(v, pos)| {
+                        s.value(vars[v]) == Some(pos)
+                    }));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Core SAT types: variables, literals, truth values.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a raw index (must be < the solver's
+    /// variable count to be meaningful).
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given sign
+    /// (`true` ⇒ positive).
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, encoded as `var << 1 | neg`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` iff this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::index`].
+    pub fn from_index(index: usize) -> Self {
+        Lit(index as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal under this variable assignment.
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match (self, lit.is_positive()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}
+
+/// Outcome of a `solve` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula (with assumptions) is unsatisfiable.
+    Unsat,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrips() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!(!v.positive()), v.positive());
+        assert_eq!(Lit::from_index(v.positive().index()), v.positive());
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        let v = Var::from_index(0);
+        assert_eq!(LBool::True.of_lit(v.positive()), LBool::True);
+        assert_eq!(LBool::True.of_lit(v.negative()), LBool::False);
+        assert_eq!(LBool::False.of_lit(v.positive()), LBool::False);
+        assert_eq!(LBool::Undef.of_lit(v.positive()), LBool::Undef);
+    }
+}

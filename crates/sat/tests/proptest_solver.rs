@@ -1,0 +1,126 @@
+//! Property-based tests for the CDCL solver against a brute-force oracle:
+//! plain solving, solving under assumptions, incremental clause addition,
+//! and model validity.
+
+use fastpath_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+type CnfSpec = Vec<Vec<(usize, bool)>>;
+
+fn cnf_strategy() -> impl Strategy<Value = (usize, CnfSpec)> {
+    (1usize..=9).prop_flat_map(|num_vars| {
+        let clause = prop::collection::vec(
+            (0..num_vars, any::<bool>()),
+            1..=3,
+        );
+        let cnf = prop::collection::vec(clause, 0..=25);
+        (Just(num_vars), cnf)
+    })
+}
+
+fn brute_force(
+    num_vars: usize,
+    cnf: &CnfSpec,
+    fixed: &[(usize, bool)],
+) -> bool {
+    'outer: for bits in 0u64..(1 << num_vars) {
+        let assignment = |v: usize| (bits >> v) & 1 == 1;
+        for &(v, polarity) in fixed {
+            if assignment(v) != polarity {
+                continue 'outer;
+            }
+        }
+        if cnf
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| assignment(v) == pos))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn load(num_vars: usize, cnf: &CnfSpec) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in cnf {
+        let lits: Vec<Lit> =
+            clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        solver.add_clause(&lits);
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn solve_matches_brute_force((num_vars, cnf) in cnf_strategy()) {
+        let (mut solver, vars) = load(num_vars, &cnf);
+        let expected = brute_force(num_vars, &cnf, &[]);
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            for clause in &cnf {
+                prop_assert!(clause.iter().any(|&(v, pos)| {
+                    solver.value(vars[v]) == Some(pos)
+                }), "model must satisfy every clause");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_match_brute_force(
+        (num_vars, cnf) in cnf_strategy(),
+        assumption_bits in any::<u64>(),
+        assumption_mask in any::<u64>(),
+    ) {
+        let (mut solver, vars) = load(num_vars, &cnf);
+        let fixed: Vec<(usize, bool)> = (0..num_vars)
+            .filter(|v| (assumption_mask >> v) & 1 == 1)
+            .map(|v| (v, (assumption_bits >> v) & 1 == 1))
+            .collect();
+        let assumptions: Vec<Lit> = fixed
+            .iter()
+            .map(|&(v, polarity)| vars[v].lit(polarity))
+            .collect();
+        let expected = brute_force(num_vars, &cnf, &fixed);
+        let got = solver.solve_with(&assumptions) == SolveResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            for &(v, polarity) in &fixed {
+                prop_assert_eq!(solver.value(vars[v]), Some(polarity));
+            }
+        }
+        // The solver must remain reusable with different assumptions.
+        let plain = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(plain, brute_force(num_vars, &cnf, &[]));
+    }
+
+    #[test]
+    fn incremental_addition_is_equivalent_to_batch(
+        (num_vars, cnf) in cnf_strategy(),
+    ) {
+        // Solve after each added clause; the final answer must equal the
+        // batch answer, and satisfiability must be monotonically
+        // non-increasing as clauses accumulate.
+        let mut solver = Solver::new();
+        let vars: Vec<Var> =
+            (0..num_vars).map(|_| solver.new_var()).collect();
+        let mut previous_sat = true;
+        for (i, clause) in cnf.iter().enumerate() {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, pos)| vars[v].lit(pos))
+                .collect();
+            solver.add_clause(&lits);
+            let sat = solver.solve() == SolveResult::Sat;
+            prop_assert_eq!(sat, brute_force(num_vars, &cnf[..=i].to_vec(), &[]));
+            prop_assert!(
+                previous_sat || !sat,
+                "satisfiability cannot come back after UNSAT"
+            );
+            previous_sat = sat;
+        }
+    }
+}

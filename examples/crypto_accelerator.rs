@@ -1,0 +1,53 @@
+//! Verifying cryptographic accelerators structurally (paper Sec. V-A).
+//!
+//!     cargo run --release -p fastpath-bench --example crypto_accelerator
+//!
+//! For round-based crypto cores, the HyperFlow Graph alone proves
+//! data-obliviousness: there is no structural path — explicit or implicit —
+//! from the key/plaintext inputs to the handshake outputs. This example
+//! runs the structural analysis on all three bundled accelerators, prints
+//! the per-(input, output) pairwise matrix, and contrasts it with the
+//! effort the formal-only baseline would have spent.
+
+use fastpath::{run_baseline, run_fastpath, PairwiseAnalysis, Verdict};
+use fastpath_hfg::extract_hfg;
+
+fn main() {
+    let studies = [
+        fastpath_designs::sha512::case_study(),
+        fastpath_designs::aes_opencores::case_study(),
+        fastpath_designs::aes_secworks::case_study(),
+    ];
+
+    for study in &studies {
+        let module = &study.instance.module;
+        let hfg = extract_hfg(module);
+        println!("== {} ==", study.name);
+        println!("  HFG: {}", hfg.stats());
+
+        let analysis = PairwiseAnalysis::run(module);
+        println!(
+            "  pairwise (x_D, y_C): {} of {} combinations structurally \
+             connected",
+            analysis.connected_count(),
+            analysis.pairs.len()
+        );
+
+        let fast = run_fastpath(study);
+        assert_eq!(fast.verdict, Verdict::DataOblivious);
+        println!(
+            "  FastPath: {} via {} with {} manual inspections",
+            fast.verdict, fast.method, fast.manual_inspections
+        );
+
+        let base = run_baseline(study);
+        println!(
+            "  formal-only baseline: {} manual inspections across {} \
+             property checks",
+            base.manual_inspections, base.timings.check_count
+        );
+        println!(
+            "  => structural analysis removed 100% of the manual effort\n"
+        );
+    }
+}

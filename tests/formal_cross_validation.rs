@@ -1,0 +1,304 @@
+//! Cross-validation between the independent engines:
+//!
+//! 1. The bit-blasted formal model and the functional simulator implement
+//!    the same RTL semantics (checked via BMC witness replay and via
+//!    per-design transition equivalence).
+//! 2. A successful UPEC proof really does imply observable 2-run
+//!    equivalence: two random simulations of a verified design that agree
+//!    on the control inputs must agree on every control output, cycle for
+//!    cycle — the defining experiment for data-obliviousness.
+
+use fastpath_formal::{bmc_check, BmcResult};
+use fastpath_rtl::{BitVec, ModuleBuilder, SignalKind, SignalRole};
+use fastpath_sim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn bmc_witness_replays_in_the_simulator() {
+    // r climbs by the (free) input; property r < 40 must fail, and the
+    // witness input trace must drive the simulator to the same violation.
+    let mut b = ModuleBuilder::new("climb");
+    let step = b.input("step", 4);
+    let step_sig = b.sig(step);
+    let r = b.reg("r", 8, 0);
+    let r_sig = b.sig(r);
+    let ext = b.zext(step_sig, 8);
+    let sum = b.add(r_sig, ext);
+    b.set_next(r, sum).expect("drive");
+    b.output("o", r_sig);
+    let forty = b.lit(8, 40);
+    let property = b.ult(r_sig, forty);
+    let m = b.build().expect("valid");
+
+    match bmc_check(&m, property, &[], 12) {
+        BmcResult::Violated { cycle, inputs } => {
+            let mut sim = Simulator::new(&m);
+            for frame in inputs.iter().take(cycle as usize + 1) {
+                for (id, value) in frame {
+                    sim.set_input(*id, value.clone());
+                }
+                sim.settle();
+                if sim.cycle() == cycle as u64 {
+                    let r_id = m.signal_by_name("r").expect("r");
+                    assert!(
+                        sim.value(r_id).to_u64() >= 40,
+                        "replayed witness must reach the violation"
+                    );
+                    return;
+                }
+                sim.clock();
+            }
+            panic!("witness did not reach the violating cycle");
+        }
+        BmcResult::Bounded { .. } => {
+            panic!("r can reach 40 within 12 steps (15 per step max)")
+        }
+    }
+}
+
+/// Runs two simulations of `module` with identical control inputs but
+/// independent data inputs and asserts that all control outputs match at
+/// every cycle. `configure` applies the derived software constraints.
+fn assert_two_run_equivalence(
+    study: &fastpath::CaseStudy,
+    cycles: u64,
+    seed: u64,
+) {
+    let instance = &study.instance;
+    let module = &instance.module;
+    // Constrained stimulus: reuse the study's testbench restrictions by
+    // sampling from two RandomTestbench instances that share a seed (so
+    // control inputs agree) and then scrambling the data inputs of one.
+    let mut tb = fastpath_sim::RandomTestbench::new(module, seed);
+    if let Some(cfg) = &instance.configure_testbench {
+        cfg(module, &mut tb);
+    }
+    for constraint in &instance.constraints {
+        if let Some(r) = &constraint.restrict_testbench {
+            r(module, &mut tb);
+        }
+    }
+    let mut scramble = StdRng::seed_from_u64(seed ^ 0xD00D);
+
+    let mut sim_a = Simulator::new(module);
+    let mut sim_b = Simulator::new(module);
+    let control_outputs = module.control_outputs();
+    use fastpath_sim::Testbench as _;
+    for cycle in 0..cycles {
+        for (id, value) in tb.drive(cycle) {
+            let role = module.signal(id).role;
+            sim_a.set_input(id, value.clone());
+            if role == SignalRole::DataIn {
+                let w = module.signal(id).width;
+                sim_b.set_input(id, BitVec::from_u64(w, scramble.gen()));
+            } else {
+                sim_b.set_input(id, value);
+            }
+        }
+        sim_a.settle();
+        sim_b.settle();
+        for &y in &control_outputs {
+            assert_eq!(
+                sim_a.value(y),
+                sim_b.value(y),
+                "{}: control output `{}` diverged at cycle {cycle} — the \
+                 UPEC verdict would be unsound",
+                study.name,
+                module.signal(y).name
+            );
+        }
+        sim_a.clock();
+        sim_b.clock();
+    }
+}
+
+#[test]
+fn verified_designs_are_observably_data_oblivious_in_simulation() {
+    // Designs whose (possibly constrained) verdict is data-oblivious:
+    // randomized 2-run experiments must never distinguish the secrets.
+    for study in [
+        fastpath_designs::sha512::case_study(),
+        fastpath_designs::aes_opencores::case_study(),
+        fastpath_designs::aes_secworks::case_study(),
+        fastpath_designs::fwrisc_mds::case_study(),
+    ] {
+        for seed in [1u64, 7, 99] {
+            assert_two_run_equivalence(&study, 400, seed);
+        }
+    }
+}
+
+#[test]
+fn fixed_cv32e40s_is_observably_oblivious_under_its_constraints() {
+    let study = fastpath_designs::cv32e40s::case_study();
+    let fixed = study.fixed_instance.clone().expect("fixed variant");
+    let mut fixed_study = fastpath::CaseStudy::new("cv32e40s_fixed", fixed);
+    fixed_study.seed = study.seed;
+    for seed in [3u64, 42] {
+        assert_two_run_equivalence(&fixed_study, 600, seed);
+    }
+}
+
+#[test]
+fn leaky_cv32e40s_fails_the_same_experiment() {
+    // Sanity check for the experiment itself: on the leaky core the two
+    // runs MUST diverge somewhere (otherwise the test above is vacuous).
+    let study = fastpath_designs::cv32e40s::case_study();
+    let instance = &study.instance;
+    let module = &instance.module;
+    let mut tb = fastpath_sim::RandomTestbench::new(module, 5);
+    if let Some(cfg) = &instance.configure_testbench {
+        cfg(module, &mut tb);
+    }
+    for constraint in &instance.constraints {
+        if let Some(r) = &constraint.restrict_testbench {
+            r(module, &mut tb);
+        }
+    }
+    let mut scramble = StdRng::seed_from_u64(0xFEED);
+    let mut sim_a = Simulator::new(module);
+    let mut sim_b = Simulator::new(module);
+    let mut diverged = false;
+    use fastpath_sim::Testbench as _;
+    'outer: for cycle in 0..600 {
+        for (id, value) in tb.drive(cycle) {
+            let role = module.signal(id).role;
+            sim_a.set_input(id, value.clone());
+            if role == SignalRole::DataIn {
+                let w = module.signal(id).width;
+                sim_b.set_input(id, BitVec::from_u64(w, scramble.gen()));
+            } else {
+                sim_b.set_input(id, value);
+            }
+        }
+        sim_a.settle();
+        sim_b.settle();
+        for y in module.control_outputs() {
+            if sim_a.value(y) != sim_b.value(y) {
+                diverged = true;
+                break 'outer;
+            }
+        }
+        sim_a.clock();
+        sim_b.clock();
+    }
+    assert!(diverged, "the leaky core must be distinguishable");
+}
+
+#[test]
+fn interface_partitions_are_complete() {
+    // Every case-study module annotates all of its inputs and outputs.
+    for study in fastpath_designs::all_case_studies() {
+        let module = &study.instance.module;
+        for (_, s) in module.signals() {
+            match s.kind {
+                SignalKind::Input | SignalKind::Output => {
+                    assert_ne!(
+                        s.role,
+                        SignalRole::Internal,
+                        "{}: interface signal `{}` lacks a role",
+                        study.name,
+                        s.name
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn two_safety_bmc_demonstrates_the_zipcpu_leak_from_reset() {
+    use fastpath_formal::{two_safety_bmc, TwoSafetyBmcResult};
+    // The early-termination timing leak must be *reachable from reset*: a
+    // concrete pair of runs, equal on all control inputs, that drives the
+    // handshake apart. (The UPEC induction alone starts from a symbolic
+    // state; this is the concrete confirmation.)
+    let module = fastpath_designs::zipcpu_div::build_module();
+    match two_safety_bmc(&module, &[], 6) {
+        TwoSafetyBmcResult::Diverges {
+            cycle,
+            output,
+            inputs_a,
+            inputs_b,
+        } => {
+            assert!(cycle < 6);
+            let name = &module.signal(output).name;
+            assert!(
+                ["busy_o", "done_o", "err_o"].contains(&name.as_str()),
+                "the divergence is on the handshake, got `{name}`"
+            );
+            // The traces agree on every control input.
+            for (fa, fb) in inputs_a.iter().zip(&inputs_b) {
+                for ((ia, va), (ib, vb)) in fa.iter().zip(fb) {
+                    assert_eq!(ia, ib);
+                    if module.signal(*ia).role != SignalRole::DataIn {
+                        assert_eq!(va, vb, "control inputs must agree");
+                    }
+                }
+            }
+        }
+        TwoSafetyBmcResult::Bounded { .. } => {
+            panic!("the timing leak must be demonstrable within 6 cycles")
+        }
+    }
+}
+
+#[test]
+fn two_safety_bmc_separates_leaky_and_gated_bus_exposure() {
+    use fastpath_formal::{two_safety_bmc, TwoSafetyBmcResult};
+    // A focused model of the cv32e40s bug: an operand buffer driving the
+    // bus ungated (leaky) vs gated by the request signal (fixed).
+    fn bus_device(leaky: bool) -> fastpath_rtl::Module {
+        let mut b = ModuleBuilder::new(if leaky { "leaky" } else { "gated" });
+        let req = b.control_input("req", 1);
+        let data = b.data_input("data", 8);
+        let buf = b.reg("operand_buf", 8, 0);
+        let d = b.sig(data);
+        b.set_next(buf, d).expect("drive");
+        let buf_s = b.sig(buf);
+        let req_s = b.sig(req);
+        let zero = b.lit(8, 0);
+        let addr = if leaky {
+            buf_s
+        } else {
+            b.mux(req_s, buf_s, zero)
+        };
+        b.control_output("bus_addr_o", addr);
+        b.data_output("result", buf_s);
+        b.build().expect("valid")
+    }
+
+    match two_safety_bmc(&bus_device(true), &[], 4) {
+        TwoSafetyBmcResult::Diverges { cycle, .. } => {
+            assert!(cycle <= 2, "one register stage after reset")
+        }
+        TwoSafetyBmcResult::Bounded { .. } => {
+            panic!("ungated bus must leak")
+        }
+    }
+    // The gated device leaks only when the (attacker-controlled) request
+    // is high — i.e. during a legitimate transaction. Under the usage
+    // constraint "no requests issued" it is bounded-safe.
+    let gated = bus_device(false);
+    // Build the constraint in a fresh arena is impossible; instead assert
+    // boundedness with the request tied low by rebuilding with the
+    // predicate.
+    let mut b = ModuleBuilder::new("gated2");
+    let req = b.control_input("req", 1);
+    let data = b.data_input("data", 8);
+    let buf = b.reg("operand_buf", 8, 0);
+    let d = b.sig(data);
+    b.set_next(buf, d).expect("drive");
+    let buf_s = b.sig(buf);
+    let req_s = b.sig(req);
+    let zero = b.lit(8, 0);
+    let addr = b.mux(req_s, buf_s, zero);
+    b.control_output("bus_addr_o", addr);
+    b.data_output("result", buf_s);
+    let no_req = b.eq_lit(req_s, 0);
+    let gated2 = b.build().expect("valid");
+    assert!(two_safety_bmc(&gated2, &[no_req], 6).holds());
+    let _ = gated;
+}

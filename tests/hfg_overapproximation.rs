@@ -1,0 +1,88 @@
+//! The HFG's defining guarantee (Sec. III-A): the structural analysis
+//! over-approximates real information flow — it may report paths that are
+//! never realizable, but it can never miss one. We check the consequence
+//! the FastPath early exit relies on: any signal that *actually* receives
+//! taint during an IFT simulation must be HFG-reachable from some data
+//! input. Checked on all eight case studies plus the leak variants.
+
+use fastpath_hfg::{extract_hfg, PathQuery};
+use fastpath_sim::{IftSimulation, RandomTestbench};
+use std::collections::BTreeSet;
+
+fn check_module(module: &fastpath_rtl::Module, cycles: u64, seed: u64) {
+    let hfg = extract_hfg(module);
+    let query = PathQuery::new(&hfg);
+    let mut reachable = BTreeSet::new();
+    for x in module.data_inputs() {
+        reachable.insert(x);
+        for s in query.reachable_set(x) {
+            reachable.insert(s);
+        }
+    }
+
+    let mut tb = RandomTestbench::new(module, seed);
+    let report = IftSimulation::new(cycles).run(module, &mut tb);
+    for (id, signal) in module.signals() {
+        let tainted = report.first_taint_cycle[id.index()].is_some();
+        if tainted {
+            assert!(
+                reachable.contains(&id),
+                "{}: `{}` is tainted but not HFG-reachable — the \
+                 structural analysis under-approximated",
+                module.name(),
+                signal.name
+            );
+        }
+    }
+}
+
+#[test]
+fn taint_implies_structural_reachability_on_all_designs() {
+    for study in fastpath_designs::all_case_studies() {
+        check_module(&study.instance.module, 300, 17);
+        if let Some(fixed) = &study.fixed_instance {
+            check_module(&fixed.module, 300, 17);
+        }
+    }
+}
+
+#[test]
+fn early_exit_condition_equals_pairwise_emptiness() {
+    // `no_flow_possible` must agree with checking every (x_D, y_C) pair.
+    for study in fastpath_designs::all_case_studies() {
+        let module = &study.instance.module;
+        let hfg = extract_hfg(module);
+        let query = PathQuery::new(&hfg);
+        let bulk = query.no_flow_possible(
+            &module.data_inputs(),
+            &module.control_outputs(),
+        );
+        let pairwise = module.data_inputs().iter().all(|&x| {
+            module
+                .control_outputs()
+                .iter()
+                .all(|&y| !query.reachable(x, y))
+        });
+        assert_eq!(bulk, pairwise, "{}", study.name);
+    }
+}
+
+#[test]
+fn guard_depth_cap_never_changes_reachability() {
+    use fastpath_hfg::{extract_hfg_with, ExtractOptions};
+    for study in fastpath_designs::all_case_studies() {
+        let module = &study.instance.module;
+        let full = extract_hfg(module);
+        let capped = extract_hfg_with(
+            module,
+            ExtractOptions { max_guard_depth: 0 },
+        );
+        let qf = PathQuery::new(&full);
+        let qc = PathQuery::new(&capped);
+        for x in module.data_inputs() {
+            let rf: BTreeSet<_> = qf.reachable_set(x).into_iter().collect();
+            let rc: BTreeSet<_> = qc.reachable_set(x).into_iter().collect();
+            assert_eq!(rf, rc, "{}: guard depth must not affect reachability", study.name);
+        }
+    }
+}

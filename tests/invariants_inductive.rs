@@ -1,0 +1,113 @@
+//! Soundness of the specification vocabulary: assuming non-inductive
+//! invariants in the UPEC model could mask real leaks, so the invariant
+//! set of every case study must be **jointly inductive** (each holds at
+//! reset, and assuming all of them at `t` under the usage constraints
+//! proves all of them at `t+1` — members may depend on each other).
+//! Conditional 2-safety equalities are covered separately: their proof
+//! obligation at `t+1` is part of every UPEC check by construction.
+
+use fastpath::DesignInstance;
+use fastpath_formal::invariants_are_jointly_inductive;
+
+fn check_instance(name: &str, instance: &DesignInstance) {
+    let constraints: Vec<_> =
+        instance.constraints.iter().map(|c| c.expr).collect();
+    let invariants: Vec<_> =
+        instance.invariants.iter().map(|p| p.expr).collect();
+    assert!(
+        invariants_are_jointly_inductive(
+            &instance.module,
+            &invariants,
+            &constraints
+        ),
+        "{name}: the invariant set is not jointly inductive — assuming it \
+         would be unsound"
+    );
+}
+
+#[test]
+fn all_declared_invariant_sets_are_jointly_inductive() {
+    for study in fastpath_designs::all_case_studies() {
+        check_instance(&study.name, &study.instance);
+        if let Some(fixed) = &study.fixed_instance {
+            check_instance(&study.name, fixed);
+        }
+    }
+}
+
+#[test]
+fn joint_induction_rejects_a_wrong_invariant() {
+    // A deliberately false invariant in an otherwise fine set must fail
+    // the joint check.
+    use fastpath_rtl::ModuleBuilder;
+    let mut b = ModuleBuilder::new("m");
+    let x = b.input("x", 4);
+    let xs = b.sig(x);
+    let r = b.reg("r", 4, 0);
+    b.set_next(r, xs).expect("drive");
+    let rs = b.sig(r);
+    b.output("o", rs);
+    let true_inv = {
+        let lit = b.lit(4, 15);
+        b.ule(rs, lit) // trivially true
+    };
+    let false_inv = b.eq_lit(rs, 0); // violated by any nonzero input
+    let m = b.build().expect("valid");
+    assert!(invariants_are_jointly_inductive(&m, &[true_inv], &[]));
+    assert!(!invariants_are_jointly_inductive(
+        &m,
+        &[true_inv, false_inv],
+        &[]
+    ));
+}
+
+#[test]
+fn cond_eq_obligations_catch_bogus_equalities() {
+    // A deliberately wrong conditional equality must surface as a violated
+    // obligation rather than silently strengthen the proof.
+    use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
+    use fastpath_rtl::ModuleBuilder;
+
+    let mut b = ModuleBuilder::new("m");
+    let data = b.data_input("data", 4);
+    let d = b.sig(data);
+    let r = b.reg("r", 4, 0);
+    b.set_next(r, d).expect("drive");
+    let flag = b.reg("flag", 1, 0);
+    let f = b.bit_lit(false);
+    b.set_next(flag, f).expect("drive");
+    let fs = b.sig(flag);
+    let cond = b.not(fs); // flag == 0: holds in every reachable state...
+    let tick = b.reg("tick", 1, 0);
+    let t = b.sig(tick);
+    let nt = b.not(t);
+    b.set_next(tick, nt).expect("drive");
+    b.control_output("phase", t);
+    let m = b.build().expect("valid");
+    let r_id = m.signal_by_name("r").expect("r");
+    let tick_id = m.signal_by_name("tick").expect("tick");
+    let flag_id = m.signal_by_name("flag").expect("flag");
+
+    // Claim: whenever flag == 0 (i.e. always), r is equal across the two
+    // instances. That is FALSE — r latches the free data input — and the
+    // obligation must fail even though assuming it at t would make any
+    // check trivially pass.
+    let spec = UpecSpec {
+        software_constraints: vec![],
+        invariants: vec![],
+        conditional_equalities: vec![(cond, r_id)],
+    };
+    let mut upec = Upec2Safety::new(&m, &spec);
+    match upec.check(&[tick_id, flag_id]) {
+        UpecOutcome::Counterexample(cex) => {
+            assert_eq!(
+                cex.violated_cond_eqs,
+                vec![0],
+                "the bogus equality's t+1 obligation must be reported"
+            );
+        }
+        UpecOutcome::Holds => {
+            panic!("a bogus conditional equality must not be provable")
+        }
+    }
+}

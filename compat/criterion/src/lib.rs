@@ -1,0 +1,235 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal wall-clock benchmarking harness exposing the criterion
+//! surface our benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurements are median-of-samples wall-clock times printed as
+//! `name  time: [..]` lines, one per benchmark.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(
+        function_name: S,
+        parameter: P,
+    ) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+pub struct Bencher {
+    /// Measured per-iteration samples for the current benchmark.
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration, then timed samples. Iteration
+        // counts per sample scale so a sample takes at least ~1ms,
+        // keeping timer quantization out of fast benchmarks.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed();
+        let per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
+                .clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, |b| f(b));
+        self.criterion.completed += 1;
+        self
+    }
+
+    pub fn bench_with_input<P, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self.criterion.completed += 1;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_count: samples };
+    f(&mut bencher);
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let (lo, hi) = (
+        bencher.samples.first().copied().unwrap_or_default(),
+        bencher.samples.last().copied().unwrap_or_default(),
+    );
+    println!(
+        "{name:<55} time: [{} {} {}]",
+        format_duration(lo),
+        format_duration(median),
+        format_duration(hi)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: default_sample_size(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<S: Into<String>, F>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), default_sample_size(), |b| f(b));
+        self.completed += 1;
+        self
+    }
+}
+
+/// Sample count; `FASTPATH_BENCH_SAMPLES` overrides the default of 20.
+fn default_sample_size() -> usize {
+    std::env::var("FASTPATH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+        .max(1)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            });
+        });
+        group.finish();
+        // warm-up + 3 samples (each possibly multiple iters, but the
+        // 100µs body keeps per_sample == 1).
+        assert!(calls >= 4, "expected at least 4 calls, got {calls}");
+    }
+
+    #[test]
+    fn format_is_humane() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

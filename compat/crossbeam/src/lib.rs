@@ -1,0 +1,187 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the `crossbeam::deque` work-stealing primitives it uses — `Injector`,
+//! `Worker`, `Stealer`, and `Steal` — implemented over `std::sync::Mutex`
+//! rather than lock-free Chase-Lev deques. The semantics (LIFO local
+//! pops, FIFO steals, a shared FIFO injector) match upstream; only the
+//! contention profile differs, which is irrelevant at this workspace's
+//! task granularity (whole verification flows, seconds each).
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    ///
+    /// The lock-based implementation never observes a torn state, so
+    /// `Retry` is never returned — but it stays in the enum to keep
+    /// call sites source-compatible with upstream.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO queue every thread can push to and steal from.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    /// A per-thread deque: the owner pushes and pops at the back (LIFO),
+    /// thieves steal from the front (FIFO).
+    pub struct Worker<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_fifo() -> Self {
+            Worker { deque: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { deque: Arc::clone(&self.deque) }
+        }
+
+        pub fn push(&self, task: T) {
+            self.deque.lock().unwrap().push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.deque.lock().unwrap().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.deque.lock().unwrap().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.deque.lock().unwrap().len()
+        }
+    }
+
+    /// A handle for stealing from another thread's `Worker`.
+    pub struct Stealer<T> {
+        deque: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { deque: Arc::clone(&self.deque) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.deque.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.deque.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn worker_is_lifo_for_owner_fifo_for_thief() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_shared_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_stealers_lose_nothing() {
+        let inj = Injector::new();
+        const N: usize = 1000;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let inj = &inj;
+                scope.spawn(move || {
+                    for i in 0..N {
+                        inj.push(t * N + i);
+                    }
+                });
+            }
+        });
+        let mut seen = vec![false; 4 * N];
+        while let Steal::Success(v) = inj.steal() {
+            assert!(!seen[v], "duplicate {v}");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lost items");
+    }
+}

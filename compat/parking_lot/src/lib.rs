@@ -1,0 +1,199 @@
+//! Offline vendored subset of the `parking_lot` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! `Mutex`, `RwLock`, and `Condvar` as thin wrappers over their `std`
+//! counterparts with parking_lot's non-poisoning signatures (`lock()`
+//! returns a guard directly). A poisoned std lock means a panic already
+//! happened on another thread; propagating the panic here matches
+//! parking_lot's behavior of letting the original panic surface.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// parking_lot signature: mutates the guard in place.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> bool {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, result) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = result.timed_out();
+            g
+        });
+        timed_out
+    }
+}
+
+/// Applies a guard-consuming wait to a `&mut` guard slot. The closure
+/// always returns a live replacement guard, so the moment where the slot
+/// is logically empty is unobservable.
+fn replace_guard<'a, T: ?Sized>(
+    slot: &mut MutexGuard<'a, T>,
+    wait: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    struct AbortOnUnwind;
+    impl Drop for AbortOnUnwind {
+        fn drop(&mut self) {
+            // Unwinding past the ptr::read would let the caller's slot
+            // drop a guard that `wait` already consumed; a double unlock
+            // is UB, so turn it into an abort instead.
+            std::process::abort();
+        }
+    }
+    // SAFETY: `taken` is read out and superseded before anyone can
+    // observe the slot again; if `wait` unwinds, the bomb above aborts
+    // the process before the duplicate guard can be dropped.
+    unsafe {
+        let taken = std::ptr::read(slot);
+        let bomb = AbortOnUnwind;
+        let replacement = wait(taken);
+        std::mem::forget(bomb);
+        std::ptr::write(slot, replacement);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_locks_without_result_wrapping() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+        let _held = m.lock();
+        assert!(m.try_lock().is_none());
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(r1.len() + r2.len(), 6);
+        drop((r1, r2));
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cvar) = &*pair;
+        *lock.lock() = true;
+        cvar.notify_one();
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(timed_out);
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest it uses: the `proptest!`, `prop_compose!`,
+//! `prop_assert!`, and `prop_assert_eq!` macros, `any`, `Just`, range and
+//! tuple strategies, `prop::collection::vec`, `.prop_flat_map`/`.prop_map`,
+//! and `ProptestConfig::with_cases`. Unlike upstream there is no shrinking:
+//! a failing case reports its inputs (via the assertion message) and the
+//! deterministic per-test seed, which is enough to reproduce it.
+
+use rand::{Rng as _, SeedableRng as _};
+
+/// The RNG threaded through strategy generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Deterministic per-test RNG: seeded from an FNV-1a hash of the test
+/// name so every `cargo test` run explores the same cases.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A failed property case; `prop_assert!` returns early with one of these.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values. Upstream proptest separates strategies from
+/// value trees to support shrinking; this subset generates directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        T: Strategy,
+        F: Fn(Self::Value) -> T,
+    {
+        FlatMap { source: self, f }
+    }
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        let intermediate = self.source.generate(rng);
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A closure-backed strategy; the expansion target of `prop_compose!`.
+pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+pub fn strategy_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<T, F> {
+    FnStrategy(f)
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy (upstream `Arbitrary`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(
+    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64
+);
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works from the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_compose, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat =
+                    $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        ($($pat2:pat in $strat2:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::strategy_fn(move |rng| {
+                $(let $pat1 =
+                    $crate::Strategy::generate(&($strat1), rng);)+
+                $(let $pat2 =
+                    $crate::Strategy::generate(&($strat2), rng);)+
+                $body
+            })
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::strategy_fn(move |rng| {
+                $(let $pat1 =
+                    $crate::Strategy::generate(&($strat1), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(
+                        $crate::TestCaseError::fail(format!(
+                            "assertion failed: `{:?}` != `{:?}`",
+                            left, right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(
+                        $crate::TestCaseError::fail(format!(
+                            "assertion failed: `{:?}` != `{:?}`: {}",
+                            left,
+                            right,
+                            format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn width_and_value()(width in 1u32..=16)(
+            width in Just(width),
+            raw in any::<u64>(),
+        ) -> (u32, u64) {
+            (width, raw & ((1u64 << width) - 1))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn composed_values_fit_width((w, v) in width_and_value()) {
+            prop_assert!((1..=16).contains(&w));
+            prop_assert_eq!(v >> w, 0, "value {} exceeds width {}", v, w);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(
+            xs in prop::collection::vec(any::<u8>(), 2..=5),
+            exact in prop::collection::vec(any::<bool>(), 3),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() <= 5);
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(
+            (hi, below) in (1usize..=9).prop_flat_map(|n| (Just(n), 0..n))
+        ) {
+            prop_assert!(below < hi);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::Rng as _;
+        let mut a = crate::test_rng("alpha");
+        let mut b = crate::test_rng("alpha");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = crate::test_rng("beta");
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+}

@@ -19,13 +19,10 @@ fn pigeonhole(holes: usize) -> Solver {
         let clause: Vec<_> = row.iter().map(|v| v.positive()).collect();
         solver.add_clause(&clause);
     }
-    for h in 0..holes {
-        for i in 0..pigeons {
-            for j in (i + 1)..pigeons {
-                solver.add_clause(&[
-                    vars[i][h].negative(),
-                    vars[j][h].negative(),
-                ]);
+    for (i, row_i) in vars.iter().enumerate() {
+        for row_j in &vars[i + 1..] {
+            for (a, b) in row_i.iter().zip(row_j) {
+                solver.add_clause(&[a.negative(), b.negative()]);
             }
         }
     }

@@ -5,7 +5,8 @@
 //! symbolic initial state.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fastpath_formal::{Upec2Safety, UpecSpec};
+use fastpath_bench::{run_table1, Table1Options};
+use fastpath_formal::{ElaborationMode, Upec2Safety, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_sim::{IftSimulation, RandomTestbench};
 
@@ -98,8 +99,74 @@ fn bench_formal(c: &mut Criterion) {
             upec.aig_nodes()
         });
     });
+
+    // The elaboration cache, measured head-to-head on a refinement-style
+    // query sequence (shrinking Z'): `cold` rebuilds AIG + CNF + solver
+    // per check (the pre-optimisation behaviour, kept as the
+    // `ElaborationMode::Fresh` reference), `cached` reuses one frame
+    // template and one incremental solver across all checks.
+    let z_sets: Vec<Vec<_>> = (0..4)
+        .map(|skip| {
+            z_prime.iter().copied().skip(skip).collect()
+        })
+        .collect();
+    group.bench_function("elaboration_cold/FWRISCV-MDS", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::with_mode(
+                module,
+                &spec,
+                ElaborationMode::Fresh,
+            );
+            let mut holds = 0u32;
+            for z in &z_sets {
+                holds += upec.check(z).holds() as u32;
+            }
+            holds
+        });
+    });
+    group.bench_function("elaboration_cached/FWRISCV-MDS", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::new(module, &spec);
+            let mut holds = 0u32;
+            for z in &z_sets {
+                holds += upec.check(z).holds() as u32;
+            }
+            holds
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_hfg, bench_ift_simulation, bench_formal);
+fn bench_parallel_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // The four cheap designs (structural / IFT completions) keep the
+    // sample time sane; scheduling overhead and speed-up shape are the
+    // same as for the full table.
+    let studies = vec![
+        fastpath_designs::sha512::case_study(),
+        fastpath_designs::aes_opencores::case_study(),
+        fastpath_designs::aes_secworks::case_study(),
+        fastpath_designs::zipcpu_div::case_study(),
+    ];
+    for jobs in [1, 4] {
+        group.bench_function(format!("parallel/jobs_{jobs}"), |b| {
+            let opts = Table1Options {
+                jobs,
+                markdown: true,
+                ..Table1Options::default()
+            };
+            b.iter(|| run_table1(&studies, &opts).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hfg,
+    bench_ift_simulation,
+    bench_formal,
+    bench_parallel_driver
+);
 criterion_main!(benches);

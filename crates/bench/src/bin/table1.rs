@@ -3,143 +3,43 @@
 //! designs, and prints the same columns the paper reports.
 //!
 //! Options:
+//!   --jobs N     run the 2×8 verification flows on N work-stealing
+//!                worker threads (default 1; output is byte-identical
+//!                for every N)
 //!   --trace      also print the Fig. 1 flow-event trace per design
 //!   --pairwise   also print the fine-grained per-(x_D, y_C) structural
 //!                analysis mentioned in Sec. V
 //!   --design X   run a single design (row) only
-//!   --runtime    also print the Sec. V-E runtime breakdown
+//!   --runtime    also print the Sec. V-E runtime breakdown plus solver
+//!                and elaboration-cache statistics
 //!   --markdown   emit the table as GitHub-flavoured markdown
 
-use fastpath::{
-    effort_reduction, run_baseline, run_fastpath, FlowReport,
-    PairwiseAnalysis,
-};
+use fastpath_bench::{run_table1, Table1Options};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = args.iter().any(|a| a == "--trace");
-    let pairwise = args.iter().any(|a| a == "--pairwise");
-    let runtime = args.iter().any(|a| a == "--runtime");
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--design")
-        .and_then(|i| args.get(i + 1).cloned());
-    let markdown = args.iter().any(|a| a == "--markdown");
+    let opts = Table1Options {
+        jobs: args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a number, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(1),
+        markdown: args.iter().any(|a| a == "--markdown"),
+        trace: args.iter().any(|a| a == "--trace"),
+        runtime: args.iter().any(|a| a == "--runtime"),
+        pairwise: args.iter().any(|a| a == "--pairwise"),
+        only: args
+            .iter()
+            .position(|a| a == "--design")
+            .and_then(|i| args.get(i + 1).cloned()),
+    };
 
     let studies = fastpath_designs::all_case_studies();
-
-    if markdown {
-        println!("| Design | Verdict | Method | Signals | Bits | IFT | +UPEC | Orig.[22] | FastPath | Red. (%) |");
-        println!("|---|---|---|---|---|---|---|---|---|---|");
-        for study in &studies {
-            if let Some(name) = &only {
-                if &study.name != name {
-                    continue;
-                }
-            }
-            let fast = run_fastpath(study);
-            let base = run_baseline(study);
-            println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} |",
-                fast.design,
-                fast.verdict,
-                fast.method,
-                fast.state_signals,
-                fast.state_bits,
-                fast.ift_propagations
-                    .map_or("–".into(), |n: usize| n.to_string()),
-                fast.total_propagations
-                    .map_or("–".into(), |n: usize| n.to_string()),
-                base.manual_inspections,
-                fast.manual_inspections,
-                effort_reduction(&base, &fast)
-            );
-        }
-        return;
-    }
-
-    println!("TABLE I — CASE STUDIES (reproduction)");
-    println!(
-        "{:<16} {:<12} {:<7} {:>7} {:>6} | {:>4} {:>6} | {:>9} {:>9} {:>9}",
-        "Design",
-        "Data-Obliv.",
-        "Method",
-        "Signals",
-        "Bits",
-        "IFT",
-        "+UPEC",
-        "Orig.[22]",
-        "FastPath",
-        "Red. (%)"
-    );
-    println!("{}", "-".repeat(110));
-
-    for study in &studies {
-        if let Some(name) = &only {
-            if &study.name != name {
-                continue;
-            }
-        }
-        let fast = run_fastpath(study);
-        let base = run_baseline(study);
-        print_row(&fast, &base);
-        if trace {
-            println!("  flow trace:");
-            for event in &fast.events {
-                println!("    {event:?}");
-            }
-        }
-        if runtime {
-            let t = &fast.timings;
-            println!(
-                "  runtime: structural {:?}, simulation {:?}, formal \
-                 elaboration {:?}, {} formal checks in {:?}",
-                t.structural,
-                t.simulation,
-                t.formal_elaboration,
-                t.check_count,
-                t.formal_checks
-            );
-        }
-        if pairwise {
-            let analysis = PairwiseAnalysis::run(&study.instance.module);
-            println!(
-                "  pairwise (x_D, y_C): {}/{} structurally connected",
-                analysis.connected_count(),
-                analysis.pairs.len()
-            );
-            print!("{}", analysis.summary(&study.instance.module));
-        }
-    }
-}
-
-fn print_row(fast: &FlowReport, base: &FlowReport) {
-    let reduction = effort_reduction(base, fast);
-    println!(
-        "{:<16} {:<12} {:<7} {:>7} {:>6} | {:>4} {:>6} | {:>9} {:>9} {:>9.1}",
-        fast.design,
-        fast.verdict.to_string(),
-        fast.method.to_string(),
-        fast.state_signals,
-        fast.state_bits,
-        fast.ift_propagations
-            .map_or("-".to_string(), |n| n.to_string()),
-        fast.total_propagations
-            .map_or("-".to_string(), |n| n.to_string()),
-        base.manual_inspections,
-        fast.manual_inspections,
-        reduction
-    );
-    if !fast.derived_constraints.is_empty() {
-        println!(
-            "  constraints: {}",
-            fast.derived_constraints.join(", ")
-        );
-    }
-    if !fast.invariants_added.is_empty() {
-        println!("  invariants:  {}", fast.invariants_added.join(", "));
-    }
-    for v in &fast.vulnerabilities {
-        println!("  VULNERABILITY: {v}");
-    }
+    print!("{}", run_table1(&studies, &opts));
 }

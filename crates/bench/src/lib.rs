@@ -1,1 +1,238 @@
-//! Benchmark harness support (see the `table1` binary and `benches/`).
+//! Benchmark harness support: the Table I driver (see the `table1` binary
+//! and `benches/`).
+//!
+//! The driver is a library function rather than binary-only code so that
+//! tests and benches can run it in-process: `run_table1` renders the whole
+//! report into a `String`, which lets `tests/table1_determinism.rs` assert
+//! byte-identical output across `--jobs` values without subprocess
+//! plumbing.
+
+use fastpath::parallel::run_ordered;
+use fastpath::{
+    effort_reduction, run_baseline, run_fastpath, CaseStudy, FlowReport,
+    PairwiseAnalysis,
+};
+use std::fmt::Write;
+
+/// Options for the Table I driver (mirrors the `table1` CLI flags).
+#[derive(Clone, Debug)]
+pub struct Table1Options {
+    /// Worker threads for the verification runs (`--jobs N`). `1` runs
+    /// sequentially on the calling thread.
+    pub jobs: usize,
+    /// Emit GitHub-flavoured markdown instead of the aligned text table.
+    pub markdown: bool,
+    /// Also print the Fig. 1 flow-event trace per design.
+    pub trace: bool,
+    /// Also print the Sec. V-E runtime breakdown plus solver and
+    /// elaboration-cache statistics.
+    pub runtime: bool,
+    /// Also print the per-`(x_D, y_C)` structural analysis.
+    pub pairwise: bool,
+    /// Restrict to the named design (row) only.
+    pub only: Option<String>,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            jobs: 1,
+            markdown: false,
+            trace: false,
+            runtime: false,
+            pairwise: false,
+            only: None,
+        }
+    }
+}
+
+/// Runs the FastPath flow and the formal-only baseline on every selected
+/// case study and renders the paper's Table I.
+///
+/// The 2·N verification runs (one FastPath + one baseline per design) are
+/// independent tasks scheduled over `opts.jobs` work-stealing workers;
+/// results are collected in submission order, so the rendered report is
+/// byte-identical for every `jobs` value.
+pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
+    let selected: Vec<&CaseStudy> = studies
+        .iter()
+        .filter(|s| opts.only.as_ref().is_none_or(|n| n == &s.name))
+        .collect();
+
+    // Two tasks per design. `false` = FastPath, `true` = baseline, so
+    // pairs come back adjacent: [fast0, base0, fast1, base1, ...].
+    let tasks: Vec<_> = selected
+        .iter()
+        .flat_map(|&study| [(study, false), (study, true)])
+        .map(|(study, is_baseline)| {
+            move || {
+                if is_baseline {
+                    run_baseline(study)
+                } else {
+                    run_fastpath(study)
+                }
+            }
+        })
+        .collect();
+    let reports = run_ordered(opts.jobs, tasks);
+
+    let mut out = String::new();
+    if opts.markdown {
+        render_markdown(&mut out, &selected, &reports);
+    } else {
+        render_text(&mut out, &selected, &reports, opts);
+    }
+    out
+}
+
+fn render_markdown(
+    out: &mut String,
+    selected: &[&CaseStudy],
+    reports: &[FlowReport],
+) {
+    let _ = writeln!(
+        out,
+        "| Design | Verdict | Method | Signals | Bits | IFT | +UPEC | \
+         Orig.[22] | FastPath | Red. (%) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    for (i, _study) in selected.iter().enumerate() {
+        let fast = &reports[2 * i];
+        let base = &reports[2 * i + 1];
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} |",
+            fast.design,
+            fast.verdict,
+            fast.method,
+            fast.state_signals,
+            fast.state_bits,
+            fast.ift_propagations
+                .map_or("–".into(), |n: usize| n.to_string()),
+            fast.total_propagations
+                .map_or("–".into(), |n: usize| n.to_string()),
+            base.manual_inspections,
+            fast.manual_inspections,
+            effort_reduction(base, fast)
+        );
+    }
+}
+
+fn render_text(
+    out: &mut String,
+    selected: &[&CaseStudy],
+    reports: &[FlowReport],
+    opts: &Table1Options,
+) {
+    let _ = writeln!(out, "TABLE I — CASE STUDIES (reproduction)");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<12} {:<7} {:>7} {:>6} | {:>4} {:>6} | {:>9} {:>9} {:>9}",
+        "Design",
+        "Data-Obliv.",
+        "Method",
+        "Signals",
+        "Bits",
+        "IFT",
+        "+UPEC",
+        "Orig.[22]",
+        "FastPath",
+        "Red. (%)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+
+    for (i, study) in selected.iter().enumerate() {
+        let fast = &reports[2 * i];
+        let base = &reports[2 * i + 1];
+        render_row(out, fast, base);
+        if opts.trace {
+            let _ = writeln!(out, "  flow trace:");
+            for event in &fast.events {
+                let _ = writeln!(out, "    {event:?}");
+            }
+        }
+        if opts.runtime {
+            render_runtime(out, fast);
+        }
+        if opts.pairwise {
+            let analysis = PairwiseAnalysis::run(&study.instance.module);
+            let _ = writeln!(
+                out,
+                "  pairwise (x_D, y_C): {}/{} structurally connected",
+                analysis.connected_count(),
+                analysis.pairs.len()
+            );
+            let _ = write!(out, "{}", analysis.summary(&study.instance.module));
+        }
+    }
+}
+
+fn render_row(out: &mut String, fast: &FlowReport, base: &FlowReport) {
+    let reduction = effort_reduction(base, fast);
+    let _ = writeln!(
+        out,
+        "{:<16} {:<12} {:<7} {:>7} {:>6} | {:>4} {:>6} | {:>9} {:>9} {:>9.1}",
+        fast.design,
+        fast.verdict.to_string(),
+        fast.method.to_string(),
+        fast.state_signals,
+        fast.state_bits,
+        fast.ift_propagations
+            .map_or("-".to_string(), |n| n.to_string()),
+        fast.total_propagations
+            .map_or("-".to_string(), |n| n.to_string()),
+        base.manual_inspections,
+        fast.manual_inspections,
+        reduction
+    );
+    if !fast.derived_constraints.is_empty() {
+        let _ = writeln!(
+            out,
+            "  constraints: {}",
+            fast.derived_constraints.join(", ")
+        );
+    }
+    if !fast.invariants_added.is_empty() {
+        let _ =
+            writeln!(out, "  invariants:  {}", fast.invariants_added.join(", "));
+    }
+    for v in &fast.vulnerabilities {
+        let _ = writeln!(out, "  VULNERABILITY: {v}");
+    }
+}
+
+/// Sec. V-E runtime breakdown plus the incremental-engine statistics
+/// (solver work and elaboration-cache effectiveness). Timings vary run to
+/// run, so this block is only printed under `--runtime` and is excluded
+/// from determinism comparisons.
+fn render_runtime(out: &mut String, fast: &FlowReport) {
+    let t = &fast.timings;
+    let _ = writeln!(
+        out,
+        "  runtime: structural {:?}, simulation {:?}, formal \
+         elaboration {:?}, {} formal checks in {:?}",
+        t.structural,
+        t.simulation,
+        t.formal_elaboration,
+        t.check_count,
+        t.formal_checks
+    );
+    let s = &fast.solver_stats;
+    let _ = writeln!(
+        out,
+        "  solver:  {} conflicts, {} decisions, {} propagations, \
+         {} restarts, {} learnt clauses retained",
+        s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses
+    );
+    let e = &fast.elaboration;
+    let _ = writeln!(
+        out,
+        "  elab:    {} template builds ({} nodes), {} nodes across \
+         per-check instantiations, strash {} hits / {} misses",
+        e.template_builds,
+        e.template_nodes,
+        e.check_nodes,
+        e.strash_hits,
+        e.strash_misses
+    );
+}

@@ -31,30 +31,39 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
         let mut active_constraints: Vec<usize> = Vec::new();
         let mut active_invariants: Vec<usize> = Vec::new();
         let mut active_cond_eqs: Vec<usize> = Vec::new();
+        // How many active spec entries have been pushed into the engine.
+        let mut synced_constraints = 0usize;
+        let mut synced_invariants = 0usize;
+        let mut synced_cond_eqs = 0usize;
 
-        'rebuild: loop {
-            let spec = UpecSpec {
-                software_constraints: active_constraints
-                    .iter()
-                    .map(|&i| instance.constraints[i].expr)
-                    .collect(),
-                invariants: active_invariants
-                    .iter()
-                    .map(|&i| instance.invariants[i].expr)
-                    .collect(),
-                conditional_equalities: active_cond_eqs
-                    .iter()
-                    .map(|&i| {
-                        let ce = &instance.cond_eqs[i];
-                        (ce.cond, ce.signal)
-                    })
-                    .collect(),
-            };
-            let t0 = Instant::now();
-            let mut upec = Upec2Safety::new(module, &spec);
-            ctx.timings.formal_elaboration += t0.elapsed();
+        // One engine per design instance: the frame template is elaborated
+        // once and the incremental SAT solver survives every refinement
+        // iteration below (spec growth included).
+        let t0 = Instant::now();
+        let mut upec = Upec2Safety::new(module, &UpecSpec::default());
+        upec.elaborate();
+        ctx.timings.formal_elaboration += t0.elapsed();
 
+        {
             loop {
+                // Feed spec entries activated since the last check into
+                // the engine; nothing already encoded is redone.
+                for &i in &active_constraints[synced_constraints..] {
+                    upec.add_software_constraint(
+                        instance.constraints[i].expr,
+                    );
+                }
+                synced_constraints = active_constraints.len();
+                for &i in &active_invariants[synced_invariants..] {
+                    upec.add_invariant(instance.invariants[i].expr);
+                }
+                synced_invariants = active_invariants.len();
+                for &i in &active_cond_eqs[synced_cond_eqs..] {
+                    let ce = &instance.cond_eqs[i];
+                    upec.add_conditional_equality(ce.cond, ce.signal);
+                }
+                synced_cond_eqs = active_cond_eqs.len();
+
                 let z_vec: Vec<SignalId> = z_prime.iter().copied().collect();
                 // The original procedure inspects internal propagations in
                 // discovery order; only when the state partitioning is
@@ -87,6 +96,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                         };
                         let total =
                             module.state_signals().len() - z_prime.len();
+                        ctx.absorb_engine(Some(&upec));
                         return ctx.finish(
                             module,
                             verdict,
@@ -114,7 +124,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                     ctx.events.push(FlowEvent::InvariantAdded {
                         name: instance.invariants[ii].name.clone(),
                     });
-                    continue 'rebuild;
+                    continue;
                 }
 
                 if let Some(ci) = instance
@@ -133,7 +143,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                     ctx.events.push(FlowEvent::InvariantAdded {
                         name: instance.cond_eqs[ci].name.clone(),
                     });
-                    continue 'rebuild;
+                    continue;
                 }
 
                 if let Some(ci) = instance
@@ -151,7 +161,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                         name: instance.constraints[ci].name.clone(),
                         stage: Stage::Formal,
                     });
-                    continue 'rebuild;
+                    continue;
                 }
 
                 if !cex.divergent_outputs.is_empty() {
@@ -170,6 +180,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                         description,
                         stage: Stage::Formal,
                     });
+                    ctx.absorb_engine(Some(&upec));
                     if let (Some(fixed), false) =
                         (&study.fixed_instance, fixed_used)
                     {

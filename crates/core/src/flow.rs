@@ -28,9 +28,12 @@ use crate::report::{
 };
 use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::WitnessReplay;
-use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
+use fastpath_formal::{
+    ElaborationStats, Upec2Safety, UpecOutcome, UpecSpec,
+};
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_rtl::{Module, SignalId};
+use fastpath_sat::SolverStats;
 use fastpath_sim::{IftReport, IftSimulation, RandomTestbench};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -66,6 +69,16 @@ pub fn run_fastpath_with(
 
     'design: loop {
         let module = &instance.module;
+        // One UPEC engine per design instance: the formal stage elaborates
+        // its frame template once and keeps one incremental SAT solver
+        // alive across every refinement iteration below. Created lazily so
+        // structurally-proven and simulation-terminated designs never pay
+        // for elaboration.
+        let mut upec: Option<Upec2Safety<'_>> = None;
+        // How many active spec entries have been pushed into the engine.
+        let mut synced_constraints = 0usize;
+        let mut synced_invariants = 0usize;
+        let mut synced_cond_eqs = 0usize;
 
         // ---- Stage 1: structural analysis --------------------------------
         if !options.skip_hfg {
@@ -119,6 +132,7 @@ pub fn run_fastpath_with(
                         description,
                         stage: Stage::Simulation,
                     });
+                    ctx.absorb_engine(upec.as_ref());
                     if let (Some(fixed), false) =
                         (&study.fixed_instance, fixed_used)
                     {
@@ -144,33 +158,42 @@ pub fn run_fastpath_with(
             };
 
             // ---- Stage 3: UPEC-DIT ---------------------------------------
-            'rebuild_formal: loop {
-                let spec = UpecSpec {
-                    software_constraints: active_constraints
-                        .iter()
-                        .map(|&i| instance.constraints[i].expr)
-                        .collect(),
-                    invariants: active_invariants
-                        .iter()
-                        .map(|&i| instance.invariants[i].expr)
-                        .collect(),
-                    conditional_equalities: active_cond_eqs
-                        .iter()
-                        .map(|&i| {
-                            let ce = &instance.cond_eqs[i];
-                            (ce.cond, ce.signal)
-                        })
-                        .collect(),
+            {
+                let engine = match upec.as_mut() {
+                    Some(engine) => engine,
+                    None => {
+                        let t0 = Instant::now();
+                        let mut engine =
+                            Upec2Safety::new(module, &UpecSpec::default());
+                        engine.elaborate();
+                        ctx.timings.formal_elaboration += t0.elapsed();
+                        upec.insert(engine)
+                    }
                 };
-                let t0 = Instant::now();
-                let mut upec = Upec2Safety::new(module, &spec);
-                ctx.timings.formal_elaboration += t0.elapsed();
 
                 loop {
+                    // Feed spec entries activated since the last check
+                    // into the engine; nothing already encoded is redone.
+                    for &i in &active_constraints[synced_constraints..] {
+                        engine.add_software_constraint(
+                            instance.constraints[i].expr,
+                        );
+                    }
+                    synced_constraints = active_constraints.len();
+                    for &i in &active_invariants[synced_invariants..] {
+                        engine.add_invariant(instance.invariants[i].expr);
+                    }
+                    synced_invariants = active_invariants.len();
+                    for &i in &active_cond_eqs[synced_cond_eqs..] {
+                        let ce = &instance.cond_eqs[i];
+                        engine.add_conditional_equality(ce.cond, ce.signal);
+                    }
+                    synced_cond_eqs = active_cond_eqs.len();
+
                     let z_vec: Vec<SignalId> =
                         z_prime.iter().copied().collect();
                     let t0 = Instant::now();
-                    let outcome = upec.check(&z_vec);
+                    let outcome = engine.check(&z_vec);
                     ctx.timings.formal_checks += t0.elapsed();
                     ctx.timings.check_count += 1;
                     ctx.events.push(FlowEvent::UpecCheck {
@@ -195,6 +218,7 @@ pub fn run_fastpath_with(
                             };
                             let total = module.state_signals().len()
                                 - z_prime.len();
+                            ctx.absorb_engine(Some(&*engine));
                             return ctx.finish(
                                 module,
                                 verdict,
@@ -223,7 +247,7 @@ pub fn run_fastpath_with(
                         ctx.events.push(FlowEvent::InvariantAdded {
                             name: instance.invariants[ii].name.clone(),
                         });
-                        continue 'rebuild_formal;
+                        continue;
                     }
 
                     // (1b) A conditional 2-safety equality violated in the
@@ -244,7 +268,7 @@ pub fn run_fastpath_with(
                         ctx.events.push(FlowEvent::InvariantAdded {
                             name: instance.cond_eqs[ci].name.clone(),
                         });
-                        continue 'rebuild_formal;
+                        continue;
                     }
 
                     // (2) Scenario excludable by software? Derive the
@@ -284,6 +308,7 @@ pub fn run_fastpath_with(
                             description,
                             stage: Stage::Formal,
                         });
+                        ctx.absorb_engine(Some(&*engine));
                         if let (Some(fixed), false) =
                             (&study.fixed_instance, fixed_used)
                         {
@@ -341,6 +366,8 @@ pub(crate) struct FlowContext {
     pub(crate) timings: StageTimings,
     pub(crate) derived_constraints: Vec<String>,
     pub(crate) invariants_added: Vec<String>,
+    pub(crate) solver_stats: SolverStats,
+    pub(crate) elaboration: ElaborationStats,
 }
 
 enum SimStageResult {
@@ -360,6 +387,20 @@ impl FlowContext {
             timings: StageTimings::default(),
             derived_constraints: Vec::new(),
             invariants_added: Vec::new(),
+            solver_stats: SolverStats::default(),
+            elaboration: ElaborationStats::default(),
+        }
+    }
+
+    /// Folds a retiring UPEC engine's counters into the run totals. Must
+    /// be called on every path that drops or abandons an engine.
+    pub(crate) fn absorb_engine(
+        &mut self,
+        engine: Option<&Upec2Safety<'_>>,
+    ) {
+        if let Some(engine) = engine {
+            self.solver_stats.merge(&engine.solver_stats());
+            self.elaboration.merge(&engine.elaboration_stats());
         }
     }
 
@@ -398,6 +439,8 @@ impl FlowContext {
             vulnerabilities: self.vulnerabilities,
             events: self.events,
             timings: self.timings,
+            solver_stats: self.solver_stats,
+            elaboration: self.elaboration,
         }
     }
 

@@ -57,6 +57,7 @@
 mod baseline;
 mod flow;
 mod pairwise;
+pub mod parallel;
 mod report;
 mod study;
 mod witness;

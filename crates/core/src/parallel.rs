@@ -1,0 +1,162 @@
+//! A work-stealing scheduler for coarse-grained verification tasks.
+//!
+//! The Table I driver runs sixteen independent verification flows (eight
+//! designs × {FastPath, baseline}); each takes from milliseconds to
+//! seconds, with no shared mutable state. That workload is embarrassingly
+//! parallel but badly load-balanced — `cva6_div` costs orders of magnitude
+//! more than `sha512_acc` — so static sharding would leave most threads
+//! idle behind the slowest shard. [`run_ordered`] instead schedules over
+//! work-stealing deques (`crossbeam::deque`): tasks are dealt round-robin
+//! into per-worker deques, a worker drains its own deque LIFO, refills
+//! from a shared FIFO injector, and finally steals the *oldest* task off
+//! a sibling's deque.
+//!
+//! Determinism: results are written into a slot vector indexed by task id,
+//! so the returned `Vec` is in submission order no matter which thread ran
+//! which task or in what order they finished. Callers that format output
+//! from the returned results therefore produce byte-identical output for
+//! any `jobs` value (asserted by `tests/table1_determinism.rs`).
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+
+/// Runs `tasks` on up to `jobs` worker threads and returns their results
+/// **in submission order**.
+///
+/// * `jobs <= 1` (or fewer than two tasks) runs everything sequentially on
+///   the calling thread — no threads are spawned, which keeps single-job
+///   runs bit-for-bit identical to the pre-parallel driver.
+/// * `jobs` is capped at the number of tasks; idle workers exit as soon as
+///   every deque (their own, the injector, and every sibling's) is dry.
+///
+/// Tasks must be `Send` because they migrate to worker threads; they may
+/// borrow from the caller's stack (`std::thread::scope`).
+pub fn run_ordered<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let jobs = jobs.min(n);
+
+    // Deal tasks round-robin into per-worker deques so every worker starts
+    // busy and sibling-stealing has something to steal; the injector takes
+    // dynamic submissions (none today, but `find_task` consults it so the
+    // scheduler generalises to task-spawned subtasks).
+    let injector: Injector<(usize, F)> = Injector::new();
+    let workers: Vec<Worker<(usize, F)>> =
+        (0..jobs).map(|_| Worker::new_fifo()).collect();
+    for (i, f) in tasks.into_iter().enumerate() {
+        workers[i % jobs].push((i, f));
+    }
+    let stealers: Vec<Stealer<(usize, F)>> =
+        workers.iter().map(Worker::stealer).collect();
+
+    // One slot per task, written exactly once by whichever worker ran it.
+    let slots: Vec<Mutex<Option<T>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for (wi, worker) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Some((i, f)) =
+                    find_task(wi, &worker, injector, stealers)
+                {
+                    *slots[i].lock() = Some(f());
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("scheduler ran every task"))
+        .collect()
+}
+
+/// Next task for worker `wi`: own deque (newest first), then the global
+/// injector (oldest first), then the front of a sibling's deque.
+fn find_task<T>(
+    wi: usize,
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+) -> Option<T> {
+    local
+        .pop()
+        .or_else(|| injector.steal().success())
+        .or_else(|| {
+            stealers
+                .iter()
+                .enumerate()
+                .filter(|&(si, _)| si != wi)
+                .find_map(|(_, s)| s.steal().success())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run_ordered;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1, 2, 4, 7, 64] {
+            let tasks: Vec<_> = (0..32usize)
+                .map(|i| move || i * i)
+                .collect();
+            let got = run_ordered(jobs, tasks);
+            let want: Vec<usize> = (0..32).map(|i| i * i).collect();
+            assert_eq!(got, want, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_tasks_are_stolen_not_serialised() {
+        // One heavy task at the front of worker 0's deque; the light tail
+        // dealt to worker 0 must be stolen by worker 1 while 0 is busy.
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..16usize)
+            .map(|i| {
+                let ran = &ran;
+                move || {
+                    if i == 0 {
+                        std::thread::sleep(
+                            std::time::Duration::from_millis(50),
+                        );
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let got = run_ordered(2, tasks);
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_task_lists_are_fine() {
+        assert_eq!(run_ordered::<usize, fn() -> usize>(4, vec![]), vec![]);
+        let tasks: Vec<_> = (0..3usize).map(|i| move || i).collect();
+        assert_eq!(run_ordered(0, tasks), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let data: Vec<String> =
+            (0..8).map(|i| format!("item-{i}")).collect();
+        let tasks: Vec<_> = data
+            .iter()
+            .map(|s| move || s.len())
+            .collect();
+        let lens = run_ordered(4, tasks);
+        assert_eq!(lens, vec![6, 6, 6, 6, 6, 6, 6, 6]);
+    }
+}

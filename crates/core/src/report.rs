@@ -1,6 +1,8 @@
 //! Verdicts, flow events, and verification reports.
 
+use fastpath_formal::ElaborationStats;
 use fastpath_rtl::SignalId;
+use fastpath_sat::SolverStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -167,6 +169,11 @@ pub struct FlowReport {
     pub events: Vec<FlowEvent>,
     /// Stage timings.
     pub timings: StageTimings,
+    /// SAT-solver work accumulated across every UPEC check of the run.
+    pub solver_stats: SolverStats,
+    /// Elaboration-cache effectiveness across every UPEC engine of the
+    /// run (AIG node construction avoided by the cached frame template).
+    pub elaboration: ElaborationStats,
 }
 
 impl FlowReport {
@@ -220,6 +227,8 @@ mod tests {
             vulnerabilities: vec![],
             events: vec![],
             timings: StageTimings::default(),
+            solver_stats: SolverStats::default(),
+            elaboration: ElaborationStats::default(),
         }
     }
 

@@ -16,11 +16,15 @@
 use fastpath_rtl::{ExprId, Module, SignalId};
 use fastpath_sim::{FlowPolicy, RandomTestbench};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A closure that restricts or shapes the random testbench (e.g. fixing a
 /// mode bit, excluding opcodes).
-pub type TestbenchRestriction = Rc<dyn Fn(&Module, &mut RandomTestbench)>;
+///
+/// `Send + Sync` so whole case studies can be sharded across the parallel
+/// Table I driver's worker threads (see [`crate::parallel`]).
+pub type TestbenchRestriction =
+    Arc<dyn Fn(&Module, &mut RandomTestbench) + Send + Sync>;
 
 /// A named 1-bit predicate over the design's signals, used as a software
 /// constraint or an invariant. The expression lives in the module's own
@@ -63,12 +67,12 @@ impl NamedPredicate {
     pub fn with_restriction(
         name: impl Into<String>,
         expr: ExprId,
-        restrict: impl Fn(&Module, &mut RandomTestbench) + 'static,
+        restrict: impl Fn(&Module, &mut RandomTestbench) + Send + Sync + 'static,
     ) -> Self {
         NamedPredicate {
             name: name.into(),
             expr,
-            restrict_testbench: Some(Rc::new(restrict)),
+            restrict_testbench: Some(Arc::new(restrict)),
         }
     }
 }

@@ -138,11 +138,11 @@ mod tests {
         sim.settle();
         let done = m.signal_by_name("done_o").expect("done");
         assert!(sim.value(done).is_true());
-        for i in 0..16 {
+        for (i, &exp) in expected.iter().enumerate() {
             let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
             assert_eq!(
                 sim.value(ct).to_u64(),
-                expected[i] as u64,
+                exp as u64,
                 "ciphertext byte {i}"
             );
         }
@@ -248,11 +248,11 @@ mod kat_tests {
             }
             sim.settle();
             let expected = reference_encrypt(key, pt);
-            for i in 0..16 {
+            for (i, &exp) in expected.iter().enumerate() {
                 let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
                 assert_eq!(
                     sim.value(ct).to_u64(),
-                    expected[i] as u64,
+                    exp as u64,
                     "pass {round_trip}, byte {i}"
                 );
             }

@@ -245,11 +245,11 @@ mod tests {
             cycles += 1;
             assert!(cycles < 100, "must finish (40 expand + 10 encrypt)");
         }
-        for i in 0..16 {
+        for (i, &exp) in expected.iter().enumerate() {
             let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
             assert_eq!(
                 sim.value(ct).to_u64(),
-                expected[i] as u64,
+                exp as u64,
                 "ciphertext byte {i}"
             );
         }

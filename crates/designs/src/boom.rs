@@ -21,7 +21,7 @@
 use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
 use fastpath_rtl::{BitVec, ExprId, Module, ModuleBuilder, RegFile};
 use rand::Rng as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const XLEN: u32 = 16;
 
@@ -564,20 +564,20 @@ pub fn case_study() -> CaseStudy {
     instance.constraints.push(NamedPredicate {
         name: "data_ind_timing_enabled".into(),
         expr: built.dit_on,
-        restrict_testbench: Some(Rc::new(move |_m, tb| {
+        restrict_testbench: Some(Arc::new(move |_m, tb| {
             tb.fix(dit, 1);
         })),
     });
     instance.constraints.push(NamedPredicate {
         name: "secret_register_discipline".into(),
         expr: built.discipline,
-        restrict_testbench: Some(Rc::new(move |_m, tb| {
+        restrict_testbench: Some(Arc::new(move |_m, tb| {
             tb.with_generator(instr, |_c, rng| {
                 BitVec::from_u64(16, random_disciplined_instr(rng))
             });
         })),
     });
-    instance.configure_testbench = Some(Rc::new(move |_m, tb| {
+    instance.configure_testbench = Some(Arc::new(move |_m, tb| {
         tb.with_generator(instr_valid, |_c, rng| {
             BitVec::from_bool(rng.gen_bool(0.7))
         });

@@ -24,7 +24,7 @@
 use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
 use fastpath_rtl::{BitVec, ExprId, Module, ModuleBuilder, RegFile};
 use rand::Rng as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const XLEN: u32 = 16;
 
@@ -851,14 +851,14 @@ pub fn case_study() -> CaseStudy {
         instance.constraints.push(NamedPredicate {
             name: "data_ind_timing_enabled".into(),
             expr: built.dit_on,
-            restrict_testbench: Some(Rc::new(move |_m, tb| {
+            restrict_testbench: Some(Arc::new(move |_m, tb| {
                 tb.fix(dit, 1);
             })),
         });
         instance.constraints.push(NamedPredicate {
             name: "secret_register_discipline".into(),
             expr: built.discipline,
-            restrict_testbench: Some(Rc::new(move |_m, tb| {
+            restrict_testbench: Some(Arc::new(move |_m, tb| {
                 tb.with_generator(instr, |_c, rng| {
                     BitVec::from_u64(16, random_disciplined_instr(rng, false))
                 });
@@ -920,11 +920,10 @@ mod tests {
             }
             cycles += 1;
             assert!(cycles < 10_000, "program must finish");
-            if pos >= program.len() {
-                if cycles >= extra_cycles {
+            if pos >= program.len()
+                && cycles >= extra_cycles {
                     break;
                 }
-            }
         }
         for _ in 0..6 {
             sim.set_input_u64(instr, 0xE000);
@@ -946,7 +945,7 @@ mod tests {
     fn addi_and_alu_compute() {
         // x1 = 5; x2 = 7; x3 = x1 + x2
         let program = [
-            encode(class::ADDI, 0, 1, 0, 0) | (5 << 0), // imm in [3:0]
+            encode(class::ADDI, 0, 1, 0, 0) | 5, // imm in [3:0]
             encode(class::ADDI, 0, 2, 0, 0) | 7,
             0xE000,
             0xE000,

@@ -23,7 +23,7 @@
 use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
 use fastpath_rtl::{BitVec, ExprId, Module, ModuleBuilder};
 use fastpath_sim::FlowPolicy;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const W: u32 = 16;
 
@@ -242,7 +242,7 @@ pub fn case_study() -> CaseStudy {
     instance.constraints.push(NamedPredicate {
         name: "no_label_override".into(),
         expr: built.no_override,
-        restrict_testbench: Some(Rc::new(move |_m, tb| {
+        restrict_testbench: Some(Arc::new(move |_m, tb| {
             tb.fix(label_override, 0);
         })),
     });
@@ -255,7 +255,7 @@ pub fn case_study() -> CaseStudy {
     ));
     instance.declassify_candidates.push(latency_sel);
     instance.declassify_candidates.push(err_internal);
-    instance.configure_testbench = Some(Rc::new(move |_m, tb| {
+    instance.configure_testbench = Some(Arc::new(move |_m, tb| {
         tb.with_generator(start, |cycle, _| {
             BitVec::from_bool(cycle % 20 == 0)
         });

@@ -19,7 +19,7 @@
 
 use fastpath::{CaseStudy, DesignInstance, NamedPredicate};
 use fastpath_rtl::{BitVec, Module, ModuleBuilder};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const W: u32 = 16;
 
@@ -321,7 +321,7 @@ pub fn case_study() -> CaseStudy {
     instance.constraints.push(NamedPredicate {
         name: "no_shifting".into(),
         expr: no_shift_expr,
-        restrict_testbench: Some(Rc::new(move |_m, tb| {
+        restrict_testbench: Some(Arc::new(move |_m, tb| {
             tb.with_generator(op, |_c, rng| {
                 use rand::Rng as _;
                 // MUL, MULH, DIV, REM, NOP — no shifts.
@@ -330,7 +330,7 @@ pub fn case_study() -> CaseStudy {
             });
         })),
     });
-    instance.configure_testbench = Some(Rc::new(move |_m, tb| {
+    instance.configure_testbench = Some(Arc::new(move |_m, tb| {
         tb.with_generator(start, |cycle, _| {
             BitVec::from_bool(cycle % 20 == 0)
         });

@@ -288,11 +288,11 @@ mod tests {
         let dv = m.signal_by_name("digest_valid_o").expect("dv");
         assert!(sim.value(dv).is_true(), "digest must be ready");
         let expected = reference_compress(&block);
-        for i in 0..8 {
+        for (i, &exp) in expected.iter().enumerate() {
             let d = m.signal_by_name(&format!("digest_{i}")).expect("digest");
             assert_eq!(
                 sim.value(d).to_u64(),
-                expected[i],
+                exp,
                 "digest word {i}"
             );
         }
@@ -439,11 +439,11 @@ mod chaining_tests {
                 assert!(guard < 200);
             }
         }
-        for i in 0..8 {
+        for (i, &exp) in expected.iter().enumerate() {
             let d = m.signal_by_name(&format!("digest_{i}")).expect("digest");
             assert_eq!(
                 sim.value(d).to_u64(),
-                expected[i],
+                exp,
                 "chained digest word {i}"
             );
         }

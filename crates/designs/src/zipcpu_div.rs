@@ -182,7 +182,7 @@ pub fn case_study() -> CaseStudy {
     let module = &study.instance.module;
     let start = module.signal_by_name("start").expect("start");
     study.instance.configure_testbench =
-        Some(std::rc::Rc::new(move |_m, tb| {
+        Some(std::sync::Arc::new(move |_m, tb| {
             tb.with_generator(start, |cycle, _| {
                 fastpath_rtl::BitVec::from_bool(cycle % 24 == 0)
             });

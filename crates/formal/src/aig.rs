@@ -87,6 +87,8 @@ enum Node {
 pub struct Aig {
     nodes: Vec<Node>,
     strash: HashMap<(AigLit, AigLit), usize>,
+    strash_hits: u64,
+    strash_misses: u64,
 }
 
 impl Aig {
@@ -95,7 +97,23 @@ impl Aig {
         Aig {
             nodes: vec![Node::False],
             strash: HashMap::new(),
+            strash_hits: 0,
+            strash_misses: 0,
         }
+    }
+
+    /// How many `and` calls were answered from the structural-hash table
+    /// instead of creating a node. When a frame is re-elaborated over a
+    /// persistent AIG (the cached-elaboration path of the UPEC engine),
+    /// this counts the work the cache absorbed.
+    pub fn strash_hits(&self) -> u64 {
+        self.strash_hits
+    }
+
+    /// How many `and` calls created a new node. Constant-folded calls
+    /// count toward neither statistic.
+    pub fn strash_misses(&self) -> u64 {
+        self.strash_misses
     }
 
     /// The number of nodes (including the constant and inputs).
@@ -142,8 +160,10 @@ impl Aig {
         // Canonical operand order for hashing.
         let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         if let Some(&node) = self.strash.get(&(x, y)) {
+            self.strash_hits += 1;
             return AigLit::new(node, false);
         }
+        self.strash_misses += 1;
         let id = self.nodes.len();
         self.nodes.push(Node::And(x, y));
         self.strash.insert((x, y), id);

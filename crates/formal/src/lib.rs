@@ -64,7 +64,8 @@ pub use bmc::{
 };
 pub use tseitin::CnfEncoder;
 pub use upec::{
-    StateWitness, Upec2Safety, UpecCounterexample, UpecOutcome, UpecSpec,
+    ElaborationMode, ElaborationStats, StateWitness, Upec2Safety,
+    UpecCounterexample, UpecOutcome, UpecSpec,
 };
 pub use words::{
     add_with_carry, add_word, and_word, constant_word, eq_word, mul_word,

@@ -22,9 +22,35 @@
 //! prove   during:      two_safety_eq(Y_C)
 //! ```
 //!
-//! Each call is a single incremental SAT query (the paper reports <10 s per
-//! check; here it is milliseconds on the bundled designs) using selector
-//! assumptions, so the iterative refinement loop never re-encodes the model.
+//! # Cached elaboration and incremental solving
+//!
+//! The refinement loop of Listing 1 calls `check` with a shrinking `Z'`
+//! many times on the same design. In the default
+//! [`ElaborationMode::Cached`] the engine therefore splits the model into
+//! a `Z'`-independent *template* and a cheap per-check *instantiation*:
+//!
+//! - The template — instance 0's frame at `t`, its next-state functions,
+//!   its frame at `t+1`, and the leaf pools for both instances — is
+//!   elaborated once per engine lifetime into a persistent AIG.
+//! - Each `check` derives instance 1 by **leaf substitution**: a register
+//!   in `Z'` reuses instance 0's leaf (equality by construction), every
+//!   other register keeps its private split leaf. Re-deriving instance
+//!   1's cones over the persistent AIG is mostly structural-hash lookups
+//!   (see [`ElaborationStats`]): cones untouched by the substitution hash
+//!   to their existing nodes — including collapsing onto instance 0's
+//!   cones — and their Tseitin encoding in the persistent CNF is reused
+//!   as-is.
+//! - One SAT solver lives for the engine's whole lifetime. `Z'`-independent
+//!   obligations (constraints and invariants on instance 0) are asserted
+//!   once; per-check obligations (everything touching instance 1, plus
+//!   the difference monitors) are guarded by a fresh activation literal
+//!   `g` and solved under the assumption `g`. Retiring a check is a unit
+//!   clause `¬g`, so learned clauses — which are implied by the clause
+//!   database alone — stay valid across the whole refinement loop.
+//!
+//! [`ElaborationMode::Fresh`] re-elaborates everything per check (the
+//! pre-caching behaviour); it serves as the reference in equivalence
+//! tests and cold-elaboration benchmarks.
 
 use crate::aig::{Aig, AigLit};
 use crate::blast::{build_frame_with_leaves, next_state, Frame};
@@ -33,7 +59,7 @@ use crate::words::eq_word;
 use fastpath_rtl::{
     BitVec, ExprId, Module, SignalId, SignalKind, SignalRole,
 };
-use fastpath_sat::{Lit, SolveResult};
+use fastpath_sat::{Lit, SolveResult, SolverStats};
 
 /// Declarative inputs to the 2-safety model beyond the module itself.
 #[derive(Clone, Debug, Default)]
@@ -98,49 +124,157 @@ impl UpecOutcome {
     }
 }
 
+/// How [`Upec2Safety`] elaborates the 2-safety model across checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElaborationMode {
+    /// Elaborate a `Z'`-independent template once, instantiate instance 1
+    /// per check by leaf substitution over a persistent AIG, and solve
+    /// every check on one long-lived SAT solver with activation literals.
+    /// The default.
+    Cached,
+    /// Re-elaborate the full model and a fresh solver on every check —
+    /// the reference semantics for equivalence testing and the baseline
+    /// for cold-elaboration benchmarks.
+    Fresh,
+}
+
+/// Elaboration-cache effectiveness counters, exposed next to
+/// [`Upec2Safety::aig_nodes`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElaborationStats {
+    /// AIG nodes created by one-time work: the `Z'`-independent template
+    /// plus frame-0-side constraint/invariant obligations.
+    pub template_nodes: usize,
+    /// AIG nodes created by per-check instantiation, accumulated over all
+    /// checks.
+    pub check_nodes: usize,
+    /// AIG nodes created by the most recent check alone.
+    pub last_check_nodes: usize,
+    /// How many times a template was elaborated (1 for a cached engine's
+    /// lifetime; once per check in fresh mode).
+    pub template_builds: u64,
+    /// Structural-hash hits: `and` calls answered by the persistent AIG
+    /// instead of creating a node. Replaying instance 1's cones over the
+    /// template turns almost all elaboration work into hits.
+    pub strash_hits: u64,
+    /// Structural-hash misses: `and` calls that created a node.
+    pub strash_misses: u64,
+}
+
+impl ElaborationStats {
+    /// Folds another engine's counters into this one (for aggregating
+    /// across designs or parallel workers).
+    pub fn merge(&mut self, other: &ElaborationStats) {
+        self.template_nodes += other.template_nodes;
+        self.check_nodes += other.check_nodes;
+        self.last_check_nodes = other.last_check_nodes;
+        self.template_builds += other.template_builds;
+        self.strash_hits += other.strash_hits;
+        self.strash_misses += other.strash_misses;
+    }
+}
+
+impl std::ops::AddAssign for ElaborationStats {
+    fn add_assign(&mut self, rhs: ElaborationStats) {
+        self.merge(&rhs);
+    }
+}
+
+/// The `Z'`-independent half of the 2-safety model, elaborated once.
+#[derive(Debug)]
+struct Template {
+    /// Per register: `(signal, instance-0 leaf, instance-1 split leaf)`.
+    /// A check picks instance 1's actual leaf from the last two.
+    state_leaves: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
+    /// Instance 1 input leaves at `t`, indexed by signal.
+    inputs1_t: Vec<Vec<AigLit>>,
+    /// Instance 1 input leaves at `t+1`, indexed by signal.
+    inputs1_t1: Vec<Vec<AigLit>>,
+    /// Instance 0 at time `t`.
+    frame0_t: Frame,
+    /// Instance 0 next-state words, in `state_signals()` order.
+    next0: Vec<Vec<AigLit>>,
+    /// Instance 0 at time `t+1`.
+    frame0_t1: Frame,
+    /// Input witnesses `(signal, inst0, inst1)` at `t` and `t+1`.
+    input_bits_t: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
+    input_bits_t1: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
+}
+
 /// The 2-safety UPEC-DIT model over one module.
 ///
-/// Each [`check`](Self::check) elaborates a fresh 2-safety model in which
-/// the registers of the candidate partitioning `Z'` are *shared* between
-/// the two instances (equality by construction, exactly UPEC's
-/// computational model: only the tracked difference is free). Structural
-/// hashing then collapses the identical parts of the two cones, so the
-/// difference monitors of unaffected signals fold to constant false and
-/// the SAT instance only contains logic genuinely influenced by the data.
+/// Each [`check`](Self::check) instantiates a 2-safety model in which the
+/// registers of the candidate partitioning `Z'` are *shared* between the
+/// two instances (equality by construction, exactly UPEC's computational
+/// model: only the tracked difference is free). Structural hashing then
+/// collapses the identical parts of the two cones, so the difference
+/// monitors of unaffected signals fold to constant false and the SAT
+/// instance only contains logic genuinely influenced by the data.
+///
+/// In the default [`ElaborationMode::Cached`] the engine keeps one AIG
+/// and one SAT solver alive for its whole lifetime (see the module docs);
+/// the specification may grow between checks through
+/// [`add_software_constraint`](Self::add_software_constraint),
+/// [`add_invariant`](Self::add_invariant), and
+/// [`add_conditional_equality`](Self::add_conditional_equality), so a
+/// refinement loop never rebuilds the engine.
 #[derive(Debug)]
 pub struct Upec2Safety<'m> {
     module: &'m Module,
     spec: UpecSpec,
-    /// Artifacts of the most recent check (for witness extraction).
+    mode: ElaborationMode,
     aig: Aig,
     encoder: CnfEncoder,
-    state_bits_t: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
-    input_bits_t: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
-    input_bits_t1: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
+    template: Option<Template>,
+    /// How many spec entries already have their frame-0-side (one-time)
+    /// obligations asserted on the persistent solver.
+    f0_constraints: usize,
+    f0_invariants: usize,
     last_aig_nodes: usize,
     checks: u64,
-    stats: fastpath_sat::SolverStats,
+    /// Solver statistics of encoders discarded by fresh-mode resets.
+    stats_at_reset: SolverStats,
+    /// Elaboration counters of AIGs discarded by fresh-mode resets, plus
+    /// node accounting for the live AIG.
+    elab: ElaborationStats,
 }
 
 impl<'m> Upec2Safety<'m> {
-    /// Creates the engine for a module and its specification.
+    /// Creates the engine for a module and its specification, in the
+    /// default [`ElaborationMode::Cached`].
     ///
     /// Inputs whose role is neither `DataIn` nor `DataOut` (including
     /// unannotated ones) are treated as control and shared between the
     /// instances — "everything not confidential is attacker-controlled".
     pub fn new(module: &'m Module, spec: &UpecSpec) -> Self {
+        Self::with_mode(module, spec, ElaborationMode::Cached)
+    }
+
+    /// Creates the engine with an explicit [`ElaborationMode`].
+    pub fn with_mode(
+        module: &'m Module,
+        spec: &UpecSpec,
+        mode: ElaborationMode,
+    ) -> Self {
         Upec2Safety {
             module,
             spec: spec.clone(),
+            mode,
             aig: Aig::new(),
             encoder: CnfEncoder::new(),
-            state_bits_t: Vec::new(),
-            input_bits_t: Vec::new(),
-            input_bits_t1: Vec::new(),
+            template: None,
+            f0_constraints: 0,
+            f0_invariants: 0,
             last_aig_nodes: 0,
             checks: 0,
-            stats: fastpath_sat::SolverStats::default(),
+            stats_at_reset: SolverStats::default(),
+            elab: ElaborationStats::default(),
         }
+    }
+
+    /// The engine's elaboration mode.
+    pub fn mode(&self) -> ElaborationMode {
+        self.mode
     }
 
     /// The number of `check` calls performed so far.
@@ -148,14 +282,63 @@ impl<'m> Upec2Safety<'m> {
         self.checks
     }
 
-    /// Solver statistics accumulated over all checks.
-    pub fn solver_stats(&self) -> fastpath_sat::SolverStats {
-        self.stats
+    /// The specification currently in force.
+    pub fn spec(&self) -> &UpecSpec {
+        &self.spec
     }
 
-    /// Size of the most recent check's AIG (elaboration cost indicator).
+    /// Solver statistics accumulated over all checks.
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut s = self.stats_at_reset;
+        s.merge(&self.encoder.solver().stats());
+        s
+    }
+
+    /// Size of the elaborated AIG after the most recent check. In cached
+    /// mode this is the persistent AIG (template plus everything the
+    /// checks added); in fresh mode it is the last check's private AIG —
+    /// the seed engine's "elaboration cost" indicator.
     pub fn aig_nodes(&self) -> usize {
         self.last_aig_nodes
+    }
+
+    /// Elaboration-cache effectiveness counters (see
+    /// [`ElaborationStats`]).
+    pub fn elaboration_stats(&self) -> ElaborationStats {
+        let mut e = self.elab;
+        e.strash_hits += self.aig.strash_hits();
+        e.strash_misses += self.aig.strash_misses();
+        e
+    }
+
+    /// Forces the one-time template elaboration now (it otherwise happens
+    /// lazily on the first check). Lets callers time elaboration apart
+    /// from solving.
+    pub fn elaborate(&mut self) {
+        self.ensure_template();
+    }
+
+    /// Adds a derived software constraint to the specification. It takes
+    /// effect from the next check; previously learned clauses stay valid
+    /// because the clause database only grows.
+    pub fn add_software_constraint(&mut self, expr: ExprId) {
+        self.spec.software_constraints.push(expr);
+    }
+
+    /// Adds an invariant to the specification (effective from the next
+    /// check).
+    pub fn add_invariant(&mut self, expr: ExprId) {
+        self.spec.invariants.push(expr);
+    }
+
+    /// Adds a conditional 2-safety equality to the specification
+    /// (effective from the next check).
+    pub fn add_conditional_equality(
+        &mut self,
+        cond: ExprId,
+        signal: SignalId,
+    ) {
+        self.spec.conditional_equalities.push((cond, signal));
     }
 
     /// Runs the inductive property of Listing 1 for the candidate
@@ -178,118 +361,205 @@ impl<'m> Upec2Safety<'m> {
         self.check_internal(z_prime, false)
     }
 
+    /// Discards all cached state (fresh-mode per-check amnesia), folding
+    /// the outgoing solver/AIG counters into the running totals.
+    fn reset(&mut self) {
+        self.stats_at_reset.merge(&self.encoder.solver().stats());
+        self.elab.strash_hits += self.aig.strash_hits();
+        self.elab.strash_misses += self.aig.strash_misses();
+        self.aig = Aig::new();
+        self.encoder = CnfEncoder::new();
+        self.template = None;
+        self.f0_constraints = 0;
+        self.f0_invariants = 0;
+    }
+
+    /// Elaborates the `Z'`-independent template if it does not exist yet,
+    /// then asserts the frame-0-side obligations of any spec entries added
+    /// since the last check. Both are one-time work on the persistent
+    /// AIG/solver, accounted as `template_nodes`.
+    fn ensure_template(&mut self) {
+        let module = self.module;
+        let nodes_before = self.aig.node_count();
+        if self.template.is_none() {
+            let aig = &mut self.aig;
+            let n = module.signal_count();
+            let mut leaves0: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            let mut inputs1_t: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            let mut inputs1_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            let mut state_leaves = Vec::new();
+            let mut input_bits_t = Vec::new();
+            let mut input_bits_t1 = Vec::new();
+            for (id, signal) in module.signals() {
+                match signal.kind {
+                    SignalKind::Register => {
+                        let b0: Vec<AigLit> =
+                            (0..signal.width).map(|_| aig.input()).collect();
+                        let s1: Vec<AigLit> =
+                            (0..signal.width).map(|_| aig.input()).collect();
+                        state_leaves.push((id, b0.clone(), s1));
+                        leaves0[id.index()] = b0;
+                    }
+                    SignalKind::Input => {
+                        let (b0, b1) =
+                            alloc_input(aig, signal.role, signal.width);
+                        input_bits_t.push((id, b0.clone(), b1.clone()));
+                        leaves0[id.index()] = b0;
+                        inputs1_t[id.index()] = b1;
+                    }
+                    _ => {}
+                }
+            }
+            let frame0_t = build_frame_with_leaves(aig, module, leaves0);
+            let next0 = next_state(aig, module, &frame0_t);
+            let state_ids = module.state_signals();
+            let mut leaves0_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            for (reg, n0) in state_ids.iter().zip(next0.iter()) {
+                leaves0_t1[reg.index()] = n0.clone();
+            }
+            for (id, signal) in module.signals() {
+                if signal.kind == SignalKind::Input {
+                    let (b0, b1) =
+                        alloc_input(aig, signal.role, signal.width);
+                    input_bits_t1.push((id, b0.clone(), b1.clone()));
+                    leaves0_t1[id.index()] = b0;
+                    inputs1_t1[id.index()] = b1;
+                }
+            }
+            let frame0_t1 =
+                build_frame_with_leaves(aig, module, leaves0_t1);
+            self.template = Some(Template {
+                state_leaves,
+                inputs1_t,
+                inputs1_t1,
+                frame0_t,
+                next0,
+                frame0_t1,
+                input_bits_t,
+                input_bits_t1,
+            });
+            self.elab.template_builds += 1;
+        }
+        // Frame-0-side obligations for spec entries not yet encoded:
+        // Z'-independent, so asserted once, unguarded. (The solver only
+        // ever *gains* assumptions, matching the flow's monotonically
+        // growing specification.)
+        let tmpl = self.template.as_ref().expect("template just built");
+        let aig = &mut self.aig;
+        let encoder = &mut self.encoder;
+        for &constraint in &self.spec.software_constraints[self.f0_constraints..]
+        {
+            for frame in [&tmpl.frame0_t, &tmpl.frame0_t1] {
+                let lit = blast_predicate(aig, module, frame, constraint);
+                encoder.assert_true(aig, lit);
+            }
+        }
+        self.f0_constraints = self.spec.software_constraints.len();
+        for &invariant in &self.spec.invariants[self.f0_invariants..] {
+            let lit =
+                blast_predicate(aig, module, &tmpl.frame0_t, invariant);
+            encoder.assert_true(aig, lit);
+        }
+        self.f0_invariants = self.spec.invariants.len();
+        self.elab.template_nodes += aig.node_count() - nodes_before;
+    }
+
     fn check_internal(
         &mut self,
         z_prime: &[SignalId],
         include_outputs: bool,
     ) -> UpecOutcome {
         self.checks += 1;
+        if self.mode == ElaborationMode::Fresh {
+            self.reset();
+        }
+        self.ensure_template();
+
         let module = self.module;
-        let in_z: Vec<bool> = {
-            let mut v = vec![false; module.signal_count()];
-            for &z in z_prime {
-                v[z.index()] = true;
-            }
-            v
-        };
-
-        let mut aig = Aig::new();
         let n = module.signal_count();
+        let mut in_z = vec![false; n];
+        for &z in z_prime {
+            in_z[z.index()] = true;
+        }
 
-        // --- leaves at time t: Z' registers shared, others split ---------
-        let mut leaves0: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+        let tmpl = self.template.as_ref().expect("template built");
+        let aig = &mut self.aig;
+        let encoder = &mut self.encoder;
+        let nodes_before = aig.node_count();
+
+        // --- instance 1 at `t` by leaf substitution: Z' registers reuse
+        // instance 0's leaf, the rest keep their split leaves -------------
         let mut leaves1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
-        let mut state_bits_t = Vec::new();
-        let mut input_bits_t = Vec::new();
-        let mut input_bits_t1 = Vec::new();
-        for (id, signal) in module.signals() {
-            match signal.kind {
-                SignalKind::Register => {
-                    let b0: Vec<AigLit> =
-                        (0..signal.width).map(|_| aig.input()).collect();
-                    let b1: Vec<AigLit> = if in_z[id.index()] {
-                        b0.clone()
-                    } else {
-                        (0..signal.width).map(|_| aig.input()).collect()
-                    };
-                    state_bits_t.push((id, b0.clone(), b1.clone()));
-                    leaves0[id.index()] = b0;
-                    leaves1[id.index()] = b1;
-                }
-                SignalKind::Input => {
-                    let (b0, b1) =
-                        alloc_input(&mut aig, signal.role, signal.width);
-                    input_bits_t.push((id, b0.clone(), b1.clone()));
-                    leaves0[id.index()] = b0;
-                    leaves1[id.index()] = b1;
-                }
-                _ => {}
+        let mut state_bits_t = Vec::with_capacity(tmpl.state_leaves.len());
+        for (id, b0, s1) in &tmpl.state_leaves {
+            let b1 = if in_z[id.index()] { b0.clone() } else { s1.clone() };
+            state_bits_t.push((*id, b0.clone(), b1.clone()));
+            leaves1[id.index()] = b1;
+        }
+        for (idx, bits) in tmpl.inputs1_t.iter().enumerate() {
+            if !bits.is_empty() {
+                leaves1[idx] = bits.clone();
             }
         }
-        let frame0_t = build_frame_with_leaves(&mut aig, module, leaves0);
-        let frame1_t = build_frame_with_leaves(&mut aig, module, leaves1);
+        let frame1_t = build_frame_with_leaves(aig, module, leaves1);
 
-        // --- transition to t+1 -------------------------------------------
-        let next0 = next_state(&mut aig, module, &frame0_t);
-        let next1 = next_state(&mut aig, module, &frame1_t);
+        // --- instance 1's transition to t+1 ------------------------------
+        let next1 = next_state(aig, module, &frame1_t);
         let state_ids = module.state_signals();
-        let mut leaves0_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
         let mut leaves1_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
-        for (reg, (n0, n1)) in
-            state_ids.iter().zip(next0.iter().zip(next1.iter()))
-        {
-            leaves0_t1[reg.index()] = n0.clone();
+        for (reg, n1) in state_ids.iter().zip(next1.iter()) {
             leaves1_t1[reg.index()] = n1.clone();
         }
-        for (id, signal) in module.signals() {
-            if signal.kind == SignalKind::Input {
-                let (b0, b1) =
-                    alloc_input(&mut aig, signal.role, signal.width);
-                input_bits_t1.push((id, b0.clone(), b1.clone()));
-                leaves0_t1[id.index()] = b0;
-                leaves1_t1[id.index()] = b1;
+        for (idx, bits) in tmpl.inputs1_t1.iter().enumerate() {
+            if !bits.is_empty() {
+                leaves1_t1[idx] = bits.clone();
             }
         }
-        let frame0_t1 = build_frame_with_leaves(&mut aig, module, leaves0_t1);
-        let frame1_t1 = build_frame_with_leaves(&mut aig, module, leaves1_t1);
+        let frame1_t1 = build_frame_with_leaves(aig, module, leaves1_t1);
 
-        // --- constraints, invariants, conditional equalities --------------
-        let mut encoder = CnfEncoder::new();
+        // --- per-check obligations, guarded by an activation literal -----
+        // Everything touching instance 1 depends on this check's leaf
+        // substitution, so it may not constrain later checks: each clause
+        // carries ¬g and only bites under the assumption g.
+        let guard = encoder.fresh_var();
+        let g = guard.positive();
+        let ng = guard.negative();
         for &constraint in &self.spec.software_constraints {
-            for frame in [&frame0_t, &frame1_t, &frame0_t1, &frame1_t1] {
-                let lit = blast_predicate(&mut aig, module, frame, constraint);
-                encoder.assert_true(&aig, lit);
+            for frame in [&frame1_t, &frame1_t1] {
+                let lit = blast_predicate(aig, module, frame, constraint);
+                let l = encoder.lit(aig, lit);
+                encoder.add_clause(&[ng, l]);
             }
         }
         for &invariant in &self.spec.invariants {
-            for frame in [&frame0_t, &frame1_t] {
-                let lit = blast_predicate(&mut aig, module, frame, invariant);
-                encoder.assert_true(&aig, lit);
-            }
+            let lit = blast_predicate(aig, module, &frame1_t, invariant);
+            let l = encoder.lit(aig, lit);
+            encoder.add_clause(&[ng, l]);
         }
         let mut cond_eq_violation = Vec::new();
         for &(cond, signal) in &self.spec.conditional_equalities {
-            let c0 = blast_predicate(&mut aig, module, &frame0_t, cond);
-            let c1 = blast_predicate(&mut aig, module, &frame1_t, cond);
+            let c0 = blast_predicate(aig, module, &tmpl.frame0_t, cond);
+            let c1 = blast_predicate(aig, module, &frame1_t, cond);
             let both = aig.and(c0, c1);
             let eq = eq_word(
-                &mut aig,
-                frame0_t.signal(signal),
+                aig,
+                tmpl.frame0_t.signal(signal),
                 frame1_t.signal(signal),
             );
             let implied = {
                 let nb = !both;
                 aig.or(nb, eq)
             };
-            encoder.assert_true(&aig, implied);
-            let c0n = blast_predicate(&mut aig, module, &frame0_t1, cond);
-            let c1n = blast_predicate(&mut aig, module, &frame1_t1, cond);
+            let l = encoder.lit(aig, implied);
+            encoder.add_clause(&[ng, l]);
+            let c0n = blast_predicate(aig, module, &tmpl.frame0_t1, cond);
+            let c1n = blast_predicate(aig, module, &frame1_t1, cond);
             let bothn = aig.and(c0n, c1n);
             let idx = state_ids
                 .iter()
                 .position(|&r| r == signal)
                 .expect("conditional equality must target a register");
-            let eqn = eq_word(&mut aig, &next0[idx], &next1[idx]);
+            let eqn = eq_word(aig, &tmpl.next0[idx], &next1[idx]);
             let viol = {
                 let ne = !eqn;
                 aig.and(bothn, ne)
@@ -297,55 +567,61 @@ impl<'m> Upec2Safety<'m> {
             cond_eq_violation.push(viol);
         }
 
-        // --- monitors ------------------------------------------------------
+        // --- monitors ----------------------------------------------------
         let mut diff_next = Vec::new();
         for (i, &reg) in state_ids.iter().enumerate() {
             if in_z[reg.index()] {
-                let eq_next = eq_word(&mut aig, &next0[i], &next1[i]);
+                let eq_next = eq_word(aig, &tmpl.next0[i], &next1[i]);
                 diff_next.push((reg, !eq_next));
             }
         }
         let mut diff_out = Vec::new();
         for y in module.control_outputs() {
-            let eq_a =
-                eq_word(&mut aig, frame0_t.signal(y), frame1_t.signal(y));
+            let eq_a = eq_word(
+                aig,
+                tmpl.frame0_t.signal(y),
+                frame1_t.signal(y),
+            );
             let eq_b = eq_word(
-                &mut aig,
-                frame0_t1.signal(y),
+                aig,
+                tmpl.frame0_t1.signal(y),
                 frame1_t1.signal(y),
             );
             let both = aig.and(eq_a, eq_b);
             diff_out.push((y, !both));
         }
 
-        // --- solve ----------------------------------------------------------
-        let mut monitored: Vec<Lit> = Vec::new();
-        let mut monitor_map: Vec<(usize, AigLit)> = Vec::new();
-        for (k, &(_, d)) in diff_next.iter().enumerate() {
+        // --- solve -------------------------------------------------------
+        // The monitor disjunction is also guarded: it asks "can anything
+        // observable diverge *under this check's sharing*".
+        let mut monitored: Vec<Lit> = vec![ng];
+        for &(_, d) in &diff_next {
             if d != AigLit::FALSE {
-                monitored.push(encoder.lit(&aig, d));
-                monitor_map.push((k, d));
+                monitored.push(encoder.lit(aig, d));
             }
         }
         if include_outputs {
             for &(_, d) in &diff_out {
                 if d != AigLit::FALSE {
-                    monitored.push(encoder.lit(&aig, d));
+                    monitored.push(encoder.lit(aig, d));
                 }
             }
         }
         for &d in &cond_eq_violation {
             if d != AigLit::FALSE {
-                monitored.push(encoder.lit(&aig, d));
+                monitored.push(encoder.lit(aig, d));
             }
         }
         self.last_aig_nodes = aig.node_count();
+        let created = aig.node_count() - nodes_before;
+        self.elab.check_nodes += created;
+        self.elab.last_check_nodes = created;
 
-        let outcome = if monitored.is_empty() {
+        let outcome = if monitored.len() == 1 {
             SolveResult::Unsat
         } else {
             encoder.add_clause(&monitored);
-            encoder.solve_with(&[])
+            encoder.solve_with(&[g])
         };
         let result = match outcome {
             SolveResult::Unsat => UpecOutcome::Holds,
@@ -383,8 +659,8 @@ impl<'m> Upec2Safety<'m> {
                     bits.iter()
                         .map(|(s, b0, b1)| StateWitness {
                             signal: *s,
-                            inst0: word_value(&encoder, b0),
-                            inst1: word_value(&encoder, b1),
+                            inst0: word_value(encoder, b0),
+                            inst1: word_value(encoder, b1),
                         })
                         .collect::<Vec<_>>()
                 };
@@ -392,24 +668,16 @@ impl<'m> Upec2Safety<'m> {
                     divergent_state,
                     divergent_outputs,
                     state_values: witness(&state_bits_t),
-                    input_values_t: witness(&input_bits_t),
-                    input_values_t1: witness(&input_bits_t1),
+                    input_values_t: witness(&tmpl.input_bits_t),
+                    input_values_t1: witness(&tmpl.input_bits_t1),
                     violated_cond_eqs,
                 })
             }
         };
-        let stats = encoder.solver().stats();
-        self.stats.conflicts += stats.conflicts;
-        self.stats.decisions += stats.decisions;
-        self.stats.propagations += stats.propagations;
-        self.stats.restarts += stats.restarts;
-        self.stats.learnt_clauses += stats.learnt_clauses;
-        let _ = monitor_map;
-        self.aig = aig;
-        self.encoder = encoder;
-        self.state_bits_t = state_bits_t;
-        self.input_bits_t = input_bits_t;
-        self.input_bits_t1 = input_bits_t1;
+        // Retire this check: the unit clause ¬g permanently satisfies all
+        // of its guarded obligations, while everything the solver learned
+        // (implied by the clause database alone) carries over.
+        encoder.add_clause(&[ng]);
         result
     }
 }
@@ -578,7 +846,12 @@ mod tests {
         let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
         assert!(!upec.check(&[]).holds());
 
-        // With the derived constraint `mode == 0`: data-oblivious.
+        // Adding the derived constraint `mode == 0` incrementally on the
+        // SAME engine (the flow's refinement loop): data-oblivious.
+        upec.add_software_constraint(mode_off);
+        assert!(upec.check(&[]).holds());
+
+        // A fresh engine with the constraint from the start agrees.
         let spec = UpecSpec {
             software_constraints: vec![mode_off],
             invariants: vec![],
@@ -619,7 +892,11 @@ mod tests {
         let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
         assert!(!upec.check(&[state_id]).holds());
 
-        // With the one-hot invariant: holds.
+        // Adding the one-hot invariant on the same engine: holds.
+        upec.add_invariant(onehot);
+        assert!(upec.check(&[state_id]).holds());
+
+        // A fresh engine with the invariant from the start agrees.
         let spec = UpecSpec {
             software_constraints: vec![],
             invariants: vec![onehot],
@@ -627,5 +904,41 @@ mod tests {
         };
         let mut upec = Upec2Safety::new(&module, &spec);
         assert!(upec.check(&[state_id]).holds());
+    }
+
+    #[test]
+    fn cached_and_fresh_modes_agree_and_cache_saves_nodes() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let mut cached = Upec2Safety::new(&m, &UpecSpec::default());
+        let mut fresh = Upec2Safety::with_mode(
+            &m,
+            &UpecSpec::default(),
+            ElaborationMode::Fresh,
+        );
+        for z in [vec![acc, cnt], vec![cnt], vec![acc], vec![]] {
+            let a = cached.check(&z);
+            let b = fresh.check(&z);
+            assert_eq!(a.holds(), b.holds(), "disagree on Z'={z:?}");
+        }
+        let e = cached.elaboration_stats();
+        assert_eq!(e.template_builds, 1);
+        assert_eq!(fresh.elaboration_stats().template_builds, 4);
+        // Re-checking an already-seen Z' replays entirely through the
+        // structural hash: no new nodes at all.
+        let _ = cached.check(&[cnt]);
+        assert_eq!(cached.elaboration_stats().last_check_nodes, 0);
+        // And the cached engine's per-check node creation is strictly
+        // below a full re-elaboration.
+        assert!(
+            e.check_nodes < fresh.elaboration_stats().template_nodes
+                + fresh.elaboration_stats().check_nodes,
+            "cache created {} nodes, fresh created {}",
+            e.check_nodes,
+            fresh.elaboration_stats().template_nodes
+                + fresh.elaboration_stats().check_nodes,
+        );
+        assert!(e.strash_hits > 0, "replay must hit the cache");
     }
 }

@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn add_matches_bitvec() {
         check_exhaustive_4bit(
-            |g, a, b| add_word(g, a, b),
+            add_word,
             |a, b| a.wrapping_add(b),
         );
     }
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn sub_matches_bitvec() {
         check_exhaustive_4bit(
-            |g, a, b| sub_word(g, a, b),
+            sub_word,
             |a, b| a.wrapping_sub(b),
         );
     }
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn mul_matches_bitvec() {
         check_exhaustive_4bit(
-            |g, a, b| mul_word(g, a, b),
+            mul_word,
             |a, b| a.wrapping_mul(b),
         );
     }
@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn extensions() {
-        let mut h = Harness::new(4);
+        let h = Harness::new(4);
         let a_bits = h.a_bits.clone();
         let z = zext_word(&a_bits, 8);
         let s = sext_word(&a_bits, 8);

@@ -130,6 +130,24 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
 }
 
+impl SolverStats {
+    /// Folds another solver's statistics into this one. Used to aggregate
+    /// across engines (one per design) or across parallel workers.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+    }
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.merge(&rhs);
+    }
+}
+
 /// A CDCL SAT solver.
 ///
 /// # Examples
@@ -835,10 +853,10 @@ mod tests {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
         // No two pigeons share a hole.
-        for h in 0..2 {
-            for i in 0..3 {
-                for j in (i + 1)..3 {
-                    s.add_clause(&[p[i][h].negative(), p[j][h].negative()]);
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (a, b) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }

@@ -7,7 +7,7 @@
 //!   - `fwrisc_mds.v`     — synthesizable Verilog-2001
 //!   - `fwrisc_mds.fnl`   — the lossless fastpath netlist (round-tripped)
 //!   - `violation.vcd`    — values *and* taint labels of the shift-timing
-//!                          leak, ready for GTKWave/Surfer
+//!     leak, ready for GTKWave/Surfer
 //!   - `monitors.aag`     — the 2-safety divergence monitors as AIGER
 
 use fastpath_rtl::{parse_netlist, to_verilog, write_netlist};

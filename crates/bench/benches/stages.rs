@@ -43,11 +43,11 @@ fn bench_ift_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_formal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("formal");
-    group.sample_size(10);
-    // A representative design whose Z' is known from simulation:
-    // FWRISCV-MDS under the no-shifting constraint.
+/// FWRISCV-MDS with its simulation-derived `Z'` and constraint spec — the
+/// representative formal workload shared by the `formal` and
+/// `certification` groups.
+fn fwrisc_workload(
+) -> (fastpath::CaseStudy, Vec<fastpath_rtl::SignalId>, UpecSpec) {
     let study = fastpath_designs::fwrisc_mds::case_study();
     let instance = &study.instance;
     let module = &instance.module;
@@ -71,6 +71,16 @@ fn bench_formal(c: &mut Criterion) {
         invariants: vec![],
         conditional_equalities: vec![],
     };
+    (study, z_prime, spec)
+}
+
+fn bench_formal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formal");
+    group.sample_size(10);
+    // A representative design whose Z' is known from simulation:
+    // FWRISCV-MDS under the no-shifting constraint.
+    let (study, z_prime, spec) = fwrisc_workload();
+    let module = &study.instance.module;
     group.bench_function("property_check/FWRISCV-MDS", |b| {
         b.iter(|| {
             let mut upec = Upec2Safety::new(module, &spec);
@@ -137,6 +147,77 @@ fn bench_formal(c: &mut Criterion) {
     group.finish();
 }
 
+/// Solves the pigeonhole instance PHP(n+1, n) — reliably UNSAT with a
+/// non-trivial resolution proof — optionally logging and checking it.
+fn pigeonhole(holes: usize, log: bool, check: bool) -> usize {
+    use fastpath_sat::{SolveResult, Solver};
+    let mut solver = Solver::new();
+    if log {
+        solver.enable_proof_logging();
+    }
+    let pigeons = holes + 1;
+    let vars: Vec<_> =
+        (0..pigeons * holes).map(|_| solver.new_var()).collect();
+    for i in 0..pigeons {
+        let clause: Vec<_> =
+            (0..holes).map(|j| vars[i * holes + j].positive()).collect();
+        solver.add_clause(&clause);
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                solver.add_clause(&[
+                    vars[i1 * holes + j].negative(),
+                    vars[i2 * holes + j].negative(),
+                ]);
+            }
+        }
+    }
+    assert_eq!(solver.solve_with(&[]), SolveResult::Unsat);
+    if check {
+        let proof = solver.proof().expect("logging enabled");
+        fastpath_cert::check_unsat_certificate(proof.steps(), &[])
+            .expect("proof must check");
+    }
+    solver.proof_len()
+}
+
+/// Proof-logging overhead (Sec. V-E style ablation for the certification
+/// subsystem): the same UNSAT workload with logging off, logging on, and
+/// logging plus the independent RUP replay; then the end-to-end UPEC
+/// check uncertified vs certified.
+fn bench_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certification");
+    group.sample_size(10);
+    const HOLES: usize = 7;
+    group.bench_function("php_logging_off", |b| {
+        b.iter(|| pigeonhole(HOLES, false, false));
+    });
+    group.bench_function("php_logging_on", |b| {
+        b.iter(|| pigeonhole(HOLES, true, false));
+    });
+    group.bench_function("php_logged_and_checked", |b| {
+        b.iter(|| pigeonhole(HOLES, true, true));
+    });
+
+    let (study, z_prime, spec) = fwrisc_workload();
+    let module = &study.instance.module;
+    group.bench_function("upec_check_uncertified/FWRISCV-MDS", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::new(module, &spec);
+            upec.check(&z_prime).holds()
+        });
+    });
+    group.bench_function("upec_check_certified/FWRISCV-MDS", |b| {
+        b.iter(|| {
+            let mut upec = Upec2Safety::new(module, &spec);
+            upec.enable_certification();
+            upec.check_certified(&z_prime).outcome.holds()
+        });
+    });
+    group.finish();
+}
+
 fn bench_parallel_driver(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
@@ -167,6 +248,7 @@ criterion_group!(
     bench_hfg,
     bench_ift_simulation,
     bench_formal,
+    bench_certification,
     bench_parallel_driver
 );
 criterion_main!(benches);

@@ -13,6 +13,13 @@
 //!   --runtime    also print the Sec. V-E runtime breakdown plus solver
 //!                and elaboration-cache statistics
 //!   --markdown   emit the table as GitHub-flavoured markdown
+//!   --certify    independently certify every UPEC verdict (RUP proof
+//!                replay for UNSAT, model check + concrete counterexample
+//!                replay for SAT) and print a certification line per run
+//!   --dump-artifacts DIR
+//!                with --certify, write each check's DIMACS formula and
+//!                DRUP proof / model into DIR for external checkers
+//!                (e.g. drat-trim)
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -38,7 +45,23 @@ fn main() {
             .iter()
             .position(|a| a == "--design")
             .and_then(|i| args.get(i + 1).cloned()),
+        certify: args.iter().any(|a| a == "--certify"),
+        dump_artifacts: args
+            .iter()
+            .position(|a| a == "--dump-artifacts")
+            .map(|i| {
+                args.get(i + 1)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--dump-artifacts expects a directory");
+                        std::process::exit(2);
+                    })
+            }),
     };
+    if opts.dump_artifacts.is_some() && !opts.certify {
+        eprintln!("--dump-artifacts requires --certify");
+        std::process::exit(2);
+    }
 
     let studies = fastpath_designs::all_case_studies();
     print!("{}", run_table1(&studies, &opts));

@@ -9,10 +9,12 @@
 
 use fastpath::parallel::run_ordered;
 use fastpath::{
-    effort_reduction, run_baseline, run_fastpath, CaseStudy, FlowReport,
+    effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy,
+    FlowOptions, FlowReport,
     PairwiseAnalysis,
 };
 use std::fmt::Write;
+use std::path::PathBuf;
 
 /// Options for the Table I driver (mirrors the `table1` CLI flags).
 #[derive(Clone, Debug)]
@@ -31,6 +33,13 @@ pub struct Table1Options {
     pub pairwise: bool,
     /// Restrict to the named design (row) only.
     pub only: Option<String>,
+    /// Independently certify every UPEC verdict (`--certify`): RUP proof
+    /// replay for UNSAT answers, model check plus concrete counterexample
+    /// replay for SAT answers. Adds a certification line per design.
+    pub certify: bool,
+    /// With [`certify`](Self::certify), dump per-check DIMACS/DRUP/model
+    /// files into this directory (`--dump-artifacts DIR`).
+    pub dump_artifacts: Option<PathBuf>,
 }
 
 impl Default for Table1Options {
@@ -42,6 +51,8 @@ impl Default for Table1Options {
             runtime: false,
             pairwise: false,
             only: None,
+            certify: false,
+            dump_artifacts: None,
         }
     }
 }
@@ -61,15 +72,21 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
 
     // Two tasks per design. `false` = FastPath, `true` = baseline, so
     // pairs come back adjacent: [fast0, base0, fast1, base1, ...].
+    let flow_options = FlowOptions {
+        certify: opts.certify,
+        dump_artifacts: opts.dump_artifacts.clone(),
+        ..FlowOptions::default()
+    };
     let tasks: Vec<_> = selected
         .iter()
         .flat_map(|&study| [(study, false), (study, true)])
         .map(|(study, is_baseline)| {
+            let flow_options = flow_options.clone();
             move || {
                 if is_baseline {
-                    run_baseline(study)
+                    run_baseline_with(study, flow_options)
                 } else {
-                    run_fastpath(study)
+                    run_fastpath_with(study, flow_options)
                 }
             }
         })
@@ -116,6 +133,58 @@ fn render_markdown(
             effort_reduction(base, fast)
         );
     }
+    if reports.iter().any(|r| r.certification.is_some()) {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "**Certification**");
+        for (i, _study) in selected.iter().enumerate() {
+            let fast = &reports[2 * i];
+            let base = &reports[2 * i + 1];
+            for (label, report) in [("fastpath", fast), ("baseline", base)] {
+                if let Some(line) = certification_line(label, report) {
+                    let _ = writeln!(out, "- {}: {line}", report.design);
+                }
+            }
+        }
+    }
+}
+
+/// One deterministic certification summary line (no timings, so the
+/// output stays byte-identical across `--jobs` values).
+fn certification_line(label: &str, report: &FlowReport) -> Option<String> {
+    let cert = report.certification.as_ref()?;
+    let s = &cert.stats;
+    let status = if cert.fully_certified() {
+        "certified"
+    } else {
+        "NOT CERTIFIED"
+    };
+    let mut line = format!(
+        "{label} {status}: {} checks ({} RUP proofs, {} trivial, \
+         {} models), {} counterexamples replayed concretely",
+        s.certified_checks,
+        s.unsat_proofs,
+        s.trivial_unsat,
+        s.sat_models,
+        cert.counterexamples_replayed
+    );
+    if s.artifacts_written > 0 || s.artifact_failures > 0 {
+        let _ = write!(
+            &mut line,
+            ", {} artifact pairs written",
+            s.artifacts_written
+        );
+        if s.artifact_failures > 0 {
+            let _ = write!(
+                &mut line,
+                " ({} write failures)",
+                s.artifact_failures
+            );
+        }
+    }
+    for f in &cert.failures {
+        let _ = write!(&mut line, "\n    FAILURE: {f}");
+    }
+    Some(line)
 }
 
 fn render_text(
@@ -145,6 +214,11 @@ fn render_text(
         let fast = &reports[2 * i];
         let base = &reports[2 * i + 1];
         render_row(out, fast, base);
+        for (label, report) in [("fastpath", fast), ("baseline", base)] {
+            if let Some(line) = certification_line(label, report) {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
         if opts.trace {
             let _ = writeln!(out, "  flow trace:");
             for event in &fast.events {

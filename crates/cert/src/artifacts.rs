@@ -1,0 +1,103 @@
+//! Textual certificate artifacts for external cross-auditing.
+//!
+//! A dumped check is two files: a DIMACS CNF (the exact formula the
+//! incremental engine held, rendered by [`fastpath_sat::Cnf::from_steps`]
+//! with the check's assumptions baked in as unit clauses) and either a
+//! DRUP proof ([`proof_to_drup`], UNSAT checks) or a SAT-competition model
+//! line ([`model_to_text`], SAT checks). `drat-trim CHECK.cnf CHECK.drup`
+//! verifies the former; any DIMACS-aware solver confirms the latter.
+
+use fastpath_sat::{Lit, ProofStep};
+use std::fmt::Write as _;
+
+fn write_clause(out: &mut String, lits: &[Lit]) {
+    for &lit in lits {
+        let n = lit.var().index() as i64 + 1;
+        let _ = write!(out, "{} ", if lit.is_positive() { n } else { -n });
+    }
+    let _ = writeln!(out, "0");
+}
+
+/// Renders a trace prefix as a textual DRUP proof of unsatisfiability for
+/// the companion CNF (which must contain the trace's axioms *plus* one
+/// unit clause per assumption — exactly what
+/// [`fastpath_sat::Cnf::from_steps`] emits).
+///
+/// Axiom steps are skipped (they live in the CNF); `Learn` steps become
+/// clause lines and `Delete` steps become `d` lines. The proof ends with
+/// the negated-assumption clause — RUP because propagating the assumption
+/// units into the replayed database conflicts — followed by the empty
+/// clause. A trace that already ends in an empty `Learn` terminates at
+/// that line instead; checkers stop at the first empty clause.
+pub fn proof_to_drup(steps: &[ProofStep], assumptions: &[Lit]) -> String {
+    let mut out = String::new();
+    for step in steps {
+        match step {
+            ProofStep::Axiom(_) => {}
+            ProofStep::Learn(lits) => {
+                write_clause(&mut out, lits);
+                if lits.is_empty() {
+                    return out;
+                }
+            }
+            ProofStep::Delete(lits) => {
+                let _ = write!(out, "d ");
+                write_clause(&mut out, lits);
+            }
+        }
+    }
+    if !assumptions.is_empty() {
+        let negated: Vec<Lit> = assumptions.iter().map(|&a| !a).collect();
+        write_clause(&mut out, &negated);
+    }
+    let _ = writeln!(out, "0");
+    out
+}
+
+/// Renders a model as a SAT-competition style `v` line terminated by `0`,
+/// using 1-based DIMACS variable numbering.
+pub fn model_to_text(model: &[bool]) -> String {
+    let mut out = String::from("v");
+    for (index, &value) in model.iter().enumerate() {
+        let n = index as i64 + 1;
+        let _ = write!(out, " {}", if value { n } else { -n });
+    }
+    let _ = writeln!(out, " 0");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_sat::Var;
+
+    #[test]
+    fn drup_renders_learns_deletes_and_final_claim() {
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let steps = vec![
+            ProofStep::Axiom(vec![a, b]),
+            ProofStep::Learn(vec![b]),
+            ProofStep::Delete(vec![a, b]),
+        ];
+        let text = proof_to_drup(&steps, &[!b]);
+        assert_eq!(text, "2 0\nd 1 2 0\n2 0\n0\n");
+    }
+
+    #[test]
+    fn drup_stops_at_empty_clause() {
+        let a = Var::from_index(0).positive();
+        let steps = vec![
+            ProofStep::Axiom(vec![a]),
+            ProofStep::Learn(Vec::new()),
+            ProofStep::Learn(vec![a]), // never emitted
+        ];
+        assert_eq!(proof_to_drup(&steps, &[]), "0\n");
+    }
+
+    #[test]
+    fn model_line_is_dimacs_numbered() {
+        assert_eq!(model_to_text(&[true, false, true]), "v 1 -2 3 0\n");
+        assert_eq!(model_to_text(&[]), "v 0\n");
+    }
+}

@@ -1,0 +1,786 @@
+//! The forward unit-propagation RUP checker.
+
+use fastpath_sat::{Lit, ProofStep};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a certificate was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// A `Learn` step failed its RUP probe: assuming the clause's negation
+    /// and unit-propagating did not produce a conflict, so the clause is
+    /// not justified by the trace up to that point.
+    LearnNotRup {
+        /// Position of the offending step in the fed trace.
+        step: usize,
+        /// The unjustified clause.
+        clause: Vec<Lit>,
+    },
+    /// An empty `Learn` step (the solver claims the formula itself became
+    /// unsatisfiable) arrived while the checker's root propagation had not
+    /// derived a contradiction.
+    EmptyLearnWithoutConflict {
+        /// Position of the offending step in the fed trace.
+        step: usize,
+    },
+    /// The final UNSAT claim failed: assuming every assumption literal and
+    /// unit-propagating over the replayed database did not conflict.
+    AssumptionsNotRefuted {
+        /// The assumptions that were supposed to be refuted.
+        assumptions: Vec<Lit>,
+    },
+    /// A claimed model falsifies an axiom clause.
+    ClauseFalsified {
+        /// Index of the clause among the trace's axiom steps.
+        axiom: usize,
+        /// The falsified clause.
+        clause: Vec<Lit>,
+    },
+    /// A claimed model falsifies an assumption literal.
+    AssumptionFalsified {
+        /// The falsified assumption.
+        lit: Lit,
+    },
+    /// A claimed model does not cover a variable referenced by the
+    /// formula or the assumptions.
+    ModelTooShort {
+        /// Index of the first uncovered variable.
+        var: usize,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::LearnNotRup { step, clause } => {
+                write!(f, "learnt clause at step {step} is not RUP: {clause:?}")
+            }
+            CertError::EmptyLearnWithoutConflict { step } => write!(
+                f,
+                "empty clause at step {step} but root propagation found no \
+                 conflict"
+            ),
+            CertError::AssumptionsNotRefuted { assumptions } => write!(
+                f,
+                "assumptions not refuted by unit propagation: {assumptions:?}"
+            ),
+            CertError::ClauseFalsified { axiom, clause } => {
+                write!(f, "model falsifies axiom clause #{axiom}: {clause:?}")
+            }
+            CertError::AssumptionFalsified { lit } => {
+                write!(f, "model falsifies assumption {lit}")
+            }
+            CertError::ModelTooShort { var } => {
+                write!(f, "model does not cover variable x{var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Work counters accumulated by a [`Checker`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Axiom clauses admitted.
+    pub axioms: u64,
+    /// Learnt clauses verified (RUP probes that succeeded).
+    pub learns: u64,
+    /// Deletions applied.
+    pub deletions: u64,
+    /// Literals propagated (root fixpoint plus probes).
+    pub propagations: u64,
+}
+
+impl CheckerStats {
+    /// Folds another checker's counters into this one.
+    pub fn merge(&mut self, other: &CheckerStats) {
+        self.axioms += other.axioms;
+        self.learns += other.learns;
+        self.deletions += other.deletions;
+        self.propagations += other.propagations;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CClause {
+    lits: Vec<Lit>,
+    /// Count of literals not currently assigned false. When it reaches 1
+    /// the clause is unit (or satisfied); at 0 it is conflicting.
+    nonfalse: u32,
+    active: bool,
+}
+
+/// An incremental forward RUP checker.
+///
+/// Feed trace steps in order with [`Checker::feed`]; between feeds, call
+/// [`Checker::verify_unsat`] to certify that the formula replayed so far
+/// is unsatisfiable under given assumptions. The checker deliberately uses
+/// a propagation scheme different from the solver's (occurrence lists with
+/// per-clause non-false counters, not watched literals) so the two
+/// implementations do not share failure modes.
+#[derive(Debug, Default)]
+pub struct Checker {
+    clauses: Vec<CClause>,
+    /// `occ[lit.index()]`: clauses containing `lit`.
+    occ: Vec<Vec<u32>>,
+    /// Per-variable truth value: 0 = unassigned, 1 = true, -1 = false.
+    assign: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Root propagation derived the empty clause; everything is implied.
+    contradiction: bool,
+    /// Sorted-and-deduped literal vector → active clause indices, for
+    /// resolving `Delete` steps (the solver mutates literal order in
+    /// place, so deletions match up to permutation only).
+    by_lits: HashMap<Vec<Lit>, Vec<u32>>,
+    /// Steps fed so far (for error positions across incremental feeds).
+    steps_fed: usize,
+    stats: CheckerStats,
+}
+
+impl Checker {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// `true` once root propagation has derived the empty clause: the
+    /// replayed formula is unsatisfiable outright.
+    pub fn contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// The number of trace steps fed so far.
+    pub fn steps_fed(&self) -> usize {
+        self.steps_fed
+    }
+
+    fn ensure_var(&mut self, lit: Lit) {
+        let need = lit.var().index() + 1;
+        if self.assign.len() < need {
+            self.assign.resize(need, 0);
+            self.occ.resize(2 * need, Vec::new());
+        }
+    }
+
+    fn value(&self, lit: Lit) -> i8 {
+        let v = self.assign[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Assigns `lit` true and pushes it on the trail. Returns `false` if
+    /// it was already false (immediate conflict).
+    fn enqueue(&mut self, lit: Lit) -> bool {
+        match self.value(lit) {
+            1 => true,
+            -1 => false,
+            _ => {
+                self.assign[lit.var().index()] =
+                    if lit.is_positive() { 1 } else { -1 };
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Propagates to fixpoint from the current queue head. Returns `true`
+    /// on conflict.
+    ///
+    /// Invariant maintained for [`Checker::undo_to`]: clause counters
+    /// reflect exactly the assignments of `trail[..qhead]` — on conflict
+    /// the partially applied pass for the current literal is rolled back
+    /// before returning, leaving that literal at `qhead`.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let falsified = !self.trail[self.qhead];
+            let mut conflict_at: Option<usize> = None;
+            for idx in 0..self.occ[falsified.index()].len() {
+                let cref = self.occ[falsified.index()][idx] as usize;
+                if !self.clauses[cref].active {
+                    continue;
+                }
+                self.clauses[cref].nonfalse -= 1;
+                match self.clauses[cref].nonfalse {
+                    0 => {
+                        // Only falsified literals are ever decremented, so
+                        // zero non-false means no satisfied literal either.
+                        conflict_at = Some(idx);
+                        break;
+                    }
+                    1 => {
+                        // The counter can overstate: a counted literal may
+                        // already be false but still pending in the queue.
+                        // Scan defensively rather than trusting it.
+                        let unit = self.clauses[cref]
+                            .lits
+                            .iter()
+                            .copied()
+                            .find(|&l| self.value(l) != -1);
+                        match unit {
+                            Some(u) if self.value(u) == 0 => {
+                                let enqueued = self.enqueue(u);
+                                debug_assert!(enqueued);
+                            }
+                            Some(_) => {} // satisfied clause
+                            None => {
+                                conflict_at = Some(idx);
+                                break;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(stop) = conflict_at {
+                for idx in (0..=stop).rev() {
+                    let cref = self.occ[falsified.index()][idx] as usize;
+                    if self.clauses[cref].active {
+                        self.clauses[cref].nonfalse += 1;
+                    }
+                }
+                return true;
+            }
+            self.qhead += 1;
+            self.stats.propagations += 1;
+        }
+        false
+    }
+
+    /// Rolls the trail back to length `mark`, restoring counters.
+    fn undo_to(&mut self, mark: usize) {
+        // Counters were decremented exactly for trail entries whose
+        // occurrence pass completed, i.e. entries before `qhead` (the
+        // `propagate` invariant). Re-increment exactly those.
+        for i in (mark..self.qhead).rev() {
+            let falsified = !self.trail[i];
+            for idx in 0..self.occ[falsified.index()].len() {
+                let cref = self.occ[falsified.index()][idx] as usize;
+                if self.clauses[cref].active {
+                    self.clauses[cref].nonfalse += 1;
+                }
+            }
+        }
+        for &lit in &self.trail[mark..] {
+            self.assign[lit.var().index()] = 0;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+    }
+
+    /// Sorted, deduped literals; `None` for tautologies.
+    fn normalize(lits: &[Lit]) -> Option<Vec<Lit>> {
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.windows(2).any(|w| w[0] == !w[1]) {
+            return None;
+        }
+        Some(sorted)
+    }
+
+    /// Admits a (pre-normalized) clause into the database and runs root
+    /// propagation.
+    fn add_clause(&mut self, lits: Vec<Lit>) {
+        if self.contradiction {
+            return;
+        }
+        for &l in &lits {
+            self.ensure_var(l);
+        }
+        if lits.is_empty() {
+            self.contradiction = true;
+            return;
+        }
+        let nonfalse =
+            lits.iter().filter(|&&l| self.value(l) != -1).count() as u32;
+        let cref = self.clauses.len() as u32;
+        for &l in &lits {
+            self.occ[l.index()].push(cref);
+        }
+        self.by_lits.entry(lits.clone()).or_default().push(cref);
+        self.clauses.push(CClause {
+            lits: lits.clone(),
+            nonfalse,
+            active: true,
+        });
+        match nonfalse {
+            0 => {
+                // All literals false at root (a True literal counts as
+                // non-false, so none is satisfied): conflict.
+                self.contradiction = true;
+            }
+            1 => {
+                let unit = lits
+                    .iter()
+                    .copied()
+                    .find(|&l| self.value(l) != -1)
+                    .expect("one non-false literal");
+                if self.value(unit) == 0 {
+                    let enqueued = self.enqueue(unit);
+                    debug_assert!(enqueued);
+                    if self.propagate() {
+                        self.contradiction = true;
+                    }
+                }
+                // `unit` already true ⇒ clause satisfied, nothing to do.
+            }
+            _ => {}
+        }
+    }
+
+    /// RUP probe: temporarily assume every literal of `assumed` true,
+    /// propagate, report whether a conflict was reached, and undo.
+    fn probes_to_conflict(&mut self, assumed: &[Lit]) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        for &l in assumed {
+            self.ensure_var(l);
+        }
+        let mark = self.trail.len();
+        debug_assert_eq!(self.qhead, mark, "root state is a fixpoint");
+        let mut conflict = false;
+        for &l in assumed {
+            if !self.enqueue(l) {
+                conflict = true;
+                break;
+            }
+        }
+        let conflict = conflict || self.propagate();
+        self.undo_to(mark);
+        conflict
+    }
+
+    /// Replays trace steps in order, verifying each `Learn` step's RUP
+    /// property before admitting it.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::LearnNotRup`] if a learnt clause is not justified by
+    /// the database built so far; [`CertError::EmptyLearnWithoutConflict`]
+    /// if the trace claims outright unsatisfiability the checker cannot
+    /// reproduce.
+    pub fn feed(&mut self, steps: &[ProofStep]) -> Result<(), CertError> {
+        for step in steps {
+            let pos = self.steps_fed;
+            self.steps_fed += 1;
+            match step {
+                ProofStep::Axiom(lits) => {
+                    self.stats.axioms += 1;
+                    if let Some(norm) = Self::normalize(lits) {
+                        self.add_clause(norm);
+                    }
+                }
+                ProofStep::Learn(lits) if lits.is_empty() => {
+                    if !self.contradiction {
+                        return Err(CertError::EmptyLearnWithoutConflict {
+                            step: pos,
+                        });
+                    }
+                }
+                ProofStep::Learn(lits) => {
+                    let negated: Vec<Lit> =
+                        lits.iter().map(|&l| !l).collect();
+                    if !self.probes_to_conflict(&negated) {
+                        return Err(CertError::LearnNotRup {
+                            step: pos,
+                            clause: lits.clone(),
+                        });
+                    }
+                    self.stats.learns += 1;
+                    if let Some(norm) = Self::normalize(lits) {
+                        self.add_clause(norm);
+                    }
+                }
+                ProofStep::Delete(lits) => {
+                    self.delete(lits);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a deletion. Unknown clauses are ignored: deletions only
+    /// ever weaken propagation, so skipping one is sound (the solver also
+    /// deletes nothing the checker relies on for already-derived root
+    /// literals — those stay assigned, as consequences of the axioms).
+    fn delete(&mut self, lits: &[Lit]) {
+        let Some(norm) = Self::normalize(lits) else {
+            return;
+        };
+        let Some(refs) = self.by_lits.get_mut(&norm) else {
+            return;
+        };
+        let Some(cref) = refs.pop() else {
+            return;
+        };
+        if refs.is_empty() {
+            self.by_lits.remove(&norm);
+        }
+        self.clauses[cref as usize].active = false;
+        self.stats.deletions += 1;
+    }
+
+    /// Certifies that the replayed formula is unsatisfiable under
+    /// `assumptions` (empty slice ⇒ unconditionally unsatisfiable): the
+    /// negated-assumption clause must have the RUP property, which covers
+    /// both of the solver's UNSAT return paths — an empty learnt clause in
+    /// the trace, or an assumption literal falsified by propagation.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::AssumptionsNotRefuted`] if assuming every assumption
+    /// and unit-propagating does not conflict.
+    pub fn verify_unsat(
+        &mut self,
+        assumptions: &[Lit],
+    ) -> Result<(), CertError> {
+        if self.probes_to_conflict(assumptions) {
+            Ok(())
+        } else {
+            Err(CertError::AssumptionsNotRefuted {
+                assumptions: assumptions.to_vec(),
+            })
+        }
+    }
+}
+
+/// One-shot certification that `steps` proves unsatisfiability under
+/// `assumptions`. Equivalent to feeding a fresh [`Checker`] the whole
+/// trace and calling [`Checker::verify_unsat`].
+///
+/// # Errors
+///
+/// Any [`CertError`] produced during replay or the final refutation probe.
+pub fn check_unsat_certificate(
+    steps: &[ProofStep],
+    assumptions: &[Lit],
+) -> Result<CheckerStats, CertError> {
+    let mut checker = Checker::new();
+    checker.feed(steps)?;
+    checker.verify_unsat(assumptions)?;
+    Ok(checker.stats())
+}
+
+/// Certifies a SAT answer: `model` (indexed by variable, `true` =
+/// positive) must satisfy every axiom clause of `steps` and every
+/// assumption literal. Learnt clauses are not checked — they are logical
+/// consequences of the axioms, so a model of the axioms satisfies them
+/// (and checking axioms only keeps this sound even against a corrupted
+/// trace). Returns the number of clauses checked.
+///
+/// # Errors
+///
+/// [`CertError::ClauseFalsified`], [`CertError::AssumptionFalsified`], or
+/// [`CertError::ModelTooShort`].
+pub fn check_model(
+    steps: &[ProofStep],
+    assumptions: &[Lit],
+    model: &[bool],
+) -> Result<usize, CertError> {
+    let lit_true = |l: Lit| -> Result<bool, CertError> {
+        model
+            .get(l.var().index())
+            .map(|&b| b == l.is_positive())
+            .ok_or(CertError::ModelTooShort {
+                var: l.var().index(),
+            })
+    };
+    let mut checked = 0usize;
+    for step in steps {
+        let ProofStep::Axiom(lits) = step else {
+            continue;
+        };
+        let mut satisfied = false;
+        for &l in lits {
+            if lit_true(l)? {
+                satisfied = true;
+                break;
+            }
+        }
+        if !satisfied {
+            return Err(CertError::ClauseFalsified {
+                axiom: checked,
+                clause: lits.clone(),
+            });
+        }
+        checked += 1;
+    }
+    for &a in assumptions {
+        if !lit_true(a)? {
+            return Err(CertError::AssumptionFalsified { lit: a });
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_sat::{SolveResult, Solver, Var};
+
+    fn pigeonhole_unsat_solver() -> Solver {
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (a, b) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s
+    }
+
+    #[test]
+    fn certifies_pigeonhole_unsat() {
+        let s = pigeonhole_unsat_solver();
+        let stats =
+            check_unsat_certificate(s.proof().expect("logged").steps(), &[])
+                .expect("valid proof");
+        assert!(stats.learns > 0, "proof exercises conflict analysis");
+    }
+
+    #[test]
+    fn corrupted_proof_is_rejected() {
+        let s = pigeonhole_unsat_solver();
+        let mut steps = s.proof().expect("logged").steps().to_vec();
+        // Replace the first learnt clause with an unjustified unit over a
+        // fresh, unconstrained variable: nothing propagates, no conflict.
+        let fresh = Var::from_index(99).positive();
+        let learn_pos = steps
+            .iter()
+            .position(|st| matches!(st, ProofStep::Learn(l) if !l.is_empty()))
+            .expect("trace has learns");
+        steps[learn_pos] = ProofStep::Learn(vec![fresh]);
+        match check_unsat_certificate(&steps, &[]) {
+            Err(CertError::LearnNotRup { step, clause }) => {
+                assert_eq!(step, learn_pos);
+                assert_eq!(clause, vec![fresh]);
+            }
+            other => panic!("expected LearnNotRup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_axiom_breaks_the_proof() {
+        let s = pigeonhole_unsat_solver();
+        let steps = s.proof().expect("logged").steps();
+        // Removing the final step (the empty clause) must break the
+        // certificate: without it, nothing refutes the empty assumption
+        // set.
+        let truncated = &steps[..steps.len() - 1];
+        // The truncated trace may still be internally consistent, but the
+        // UNSAT claim must fail unless propagation alone conflicts.
+        let mut checker = Checker::new();
+        checker.feed(truncated).expect("prefix is consistent");
+        if !checker.contradiction() {
+            assert!(matches!(
+                checker.verify_unsat(&[]),
+                Err(CertError::AssumptionsNotRefuted { .. })
+            ));
+        }
+        // Dropping an axiom invalidates later learns (or the final empty
+        // clause) — the checker must reject somewhere, not accept.
+        let without_axiom: Vec<ProofStep> = steps
+            .iter()
+            .enumerate()
+            .filter(|(i, st)| {
+                !(matches!(st, ProofStep::Axiom(_)) && *i == 0)
+            })
+            .map(|(_, st)| st.clone())
+            .collect();
+        let mut checker = Checker::new();
+        let fed = checker.feed(&without_axiom);
+        assert!(
+            fed.is_err()
+                || checker.verify_unsat(&[]).is_err()
+                || checker.contradiction(),
+            "either the replay or the final claim must fail, or the \
+             remaining clauses are genuinely UNSAT"
+        );
+    }
+
+    #[test]
+    fn certifies_unsat_under_assumptions_without_solver_logging() {
+        // The solver's assumption-failure return path logs nothing; the
+        // checker's own propagation must close the gap.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let g = s.new_var();
+        s.add_clause(&[g.negative(), x.positive()]);
+        s.add_clause(&[g.negative(), x.negative()]);
+        assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Unsat);
+        let snapshot = s.proof_len();
+        let steps = &s.proof().expect("logged").steps()[..snapshot];
+        check_unsat_certificate(steps, &[g.positive()])
+            .expect("assumption UNSAT certifies");
+        // Without the assumption the formula is satisfiable — the claim
+        // must be rejected, not rubber-stamped.
+        assert!(matches!(
+            check_unsat_certificate(steps, &[]),
+            Err(CertError::AssumptionsNotRefuted { .. })
+        ));
+    }
+
+    #[test]
+    fn certificate_prefix_survives_retirement() {
+        // The activation-literal protocol: the certificate snapshot is
+        // taken before the retirement unit !g is asserted. Replaying the
+        // full trace and probing at the snapshot must still certify, and
+        // the retired trace must NOT certify `g` being assumable (the
+        // vacuity hazard this design avoids).
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let g = s.new_var();
+        s.add_clause(&[g.negative(), x.positive()]);
+        s.add_clause(&[g.negative(), x.negative()]);
+        assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Unsat);
+        let snapshot = s.proof_len();
+        s.add_clause(&[g.negative()]); // retire the check
+        let steps = s.proof().expect("logged").steps();
+        // Prefix check (what the engine does): genuine refutation.
+        check_unsat_certificate(&steps[..snapshot], &[g.positive()])
+            .expect("prefix certifies");
+        // Full-trace check still succeeds but only vacuously (!g is an
+        // axiom), which is why the engine snapshots before retirement.
+        check_unsat_certificate(steps, &[g.positive()])
+            .expect("vacuous but consistent");
+    }
+
+    #[test]
+    fn deletions_are_applied_and_unknown_deletions_ignored() {
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let steps = vec![
+            ProofStep::Axiom(vec![a, b]),
+            ProofStep::Axiom(vec![!a, b]),
+            // (a|b) & (!a|b) ⊨ b by resolution; RUP: assume !b, propagate
+            // !a from clause 1... counters: both clauses become unit on !b.
+            ProofStep::Learn(vec![b]),
+            // Delete in permuted order — must still resolve.
+            ProofStep::Delete(vec![b, a]),
+            // Deleting something never added is ignored, not an error.
+            ProofStep::Delete(vec![!b]),
+            ProofStep::Axiom(vec![!b]),
+        ];
+        let mut checker = Checker::new();
+        checker.feed(&steps).expect("valid");
+        assert_eq!(checker.stats().deletions, 1);
+        // b was learnt, then !b asserted: contradiction at root.
+        assert!(checker.contradiction());
+        checker.verify_unsat(&[]).expect("empty-assumption UNSAT");
+    }
+
+    #[test]
+    fn incremental_feed_equals_one_shot() {
+        let s = pigeonhole_unsat_solver();
+        let steps = s.proof().expect("logged").steps();
+        let one_shot = check_unsat_certificate(steps, &[]).expect("valid");
+        let mut inc = Checker::new();
+        for chunk in steps.chunks(3) {
+            inc.feed(chunk).expect("valid chunk");
+        }
+        inc.verify_unsat(&[]).expect("valid");
+        assert_eq!(inc.stats(), one_shot);
+        assert_eq!(inc.steps_fed(), steps.len());
+    }
+
+    #[test]
+    fn model_check_accepts_and_rejects() {
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[a.negative(), b.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let steps = s.proof().expect("logged").steps();
+        let model = s.model().to_vec();
+        let checked =
+            check_model(steps, &[], &model).expect("model satisfies");
+        assert_eq!(checked, 2);
+        // Corrupt the model: force b false — clause (a|b) or (!a|b) breaks.
+        let mut bad = model.clone();
+        bad[b.index()] = false;
+        assert!(matches!(
+            check_model(steps, &[], &bad),
+            Err(CertError::ClauseFalsified { .. })
+        ));
+        // A model that ignores an assumption is rejected.
+        assert!(matches!(
+            check_model(steps, &[b.negative()], &model),
+            Err(CertError::AssumptionFalsified { .. })
+        ));
+        // A truncated model is rejected, not silently extended.
+        assert!(matches!(
+            check_model(steps, &[], &model[..1]),
+            Err(CertError::ModelTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn random_cnfs_certify_both_ways() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xCE47);
+        for round in 0..200 {
+            let num_vars = rng.gen_range(2..=10usize);
+            let num_clauses = rng.gen_range(1..=30usize);
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        vars[rng.gen_range(0..num_vars)]
+                            .lit(rng.gen_bool(0.5))
+                    })
+                    .collect();
+                s.add_clause(&lits);
+            }
+            let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
+                .map(|_| {
+                    vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5))
+                })
+                .collect();
+            let result = s.solve_with(&assumptions);
+            let snapshot = s.proof_len();
+            let steps = &s.proof().expect("logged").steps()[..snapshot];
+            match result {
+                SolveResult::Unsat => {
+                    check_unsat_certificate(steps, &assumptions)
+                        .unwrap_or_else(|e| {
+                            panic!("round {round}: proof rejected: {e}")
+                        });
+                }
+                SolveResult::Sat => {
+                    check_model(steps, &assumptions, s.model())
+                        .unwrap_or_else(|e| {
+                            panic!("round {round}: model rejected: {e}")
+                        });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # fastpath-cert
+//!
+//! Independent certification of `fastpath-sat` verdicts.
+//!
+//! Every "proven data-oblivious" verdict in the FastPath reproduction rests
+//! on an UNSAT answer from the home-grown CDCL solver. This crate closes
+//! that trust gap: the solver emits a DRUP-style proof trace
+//! ([`fastpath_sat::Proof`]), and this crate replays it with a **forward
+//! unit-propagation RUP checker** that shares *none* of the solver's data
+//! structures — different clause storage, different propagation scheme
+//! (occurrence lists with non-false-literal counters instead of two watched
+//! literals), different assignment representation. A correlated bug would
+//! have to be independently implemented twice to slip through.
+//!
+//! Three checks are offered:
+//!
+//! - [`check_unsat_certificate`] replays a trace prefix and certifies that
+//!   the formula is unsatisfiable under the given assumptions — each
+//!   learnt clause is verified to have the RUP property (assume its
+//!   negation, unit-propagate, reach a conflict) before being admitted,
+//!   so every admitted clause is a logical consequence of the axioms.
+//! - [`check_model`] certifies a SAT answer: the returned assignment must
+//!   satisfy every axiom clause and every assumption.
+//! - [`Checker`] is the incremental form: a long-lived UPEC engine feeds
+//!   each check's new trace steps exactly once, avoiding quadratic
+//!   re-replay across the hundreds of incremental `solve` calls one
+//!   elaborated design produces.
+//!
+//! The [`artifacts`] module renders traces in textual DRUP (and models in
+//! SAT-competition `v`-line format) so external tools such as `drat-trim`
+//! can cross-audit the same certificates.
+//!
+//! # Soundness argument
+//!
+//! The checker admits a `Learn` step only after proving it RUP with
+//! respect to its current database (axioms plus previously admitted
+//! learns, minus applied deletions). By induction every admitted clause is
+//! implied by the axiom set, so a derived contradiction — or a successful
+//! RUP probe of the negated-assumption clause — certifies genuine
+//! unsatisfiability. Deletions can only *weaken* the checker's
+//! propagation; at worst a valid proof fails to check (incompleteness),
+//! never the reverse. Root-level assignments are kept across deletions for
+//! the same reason: they were derived from implied clauses and remain
+//! logical consequences of the axioms.
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+mod checker;
+
+pub use checker::{
+    check_model, check_unsat_certificate, CertError, Checker, CheckerStats,
+};

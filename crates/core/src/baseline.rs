@@ -7,9 +7,10 @@
 //! each confirmed vulnerability counts toward the effort metric. The gap
 //! between this count and FastPath's is exactly Table I's "Reduction".
 
-use crate::flow::FlowContext;
+use crate::flow::{FlowContext, FlowOptions};
 use crate::report::{
-    CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
+    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage,
+    Verdict,
 };
 use crate::study::CaseStudy;
 use crate::witness::WitnessReplay;
@@ -20,7 +21,20 @@ use std::time::Instant;
 
 /// Runs the formal-only UPEC-DIT baseline on a case study.
 pub fn run_baseline(study: &CaseStudy) -> FlowReport {
+    run_baseline_with(study, FlowOptions::default())
+}
+
+/// Runs the baseline with options. Only the certification switches of
+/// [`FlowOptions`] apply — the baseline has no structural or simulation
+/// stage to ablate.
+pub fn run_baseline_with(
+    study: &CaseStudy,
+    options: FlowOptions,
+) -> FlowReport {
     let mut ctx = FlowContext::new(study);
+    if options.certify {
+        ctx.certification = Some(CertificationSummary::default());
+    }
     let mut instance = &study.instance;
     let mut fixed_used = false;
 
@@ -41,6 +55,15 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
         // iteration below (spec growth included).
         let t0 = Instant::now();
         let mut upec = Upec2Safety::new(module, &UpecSpec::default());
+        if options.certify {
+            upec.enable_certification();
+            if let Some(dir) = &options.dump_artifacts {
+                upec.set_artifact_output(
+                    dir.clone(),
+                    format!("{}_baseline_", module.name()),
+                );
+            }
+        }
         upec.elaborate();
         ctx.timings.formal_elaboration += t0.elapsed();
 
@@ -70,9 +93,21 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                 // stable is the full property (including the attacker
                 // -observable outputs) concluded.
                 let t0 = Instant::now();
-                let mut outcome = upec.check_state_only(&z_vec);
+                let mut outcome = if ctx.certification.is_some() {
+                    let certified = upec.check_state_only_certified(&z_vec);
+                    ctx.record_certificate(&certified);
+                    certified.outcome
+                } else {
+                    upec.check_state_only(&z_vec)
+                };
                 if outcome.holds() {
-                    outcome = upec.check(&z_vec);
+                    outcome = if ctx.certification.is_some() {
+                        let certified = upec.check_certified(&z_vec);
+                        ctx.record_certificate(&certified);
+                        certified.outcome
+                    } else {
+                        upec.check(&z_vec)
+                    };
                 }
                 ctx.timings.formal_checks += t0.elapsed();
                 ctx.timings.check_count += 1;
@@ -108,6 +143,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
                     UpecOutcome::Counterexample(cex) => cex,
                 };
 
+                ctx.confirm_replay(module, instance, &active_cond_eqs, &cex);
                 let replay = WitnessReplay::new(module, &cex);
 
                 if let Some(ii) = instance
@@ -264,5 +300,29 @@ mod tests {
         assert_eq!(base.manual_inspections, 6);
         assert_eq!(fast.manual_inspections, 0);
         assert_eq!(effort_reduction(&base, &fast), 100.0);
+    }
+
+    #[test]
+    fn certified_baseline_replays_every_counterexample() {
+        use crate::flow::FlowOptions;
+        let study = wide_datapath();
+        let report = run_baseline_with(
+            &study,
+            FlowOptions {
+                certify: true,
+                ..FlowOptions::default()
+            },
+        );
+        assert_eq!(report.verdict, Verdict::DataOblivious);
+        let cert = report.certification.expect("certification requested");
+        assert!(cert.fully_certified(), "{:?}", cert.failures);
+        // Every divergence the baseline inspected was replayed concretely.
+        assert!(cert.counterexamples_replayed >= 1);
+        assert!(cert.stats.sat_models >= 1, "{:?}", cert.stats);
+        assert!(
+            cert.stats.unsat_proofs + cert.stats.trivial_unsat >= 1,
+            "{:?}",
+            cert.stats
+        );
     }
 }

@@ -24,26 +24,29 @@
 //! The formal-only baseline of [22] is in [`run_baseline`](crate::run_baseline).
 
 use crate::report::{
-    CompletionMethod, FlowEvent, FlowReport, Stage, StageTimings, Verdict,
+    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage,
+    StageTimings, Verdict,
 };
 use crate::study::{CaseStudy, DesignInstance};
-use crate::witness::WitnessReplay;
+use crate::witness::{confirm_counterexample, WitnessReplay};
 use fastpath_formal::{
-    ElaborationStats, Upec2Safety, UpecOutcome, UpecSpec,
+    CertifiedOutcome, ElaborationStats, Upec2Safety, UpecCounterexample,
+    UpecOutcome, UpecSpec,
 };
 use fastpath_hfg::{extract_hfg, PathQuery};
-use fastpath_rtl::{Module, SignalId};
+use fastpath_rtl::{ExprId, Module, SignalId};
 use fastpath_sat::SolverStats;
 use fastpath_sim::{IftReport, IftSimulation, RandomTestbench};
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::time::Instant;
 
-/// Ablation switches for [`run_fastpath_with`].
+/// Ablation and certification switches for [`run_fastpath_with`].
 ///
 /// Disabling a stage removes its contribution while keeping the rest of
 /// the flow intact — the `flow_ablation` benchmarks quantify what each
 /// stage buys.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowOptions {
     /// Skip the structural early-exit check (Sec. IV-A).
     pub skip_hfg: bool,
@@ -51,6 +54,16 @@ pub struct FlowOptions {
     /// original UPEC-DIT (constraint/policy derivation then happens purely
     /// on formal counterexamples).
     pub skip_ift_seeding: bool,
+    /// Independently certify every UPEC verdict: UNSAT answers are
+    /// replayed through the `fastpath-cert` RUP proof checker, SAT
+    /// answers are model-checked and the counterexample is reproduced by
+    /// concrete simulation. The report then carries a
+    /// [`CertificationSummary`].
+    pub certify: bool,
+    /// With [`certify`](Self::certify), also dump each check's DIMACS
+    /// formula plus its DRUP proof or model into this directory, in
+    /// formats external checkers such as `drat-trim` consume.
+    pub dump_artifacts: Option<PathBuf>,
 }
 
 /// Runs the complete FastPath flow on a case study.
@@ -64,6 +77,9 @@ pub fn run_fastpath_with(
     options: FlowOptions,
 ) -> FlowReport {
     let mut ctx = FlowContext::new(study);
+    if options.certify {
+        ctx.certification = Some(CertificationSummary::default());
+    }
     let mut instance = &study.instance;
     let mut fixed_used = false;
 
@@ -165,6 +181,15 @@ pub fn run_fastpath_with(
                         let t0 = Instant::now();
                         let mut engine =
                             Upec2Safety::new(module, &UpecSpec::default());
+                        if options.certify {
+                            engine.enable_certification();
+                            if let Some(dir) = &options.dump_artifacts {
+                                engine.set_artifact_output(
+                                    dir.clone(),
+                                    format!("{}_fastpath_", module.name()),
+                                );
+                            }
+                        }
                         engine.elaborate();
                         ctx.timings.formal_elaboration += t0.elapsed();
                         upec.insert(engine)
@@ -193,7 +218,13 @@ pub fn run_fastpath_with(
                     let z_vec: Vec<SignalId> =
                         z_prime.iter().copied().collect();
                     let t0 = Instant::now();
-                    let outcome = engine.check(&z_vec);
+                    let outcome = if ctx.certification.is_some() {
+                        let certified = engine.check_certified(&z_vec);
+                        ctx.record_certificate(&certified);
+                        certified.outcome
+                    } else {
+                        engine.check(&z_vec)
+                    };
                     ctx.timings.formal_checks += t0.elapsed();
                     ctx.timings.check_count += 1;
                     ctx.events.push(FlowEvent::UpecCheck {
@@ -230,6 +261,12 @@ pub fn run_fastpath_with(
                         UpecOutcome::Counterexample(cex) => cex,
                     };
 
+                    ctx.confirm_replay(
+                        module,
+                        instance,
+                        &active_cond_eqs,
+                        &cex,
+                    );
                     let replay = WitnessReplay::new(module, &cex);
 
                     // (1) Spurious counterexample? Add an invariant.
@@ -368,6 +405,7 @@ pub(crate) struct FlowContext {
     pub(crate) invariants_added: Vec<String>,
     pub(crate) solver_stats: SolverStats,
     pub(crate) elaboration: ElaborationStats,
+    pub(crate) certification: Option<CertificationSummary>,
 }
 
 enum SimStageResult {
@@ -389,6 +427,7 @@ impl FlowContext {
             invariants_added: Vec::new(),
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
+            certification: None,
         }
     }
 
@@ -401,6 +440,53 @@ impl FlowContext {
         if let Some(engine) = engine {
             self.solver_stats.merge(&engine.solver_stats());
             self.elaboration.merge(&engine.elaboration_stats());
+            if let (Some(summary), Some(stats)) =
+                (self.certification.as_mut(), engine.cert_stats())
+            {
+                summary.stats.merge(&stats);
+            }
+        }
+    }
+
+    /// Records a certificate rejection (the counters themselves live in
+    /// the engine and are folded in by [`absorb_engine`](Self::absorb_engine)).
+    pub(crate) fn record_certificate(&mut self, outcome: &CertifiedOutcome) {
+        if let (Some(summary), Err(e)) =
+            (self.certification.as_mut(), &outcome.certificate)
+        {
+            summary.failures.push(format!(
+                "{}: certificate rejected: {e}",
+                self.design
+            ));
+        }
+    }
+
+    /// Replays a counterexample through concrete simulation when
+    /// certification is on, recording the result.
+    pub(crate) fn confirm_replay(
+        &mut self,
+        module: &Module,
+        instance: &DesignInstance,
+        active_cond_eqs: &[usize],
+        cex: &UpecCounterexample,
+    ) {
+        let Some(summary) = self.certification.as_mut() else {
+            return;
+        };
+        // The engine's spec holds the conditional equalities in exactly
+        // the order they were activated.
+        let in_force: Vec<(ExprId, SignalId)> = active_cond_eqs
+            .iter()
+            .map(|&i| {
+                let ce = &instance.cond_eqs[i];
+                (ce.cond, ce.signal)
+            })
+            .collect();
+        summary.counterexamples_replayed += 1;
+        if let Err(e) = confirm_counterexample(module, &in_force, cex) {
+            summary
+                .failures
+                .push(format!("{}: replay mismatch: {e}", self.design));
         }
     }
 
@@ -441,6 +527,7 @@ impl FlowContext {
             timings: self.timings,
             solver_stats: self.solver_stats,
             elaboration: self.elaboration,
+            certification: self.certification,
         }
     }
 
@@ -729,6 +816,34 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, FlowEvent::FixedPoint)));
+    }
+
+    #[test]
+    fn certified_flow_validates_every_verdict() {
+        let report = run_fastpath_with(
+            &constrained_case(),
+            FlowOptions {
+                certify: true,
+                ..FlowOptions::default()
+            },
+        );
+        assert_eq!(
+            report.verdict,
+            Verdict::ConstrainedDataOblivious(vec![
+                "debug_mode_disabled".into()
+            ])
+        );
+        let cert = report.certification.expect("certification requested");
+        assert!(cert.fully_certified(), "{:?}", cert.failures);
+        assert!(cert.stats.certified_checks >= 1);
+        assert_eq!(
+            cert.stats.certified_checks,
+            report.timings.check_count,
+            "every check must be certified"
+        );
+        // Without certification the report must not pretend otherwise.
+        let plain = run_fastpath(&constrained_case());
+        assert!(plain.certification.is_none());
     }
 
     /// Vulnerable design with a fixed variant: flow confirms the leak,

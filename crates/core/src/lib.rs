@@ -62,15 +62,15 @@ mod report;
 mod study;
 mod witness;
 
-pub use baseline::run_baseline;
+pub use baseline::{run_baseline, run_baseline_with};
 pub use flow::{run_fastpath, run_fastpath_with, FlowOptions};
 pub use pairwise::{DynamicPairwise, PairResult, PairwiseAnalysis};
 pub use report::{
-    effort_reduction, CompletionMethod, FlowEvent, FlowReport, Stage,
-    StageTimings, Verdict,
+    effort_reduction, CertificationSummary, CompletionMethod, FlowEvent,
+    FlowReport, Stage, StageTimings, Verdict,
 };
 pub use study::{
     CaseStudy, DesignInstance, NamedCondEq, NamedPredicate,
     TestbenchRestriction,
 };
-pub use witness::{settle_env, WitnessReplay};
+pub use witness::{confirm_counterexample, settle_env, WitnessReplay};

@@ -1,6 +1,6 @@
 //! Verdicts, flow events, and verification reports.
 
-use fastpath_formal::ElaborationStats;
+use fastpath_formal::{CertStats, ElaborationStats};
 use fastpath_rtl::SignalId;
 use fastpath_sat::SolverStats;
 use std::fmt;
@@ -137,6 +137,40 @@ pub struct StageTimings {
     pub check_count: u64,
 }
 
+/// Certification results accumulated over one flow (or baseline) run.
+///
+/// Present in a [`FlowReport`] only when the run was started with
+/// certification enabled. A run is *fully certified* when every UPEC
+/// verdict was independently validated — every UNSAT answer by a RUP
+/// proof replay, every SAT answer by a model check — **and** every
+/// counterexample the flow acted on was reproduced by concrete
+/// simulation.
+#[derive(Clone, Debug, Default)]
+pub struct CertificationSummary {
+    /// Per-check certification counters, folded across every UPEC engine
+    /// of the run (the fixed design variant included).
+    pub stats: CertStats,
+    /// Counterexamples replayed through the concrete simulator.
+    pub counterexamples_replayed: u64,
+    /// Human-readable descriptions of every certificate rejection or
+    /// replay mismatch. Empty on a fully certified run.
+    pub failures: Vec<String>,
+}
+
+impl CertificationSummary {
+    /// `true` iff every verdict and counterexample was validated.
+    pub fn fully_certified(&self) -> bool {
+        self.stats.cert_failures == 0 && self.failures.is_empty()
+    }
+
+    /// Folds another run's counters into this one.
+    pub fn merge(&mut self, other: &CertificationSummary) {
+        self.stats.merge(&other.stats);
+        self.counterexamples_replayed += other.counterexamples_replayed;
+        self.failures.extend(other.failures.iter().cloned());
+    }
+}
+
 /// The result of running the FastPath flow (or the formal-only baseline)
 /// on one case study.
 #[derive(Clone, Debug)]
@@ -174,6 +208,8 @@ pub struct FlowReport {
     /// Elaboration-cache effectiveness across every UPEC engine of the
     /// run (AIG node construction avoided by the cached frame template).
     pub elaboration: ElaborationStats,
+    /// Certification results (`None` unless the run certified verdicts).
+    pub certification: Option<CertificationSummary>,
 }
 
 impl FlowReport {
@@ -229,6 +265,7 @@ mod tests {
             timings: StageTimings::default(),
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
+            certification: None,
         }
     }
 
@@ -237,6 +274,21 @@ mod tests {
         assert_eq!(effort_reduction(&dummy(33), &dummy(0)), 100.0);
         assert!((effort_reduction(&dummy(12), &dummy(3)) - 75.0).abs() < 1e-9);
         assert_eq!(effort_reduction(&dummy(0), &dummy(0)), 0.0);
+    }
+
+    #[test]
+    fn certification_summary_merges_and_reports_status() {
+        let mut a = CertificationSummary::default();
+        assert!(a.fully_certified());
+        a.stats.certified_checks = 3;
+        a.counterexamples_replayed = 2;
+        let mut b = CertificationSummary::default();
+        b.stats.certified_checks = 1;
+        b.failures.push("replay mismatch".into());
+        a.merge(&b);
+        assert_eq!(a.stats.certified_checks, 4);
+        assert_eq!(a.counterexamples_replayed, 2);
+        assert!(!a.fully_certified());
     }
 
     #[test]

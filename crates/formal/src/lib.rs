@@ -48,11 +48,13 @@ mod aig;
 mod aiger;
 mod blast;
 mod bmc;
+mod certify;
 mod tseitin;
 mod upec;
 mod words;
 
 pub use aig::{Aig, AigLit};
+pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
 pub use aiger::to_aiger;
 pub use blast::{
     build_frame, build_frame_with_leaves, blast_expr_in_frame, next_state,

@@ -6,7 +6,7 @@
 //! relies on this for its incremental fixed-point loop).
 
 use crate::aig::{Aig, AigLit};
-use fastpath_sat::{Lit, SolveResult, Solver, Var};
+use fastpath_sat::{Lit, Proof, SolveResult, Solver, Var};
 
 /// An incremental AIG→CNF encoder wrapping a [`Solver`].
 #[derive(Debug, Default)]
@@ -24,6 +24,29 @@ impl CnfEncoder {
     /// Access to the underlying solver (e.g. for statistics).
     pub fn solver(&self) -> &Solver {
         &self.solver
+    }
+
+    /// Turns on DRUP proof logging on the underlying solver. Must be
+    /// called before anything is encoded (see
+    /// [`fastpath_sat::Solver::enable_proof_logging`]).
+    pub fn enable_proof_logging(&mut self) {
+        self.solver.enable_proof_logging();
+    }
+
+    /// The solver's proof trace, if logging is enabled.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.solver.proof()
+    }
+
+    /// The current proof-trace length (0 when logging is disabled).
+    pub fn proof_len(&self) -> usize {
+        self.solver.proof_len()
+    }
+
+    /// The raw SAT model of the most recent satisfiable solve, indexed by
+    /// solver variable.
+    pub fn model(&self) -> &[bool] {
+        self.solver.model()
     }
 
     /// Allocates a fresh, unconstrained SAT variable (for selectors etc.).

@@ -54,12 +54,15 @@
 
 use crate::aig::{Aig, AigLit};
 use crate::blast::{build_frame_with_leaves, next_state, Frame};
+use crate::certify::{CertStats, CertifiedOutcome, CheckCertificate};
 use crate::tseitin::CnfEncoder;
 use crate::words::eq_word;
+use fastpath_cert::{artifacts, CertError, Checker};
 use fastpath_rtl::{
     BitVec, ExprId, Module, SignalId, SignalKind, SignalRole,
 };
-use fastpath_sat::{Lit, SolveResult, SolverStats};
+use fastpath_sat::{Cnf, Lit, SolveResult, SolverStats};
+use std::path::PathBuf;
 
 /// Declarative inputs to the 2-safety model beyond the module itself.
 #[derive(Clone, Debug, Default)]
@@ -180,6 +183,38 @@ impl std::ops::AddAssign for ElaborationStats {
     }
 }
 
+/// Live certification state: the incremental checker plus accumulated
+/// counters. The checker consumes each new slice of the solver's proof
+/// trace exactly once (`consumed` marks progress), so certifying a
+/// refinement loop's many checks on one long-lived solver stays linear in
+/// the trace instead of quadratic.
+#[derive(Debug)]
+struct CertState {
+    checker: Checker,
+    /// Trace steps already fed to `checker`.
+    consumed: usize,
+    /// Accumulated counters; `stats.checker` holds only the counters of
+    /// checkers already discarded by fresh-mode resets — the live
+    /// checker's are folded in on read.
+    stats: CertStats,
+    /// Where to write per-check DIMACS + proof/model artifacts, if
+    /// requested.
+    artifact_dir: Option<PathBuf>,
+    artifact_prefix: String,
+}
+
+impl CertState {
+    fn new() -> Self {
+        CertState {
+            checker: Checker::new(),
+            consumed: 0,
+            stats: CertStats::default(),
+            artifact_dir: None,
+            artifact_prefix: String::new(),
+        }
+    }
+}
+
 /// The `Z'`-independent half of the 2-safety model, elaborated once.
 #[derive(Debug)]
 struct Template {
@@ -237,6 +272,8 @@ pub struct Upec2Safety<'m> {
     /// Elaboration counters of AIGs discarded by fresh-mode resets, plus
     /// node accounting for the live AIG.
     elab: ElaborationStats,
+    /// Independent certification, when enabled.
+    cert: Option<CertState>,
 }
 
 impl<'m> Upec2Safety<'m> {
@@ -269,7 +306,67 @@ impl<'m> Upec2Safety<'m> {
             checks: 0,
             stats_at_reset: SolverStats::default(),
             elab: ElaborationStats::default(),
+            cert: None,
         }
+    }
+
+    /// Turns on independent certification: the solver logs a DRUP-style
+    /// proof trace and every subsequent check's verdict is replayed
+    /// through the `fastpath-cert` checker (see
+    /// [`check_certified`](Self::check_certified)). Plain
+    /// [`check`](Self::check) calls also certify internally once enabled,
+    /// so [`cert_stats`](Self::cert_stats) covers them too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any check has already run — the trace must cover the
+    /// whole formula.
+    pub fn enable_certification(&mut self) {
+        assert_eq!(
+            self.checks, 0,
+            "certification must be enabled before the first check"
+        );
+        if self.cert.is_none() {
+            self.encoder.enable_proof_logging();
+            self.cert = Some(CertState::new());
+        }
+    }
+
+    /// `true` once [`enable_certification`](Self::enable_certification)
+    /// has been called.
+    pub fn certification_enabled(&self) -> bool {
+        self.cert.is_some()
+    }
+
+    /// Requests per-check artifact dumps: each certified check writes
+    /// `{prefix}check{N}.cnf` (the exact DIMACS formula solved, with the
+    /// activation assumption as a unit) plus `.drup` (UNSAT) or `.model`
+    /// (SAT) into `dir`, in formats external checkers such as `drat-trim`
+    /// consume. Trivially-UNSAT checks solve nothing and dump nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if certification is not enabled.
+    pub fn set_artifact_output(
+        &mut self,
+        dir: PathBuf,
+        prefix: impl Into<String>,
+    ) {
+        let cert = self
+            .cert
+            .as_mut()
+            .expect("artifact output requires enable_certification()");
+        cert.artifact_dir = Some(dir);
+        cert.artifact_prefix = prefix.into();
+    }
+
+    /// Accumulated certification counters, if certification is enabled.
+    pub fn cert_stats(&self) -> Option<CertStats> {
+        self.cert.as_ref().map(|cert| {
+            let mut stats = cert.stats;
+            stats.checker.merge(&cert.checker.stats());
+            stats
+        })
     }
 
     /// The engine's elaboration mode.
@@ -349,7 +446,7 @@ impl<'m> Upec2Safety<'m> {
     /// `z_prime` differs at `t+1` and no control output differs during
     /// `[t, t+1]`.
     pub fn check(&mut self, z_prime: &[SignalId]) -> UpecOutcome {
-        self.check_internal(z_prime, true)
+        self.check_internal(z_prime, true).0
     }
 
     /// Like [`check`](Self::check) but only monitors the `Z'` next-state
@@ -358,7 +455,42 @@ impl<'m> Upec2Safety<'m> {
     /// discovery order before concluding anything about the outputs; the
     /// formal-only baseline uses this mode for its inner iterations.
     pub fn check_state_only(&mut self, z_prime: &[SignalId]) -> UpecOutcome {
-        self.check_internal(z_prime, false)
+        self.check_internal(z_prime, false).0
+    }
+
+    /// [`check`](Self::check) with its verdict independently certified.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless
+    /// [`enable_certification`](Self::enable_certification) was called.
+    pub fn check_certified(
+        &mut self,
+        z_prime: &[SignalId],
+    ) -> CertifiedOutcome {
+        let (outcome, certificate) = self.check_internal(z_prime, true);
+        CertifiedOutcome {
+            outcome,
+            certificate: certificate.expect("certification enabled"),
+        }
+    }
+
+    /// [`check_state_only`](Self::check_state_only) with its verdict
+    /// independently certified.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless
+    /// [`enable_certification`](Self::enable_certification) was called.
+    pub fn check_state_only_certified(
+        &mut self,
+        z_prime: &[SignalId],
+    ) -> CertifiedOutcome {
+        let (outcome, certificate) = self.check_internal(z_prime, false);
+        CertifiedOutcome {
+            outcome,
+            certificate: certificate.expect("certification enabled"),
+        }
     }
 
     /// Discards all cached state (fresh-mode per-check amnesia), folding
@@ -372,6 +504,14 @@ impl<'m> Upec2Safety<'m> {
         self.template = None;
         self.f0_constraints = 0;
         self.f0_invariants = 0;
+        if let Some(cert) = &mut self.cert {
+            // A fresh solver means a fresh trace: fold the outgoing
+            // checker's counters and start a matching fresh checker.
+            cert.stats.checker.merge(&cert.checker.stats());
+            cert.checker = Checker::new();
+            cert.consumed = 0;
+            self.encoder.enable_proof_logging();
+        }
     }
 
     /// Elaborates the `Z'`-independent template if it does not exist yet,
@@ -468,7 +608,7 @@ impl<'m> Upec2Safety<'m> {
         &mut self,
         z_prime: &[SignalId],
         include_outputs: bool,
-    ) -> UpecOutcome {
+    ) -> (UpecOutcome, Option<Result<CheckCertificate, CertError>>) {
         self.checks += 1;
         if self.mode == ElaborationMode::Fresh {
             self.reset();
@@ -674,11 +814,96 @@ impl<'m> Upec2Safety<'m> {
                 })
             }
         };
+        // Certify BEFORE retiring: the retirement unit ¬g would make the
+        // refutation of `g` vacuous. The certificate prefix is delimited
+        // by the trace length right after the solve.
+        let certificate = if self.cert.is_some() {
+            let trivial = monitored.len() == 1;
+            let sat = matches!(result, UpecOutcome::Counterexample(_));
+            Some(self.certify_check(trivial, sat, g))
+        } else {
+            None
+        };
         // Retire this check: the unit clause ¬g permanently satisfies all
         // of its guarded obligations, while everything the solver learned
         // (implied by the clause database alone) carries over.
-        encoder.add_clause(&[ng]);
-        result
+        self.encoder.add_clause(&[ng]);
+        (result, certificate)
+    }
+
+    /// Certifies the check that just solved: feed the checker the trace
+    /// slice this check appended, then validate the verdict — a RUP
+    /// refutation of the activation literal for UNSAT, a model evaluation
+    /// for SAT. Writes external-checker artifacts if requested.
+    fn certify_check(
+        &mut self,
+        trivial: bool,
+        sat: bool,
+        g: Lit,
+    ) -> Result<CheckCertificate, CertError> {
+        let cert = self.cert.as_mut().expect("certification enabled");
+        let proof = self.encoder.proof().expect("proof logging on");
+        let snapshot = proof.len();
+        let steps = proof.steps();
+        cert.stats.certified_checks += 1;
+        let verdict = cert
+            .checker
+            .feed(&steps[cert.consumed..snapshot])
+            .and_then(|()| {
+                if trivial {
+                    cert.stats.trivial_unsat += 1;
+                    Ok(CheckCertificate::TrivialUnsat)
+                } else if sat {
+                    let clauses = fastpath_cert::check_model(
+                        &steps[..snapshot],
+                        &[g],
+                        self.encoder.model(),
+                    )?;
+                    cert.stats.sat_models += 1;
+                    Ok(CheckCertificate::SatModel { clauses })
+                } else {
+                    cert.checker.verify_unsat(&[g])?;
+                    cert.stats.unsat_proofs += 1;
+                    Ok(CheckCertificate::UnsatProof { steps: snapshot })
+                }
+            });
+        cert.consumed = snapshot;
+        if verdict.is_err() {
+            cert.stats.cert_failures += 1;
+        }
+        if let Some(dir) = &cert.artifact_dir {
+            // Rejected certificates are dumped too — that is exactly when
+            // an external cross-audit matters most.
+            if !trivial {
+                let index = cert.stats.certified_checks;
+                let base = dir.join(format!(
+                    "{}check{:04}",
+                    cert.artifact_prefix, index
+                ));
+                let cnf =
+                    Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
+                let (path, payload) = if sat {
+                    (
+                        base.with_extension("model"),
+                        artifacts::model_to_text(self.encoder.model()),
+                    )
+                } else {
+                    (
+                        base.with_extension("drup"),
+                        artifacts::proof_to_drup(&steps[..snapshot], &[g]),
+                    )
+                };
+                let wrote = std::fs::create_dir_all(dir).and_then(|()| {
+                    std::fs::write(base.with_extension("cnf"), cnf)?;
+                    std::fs::write(path, payload)
+                });
+                match wrote {
+                    Ok(()) => cert.stats.artifacts_written += 1,
+                    Err(_) => cert.stats.artifact_failures += 1,
+                }
+            }
+        }
+        verdict
     }
 }
 
@@ -904,6 +1129,146 @@ mod tests {
         };
         let mut upec = Upec2Safety::new(&module, &spec);
         assert!(upec.check(&[state_id]).holds());
+    }
+
+    #[test]
+    fn certified_checks_validate_in_both_modes() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        for mode in [ElaborationMode::Cached, ElaborationMode::Fresh] {
+            let mut upec =
+                Upec2Safety::with_mode(&m, &UpecSpec::default(), mode);
+            upec.enable_certification();
+            let holds = upec.check_certified(&[cnt]);
+            assert!(holds.outcome.holds(), "{mode:?}");
+            assert!(
+                matches!(
+                    holds.certificate,
+                    Ok(CheckCertificate::UnsatProof { .. })
+                        | Ok(CheckCertificate::TrivialUnsat)
+                ),
+                "{mode:?}: {:?}",
+                holds.certificate
+            );
+            let cex = upec.check_certified(&[acc, cnt]);
+            assert!(!cex.outcome.holds(), "{mode:?}");
+            assert!(
+                matches!(
+                    cex.certificate,
+                    Ok(CheckCertificate::SatModel { .. })
+                ),
+                "{mode:?}: {:?}",
+                cex.certificate
+            );
+            // A third check on the same engine: retirement of the earlier
+            // guards must not leak vacuity into later certificates.
+            let again = upec.check_certified(&[cnt]);
+            assert!(again.outcome.holds(), "{mode:?}");
+            assert!(again.is_certified(), "{mode:?}");
+            let stats = upec.cert_stats().expect("enabled");
+            assert_eq!(stats.certified_checks, 3, "{mode:?}");
+            assert_eq!(stats.cert_failures, 0, "{mode:?}");
+            assert_eq!(stats.sat_models, 1, "{mode:?}");
+        }
+    }
+
+    /// The modal design: leaks only when `mode == 1`. Returns the module
+    /// and the `mode == 0` software-constraint expression.
+    fn modal() -> (Module, ExprId) {
+        let mut b = ModuleBuilder::new("modal");
+        let mode = b.control_input("mode", 1);
+        let data = b.data_input("data", 4);
+        let d = b.sig(data);
+        let acc = b.reg("acc", 4, 0);
+        let a = b.sig(acc);
+        b.set_next(acc, d).expect("drive");
+        let m_sig = b.sig(mode);
+        let zero = b.lit(4, 0);
+        let acc_or_zero = b.mux(m_sig, a, zero);
+        let leak_bit = b.red_or(acc_or_zero);
+        b.control_output("leak", leak_bit);
+        let mode_off = b.eq_lit(m_sig, 0);
+        (b.build().expect("valid"), mode_off)
+    }
+
+    #[test]
+    fn certified_spec_growth_with_constraint() {
+        // The modal design with certification on while the spec grows
+        // mid-engine.
+        let (module, mode_off) = modal();
+        let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
+        upec.enable_certification();
+        let leaky = upec.check_certified(&[]);
+        assert!(!leaky.outcome.holds());
+        assert!(leaky.is_certified(), "{:?}", leaky.certificate);
+        upec.add_software_constraint(mode_off);
+        let fixed = upec.check_certified(&[]);
+        assert!(fixed.outcome.holds());
+        assert!(fixed.is_certified(), "{:?}", fixed.certificate);
+        let stats = upec.cert_stats().expect("enabled");
+        assert_eq!(stats.cert_failures, 0);
+        assert_eq!(stats.sat_models, 1);
+        assert!(stats.unsat_proofs + stats.trivial_unsat == 1);
+    }
+
+    #[test]
+    fn state_only_empty_partition_is_trivially_certified() {
+        let m = oblivious();
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.enable_certification();
+        let out = upec.check_state_only_certified(&[]);
+        assert!(out.outcome.holds());
+        assert_eq!(out.certificate, Ok(CheckCertificate::TrivialUnsat));
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_dimacs() {
+        let (module, mode_off) = modal();
+        let dir = std::env::temp_dir().join(format!(
+            "fastpath_cert_artifacts_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
+        upec.enable_certification();
+        upec.set_artifact_output(dir.clone(), "modal_");
+        // Check 1: unconstrained, leaks — a SAT verdict with a model dump.
+        assert!(!upec.check_certified(&[]).outcome.holds());
+        // Check 2: constrained, holds — an UNSAT verdict with a DRUP dump.
+        upec.add_software_constraint(mode_off);
+        assert!(upec.check_certified(&[]).outcome.holds());
+        let stats = upec.cert_stats().expect("enabled");
+        assert_eq!(stats.artifacts_written, 2);
+        assert_eq!(stats.artifact_failures, 0);
+        // Check 1 (SAT): CNF satisfiable, model file alongside.
+        let cnf1 = std::fs::read_to_string(dir.join("modal_check0001.cnf"))
+            .expect("cnf written");
+        let parsed =
+            fastpath_sat::parse_dimacs(&cnf1).expect("valid DIMACS");
+        assert_eq!(
+            parsed.into_solver().solve(),
+            fastpath_sat::SolveResult::Sat
+        );
+        let model = std::fs::read_to_string(
+            dir.join("modal_check0001.model"),
+        )
+        .expect("model written");
+        assert!(model.starts_with('v') && model.trim_end().ends_with('0'));
+        // Check 2 (UNSAT): the dumped CNF must be unsatisfiable on its
+        // own — the activation assumption is baked in as a unit — and the
+        // DRUP proof must be checkable against exactly that CNF.
+        let cnf2 = std::fs::read_to_string(dir.join("modal_check0002.cnf"))
+            .expect("cnf written");
+        let parsed =
+            fastpath_sat::parse_dimacs(&cnf2).expect("valid DIMACS");
+        assert_eq!(
+            parsed.into_solver().solve(),
+            fastpath_sat::SolveResult::Unsat,
+            "dumped UNSAT instance must reproduce externally"
+        );
+        assert!(dir.join("modal_check0002.drup").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

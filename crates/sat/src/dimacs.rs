@@ -1,5 +1,6 @@
 //! DIMACS CNF parsing and printing, for interoperability and debugging.
 
+use crate::proof::ProofStep;
 use crate::solver::Solver;
 use crate::types::{Lit, Var};
 use std::error::Error;
@@ -15,6 +16,31 @@ pub struct Cnf {
 }
 
 impl Cnf {
+    /// Builds the exact CNF a proof-logging solver holds: every
+    /// [`ProofStep::Axiom`] in `steps` verbatim — including incremental
+    /// additions such as asserted activation-literal units — plus one unit
+    /// clause per literal of `assumptions`. The variable count covers
+    /// every referenced variable, so `to_dimacs` output round-trips and
+    /// matches what was actually solved.
+    pub fn from_steps(steps: &[ProofStep], assumptions: &[Lit]) -> Cnf {
+        let mut clauses: Vec<Vec<Lit>> = steps
+            .iter()
+            .filter_map(|s| match s {
+                ProofStep::Axiom(lits) => Some(lits.clone()),
+                _ => None,
+            })
+            .collect();
+        clauses.extend(assumptions.iter().map(|&a| vec![a]));
+        let num_vars = steps
+            .iter()
+            .flat_map(|s| s.lits())
+            .chain(assumptions)
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        Cnf { num_vars, clauses }
+    }
+
     /// Loads the formula into a fresh solver.
     pub fn into_solver(&self) -> Solver {
         let mut solver = Solver::new();
@@ -132,6 +158,63 @@ mod tests {
         let cnf = parse_dimacs(text).expect("valid");
         let mut solver = cnf.into_solver();
         assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn random_cnfs_roundtrip_writer_parser() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD1AC5);
+        for _ in 0..200 {
+            let num_vars = rng.gen_range(1..=12usize);
+            let clauses: Vec<Vec<Lit>> = (0..rng.gen_range(0..=15usize))
+                .map(|_| {
+                    (0..rng.gen_range(1..=4usize))
+                        .map(|_| {
+                            Var::from_index(rng.gen_range(0..num_vars))
+                                .lit(rng.gen_bool(0.5))
+                        })
+                        .collect()
+                })
+                .collect();
+            let cnf = Cnf { num_vars, clauses };
+            let re = parse_dimacs(&cnf.to_dimacs()).expect("writer output");
+            assert_eq!(cnf, re, "writer⇄parser round trip");
+        }
+    }
+
+    #[test]
+    fn from_steps_is_the_exact_solved_cnf() {
+        // A proof-logging solver's axiom stream — incremental additions
+        // and activation units included — must round-trip through the
+        // writer into a formula equisatisfiable with the live solver.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let a = s.new_var();
+        let b = s.new_var();
+        let g = s.new_var(); // activation literal
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[g.negative(), a.negative()]); // guarded obligation
+        assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Sat);
+        s.add_clause(&[g.negative()]); // retire the check
+        let proof = s.proof().expect("logging on");
+        let cnf = Cnf::from_steps(proof.steps(), &[]);
+        assert_eq!(cnf.num_vars, 3);
+        // All three axioms present verbatim, including the ¬g unit.
+        assert_eq!(cnf.clauses.len(), 3);
+        assert_eq!(cnf.clauses[2], vec![g.negative()]);
+        let reparsed = parse_dimacs(&cnf.to_dimacs()).expect("valid");
+        assert_eq!(reparsed, cnf);
+        assert_eq!(reparsed.into_solver().solve(), SolveResult::Sat);
+        // With the assumption baked in as a unit, the formula flips to
+        // UNSAT only if ¬g retirement is included — i.e. the dump
+        // reflects what was actually asserted, in order.
+        let with_assumption =
+            Cnf::from_steps(proof.steps(), &[g.positive()]);
+        assert_eq!(
+            with_assumption.into_solver().solve(),
+            SolveResult::Unsat
+        );
     }
 
     #[test]

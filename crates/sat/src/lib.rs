@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod dimacs;
+mod proof;
 mod solver;
 mod types;
 
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
+pub use proof::{Proof, ProofStep};
 pub use solver::{Solver, SolverStats};
 pub use types::{LBool, Lit, SolveResult, Var};

@@ -1,0 +1,111 @@
+//! DRUP-style proof traces.
+//!
+//! When proof logging is enabled (see
+//! [`Solver::enable_proof_logging`](crate::Solver::enable_proof_logging)),
+//! the solver records every clause the caller asserts
+//! ([`ProofStep::Axiom`]), every clause it derives by conflict analysis
+//! ([`ProofStep::Learn`]), and every learnt clause it discards
+//! ([`ProofStep::Delete`]) — in order. That stream is exactly a DRUP
+//! (Delete Reverse Unit Propagation) proof interleaved with the original
+//! formula, which is what an *incremental* solver needs: clauses keep
+//! arriving between `solve` calls, so a certificate for the k-th call is a
+//! prefix of the trace, not a fixed CNF plus a proof.
+//!
+//! The trace is deliberately dumb data — plain literal vectors with no
+//! references into the solver — so an independent checker (the
+//! `fastpath-cert` crate) can replay it while sharing *none* of the
+//! solver's data structures.
+
+use crate::types::Lit;
+
+/// One step of a proof trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An original clause asserted by the caller, recorded verbatim
+    /// (before any solver-side simplification). The concatenation of all
+    /// `Axiom` steps is the exact CNF the solver holds.
+    Axiom(Vec<Lit>),
+    /// A clause derived by conflict analysis. Every `Learn` clause has the
+    /// RUP property with respect to the clauses preceding it in the trace
+    /// (minus prior deletions): assuming its negation and unit-propagating
+    /// yields a conflict. An empty `Learn` clause records that the formula
+    /// itself became unsatisfiable.
+    Learn(Vec<Lit>),
+    /// A learnt clause removed from the database (activity-based
+    /// reduction). Deletions never remove axioms.
+    Delete(Vec<Lit>),
+}
+
+impl ProofStep {
+    /// The literals of the step's clause.
+    pub fn lits(&self) -> &[Lit] {
+        match self {
+            ProofStep::Axiom(l) | ProofStep::Learn(l) | ProofStep::Delete(l) => l,
+        }
+    }
+}
+
+/// An append-only proof trace.
+///
+/// Positions into the trace are stable: [`Proof::len`] taken right after a
+/// `solve` call delimits the certificate for that call even while later
+/// calls keep appending.
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// All steps recorded so far.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The number of steps recorded so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The original-formula clauses (the `Axiom` steps) within the first
+    /// `len` steps.
+    pub fn axioms(&self, len: usize) -> impl Iterator<Item = &[Lit]> {
+        self.steps[..len].iter().filter_map(|s| match s {
+            ProofStep::Axiom(lits) => Some(lits.as_slice()),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    #[test]
+    fn axioms_filters_and_respects_prefix() {
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let mut p = Proof::new();
+        p.push(ProofStep::Axiom(vec![a, b]));
+        p.push(ProofStep::Learn(vec![a]));
+        p.push(ProofStep::Axiom(vec![b]));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.axioms(3).count(), 2);
+        assert_eq!(p.axioms(2).count(), 1);
+        assert_eq!(p.steps()[1].lits(), &[a]);
+    }
+}

@@ -8,6 +8,7 @@
 //! is supported, which is what the UPEC-DIT engine uses for its repeated
 //! property checks.
 
+use crate::proof::{Proof, ProofStep};
 use crate::types::{LBool, Lit, SolveResult, Var};
 
 const VAR_DECAY: f64 = 0.95;
@@ -186,6 +187,8 @@ pub struct Solver {
     stats: SolverStats,
     model: Vec<bool>,
     max_learnts: f64,
+    /// DRUP-style proof trace; `None` keeps logging at zero cost.
+    proof: Option<Proof>,
 }
 
 impl Default for Solver {
@@ -216,6 +219,49 @@ impl Solver {
             stats: SolverStats::default(),
             model: Vec::new(),
             max_learnts: 1000.0,
+            proof: None,
+        }
+    }
+
+    /// Turns on DRUP-style proof logging: every asserted clause, every
+    /// learnt clause, and every deletion is appended to an in-memory
+    /// trace that an independent checker can replay (see the
+    /// `fastpath-cert` crate). Logging must be enabled before the first
+    /// clause is added so the trace covers the whole formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any clause (or unit fact) has already been added.
+    pub fn enable_proof_logging(&mut self) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty() && self.ok,
+            "proof logging must be enabled before any clause is added"
+        );
+        self.proof = Some(Proof::new());
+    }
+
+    /// The proof trace, if logging is enabled.
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// The current trace length (0 when logging is disabled). Taken right
+    /// after a `solve` call, this delimits that call's certificate even
+    /// while later activity keeps appending.
+    pub fn proof_len(&self) -> usize {
+        self.proof.as_ref().map_or(0, Proof::len)
+    }
+
+    /// The full model of the most recent [`SolveResult::Sat`] outcome
+    /// (empty before the first successful solve), indexed by variable.
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+
+    #[inline]
+    fn log(&mut self, step: impl FnOnce() -> ProofStep) {
+        if let Some(proof) = &mut self.proof {
+            proof.push(step());
         }
     }
 
@@ -262,6 +308,11 @@ impl Solver {
     ///
     /// Panics if a literal references a variable that was never allocated.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // Record the clause verbatim (pre-simplification): the axiom
+        // stream must be the exact CNF the caller asserted, and the
+        // checker's own propagation re-derives whatever the
+        // simplification below exploits.
+        self.log(|| ProofStep::Axiom(lits.to_vec()));
         if !self.ok {
             return false;
         }
@@ -649,6 +700,10 @@ impl Solver {
         for &i in &learnt_indices[..remove] {
             self.clauses[i].deleted = true;
             self.stats.learnt_clauses -= 1;
+            if self.proof.is_some() {
+                let lits = self.clauses[i].lits.clone();
+                self.log(|| ProofStep::Delete(lits));
+            }
         }
     }
 
@@ -675,9 +730,14 @@ impl Solver {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.log(|| ProofStep::Learn(Vec::new()));
                     return SolveResult::Unsat;
                 }
                 let (mut learnt, backjump) = self.analyze(conflict);
+                if self.proof.is_some() {
+                    let lits = learnt.clone();
+                    self.log(|| ProofStep::Learn(lits));
+                }
                 // Backjump may land below the assumption levels; the main
                 // loop re-asserts assumptions as pseudo-decisions, so this
                 // is safe and keeps the learning machinery uniform.
@@ -688,6 +748,7 @@ impl Solver {
                     match self.lit_value(learnt[0]) {
                         LBool::False => {
                             self.ok = false;
+                            self.log(|| ProofStep::Learn(Vec::new()));
                             return SolveResult::Unsat;
                         }
                         LBool::Undef => self.enqueue(learnt[0], None),
@@ -748,6 +809,8 @@ impl Solver {
                             .iter()
                             .map(|&a| a == LBool::True)
                             .collect();
+                        #[cfg(debug_assertions)]
+                        self.debug_check_model();
                         return SolveResult::Sat;
                     }
                     Some(v) => {
@@ -758,6 +821,28 @@ impl Solver {
                     }
                 }
             }
+        }
+    }
+
+    /// Debug-build tripwire: a [`SolveResult::Sat`] model must satisfy
+    /// every live clause in the database. Runs at the moment the model is
+    /// extracted, so an unsound answer is caught even when certification
+    /// is off.
+    #[cfg(debug_assertions)]
+    fn debug_check_model(&self) {
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if clause.deleted {
+                continue;
+            }
+            let satisfied = clause
+                .lits
+                .iter()
+                .any(|&l| self.model[l.var().index()] == l.is_positive());
+            assert!(
+                satisfied,
+                "SAT model falsifies clause #{i} {:?}",
+                clause.lits
+            );
         }
     }
 }
@@ -902,6 +987,95 @@ mod tests {
         assert_eq!(s.value(b), Some(true));
         s.add_clause(&[b.negative()]);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn proof_logging_off_by_default() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        assert!(s.proof().is_none());
+        assert_eq!(s.proof_len(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.proof().is_none());
+    }
+
+    #[test]
+    fn proof_records_axioms_verbatim() {
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[b.negative(), b.positive(), a.negative()]); // tautology
+        let proof = s.proof().expect("enabled");
+        assert_eq!(proof.len(), 2);
+        // Axioms are logged before simplification — tautologies included.
+        assert_eq!(
+            proof.steps()[1],
+            ProofStep::Axiom(vec![b.negative(), b.positive(), a.negative()])
+        );
+        assert_eq!(proof.axioms(2).count(), 2);
+    }
+
+    #[test]
+    fn unsat_trace_ends_with_empty_learn() {
+        // Pigeonhole 3-into-2 forces real conflict analysis; with logging
+        // on, the trace must contain Learn steps and terminate in the
+        // empty clause.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let mut p = [[Var(0); 2]; 3];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (a, b) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.proof().expect("enabled");
+        let learns: Vec<&ProofStep> = proof
+            .steps()
+            .iter()
+            .filter(|st| matches!(st, ProofStep::Learn(_)))
+            .collect();
+        assert!(!learns.is_empty(), "conflict analysis must log learns");
+        assert_eq!(
+            proof.steps().last(),
+            Some(&ProofStep::Learn(Vec::new())),
+            "UNSAT trace must end with the empty clause"
+        );
+    }
+
+    #[test]
+    fn proof_len_snapshots_are_stable_across_later_activity() {
+        // The activation-literal protocol takes a trace snapshot right
+        // after each solve; later retirement units and new obligations
+        // must extend the trace, never disturb the prefix.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let g = s.new_var();
+        s.add_clause(&[g.negative(), x.positive()]);
+        s.add_clause(&[g.negative(), x.negative()]);
+        assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Unsat);
+        let snapshot = s.proof_len();
+        let prefix: Vec<ProofStep> =
+            s.proof().expect("enabled").steps()[..snapshot].to_vec();
+        s.add_clause(&[g.negative()]); // retire
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let proof = s.proof().expect("enabled");
+        assert!(proof.len() > snapshot);
+        assert_eq!(&proof.steps()[..snapshot], prefix.as_slice());
     }
 
     /// Brute-force evaluation of a CNF for cross-checking.

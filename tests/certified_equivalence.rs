@@ -1,0 +1,120 @@
+//! Certified vs uncertified `Upec2Safety` on random netlists.
+//!
+//! Certification must be a pure observer: for any design and any `Z'`
+//! refinement sequence, the certified engine returns the same verdicts as
+//! an uncertified twin, and every verdict validates — UNSAT answers carry
+//! a proof the independent RUP checker accepts (or are honestly trivial),
+//! SAT answers carry a model that checks and a counterexample that
+//! reproduces in concrete simulation. Both elaboration modes are covered:
+//! `Cached` (one incremental solver, activation-literal protocol — proofs
+//! must survive clause retirement) and `Fresh` (per-check rebuild — the
+//! checker is torn down and re-fed every check).
+
+use fastpath::confirm_counterexample;
+use fastpath_formal::{
+    CheckCertificate, ElaborationMode, Upec2Safety, UpecOutcome, UpecSpec,
+};
+use fastpath_rtl::random::{random_module, RandomModuleConfig};
+use fastpath_rtl::SignalId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Drives a baseline-style refinement loop on a random module with two
+/// engines in lockstep — one certified, one not — and validates every
+/// certificate. Returns an error on the first disagreement or rejected
+/// certificate.
+fn cross_check(
+    seed: u64,
+    mode: ElaborationMode,
+) -> Result<(), TestCaseError> {
+    let module = random_module(seed, RandomModuleConfig::default());
+    let spec = UpecSpec::default();
+    let mut plain = Upec2Safety::with_mode(&module, &spec, mode);
+    let mut certified = Upec2Safety::with_mode(&module, &spec, mode);
+    certified.enable_certification();
+
+    let mut z: BTreeSet<SignalId> =
+        module.state_signals().into_iter().collect();
+    for iteration in 0.. {
+        prop_assert!(
+            iteration < 1000,
+            "seed {seed}: refinement diverged"
+        );
+        let zv: Vec<SignalId> = z.iter().copied().collect();
+        let a = plain.check(&zv);
+        let b = certified.check_certified(&zv);
+        prop_assert_eq!(
+            a.holds(),
+            b.outcome.holds(),
+            "seed {}: certified and uncertified engines disagree at \
+             iteration {} (|Z'| = {})",
+            seed,
+            iteration,
+            zv.len()
+        );
+        match &b.certificate {
+            Ok(CheckCertificate::UnsatProof { steps }) => {
+                prop_assert!(b.outcome.holds());
+                prop_assert!(*steps > 0, "seed {seed}: empty certificate");
+            }
+            Ok(CheckCertificate::TrivialUnsat) => {
+                prop_assert!(b.outcome.holds());
+            }
+            Ok(CheckCertificate::SatModel { clauses }) => {
+                prop_assert!(!b.outcome.holds());
+                prop_assert!(
+                    *clauses > 0,
+                    "seed {seed}: SAT model checked against no clauses"
+                );
+            }
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "seed {seed}: certificate rejected at iteration \
+                     {iteration}: {e}"
+                )));
+            }
+        }
+        match b.outcome {
+            UpecOutcome::Holds => break,
+            UpecOutcome::Counterexample(cex) => {
+                // Every SAT verdict must also reproduce concretely.
+                if let Err(e) = confirm_counterexample(&module, &[], &cex)
+                {
+                    return Err(TestCaseError::fail(format!(
+                        "seed {seed}: replay mismatch: {e}"
+                    )));
+                }
+                if cex.divergent_state.is_empty() {
+                    // Pure output divergence: a genuine leak, refinement
+                    // cannot continue.
+                    break;
+                }
+                for s in &cex.divergent_state {
+                    z.remove(s);
+                }
+            }
+        }
+    }
+
+    let stats = certified
+        .cert_stats()
+        .expect("certification was enabled");
+    prop_assert_eq!(stats.cert_failures, 0);
+    prop_assert!(stats.certified_checks >= 1);
+    prop_assert_eq!(stats.certified_checks, certified.checks());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn certified_matches_uncertified_cached(seed in 0u64..1_000_000) {
+        cross_check(seed, ElaborationMode::Cached)?;
+    }
+
+    #[test]
+    fn certified_matches_uncertified_fresh(seed in 0u64..1_000_000) {
+        cross_check(seed, ElaborationMode::Fresh)?;
+    }
+}

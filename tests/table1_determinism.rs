@@ -40,6 +40,31 @@ fn markdown_table_is_byte_identical_across_jobs() {
 }
 
 #[test]
+fn certified_table_is_byte_identical_across_jobs() {
+    let studies = studies();
+    let opts = |jobs| Table1Options {
+        jobs,
+        certify: true,
+        ..Table1Options::default()
+    };
+    let sequential = run_table1(&studies, &opts(1));
+    assert!(
+        sequential.contains("certified:"),
+        "certification lines must render:\n{sequential}"
+    );
+    assert!(
+        !sequential.contains("NOT CERTIFIED")
+            && !sequential.contains("FAILURE"),
+        "every verdict must certify:\n{sequential}"
+    );
+    let parallel = run_table1(&studies, &opts(4));
+    assert_eq!(
+        sequential, parallel,
+        "certified output differs between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
 fn text_table_with_design_filter_is_byte_identical_across_jobs() {
     let studies = studies();
     let opts = |jobs| Table1Options {

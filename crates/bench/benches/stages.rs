@@ -5,10 +5,14 @@
 //! symbolic initial state.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fastpath::{run_ift_batch, BatchOptions};
 use fastpath_bench::{run_table1, Table1Options};
 use fastpath_formal::{ElaborationMode, Upec2Safety, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
-use fastpath_sim::{IftSimulation, RandomTestbench};
+use fastpath_sim::{
+    IftSimulation, RandomTestbench, SimEngine, SimTape,
+};
+use std::sync::Arc;
 
 fn bench_hfg(c: &mut Criterion) {
     let mut group = c.benchmark_group("hfg");
@@ -39,6 +43,57 @@ fn bench_ift_simulation(c: &mut Criterion) {
                 IftSimulation::new(200).run(&module, &mut tb)
             });
         });
+    }
+    group.finish();
+}
+
+/// Interpreter vs compiled tape vs compiled+batched, head to head on the
+/// two IFT-heaviest Table I designs. `interp` and `compiled` run one
+/// 200-cycle testbench through `IftSimulation` (the compiled case reuses
+/// a pre-built tape, as the flow driver does); `compiled_batched/jobs_N`
+/// runs 8 seeds through `run_ift_batch` on N workers.
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    let studies = [
+        fastpath_designs::fwrisc_mds::case_study(),
+        fastpath_designs::cva6_div::case_study(),
+    ];
+    for study in &studies {
+        let module = &study.instance.module;
+        let seed = study.seed;
+        group.bench_function(format!("interp/{}", study.name), |b| {
+            b.iter(|| {
+                let mut tb = RandomTestbench::new(module, seed);
+                IftSimulation::new(200)
+                    .run_with_engine(module, &mut tb, SimEngine::Interp)
+                    .cycles_run
+            });
+        });
+        let tape = Arc::new(SimTape::compile(module));
+        group.bench_function(format!("compiled/{}", study.name), |b| {
+            b.iter(|| {
+                let mut tb = RandomTestbench::new(module, seed);
+                IftSimulation::new(200)
+                    .run_compiled(module, &tape, &mut tb)
+                    .cycles_run
+            });
+        });
+        for jobs in [1, 4] {
+            group.bench_function(
+                format!("compiled_batched/jobs_{jobs}/{}", study.name),
+                |b| {
+                    let opts = BatchOptions {
+                        runs: 8,
+                        cycles: 200,
+                        base_seed: seed,
+                        jobs,
+                        ..BatchOptions::default()
+                    };
+                    b.iter(|| run_ift_batch(module, &opts).total_cycles);
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -247,6 +302,7 @@ criterion_group!(
     benches,
     bench_hfg,
     bench_ift_simulation,
+    bench_sim,
     bench_formal,
     bench_certification,
     bench_parallel_driver

@@ -20,6 +20,13 @@
 //!                with --certify, write each check's DIMACS formula and
 //!                DRUP proof / model into DIR for external checkers
 //!                (e.g. drat-trim)
+//!   --sim-engine interp|compiled
+//!                simulation backend for the IFT stage (default:
+//!                compiled; the table output is byte-identical between
+//!                the two)
+//!   --bench-json PATH
+//!                write a machine-readable per-design benchmark record
+//!                (wall-clock, sim cycles/s, solver stats) to PATH
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -54,6 +61,28 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .unwrap_or_else(|| {
                         eprintln!("--dump-artifacts expects a directory");
+                        std::process::exit(2);
+                    })
+            }),
+        sim_engine: args
+            .iter()
+            .position(|a| a == "--sim-engine")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or_default(),
+        bench_json: args
+            .iter()
+            .position(|a| a == "--bench-json")
+            .map(|i| {
+                args.get(i + 1)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--bench-json expects a file path");
                         std::process::exit(2);
                     })
             }),

@@ -11,10 +11,11 @@ use fastpath::parallel::run_ordered;
 use fastpath::{
     effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy,
     FlowOptions, FlowReport,
-    PairwiseAnalysis,
+    PairwiseAnalysis, SimEngine,
 };
 use std::fmt::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Options for the Table I driver (mirrors the `table1` CLI flags).
 #[derive(Clone, Debug)]
@@ -40,6 +41,15 @@ pub struct Table1Options {
     /// With [`certify`](Self::certify), dump per-check DIMACS/DRUP/model
     /// files into this directory (`--dump-artifacts DIR`).
     pub dump_artifacts: Option<PathBuf>,
+    /// Simulation backend for every IFT run (`--sim-engine
+    /// interp|compiled`). The rendered table is byte-identical between
+    /// the two — the equivalence smoke test in CI relies on it.
+    pub sim_engine: SimEngine,
+    /// Write a machine-readable per-design benchmark record (wall-clock,
+    /// sim cycles/s, solver stats) to this path (`--bench-json PATH`).
+    /// Timing data goes only into the file, never into the rendered
+    /// table, so determinism comparisons are unaffected.
+    pub bench_json: Option<PathBuf>,
 }
 
 impl Default for Table1Options {
@@ -53,6 +63,8 @@ impl Default for Table1Options {
             only: None,
             certify: false,
             dump_artifacts: None,
+            sim_engine: SimEngine::default(),
+            bench_json: None,
         }
     }
 }
@@ -75,6 +87,7 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
     let flow_options = FlowOptions {
         certify: opts.certify,
         dump_artifacts: opts.dump_artifacts.clone(),
+        sim_engine: opts.sim_engine,
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -83,15 +96,30 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         .map(|(study, is_baseline)| {
             let flow_options = flow_options.clone();
             move || {
-                if is_baseline {
+                let t0 = Instant::now();
+                let report = if is_baseline {
                     run_baseline_with(study, flow_options)
                 } else {
                     run_fastpath_with(study, flow_options)
-                }
+                };
+                (report, t0.elapsed().as_secs_f64())
             }
         })
         .collect();
-    let reports = run_ordered(opts.jobs, tasks);
+    let results = run_ordered(opts.jobs, tasks);
+    let (reports, walls): (Vec<FlowReport>, Vec<f64>) =
+        results.into_iter().unzip();
+
+    if let Some(path) = &opts.bench_json {
+        if let Err(e) =
+            write_bench_json(path, opts, &selected, &reports, &walls)
+        {
+            eprintln!(
+                "warning: failed to write {}: {e}",
+                path.display()
+            );
+        }
+    }
 
     let mut out = String::new();
     if opts.markdown {
@@ -100,6 +128,81 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         render_text(&mut out, &selected, &reports, opts);
     }
     out
+}
+
+/// Writes the `--bench-json` per-design benchmark record: wall-clock per
+/// run, simulation throughput (the engine, run/cycle counts, and
+/// cycles/s), formal timings, and solver statistics — everything needed
+/// to track the perf trajectory across PRs without parsing the table.
+fn write_bench_json(
+    path: &Path,
+    opts: &Table1Options,
+    selected: &[&CaseStudy],
+    reports: &[FlowReport],
+    walls: &[f64],
+) -> std::io::Result<()> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn run_record(out: &mut String, report: &FlowReport, wall_s: f64) {
+        let t = &report.timings;
+        let sim_s = t.simulation.as_secs_f64();
+        let s = &report.solver_stats;
+        let _ = write!(
+            out,
+            "{{\"wall_s\": {wall_s:.6}, \"verdict\": \"{}\", \
+             \"method\": \"{}\", \"inspections\": {}, \
+             \"sim\": {{\"engine\": \"{}\", \"runs\": {}, \
+             \"cycles\": {}, \"wall_s\": {:.6}, \
+             \"cycles_per_s\": {:.1}}}, \
+             \"formal\": {{\"checks\": {}, \"elaboration_s\": {:.6}, \
+             \"checks_s\": {:.6}}}, \
+             \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
+             \"propagations\": {}, \"restarts\": {}, \
+             \"learnt_clauses\": {}}}}}",
+            report.verdict,
+            report.method,
+            report.manual_inspections,
+            report.sim.engine,
+            report.sim.runs,
+            report.sim.cycles,
+            sim_s,
+            report.sim.cycles_per_second(t.simulation),
+            t.check_count,
+            t.formal_elaboration.as_secs_f64(),
+            t.formal_checks.as_secs_f64(),
+            s.conflicts,
+            s.decisions,
+            s.propagations,
+            s.restarts,
+            s.learnt_clauses,
+        );
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"generator\": \"table1 --bench-json\",\n  \
+         \"sim_engine\": \"{}\",\n  \"jobs\": {},\n  \"designs\": [",
+        opts.sim_engine, opts.jobs
+    );
+    for (i, study) in selected.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"design\": \"{}\", \"fastpath\": ",
+            esc(&study.name)
+        );
+        run_record(&mut out, &reports[2 * i], walls[2 * i]);
+        let _ = write!(out, ", \"baseline\": ");
+        run_record(&mut out, &reports[2 * i + 1], walls[2 * i + 1]);
+        let _ = writeln!(
+            out,
+            "}}{}",
+            if i + 1 < selected.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]\n}}");
+    std::fs::write(path, out)
 }
 
 fn render_markdown(

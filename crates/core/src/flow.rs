@@ -24,8 +24,8 @@
 //! The formal-only baseline of [22] is in [`run_baseline`](crate::run_baseline).
 
 use crate::report::{
-    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage,
-    StageTimings, Verdict,
+    CertificationSummary, CompletionMethod, FlowEvent, FlowReport,
+    SimStats, Stage, StageTimings, Verdict,
 };
 use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::{confirm_counterexample, WitnessReplay};
@@ -36,9 +36,12 @@ use fastpath_formal::{
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_rtl::{ExprId, Module, SignalId};
 use fastpath_sat::SolverStats;
-use fastpath_sim::{IftReport, IftSimulation, RandomTestbench};
+use fastpath_sim::{
+    IftReport, IftSimulation, RandomTestbench, SimEngine, SimTape,
+};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Ablation and certification switches for [`run_fastpath_with`].
@@ -64,6 +67,11 @@ pub struct FlowOptions {
     /// formula plus its DRUP proof or model into this directory, in
     /// formats external checkers such as `drat-trim` consume.
     pub dump_artifacts: Option<PathBuf>,
+    /// Simulation backend for every IFT run of the flow: the compiled
+    /// instruction tape by default, or the interpretive oracle for
+    /// cross-checking. The tape is compiled once per design instance and
+    /// reused across all constraint/policy trial re-simulations.
+    pub sim_engine: SimEngine,
 }
 
 /// Runs the complete FastPath flow on a case study.
@@ -77,6 +85,7 @@ pub fn run_fastpath_with(
     options: FlowOptions,
 ) -> FlowReport {
     let mut ctx = FlowContext::new(study);
+    ctx.sim_engine = options.sim_engine;
     if options.certify {
         ctx.certification = Some(CertificationSummary::default());
     }
@@ -406,6 +415,13 @@ pub(crate) struct FlowContext {
     pub(crate) solver_stats: SolverStats,
     pub(crate) elaboration: ElaborationStats,
     pub(crate) certification: Option<CertificationSummary>,
+    pub(crate) sim_engine: SimEngine,
+    /// Compiled-tape cache, keyed by module address (both design
+    /// instances stay alive inside the study for the whole run, so
+    /// addresses are stable and distinct).
+    tape: Option<(usize, Arc<SimTape>)>,
+    sim_runs: u64,
+    sim_cycles: u64,
 }
 
 enum SimStageResult {
@@ -428,6 +444,23 @@ impl FlowContext {
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
             certification: None,
+            sim_engine: SimEngine::default(),
+            tape: None,
+            sim_runs: 0,
+            sim_cycles: 0,
+        }
+    }
+
+    /// The compiled tape for `module`, compiling on first use.
+    fn tape_for(&mut self, module: &Module) -> Arc<SimTape> {
+        let key = module as *const Module as usize;
+        match &self.tape {
+            Some((k, tape)) if *k == key => Arc::clone(tape),
+            _ => {
+                let tape = Arc::new(SimTape::compile(module));
+                self.tape = Some((key, Arc::clone(&tape)));
+                tape
+            }
         }
     }
 
@@ -527,6 +560,11 @@ impl FlowContext {
             timings: self.timings,
             solver_stats: self.solver_stats,
             elaboration: self.elaboration,
+            sim: SimStats {
+                engine: self.sim_engine,
+                runs: self.sim_runs,
+                cycles: self.sim_cycles,
+            },
             certification: self.certification,
         }
     }
@@ -679,8 +717,16 @@ impl FlowContext {
             .with_policy(study.policy)
             .with_declassified(declassified);
         let t0 = Instant::now();
-        let report = sim.run(module, &mut tb);
+        let report = match self.sim_engine {
+            SimEngine::Interp => sim.run(module, &mut tb),
+            SimEngine::Compiled => {
+                let tape = self.tape_for(module);
+                sim.run_compiled(module, &tape, &mut tb)
+            }
+        };
         self.timings.simulation += t0.elapsed();
+        self.sim_runs += 1;
+        self.sim_cycles += report.cycles_run;
         report
     }
 }

@@ -59,16 +59,19 @@ mod flow;
 mod pairwise;
 pub mod parallel;
 mod report;
+mod simbatch;
 mod study;
 mod witness;
 
 pub use baseline::{run_baseline, run_baseline_with};
+pub use fastpath_sim::SimEngine;
 pub use flow::{run_fastpath, run_fastpath_with, FlowOptions};
 pub use pairwise::{DynamicPairwise, PairResult, PairwiseAnalysis};
 pub use report::{
     effort_reduction, CertificationSummary, CompletionMethod, FlowEvent,
-    FlowReport, Stage, StageTimings, Verdict,
+    FlowReport, SimStats, Stage, StageTimings, Verdict,
 };
+pub use simbatch::{run_ift_batch, BatchOptions, BatchReport};
 pub use study::{
     CaseStudy, DesignInstance, NamedCondEq, NamedPredicate,
     TestbenchRestriction,

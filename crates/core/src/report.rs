@@ -3,6 +3,7 @@
 use fastpath_formal::{CertStats, ElaborationStats};
 use fastpath_rtl::SignalId;
 use fastpath_sat::SolverStats;
+use fastpath_sim::SimEngine;
 use std::fmt;
 use std::time::Duration;
 
@@ -137,6 +138,30 @@ pub struct StageTimings {
     pub check_count: u64,
 }
 
+/// Simulation work done during one flow run, and the backend that did it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// The engine that executed the IFT runs.
+    pub engine: SimEngine,
+    /// Complete IFT simulation runs (including constraint/policy trials).
+    pub runs: u64,
+    /// Simulated cycles summed over those runs.
+    pub cycles: u64,
+}
+
+impl SimStats {
+    /// Simulated cycles per second of simulation wall-clock time, the
+    /// headline throughput number of the `sim` bench group.
+    pub fn cycles_per_second(&self, simulation: Duration) -> f64 {
+        let secs = simulation.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / secs
+        }
+    }
+}
+
 /// Certification results accumulated over one flow (or baseline) run.
 ///
 /// Present in a [`FlowReport`] only when the run was started with
@@ -208,6 +233,8 @@ pub struct FlowReport {
     /// Elaboration-cache effectiveness across every UPEC engine of the
     /// run (AIG node construction avoided by the cached frame template).
     pub elaboration: ElaborationStats,
+    /// Simulation backend and workload of the run.
+    pub sim: SimStats,
     /// Certification results (`None` unless the run certified verdicts).
     pub certification: Option<CertificationSummary>,
 }
@@ -265,6 +292,7 @@ mod tests {
             timings: StageTimings::default(),
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
+            sim: SimStats::default(),
             certification: None,
         }
     }

@@ -1,0 +1,200 @@
+//! Batched Monte-Carlo IFT simulation.
+//!
+//! Stage 2 is the only FastPath stage whose cost grows linearly with
+//! testbench length, and longer / more diverse stimuli directly improve
+//! the candidate partitioning `Z'` that seeds UPEC-DIT (fewer legal
+//! propagations left for the formal stage to discover one counterexample
+//! at a time). [`run_ift_batch`] exploits both new perf legs at once: the
+//! design is compiled to one shared [`SimTape`], and `N` independent
+//! testbenches — one deterministic stimulus stream per seed — run across
+//! the [`parallel`](crate::parallel) work-stealing pool, each worker
+//! holding nothing but its own value/taint arenas.
+//!
+//! Determinism: seed `base_seed + k` always drives run `k`, results come
+//! back in submission order, and the aggregate is therefore independent
+//! of `jobs`.
+
+use crate::parallel;
+use fastpath_rtl::{Module, SignalId};
+use fastpath_sim::{
+    FlowPolicy, IftReport, IftSimulation, RandomTestbench, SimEngine,
+    SimTape,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration for one Monte-Carlo batch.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// Independent runs (testbench seeds `base_seed..base_seed + runs`).
+    pub runs: usize,
+    /// Cycles per run.
+    pub cycles: u64,
+    /// Seed of the first run.
+    pub base_seed: u64,
+    /// Worker threads (`<= 1` runs sequentially on the caller).
+    pub jobs: usize,
+    /// Taint propagation policy.
+    pub policy: FlowPolicy,
+    /// Simulation backend.
+    pub engine: SimEngine,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            runs: 8,
+            cycles: 200,
+            base_seed: 1,
+            jobs: 1,
+            policy: FlowPolicy::Precise,
+            engine: SimEngine::default(),
+        }
+    }
+}
+
+/// Aggregate of a Monte-Carlo batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Every run's report, in seed order.
+    pub reports: Vec<IftReport>,
+    /// State signals untainted in **every** run — the batch's candidate
+    /// `Z'` (a propagation seen by any seed disqualifies the signal).
+    pub untainted_state: Vec<SignalId>,
+    /// State signals tainted in at least one run.
+    pub tainted_state: Vec<SignalId>,
+    /// Runs that observed at least one `X_D =/=> Y_C` violation.
+    pub violating_runs: usize,
+    /// Simulated cycles summed over all runs.
+    pub total_cycles: u64,
+}
+
+impl BatchReport {
+    /// `true` iff no run observed a property violation.
+    pub fn property_holds(&self) -> bool {
+        self.violating_runs == 0
+    }
+}
+
+/// Runs `opts.runs` independent IFT simulations of `module` and merges
+/// the results (see the module docs for the batching scheme).
+pub fn run_ift_batch(module: &Module, opts: &BatchOptions) -> BatchReport {
+    let tape = match opts.engine {
+        SimEngine::Compiled => Some(Arc::new(SimTape::compile(module))),
+        SimEngine::Interp => None,
+    };
+    let tasks: Vec<_> = (0..opts.runs)
+        .map(|k| {
+            let seed = opts.base_seed.wrapping_add(k as u64);
+            let tape = tape.clone();
+            let cycles = opts.cycles;
+            let policy = opts.policy;
+            move || {
+                let mut tb = RandomTestbench::new(module, seed);
+                let sim =
+                    IftSimulation::new(cycles).with_policy(policy);
+                match &tape {
+                    Some(tape) => {
+                        sim.run_compiled(module, tape, &mut tb)
+                    }
+                    None => sim.run(module, &mut tb),
+                }
+            }
+        })
+        .collect();
+    let reports = parallel::run_ordered(opts.jobs, tasks);
+
+    let mut tainted: BTreeSet<SignalId> = BTreeSet::new();
+    let mut violating_runs = 0;
+    let mut total_cycles = 0;
+    for report in &reports {
+        tainted.extend(report.tainted_state.iter().copied());
+        violating_runs += (!report.property_holds()) as usize;
+        total_cycles += report.cycles_run;
+    }
+    let untainted_state: Vec<SignalId> = module
+        .state_signals()
+        .into_iter()
+        .filter(|z| !tainted.contains(z))
+        .collect();
+    BatchReport {
+        reports,
+        untainted_state,
+        tainted_state: tainted.into_iter().collect(),
+        violating_runs,
+        total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastpath_rtl::ModuleBuilder;
+
+    /// Accumulator (tainted state) + free-running phase (untainted).
+    fn oblivious_module() -> Module {
+        let mut b = ModuleBuilder::new("batch_demo");
+        let data = b.data_input("data", 8);
+        let d = b.sig(data);
+        let acc = b.reg("acc", 8, 0);
+        let a = b.sig(acc);
+        let sum = b.add(a, d);
+        b.set_next(acc, sum).expect("drive");
+        b.data_output("result", a);
+        let tick = b.reg("tick", 1, 0);
+        let t = b.sig(tick);
+        let nt = b.not(t);
+        b.set_next(tick, nt).expect("drive");
+        b.control_output("phase", t);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn batch_aggregates_across_seeds() {
+        let m = oblivious_module();
+        let report = run_ift_batch(
+            &m,
+            &BatchOptions {
+                runs: 4,
+                cycles: 50,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(report.reports.len(), 4);
+        assert_eq!(report.total_cycles, 200);
+        assert!(report.property_holds());
+        let acc = m.signal_by_name("acc").expect("acc");
+        let tick = m.signal_by_name("tick").expect("tick");
+        assert!(report.tainted_state.contains(&acc));
+        assert!(report.untainted_state.contains(&tick));
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_jobs_and_engines() {
+        let m = oblivious_module();
+        let run = |jobs, engine| {
+            run_ift_batch(
+                &m,
+                &BatchOptions {
+                    runs: 6,
+                    cycles: 40,
+                    jobs,
+                    engine,
+                    ..BatchOptions::default()
+                },
+            )
+        };
+        let a = run(1, SimEngine::Compiled);
+        let b = run(4, SimEngine::Compiled);
+        let c = run(2, SimEngine::Interp);
+        for other in [&b, &c] {
+            assert_eq!(a.untainted_state, other.untainted_state);
+            assert_eq!(a.tainted_state, other.tainted_state);
+            assert_eq!(a.violating_runs, other.violating_runs);
+            for (x, y) in a.reports.iter().zip(&other.reports) {
+                assert_eq!(x.tainted_state, y.tainted_state);
+                assert_eq!(x.first_taint_cycle, y.first_taint_cycle);
+            }
+        }
+    }
+}

@@ -183,6 +183,32 @@ impl BitVec {
         }
     }
 
+    /// The low 64 bits of the value, ignoring any higher limbs.
+    ///
+    /// Arena-friendly accessor for the compiled simulation engine's small
+    /// fast path: never panics, never allocates.
+    #[inline]
+    pub fn to_u64_lossy(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Copies the limbs into `out` (little-endian), zero-filling any
+    /// excess destination limbs.
+    ///
+    /// Arena-friendly writer for the compiled simulation engine: stores a
+    /// value into a preallocated limb region without heap traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `self.limbs()`.
+    #[inline]
+    pub fn write_limbs(&self, out: &mut [u64]) {
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        for l in &mut out[self.limbs.len()..] {
+            *l = 0;
+        }
+    }
+
     /// `true` iff all bits are zero.
     pub fn is_zero(&self) -> bool {
         self.limbs.iter().all(|&l| l == 0)
@@ -685,6 +711,89 @@ mod tests {
         assert_eq!(format!("{v:x}"), "abc");
         assert_eq!(format!("{v:b}"), "101010111100");
         assert_eq!(format!("{v:?}"), "12'habc");
+    }
+
+    #[test]
+    fn from_u64_to_u64_roundtrip_at_width_64() {
+        // Width 64 is the boundary case: `width % 64 == 0`, so `normalize`
+        // must NOT touch the (single, full) limb.
+        for v in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, 0xDEAD_BEEF] {
+            let bv = BitVec::from_u64(64, v);
+            assert_eq!(bv.to_u64(), v, "width-64 round trip of {v:#x}");
+            assert_eq!(bv.try_to_u64(), Some(v));
+            assert_eq!(bv.to_u64_lossy(), v);
+        }
+        let top = BitVec::from_u64(64, 1 << 63);
+        assert!(top.sign_bit());
+        assert!(top.bit(63));
+        assert_eq!(top.count_ones(), 1);
+        assert!(BitVec::ones(64).is_ones());
+        assert_eq!(BitVec::ones(64).to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn from_u64_to_u64_roundtrip_at_width_1() {
+        assert_eq!(BitVec::from_u64(1, 0).to_u64(), 0);
+        assert_eq!(BitVec::from_u64(1, 1).to_u64(), 1);
+        // Everything above bit 0 must be masked off.
+        assert_eq!(BitVec::from_u64(1, u64::MAX).to_u64(), 1);
+        assert_eq!(BitVec::from_u64(1, 2).to_u64(), 0);
+        assert!(BitVec::from_u64(1, 1).is_true());
+        assert!(BitVec::from_u64(1, 1).is_ones());
+        assert!(BitVec::from_u64(1, 2).is_zero());
+    }
+
+    #[test]
+    fn width_64_ops_keep_high_bit_masked() {
+        // Ops that internally shift or negate are where a `1 << 64`-style
+        // masking slip would show at exactly width 64.
+        let a = BitVec::from_u64(64, u64::MAX);
+        let one = BitVec::from_u64(64, 1);
+        assert!(a.wrapping_add(&one).is_zero());
+        assert_eq!(a.wrapping_neg().to_u64(), 1);
+        assert_eq!(one.wrapping_sub(&a).to_u64(), 2);
+        assert_eq!(a.wrapping_mul(&a).to_u64(), 1); // (-1)² mod 2^64
+        assert_eq!(a.shl(63).to_u64(), 1 << 63);
+        assert_eq!(a.lshr(63).to_u64(), 1);
+        assert!(a.ashr(63).is_ones());
+        assert!(a.shl(64).is_zero());
+        assert!(a.ashr(64).is_ones());
+        assert_eq!((!&a).to_u64(), 0);
+        assert_eq!(a.slice(63, 0), a);
+        assert_eq!(a.zext(64), a);
+        assert_eq!(a.sext(64), a);
+        assert_eq!(BitVec::from_u64(32, u32::MAX as u64).sext(64), a);
+    }
+
+    #[test]
+    fn width_1_ops_behave_as_booleans() {
+        let t = BitVec::from_u64(1, 1);
+        let f = BitVec::from_u64(1, 0);
+        // not(1) must stay within one bit.
+        assert_eq!((!&t).to_u64(), 0);
+        assert_eq!((!&f).to_u64(), 1);
+        // neg(1) = 1 in one-bit two's complement.
+        assert_eq!(t.wrapping_neg().to_u64(), 1);
+        assert_eq!(t.wrapping_add(&t).to_u64(), 0);
+        assert_eq!(t.ashr(1), t); // sign replication
+        assert_eq!(f.ashr(1), f);
+        assert!(t.sign_bit());
+        assert_eq!(t.sext(4).to_u64(), 0xF);
+        assert_eq!(t.zext(4).to_u64(), 1);
+    }
+
+    #[test]
+    fn lossy_and_limb_writers() {
+        let wide = BitVec::from_limbs(130, &[7, 9, 2]);
+        assert_eq!(wide.to_u64_lossy(), 7);
+        assert_eq!(wide.try_to_u64(), None);
+        let mut out = [0u64; 4];
+        wide.write_limbs(&mut out);
+        assert_eq!(out, [7, 9, 2, 0]);
+        let small = BitVec::from_u64(8, 0xAB);
+        out = [u64::MAX; 4];
+        small.write_limbs(&mut out);
+        assert_eq!(out, [0xAB, 0, 0, 0]);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! - the **untainted state set `Z'`** (Def. 2), which seeds the UPEC-DIT
 //!   induction and eliminates most of the manual partitioning effort.
 
-use crate::taint::{FlowPolicy, TaintSimulator};
+use crate::taint::{FlowPolicy, TaintEngine, TaintSimulator};
+use crate::tape::{CompiledTaintSim, SimEngine, SimTape};
 use crate::testbench::Testbench;
 use fastpath_rtl::{Module, SignalId, SignalRole};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Configuration for one IFT simulation run.
 #[derive(Debug)]
@@ -66,7 +68,8 @@ impl IftSimulation {
         module: &Module,
         testbench: &mut dyn Testbench,
     ) -> IftReport {
-        self.run_inner(module, testbench, None)
+        let sim = TaintSimulator::new(module, self.policy);
+        self.run_inner(module, testbench, sim, None)
     }
 
     /// Like [`run`](Self::run), but also records every cycle — values and
@@ -78,20 +81,56 @@ impl IftSimulation {
         testbench: &mut dyn Testbench,
         recorder: &mut crate::VcdRecorder,
     ) -> IftReport {
-        self.run_inner(module, testbench, Some(recorder))
+        let sim = TaintSimulator::new(module, self.policy);
+        self.run_inner(module, testbench, sim, Some(recorder))
     }
 
-    fn run_inner(
+    /// Runs on the compiled engine over a precompiled tape (which must
+    /// have been compiled from this exact `module`). Sharing one tape
+    /// across runs — or threads, via `Arc` clones — amortizes the
+    /// compilation cost.
+    pub fn run_compiled(
+        &self,
+        module: &Module,
+        tape: &Arc<SimTape>,
+        testbench: &mut dyn Testbench,
+    ) -> IftReport {
+        let sim = CompiledTaintSim::with_tape(
+            module,
+            Arc::clone(tape),
+            self.policy,
+        );
+        self.run_inner(module, testbench, sim, None)
+    }
+
+    /// Runs on the selected [`SimEngine`] — the interpretive oracle or
+    /// the compiled tape (compiling the module on the spot).
+    pub fn run_with_engine(
         &self,
         module: &Module,
         testbench: &mut dyn Testbench,
+        engine: SimEngine,
+    ) -> IftReport {
+        match engine {
+            SimEngine::Interp => self.run(module, testbench),
+            SimEngine::Compiled => {
+                let tape = Arc::new(SimTape::compile(module));
+                self.run_compiled(module, &tape, testbench)
+            }
+        }
+    }
+
+    fn run_inner<E: TaintEngine>(
+        &self,
+        module: &Module,
+        testbench: &mut dyn Testbench,
+        mut sim: E,
         mut recorder: Option<&mut crate::VcdRecorder>,
     ) -> IftReport {
         let data_inputs: HashSet<SignalId> =
             module.data_inputs().into_iter().collect();
         let control_outputs = module.control_outputs();
 
-        let mut sim = TaintSimulator::new(module, self.policy);
         for &d in &self.declassify {
             sim.declassify(d);
         }
@@ -103,7 +142,7 @@ impl IftSimulation {
         'cycles: for cycle in 0..self.cycles {
             for (input, value) in testbench.drive(cycle) {
                 let tainted = data_inputs.contains(&input);
-                sim.set_input(input, value, tainted);
+                sim.drive_input(input, value, tainted);
             }
             sim.settle();
             if let Some(rec) = recorder.as_deref_mut() {

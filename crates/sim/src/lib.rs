@@ -10,6 +10,13 @@
 //!   a per-bit taint label, under a [`FlowPolicy`] (precise cell-level rules
 //!   or a conservative any-taint-propagates rule).
 //!
+//! Both have **compiled** counterparts — [`CompiledSim`] and
+//! [`CompiledTaintSim`] — that execute a levelized instruction tape
+//! ([`SimTape`]) over a flat `u64` arena instead of walking the
+//! expression tree, with an allocation-free fast path for signals at most
+//! 64 bits wide. The interpretive simulators are the reference oracle;
+//! [`SimEngine`] selects the backend at flow level.
+//!
 //! On top of these, [`IftSimulation`] runs the FastPath IFT step: taint all
 //! data inputs `X_D`, simulate a [`Testbench`], check `X_D =/=> Y_C`, and
 //! extract the untainted state set `Z'` that seeds the UPEC-DIT induction.
@@ -46,9 +53,11 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod ift;
 mod simulator;
 mod taint;
+mod tape;
 mod testbench;
 mod vcd;
 
@@ -57,6 +66,7 @@ pub use ift::{
     IftViolation,
 };
 pub use simulator::Simulator;
-pub use taint::{FlowPolicy, Labeled, TaintSimulator};
+pub use taint::{FlowPolicy, Labeled, TaintEngine, TaintSimulator};
+pub use tape::{CompiledSim, CompiledTaintSim, SimEngine, SimTape};
 pub use testbench::{RandomTestbench, Testbench};
 pub use vcd::VcdRecorder;

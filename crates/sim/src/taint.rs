@@ -17,8 +17,31 @@
 //! untainted signal at the end of simulation genuinely received no
 //! influence from the sources *for the stimuli exercised*.
 
-use fastpath_rtl::{BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp};
+use fastpath_rtl::{
+    BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp,
+};
 use std::collections::HashSet;
+
+/// The common interface of the interpretive [`TaintSimulator`] and the
+/// compiled [`CompiledTaintSim`](crate::CompiledTaintSim): everything the
+/// IFT step ([`IftSimulation`](crate::IftSimulation)) and the VCD recorder
+/// need to drive a design and observe taint.
+pub trait TaintEngine {
+    /// Drives an input; `tainted` taints all bits (HIGH) or none (LOW).
+    fn drive_input(&mut self, id: SignalId, value: BitVec, tainted: bool);
+    /// Settles combinational logic, propagating taint.
+    fn settle(&mut self);
+    /// Clocks the registers, committing value and taint.
+    fn clock(&mut self);
+    /// Marks a signal as declassified (taint cleared as computed).
+    fn declassify(&mut self, id: SignalId);
+    /// `true` iff any bit of the signal is currently tainted.
+    fn is_tainted(&self, id: SignalId) -> bool;
+    /// An owned copy of the signal's current value.
+    fn value_bits(&self, id: SignalId) -> BitVec;
+    /// An owned copy of the signal's current taint mask.
+    fn taint_bits(&self, id: SignalId) -> BitVec;
+}
 
 /// Taint propagation policy.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -256,12 +279,12 @@ impl<'m> TaintSimulator<'m> {
             },
             Expr::Unary(op, a) => {
                 let a = self.eval(a);
-                self.apply_unary(op, &a)
+                label_unary(self.policy, op, &a)
             }
             Expr::Binary(op, a, b) => {
                 let a = self.eval(a);
                 let b = self.eval(b);
-                self.apply_binary(op, &a, &b)
+                label_binary(self.policy, op, &a, &b)
             }
             Expr::Mux {
                 cond,
@@ -271,7 +294,7 @@ impl<'m> TaintSimulator<'m> {
                 let c = self.eval(cond);
                 let t = self.eval(then_expr);
                 let e = self.eval(else_expr);
-                self.apply_mux(&c, &t, &e)
+                label_mux(self.policy, &c, &t, &e)
             }
             Expr::Slice { arg, hi, lo } => {
                 let a = self.eval(arg);
@@ -307,151 +330,197 @@ impl<'m> TaintSimulator<'m> {
         }
     }
 
-    fn conservative(&self, value: BitVec, inputs: &[&Labeled]) -> Labeled {
-        if inputs.iter().any(|l| l.is_tainted()) {
-            Labeled::tainted(value)
-        } else {
-            Labeled::clean(value)
-        }
+}
+
+impl TaintEngine for TaintSimulator<'_> {
+    fn drive_input(&mut self, id: SignalId, value: BitVec, tainted: bool) {
+        self.set_input(id, value, tainted);
     }
 
-    fn apply_unary(&self, op: UnaryOp, a: &Labeled) -> Labeled {
-        use fastpath_rtl::UnaryOp::*;
-        let value = match op {
-            Not => !&a.value,
-            Neg => a.value.wrapping_neg(),
-            RedAnd => a.value.reduce_and(),
-            RedOr => a.value.reduce_or(),
-            RedXor => a.value.reduce_xor(),
-        };
-        if self.policy == FlowPolicy::Conservative {
-            return self.conservative(value, &[a]);
-        }
-        let taint = match op {
-            Not => a.taint.clone(),
-            Neg => carry_taint(&a.taint),
-            RedAnd => {
-                // A definite (untainted) 0 bit forces the result to 0.
-                let forced_zero = (0..a.value.width())
-                    .any(|i| !a.taint.bit(i) && !a.value.bit(i));
-                BitVec::from_bool(!forced_zero && !a.taint.is_zero())
-            }
-            RedOr => {
-                // A definite 1 bit forces the result to 1.
-                let forced_one = (0..a.value.width())
-                    .any(|i| !a.taint.bit(i) && a.value.bit(i));
-                BitVec::from_bool(!forced_one && !a.taint.is_zero())
-            }
-            RedXor => BitVec::from_bool(!a.taint.is_zero()),
-        };
-        Labeled { value, taint }
+    fn settle(&mut self) {
+        TaintSimulator::settle(self);
     }
 
-    fn apply_binary(
-        &self,
-        op: fastpath_rtl::BinaryOp,
-        a: &Labeled,
-        b: &Labeled,
-    ) -> Labeled {
-        use fastpath_rtl::BinaryOp::*;
-        let value = fastpath_rtl::eval_binary(op, &a.value, &b.value);
-        if self.policy == FlowPolicy::Conservative {
-            return self.conservative(value, &[a, b]);
-        }
-        let taint = match op {
-            And => {
-                // Tainted bit passes only if the other side could be 1.
-                let tt = &a.taint & &b.taint;
-                let ta = &a.taint & &b.value;
-                let tb = &b.taint & &a.value;
-                &(&tt | &ta) | &tb
-            }
-            Or => {
-                // Tainted bit passes only if the other side could be 0.
-                let tt = &a.taint & &b.taint;
-                let ta = &a.taint & &!&b.value;
-                let tb = &b.taint & &!&a.value;
-                &(&tt | &ta) | &tb
-            }
-            Xor => &a.taint | &b.taint,
-            Add | Sub => carry_taint(&(&a.taint | &b.taint)),
-            Mul => {
-                if a.taint.is_zero() && b.taint.is_zero() {
-                    BitVec::zero(value.width())
-                } else if (a.taint.is_zero() && a.value.is_zero())
-                    || (b.taint.is_zero() && b.value.is_zero())
-                {
-                    // Multiplication by a definite zero yields zero.
-                    BitVec::zero(value.width())
-                } else {
-                    carry_taint(&(&a.taint | &b.taint))
-                }
-            }
-            Shl | Lshr | Ashr => {
-                if !b.taint.is_zero() {
-                    // Taint-steered shift amount: unless the shifted value
-                    // is a definite zero, the whole result is tainted.
-                    if a.taint.is_zero() && a.value.is_zero() {
-                        Labeled::clean(value.clone()).taint
-                    } else {
-                        BitVec::ones(value.width())
-                    }
-                } else {
-                    let amount =
-                        b.value.try_to_u64().unwrap_or(u64::MAX);
-                    match op {
-                        Shl => a.taint.shl(amount),
-                        Lshr => a.taint.lshr(amount),
-                        Ashr => a.taint.ashr(amount),
-                        _ => unreachable!(),
-                    }
-                }
-            }
-            Eq | Ne => {
-                // If any bit position is untainted on both sides and the
-                // values differ there, the comparison outcome is fixed.
-                let both_clean = &!&a.taint & &!&b.taint;
-                let diff = &a.value ^ &b.value;
-                let determined = !(&both_clean & &diff).is_zero();
-                let any_taint =
-                    !a.taint.is_zero() || !b.taint.is_zero();
-                BitVec::from_bool(!determined && any_taint)
-            }
-            Ult | Ule | Slt | Sle => BitVec::from_bool(
-                !a.taint.is_zero() || !b.taint.is_zero(),
-            ),
-        };
-        Labeled { value, taint }
+    fn clock(&mut self) {
+        TaintSimulator::clock(self);
     }
 
-    fn apply_mux(&self, c: &Labeled, t: &Labeled, e: &Labeled) -> Labeled {
-        let take_then = c.value.is_true();
-        let value = if take_then {
-            t.value.clone()
-        } else {
-            e.value.clone()
-        };
-        if self.policy == FlowPolicy::Conservative {
-            return self.conservative(value, &[c, t, e]);
+    fn declassify(&mut self, id: SignalId) {
+        TaintSimulator::declassify(self, id);
+    }
+
+    fn is_tainted(&self, id: SignalId) -> bool {
+        TaintSimulator::is_tainted(self, id)
+    }
+
+    fn value_bits(&self, id: SignalId) -> BitVec {
+        self.value(id).clone()
+    }
+
+    fn taint_bits(&self, id: SignalId) -> BitVec {
+        self.taint(id).clone()
+    }
+}
+
+/// The conservative policy's single rule: any tainted input taints the
+/// whole result.
+fn conservative(value: BitVec, inputs: &[&Labeled]) -> Labeled {
+    if inputs.iter().any(|l| l.is_tainted()) {
+        Labeled::tainted(value)
+    } else {
+        Labeled::clean(value)
+    }
+}
+
+/// Per-op taint kernel for unary operators, shared between the
+/// interpretive [`TaintSimulator`] and the compiled tape's wide fallback.
+pub(crate) fn label_unary(
+    policy: FlowPolicy,
+    op: UnaryOp,
+    a: &Labeled,
+) -> Labeled {
+    use fastpath_rtl::UnaryOp::*;
+    let value = match op {
+        Not => !&a.value,
+        Neg => a.value.wrapping_neg(),
+        RedAnd => a.value.reduce_and(),
+        RedOr => a.value.reduce_or(),
+        RedXor => a.value.reduce_xor(),
+    };
+    if policy == FlowPolicy::Conservative {
+        return conservative(value, &[a]);
+    }
+    let taint = match op {
+        Not => a.taint.clone(),
+        Neg => carry_taint(&a.taint),
+        RedAnd => {
+            // A definite (untainted) 0 bit forces the result to 0.
+            let forced_zero = (0..a.value.width())
+                .any(|i| !a.taint.bit(i) && !a.value.bit(i));
+            BitVec::from_bool(!forced_zero && !a.taint.is_zero())
         }
-        if !c.is_tainted() {
-            let taint = if take_then {
-                t.taint.clone()
+        RedOr => {
+            // A definite 1 bit forces the result to 1.
+            let forced_one = (0..a.value.width())
+                .any(|i| !a.taint.bit(i) && a.value.bit(i));
+            BitVec::from_bool(!forced_one && !a.taint.is_zero())
+        }
+        RedXor => BitVec::from_bool(!a.taint.is_zero()),
+    };
+    Labeled { value, taint }
+}
+
+/// Per-op taint kernel for binary operators (see [`label_unary`]).
+pub(crate) fn label_binary(
+    policy: FlowPolicy,
+    op: BinaryOp,
+    a: &Labeled,
+    b: &Labeled,
+) -> Labeled {
+    use fastpath_rtl::BinaryOp::*;
+    let value = fastpath_rtl::eval_binary(op, &a.value, &b.value);
+    if policy == FlowPolicy::Conservative {
+        return conservative(value, &[a, b]);
+    }
+    let taint = match op {
+        And => {
+            // Tainted bit passes only if the other side could be 1.
+            let tt = &a.taint & &b.taint;
+            let ta = &a.taint & &b.value;
+            let tb = &b.taint & &a.value;
+            &(&tt | &ta) | &tb
+        }
+        Or => {
+            // Tainted bit passes only if the other side could be 0.
+            let tt = &a.taint & &b.taint;
+            let ta = &a.taint & &!&b.value;
+            let tb = &b.taint & &!&a.value;
+            &(&tt | &ta) | &tb
+        }
+        Xor => &a.taint | &b.taint,
+        Add | Sub => carry_taint(&(&a.taint | &b.taint)),
+        Mul => {
+            if a.taint.is_zero() && b.taint.is_zero() {
+                BitVec::zero(value.width())
+            } else if (a.taint.is_zero() && a.value.is_zero())
+                || (b.taint.is_zero() && b.value.is_zero())
+            {
+                // Multiplication by a definite zero yields zero.
+                BitVec::zero(value.width())
             } else {
-                e.taint.clone()
-            };
-            return Labeled { value, taint };
+                carry_taint(&(&a.taint | &b.taint))
+            }
         }
-        // Tainted selector: a bit leaks iff the branches can differ there.
-        let branch_diff = &t.value ^ &e.value;
-        let taint = &(&t.taint | &e.taint) | &branch_diff;
-        Labeled { value, taint }
+        Shl | Lshr | Ashr => {
+            if !b.taint.is_zero() {
+                // Taint-steered shift amount: unless the shifted value
+                // is a definite zero, the whole result is tainted.
+                if a.taint.is_zero() && a.value.is_zero() {
+                    Labeled::clean(value.clone()).taint
+                } else {
+                    BitVec::ones(value.width())
+                }
+            } else {
+                let amount =
+                    b.value.try_to_u64().unwrap_or(u64::MAX);
+                match op {
+                    Shl => a.taint.shl(amount),
+                    Lshr => a.taint.lshr(amount),
+                    Ashr => a.taint.ashr(amount),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        Eq | Ne => {
+            // If any bit position is untainted on both sides and the
+            // values differ there, the comparison outcome is fixed.
+            let both_clean = &!&a.taint & &!&b.taint;
+            let diff = &a.value ^ &b.value;
+            let determined = !(&both_clean & &diff).is_zero();
+            let any_taint =
+                !a.taint.is_zero() || !b.taint.is_zero();
+            BitVec::from_bool(!determined && any_taint)
+        }
+        Ult | Ule | Slt | Sle => BitVec::from_bool(
+            !a.taint.is_zero() || !b.taint.is_zero(),
+        ),
+    };
+    Labeled { value, taint }
+}
+
+/// Per-op taint kernel for the 2:1 mux (see [`label_unary`]).
+pub(crate) fn label_mux(
+    policy: FlowPolicy,
+    c: &Labeled,
+    t: &Labeled,
+    e: &Labeled,
+) -> Labeled {
+    let take_then = c.value.is_true();
+    let value = if take_then {
+        t.value.clone()
+    } else {
+        e.value.clone()
+    };
+    if policy == FlowPolicy::Conservative {
+        return conservative(value, &[c, t, e]);
     }
+    if !c.is_tainted() {
+        let taint = if take_then {
+            t.taint.clone()
+        } else {
+            e.taint.clone()
+        };
+        return Labeled { value, taint };
+    }
+    // Tainted selector: a bit leaks iff the branches can differ there.
+    let branch_diff = &t.value ^ &e.value;
+    let taint = &(&t.taint | &e.taint) | &branch_diff;
+    Labeled { value, taint }
 }
 
 /// Models carry propagation: taint spreads from the lowest tainted bit to
 /// all more-significant bits.
-fn carry_taint(taint: &BitVec) -> BitVec {
+pub(crate) fn carry_taint(taint: &BitVec) -> BitVec {
     let width = taint.width();
     let mut out = BitVec::zero(width);
     let mut propagating = false;

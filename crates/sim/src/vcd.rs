@@ -34,7 +34,7 @@
 //! ```
 
 use crate::simulator::Simulator;
-use crate::taint::TaintSimulator;
+use crate::taint::TaintEngine;
 use fastpath_rtl::{BitVec, Module, SignalId};
 
 /// Records signal values over time and renders a VCD document.
@@ -94,18 +94,19 @@ impl VcdRecorder {
         self.samples.push(frame);
     }
 
-    /// Takes one sample from a taint simulator, capturing values *and*
-    /// taint masks (rendered as `<name>_taint` companion variables).
-    pub fn sample_taint(&mut self, sim: &TaintSimulator<'_>) {
+    /// Takes one sample from any taint engine (interpretive or compiled),
+    /// capturing values *and* taint masks (rendered as `<name>_taint`
+    /// companion variables).
+    pub fn sample_taint<E: TaintEngine>(&mut self, sim: &E) {
         let frame = self
             .signals
             .iter()
-            .map(|&(id, _, _)| sim.value(id).clone())
+            .map(|&(id, _, _)| sim.value_bits(id))
             .collect();
         let taints = self
             .signals
             .iter()
-            .map(|&(id, _, _)| sim.taint(id).clone())
+            .map(|&(id, _, _)| sim.taint_bits(id))
             .collect();
         self.samples.push(frame);
         self.taint_samples.push(taints);

@@ -1,0 +1,124 @@
+//! Steady-state allocation audit for the compiled simulation engine.
+//!
+//! On a design whose signals are all ≤ 64 bits wide, the compiled tape
+//! must run entirely on its preallocated arenas: after the first cycle,
+//! `set_input_u64` / `settle` / `clock` must never touch the heap. A
+//! counting `#[global_allocator]` measures this directly, so this suite
+//! lives in its own test binary with a single `#[test]` (no concurrent
+//! tests mutating the counter).
+
+use fastpath_rtl::{Module, ModuleBuilder};
+use fastpath_sim::{CompiledSim, CompiledTaintSim, FlowPolicy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// An all-small design: 32-bit datapath with a mux, comparisons, shifts
+/// and a couple of registers — enough to touch most small-value kernels.
+fn small_design() -> Module {
+    let mut b = ModuleBuilder::new("alloc_probe");
+    let data = b.data_input("data", 32);
+    let ctrl = b.control_input("ctrl", 1);
+    let d = b.sig(data);
+    let c = b.sig(ctrl);
+    let acc = b.reg("acc", 32, 1);
+    let a = b.sig(acc);
+    let sum = b.add(a, d);
+    let two = b.lit(32, 2);
+    let dbl = b.mul(a, two);
+    let next = b.mux(c, sum, dbl);
+    b.set_next(acc, next).expect("drive");
+    b.data_output("result", a);
+    let phase = b.reg("phase", 8, 0);
+    let p = b.sig(phase);
+    let one = b.lit(8, 1);
+    let inc = b.add(p, one);
+    b.set_next(phase, inc).expect("drive");
+    let hi = b.slice(p, 7, 4);
+    let any = b.red_or(hi);
+    b.control_output("busy", any);
+    b.build().expect("valid")
+}
+
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let module = small_design();
+    let data = module.signal_by_name("data").expect("data");
+    let ctrl = module.signal_by_name("ctrl").expect("ctrl");
+
+    // Plain value simulation.
+    let mut sim = CompiledSim::new(&module);
+    assert!(sim.tape().is_small_only());
+    sim.set_input_u64(data, 0xDEAD_BEEF);
+    sim.set_input_u64(ctrl, 1);
+    sim.step(); // warm-up: first settle/clock after construction
+    let before = allocations();
+    for cycle in 0..1000u64 {
+        sim.set_input_u64(data, cycle.wrapping_mul(0x9E37_79B9));
+        sim.set_input_u64(ctrl, cycle & 1);
+        sim.step();
+    }
+    let value_allocs = allocations() - before;
+
+    // Taint simulation, both policies.
+    let mut taint_allocs = 0;
+    for policy in [FlowPolicy::Precise, FlowPolicy::Conservative] {
+        let mut sim = CompiledTaintSim::new(&module, policy);
+        sim.set_input_u64(data, 0xDEAD_BEEF, true);
+        sim.set_input_u64(ctrl, 1, false);
+        sim.step();
+        let before = allocations();
+        for cycle in 0..1000u64 {
+            sim.set_input_u64(
+                data,
+                cycle.wrapping_mul(0x9E37_79B9),
+                cycle % 3 != 0,
+            );
+            sim.set_input_u64(ctrl, cycle & 1, false);
+            sim.step();
+        }
+        taint_allocs += allocations() - before;
+    }
+
+    assert_eq!(
+        value_allocs, 0,
+        "CompiledSim allocated {value_allocs} times in 1000 steady-state \
+         cycles"
+    );
+    assert_eq!(
+        taint_allocs, 0,
+        "CompiledTaintSim allocated {taint_allocs} times in 2×1000 \
+         steady-state cycles"
+    );
+}

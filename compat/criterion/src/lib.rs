@@ -23,13 +23,12 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 
-    pub fn new<S: Into<String>, P: Display>(
-        function_name: S,
-        parameter: P,
-    ) -> Self {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
         BenchmarkId {
             id: format!("{}/{}", function_name.into(), parameter),
         }
@@ -51,8 +50,7 @@ impl Bencher {
         black_box(routine());
         let once = warmup.elapsed();
         let per_sample = if once < Duration::from_micros(50) {
-            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
-                .clamp(1, 10_000) as u32
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32
         } else {
             1
         };
@@ -78,11 +76,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<S: Into<String>, F>(
-        &mut self,
-        id: S,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -92,12 +86,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<P, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &P,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &P),
     {
@@ -111,7 +100,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
-    let mut bencher = Bencher { samples: Vec::new(), sample_count: samples };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count: samples,
+    };
     f(&mut bencher);
     bencher.samples.sort();
     let median = bencher
@@ -150,10 +142,7 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    pub fn benchmark_group<S: Into<String>>(
-        &mut self,
-        name: S,
-    ) -> BenchmarkGroup<'_> {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: default_sample_size(),
@@ -161,11 +150,7 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function<S: Into<String>, F>(
-        &mut self,
-        id: S,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {

@@ -50,7 +50,9 @@ pub mod deque {
 
     impl<T> Injector<T> {
         pub fn new() -> Self {
-            Injector { queue: Mutex::new(VecDeque::new()) }
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
         }
 
         pub fn push(&self, task: T) {
@@ -81,7 +83,9 @@ pub mod deque {
 
     impl<T> Worker<T> {
         pub fn new_fifo() -> Self {
-            Worker { deque: Arc::new(Mutex::new(VecDeque::new())) }
+            Worker {
+                deque: Arc::new(Mutex::new(VecDeque::new())),
+            }
         }
 
         pub fn new_lifo() -> Self {
@@ -89,7 +93,9 @@ pub mod deque {
         }
 
         pub fn stealer(&self) -> Stealer<T> {
-            Stealer { deque: Arc::clone(&self.deque) }
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
         }
 
         pub fn push(&self, task: T) {
@@ -116,7 +122,9 @@ pub mod deque {
 
     impl<T> Clone for Stealer<T> {
         fn clone(&self) -> Self {
-            Stealer { deque: Arc::clone(&self.deque) }
+            Stealer {
+                deque: Arc::clone(&self.deque),
+            }
         }
     }
 

@@ -17,7 +17,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -50,7 +52,9 @@ pub struct RwLock<T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -79,7 +83,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub fn new() -> Self {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     pub fn notify_one(&self) {
@@ -97,11 +103,7 @@ impl Condvar {
         });
     }
 
-    pub fn wait_for<T>(
-        &self,
-        guard: &mut MutexGuard<'_, T>,
-        timeout: Duration,
-    ) -> bool {
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         let mut timed_out = false;
         replace_guard(guard, |g| {
             let (g, result) = self

@@ -193,9 +193,7 @@ macro_rules! impl_arbitrary_standard {
         }
     )*};
 }
-impl_arbitrary_standard!(
-    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64
-);
+impl_arbitrary_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
 
 pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -229,12 +227,18 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -251,11 +255,11 @@ pub mod collection {
         }
     }
 
-    pub fn vec<S: Strategy>(
-        element: S,
-        size: impl Into<SizeRange>,
-    ) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -266,8 +270,8 @@ pub mod prop {
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_compose, proptest,
-        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_compose, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 

@@ -62,16 +62,8 @@ impl Standard for f64 {
 
 /// Types samplable uniformly from a half-open or inclusive range.
 pub trait SampleUniform: Sized {
-    fn sample_half_open<R: RngCore + ?Sized>(
-        rng: &mut R,
-        low: Self,
-        high: Self,
-    ) -> Self;
-    fn sample_inclusive<R: RngCore + ?Sized>(
-        rng: &mut R,
-        low: Self,
-        high: Self,
-    ) -> Self;
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -104,19 +96,11 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_half_open<R: RngCore + ?Sized>(
-        rng: &mut R,
-        low: Self,
-        high: Self,
-    ) -> Self {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
         assert!(low < high, "gen_range: empty range");
         low + f64::standard(rng) * (high - low)
     }
-    fn sample_inclusive<R: RngCore + ?Sized>(
-        rng: &mut R,
-        low: Self,
-        high: Self,
-    ) -> Self {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
         Self::sample_half_open(rng, low, high + f64::EPSILON * high.abs())
     }
 }
@@ -201,10 +185,7 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[1]
-                .wrapping_mul(5)
-                .rotate_left(7)
-                .wrapping_mul(9);
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -255,8 +236,7 @@ mod tests {
             assert!(!rng.gen_bool(0.0));
             assert!(rng.gen_bool(1.0));
         }
-        let heads =
-            (0..2000).filter(|_| rng.gen_bool(0.5)).count() as f64 / 2000.0;
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count() as f64 / 2000.0;
         assert!((0.4..0.6).contains(&heads), "p=0.5 gave {heads}");
     }
 

@@ -32,16 +32,12 @@ fn pigeonhole(holes: usize) -> Solver {
 fn bench_pigeonhole(c: &mut Criterion) {
     let mut group = c.benchmark_group("sat/pigeonhole");
     for holes in [6usize, 7, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(holes),
-            &holes,
-            |b, &holes| {
-                b.iter(|| {
-                    let mut s = pigeonhole(holes);
-                    assert_eq!(s.solve(), SolveResult::Unsat);
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
+            b.iter(|| {
+                let mut s = pigeonhole(holes);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            });
+        });
     }
     group.finish();
 }
@@ -53,11 +49,7 @@ fn bench_upec_queries(c: &mut Criterion) {
     let fixed = study.fixed_instance.as_ref().expect("fixed variant");
     let module = &fixed.module;
     let spec = UpecSpec {
-        software_constraints: fixed
-            .constraints
-            .iter()
-            .map(|p| p.expr)
-            .collect(),
+        software_constraints: fixed.constraints.iter().map(|p| p.expr).collect(),
         invariants: fixed.invariants.iter().map(|p| p.expr).collect(),
         conditional_equalities: fixed
             .cond_eqs

@@ -9,9 +9,7 @@ use fastpath::{run_ift_batch, BatchOptions};
 use fastpath_bench::{run_table1, Table1Options};
 use fastpath_formal::{ElaborationMode, Upec2Safety, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
-use fastpath_sim::{
-    IftSimulation, RandomTestbench, SimEngine, SimTape,
-};
+use fastpath_sim::{IftSimulation, RandomTestbench, SimEngine, SimTape};
 use std::sync::Arc;
 
 fn bench_hfg(c: &mut Criterion) {
@@ -101,8 +99,7 @@ fn bench_sim(c: &mut Criterion) {
 /// FWRISCV-MDS with its simulation-derived `Z'` and constraint spec — the
 /// representative formal workload shared by the `formal` and
 /// `certification` groups.
-fn fwrisc_workload(
-) -> (fastpath::CaseStudy, Vec<fastpath_rtl::SignalId>, UpecSpec) {
+fn fwrisc_workload() -> (fastpath::CaseStudy, Vec<fastpath_rtl::SignalId>, UpecSpec) {
     let study = fastpath_designs::fwrisc_mds::case_study();
     let instance = &study.instance;
     let module = &instance.module;
@@ -118,11 +115,7 @@ fn fwrisc_workload(
     let report = IftSimulation::new(study.cycles).run(module, &mut tb);
     let z_prime = report.untainted_state;
     let spec = UpecSpec {
-        software_constraints: instance
-            .constraints
-            .iter()
-            .map(|p| p.expr)
-            .collect(),
+        software_constraints: instance.constraints.iter().map(|p| p.expr).collect(),
         invariants: vec![],
         conditional_equalities: vec![],
     };
@@ -146,12 +139,7 @@ fn bench_formal(c: &mut Criterion) {
     let boom = fastpath_designs::boom::case_study();
     let bmodule = &boom.instance.module;
     let bspec = UpecSpec {
-        software_constraints: boom
-            .instance
-            .constraints
-            .iter()
-            .map(|p| p.expr)
-            .collect(),
+        software_constraints: boom.instance.constraints.iter().map(|p| p.expr).collect(),
         invariants: vec![],
         conditional_equalities: vec![],
     };
@@ -171,17 +159,11 @@ fn bench_formal(c: &mut Criterion) {
     // `ElaborationMode::Fresh` reference), `cached` reuses one frame
     // template and one incremental solver across all checks.
     let z_sets: Vec<Vec<_>> = (0..4)
-        .map(|skip| {
-            z_prime.iter().copied().skip(skip).collect()
-        })
+        .map(|skip| z_prime.iter().copied().skip(skip).collect())
         .collect();
     group.bench_function("elaboration_cold/FWRISCV-MDS", |b| {
         b.iter(|| {
-            let mut upec = Upec2Safety::with_mode(
-                module,
-                &spec,
-                ElaborationMode::Fresh,
-            );
+            let mut upec = Upec2Safety::with_mode(module, &spec, ElaborationMode::Fresh);
             let mut holds = 0u32;
             for z in &z_sets {
                 holds += upec.check(z).holds() as u32;
@@ -211,11 +193,9 @@ fn pigeonhole(holes: usize, log: bool, check: bool) -> usize {
         solver.enable_proof_logging();
     }
     let pigeons = holes + 1;
-    let vars: Vec<_> =
-        (0..pigeons * holes).map(|_| solver.new_var()).collect();
+    let vars: Vec<_> = (0..pigeons * holes).map(|_| solver.new_var()).collect();
     for i in 0..pigeons {
-        let clause: Vec<_> =
-            (0..holes).map(|j| vars[i * holes + j].positive()).collect();
+        let clause: Vec<_> = (0..holes).map(|j| vars[i * holes + j].positive()).collect();
         solver.add_clause(&clause);
     }
     for j in 0..holes {
@@ -231,8 +211,7 @@ fn pigeonhole(holes: usize, log: bool, check: bool) -> usize {
     assert_eq!(solver.solve_with(&[]), SolveResult::Unsat);
     if check {
         let proof = solver.proof().expect("logging enabled");
-        fastpath_cert::check_unsat_certificate(proof.steps(), &[])
-            .expect("proof must check");
+        fastpath_cert::check_unsat_certificate(proof.steps(), &[]).expect("proof must check");
     }
     solver.proof_len()
 }

@@ -1,0 +1,453 @@
+//! Benchmark-regression gating over `table1 --bench-json` records.
+//!
+//! CI runs the Table I driver on every PR and diffs the fresh record
+//! against the committed `BENCH_table1.json` baseline. Semantic fields —
+//! the verdict, the completing stage, and the manual-inspection count of
+//! both the fastpath and the exhaustive baseline, per design — **gate**:
+//! any drift fails the job, because those numbers are the paper's
+//! Table I and must only change deliberately (with a baseline update in
+//! the same PR). Wall-clock numbers are machine-dependent, so they are
+//! **report-only**: slowdowns beyond a generous tolerance are called out
+//! in the summary but never fail the job.
+//!
+//! The workspace vendors no serde, so the record is parsed with the
+//! minimal JSON reader below (sufficient for the machine-generated
+//! `--bench-json` shape, strict enough to reject malformed files).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Report-only wall-clock tolerance: flag a design when it got slower
+/// than `base * RATIO + SLACK_S` seconds.
+const WALL_RATIO: f64 = 3.0;
+const WALL_SLACK_S: f64 = 0.5;
+
+/// A minimal JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order is irrelevant for the bench records).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a byte offset plus description for malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string (byte {pos})")),
+                };
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                        out.push(match esc {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            other => {
+                                return Err(format!("unsupported escape `\\{}`", *other as char))
+                            }
+                        });
+                        *pos += 1;
+                    }
+                    Some(&b) => {
+                        // The bench records are ASCII; pass UTF-8
+                        // continuation bytes through unchanged.
+                        let start = *pos;
+                        let ch_len = utf8_len(b);
+                        *pos += ch_len;
+                        let chunk = bytes.get(start..start + ch_len).ok_or("truncated UTF-8")?;
+                        out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// The gated slice of one flow record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SideRecord {
+    /// Table I verdict column ("True"/"Constrained"/"False").
+    pub verdict: String,
+    /// Completing stage ("HFG"/"IFT"/"UPEC").
+    pub method: String,
+    /// Manual-inspection count.
+    pub inspections: u64,
+    /// Wall-clock seconds (report-only).
+    pub wall_s: f64,
+}
+
+/// Both sides of one design row.
+#[derive(Clone, Debug)]
+pub struct DesignRecord {
+    /// Row label.
+    pub design: String,
+    /// FastPath hybrid flow.
+    pub fastpath: SideRecord,
+    /// Formal-only baseline.
+    pub baseline: SideRecord,
+}
+
+/// Parses a `table1 --bench-json` record into design rows.
+///
+/// # Errors
+///
+/// Returns a description for malformed JSON or a missing field.
+pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
+    let root = parse_json(text)?;
+    let designs = match root.get("designs") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("missing `designs` array".to_string()),
+    };
+    designs
+        .iter()
+        .map(|d| {
+            let design = d
+                .str("design")
+                .ok_or("design row without `design` name")?
+                .to_string();
+            let side = |key: &str| -> Result<SideRecord, String> {
+                let s = d
+                    .get(key)
+                    .ok_or_else(|| format!("{design}: missing `{key}`"))?;
+                Ok(SideRecord {
+                    verdict: s
+                        .str("verdict")
+                        .ok_or_else(|| format!("{design}: {key}.verdict"))?
+                        .to_string(),
+                    method: s
+                        .str("method")
+                        .ok_or_else(|| format!("{design}: {key}.method"))?
+                        .to_string(),
+                    inspections: s
+                        .num("inspections")
+                        .ok_or_else(|| format!("{design}: {key}.inspections"))?
+                        as u64,
+                    wall_s: s
+                        .num("wall_s")
+                        .ok_or_else(|| format!("{design}: {key}.wall_s"))?,
+                })
+            };
+            Ok(DesignRecord {
+                design: design.clone(),
+                fastpath: side("fastpath")?,
+                baseline: side("baseline")?,
+            })
+        })
+        .collect()
+}
+
+/// Result of diffing a fresh record against the committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDiff {
+    /// Gating drifts: verdict/method/inspections changes, missing or
+    /// extra designs. Non-empty fails CI.
+    pub regressions: Vec<String>,
+    /// Report-only notes (wall-clock slowdowns beyond tolerance).
+    pub warnings: Vec<String>,
+    /// Markdown summary table for the job log.
+    pub markdown: String,
+}
+
+fn diff_side(design: &str, side: &str, old: &SideRecord, new: &SideRecord, out: &mut BenchDiff) {
+    for (field, a, b) in [
+        ("verdict", &old.verdict, &new.verdict),
+        ("method", &old.method, &new.method),
+    ] {
+        if a != b {
+            out.regressions
+                .push(format!("{design} [{side}]: {field} drifted `{a}` -> `{b}`"));
+        }
+    }
+    if old.inspections != new.inspections {
+        out.regressions.push(format!(
+            "{design} [{side}]: inspections drifted {} -> {}",
+            old.inspections, new.inspections
+        ));
+    }
+    if new.wall_s > old.wall_s * WALL_RATIO + WALL_SLACK_S {
+        out.warnings.push(format!(
+            "{design} [{side}]: {:.3}s vs baseline {:.3}s (report-only)",
+            new.wall_s, old.wall_s
+        ));
+    }
+}
+
+/// Diffs `new` against `old` (both `--bench-json` texts).
+///
+/// # Errors
+///
+/// Returns a description when either record fails to parse.
+pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, String> {
+    let old = parse_bench_record(old_text)?;
+    let new = parse_bench_record(new_text)?;
+    let mut out = BenchDiff::default();
+
+    let _ = writeln!(
+        out.markdown,
+        "| Design | Verdict | Method | Inspections | Wall base→cur (s) |",
+    );
+    let _ = writeln!(out.markdown, "|---|---|---|---|---|");
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.design == o.design) else {
+            out.regressions
+                .push(format!("{}: missing from new record", o.design));
+            continue;
+        };
+        diff_side(&o.design, "fastpath", &o.fastpath, &n.fastpath, &mut out);
+        diff_side(&o.design, "baseline", &o.baseline, &n.baseline, &mut out);
+        let mark = |a: &str, b: &str| {
+            if a == b {
+                a.to_string()
+            } else {
+                format!("**{a}→{b}**")
+            }
+        };
+        let _ = writeln!(
+            out.markdown,
+            "| {} | {} | {} | {} | {:.3}→{:.3} |",
+            n.design,
+            mark(&o.fastpath.verdict, &n.fastpath.verdict),
+            mark(&o.fastpath.method, &n.fastpath.method),
+            mark(
+                &o.fastpath.inspections.to_string(),
+                &n.fastpath.inspections.to_string()
+            ),
+            o.fastpath.wall_s,
+            n.fastpath.wall_s,
+        );
+    }
+    for n in &new {
+        if !old.iter().any(|o| o.design == n.design) {
+            out.regressions
+                .push(format!("{}: not in committed baseline", n.design));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"{
+      "generator": "table1 --bench-json", "sim_engine": "compiled",
+      "jobs": 1,
+      "designs": [
+        {"design": "A", "fastpath": {"wall_s": 0.1, "verdict": "True",
+          "method": "HFG", "inspections": 0},
+         "baseline": {"wall_s": 1.5, "verdict": "True",
+          "method": "UPEC", "inspections": 32}}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_the_committed_shape() {
+        let rows = parse_bench_record(MINI).expect("parses");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].fastpath.method, "HFG");
+        assert_eq!(rows[0].baseline.inspections, 32);
+    }
+
+    #[test]
+    fn identical_records_are_clean() {
+        let diff = diff_bench_records(MINI, MINI).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.warnings.is_empty());
+        assert!(diff.markdown.contains("| A | True | HFG | 0 |"));
+    }
+
+    #[test]
+    fn semantic_drift_gates_but_slowdown_only_warns() {
+        let drifted = MINI
+            .replace(
+                r#""verdict": "True",
+          "method": "HFG""#,
+                r#""verdict": "False",
+          "method": "IFT""#,
+            )
+            .replace(r#""wall_s": 1.5"#, r#""wall_s": 99.0"#);
+        let diff = diff_bench_records(MINI, &drifted).expect("diff");
+        assert_eq!(diff.regressions.len(), 2, "{:?}", diff.regressions);
+        assert_eq!(diff.warnings.len(), 1, "{:?}", diff.warnings);
+        assert!(diff.markdown.contains("**True→False**"));
+    }
+
+    #[test]
+    fn design_set_changes_gate() {
+        let renamed = MINI.replace(r#""design": "A""#, r#""design": "B""#);
+        let diff = diff_bench_records(MINI, &renamed).expect("diff");
+        assert_eq!(diff.regressions.len(), 2); // A missing + B unexpected
+    }
+
+    #[test]
+    fn real_baseline_file_parses_and_self_diffs_clean() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_table1.json"
+        ))
+        .expect("committed baseline");
+        let rows = parse_bench_record(&text).expect("parses");
+        assert_eq!(rows.len(), 8, "Table I has eight designs");
+        let diff = diff_bench_records(&text, &text).expect("diff");
+        assert!(diff.regressions.is_empty());
+        assert!(diff.warnings.is_empty());
+    }
+}

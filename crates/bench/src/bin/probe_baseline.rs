@@ -4,14 +4,25 @@ use fastpath::run_baseline;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "SHA512".into());
     let studies = fastpath_designs::all_case_studies();
-    let study = studies.into_iter().find(|s| s.name == name).expect("unknown design");
+    let study = studies
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("unknown design");
     let t0 = std::time::Instant::now();
     let report = run_baseline(&study);
     println!(
         "{}: verdict={} insp={} total_prop={:?} checks={} time={:?}",
-        report.design, report.verdict, report.manual_inspections,
-        report.total_propagations, report.timings.check_count, t0.elapsed()
+        report.design,
+        report.verdict,
+        report.manual_inspections,
+        report.total_propagations,
+        report.timings.check_count,
+        t0.elapsed()
     );
-    println!("  constraints={:?} invariants={:?} vulns={}",
-        report.derived_constraints, report.invariants_added, report.vulnerabilities.len());
+    println!(
+        "  constraints={:?} invariants={:?} vulns={}",
+        report.derived_constraints,
+        report.invariants_added,
+        report.vulnerabilities.len()
+    );
 }

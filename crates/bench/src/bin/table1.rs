@@ -53,17 +53,14 @@ fn main() {
             .position(|a| a == "--design")
             .and_then(|i| args.get(i + 1).cloned()),
         certify: args.iter().any(|a| a == "--certify"),
-        dump_artifacts: args
-            .iter()
-            .position(|a| a == "--dump-artifacts")
-            .map(|i| {
-                args.get(i + 1)
-                    .map(std::path::PathBuf::from)
-                    .unwrap_or_else(|| {
-                        eprintln!("--dump-artifacts expects a directory");
-                        std::process::exit(2);
-                    })
-            }),
+        dump_artifacts: args.iter().position(|a| a == "--dump-artifacts").map(|i| {
+            args.get(i + 1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--dump-artifacts expects a directory");
+                    std::process::exit(2);
+                })
+        }),
         sim_engine: args
             .iter()
             .position(|a| a == "--sim-engine")
@@ -75,17 +72,14 @@ fn main() {
                 })
             })
             .unwrap_or_default(),
-        bench_json: args
-            .iter()
-            .position(|a| a == "--bench-json")
-            .map(|i| {
-                args.get(i + 1)
-                    .map(std::path::PathBuf::from)
-                    .unwrap_or_else(|| {
-                        eprintln!("--bench-json expects a file path");
-                        std::process::exit(2);
-                    })
-            }),
+        bench_json: args.iter().position(|a| a == "--bench-json").map(|i| {
+            args.get(i + 1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--bench-json expects a file path");
+                    std::process::exit(2);
+                })
+        }),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

@@ -7,10 +7,11 @@
 //! byte-identical output across `--jobs` values without subprocess
 //! plumbing.
 
+pub mod benchdiff;
+
 use fastpath::parallel::run_ordered;
 use fastpath::{
-    effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy,
-    FlowOptions, FlowReport,
+    effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy, FlowOptions, FlowReport,
     PairwiseAnalysis, SimEngine,
 };
 use std::fmt::Write;
@@ -107,17 +108,11 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         })
         .collect();
     let results = run_ordered(opts.jobs, tasks);
-    let (reports, walls): (Vec<FlowReport>, Vec<f64>) =
-        results.into_iter().unzip();
+    let (reports, walls): (Vec<FlowReport>, Vec<f64>) = results.into_iter().unzip();
 
     if let Some(path) = &opts.bench_json {
-        if let Err(e) =
-            write_bench_json(path, opts, &selected, &reports, &walls)
-        {
-            eprintln!(
-                "warning: failed to write {}: {e}",
-                path.display()
-            );
+        if let Err(e) = write_bench_json(path, opts, &selected, &reports, &walls) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
         }
     }
 
@@ -195,21 +190,13 @@ fn write_bench_json(
         run_record(&mut out, &reports[2 * i], walls[2 * i]);
         let _ = write!(out, ", \"baseline\": ");
         run_record(&mut out, &reports[2 * i + 1], walls[2 * i + 1]);
-        let _ = writeln!(
-            out,
-            "}}{}",
-            if i + 1 < selected.len() { "," } else { "" }
-        );
+        let _ = writeln!(out, "}}{}", if i + 1 < selected.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]\n}}");
     std::fs::write(path, out)
 }
 
-fn render_markdown(
-    out: &mut String,
-    selected: &[&CaseStudy],
-    reports: &[FlowReport],
-) {
+fn render_markdown(out: &mut String, selected: &[&CaseStudy], reports: &[FlowReport]) {
     let _ = writeln!(
         out,
         "| Design | Verdict | Method | Signals | Bits | IFT | +UPEC | \
@@ -277,11 +264,7 @@ fn certification_line(label: &str, report: &FlowReport) -> Option<String> {
             s.artifacts_written
         );
         if s.artifact_failures > 0 {
-            let _ = write!(
-                &mut line,
-                " ({} write failures)",
-                s.artifact_failures
-            );
+            let _ = write!(&mut line, " ({} write failures)", s.artifact_failures);
         }
     }
     for f in &cert.failures {
@@ -370,8 +353,7 @@ fn render_row(out: &mut String, fast: &FlowReport, base: &FlowReport) {
         );
     }
     if !fast.invariants_added.is_empty() {
-        let _ =
-            writeln!(out, "  invariants:  {}", fast.invariants_added.join(", "));
+        let _ = writeln!(out, "  invariants:  {}", fast.invariants_added.join(", "));
     }
     for v in &fast.vulnerabilities {
         let _ = writeln!(out, "  VULNERABILITY: {v}");
@@ -388,11 +370,7 @@ fn render_runtime(out: &mut String, fast: &FlowReport) {
         out,
         "  runtime: structural {:?}, simulation {:?}, formal \
          elaboration {:?}, {} formal checks in {:?}",
-        t.structural,
-        t.simulation,
-        t.formal_elaboration,
-        t.check_count,
-        t.formal_checks
+        t.structural, t.simulation, t.formal_elaboration, t.check_count, t.formal_checks
     );
     let s = &fast.solver_stats;
     let _ = writeln!(
@@ -406,10 +384,6 @@ fn render_runtime(out: &mut String, fast: &FlowReport) {
         out,
         "  elab:    {} template builds ({} nodes), {} nodes across \
          per-check instantiations, strash {} hits / {} misses",
-        e.template_builds,
-        e.template_nodes,
-        e.check_nodes,
-        e.strash_hits,
-        e.strash_misses
+        e.template_builds, e.template_nodes, e.check_nodes, e.strash_hits, e.strash_misses
     );
 }

@@ -185,8 +185,7 @@ impl Checker {
             1 => true,
             -1 => false,
             _ => {
-                self.assign[lit.var().index()] =
-                    if lit.is_positive() { 1 } else { -1 };
+                self.assign[lit.var().index()] = if lit.is_positive() { 1 } else { -1 };
                 self.trail.push(lit);
                 true
             }
@@ -301,8 +300,7 @@ impl Checker {
             self.contradiction = true;
             return;
         }
-        let nonfalse =
-            lits.iter().filter(|&&l| self.value(l) != -1).count() as u32;
+        let nonfalse = lits.iter().filter(|&&l| self.value(l) != -1).count() as u32;
         let cref = self.clauses.len() as u32;
         for &l in &lits {
             self.occ[l.index()].push(cref);
@@ -383,14 +381,11 @@ impl Checker {
                 }
                 ProofStep::Learn(lits) if lits.is_empty() => {
                     if !self.contradiction {
-                        return Err(CertError::EmptyLearnWithoutConflict {
-                            step: pos,
-                        });
+                        return Err(CertError::EmptyLearnWithoutConflict { step: pos });
                     }
                 }
                 ProofStep::Learn(lits) => {
-                    let negated: Vec<Lit> =
-                        lits.iter().map(|&l| !l).collect();
+                    let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                     if !self.probes_to_conflict(&negated) {
                         return Err(CertError::LearnNotRup {
                             step: pos,
@@ -441,10 +436,7 @@ impl Checker {
     ///
     /// [`CertError::AssumptionsNotRefuted`] if assuming every assumption
     /// and unit-propagating does not conflict.
-    pub fn verify_unsat(
-        &mut self,
-        assumptions: &[Lit],
-    ) -> Result<(), CertError> {
+    pub fn verify_unsat(&mut self, assumptions: &[Lit]) -> Result<(), CertError> {
         if self.probes_to_conflict(assumptions) {
             Ok(())
         } else {
@@ -553,8 +545,7 @@ mod tests {
     fn certifies_pigeonhole_unsat() {
         let s = pigeonhole_unsat_solver();
         let stats =
-            check_unsat_certificate(s.proof().expect("logged").steps(), &[])
-                .expect("valid proof");
+            check_unsat_certificate(s.proof().expect("logged").steps(), &[]).expect("valid proof");
         assert!(stats.learns > 0, "proof exercises conflict analysis");
     }
 
@@ -602,17 +593,13 @@ mod tests {
         let without_axiom: Vec<ProofStep> = steps
             .iter()
             .enumerate()
-            .filter(|(i, st)| {
-                !(matches!(st, ProofStep::Axiom(_)) && *i == 0)
-            })
+            .filter(|(i, st)| !(matches!(st, ProofStep::Axiom(_)) && *i == 0))
             .map(|(_, st)| st.clone())
             .collect();
         let mut checker = Checker::new();
         let fed = checker.feed(&without_axiom);
         assert!(
-            fed.is_err()
-                || checker.verify_unsat(&[]).is_err()
-                || checker.contradiction(),
+            fed.is_err() || checker.verify_unsat(&[]).is_err() || checker.contradiction(),
             "either the replay or the final claim must fail, or the \
              remaining clauses are genuinely UNSAT"
         );
@@ -631,8 +618,7 @@ mod tests {
         assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Unsat);
         let snapshot = s.proof_len();
         let steps = &s.proof().expect("logged").steps()[..snapshot];
-        check_unsat_certificate(steps, &[g.positive()])
-            .expect("assumption UNSAT certifies");
+        check_unsat_certificate(steps, &[g.positive()]).expect("assumption UNSAT certifies");
         // Without the assumption the formula is satisfiable — the claim
         // must be rejected, not rubber-stamped.
         assert!(matches!(
@@ -659,12 +645,10 @@ mod tests {
         s.add_clause(&[g.negative()]); // retire the check
         let steps = s.proof().expect("logged").steps();
         // Prefix check (what the engine does): genuine refutation.
-        check_unsat_certificate(&steps[..snapshot], &[g.positive()])
-            .expect("prefix certifies");
+        check_unsat_certificate(&steps[..snapshot], &[g.positive()]).expect("prefix certifies");
         // Full-trace check still succeeds but only vacuously (!g is an
         // axiom), which is why the engine snapshots before retirement.
-        check_unsat_certificate(steps, &[g.positive()])
-            .expect("vacuous but consistent");
+        check_unsat_certificate(steps, &[g.positive()]).expect("vacuous but consistent");
     }
 
     #[test]
@@ -716,8 +700,7 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Sat);
         let steps = s.proof().expect("logged").steps();
         let model = s.model().to_vec();
-        let checked =
-            check_model(steps, &[], &model).expect("model satisfies");
+        let checked = check_model(steps, &[], &model).expect("model satisfies");
         assert_eq!(checked, 2);
         // Corrupt the model: force b false — clause (a|b) or (!a|b) breaks.
         let mut bad = model.clone();
@@ -752,17 +735,12 @@ mod tests {
             for _ in 0..num_clauses {
                 let len = rng.gen_range(1..=3usize);
                 let lits: Vec<Lit> = (0..len)
-                    .map(|_| {
-                        vars[rng.gen_range(0..num_vars)]
-                            .lit(rng.gen_bool(0.5))
-                    })
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
                     .collect();
                 s.add_clause(&lits);
             }
             let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
-                .map(|_| {
-                    vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5))
-                })
+                .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
                 .collect();
             let result = s.solve_with(&assumptions);
             let snapshot = s.proof_len();
@@ -770,15 +748,11 @@ mod tests {
             match result {
                 SolveResult::Unsat => {
                     check_unsat_certificate(steps, &assumptions)
-                        .unwrap_or_else(|e| {
-                            panic!("round {round}: proof rejected: {e}")
-                        });
+                        .unwrap_or_else(|e| panic!("round {round}: proof rejected: {e}"));
                 }
                 SolveResult::Sat => {
                     check_model(steps, &assumptions, s.model())
-                        .unwrap_or_else(|e| {
-                            panic!("round {round}: model rejected: {e}")
-                        });
+                        .unwrap_or_else(|e| panic!("round {round}: model rejected: {e}"));
                 }
             }
         }

@@ -48,6 +48,4 @@
 pub mod artifacts;
 mod checker;
 
-pub use checker::{
-    check_model, check_unsat_certificate, CertError, Checker, CheckerStats,
-};
+pub use checker::{check_model, check_unsat_certificate, CertError, Checker, CheckerStats};

@@ -9,8 +9,7 @@
 
 use crate::flow::{FlowContext, FlowOptions};
 use crate::report::{
-    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage,
-    Verdict,
+    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
 };
 use crate::study::CaseStudy;
 use crate::witness::WitnessReplay;
@@ -27,10 +26,7 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
 /// Runs the baseline with options. Only the certification switches of
 /// [`FlowOptions`] apply — the baseline has no structural or simulation
 /// stage to ablate.
-pub fn run_baseline_with(
-    study: &CaseStudy,
-    options: FlowOptions,
-) -> FlowReport {
+pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport {
     let mut ctx = FlowContext::new(study);
     if options.certify {
         ctx.certification = Some(CertificationSummary::default());
@@ -40,8 +36,7 @@ pub fn run_baseline_with(
 
     'design: loop {
         let module = &instance.module;
-        let mut z_prime: BTreeSet<SignalId> =
-            module.state_signals().into_iter().collect();
+        let mut z_prime: BTreeSet<SignalId> = module.state_signals().into_iter().collect();
         let mut active_constraints: Vec<usize> = Vec::new();
         let mut active_invariants: Vec<usize> = Vec::new();
         let mut active_cond_eqs: Vec<usize> = Vec::new();
@@ -58,10 +53,7 @@ pub fn run_baseline_with(
         if options.certify {
             upec.enable_certification();
             if let Some(dir) = &options.dump_artifacts {
-                upec.set_artifact_output(
-                    dir.clone(),
-                    format!("{}_baseline_", module.name()),
-                );
+                upec.set_artifact_output(dir.clone(), format!("{}_baseline_", module.name()));
             }
         }
         upec.elaborate();
@@ -72,9 +64,7 @@ pub fn run_baseline_with(
                 // Feed spec entries activated since the last check into
                 // the engine; nothing already encoded is redone.
                 for &i in &active_constraints[synced_constraints..] {
-                    upec.add_software_constraint(
-                        instance.constraints[i].expr,
-                    );
+                    upec.add_software_constraint(instance.constraints[i].expr);
                 }
                 synced_constraints = active_constraints.len();
                 for &i in &active_invariants[synced_invariants..] {
@@ -123,14 +113,11 @@ pub fn run_baseline_with(
                             Verdict::ConstrainedDataOblivious(
                                 active_constraints
                                     .iter()
-                                    .map(|&i| {
-                                        instance.constraints[i].name.clone()
-                                    })
+                                    .map(|&i| instance.constraints[i].name.clone())
                                     .collect(),
                             )
                         };
-                        let total =
-                            module.state_signals().len() - z_prime.len();
+                        let total = module.state_signals().len() - z_prime.len();
                         ctx.absorb_engine(Some(&upec));
                         return ctx.finish(
                             module,
@@ -146,15 +133,9 @@ pub fn run_baseline_with(
                 ctx.confirm_replay(module, instance, &active_cond_eqs, &cex);
                 let replay = WitnessReplay::new(module, &cex);
 
-                if let Some(ii) = instance
-                    .invariants
-                    .iter()
-                    .enumerate()
-                    .position(|(i, inv)| {
-                        !active_invariants.contains(&i)
-                            && !replay.invariant_holds(module, inv.expr)
-                    })
-                {
+                if let Some(ii) = instance.invariants.iter().enumerate().position(|(i, inv)| {
+                    !active_invariants.contains(&i) && !replay.invariant_holds(module, inv.expr)
+                }) {
                     ctx.inspections += 1;
                     active_invariants.push(ii);
                     ctx.events.push(FlowEvent::InvariantAdded {
@@ -163,17 +144,10 @@ pub fn run_baseline_with(
                     continue;
                 }
 
-                if let Some(ci) = instance
-                    .cond_eqs
-                    .iter()
-                    .enumerate()
-                    .position(|(i, ce)| {
-                        !active_cond_eqs.contains(&i)
-                            && crate::flow::cond_eq_violated_in_witness(
-                                module, &replay, ce,
-                            )
-                    })
-                {
+                if let Some(ci) = instance.cond_eqs.iter().enumerate().position(|(i, ce)| {
+                    !active_cond_eqs.contains(&i)
+                        && crate::flow::cond_eq_violated_in_witness(module, &replay, ce)
+                }) {
                     ctx.inspections += 1;
                     active_cond_eqs.push(ci);
                     ctx.events.push(FlowEvent::InvariantAdded {
@@ -182,15 +156,9 @@ pub fn run_baseline_with(
                     continue;
                 }
 
-                if let Some(ci) = instance
-                    .constraints
-                    .iter()
-                    .enumerate()
-                    .position(|(i, c)| {
-                        !active_constraints.contains(&i)
-                            && !replay.constraint_holds(module, c.expr)
-                    })
-                {
+                if let Some(ci) = instance.constraints.iter().enumerate().position(|(i, c)| {
+                    !active_constraints.contains(&i) && !replay.constraint_holds(module, c.expr)
+                }) {
                     ctx.inspections += 1;
                     active_constraints.push(ci);
                     ctx.events.push(FlowEvent::ConstraintDerived {
@@ -217,9 +185,7 @@ pub fn run_baseline_with(
                         stage: Stage::Formal,
                     });
                     ctx.absorb_engine(Some(&upec));
-                    if let (Some(fixed), false) =
-                        (&study.fixed_instance, fixed_used)
-                    {
+                    if let (Some(fixed), false) = (&study.fixed_instance, fixed_used) {
                         fixed_used = true;
                         instance = fixed;
                         ctx.events.push(FlowEvent::DesignFixed);
@@ -279,8 +245,7 @@ mod tests {
         let data_bit = b.bit(d, 0);
         let shaped = b.mux(data_bit, t, t);
         b.control_output("phase_dbg", shaped);
-        let mut study =
-            CaseStudy::new("wide", DesignInstance::new(b.build().expect("valid")));
+        let mut study = CaseStudy::new("wide", DesignInstance::new(b.build().expect("valid")));
         study.cycles = 100;
         study
     }

@@ -24,21 +24,18 @@
 //! The formal-only baseline of [22] is in [`run_baseline`](crate::run_baseline).
 
 use crate::report::{
-    CertificationSummary, CompletionMethod, FlowEvent, FlowReport,
-    SimStats, Stage, StageTimings, Verdict,
+    CertificationSummary, CompletionMethod, FlowEvent, FlowReport, SimStats, Stage, StageTimings,
+    Verdict,
 };
 use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::{confirm_counterexample, WitnessReplay};
 use fastpath_formal::{
-    CertifiedOutcome, ElaborationStats, Upec2Safety, UpecCounterexample,
-    UpecOutcome, UpecSpec,
+    CertifiedOutcome, ElaborationStats, Upec2Safety, UpecCounterexample, UpecOutcome, UpecSpec,
 };
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_rtl::{ExprId, Module, SignalId};
 use fastpath_sat::SolverStats;
-use fastpath_sim::{
-    IftReport, IftSimulation, RandomTestbench, SimEngine, SimTape,
-};
+use fastpath_sim::{IftReport, IftSimulation, RandomTestbench, SimEngine, SimTape};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -80,10 +77,7 @@ pub fn run_fastpath(study: &CaseStudy) -> FlowReport {
 }
 
 /// Runs the FastPath flow with ablation options.
-pub fn run_fastpath_with(
-    study: &CaseStudy,
-    options: FlowOptions,
-) -> FlowReport {
+pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport {
     let mut ctx = FlowContext::new(study);
     ctx.sim_engine = options.sim_engine;
     if options.certify {
@@ -110,10 +104,7 @@ pub fn run_fastpath_with(
             let t0 = Instant::now();
             let hfg = extract_hfg(module);
             let query = PathQuery::new(&hfg);
-            let no_flow = query.no_flow_possible(
-                &module.data_inputs(),
-                &module.control_outputs(),
-            );
+            let no_flow = query.no_flow_possible(&module.data_inputs(), &module.control_outputs());
             ctx.timings.structural += t0.elapsed();
             ctx.events.push(FlowEvent::HfgAnalysis {
                 paths_exist: !no_flow,
@@ -133,20 +124,14 @@ pub fn run_fastpath_with(
         let mut active_constraints: Vec<usize> = Vec::new();
         let mut active_invariants: Vec<usize> = Vec::new();
         let mut active_cond_eqs: Vec<usize> = Vec::new();
-        let mut declassified: Vec<SignalId> =
-            instance.initial_declassified.clone();
+        let mut declassified: Vec<SignalId> = instance.initial_declassified.clone();
 
         'restart_sim: loop {
             // ---- Stage 2: IFT-enhanced simulation ------------------------
             let sim_result = if options.skip_ift_seeding {
                 SimStageResult::Skipped
             } else {
-                ctx.simulation_stage(
-                    study,
-                    instance,
-                    &mut active_constraints,
-                    &mut declassified,
-                )
+                ctx.simulation_stage(study, instance, &mut active_constraints, &mut declassified)
             };
             let sim_report = match sim_result {
                 SimStageResult::Skipped => None,
@@ -158,9 +143,7 @@ pub fn run_fastpath_with(
                         stage: Stage::Simulation,
                     });
                     ctx.absorb_engine(upec.as_ref());
-                    if let (Some(fixed), false) =
-                        (&study.fixed_instance, fixed_used)
-                    {
+                    if let (Some(fixed), false) = (&study.fixed_instance, fixed_used) {
                         fixed_used = true;
                         instance = fixed;
                         ctx.events.push(FlowEvent::DesignFixed);
@@ -175,8 +158,7 @@ pub fn run_fastpath_with(
                     );
                 }
             };
-            let ift_propagations =
-                sim_report.as_ref().map(|r| r.tainted_state.len());
+            let ift_propagations = sim_report.as_ref().map(|r| r.tainted_state.len());
             let mut z_prime: BTreeSet<SignalId> = match &sim_report {
                 Some(r) => r.untainted_state.iter().copied().collect(),
                 None => module.state_signals().into_iter().collect(),
@@ -188,8 +170,7 @@ pub fn run_fastpath_with(
                     Some(engine) => engine,
                     None => {
                         let t0 = Instant::now();
-                        let mut engine =
-                            Upec2Safety::new(module, &UpecSpec::default());
+                        let mut engine = Upec2Safety::new(module, &UpecSpec::default());
                         if options.certify {
                             engine.enable_certification();
                             if let Some(dir) = &options.dump_artifacts {
@@ -209,9 +190,7 @@ pub fn run_fastpath_with(
                     // Feed spec entries activated since the last check
                     // into the engine; nothing already encoded is redone.
                     for &i in &active_constraints[synced_constraints..] {
-                        engine.add_software_constraint(
-                            instance.constraints[i].expr,
-                        );
+                        engine.add_software_constraint(instance.constraints[i].expr);
                     }
                     synced_constraints = active_constraints.len();
                     for &i in &active_invariants[synced_invariants..] {
@@ -224,8 +203,7 @@ pub fn run_fastpath_with(
                     }
                     synced_cond_eqs = active_cond_eqs.len();
 
-                    let z_vec: Vec<SignalId> =
-                        z_prime.iter().copied().collect();
+                    let z_vec: Vec<SignalId> = z_prime.iter().copied().collect();
                     let t0 = Instant::now();
                     let outcome = if ctx.certification.is_some() {
                         let certified = engine.check_certified(&z_vec);
@@ -248,16 +226,11 @@ pub fn run_fastpath_with(
                                 Verdict::ConstrainedDataOblivious(
                                     active_constraints
                                         .iter()
-                                        .map(|&i| {
-                                            instance.constraints[i]
-                                                .name
-                                                .clone()
-                                        })
+                                        .map(|&i| instance.constraints[i].name.clone())
                                         .collect(),
                                 )
                             };
-                            let total = module.state_signals().len()
-                                - z_prime.len();
+                            let total = module.state_signals().len() - z_prime.len();
                             ctx.absorb_engine(Some(&*engine));
                             return ctx.finish(
                                 module,
@@ -270,24 +243,13 @@ pub fn run_fastpath_with(
                         UpecOutcome::Counterexample(cex) => cex,
                     };
 
-                    ctx.confirm_replay(
-                        module,
-                        instance,
-                        &active_cond_eqs,
-                        &cex,
-                    );
+                    ctx.confirm_replay(module, instance, &active_cond_eqs, &cex);
                     let replay = WitnessReplay::new(module, &cex);
 
                     // (1) Spurious counterexample? Add an invariant.
-                    if let Some(ii) =
-                        instance.invariants.iter().enumerate().position(
-                            |(i, inv)| {
-                                !active_invariants.contains(&i)
-                                    && !replay
-                                        .invariant_holds(module, inv.expr)
-                            },
-                        )
-                    {
+                    if let Some(ii) = instance.invariants.iter().enumerate().position(|(i, inv)| {
+                        !active_invariants.contains(&i) && !replay.invariant_holds(module, inv.expr)
+                    }) {
                         ctx.inspections += 1;
                         active_invariants.push(ii);
                         ctx.events.push(FlowEvent::InvariantAdded {
@@ -298,17 +260,10 @@ pub fn run_fastpath_with(
 
                     // (1b) A conditional 2-safety equality violated in the
                     // witness? Activate it (an invariant-writing step).
-                    if let Some(ci) = instance
-                        .cond_eqs
-                        .iter()
-                        .enumerate()
-                        .position(|(i, ce)| {
-                            !active_cond_eqs.contains(&i)
-                                && cond_eq_violated_in_witness(
-                                    module, &replay, ce,
-                                )
-                        })
-                    {
+                    if let Some(ci) = instance.cond_eqs.iter().enumerate().position(|(i, ce)| {
+                        !active_cond_eqs.contains(&i)
+                            && cond_eq_violated_in_witness(module, &replay, ce)
+                    }) {
                         ctx.inspections += 1;
                         active_cond_eqs.push(ci);
                         ctx.events.push(FlowEvent::InvariantAdded {
@@ -319,15 +274,9 @@ pub fn run_fastpath_with(
 
                     // (2) Scenario excludable by software? Derive the
                     // constraint and backtrack to simulation.
-                    if let Some(ci) =
-                        instance.constraints.iter().enumerate().position(
-                            |(i, c)| {
-                                !active_constraints.contains(&i)
-                                    && !replay
-                                        .constraint_holds(module, c.expr)
-                            },
-                        )
-                    {
+                    if let Some(ci) = instance.constraints.iter().enumerate().position(|(i, c)| {
+                        !active_constraints.contains(&i) && !replay.constraint_holds(module, c.expr)
+                    }) {
                         ctx.inspections += 1;
                         active_constraints.push(ci);
                         ctx.events.push(FlowEvent::ConstraintDerived {
@@ -355,9 +304,7 @@ pub fn run_fastpath_with(
                             stage: Stage::Formal,
                         });
                         ctx.absorb_engine(Some(&*engine));
-                        if let (Some(fixed), false) =
-                            (&study.fixed_instance, fixed_used)
-                        {
+                        if let (Some(fixed), false) = (&study.fixed_instance, fixed_used) {
                             fixed_used = true;
                             instance = fixed;
                             ctx.events.push(FlowEvent::DesignFixed);
@@ -368,10 +315,7 @@ pub fn run_fastpath_with(
                             Verdict::NotDataOblivious,
                             CompletionMethod::Upec,
                             ift_propagations,
-                            Some(
-                                module.state_signals().len()
-                                    - z_prime.len(),
-                            ),
+                            Some(module.state_signals().len() - z_prime.len()),
                         );
                     }
 
@@ -466,15 +410,11 @@ impl FlowContext {
 
     /// Folds a retiring UPEC engine's counters into the run totals. Must
     /// be called on every path that drops or abandons an engine.
-    pub(crate) fn absorb_engine(
-        &mut self,
-        engine: Option<&Upec2Safety<'_>>,
-    ) {
+    pub(crate) fn absorb_engine(&mut self, engine: Option<&Upec2Safety<'_>>) {
         if let Some(engine) = engine {
             self.solver_stats.merge(&engine.solver_stats());
             self.elaboration.merge(&engine.elaboration_stats());
-            if let (Some(summary), Some(stats)) =
-                (self.certification.as_mut(), engine.cert_stats())
+            if let (Some(summary), Some(stats)) = (self.certification.as_mut(), engine.cert_stats())
             {
                 summary.stats.merge(&stats);
             }
@@ -484,13 +424,10 @@ impl FlowContext {
     /// Records a certificate rejection (the counters themselves live in
     /// the engine and are folded in by [`absorb_engine`](Self::absorb_engine)).
     pub(crate) fn record_certificate(&mut self, outcome: &CertifiedOutcome) {
-        if let (Some(summary), Err(e)) =
-            (self.certification.as_mut(), &outcome.certificate)
-        {
-            summary.failures.push(format!(
-                "{}: certificate rejected: {e}",
-                self.design
-            ));
+        if let (Some(summary), Err(e)) = (self.certification.as_mut(), &outcome.certificate) {
+            summary
+                .failures
+                .push(format!("{}: certificate rejected: {e}", self.design));
         }
     }
 
@@ -534,13 +471,13 @@ impl FlowContext {
         for event in &self.events {
             match event {
                 FlowEvent::ConstraintDerived { name, .. }
-                    if !self.derived_constraints.contains(name) => {
-                        self.derived_constraints.push(name.clone());
-                    }
-                FlowEvent::InvariantAdded { name }
-                    if !self.invariants_added.contains(name) => {
-                        self.invariants_added.push(name.clone());
-                    }
+                    if !self.derived_constraints.contains(name) =>
+                {
+                    self.derived_constraints.push(name.clone());
+                }
+                FlowEvent::InvariantAdded { name } if !self.invariants_added.contains(name) => {
+                    self.invariants_added.push(name.clone());
+                }
                 _ => {}
             }
         }
@@ -579,12 +516,7 @@ impl FlowContext {
         declassified: &mut Vec<SignalId>,
     ) -> SimStageResult {
         loop {
-            let report = self.run_ift_once(
-                study,
-                instance,
-                active_constraints,
-                declassified,
-            );
+            let report = self.run_ift_once(study, instance, active_constraints, declassified);
             self.events.push(FlowEvent::IftRun {
                 violations: report.violations.len(),
                 tainted: report.tainted_state.len(),
@@ -608,14 +540,8 @@ impl FlowContext {
             // later through an unrelated scenario (the concrete
             // counterexample under inspection is gone). The "much later"
             // margin stands in for the engineer's root-cause judgement.
-            let explains = |old: &fastpath_sim::IftViolation,
-                            trial: &IftReport|
-             -> bool {
-                match trial
-                    .violations
-                    .iter()
-                    .find(|v| v.output == old.output)
-                {
+            let explains = |old: &fastpath_sim::IftViolation, trial: &IftReport| -> bool {
+                match trial.violations.iter().find(|v| v.output == old.output) {
                     None => true,
                     Some(new) => new.cycle > old.cycle * 2 + 16,
                 }
@@ -623,19 +549,12 @@ impl FlowContext {
             let mut derived = None;
             'search_constraints: for violation in &report.violations {
                 for (ci, c) in instance.constraints.iter().enumerate() {
-                    if active_constraints.contains(&ci)
-                        || c.restrict_testbench.is_none()
-                    {
+                    if active_constraints.contains(&ci) || c.restrict_testbench.is_none() {
                         continue;
                     }
                     let mut trial = active_constraints.clone();
                     trial.push(ci);
-                    let trial_report = self.run_ift_once(
-                        study,
-                        instance,
-                        &trial,
-                        declassified,
-                    );
+                    let trial_report = self.run_ift_once(study, instance, &trial, declassified);
                     if explains(violation, &trial_report) {
                         derived = Some(ci);
                         break 'search_constraints;
@@ -661,12 +580,8 @@ impl FlowContext {
                     }
                     let mut trial = declassified.clone();
                     trial.push(d);
-                    let trial_report = self.run_ift_once(
-                        study,
-                        instance,
-                        active_constraints,
-                        &trial,
-                    );
+                    let trial_report =
+                        self.run_ift_once(study, instance, active_constraints, &trial);
                     let still_violates = trial_report
                         .violations
                         .iter()
@@ -707,9 +622,7 @@ impl FlowContext {
             configure(module, &mut tb);
         }
         for &ci in active_constraints {
-            if let Some(restrict) =
-                &instance.constraints[ci].restrict_testbench
-            {
+            if let Some(restrict) = &instance.constraints[ci].restrict_testbench {
                 restrict(module, &mut tb);
             }
         }
@@ -764,9 +677,7 @@ mod tests {
         assert_eq!(report.verdict, Verdict::DataOblivious);
         assert_eq!(report.method, CompletionMethod::Hfg);
         assert_eq!(report.manual_inspections, 0);
-        assert!(report
-            .events
-            .contains(&FlowEvent::StructuralProof));
+        assert!(report.events.contains(&FlowEvent::StructuralProof));
     }
 
     /// Inherent timing leak with no constraint vocabulary -> False at IFT.
@@ -847,9 +758,7 @@ mod tests {
         let report = run_fastpath(&constrained_case());
         assert_eq!(
             report.verdict,
-            Verdict::ConstrainedDataOblivious(vec![
-                "debug_mode_disabled".into()
-            ])
+            Verdict::ConstrainedDataOblivious(vec!["debug_mode_disabled".into()])
         );
         assert_eq!(report.method, CompletionMethod::Upec);
         assert_eq!(
@@ -875,16 +784,13 @@ mod tests {
         );
         assert_eq!(
             report.verdict,
-            Verdict::ConstrainedDataOblivious(vec![
-                "debug_mode_disabled".into()
-            ])
+            Verdict::ConstrainedDataOblivious(vec!["debug_mode_disabled".into()])
         );
         let cert = report.certification.expect("certification requested");
         assert!(cert.fully_certified(), "{:?}", cert.failures);
         assert!(cert.stats.certified_checks >= 1);
         assert_eq!(
-            cert.stats.certified_checks,
-            report.timings.check_count,
+            cert.stats.certified_checks, report.timings.check_count,
             "every check must be certified"
         );
         // Without certification the report must not pretend otherwise.
@@ -897,11 +803,7 @@ mod tests {
     #[test]
     fn fixed_variant_is_adopted_after_leak() {
         fn build(leaky: bool) -> DesignInstance {
-            let mut b = ModuleBuilder::new(if leaky {
-                "dev_leaky"
-            } else {
-                "dev_fixed"
-            });
+            let mut b = ModuleBuilder::new(if leaky { "dev_leaky" } else { "dev_fixed" });
             let data = b.data_input("data", 8);
             let d = b.sig(data);
             let buf = b.reg("buf", 8, 0);

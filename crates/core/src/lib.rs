@@ -68,12 +68,9 @@ pub use fastpath_sim::SimEngine;
 pub use flow::{run_fastpath, run_fastpath_with, FlowOptions};
 pub use pairwise::{DynamicPairwise, PairResult, PairwiseAnalysis};
 pub use report::{
-    effort_reduction, CertificationSummary, CompletionMethod, FlowEvent,
-    FlowReport, SimStats, Stage, StageTimings, Verdict,
+    effort_reduction, CertificationSummary, CompletionMethod, FlowEvent, FlowReport, SimStats,
+    Stage, StageTimings, Verdict,
 };
 pub use simbatch::{run_ift_batch, BatchOptions, BatchReport};
-pub use study::{
-    CaseStudy, DesignInstance, NamedCondEq, NamedPredicate,
-    TestbenchRestriction,
-};
+pub use study::{CaseStudy, DesignInstance, NamedCondEq, NamedPredicate, TestbenchRestriction};
 pub use witness::{confirm_counterexample, settle_env, WitnessReplay};

@@ -120,8 +120,7 @@ mod tests {
         let analysis = PairwiseAnalysis::run(&m);
         assert_eq!(analysis.pairs.len(), 4); // 2 inputs x 2 outputs
         assert_eq!(analysis.connected_count(), 1);
-        let connected =
-            analysis.pairs.iter().find(|p| p.path_exists).expect("one");
+        let connected = analysis.pairs.iter().find(|p| p.path_exists).expect("one");
         assert_eq!(m.signal(connected.data_input).name, "key");
         assert_eq!(m.signal(connected.control_output).name, "ready");
         assert!(connected.sample_path.len() >= 2);
@@ -156,10 +155,7 @@ impl DynamicPairwise {
         let outputs = module.control_outputs();
         let mut pairs = Vec::new();
         for x in module.data_inputs() {
-            let mut tb = fastpath_sim::RandomTestbench::new(
-                module,
-                study.seed,
-            );
+            let mut tb = fastpath_sim::RandomTestbench::new(module, study.seed);
             if let Some(cfg) = &instance.configure_testbench {
                 cfg(module, &mut tb);
             }

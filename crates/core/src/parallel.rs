@@ -47,17 +47,14 @@ where
     // dynamic submissions (none today, but `find_task` consults it so the
     // scheduler generalises to task-spawned subtasks).
     let injector: Injector<(usize, F)> = Injector::new();
-    let workers: Vec<Worker<(usize, F)>> =
-        (0..jobs).map(|_| Worker::new_fifo()).collect();
+    let workers: Vec<Worker<(usize, F)>> = (0..jobs).map(|_| Worker::new_fifo()).collect();
     for (i, f) in tasks.into_iter().enumerate() {
         workers[i % jobs].push((i, f));
     }
-    let stealers: Vec<Stealer<(usize, F)>> =
-        workers.iter().map(Worker::stealer).collect();
+    let stealers: Vec<Stealer<(usize, F)>> = workers.iter().map(Worker::stealer).collect();
 
     // One slot per task, written exactly once by whichever worker ran it.
-    let slots: Vec<Mutex<Option<T>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for (wi, worker) in workers.into_iter().enumerate() {
@@ -65,9 +62,7 @@ where
             let stealers = &stealers;
             let slots = &slots;
             scope.spawn(move || {
-                while let Some((i, f)) =
-                    find_task(wi, &worker, injector, stealers)
-                {
+                while let Some((i, f)) = find_task(wi, &worker, injector, stealers) {
                     *slots[i].lock() = Some(f());
                 }
             });
@@ -108,9 +103,7 @@ mod tests {
     #[test]
     fn results_come_back_in_submission_order() {
         for jobs in [1, 2, 4, 7, 64] {
-            let tasks: Vec<_> = (0..32usize)
-                .map(|i| move || i * i)
-                .collect();
+            let tasks: Vec<_> = (0..32usize).map(|i| move || i * i).collect();
             let got = run_ordered(jobs, tasks);
             let want: Vec<usize> = (0..32).map(|i| i * i).collect();
             assert_eq!(got, want, "jobs = {jobs}");
@@ -127,9 +120,7 @@ mod tests {
                 let ran = &ran;
                 move || {
                     if i == 0 {
-                        std::thread::sleep(
-                            std::time::Duration::from_millis(50),
-                        );
+                        std::thread::sleep(std::time::Duration::from_millis(50));
                     }
                     ran.fetch_add(1, Ordering::Relaxed);
                     i
@@ -150,12 +141,8 @@ mod tests {
 
     #[test]
     fn tasks_may_borrow_from_the_caller() {
-        let data: Vec<String> =
-            (0..8).map(|i| format!("item-{i}")).collect();
-        let tasks: Vec<_> = data
-            .iter()
-            .map(|s| move || s.len())
-            .collect();
+        let data: Vec<String> = (0..8).map(|i| format!("item-{i}")).collect();
+        let tasks: Vec<_> = data.iter().map(|s| move || s.len()).collect();
         let lens = run_ordered(4, tasks);
         assert_eq!(lens, vec![6, 6, 6, 6, 6, 6, 6, 6]);
     }

@@ -240,6 +240,44 @@ pub struct FlowReport {
 }
 
 impl FlowReport {
+    /// `true` iff the flow completed by structural proof — the HFG found
+    /// no `X_D → Y_C` path and the design was discharged without
+    /// simulation or formal checks.
+    pub fn structural_proof(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::StructuralProof))
+    }
+
+    /// Number of `Z'` refinement steps: formal counterexamples that led
+    /// to signals being inspected and removed from the untainted set (one
+    /// per [`FlowEvent::PropagationsRemoved`] event).
+    pub fn refinement_steps(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::PropagationsRemoved { .. }))
+            .count()
+    }
+
+    /// Total state signals removed from `Z'` by formal refinement, summed
+    /// over every [`FlowEvent::PropagationsRemoved`] event.
+    pub fn refined_signals(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                FlowEvent::PropagationsRemoved { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Whether the run was fully certified: `None` if certification was
+    /// not enabled, otherwise whether every UPEC verdict and replayed
+    /// counterexample validated.
+    pub fn fully_certified(&self) -> Option<bool> {
+        self.certification.as_ref().map(|c| c.fully_certified())
+    }
+
     /// Formats a single Table-I-style row.
     pub fn table_row(&self) -> String {
         format!(
@@ -265,9 +303,9 @@ pub fn effort_reduction(baseline: &FlowReport, fastpath: &FlowReport) -> f64 {
         return 0.0;
     }
     100.0
-        * (baseline.manual_inspections.saturating_sub(
-            fastpath.manual_inspections,
-        )) as f64
+        * (baseline
+            .manual_inspections
+            .saturating_sub(fastpath.manual_inspections)) as f64
         / baseline.manual_inspections as f64
 }
 
@@ -317,6 +355,35 @@ mod tests {
         assert_eq!(a.stats.certified_checks, 4);
         assert_eq!(a.counterexamples_replayed, 2);
         assert!(!a.fully_certified());
+    }
+
+    #[test]
+    fn oracle_hooks_summarize_events() {
+        let mut r = dummy(0);
+        assert!(!r.structural_proof());
+        assert_eq!(r.refinement_steps(), 0);
+        assert_eq!(r.refined_signals(), 0);
+        assert_eq!(r.fully_certified(), None);
+        r.events = vec![
+            FlowEvent::HfgAnalysis { paths_exist: true },
+            FlowEvent::PropagationsRemoved { count: 2 },
+            FlowEvent::UpecCheck { holds: false },
+            FlowEvent::PropagationsRemoved { count: 1 },
+            FlowEvent::FixedPoint,
+        ];
+        assert!(!r.structural_proof());
+        assert_eq!(r.refinement_steps(), 2);
+        assert_eq!(r.refined_signals(), 3);
+        r.events.push(FlowEvent::StructuralProof);
+        assert!(r.structural_proof());
+        r.certification = Some(CertificationSummary::default());
+        assert_eq!(r.fully_certified(), Some(true));
+        r.certification
+            .as_mut()
+            .unwrap()
+            .failures
+            .push("bad".into());
+        assert_eq!(r.fully_certified(), Some(false));
     }
 
     #[test]

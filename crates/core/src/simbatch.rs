@@ -16,10 +16,7 @@
 
 use crate::parallel;
 use fastpath_rtl::{Module, SignalId};
-use fastpath_sim::{
-    FlowPolicy, IftReport, IftSimulation, RandomTestbench, SimEngine,
-    SimTape,
-};
+use fastpath_sim::{FlowPolicy, IftReport, IftSimulation, RandomTestbench, SimEngine, SimTape};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -91,12 +88,9 @@ pub fn run_ift_batch(module: &Module, opts: &BatchOptions) -> BatchReport {
             let policy = opts.policy;
             move || {
                 let mut tb = RandomTestbench::new(module, seed);
-                let sim =
-                    IftSimulation::new(cycles).with_policy(policy);
+                let sim = IftSimulation::new(cycles).with_policy(policy);
                 match &tape {
-                    Some(tape) => {
-                        sim.run_compiled(module, tape, &mut tb)
-                    }
+                    Some(tape) => sim.run_compiled(module, tape, &mut tb),
                     None => sim.run(module, &mut tb),
                 }
             }

@@ -23,8 +23,7 @@ use std::sync::Arc;
 ///
 /// `Send + Sync` so whole case studies can be sharded across the parallel
 /// Table I driver's worker threads (see [`crate::parallel`]).
-pub type TestbenchRestriction =
-    Arc<dyn Fn(&Module, &mut RandomTestbench) + Send + Sync>;
+pub type TestbenchRestriction = Arc<dyn Fn(&Module, &mut RandomTestbench) + Send + Sync>;
 
 /// A named 1-bit predicate over the design's signals, used as a software
 /// constraint or an invariant. The expression lives in the module's own
@@ -45,10 +44,7 @@ impl fmt::Debug for NamedPredicate {
         f.debug_struct("NamedPredicate")
             .field("name", &self.name)
             .field("expr", &self.expr)
-            .field(
-                "restrict_testbench",
-                &self.restrict_testbench.is_some(),
-            )
+            .field("restrict_testbench", &self.restrict_testbench.is_some())
             .finish()
     }
 }

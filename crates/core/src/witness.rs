@@ -65,12 +65,7 @@ impl WitnessReplay {
 
     /// The value of `signal` in `instance` (0/1) at `frame` (0 = t,
     /// 1 = t+1).
-    pub fn value(
-        &self,
-        instance: usize,
-        frame: usize,
-        signal: SignalId,
-    ) -> &BitVec {
+    pub fn value(&self, instance: usize, frame: usize, signal: SignalId) -> &BitVec {
         &self.envs[instance][frame][signal.index()]
     }
 
@@ -88,16 +83,13 @@ impl WitnessReplay {
     /// `true` iff the predicate holds in **both** instances at time `t`
     /// (the invariant obligation).
     pub fn invariant_holds(&self, module: &Module, expr: ExprId) -> bool {
-        self.eval_predicate(module, 0, 0, expr)
-            && self.eval_predicate(module, 1, 0, expr)
+        self.eval_predicate(module, 0, 0, expr) && self.eval_predicate(module, 1, 0, expr)
     }
 
     /// `true` iff the predicate holds in both instances during `[t, t+1]`
     /// (the software-constraint obligation).
     pub fn constraint_holds(&self, module: &Module, expr: ExprId) -> bool {
-        (0..2).all(|inst| {
-            (0..2).all(|frame| self.eval_predicate(module, inst, frame, expr))
-        })
+        (0..2).all(|inst| (0..2).all(|frame| self.eval_predicate(module, inst, frame, expr)))
     }
 }
 
@@ -187,10 +179,9 @@ pub fn confirm_counterexample(
                 cond_eqs.len()
             )
         })?;
-        let both = replay.eval_predicate(module, 0, 1, cond)
-            && replay.eval_predicate(module, 1, 1, cond);
-        if !both || replay.value(0, 1, signal) == replay.value(1, 1, signal)
-        {
+        let both =
+            replay.eval_predicate(module, 0, 1, cond) && replay.eval_predicate(module, 1, 1, cond);
+        if !both || replay.value(0, 1, signal) == replay.value(1, 1, signal) {
             return Err(format!(
                 "claimed violation of conditional equality on `{}` does \
                  not reproduce at t+1 in the replay",
@@ -247,16 +238,12 @@ mod tests {
         };
         let replay = WitnessReplay::new(&m, &cex);
         // The two instances must disagree on the leak output at t or t+1.
-        let diverges_somewhere = (0..2).any(|frame| {
-            replay.value(0, frame, leak) != replay.value(1, frame, leak)
-        });
+        let diverges_somewhere =
+            (0..2).any(|frame| replay.value(0, frame, leak) != replay.value(1, frame, leak));
         assert!(diverges_somewhere, "replayed witness must show the leak");
         // acc at t+1 equals the data input at t (next-state reconstruction).
         for inst in 0..2 {
-            assert_eq!(
-                replay.value(inst, 1, acc_id),
-                replay.value(inst, 0, data)
-            );
+            assert_eq!(replay.value(inst, 1, acc_id), replay.value(inst, 0, data));
         }
     }
 
@@ -298,8 +285,8 @@ mod tests {
         for w in bad.input_values_t1.iter_mut() {
             w.inst1 = w.inst0.clone();
         }
-        let err = confirm_counterexample(&m, &[], &bad)
-            .expect_err("identical instances cannot diverge");
+        let err =
+            confirm_counterexample(&m, &[], &bad).expect_err("identical instances cannot diverge");
         assert!(err.contains("agrees between the instances"), "{err}");
 
         // A cond-eq index past the spec is rejected, not ignored.

@@ -7,9 +7,7 @@
 //! control outputs. Like the paper, FastPath proves this design at the HFG
 //! stage.
 
-use crate::aes_round::{
-    add_round_key, final_round, full_round, next_round_key, RCON,
-};
+use crate::aes_round::{add_round_key, final_round, full_round, next_round_key, RCON};
 use fastpath::{CaseStudy, DesignInstance};
 use fastpath_rtl::{ExprId, Module, ModuleBuilder};
 
@@ -94,8 +92,7 @@ pub fn build_module() -> Module {
 
 /// The AES (opencores-style) case study.
 pub fn case_study() -> CaseStudy {
-    let mut study =
-        CaseStudy::new("AES (opencores)", DesignInstance::new(build_module()));
+    let mut study = CaseStudy::new("AES (opencores)", DesignInstance::new(build_module()));
     study.cycles = 400;
     study.seed = 0xAE5;
     study
@@ -111,12 +108,12 @@ mod tests {
     #[test]
     fn hardware_matches_fips197() {
         let key = [
-            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
         ];
         let pt = [
-            0x32u8, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
-            0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+            0x32u8, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
         ];
         let expected = reference_encrypt(key, pt);
 
@@ -140,11 +137,7 @@ mod tests {
         assert!(sim.value(done).is_true());
         for (i, &exp) in expected.iter().enumerate() {
             let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
-            assert_eq!(
-                sim.value(ct).to_u64(),
-                exp as u64,
-                "ciphertext byte {i}"
-            );
+            assert_eq!(sim.value(ct).to_u64(), exp as u64, "ciphertext byte {i}");
         }
     }
 
@@ -191,28 +184,28 @@ mod kat_tests {
     fn additional_known_answer_vectors() {
         // NIST SP 800-38A ECB-AES128 vectors (key F.1.1).
         let key = [
-            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
         ];
         let vectors: [([u8; 16], [u8; 16]); 2] = [
             (
                 [
-                    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9,
-                    0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a,
+                    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73,
+                    0x93, 0x17, 0x2a,
                 ],
                 [
-                    0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8,
-                    0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97,
+                    0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8, 0x9e, 0xca, 0xf3, 0x24,
+                    0x66, 0xef, 0x97,
                 ],
             ),
             (
                 [
-                    0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e,
-                    0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51,
+                    0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45,
+                    0xaf, 0x8e, 0x51,
                 ],
                 [
-                    0xf5, 0xd3, 0xd5, 0x85, 0x03, 0xb9, 0x69, 0x9d, 0xe7,
-                    0x85, 0x89, 0x5a, 0x96, 0xfd, 0xba, 0xaf,
+                    0xf5, 0xd3, 0xd5, 0x85, 0x03, 0xb9, 0x69, 0x9d, 0xe7, 0x85, 0x89, 0x5a, 0x96,
+                    0xfd, 0xba, 0xaf,
                 ],
             ),
         ];
@@ -231,11 +224,9 @@ mod kat_tests {
         let start = m.signal_by_name("start").expect("start");
         let key = [0u8; 16];
         for round_trip in 0..2 {
-            let pt: [u8; 16] =
-                std::array::from_fn(|i| (i as u8) ^ (round_trip * 0x5A));
+            let pt: [u8; 16] = std::array::from_fn(|i| (i as u8) ^ (round_trip * 0x5A));
             for i in 0..16 {
-                let k =
-                    m.signal_by_name(&format!("key_{i}")).expect("key");
+                let k = m.signal_by_name(&format!("key_{i}")).expect("key");
                 let p = m.signal_by_name(&format!("pt_{i}")).expect("pt");
                 sim.set_input(k, BitVec::from_u64(8, key[i] as u64));
                 sim.set_input(p, BitVec::from_u64(8, pt[i] as u64));

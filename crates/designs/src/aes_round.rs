@@ -5,8 +5,9 @@ use crate::common::{aes_sbox, xtime};
 use fastpath_rtl::{ExprId, ModuleBuilder};
 
 /// AES round-constant bytes for rounds 1..=10.
-pub const RCON: [u64; 11] =
-    [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+pub const RCON: [u64; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 /// Applies the S-box to all 16 state bytes.
 pub fn sub_bytes(b: &mut ModuleBuilder, state: &[ExprId; 16]) -> [ExprId; 16] {
@@ -51,15 +52,10 @@ pub fn add_round_key(
 /// One on-the-fly key-schedule step: derives round key `r+1` from round key
 /// `r` given the 1-based round number expression is not needed — the rcon
 /// byte is passed as an expression.
-pub fn next_round_key(
-    b: &mut ModuleBuilder,
-    key: &[ExprId; 16],
-    rcon: ExprId,
-) -> [ExprId; 16] {
+pub fn next_round_key(b: &mut ModuleBuilder, key: &[ExprId; 16], rcon: ExprId) -> [ExprId; 16] {
     // Words are columns: w0 = key[0..4], ..., w3 = key[12..16].
     // temp = SubWord(RotWord(w3)) ^ (rcon, 0, 0, 0)
-    let rot: [ExprId; 4] =
-        [key[13], key[14], key[15], key[12]];
+    let rot: [ExprId; 4] = [key[13], key[14], key[15], key[12]];
     let sub: [ExprId; 4] = std::array::from_fn(|i| aes_sbox(b, rot[i]));
     let mut out = [key[0]; 16];
     let first = b.xor(sub[0], rcon);
@@ -76,11 +72,7 @@ pub fn next_round_key(
 }
 
 /// A full middle round: SubBytes, ShiftRows, MixColumns, AddRoundKey.
-pub fn full_round(
-    b: &mut ModuleBuilder,
-    state: &[ExprId; 16],
-    key: &[ExprId; 16],
-) -> [ExprId; 16] {
+pub fn full_round(b: &mut ModuleBuilder, state: &[ExprId; 16], key: &[ExprId; 16]) -> [ExprId; 16] {
     let s = sub_bytes(b, state);
     let s = shift_rows(&s);
     let s = mix_columns(b, &s);
@@ -177,16 +169,16 @@ mod tests {
     fn reference_matches_fips197_vector() {
         // FIPS-197 Appendix B.
         let key = [
-            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
         ];
         let pt = [
-            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
-            0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
         ];
         let expected = [
-            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11,
-            0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32,
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
         ];
         assert_eq!(reference_encrypt(key, pt), expected);
     }

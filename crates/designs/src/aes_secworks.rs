@@ -84,8 +84,7 @@ pub fn build_module() -> Module {
     b.control_output("done_o", done_sig);
 
     // ---- key memory: 44 x 32-bit expanded schedule -------------------------
-    let w: Vec<SignalId> =
-        (0..44).map(|i| b.reg(&format!("w_{i}"), 32, 0)).collect();
+    let w: Vec<SignalId> = (0..44).map(|i| b.reg(&format!("w_{i}"), 32, 0)).collect();
     let w_sigs: Vec<ExprId> = w.iter().map(|&r| b.sig(r)).collect();
     // Previous computed word is cached to avoid one 44:1 read mux.
     let last_w = b.reg("last_w", 32, 0);
@@ -103,9 +102,8 @@ pub fn build_module() -> Module {
     }
 
     // SubWord(RotWord(last_w)) ^ rcon for idx % 4 == 0.
-    let bytes: [ExprId; 4] = std::array::from_fn(|i| {
-        b.slice(last_w_sig, (i as u32) * 8 + 7, (i as u32) * 8)
-    });
+    let bytes: [ExprId; 4] =
+        std::array::from_fn(|i| b.slice(last_w_sig, (i as u32) * 8 + 7, (i as u32) * 8));
     // RotWord on little-endian packing {b3,b2,b1,b0}: rotated word bytes.
     let rot: [ExprId; 4] = [bytes[1], bytes[2], bytes[3], bytes[0]];
     let sub: [ExprId; 4] = std::array::from_fn(|i| aes_sbox(&mut b, rot[i]));
@@ -162,19 +160,14 @@ pub fn build_module() -> Module {
                 word = b.mux(here, w_sigs[4 * r + wi], word);
             }
             for byte in 0..4 {
-                out[4 * wi + byte] = b.slice(
-                    word,
-                    (byte as u32) * 8 + 7,
-                    (byte as u32) * 8,
-                );
+                out[4 * wi + byte] = b.slice(word, (byte as u32) * 8 + 7, (byte as u32) * 8);
             }
         }
         out
     };
 
     // ---- state registers and round datapath -------------------------------
-    let state: [SignalId; 16] =
-        std::array::from_fn(|i| b.reg(&format!("state_{i}"), 8, 0));
+    let state: [SignalId; 16] = std::array::from_fn(|i| b.reg(&format!("state_{i}"), 8, 0));
     let state_sigs: [ExprId; 16] = std::array::from_fn(|i| b.sig(state[i]));
     let initial = add_round_key(&mut b, &pt_in, &rkey_bytes);
     let mid = full_round(&mut b, &state_sigs, &rkey_bytes);
@@ -196,8 +189,7 @@ pub fn build_module() -> Module {
 
 /// The AES (secworks-style) case study.
 pub fn case_study() -> CaseStudy {
-    let mut study =
-        CaseStudy::new("AES (secworks)", DesignInstance::new(build_module()));
+    let mut study = CaseStudy::new("AES (secworks)", DesignInstance::new(build_module()));
     study.cycles = 400;
     study.seed = 0x5EC;
     study
@@ -213,12 +205,12 @@ mod tests {
     #[test]
     fn hardware_matches_fips197() {
         let key = [
-            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7,
-            0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+            0x2bu8, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
         ];
         let pt = [
-            0x32u8, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31,
-            0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+            0x32u8, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
         ];
         let expected = reference_encrypt(key, pt);
 
@@ -247,11 +239,7 @@ mod tests {
         }
         for (i, &exp) in expected.iter().enumerate() {
             let ct = m.signal_by_name(&format!("ct_{i}")).expect("ct");
-            assert_eq!(
-                sim.value(ct).to_u64(),
-                exp as u64,
-                "ciphertext byte {i}"
-            );
+            assert_eq!(sim.value(ct).to_u64(), exp as u64, "ciphertext byte {i}");
         }
     }
 

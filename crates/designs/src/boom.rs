@@ -72,17 +72,18 @@ fn construct() -> Built {
     let ld_data = b.sig(ld_data_i);
 
     // ---- fetch queue: 4-entry FIFO -------------------------------------------
-    let fq_data: Vec<_> =
-        (0..4).map(|i| b.reg(&format!("fq_data_{i}"), 16, 0)).collect();
-    let fq_valid: Vec<_> =
-        (0..4).map(|i| b.reg(&format!("fq_valid_{i}"), 1, 0)).collect();
+    let fq_data: Vec<_> = (0..4)
+        .map(|i| b.reg(&format!("fq_data_{i}"), 16, 0))
+        .collect();
+    let fq_valid: Vec<_> = (0..4)
+        .map(|i| b.reg(&format!("fq_valid_{i}"), 1, 0))
+        .collect();
     let fq_head = b.reg("fq_head", 2, 0);
     let fq_tail = b.reg("fq_tail", 2, 0);
     let fetch_pc = b.reg("fetch_pc", 16, 0);
 
     let fq_data_s: Vec<ExprId> = fq_data.iter().map(|&r| b.sig(r)).collect();
-    let fq_valid_s: Vec<ExprId> =
-        fq_valid.iter().map(|&r| b.sig(r)).collect();
+    let fq_valid_s: Vec<ExprId> = fq_valid.iter().map(|&r| b.sig(r)).collect();
     let head_s = b.sig(fq_head);
     let tail_s = b.sig(fq_tail);
     let fetch_pc_s = b.sig(fetch_pc);
@@ -536,16 +537,12 @@ pub fn random_disciplined_instr(rng: &mut rand::rngs::StdRng) -> u64 {
             };
             (rd, rs1, rs2)
         }
-        class::LDI | class::DIV | class::FMV => {
-            (sec_x(rng), any_x(rng), any_x(rng))
-        }
+        class::LDI | class::DIV | class::FMV => (sec_x(rng), any_x(rng), any_x(rng)),
         class::BRANCH => (any_x(rng), pub_x(rng), pub_x(rng)),
         // FPOP: keep the funct bits (low rs2 field bits) in the simple
         // add/mul range — the rudimentary testbench never exercises the
         // rare FP slow-path ops (functs 5..7).
-        class::FPOP => {
-            (any_x(rng), any_x(rng), rng.gen_range(0..16u64) & 0b1001)
-        }
+        class::FPOP => (any_x(rng), any_x(rng), rng.gen_range(0..16u64) & 0b1001),
         _ => (any_x(rng), any_x(rng), any_x(rng)),
     };
     (cls << 13) | (rd << 9) | (rs1 << 5) | (rs2 << 1) | rng.gen_range(0..2u64)
@@ -556,8 +553,7 @@ pub fn case_study() -> CaseStudy {
     let built = construct();
     let module = built.module;
     let instr = module.signal_by_name("instr_i").expect("instr");
-    let instr_valid =
-        module.signal_by_name("instr_valid_i").expect("instr_valid");
+    let instr_valid = module.signal_by_name("instr_valid_i").expect("instr_valid");
     let dit = module.signal_by_name("data_ind_timing").expect("dit");
 
     let mut instance = DesignInstance::new(module);
@@ -578,9 +574,7 @@ pub fn case_study() -> CaseStudy {
         })),
     });
     instance.configure_testbench = Some(Arc::new(move |_m, tb| {
-        tb.with_generator(instr_valid, |_c, rng| {
-            BitVec::from_bool(rng.gen_bool(0.7))
-        });
+        tb.with_generator(instr_valid, |_c, rng| BitVec::from_bool(rng.gen_bool(0.7)));
     }));
 
     let mut study = CaseStudy::new("BOOM", instance);
@@ -727,10 +721,7 @@ mod tests {
         let m = &built.module;
         let instr = m.signal_by_name("instr_i").expect("instr");
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut env: Vec<BitVec> = m
-            .signals()
-            .map(|(_, s)| BitVec::zero(s.width))
-            .collect();
+        let mut env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
         for _ in 0..500 {
             let word = random_disciplined_instr(&mut rng);
             env[instr.index()] = BitVec::from_u64(16, word);

@@ -218,8 +218,7 @@ fn construct(leaky: bool) -> Built {
     let id_target = b.add(id_pc_s, br_off);
     // Secrecy classes of the referenced registers (x4..x7 are secret),
     // accounting for fields that alias immediates per class.
-    let (sec_rs1, sec_rs2, sec_rd) =
-        effective_secrecy(&mut b, id_class, id_rd, id_rs1, id_rs2);
+    let (sec_rs1, sec_rs2, sec_rd) = effective_secrecy(&mut b, id_class, id_rd, id_rs1, id_rs2);
 
     // ---- EX stage ----------------------------------------------------------
     let ex_is_alu = b.eq_lit(ex_class_s, class::ALU);
@@ -299,7 +298,8 @@ fn construct(leaky: bool) -> Built {
     };
     let mulh_finish = mulh_pending_s;
     let mulh_pending_next = mulh_start;
-    b.set_next(mulh_pending, mulh_pending_next).expect("mulh_pending");
+    b.set_next(mulh_pending, mulh_pending_next)
+        .expect("mulh_pending");
     let mulh_acc_next = b.mux(mulh_start, prod_hi, mulh_acc_s);
     b.set_next(mulh_acc, mulh_acc_next).expect("mulh_acc");
 
@@ -379,7 +379,8 @@ fn construct(leaky: bool) -> Built {
         let np = b.not(misal_pending_s);
         b.and(misaligned, np)
     };
-    b.set_next(misal_pending, misal_start).expect("misal_pending");
+    b.set_next(misal_pending, misal_start)
+        .expect("misal_pending");
     let misal_buf_next = b.mux(misal_start, rdata, misal_buf_s);
     b.set_next(misal_buf, misal_buf_next).expect("misal_buf");
     let mem_req = {
@@ -564,21 +565,16 @@ fn construct(leaky: bool) -> Built {
     // Secret-register discipline, over the incoming instruction, the ID
     // stage, and the EX/WB stages (pipeline state must also conform, which
     // doubles as the constraint's inductive closure).
-    let disc_fetch =
-        discipline_pred(&mut b, f_class, f_rd, f_rs1, f_rs2);
+    let disc_fetch = discipline_pred(&mut b, f_class, f_rd, f_rs1, f_rs2);
     let disc_id = {
         let sec_rd_id = sec_rd;
-        discipline_flags(
-            &mut b, id_class, sec_rs1, sec_rs2, sec_rd_id,
-        )
+        discipline_flags(&mut b, id_class, sec_rs1, sec_rs2, sec_rd_id)
     };
     let id_conform = {
         let nv = b.not(id_valid_s);
         b.or(nv, disc_id)
     };
-    let disc_ex = discipline_flags(
-        &mut b, ex_class_s, ex_sec_a_s, ex_sec_b_s, ex_rd_sec_s,
-    );
+    let disc_ex = discipline_flags(&mut b, ex_class_s, ex_sec_a_s, ex_sec_b_s, ex_rd_sec_s);
     let ex_conform = {
         let nv = b.not(ex_valid_s);
         b.or(nv, disc_ex)
@@ -658,8 +654,7 @@ fn discipline_pred(
     f_rs1: ExprId,
     f_rs2: ExprId,
 ) -> ExprId {
-    let (sec_a, sec_b, sec_rd) =
-        effective_secrecy(b, f_class, f_rd, f_rs1, f_rs2);
+    let (sec_a, sec_b, sec_rd) = effective_secrecy(b, f_class, f_rd, f_rs1, f_rs2);
     discipline_flags(b, f_class, sec_a, sec_b, sec_rd)
 }
 
@@ -762,10 +757,7 @@ fn discipline_flags(
 /// discipline. `include_mulh` controls whether the rudimentary testbench
 /// ever issues MULH (the paper's testbench did not exercise the multiplier
 /// high-half path).
-pub fn random_disciplined_instr(
-    rng: &mut rand::rngs::StdRng,
-    include_mulh: bool,
-) -> u64 {
+pub fn random_disciplined_instr(rng: &mut rand::rngs::StdRng, include_mulh: bool) -> u64 {
     let pub_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(0..4u64);
     let sec_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(4..8u64);
     let any_reg = |rng: &mut rand::rngs::StdRng| rng.gen_range(0..8u64);
@@ -838,7 +830,6 @@ pub fn random_disciplined_instr(
         | rng.gen_range(0..2u64)
 }
 
-
 /// The cv32e40s case study: as-shipped (leaky) plus the fixed variant, the
 /// two derived constraints, and the rudimentary (MULH-free) testbench.
 pub fn case_study() -> CaseStudy {
@@ -865,9 +856,7 @@ pub fn case_study() -> CaseStudy {
             })),
         });
         for (name, expr) in &built.invariants {
-            instance
-                .invariants
-                .push(NamedPredicate::new(*name, *expr));
+            instance.invariants.push(NamedPredicate::new(*name, *expr));
         }
         for (name, cond, signal_name) in &built.cond_eqs {
             let signal = instance
@@ -920,10 +909,9 @@ mod tests {
             }
             cycles += 1;
             assert!(cycles < 10_000, "program must finish");
-            if pos >= program.len()
-                && cycles >= extra_cycles {
-                    break;
-                }
+            if pos >= program.len() && cycles >= extra_cycles {
+                break;
+            }
         }
         for _ in 0..6 {
             sim.set_input_u64(instr, 0xE000);
@@ -981,8 +969,11 @@ mod tests {
             let mut count = 0u64;
             let mut div_cycles = 0u64;
             while pos < program.len() || count < 40 {
-                let word =
-                    if pos < program.len() { program[pos] } else { 0xE000 };
+                let word = if pos < program.len() {
+                    program[pos]
+                } else {
+                    0xE000
+                };
                 sim.set_input_u64(instr, word);
                 sim.settle();
                 let stalled = sim.value(busy).is_true();
@@ -1031,9 +1022,7 @@ mod tests {
                 sim.settle();
                 // When no request is active, the bus must not show operand
                 // -derived values.
-                if !sim.value(req_o).is_true()
-                    && sim.value(addr_o).to_u64() != 0
-                {
+                if !sim.value(req_o).is_true() && sim.value(addr_o).to_u64() != 0 {
                     leaked = true;
                 }
                 let _ = i;
@@ -1042,17 +1031,12 @@ mod tests {
             for _ in 0..5 {
                 sim.set_input_u64(instr, 0xE000);
                 sim.settle();
-                if !sim.value(req_o).is_true()
-                    && sim.value(addr_o).to_u64() != 0
-                {
+                if !sim.value(req_o).is_true() && sim.value(addr_o).to_u64() != 0 {
                     leaked = true;
                 }
                 sim.clock();
             }
-            assert_eq!(
-                leaked, expect_leak,
-                "leak expectation for leaky={leaky}"
-            );
+            assert_eq!(leaked, expect_leak, "leak expectation for leaky={leaky}");
         }
     }
 

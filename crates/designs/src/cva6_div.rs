@@ -231,12 +231,9 @@ pub fn case_study() -> CaseStudy {
     let built = construct();
     let module = built.module;
     let start = module.signal_by_name("start").expect("start");
-    let label_override =
-        module.signal_by_name("label_override").expect("override");
-    let err_internal =
-        module.signal_by_name("err_internal").expect("err_internal");
-    let latency_sel =
-        module.signal_by_name("latency_sel").expect("latency_sel");
+    let label_override = module.signal_by_name("label_override").expect("override");
+    let err_internal = module.signal_by_name("err_internal").expect("err_internal");
+    let latency_sel = module.signal_by_name("latency_sel").expect("latency_sel");
 
     let mut instance = DesignInstance::new(module);
     instance.constraints.push(NamedPredicate {
@@ -246,9 +243,10 @@ pub fn case_study() -> CaseStudy {
             tb.fix(label_override, 0);
         })),
     });
-    instance
-        .invariants
-        .push(NamedPredicate::new("debug_mask_tied_off", built.inv_mask_zero));
+    instance.invariants.push(NamedPredicate::new(
+        "debug_mask_tied_off",
+        built.inv_mask_zero,
+    ));
     instance.invariants.push(NamedPredicate::new(
         "conf_latch_shadow_agree",
         built.inv_shadow_agrees,
@@ -256,9 +254,7 @@ pub fn case_study() -> CaseStudy {
     instance.declassify_candidates.push(latency_sel);
     instance.declassify_candidates.push(err_internal);
     instance.configure_testbench = Some(Arc::new(move |_m, tb| {
-        tb.with_generator(start, |cycle, _| {
-            BitVec::from_bool(cycle % 20 == 0)
-        });
+        tb.with_generator(start, |cycle, _| BitVec::from_bool(cycle % 20 == 0));
     }));
 
     let mut study = CaseStudy::new("CVA6-DIV", instance);
@@ -274,13 +270,7 @@ mod tests {
     use fastpath_formal::invariant_is_inductive;
     use fastpath_sim::Simulator;
 
-    fn run_division(
-        a: u64,
-        b_val: u64,
-        a_conf: bool,
-        b_conf: bool,
-        over: bool,
-    ) -> (u64, u64) {
+    fn run_division(a: u64, b_val: u64, a_conf: bool, b_conf: bool, over: bool) -> (u64, u64) {
         let m = build_module();
         let mut sim = Simulator::new(&m);
         let set = |sim: &mut Simulator, name: &str, v: u64| {

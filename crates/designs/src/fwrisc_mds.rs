@@ -331,9 +331,7 @@ pub fn case_study() -> CaseStudy {
         })),
     });
     instance.configure_testbench = Some(Arc::new(move |_m, tb| {
-        tb.with_generator(start, |cycle, _| {
-            BitVec::from_bool(cycle % 20 == 0)
-        });
+        tb.with_generator(start, |cycle, _| BitVec::from_bool(cycle % 20 == 0));
     }));
     let mut study = CaseStudy::new("FWRISCV-MDS", instance);
     study.cycles = 1200;

@@ -55,8 +55,7 @@ mod tests {
     fn all_studies_build() {
         let studies = all_case_studies();
         assert_eq!(studies.len(), 8);
-        let names: Vec<&str> =
-            studies.iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = studies.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             [

@@ -13,40 +13,98 @@ use fastpath_rtl::{ExprId, Module, ModuleBuilder};
 
 /// SHA-512 round constants (first 80 primes' cube-root fractional bits).
 const K: [u64; 80] = [
-    0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f,
-    0xe9b5dba58189dbbc, 0x3956c25bf348b538, 0x59f111f1b605d019,
-    0x923f82a4af194f9b, 0xab1c5ed5da6d8118, 0xd807aa98a3030242,
-    0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
-    0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235,
-    0xc19bf174cf692694, 0xe49b69c19ef14ad2, 0xefbe4786384f25e3,
-    0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65, 0x2de92c6f592b0275,
-    0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
-    0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f,
-    0xbf597fc7beef0ee4, 0xc6e00bf33da88fc2, 0xd5a79147930aa725,
-    0x06ca6351e003826f, 0x142929670a0e6e70, 0x27b70a8546d22ffc,
-    0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
-    0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6,
-    0x92722c851482353b, 0xa2bfe8a14cf10364, 0xa81a664bbc423001,
-    0xc24b8b70d0f89791, 0xc76c51a30654be30, 0xd192e819d6ef5218,
-    0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
-    0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99,
-    0x34b0bcb5e19b48a8, 0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb,
-    0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3, 0x748f82ee5defb2fc,
-    0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
-    0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915,
-    0xc67178f2e372532b, 0xca273eceea26619c, 0xd186b8c721c0c207,
-    0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178, 0x06f067aa72176fba,
-    0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
-    0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc,
-    0x431d67c49c100d4c, 0x4cc5d4becb3e42b6, 0x597f299cfc657e2a,
-    0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+    0x428a2f98d728ae22,
+    0x7137449123ef65cd,
+    0xb5c0fbcfec4d3b2f,
+    0xe9b5dba58189dbbc,
+    0x3956c25bf348b538,
+    0x59f111f1b605d019,
+    0x923f82a4af194f9b,
+    0xab1c5ed5da6d8118,
+    0xd807aa98a3030242,
+    0x12835b0145706fbe,
+    0x243185be4ee4b28c,
+    0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f,
+    0x80deb1fe3b1696b1,
+    0x9bdc06a725c71235,
+    0xc19bf174cf692694,
+    0xe49b69c19ef14ad2,
+    0xefbe4786384f25e3,
+    0x0fc19dc68b8cd5b5,
+    0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275,
+    0x4a7484aa6ea6e483,
+    0x5cb0a9dcbd41fbd4,
+    0x76f988da831153b5,
+    0x983e5152ee66dfab,
+    0xa831c66d2db43210,
+    0xb00327c898fb213f,
+    0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2,
+    0xd5a79147930aa725,
+    0x06ca6351e003826f,
+    0x142929670a0e6e70,
+    0x27b70a8546d22ffc,
+    0x2e1b21385c26c926,
+    0x4d2c6dfc5ac42aed,
+    0x53380d139d95b3df,
+    0x650a73548baf63de,
+    0x766a0abb3c77b2a8,
+    0x81c2c92e47edaee6,
+    0x92722c851482353b,
+    0xa2bfe8a14cf10364,
+    0xa81a664bbc423001,
+    0xc24b8b70d0f89791,
+    0xc76c51a30654be30,
+    0xd192e819d6ef5218,
+    0xd69906245565a910,
+    0xf40e35855771202a,
+    0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8,
+    0x1e376c085141ab53,
+    0x2748774cdf8eeb99,
+    0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63,
+    0x4ed8aa4ae3418acb,
+    0x5b9cca4f7763e373,
+    0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc,
+    0x78a5636f43172f60,
+    0x84c87814a1f0ab72,
+    0x8cc702081a6439ec,
+    0x90befffa23631e28,
+    0xa4506cebde82bde9,
+    0xbef9a3f7b2c67915,
+    0xc67178f2e372532b,
+    0xca273eceea26619c,
+    0xd186b8c721c0c207,
+    0xeada7dd6cde0eb1e,
+    0xf57d4f7fee6ed178,
+    0x06f067aa72176fba,
+    0x0a637dc5a2c898a6,
+    0x113f9804bef90dae,
+    0x1b710b35131c471b,
+    0x28db77f523047d84,
+    0x32caab7b40c72493,
+    0x3c9ebe0a15c9bebc,
+    0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6,
+    0x597f299cfc657e2a,
+    0x5fcb6fab3ad6faec,
+    0x6c44198c4a475817,
 ];
 
 /// Initial hash values H0..H7.
 const H_INIT: [u64; 8] = [
-    0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b,
-    0xa54ff53a5f1d36f1, 0x510e527fade682d1, 0x9b05688c2b3e6c1f,
-    0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
 ];
 
 /// Builds the SHA-512 core module.
@@ -132,7 +190,12 @@ pub fn build_module() -> Module {
         .map(|i| b.reg(&format!("work_{}", (b'a' + i) as char), 64, 0))
         .collect();
     let h: Vec<_> = (0..8)
-        .map(|i| b.reg_init(&format!("h_{i}"), fastpath_rtl::BitVec::from_u64(64, H_INIT[i as usize])))
+        .map(|i| {
+            b.reg_init(
+                &format!("h_{i}"),
+                fastpath_rtl::BitVec::from_u64(64, H_INIT[i as usize]),
+            )
+        })
         .collect();
     let ws: Vec<ExprId> = work.iter().map(|&r| b.sig(r)).collect();
     let hs: Vec<ExprId> = h.iter().map(|&r| b.sig(r)).collect();
@@ -216,12 +279,8 @@ mod tests {
         let mut w = [0u64; 80];
         w[..16].copy_from_slice(block);
         for t in 16..80 {
-            let s0 = w[t - 15].rotate_right(1)
-                ^ w[t - 15].rotate_right(8)
-                ^ (w[t - 15] >> 7);
-            let s1 = w[t - 2].rotate_right(19)
-                ^ w[t - 2].rotate_right(61)
-                ^ (w[t - 2] >> 6);
+            let s0 = w[t - 15].rotate_right(1) ^ w[t - 15].rotate_right(8) ^ (w[t - 15] >> 7);
+            let s1 = w[t - 2].rotate_right(19) ^ w[t - 2].rotate_right(61) ^ (w[t - 2] >> 6);
             w[t] = w[t - 16]
                 .wrapping_add(s0)
                 .wrapping_add(w[t - 7])
@@ -229,18 +288,14 @@ mod tests {
         }
         let mut v = H_INIT;
         for t in 0..80 {
-            let s1 = v[4].rotate_right(14)
-                ^ v[4].rotate_right(18)
-                ^ v[4].rotate_right(41);
+            let s1 = v[4].rotate_right(14) ^ v[4].rotate_right(18) ^ v[4].rotate_right(41);
             let ch = (v[4] & v[5]) ^ (!v[4] & v[6]);
             let t1 = v[7]
                 .wrapping_add(s1)
                 .wrapping_add(ch)
                 .wrapping_add(K[t])
                 .wrapping_add(w[t]);
-            let s0 = v[0].rotate_right(28)
-                ^ v[0].rotate_right(34)
-                ^ v[0].rotate_right(39);
+            let s0 = v[0].rotate_right(28) ^ v[0].rotate_right(34) ^ v[0].rotate_right(39);
             let maj = (v[0] & v[1]) ^ (v[0] & v[2]) ^ (v[1] & v[2]);
             let t2 = s0.wrapping_add(maj);
             v = [
@@ -269,7 +324,21 @@ mod tests {
         // An arbitrary padded block ("abc" style schedule not required —
         // we compare raw compression).
         let block: [u64; 16] = [
-            0x6162638000000000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0x6162638000000000,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
             0x0000000000000018,
         ];
         for (i, &word) in block.iter().enumerate() {
@@ -290,11 +359,7 @@ mod tests {
         let expected = reference_compress(&block);
         for (i, &exp) in expected.iter().enumerate() {
             let d = m.signal_by_name(&format!("digest_{i}")).expect("digest");
-            assert_eq!(
-                sim.value(d).to_u64(),
-                exp,
-                "digest word {i}"
-            );
+            assert_eq!(sim.value(d).to_u64(), exp, "digest word {i}");
         }
     }
 
@@ -307,9 +372,7 @@ mod tests {
         for pattern in [0u64, u64::MAX, 0xDEADBEEF] {
             let mut sim = Simulator::new(&m);
             for i in 0..16 {
-                let id = m
-                    .signal_by_name(&format!("block_{i}"))
-                    .expect("block");
+                let id = m.signal_by_name(&format!("block_{i}")).expect("block");
                 sim.set_input(id, BitVec::from_u64(64, pattern));
             }
             sim.set_input_u64(init, 1);
@@ -335,10 +398,7 @@ mod tests {
         let m = build_module();
         let hfg = fastpath_hfg::extract_hfg(&m);
         let q = fastpath_hfg::PathQuery::new(&hfg);
-        assert!(q.no_flow_possible(
-            &m.data_inputs(),
-            &m.control_outputs()
-        ));
+        assert!(q.no_flow_possible(&m.data_inputs(), &m.control_outputs()));
     }
 }
 
@@ -349,19 +409,12 @@ mod chaining_tests {
     use fastpath_sim::Simulator;
 
     /// Reference compression with an arbitrary incoming chaining value.
-    fn reference_compress_with(
-        h_in: [u64; 8],
-        block: &[u64; 16],
-    ) -> [u64; 8] {
+    fn reference_compress_with(h_in: [u64; 8], block: &[u64; 16]) -> [u64; 8] {
         let mut w = [0u64; 80];
         w[..16].copy_from_slice(block);
         for t in 16..80 {
-            let s0 = w[t - 15].rotate_right(1)
-                ^ w[t - 15].rotate_right(8)
-                ^ (w[t - 15] >> 7);
-            let s1 = w[t - 2].rotate_right(19)
-                ^ w[t - 2].rotate_right(61)
-                ^ (w[t - 2] >> 6);
+            let s0 = w[t - 15].rotate_right(1) ^ w[t - 15].rotate_right(8) ^ (w[t - 15] >> 7);
+            let s1 = w[t - 2].rotate_right(19) ^ w[t - 2].rotate_right(61) ^ (w[t - 2] >> 6);
             w[t] = w[t - 16]
                 .wrapping_add(s0)
                 .wrapping_add(w[t - 7])
@@ -369,18 +422,14 @@ mod chaining_tests {
         }
         let mut v = h_in;
         for t in 0..80 {
-            let s1 = v[4].rotate_right(14)
-                ^ v[4].rotate_right(18)
-                ^ v[4].rotate_right(41);
+            let s1 = v[4].rotate_right(14) ^ v[4].rotate_right(18) ^ v[4].rotate_right(41);
             let ch = (v[4] & v[5]) ^ (!v[4] & v[6]);
             let t1 = v[7]
                 .wrapping_add(s1)
                 .wrapping_add(ch)
                 .wrapping_add(K[t])
                 .wrapping_add(w[t]);
-            let s0 = v[0].rotate_right(28)
-                ^ v[0].rotate_right(34)
-                ^ v[0].rotate_right(39);
+            let s0 = v[0].rotate_right(28) ^ v[0].rotate_right(34) ^ v[0].rotate_right(39);
             let maj = (v[0] & v[1]) ^ (v[0] & v[2]) ^ (v[1] & v[2]);
             let t2 = s0.wrapping_add(maj);
             v = [
@@ -405,14 +454,11 @@ mod chaining_tests {
     fn multi_block_digest_chains_correctly() {
         // The digest registers must carry the chaining value across two
         // consecutive blocks, like a real streaming SHA core.
-        let block1: [u64; 16] = std::array::from_fn(|i| {
-            0x0123_4567_89AB_CDEFu64.wrapping_mul(i as u64 + 1)
-        });
-        let block2: [u64; 16] = std::array::from_fn(|i| {
-            0xFEDC_BA98_7654_3210u64.rotate_left(i as u32)
-        });
-        let expected =
-            reference_compress_with(reference_compress_with(H_INIT, &block1), &block2);
+        let block1: [u64; 16] =
+            std::array::from_fn(|i| 0x0123_4567_89AB_CDEFu64.wrapping_mul(i as u64 + 1));
+        let block2: [u64; 16] =
+            std::array::from_fn(|i| 0xFEDC_BA98_7654_3210u64.rotate_left(i as u32));
+        let expected = reference_compress_with(reference_compress_with(H_INIT, &block1), &block2);
 
         let m = build_module();
         let init = m.signal_by_name("init").expect("init");
@@ -441,11 +487,7 @@ mod chaining_tests {
         }
         for (i, &exp) in expected.iter().enumerate() {
             let d = m.signal_by_name(&format!("digest_{i}")).expect("digest");
-            assert_eq!(
-                sim.value(d).to_u64(),
-                exp,
-                "chained digest word {i}"
-            );
+            assert_eq!(sim.value(d).to_u64(), exp, "chained digest word {i}");
         }
     }
 }

@@ -174,19 +174,17 @@ pub fn build_module() -> Module {
 /// The ZipCPU divider case study: no constraint vocabulary — the timing
 /// dependency is inherent.
 pub fn case_study() -> CaseStudy {
-    let mut study =
-        CaseStudy::new("ZipCPU-DIV", DesignInstance::new(build_module()));
+    let mut study = CaseStudy::new("ZipCPU-DIV", DesignInstance::new(build_module()));
     study.cycles = 600;
     study.seed = 0x21;
     // Pulse `start` every 24 cycles so divisions complete in between.
     let module = &study.instance.module;
     let start = module.signal_by_name("start").expect("start");
-    study.instance.configure_testbench =
-        Some(std::sync::Arc::new(move |_m, tb| {
-            tb.with_generator(start, |cycle, _| {
-                fastpath_rtl::BitVec::from_bool(cycle % 24 == 0)
-            });
-        }));
+    study.instance.configure_testbench = Some(std::sync::Arc::new(move |_m, tb| {
+        tb.with_generator(start, |cycle, _| {
+            fastpath_rtl::BitVec::from_bool(cycle % 24 == 0)
+        });
+    }));
     study
 }
 
@@ -195,11 +193,7 @@ mod tests {
     use super::*;
     use fastpath_sim::Simulator;
 
-    fn run_division(
-        dividend: u64,
-        divisor: u64,
-        signed_op: bool,
-    ) -> (u64, u64, bool) {
+    fn run_division(dividend: u64, divisor: u64, signed_op: bool) -> (u64, u64, bool) {
         let m = build_module();
         let mut sim = Simulator::new(&m);
         let start = m.signal_by_name("start").expect("start");

@@ -196,23 +196,16 @@ impl Aig {
 
     /// AND over a list (`true` for empty).
     pub fn and_all(&mut self, lits: &[AigLit]) -> AigLit {
-        lits.iter()
-            .fold(AigLit::TRUE, |acc, &l| self.and(acc, l))
+        lits.iter().fold(AigLit::TRUE, |acc, &l| self.and(acc, l))
     }
 
     /// OR over a list (`false` for empty).
     pub fn or_all(&mut self, lits: &[AigLit]) -> AigLit {
-        lits.iter()
-            .fold(AigLit::FALSE, |acc, &l| self.or(acc, l))
+        lits.iter().fold(AigLit::FALSE, |acc, &l| self.or(acc, l))
     }
 
     /// Full adder: returns `(sum, carry_out)`.
-    pub fn full_adder(
-        &mut self,
-        a: AigLit,
-        b: AigLit,
-        carry_in: AigLit,
-    ) -> (AigLit, AigLit) {
+    pub fn full_adder(&mut self, a: AigLit, b: AigLit, carry_in: AigLit) -> (AigLit, AigLit) {
         let ab = self.xor(a, b);
         let sum = self.xor(ab, carry_in);
         let c1 = self.and(a, b);
@@ -231,12 +224,7 @@ impl Aig {
         self.eval_memo(lit, inputs, &mut values)
     }
 
-    fn eval_memo(
-        &self,
-        lit: AigLit,
-        inputs: &[bool],
-        values: &mut Vec<Option<bool>>,
-    ) -> bool {
+    fn eval_memo(&self, lit: AigLit, inputs: &[bool], values: &mut Vec<Option<bool>>) -> bool {
         let node_value = if let Some(v) = values[lit.node()] {
             v
         } else {
@@ -244,8 +232,7 @@ impl Aig {
                 Node::False => false,
                 Node::Input => inputs[lit.node()],
                 Node::And(a, b) => {
-                    self.eval_memo(a, inputs, values)
-                        && self.eval_memo(b, inputs, values)
+                    self.eval_memo(a, inputs, values) && self.eval_memo(b, inputs, values)
                 }
             };
             values[lit.node()] = Some(v);
@@ -303,8 +290,7 @@ mod tests {
         let an = a.node();
         let bn = b.node();
         let mut inputs = vec![false; g.node_count()];
-        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)]
-        {
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
             inputs[an] = va;
             inputs[bn] = vb;
             assert_eq!(g.eval(x, &inputs), va ^ vb);
@@ -336,8 +322,7 @@ mod tests {
         let (sum, carry) = g.full_adder(a, b, c);
         let mut inputs = vec![false; g.node_count()];
         for bits in 0..8u32 {
-            let (va, vb, vc) =
-                (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let (va, vb, vc) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
             inputs[a.node()] = va;
             inputs[b.node()] = vb;
             inputs[c.node()] = vc;

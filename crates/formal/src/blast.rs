@@ -8,14 +8,11 @@
 
 use crate::aig::{Aig, AigLit};
 use crate::words::{
-    add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word,
-    not_word, or_word, reduce_and_word, reduce_or_word, reduce_xor_word,
-    sext_word, shift_word, sle_word, slt_word, sub_word, ule_word, ult_word,
-    xor_word, zext_word, ShiftKind,
+    add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word, not_word, or_word,
+    reduce_and_word, reduce_or_word, reduce_xor_word, sext_word, shift_word, sle_word, slt_word,
+    sub_word, ule_word, ult_word, xor_word, zext_word, ShiftKind,
 };
-use fastpath_rtl::{
-    BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp,
-};
+use fastpath_rtl::{BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp};
 
 /// One time-frame of a module in the AIG: a word of literals per signal.
 #[derive(Clone, Debug)]
@@ -33,8 +30,7 @@ impl Frame {
 /// How to create the leaf (input/register) literals of a frame.
 pub trait LeafSource {
     /// Produces the literal vector for leaf signal `id` of width `width`.
-    fn leaf(&mut self, aig: &mut Aig, id: SignalId, width: u32)
-        -> Vec<AigLit>;
+    fn leaf(&mut self, aig: &mut Aig, id: SignalId, width: u32) -> Vec<AigLit>;
 }
 
 /// Leaves as fresh symbolic AIG inputs.
@@ -42,12 +38,7 @@ pub trait LeafSource {
 pub struct SymbolicLeaves;
 
 impl LeafSource for SymbolicLeaves {
-    fn leaf(
-        &mut self,
-        aig: &mut Aig,
-        _id: SignalId,
-        width: u32,
-    ) -> Vec<AigLit> {
+    fn leaf(&mut self, aig: &mut Aig, _id: SignalId, width: u32) -> Vec<AigLit> {
         (0..width).map(|_| aig.input()).collect()
     }
 }
@@ -60,12 +51,7 @@ pub struct ConstantLeaves<'v> {
 }
 
 impl LeafSource for ConstantLeaves<'_> {
-    fn leaf(
-        &mut self,
-        aig: &mut Aig,
-        id: SignalId,
-        width: u32,
-    ) -> Vec<AigLit> {
+    fn leaf(&mut self, aig: &mut Aig, id: SignalId, width: u32) -> Vec<AigLit> {
         match self.values.get(id.index()).copied().flatten() {
             Some(v) => constant_word(aig, width, |i| v.bit(i)),
             None => (0..width).map(|_| aig.input()).collect(),
@@ -74,11 +60,7 @@ impl LeafSource for ConstantLeaves<'_> {
 }
 
 /// Builds a frame: leaves from `source`, combinational signals derived.
-pub fn build_frame(
-    aig: &mut Aig,
-    module: &Module,
-    source: &mut dyn LeafSource,
-) -> Frame {
+pub fn build_frame(aig: &mut Aig, module: &Module, source: &mut dyn LeafSource) -> Frame {
     let mut bits: Vec<Vec<AigLit>> = vec![Vec::new(); module.signal_count()];
     for (id, signal) in module.signals() {
         if matches!(signal.kind, SignalKind::Input | SignalKind::Register) {
@@ -90,19 +72,11 @@ pub fn build_frame(
 
 /// Builds a frame whose leaf literals are given explicitly (inputs and
 /// registers); derives the combinational signals.
-pub fn build_frame_with_leaves(
-    aig: &mut Aig,
-    module: &Module,
-    leaves: Vec<Vec<AigLit>>,
-) -> Frame {
+pub fn build_frame_with_leaves(aig: &mut Aig, module: &Module, leaves: Vec<Vec<AigLit>>) -> Frame {
     complete_frame(aig, module, leaves)
 }
 
-fn complete_frame(
-    aig: &mut Aig,
-    module: &Module,
-    mut bits: Vec<Vec<AigLit>>,
-) -> Frame {
+fn complete_frame(aig: &mut Aig, module: &Module, mut bits: Vec<Vec<AigLit>>) -> Frame {
     let mut memo: Vec<Option<Vec<AigLit>>> = vec![None; module.expr_count()];
     for &sig in module.comb_order() {
         let driver = module.driver(sig).expect("comb signal driven");
@@ -115,11 +89,7 @@ fn complete_frame(
 /// The next-state words of every register, computed from `frame`.
 ///
 /// Returned in the order of [`Module::state_signals`].
-pub fn next_state(
-    aig: &mut Aig,
-    module: &Module,
-    frame: &Frame,
-) -> Vec<Vec<AigLit>> {
+pub fn next_state(aig: &mut Aig, module: &Module, frame: &Frame) -> Vec<Vec<AigLit>> {
     let mut memo: Vec<Option<Vec<AigLit>>> = vec![None; module.expr_count()];
     module
         .state_signals()
@@ -296,10 +266,7 @@ mod tests {
             let vsh = rng.gen_range(0..16u64);
             // Build the AIG input assignment.
             let mut inputs = vec![false; aig.node_count()];
-            let assign = |inputs: &mut Vec<bool>,
-                          frame: &Frame,
-                          sig: SignalId,
-                          val: u64| {
+            let assign = |inputs: &mut Vec<bool>, frame: &Frame, sig: SignalId, val: u64| {
                 for (i, &lit) in frame.signal(sig).iter().enumerate() {
                     inputs[lit.node()] = (val >> i) & 1 == 1;
                 }
@@ -308,8 +275,7 @@ mod tests {
             assign(&mut inputs, &frame, c, vc);
             assign(&mut inputs, &frame, sh, vsh);
             // Interpreter environment.
-            let mut env: Vec<BitVec> =
-                m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+            let mut env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
             env[a.index()] = BitVec::from_u64(13, va);
             env[c.index()] = BitVec::from_u64(13, vc);
             env[sh.index()] = BitVec::from_u64(4, vsh);
@@ -343,8 +309,7 @@ mod tests {
         b.set_next(r, next).expect("drive");
         let m = b.build().expect("valid");
 
-        let inits: Vec<Option<&BitVec>> =
-            m.signals().map(|(_, s)| s.init.as_ref()).collect();
+        let inits: Vec<Option<&BitVec>> = m.signals().map(|(_, s)| s.init.as_ref()).collect();
         let mut aig = Aig::new();
         let mut leaves = ConstantLeaves { values: inits };
         let frame = build_frame(&mut aig, &m, &mut leaves);

@@ -70,8 +70,7 @@ pub fn bmc_check(
                     .collect();
             }
             SignalKind::Input => {
-                let bits: Vec<AigLit> =
-                    (0..signal.width).map(|_| aig.input()).collect();
+                let bits: Vec<AigLit> = (0..signal.width).map(|_| aig.input()).collect();
                 cycle_inputs.push((id, bits.clone()));
                 leaves[id.index()] = bits;
             }
@@ -83,13 +82,11 @@ pub fn bmc_check(
 
     for cycle in 0..depth {
         for &c in constraints {
-            let lit =
-                crate::blast::blast_expr_in_frame(&mut aig, module, &frame, c);
+            let lit = crate::blast::blast_expr_in_frame(&mut aig, module, &frame, c);
             assert_eq!(lit.len(), 1, "constraint must be 1 bit");
             encoder.assert_true(&aig, lit[0]);
         }
-        let prop =
-            crate::blast::blast_expr_in_frame(&mut aig, module, &frame, property);
+        let prop = crate::blast::blast_expr_in_frame(&mut aig, module, &frame, property);
         let bad = encoder.lit(&aig, !prop[0]);
         if encoder.solve_with(&[bad]) == SolveResult::Sat {
             let inputs = frame_inputs
@@ -97,9 +94,7 @@ pub fn bmc_check(
                 .map(|per_cycle| {
                     per_cycle
                         .iter()
-                        .map(|(id, bits)| {
-                            (*id, extract_word(&encoder, bits))
-                        })
+                        .map(|(id, bits)| (*id, extract_word(&encoder, bits)))
                         .collect()
                 })
                 .collect();
@@ -118,11 +113,7 @@ pub fn bmc_check(
 /// preserved by every transition from any state satisfying it (plus the
 /// given constraints). A `true` result means the invariant is safe to
 /// assume in the UPEC model.
-pub fn invariant_is_inductive(
-    module: &Module,
-    invariant: ExprId,
-    constraints: &[ExprId],
-) -> bool {
+pub fn invariant_is_inductive(module: &Module, invariant: ExprId, constraints: &[ExprId]) -> bool {
     // Base case: holds at reset (depth-1 BMC).
     if !bmc_check(module, invariant, constraints, 1).holds() {
         return false;
@@ -134,14 +125,12 @@ pub fn invariant_is_inductive(
     let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
     for (id, signal) in module.signals() {
         if matches!(signal.kind, SignalKind::Register | SignalKind::Input) {
-            leaves[id.index()] =
-                (0..signal.width).map(|_| aig.input()).collect();
+            leaves[id.index()] = (0..signal.width).map(|_| aig.input()).collect();
         }
     }
     let frame_t = build_frame_with_leaves(&mut aig, module, leaves);
     assert_predicates(&mut aig, &mut encoder, module, &frame_t, constraints);
-    let inv_t =
-        crate::blast::blast_expr_in_frame(&mut aig, module, &frame_t, invariant);
+    let inv_t = crate::blast::blast_expr_in_frame(&mut aig, module, &frame_t, invariant);
     encoder.assert_true(&aig, inv_t[0]);
 
     let nexts = next_state(&mut aig, module, &frame_t);
@@ -151,15 +140,12 @@ pub fn invariant_is_inductive(
     }
     for (id, signal) in module.signals() {
         if signal.kind == SignalKind::Input {
-            leaves_t1[id.index()] =
-                (0..signal.width).map(|_| aig.input()).collect();
+            leaves_t1[id.index()] = (0..signal.width).map(|_| aig.input()).collect();
         }
     }
     let frame_t1 = build_frame_with_leaves(&mut aig, module, leaves_t1);
     assert_predicates(&mut aig, &mut encoder, module, &frame_t1, constraints);
-    let inv_t1 = crate::blast::blast_expr_in_frame(
-        &mut aig, module, &frame_t1, invariant,
-    );
+    let inv_t1 = crate::blast::blast_expr_in_frame(&mut aig, module, &frame_t1, invariant);
     let bad = encoder.lit(&aig, !inv_t1[0]);
     encoder.solve_with(&[bad]) == SolveResult::Unsat
 }
@@ -193,8 +179,7 @@ fn advance(
     let mut cycle_inputs = Vec::new();
     for (id, signal) in module.signals() {
         if signal.kind == SignalKind::Input {
-            let bits: Vec<AigLit> =
-                (0..signal.width).map(|_| aig.input()).collect();
+            let bits: Vec<AigLit> = (0..signal.width).map(|_| aig.input()).collect();
             cycle_inputs.push((id, bits.clone()));
             leaves[id.index()] = bits;
         }
@@ -396,11 +381,7 @@ impl TwoSafetyBmcResult {
 /// proves unbounded security from a symbolic (possibly unreachable) state;
 /// this check *demonstrates* a leak with a concrete, replayable pair of
 /// traces — which is how a reported vulnerability is confirmed reachable.
-pub fn two_safety_bmc(
-    module: &Module,
-    constraints: &[ExprId],
-    depth: u32,
-) -> TwoSafetyBmcResult {
+pub fn two_safety_bmc(module: &Module, constraints: &[ExprId], depth: u32) -> TwoSafetyBmcResult {
     use fastpath_rtl::SignalRole;
 
     let mut aig = Aig::new();
@@ -424,8 +405,7 @@ pub fn two_safety_bmc(
             if signal.kind != SignalKind::Input {
                 continue;
             }
-            let bits_a: Vec<AigLit> =
-                (0..signal.width).map(|_| aig.input()).collect();
+            let bits_a: Vec<AigLit> = (0..signal.width).map(|_| aig.input()).collect();
             let bits_b: Vec<AigLit> = if signal.role == SignalRole::DataIn {
                 (0..signal.width).map(|_| aig.input()).collect()
             } else {
@@ -468,11 +448,7 @@ pub fn two_safety_bmc(
         // Per-output divergence monitors for this cycle.
         let mut monitors = Vec::new();
         for &y in &outputs {
-            let eq = crate::words::eq_word(
-                &mut aig,
-                frame_a.signal(y),
-                frame_b.signal(y),
-            );
+            let eq = crate::words::eq_word(&mut aig, frame_a.signal(y), frame_b.signal(y));
             monitors.push((y, !eq));
         }
         let live: Vec<fastpath_sat::Lit> = monitors
@@ -485,30 +461,23 @@ pub fn two_safety_bmc(
             let mut clause = vec![selector.negative()];
             clause.extend(&live);
             encoder.add_clause(&clause);
-            if encoder.solve_with(&[selector.positive()])
-                == SolveResult::Sat
-            {
+            if encoder.solve_with(&[selector.positive()]) == SolveResult::Sat {
                 let output = monitors
                     .iter()
-                    .find(|&&(_, d)| {
-                        encoder.model_value(d).unwrap_or(false)
-                    })
+                    .find(|&&(_, d)| encoder.model_value(d).unwrap_or(false))
                     .map(|&(y, _)| y)
                     .expect("some monitor fired");
-                let extract =
-                    |trace: &[Vec<(SignalId, Vec<AigLit>)>]| -> Vec<_> {
-                        trace
-                            .iter()
-                            .map(|per_cycle| {
-                                per_cycle
-                                    .iter()
-                                    .map(|(id, bits)| {
-                                        (*id, extract_word(&encoder, bits))
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                            .collect()
-                    };
+                let extract = |trace: &[Vec<(SignalId, Vec<AigLit>)>]| -> Vec<_> {
+                    trace
+                        .iter()
+                        .map(|per_cycle| {
+                            per_cycle
+                                .iter()
+                                .map(|(id, bits)| (*id, extract_word(&encoder, bits)))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect()
+                };
                 return TwoSafetyBmcResult::Diverges {
                     cycle,
                     output,
@@ -572,8 +541,7 @@ pub fn invariants_are_jointly_inductive(
     let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
     for (id, signal) in module.signals() {
         if matches!(signal.kind, SignalKind::Register | SignalKind::Input) {
-            leaves[id.index()] =
-                (0..signal.width).map(|_| aig.input()).collect();
+            leaves[id.index()] = (0..signal.width).map(|_| aig.input()).collect();
         }
     }
     let frame_t = build_frame_with_leaves(&mut aig, module, leaves);
@@ -587,8 +555,7 @@ pub fn invariants_are_jointly_inductive(
     }
     for (id, signal) in module.signals() {
         if signal.kind == SignalKind::Input {
-            leaves_t1[id.index()] =
-                (0..signal.width).map(|_| aig.input()).collect();
+            leaves_t1[id.index()] = (0..signal.width).map(|_| aig.input()).collect();
         }
     }
     let frame_t1 = build_frame_with_leaves(&mut aig, module, leaves_t1);
@@ -596,9 +563,7 @@ pub fn invariants_are_jointly_inductive(
     // Some invariant fails at t+1?
     let mut bads = Vec::new();
     for &inv in invariants {
-        let lit = crate::blast::blast_expr_in_frame(
-            &mut aig, module, &frame_t1, inv,
-        );
+        let lit = crate::blast::blast_expr_in_frame(&mut aig, module, &frame_t1, inv);
         bads.push(encoder.lit(&aig, !lit[0]));
     }
     if bads.is_empty() {

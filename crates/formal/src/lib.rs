@@ -54,24 +54,23 @@ mod upec;
 mod words;
 
 pub use aig::{Aig, AigLit};
-pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
 pub use aiger::to_aiger;
 pub use blast::{
-    build_frame, build_frame_with_leaves, blast_expr_in_frame, next_state,
-    ConstantLeaves, Frame, LeafSource, SymbolicLeaves,
+    blast_expr_in_frame, build_frame, build_frame_with_leaves, next_state, ConstantLeaves, Frame,
+    LeafSource, SymbolicLeaves,
 };
 pub use bmc::{
-    bmc_check, invariant_is_inductive, invariants_are_jointly_inductive,
-    two_safety_bmc, BmcResult, TwoSafetyBmcResult,
+    bmc_check, invariant_is_inductive, invariants_are_jointly_inductive, two_safety_bmc, BmcResult,
+    TwoSafetyBmcResult,
 };
+pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
 pub use tseitin::CnfEncoder;
 pub use upec::{
-    ElaborationMode, ElaborationStats, StateWitness, Upec2Safety,
-    UpecCounterexample, UpecOutcome, UpecSpec,
+    ElaborationMode, ElaborationStats, StateWitness, Upec2Safety, UpecCounterexample, UpecOutcome,
+    UpecSpec,
 };
 pub use words::{
-    add_with_carry, add_word, and_word, constant_word, eq_word, mul_word,
-    mux_word, neg_word, not_word, or_word, reduce_and_word, reduce_or_word,
-    reduce_xor_word, sext_word, shift_word, sle_word, slt_word, sub_word,
-    ule_word, ult_word, xor_word, zext_word, ShiftKind,
+    add_with_carry, add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word,
+    not_word, or_word, reduce_and_word, reduce_or_word, reduce_xor_word, sext_word, shift_word,
+    sle_word, slt_word, sub_word, ule_word, ult_word, xor_word, zext_word, ShiftKind,
 };

@@ -99,18 +99,15 @@ impl CnfEncoder {
                             stack.push((b.node(), false));
                         }
                     } else {
-                        let va = self.node_vars[a.node()]
-                            .expect("fanin a encoded");
-                        let vb = self.node_vars[b.node()]
-                            .expect("fanin b encoded");
+                        let va = self.node_vars[a.node()].expect("fanin a encoded");
+                        let vb = self.node_vars[b.node()].expect("fanin b encoded");
                         let la = va.lit(!a.is_complemented());
                         let lb = vb.lit(!b.is_complemented());
                         let v = self.solver.new_var();
                         // v <-> (la & lb)
                         self.solver.add_clause(&[v.negative(), la]);
                         self.solver.add_clause(&[v.negative(), lb]);
-                        self.solver
-                            .add_clause(&[v.positive(), !la, !lb]);
+                        self.solver.add_clause(&[v.positive(), !la, !lb]);
                         self.node_vars[n] = Some(v);
                     }
                 }

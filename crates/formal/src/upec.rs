@@ -58,9 +58,7 @@ use crate::certify::{CertStats, CertifiedOutcome, CheckCertificate};
 use crate::tseitin::CnfEncoder;
 use crate::words::eq_word;
 use fastpath_cert::{artifacts, CertError, Checker};
-use fastpath_rtl::{
-    BitVec, ExprId, Module, SignalId, SignalKind, SignalRole,
-};
+use fastpath_rtl::{BitVec, ExprId, Module, SignalId, SignalKind, SignalRole};
 use fastpath_sat::{Cnf, Lit, SolveResult, SolverStats};
 use std::path::PathBuf;
 
@@ -288,11 +286,7 @@ impl<'m> Upec2Safety<'m> {
     }
 
     /// Creates the engine with an explicit [`ElaborationMode`].
-    pub fn with_mode(
-        module: &'m Module,
-        spec: &UpecSpec,
-        mode: ElaborationMode,
-    ) -> Self {
+    pub fn with_mode(module: &'m Module, spec: &UpecSpec, mode: ElaborationMode) -> Self {
         Upec2Safety {
             module,
             spec: spec.clone(),
@@ -347,11 +341,7 @@ impl<'m> Upec2Safety<'m> {
     /// # Panics
     ///
     /// Panics if certification is not enabled.
-    pub fn set_artifact_output(
-        &mut self,
-        dir: PathBuf,
-        prefix: impl Into<String>,
-    ) {
+    pub fn set_artifact_output(&mut self, dir: PathBuf, prefix: impl Into<String>) {
         let cert = self
             .cert
             .as_mut()
@@ -430,11 +420,7 @@ impl<'m> Upec2Safety<'m> {
 
     /// Adds a conditional 2-safety equality to the specification
     /// (effective from the next check).
-    pub fn add_conditional_equality(
-        &mut self,
-        cond: ExprId,
-        signal: SignalId,
-    ) {
+    pub fn add_conditional_equality(&mut self, cond: ExprId, signal: SignalId) {
         self.spec.conditional_equalities.push((cond, signal));
     }
 
@@ -464,10 +450,7 @@ impl<'m> Upec2Safety<'m> {
     ///
     /// Panics unless
     /// [`enable_certification`](Self::enable_certification) was called.
-    pub fn check_certified(
-        &mut self,
-        z_prime: &[SignalId],
-    ) -> CertifiedOutcome {
+    pub fn check_certified(&mut self, z_prime: &[SignalId]) -> CertifiedOutcome {
         let (outcome, certificate) = self.check_internal(z_prime, true);
         CertifiedOutcome {
             outcome,
@@ -482,10 +465,7 @@ impl<'m> Upec2Safety<'m> {
     ///
     /// Panics unless
     /// [`enable_certification`](Self::enable_certification) was called.
-    pub fn check_state_only_certified(
-        &mut self,
-        z_prime: &[SignalId],
-    ) -> CertifiedOutcome {
+    pub fn check_state_only_certified(&mut self, z_prime: &[SignalId]) -> CertifiedOutcome {
         let (outcome, certificate) = self.check_internal(z_prime, false);
         CertifiedOutcome {
             outcome,
@@ -533,16 +513,13 @@ impl<'m> Upec2Safety<'m> {
             for (id, signal) in module.signals() {
                 match signal.kind {
                     SignalKind::Register => {
-                        let b0: Vec<AigLit> =
-                            (0..signal.width).map(|_| aig.input()).collect();
-                        let s1: Vec<AigLit> =
-                            (0..signal.width).map(|_| aig.input()).collect();
+                        let b0: Vec<AigLit> = (0..signal.width).map(|_| aig.input()).collect();
+                        let s1: Vec<AigLit> = (0..signal.width).map(|_| aig.input()).collect();
                         state_leaves.push((id, b0.clone(), s1));
                         leaves0[id.index()] = b0;
                     }
                     SignalKind::Input => {
-                        let (b0, b1) =
-                            alloc_input(aig, signal.role, signal.width);
+                        let (b0, b1) = alloc_input(aig, signal.role, signal.width);
                         input_bits_t.push((id, b0.clone(), b1.clone()));
                         leaves0[id.index()] = b0;
                         inputs1_t[id.index()] = b1;
@@ -559,15 +536,13 @@ impl<'m> Upec2Safety<'m> {
             }
             for (id, signal) in module.signals() {
                 if signal.kind == SignalKind::Input {
-                    let (b0, b1) =
-                        alloc_input(aig, signal.role, signal.width);
+                    let (b0, b1) = alloc_input(aig, signal.role, signal.width);
                     input_bits_t1.push((id, b0.clone(), b1.clone()));
                     leaves0_t1[id.index()] = b0;
                     inputs1_t1[id.index()] = b1;
                 }
             }
-            let frame0_t1 =
-                build_frame_with_leaves(aig, module, leaves0_t1);
+            let frame0_t1 = build_frame_with_leaves(aig, module, leaves0_t1);
             self.template = Some(Template {
                 state_leaves,
                 inputs1_t,
@@ -587,8 +562,7 @@ impl<'m> Upec2Safety<'m> {
         let tmpl = self.template.as_ref().expect("template just built");
         let aig = &mut self.aig;
         let encoder = &mut self.encoder;
-        for &constraint in &self.spec.software_constraints[self.f0_constraints..]
-        {
+        for &constraint in &self.spec.software_constraints[self.f0_constraints..] {
             for frame in [&tmpl.frame0_t, &tmpl.frame0_t1] {
                 let lit = blast_predicate(aig, module, frame, constraint);
                 encoder.assert_true(aig, lit);
@@ -596,8 +570,7 @@ impl<'m> Upec2Safety<'m> {
         }
         self.f0_constraints = self.spec.software_constraints.len();
         for &invariant in &self.spec.invariants[self.f0_invariants..] {
-            let lit =
-                blast_predicate(aig, module, &tmpl.frame0_t, invariant);
+            let lit = blast_predicate(aig, module, &tmpl.frame0_t, invariant);
             encoder.assert_true(aig, lit);
         }
         self.f0_invariants = self.spec.invariants.len();
@@ -632,7 +605,11 @@ impl<'m> Upec2Safety<'m> {
         let mut leaves1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
         let mut state_bits_t = Vec::with_capacity(tmpl.state_leaves.len());
         for (id, b0, s1) in &tmpl.state_leaves {
-            let b1 = if in_z[id.index()] { b0.clone() } else { s1.clone() };
+            let b1 = if in_z[id.index()] {
+                b0.clone()
+            } else {
+                s1.clone()
+            };
             state_bits_t.push((*id, b0.clone(), b1.clone()));
             leaves1[id.index()] = b1;
         }
@@ -681,11 +658,7 @@ impl<'m> Upec2Safety<'m> {
             let c0 = blast_predicate(aig, module, &tmpl.frame0_t, cond);
             let c1 = blast_predicate(aig, module, &frame1_t, cond);
             let both = aig.and(c0, c1);
-            let eq = eq_word(
-                aig,
-                tmpl.frame0_t.signal(signal),
-                frame1_t.signal(signal),
-            );
+            let eq = eq_word(aig, tmpl.frame0_t.signal(signal), frame1_t.signal(signal));
             let implied = {
                 let nb = !both;
                 aig.or(nb, eq)
@@ -717,16 +690,8 @@ impl<'m> Upec2Safety<'m> {
         }
         let mut diff_out = Vec::new();
         for y in module.control_outputs() {
-            let eq_a = eq_word(
-                aig,
-                tmpl.frame0_t.signal(y),
-                frame1_t.signal(y),
-            );
-            let eq_b = eq_word(
-                aig,
-                tmpl.frame0_t1.signal(y),
-                frame1_t1.signal(y),
-            );
+            let eq_a = eq_word(aig, tmpl.frame0_t.signal(y), frame1_t.signal(y));
+            let eq_b = eq_word(aig, tmpl.frame0_t1.signal(y), frame1_t1.signal(y));
             let both = aig.and(eq_a, eq_b);
             diff_out.push((y, !both));
         }
@@ -768,9 +733,7 @@ impl<'m> Upec2Safety<'m> {
             SolveResult::Sat => {
                 let divergent_state = diff_next
                     .iter()
-                    .filter(|&&(_, l)| {
-                        encoder.model_value(l).unwrap_or(false)
-                    })
+                    .filter(|&&(_, l)| encoder.model_value(l).unwrap_or(false))
                     .map(|&(s, _)| s)
                     .collect();
                 // Outputs are only meaningful monitors when requested; in
@@ -779,9 +742,7 @@ impl<'m> Upec2Safety<'m> {
                 let divergent_outputs = if include_outputs {
                     diff_out
                         .iter()
-                        .filter(|&&(_, l)| {
-                            encoder.model_value(l).unwrap_or(false)
-                        })
+                        .filter(|&&(_, l)| encoder.model_value(l).unwrap_or(false))
                         .map(|&(s, _)| s)
                         .collect()
                 } else {
@@ -790,9 +751,7 @@ impl<'m> Upec2Safety<'m> {
                 let violated_cond_eqs = cond_eq_violation
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &l)| {
-                        encoder.model_value(l).unwrap_or(false)
-                    })
+                    .filter(|&(_, &l)| encoder.model_value(l).unwrap_or(false))
                     .map(|(i, _)| i)
                     .collect();
                 let witness = |bits: &[(SignalId, Vec<AigLit>, Vec<AigLit>)]| {
@@ -854,11 +813,8 @@ impl<'m> Upec2Safety<'m> {
                     cert.stats.trivial_unsat += 1;
                     Ok(CheckCertificate::TrivialUnsat)
                 } else if sat {
-                    let clauses = fastpath_cert::check_model(
-                        &steps[..snapshot],
-                        &[g],
-                        self.encoder.model(),
-                    )?;
+                    let clauses =
+                        fastpath_cert::check_model(&steps[..snapshot], &[g], self.encoder.model())?;
                     cert.stats.sat_models += 1;
                     Ok(CheckCertificate::SatModel { clauses })
                 } else {
@@ -876,12 +832,8 @@ impl<'m> Upec2Safety<'m> {
             // an external cross-audit matters most.
             if !trivial {
                 let index = cert.stats.certified_checks;
-                let base = dir.join(format!(
-                    "{}check{:04}",
-                    cert.artifact_prefix, index
-                ));
-                let cnf =
-                    Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
+                let base = dir.join(format!("{}check{:04}", cert.artifact_prefix, index));
+                let cnf = Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
                 let (path, payload) = if sat {
                     (
                         base.with_extension("model"),
@@ -917,11 +869,7 @@ fn word_value(encoder: &CnfEncoder, bits: &[AigLit]) -> BitVec {
     v
 }
 
-fn alloc_input(
-    aig: &mut Aig,
-    role: SignalRole,
-    width: u32,
-) -> (Vec<AigLit>, Vec<AigLit>) {
+fn alloc_input(aig: &mut Aig, role: SignalRole, width: u32) -> (Vec<AigLit>, Vec<AigLit>) {
     match role {
         SignalRole::DataIn => {
             // Confidential: free and independent per instance.
@@ -931,19 +879,13 @@ fn alloc_input(
         }
         _ => {
             // Control (or unannotated): shared, hence equal by construction.
-            let shared: Vec<AigLit> =
-                (0..width).map(|_| aig.input()).collect();
+            let shared: Vec<AigLit> = (0..width).map(|_| aig.input()).collect();
             (shared.clone(), shared)
         }
     }
 }
 
-fn blast_predicate(
-    aig: &mut Aig,
-    module: &Module,
-    frame: &Frame,
-    expr: ExprId,
-) -> AigLit {
+fn blast_predicate(aig: &mut Aig, module: &Module, frame: &Frame, expr: ExprId) -> AigLit {
     let word = crate::blast::blast_expr_in_frame(aig, module, frame, expr);
     assert_eq!(word.len(), 1, "constraints and invariants must be 1 bit");
     word[0]
@@ -1137,16 +1079,14 @@ mod tests {
         let acc = m.signal_by_name("acc").expect("acc");
         let cnt = m.signal_by_name("cnt").expect("cnt");
         for mode in [ElaborationMode::Cached, ElaborationMode::Fresh] {
-            let mut upec =
-                Upec2Safety::with_mode(&m, &UpecSpec::default(), mode);
+            let mut upec = Upec2Safety::with_mode(&m, &UpecSpec::default(), mode);
             upec.enable_certification();
             let holds = upec.check_certified(&[cnt]);
             assert!(holds.outcome.holds(), "{mode:?}");
             assert!(
                 matches!(
                     holds.certificate,
-                    Ok(CheckCertificate::UnsatProof { .. })
-                        | Ok(CheckCertificate::TrivialUnsat)
+                    Ok(CheckCertificate::UnsatProof { .. }) | Ok(CheckCertificate::TrivialUnsat)
                 ),
                 "{mode:?}: {:?}",
                 holds.certificate
@@ -1154,10 +1094,7 @@ mod tests {
             let cex = upec.check_certified(&[acc, cnt]);
             assert!(!cex.outcome.holds(), "{mode:?}");
             assert!(
-                matches!(
-                    cex.certificate,
-                    Ok(CheckCertificate::SatModel { .. })
-                ),
+                matches!(cex.certificate, Ok(CheckCertificate::SatModel { .. })),
                 "{mode:?}: {:?}",
                 cex.certificate
             );
@@ -1225,10 +1162,8 @@ mod tests {
     #[test]
     fn artifacts_round_trip_through_dimacs() {
         let (module, mode_off) = modal();
-        let dir = std::env::temp_dir().join(format!(
-            "fastpath_cert_artifacts_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("fastpath_cert_artifacts_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
         upec.enable_certification();
@@ -1242,26 +1177,17 @@ mod tests {
         assert_eq!(stats.artifacts_written, 2);
         assert_eq!(stats.artifact_failures, 0);
         // Check 1 (SAT): CNF satisfiable, model file alongside.
-        let cnf1 = std::fs::read_to_string(dir.join("modal_check0001.cnf"))
-            .expect("cnf written");
-        let parsed =
-            fastpath_sat::parse_dimacs(&cnf1).expect("valid DIMACS");
-        assert_eq!(
-            parsed.into_solver().solve(),
-            fastpath_sat::SolveResult::Sat
-        );
-        let model = std::fs::read_to_string(
-            dir.join("modal_check0001.model"),
-        )
-        .expect("model written");
+        let cnf1 = std::fs::read_to_string(dir.join("modal_check0001.cnf")).expect("cnf written");
+        let parsed = fastpath_sat::parse_dimacs(&cnf1).expect("valid DIMACS");
+        assert_eq!(parsed.into_solver().solve(), fastpath_sat::SolveResult::Sat);
+        let model =
+            std::fs::read_to_string(dir.join("modal_check0001.model")).expect("model written");
         assert!(model.starts_with('v') && model.trim_end().ends_with('0'));
         // Check 2 (UNSAT): the dumped CNF must be unsatisfiable on its
         // own — the activation assumption is baked in as a unit — and the
         // DRUP proof must be checkable against exactly that CNF.
-        let cnf2 = std::fs::read_to_string(dir.join("modal_check0002.cnf"))
-            .expect("cnf written");
-        let parsed =
-            fastpath_sat::parse_dimacs(&cnf2).expect("valid DIMACS");
+        let cnf2 = std::fs::read_to_string(dir.join("modal_check0002.cnf")).expect("cnf written");
+        let parsed = fastpath_sat::parse_dimacs(&cnf2).expect("valid DIMACS");
         assert_eq!(
             parsed.into_solver().solve(),
             fastpath_sat::SolveResult::Unsat,
@@ -1277,11 +1203,7 @@ mod tests {
         let acc = m.signal_by_name("acc").expect("acc");
         let cnt = m.signal_by_name("cnt").expect("cnt");
         let mut cached = Upec2Safety::new(&m, &UpecSpec::default());
-        let mut fresh = Upec2Safety::with_mode(
-            &m,
-            &UpecSpec::default(),
-            ElaborationMode::Fresh,
-        );
+        let mut fresh = Upec2Safety::with_mode(&m, &UpecSpec::default(), ElaborationMode::Fresh);
         for z in [vec![acc, cnt], vec![cnt], vec![acc], vec![]] {
             let a = cached.check(&z);
             let b = fresh.check(&z);
@@ -1297,12 +1219,11 @@ mod tests {
         // And the cached engine's per-check node creation is strictly
         // below a full re-elaboration.
         assert!(
-            e.check_nodes < fresh.elaboration_stats().template_nodes
-                + fresh.elaboration_stats().check_nodes,
+            e.check_nodes
+                < fresh.elaboration_stats().template_nodes + fresh.elaboration_stats().check_nodes,
             "cache created {} nodes, fresh created {}",
             e.check_nodes,
-            fresh.elaboration_stats().template_nodes
-                + fresh.elaboration_stats().check_nodes,
+            fresh.elaboration_stats().template_nodes + fresh.elaboration_stats().check_nodes,
         );
         assert!(e.strash_hits > 0, "replay must hit the cache");
     }

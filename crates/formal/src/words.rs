@@ -90,8 +90,7 @@ pub fn mul_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
 /// Equality: 1-bit result.
 pub fn eq_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
     debug_assert_eq!(a.len(), b.len());
-    let xnors: Vec<AigLit> =
-        a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+    let xnors: Vec<AigLit> = a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
     aig.and_all(&xnors)
 }
 
@@ -125,12 +124,7 @@ pub fn sle_word(aig: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {
 }
 
 /// Per-bit mux: `s ? a : b`.
-pub fn mux_word(
-    aig: &mut Aig,
-    s: AigLit,
-    a: &[AigLit],
-    b: &[AigLit],
-) -> Vec<AigLit> {
+pub fn mux_word(aig: &mut Aig, s: AigLit, a: &[AigLit], b: &[AigLit]) -> Vec<AigLit> {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| aig.mux(s, x, y)).collect()
 }
@@ -208,8 +202,7 @@ pub fn reduce_and_word(aig: &mut Aig, a: &[AigLit]) -> AigLit {
 
 /// XOR-reduction (parity).
 pub fn reduce_xor_word(aig: &mut Aig, a: &[AigLit]) -> AigLit {
-    a.iter()
-        .fold(AigLit::FALSE, |acc, &b| aig.xor(acc, b))
+    a.iter().fold(AigLit::FALSE, |acc, &b| aig.xor(acc, b))
 }
 
 /// Zero-extension / truncation to `width`.
@@ -280,11 +273,7 @@ mod tests {
         for a in 0..16u64 {
             for b in 0..16u64 {
                 let got = h.eval_word(&out, a, b);
-                let expected = oracle(
-                    &BitVec::from_u64(4, a),
-                    &BitVec::from_u64(4, b),
-                )
-                .to_u64();
+                let expected = oracle(&BitVec::from_u64(4, a), &BitVec::from_u64(4, b)).to_u64();
                 assert_eq!(got, expected, "a={a} b={b}");
             }
         }
@@ -292,26 +281,17 @@ mod tests {
 
     #[test]
     fn add_matches_bitvec() {
-        check_exhaustive_4bit(
-            add_word,
-            |a, b| a.wrapping_add(b),
-        );
+        check_exhaustive_4bit(add_word, |a, b| a.wrapping_add(b));
     }
 
     #[test]
     fn sub_matches_bitvec() {
-        check_exhaustive_4bit(
-            sub_word,
-            |a, b| a.wrapping_sub(b),
-        );
+        check_exhaustive_4bit(sub_word, |a, b| a.wrapping_sub(b));
     }
 
     #[test]
     fn mul_matches_bitvec() {
-        check_exhaustive_4bit(
-            mul_word,
-            |a, b| a.wrapping_mul(b),
-        );
+        check_exhaustive_4bit(mul_word, |a, b| a.wrapping_mul(b));
     }
 
     #[test]
@@ -319,16 +299,11 @@ mod tests {
         use std::cmp::Ordering;
         check_exhaustive_4bit(
             |g, a, b| vec![ult_word(g, a, b)],
-            |a, b| {
-                BitVec::from_bool(a.cmp_unsigned(b) == Ordering::Less)
-                    .zext(1)
-            },
+            |a, b| BitVec::from_bool(a.cmp_unsigned(b) == Ordering::Less).zext(1),
         );
         check_exhaustive_4bit(
             |g, a, b| vec![slt_word(g, a, b)],
-            |a, b| {
-                BitVec::from_bool(a.cmp_signed(b) == Ordering::Less).zext(1)
-            },
+            |a, b| BitVec::from_bool(a.cmp_signed(b) == Ordering::Less).zext(1),
         );
         check_exhaustive_4bit(
             |g, a, b| vec![eq_word(g, a, b)],
@@ -362,22 +337,10 @@ mod tests {
         let red_xor = vec![reduce_xor_word(&mut h.aig, &a_bits)];
         for a in 0..16u64 {
             let bv = BitVec::from_u64(4, a);
-            assert_eq!(
-                h.eval_word(&neg, a, 0),
-                bv.wrapping_neg().to_u64()
-            );
-            assert_eq!(
-                h.eval_word(&red_or, a, 0),
-                bv.reduce_or().to_u64()
-            );
-            assert_eq!(
-                h.eval_word(&red_and, a, 0),
-                bv.reduce_and().to_u64()
-            );
-            assert_eq!(
-                h.eval_word(&red_xor, a, 0),
-                bv.reduce_xor().to_u64()
-            );
+            assert_eq!(h.eval_word(&neg, a, 0), bv.wrapping_neg().to_u64());
+            assert_eq!(h.eval_word(&red_or, a, 0), bv.reduce_or().to_u64());
+            assert_eq!(h.eval_word(&red_and, a, 0), bv.reduce_and().to_u64());
+            assert_eq!(h.eval_word(&red_xor, a, 0), bv.reduce_xor().to_u64());
         }
     }
 

@@ -4,8 +4,8 @@
 //! especially shift saturation and multi-stage barrel shifters).
 
 use fastpath_formal::{
-    add_word, eq_word, mul_word, mux_word, neg_word, shift_word, slt_word,
-    sub_word, ult_word, Aig, AigLit, ShiftKind,
+    add_word, eq_word, mul_word, mux_word, neg_word, shift_word, slt_word, sub_word, ult_word, Aig,
+    AigLit, ShiftKind,
 };
 use fastpath_rtl::BitVec;
 use proptest::prelude::*;

@@ -1,0 +1,195 @@
+//! Corpus persistence: fuzz cases as self-describing netlist files.
+//!
+//! A corpus file is the module in the `fastpath-netlist 1` text format
+//! prefixed by one metadata comment line (the netlist parser skips `#`
+//! lines, so the file is also directly `parse_netlist`-able):
+//!
+//! ```text
+//! # fuzz-case seed=42 cycles=120 sim-seed=77 policy=precise declassify=r1,w3
+//! fastpath-netlist 1
+//! module fuzz_42
+//! ...
+//! ```
+//!
+//! The declassification set is stored by signal *name* so it survives
+//! shrinking (which renumbers ids but keeps names).
+
+use crate::gen::FuzzCase;
+use fastpath_rtl::{parse_netlist, write_netlist, SignalId};
+use fastpath_sim::FlowPolicy;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serializes a case to the corpus text format.
+pub fn render_case(case: &FuzzCase) -> String {
+    let names = case.declassified_names();
+    let declassify = if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join(",")
+    };
+    let policy = match case.policy {
+        FlowPolicy::Precise => "precise",
+        FlowPolicy::Conservative => "conservative",
+    };
+    format!(
+        "# fuzz-case seed={} cycles={} sim-seed={} policy={} declassify={}\n{}",
+        case.seed,
+        case.cycles,
+        case.sim_seed,
+        policy,
+        declassify,
+        write_netlist(&case.module),
+    )
+}
+
+/// Parses a corpus file (or any bare netlist — metadata defaults apply).
+///
+/// # Errors
+///
+/// Returns a description if the netlist or the metadata line is
+/// malformed, or if a declassified name does not exist in the module.
+pub fn parse_case(text: &str) -> Result<FuzzCase, String> {
+    let module = parse_netlist(text).map_err(|e| e.to_string())?;
+    let mut case = FuzzCase {
+        seed: 0,
+        module,
+        declassified: Vec::new(),
+        cycles: 100,
+        sim_seed: 1,
+        policy: FlowPolicy::Precise,
+    };
+    let meta = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("# fuzz-case "));
+    if let Some(meta) = meta {
+        for token in meta.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("bad fuzz-case token `{token}`"))?;
+            match key {
+                "seed" => case.seed = parse_u64(key, value)?,
+                "cycles" => case.cycles = parse_u64(key, value)?,
+                "sim-seed" => case.sim_seed = parse_u64(key, value)?,
+                "policy" => {
+                    case.policy = match value {
+                        "precise" => FlowPolicy::Precise,
+                        "conservative" => FlowPolicy::Conservative,
+                        other => return Err(format!("unknown policy `{other}`")),
+                    }
+                }
+                "declassify" => {
+                    if value != "-" {
+                        for name in value.split(',') {
+                            let id = case.module.signal_by_name(name).ok_or_else(|| {
+                                format!(
+                                    "declassified signal `{name}` \
+                                         not in module"
+                                )
+                            })?;
+                            case.declassified.push(id);
+                        }
+                    }
+                }
+                other => return Err(format!("unknown fuzz-case key `{other}`")),
+            }
+        }
+    }
+    case.declassified.sort_unstable();
+    case.declassified.dedup();
+    Ok(case)
+}
+
+/// Remaps a declassification set from one module to another by name,
+/// dropping signals the target module no longer has (shrinking removes
+/// signals; a smaller declassification set is always legal).
+pub fn remap_declassified(from: &FuzzCase, to: &fastpath_rtl::Module) -> Vec<SignalId> {
+    let mut out: Vec<SignalId> = from
+        .declassified_names()
+        .iter()
+        .filter_map(|name| to.signal_by_name(name))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// A directory of corpus files.
+pub struct Corpus {
+    dir: PathBuf,
+}
+
+impl Corpus {
+    /// Opens (creating if needed) a corpus directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Corpus> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Corpus {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `text` under `name`, returning the full path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn save(&self, name: &str, text: &str) -> io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad {key} value `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+
+    #[test]
+    fn corpus_text_round_trips() {
+        for seed in 0..24 {
+            let case = generate_case(seed);
+            let text = render_case(&case);
+            let back = parse_case(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                write_netlist(&case.module),
+                write_netlist(&back.module),
+                "seed {seed}: netlist drifted"
+            );
+            assert_eq!(case.seed, back.seed);
+            assert_eq!(case.cycles, back.cycles);
+            assert_eq!(case.sim_seed, back.sim_seed);
+            assert_eq!(case.policy, back.policy);
+            assert_eq!(
+                case.declassified_names(),
+                back.declassified_names(),
+                "seed {seed}: declassification drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn bare_netlists_parse_with_defaults() {
+        let case = generate_case(3);
+        let bare = write_netlist(&case.module);
+        let parsed = parse_case(&bare).expect("bare netlist");
+        assert_eq!(parsed.cycles, 100);
+        assert_eq!(parsed.sim_seed, 1);
+        assert!(parsed.declassified.is_empty());
+    }
+}

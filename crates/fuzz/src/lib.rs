@@ -1,0 +1,41 @@
+//! # fastpath-fuzz
+//!
+//! Differential fuzzing for the FastPath verification pipeline.
+//!
+//! Every generated netlist runs through all three stages — HFG
+//! structural analysis, IFT taint simulation, and UPEC-DIT formal
+//! checking — and [`check_case`] asserts the soundness lattice that
+//! ties the stages to one another (HFG over-approximates IFT, the cone
+//! complement is inductively 2-safety equal, UPEC counterexamples
+//! replay concretely, the fastpath never out-proves the exhaustive
+//! baseline, and certified verdicts carry valid DRUP proofs). See the
+//! [`oracle`] module for the precise statements and DESIGN.md for why
+//! each follows from the paper.
+//!
+//! Violating cases are shrunk by [`shrink_case`] to a minimal netlist
+//! and persisted — alongside a generated, self-contained Rust
+//! regression test — in a [`Corpus`] directory. The `fuzz` binary
+//! exposes iteration-boxed (CI determinism gate) and time-boxed
+//! (nightly) modes plus single-file reproduction:
+//!
+//! ```text
+//! fuzz run --iters 500 --seed 1
+//! fuzz run --time-secs 600 --corpus fuzz-corpus
+//! fuzz repro fuzz-corpus/min_cone-inductive_42.nl
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{parse_case, remap_declassified, render_case, Corpus};
+pub use gen::{generate_case, FuzzCase};
+pub use harness::{fuzz_run, RunOptions, RunSummary, ViolationRecord};
+pub use oracle::{
+    check_case, FaultInjection, InvariantKind, OracleOptions, OracleOutcome, Violation,
+};
+pub use shrink::{node_count, regression_test_source, shrink_case, ShrinkOutcome};

@@ -1,0 +1,563 @@
+//! Greedy structural shrinking of violating fuzz cases.
+//!
+//! A violating netlist straight out of the generator has dozens of
+//! signals and expressions; the bug usually needs three. The shrinker
+//! repeatedly tries small structural edits — drop an output, drop or
+//! free a register, replace an expression by a constant or one of its
+//! own operands, halve the simulated cycles, drop a declassified
+//! signal — and keeps an edit whenever the edited case still trips the
+//! *same* oracle invariant. Candidates are validated by round-tripping
+//! through the `fastpath-netlist` text format: `parse_netlist` re-checks
+//! widths, driver completeness and combinational acyclicity, so an edit
+//! that produces a malformed design is simply rejected.
+//!
+//! The search is greedy first-improvement over a lexicographic measure
+//! `(nodes, cycles, |declassified|)` with a hard evaluation budget, so
+//! it terminates even on adversarial inputs.
+
+use crate::corpus::{remap_declassified, render_case};
+use crate::gen::FuzzCase;
+use crate::oracle::{check_case, InvariantKind, OracleOptions};
+use fastpath_rtl::{
+    parse_netlist, BinaryOp, BitVec, Expr, ExprId, Module, SignalKind, SignalRole, UnaryOp,
+};
+use std::fmt::Write as _;
+
+/// Size measure used by the shrinker and the acceptance criteria:
+/// signals plus expression nodes.
+pub fn node_count(module: &Module) -> usize {
+    module.signal_count() + module.expr_count()
+}
+
+/// A minimized case together with the invariant it still violates.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The smallest violating case found.
+    pub case: FuzzCase,
+    /// The invariant the original (and the minimized) case violates.
+    pub kind: InvariantKind,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+}
+
+/// An editable, index-based mirror of a [`Module`] netlist.
+///
+/// `Module` is deliberately opaque outside `fastpath-rtl`; the shrinker
+/// edits this form and materializes candidates by emitting netlist text
+/// and re-parsing it (which doubles as full validity checking).
+#[derive(Clone)]
+struct NetForm {
+    name: String,
+    sigs: Vec<NSig>,
+    exprs: Vec<NExpr>,
+    widths: Vec<u32>,
+}
+
+#[derive(Clone)]
+struct NSig {
+    name: String,
+    width: u32,
+    kind: SignalKind,
+    role: SignalRole,
+    init: Option<BitVec>,
+    driver: Option<usize>,
+}
+
+#[derive(Clone)]
+enum NExpr {
+    Const(BitVec),
+    Sig(usize),
+    Unary(UnaryOp, usize),
+    Binary(BinaryOp, usize, usize),
+    Mux(usize, usize, usize),
+    Slice(usize, u32, u32),
+    Concat(usize, usize),
+    Zext(usize, u32),
+    Sext(usize, u32),
+}
+
+impl NExpr {
+    fn operands(&self) -> Vec<usize> {
+        match *self {
+            NExpr::Const(_) | NExpr::Sig(_) => vec![],
+            NExpr::Unary(_, a) | NExpr::Slice(a, _, _) | NExpr::Zext(a, _) | NExpr::Sext(a, _) => {
+                vec![a]
+            }
+            NExpr::Binary(_, a, b) | NExpr::Concat(a, b) => vec![a, b],
+            NExpr::Mux(c, t, e) => vec![c, t, e],
+        }
+    }
+}
+
+impl NetForm {
+    fn from_module(module: &Module) -> NetForm {
+        let sigs = module
+            .signals()
+            .map(|(id, s)| NSig {
+                name: s.name.clone(),
+                width: s.width,
+                kind: s.kind,
+                role: s.role,
+                init: s.init.clone(),
+                driver: module.driver(id).map(|e| e.index()),
+            })
+            .collect();
+        let mut exprs = Vec::with_capacity(module.expr_count());
+        let mut widths = Vec::with_capacity(module.expr_count());
+        for i in 0..module.expr_count() {
+            let id = ExprId::from_index(i);
+            widths.push(module.expr_width(id));
+            exprs.push(match module.expr(id) {
+                Expr::Const(v) => NExpr::Const(v.clone()),
+                Expr::Signal(s) => NExpr::Sig(s.index()),
+                Expr::Unary(op, a) => NExpr::Unary(*op, a.index()),
+                Expr::Binary(op, a, b) => NExpr::Binary(*op, a.index(), b.index()),
+                Expr::Mux {
+                    cond,
+                    then_expr,
+                    else_expr,
+                } => NExpr::Mux(cond.index(), then_expr.index(), else_expr.index()),
+                Expr::Slice { arg, hi, lo } => NExpr::Slice(arg.index(), *hi, *lo),
+                Expr::Concat(a, b) => NExpr::Concat(a.index(), b.index()),
+                Expr::Zext { arg, width } => NExpr::Zext(arg.index(), *width),
+                Expr::Sext { arg, width } => NExpr::Sext(arg.index(), *width),
+            });
+        }
+        NetForm {
+            name: module.name().to_string(),
+            sigs,
+            exprs,
+            widths,
+        }
+    }
+
+    /// Garbage-collects the form after an edit: keeps every non-dropped
+    /// output and register (plus everything their drivers reach) and
+    /// compacts indices. Returns `None` if a live expression references
+    /// a dropped signal — the edit was structurally invalid.
+    fn gc(&self, dropped: &[bool]) -> Option<NetForm> {
+        let mut live_sig = vec![false; self.sigs.len()];
+        let mut live_expr = vec![false; self.exprs.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, s) in self.sigs.iter().enumerate() {
+            if dropped[i] {
+                continue;
+            }
+            if matches!(s.kind, SignalKind::Output | SignalKind::Register) {
+                live_sig[i] = true;
+                stack.extend(s.driver);
+            }
+        }
+        while let Some(e) = stack.pop() {
+            if live_expr[e] {
+                continue;
+            }
+            live_expr[e] = true;
+            stack.extend(self.exprs[e].operands());
+            if let NExpr::Sig(s) = self.exprs[e] {
+                if dropped[s] {
+                    return None;
+                }
+                if !live_sig[s] {
+                    live_sig[s] = true;
+                    stack.extend(self.sigs[s].driver);
+                }
+            }
+        }
+        let mut sig_map = vec![usize::MAX; self.sigs.len()];
+        let mut sigs = Vec::new();
+        for (i, s) in self.sigs.iter().enumerate() {
+            if live_sig[i] {
+                sig_map[i] = sigs.len();
+                sigs.push(s.clone());
+            }
+        }
+        let mut expr_map = vec![usize::MAX; self.exprs.len()];
+        let mut exprs = Vec::new();
+        let mut widths = Vec::new();
+        for (i, e) in self.exprs.iter().enumerate() {
+            if live_expr[i] {
+                expr_map[i] = exprs.len();
+                // Operand indices are smaller than i, so their new
+                // indices are already assigned; order is preserved and
+                // the arena stays dense and topologically sorted.
+                exprs.push(match *e {
+                    NExpr::Const(ref v) => NExpr::Const(v.clone()),
+                    NExpr::Sig(s) => NExpr::Sig(sig_map[s]),
+                    NExpr::Unary(op, a) => NExpr::Unary(op, expr_map[a]),
+                    NExpr::Binary(op, a, b) => NExpr::Binary(op, expr_map[a], expr_map[b]),
+                    NExpr::Mux(c, t, el) => NExpr::Mux(expr_map[c], expr_map[t], expr_map[el]),
+                    NExpr::Slice(a, hi, lo) => NExpr::Slice(expr_map[a], hi, lo),
+                    NExpr::Concat(a, b) => NExpr::Concat(expr_map[a], expr_map[b]),
+                    NExpr::Zext(a, w) => NExpr::Zext(expr_map[a], w),
+                    NExpr::Sext(a, w) => NExpr::Sext(expr_map[a], w),
+                });
+                widths.push(self.widths[i]);
+            }
+        }
+        for s in &mut sigs {
+            s.driver = s.driver.map(|d| expr_map[d]);
+        }
+        Some(NetForm {
+            name: self.name.clone(),
+            sigs,
+            exprs,
+            widths,
+        })
+    }
+
+    /// Emits `fastpath-netlist 1` text (the same shape `write_netlist`
+    /// produces), ready for `parse_netlist` validation.
+    fn emit(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fastpath-netlist 1");
+        let _ = writeln!(out, "module {}", self.name);
+        for s in &self.sigs {
+            match s.kind {
+                SignalKind::Input => {
+                    let _ = writeln!(out, "input {} {} {}", s.name, s.width, role_str(s.role));
+                }
+                SignalKind::Register => {
+                    let init = s.init.as_ref().expect("register init");
+                    let _ = writeln!(
+                        out,
+                        "reg {} {} {:x} {}",
+                        s.name,
+                        s.width,
+                        init,
+                        role_str(s.role)
+                    );
+                }
+                SignalKind::Wire => {
+                    let _ = writeln!(out, "wire {} {}", s.name, s.width);
+                }
+                SignalKind::Output => {
+                    let _ = writeln!(
+                        out,
+                        "output {} {} {} e{}",
+                        s.name,
+                        s.width,
+                        role_str(s.role),
+                        s.driver.expect("output driven"),
+                    );
+                }
+            }
+        }
+        for (i, e) in self.exprs.iter().enumerate() {
+            let _ = writeln!(out, "expr {i} {}", self.expr_str(e));
+        }
+        for s in &self.sigs {
+            if matches!(s.kind, SignalKind::Register | SignalKind::Wire) {
+                let _ = writeln!(out, "drive {} e{}", s.name, s.driver.expect("driven"),);
+            }
+        }
+        let _ = writeln!(out, "endmodule");
+        out
+    }
+
+    fn expr_str(&self, e: &NExpr) -> String {
+        match *e {
+            NExpr::Const(ref v) => format!("const {} {:x}", v.width(), v),
+            NExpr::Sig(s) => format!("sig {}", self.sigs[s].name),
+            NExpr::Unary(op, a) => {
+                let name = match op {
+                    UnaryOp::Not => "not",
+                    UnaryOp::Neg => "neg",
+                    UnaryOp::RedAnd => "redand",
+                    UnaryOp::RedOr => "redor",
+                    UnaryOp::RedXor => "redxor",
+                };
+                format!("{name} e{a}")
+            }
+            NExpr::Binary(op, a, b) => {
+                let name = match op {
+                    BinaryOp::And => "and",
+                    BinaryOp::Or => "or",
+                    BinaryOp::Xor => "xor",
+                    BinaryOp::Add => "add",
+                    BinaryOp::Sub => "sub",
+                    BinaryOp::Mul => "mul",
+                    BinaryOp::Shl => "shl",
+                    BinaryOp::Lshr => "lshr",
+                    BinaryOp::Ashr => "ashr",
+                    BinaryOp::Eq => "eq",
+                    BinaryOp::Ne => "ne",
+                    BinaryOp::Ult => "ult",
+                    BinaryOp::Ule => "ule",
+                    BinaryOp::Slt => "slt",
+                    BinaryOp::Sle => "sle",
+                };
+                format!("{name} e{a} e{b}")
+            }
+            NExpr::Mux(c, t, el) => format!("mux e{c} e{t} e{el}"),
+            NExpr::Slice(a, hi, lo) => format!("slice e{a} {hi} {lo}"),
+            NExpr::Concat(a, b) => format!("concat e{a} e{b}"),
+            NExpr::Zext(a, w) => format!("zext e{a} {w}"),
+            NExpr::Sext(a, w) => format!("sext e{a} {w}"),
+        }
+    }
+}
+
+fn role_str(role: SignalRole) -> &'static str {
+    match role {
+        SignalRole::Internal => "internal",
+        SignalRole::ControlIn => "controlin",
+        SignalRole::DataIn => "datain",
+        SignalRole::ControlOut => "controlout",
+        SignalRole::DataOut => "dataout",
+    }
+}
+
+/// One structural edit candidate.
+enum Edit {
+    HalveCycles,
+    DropDeclassified(usize),
+    DropSignal(usize),
+    RegToInput(usize),
+    ExprToConst(usize),
+    ExprToOperand(usize, usize),
+}
+
+fn candidate_edits(case: &FuzzCase, form: &NetForm) -> Vec<Edit> {
+    let mut edits = Vec::new();
+    for (i, s) in form.sigs.iter().enumerate() {
+        if s.kind == SignalKind::Output {
+            edits.push(Edit::DropSignal(i));
+        }
+    }
+    for (i, s) in form.sigs.iter().enumerate() {
+        if s.kind == SignalKind::Register {
+            edits.push(Edit::DropSignal(i));
+            edits.push(Edit::RegToInput(i));
+        }
+    }
+    if case.cycles > 16 {
+        edits.push(Edit::HalveCycles);
+    }
+    for i in 0..case.declassified.len() {
+        edits.push(Edit::DropDeclassified(i));
+    }
+    for (i, e) in form.exprs.iter().enumerate() {
+        for op in e.operands() {
+            edits.push(Edit::ExprToOperand(i, op));
+        }
+        if !matches!(e, NExpr::Const(_)) {
+            edits.push(Edit::ExprToConst(i));
+        }
+    }
+    edits
+}
+
+fn apply_edit(case: &FuzzCase, form: &NetForm, edit: &Edit) -> Option<FuzzCase> {
+    match edit {
+        Edit::HalveCycles => {
+            let mut c = case.clone();
+            c.cycles = (c.cycles / 2).max(8);
+            Some(c)
+        }
+        Edit::DropDeclassified(i) => {
+            let mut c = case.clone();
+            c.declassified.remove(*i);
+            Some(c)
+        }
+        Edit::DropSignal(i) => {
+            let mut dropped = vec![false; form.sigs.len()];
+            dropped[*i] = true;
+            materialize(case, &form.gc(&dropped)?)
+        }
+        Edit::RegToInput(i) => {
+            let mut f = form.clone();
+            let s = &mut f.sigs[*i];
+            s.kind = SignalKind::Input;
+            s.driver = None;
+            s.init = None;
+            if !matches!(s.role, SignalRole::ControlIn | SignalRole::DataIn) {
+                s.role = SignalRole::Internal;
+            }
+            let dropped = vec![false; f.sigs.len()];
+            materialize(case, &f.gc(&dropped)?)
+        }
+        Edit::ExprToConst(i) => {
+            let mut f = form.clone();
+            f.exprs[*i] = NExpr::Const(BitVec::from_u64(f.widths[*i], 0));
+            let dropped = vec![false; f.sigs.len()];
+            materialize(case, &f.gc(&dropped)?)
+        }
+        Edit::ExprToOperand(i, op) => {
+            let want = form.widths[*i];
+            let have = form.widths[*op];
+            let mut f = form.clone();
+            f.exprs[*i] = if have == want {
+                // A self-reference `expr i := e_i` is impossible since
+                // operand indices are strictly smaller.
+                NExpr::Zext(*op, want)
+            } else if have < want {
+                NExpr::Zext(*op, want)
+            } else {
+                NExpr::Slice(*op, want - 1, 0)
+            };
+            let dropped = vec![false; f.sigs.len()];
+            materialize(case, &f.gc(&dropped)?)
+        }
+    }
+}
+
+/// Emits, parses and re-links a candidate form into a runnable case.
+fn materialize(base: &FuzzCase, form: &NetForm) -> Option<FuzzCase> {
+    let module = parse_netlist(&form.emit()).ok()?;
+    let declassified = remap_declassified(base, &module);
+    Some(FuzzCase {
+        seed: base.seed,
+        module,
+        declassified,
+        cycles: base.cycles,
+        sim_seed: base.sim_seed,
+        policy: base.policy,
+    })
+}
+
+fn measure(case: &FuzzCase) -> (usize, u64, usize) {
+    (
+        node_count(&case.module),
+        case.cycles,
+        case.declassified.len(),
+    )
+}
+
+/// Greedily shrinks `original` while it keeps violating the same
+/// invariant, within `max_evals` oracle evaluations. Returns `None` if
+/// the original case is clean.
+pub fn shrink_case(
+    original: &FuzzCase,
+    opts: &OracleOptions,
+    max_evals: usize,
+) -> Option<ShrinkOutcome> {
+    let kind = check_case(original, opts).violations.first()?.kind;
+    let mut best = original.clone();
+    let mut evals = 0usize;
+    'improve: loop {
+        let form = NetForm::from_module(&best.module);
+        for edit in candidate_edits(&best, &form) {
+            if evals >= max_evals {
+                break 'improve;
+            }
+            let Some(candidate) = apply_edit(&best, &form, &edit) else {
+                continue;
+            };
+            if measure(&candidate) >= measure(&best) {
+                continue;
+            }
+            evals += 1;
+            let still = check_case(&candidate, opts)
+                .violations
+                .iter()
+                .any(|v| v.kind == kind);
+            if still {
+                best = candidate;
+                continue 'improve;
+            }
+        }
+        break;
+    }
+    Some(ShrinkOutcome {
+        case: best,
+        kind,
+        evals,
+    })
+}
+
+/// Renders a self-contained Rust regression test reproducing a
+/// (minimized) violating case through the public oracle entry point.
+pub fn regression_test_source(case: &FuzzCase, kind: InvariantKind) -> String {
+    let fn_name = format!(
+        "fuzz_min_{}_seed{}",
+        kind.to_string().replace('-', "_"),
+        case.seed,
+    );
+    let corpus_text = render_case(case);
+    format!(
+        r###"//! Auto-generated by `fuzz` — minimized differential-oracle violation.
+//! Invariant: {kind}. Generating seed: {seed}.
+
+#[test]
+fn {fn_name}() {{
+    let corpus_text = r##"{corpus_text}"##;
+    let case =
+        fastpath_fuzz::parse_case(corpus_text).expect("netlist parses");
+    let outcome = fastpath_fuzz::check_case(
+        &case,
+        &fastpath_fuzz::OracleOptions::default(),
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "oracle violations: {{:#?}}",
+        outcome.violations
+    );
+}}
+"###,
+        kind = kind,
+        seed = case.seed,
+        fn_name = fn_name,
+        corpus_text = corpus_text,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+    use crate::oracle::FaultInjection;
+
+    #[test]
+    fn netform_round_trips_identically() {
+        for seed in 0..16 {
+            let case = generate_case(seed);
+            let form = NetForm::from_module(&case.module);
+            let text = form.emit();
+            assert_eq!(
+                text,
+                fastpath_rtl::write_netlist(&case.module),
+                "seed {seed}"
+            );
+            parse_netlist(&text).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn gc_drops_unreferenced_structure() {
+        let case = generate_case(2);
+        let form = NetForm::from_module(&case.module);
+        // Dropping every output leaves registers (and their cones) only.
+        let dropped: Vec<bool> = form
+            .sigs
+            .iter()
+            .map(|s| s.kind == SignalKind::Output)
+            .collect();
+        let gcd = form.gc(&dropped).expect("valid");
+        assert!(gcd.sigs.len() < form.sigs.len());
+        let module = parse_netlist(&gcd.emit()).expect("parses");
+        assert_eq!(module.signal_count(), gcd.sigs.len());
+    }
+
+    #[test]
+    fn shrinks_injected_fault_to_tiny_netlist() {
+        let opts = OracleOptions {
+            fault: FaultInjection::HfgUnderApprox,
+            check_engines: false,
+            ..OracleOptions::default()
+        };
+        let violating = (0..16)
+            .map(generate_case)
+            .find(|c| !check_case(c, &opts).violations.is_empty())
+            .expect("some case trips the planted fault");
+        let out = shrink_case(&violating, &opts, 250).expect("violates");
+        assert!(
+            node_count(&out.case.module) <= 10,
+            "shrunk to {} nodes only",
+            node_count(&out.case.module)
+        );
+        let source = regression_test_source(&out.case, out.kind);
+        assert!(source.contains("#[test]"));
+        assert!(source.contains("fastpath-netlist 1"));
+    }
+}

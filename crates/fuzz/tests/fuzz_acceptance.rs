@@ -1,0 +1,158 @@
+//! End-to-end acceptance tests for the fuzzing subsystem:
+//! determinism of iteration-boxed runs, oracle sensitivity to a planted
+//! HFG fault (with shrinking to a tiny netlist), and corpus persistence
+//! round-trips through a real directory.
+
+use fastpath_fuzz::{
+    check_case, fuzz_run, generate_case, node_count, parse_case, render_case, shrink_case,
+    FaultInjection, OracleOptions, RunOptions,
+};
+use std::path::PathBuf;
+
+#[test]
+fn iteration_boxed_runs_are_deterministic_and_clean() {
+    let opts = RunOptions {
+        iters: Some(60),
+        seed: 1,
+        ..RunOptions::default()
+    };
+    let first = fuzz_run(&opts);
+    let second = fuzz_run(&opts);
+    assert_eq!(first.log, second.log, "fuzz log must be reproducible");
+    assert_eq!(first.cases, 60);
+    assert!(
+        first.violations.is_empty(),
+        "clean pipeline must produce no violations: {:?}",
+        first.violations
+    );
+    // The run exercised designs on both sides of the HFG split.
+    assert!(first
+        .outcome_counts
+        .keys()
+        .any(|k| k.starts_with("noflow/")));
+    assert!(first.outcome_counts.keys().any(|k| k.starts_with("flow/")));
+}
+
+#[test]
+fn planted_hfg_fault_is_caught_shrunk_and_persisted() {
+    let corpus_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fuzz_fault_corpus");
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let opts = RunOptions {
+        iters: Some(6),
+        seed: 7,
+        corpus: Some(corpus_dir.clone()),
+        check_engines: false,
+        fault: FaultInjection::HfgUnderApprox,
+        ..RunOptions::default()
+    };
+    let summary = fuzz_run(&opts);
+    assert!(
+        !summary.violations.is_empty(),
+        "a planted HFG under-approximation must be detected"
+    );
+    let best = summary
+        .violations
+        .iter()
+        .filter_map(|v| v.min_nodes)
+        .min()
+        .expect("at least one violation was shrunk");
+    assert!(best <= 10, "expected a <=10-node reproducer, got {best}");
+
+    // The corpus holds the original, the minimized netlist, and a
+    // generated regression test; the minimized netlist still violates.
+    let mut names: Vec<String> = std::fs::read_dir(&corpus_dir)
+        .expect("corpus dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(names.iter().any(|n| n.starts_with("viol_")));
+    assert!(names
+        .iter()
+        .any(|n| { n.starts_with("min_") && n.ends_with(".nl") }));
+    let regression = names
+        .iter()
+        .find(|n| n.starts_with("min_") && n.ends_with(".rs"))
+        .expect("generated regression test");
+    let source = std::fs::read_to_string(corpus_dir.join(regression)).expect("readable");
+    assert!(source.contains("#[test]"));
+    assert!(source.contains("fastpath_fuzz::check_case"));
+
+    let min_file = names
+        .iter()
+        .find(|n| n.starts_with("min_") && n.ends_with(".nl"))
+        .expect("minimized corpus file");
+    let text = std::fs::read_to_string(corpus_dir.join(min_file)).expect("readable");
+    let case = parse_case(&text).expect("minimized case parses");
+    let oracle_opts = OracleOptions {
+        fault: FaultInjection::HfgUnderApprox,
+        check_engines: false,
+        ..OracleOptions::default()
+    };
+    assert!(
+        !check_case(&case, &oracle_opts).violations.is_empty(),
+        "minimized corpus file must still violate under the same fault"
+    );
+}
+
+#[test]
+fn shrinking_preserves_the_violated_invariant() {
+    let opts = OracleOptions {
+        fault: FaultInjection::HfgUnderApprox,
+        check_engines: false,
+        ..OracleOptions::default()
+    };
+    let case = (0..16)
+        .map(generate_case)
+        .find(|c| !check_case(c, &opts).violations.is_empty())
+        .expect("a violating case");
+    let out = shrink_case(&case, &opts, 250).expect("violates");
+    assert!(node_count(&out.case.module) <= node_count(&case.module));
+    assert!(
+        check_case(&out.case, &opts)
+            .violations
+            .iter()
+            .any(|v| v.kind == out.kind),
+        "minimized case no longer violates {:?}",
+        out.kind
+    );
+}
+
+#[test]
+fn certified_runs_stay_clean() {
+    // A smaller certified sweep: every SAT verdict the oracle and the
+    // two flows produce must carry a DRUP certificate that checks.
+    let opts = OracleOptions {
+        certify: true,
+        check_engines: false,
+        ..OracleOptions::default()
+    };
+    for seed in 0..4 {
+        let case = generate_case(seed);
+        let outcome = check_case(&case, &opts);
+        assert!(
+            outcome.violations.is_empty(),
+            "seed {seed}: {:?}",
+            outcome.violations
+        );
+    }
+}
+
+#[test]
+fn corpus_files_round_trip_on_disk() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fuzz_roundtrip_corpus");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for seed in [3u64, 11, 19] {
+        let case = generate_case(seed);
+        let path = dir.join(format!("case_{seed}.nl"));
+        std::fs::write(&path, render_case(&case)).expect("write");
+        let back = parse_case(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(
+            fastpath_rtl::write_netlist(&case.module),
+            fastpath_rtl::write_netlist(&back.module),
+        );
+        assert_eq!(case.cycles, back.cycles);
+        assert_eq!(case.sim_seed, back.sim_seed);
+        assert_eq!(case.declassified_names(), back.declassified_names());
+    }
+}

@@ -28,7 +28,9 @@ pub struct ExtractOptions {
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { max_guard_depth: 16 }
+        ExtractOptions {
+            max_guard_depth: 16,
+        }
     }
 }
 
@@ -80,13 +82,7 @@ struct Collector<'m> {
 }
 
 impl Collector<'_> {
-    fn emit(
-        &mut self,
-        src: SignalId,
-        dst: SignalId,
-        guards: &[Guard],
-        kind: FlowKind,
-    ) {
+    fn emit(&mut self, src: SignalId, dst: SignalId, guards: &[Guard], kind: FlowKind) {
         let key = (src, dst, guards.to_vec(), kind);
         if self.dedup.insert(key) {
             let id = EdgeId(self.edges.len() as u32);
@@ -124,8 +120,7 @@ impl Collector<'_> {
                 for s in self.module.expr_supports(*cond) {
                     self.emit(s, dst, guards, FlowKind::Implicit);
                 }
-                let (cond, then_expr, else_expr) =
-                    (*cond, *then_expr, *else_expr);
+                let (cond, then_expr, else_expr) = (*cond, *then_expr, *else_expr);
                 if guards.len() < self.options.max_guard_depth {
                     guards.push(Guard {
                         cond,
@@ -165,8 +160,7 @@ mod tests {
         let out = b.output("out", sum);
         let m = b.build().expect("valid");
         let hfg = extract_hfg(&m);
-        let srcs: Vec<SignalId> =
-            hfg.incoming(out).map(|e| e.src).collect();
+        let srcs: Vec<SignalId> = hfg.incoming(out).map(|e| e.src).collect();
         assert!(srcs.contains(&a));
         assert!(srcs.contains(&c));
         assert_eq!(hfg.edge_count(), 2);
@@ -190,17 +184,11 @@ mod tests {
             .find(|e| e.src == sel)
             .expect("selector edge");
         assert_eq!(sel_edge.kind, FlowKind::Implicit);
-        let a_edge = hfg
-            .incoming(out)
-            .find(|e| e.src == a)
-            .expect("data edge");
+        let a_edge = hfg.incoming(out).find(|e| e.src == a).expect("data edge");
         assert_eq!(a_edge.kind, FlowKind::Explicit);
         assert_eq!(a_edge.guards.len(), 1);
         assert!(a_edge.guards[0].polarity);
-        let c_edge = hfg
-            .incoming(out)
-            .find(|e| e.src == c)
-            .expect("data edge");
+        let c_edge = hfg.incoming(out).find(|e| e.src == c).expect("data edge");
         assert!(!c_edge.guards[0].polarity);
     }
 

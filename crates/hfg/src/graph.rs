@@ -191,8 +191,7 @@ impl fmt::Display for HfgStats {
         write!(
             f,
             "{} nodes, {} edges ({} explicit, {} implicit, {} guarded)",
-            self.nodes, self.edges, self.explicit_edges, self.implicit_edges,
-            self.guarded_edges
+            self.nodes, self.edges, self.explicit_edges, self.implicit_edges, self.guarded_edges
         )
     }
 }

@@ -150,15 +150,48 @@ impl<'g> PathQuery<'g> {
         out
     }
 
+    /// The multi-source reachable cone: every signal reachable from *any*
+    /// of `sources`, **including the sources themselves**, sorted by
+    /// signal id.
+    ///
+    /// With `sources = X_D` this is the complete set of signals a
+    /// confidential data input could possibly influence. Because the HFG
+    /// never under-approximates, any signal *outside* the cone provably
+    /// cannot carry confidential information — in particular, state
+    /// outside the cone can never diverge between the two instances of
+    /// the UPEC 2-safety model (only `DataIn` inputs differ there, and
+    /// everything the cone excludes is a function of shared values and
+    /// cone-free state alone). The differential fuzzing oracle leans on
+    /// exactly this property.
+    pub fn reachable_cone(&self, sources: &[SignalId]) -> Vec<SignalId> {
+        let mut seen = vec![false; self.hfg.node_count()];
+        let mut queue = VecDeque::new();
+        let mut out = Vec::new();
+        for &s in sources {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                out.push(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            for edge in self.hfg.outgoing(node) {
+                let i = edge.dst.index();
+                if !seen[i] {
+                    seen[i] = true;
+                    out.push(edge.dst);
+                    queue.push_back(edge.dst);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// The paper's `q(n_s, n_d)`: enumerates simple paths from `src` to
     /// `dst`, bounded by `options` (the bound only truncates enumeration;
     /// use [`reachable`](Self::reachable) for the exact emptiness check).
-    pub fn paths(
-        &self,
-        src: SignalId,
-        dst: SignalId,
-        options: QueryOptions,
-    ) -> Vec<HfgPath> {
+    pub fn paths(&self, src: SignalId, dst: SignalId, options: QueryOptions) -> Vec<HfgPath> {
         let mut out = Vec::new();
         let mut on_path = vec![false; self.hfg.node_count()];
         let mut stack = Vec::new();
@@ -176,8 +209,7 @@ impl<'g> PathQuery<'g> {
         stack: &mut Vec<EdgeId>,
         out: &mut Vec<HfgPath>,
     ) {
-        if out.len() >= options.max_paths || stack.len() >= options.max_length
-        {
+        if out.len() >= options.max_paths || stack.len() >= options.max_length {
             return;
         }
         for edge in self.hfg.outgoing(node) {
@@ -201,14 +233,12 @@ impl<'g> PathQuery<'g> {
     /// FastPath's early-exit condition (Sec. IV-A): `true` iff **no** pair
     /// of a data input and a control output is structurally connected, i.e.
     /// `∀ n_x ∈ X_D, ∀ n_y ∈ Y_C : q(n_x, n_y) = ∅`.
-    pub fn no_flow_possible(
-        &self,
-        data_inputs: &[SignalId],
-        control_outputs: &[SignalId],
-    ) -> bool {
+    pub fn no_flow_possible(&self, data_inputs: &[SignalId], control_outputs: &[SignalId]) -> bool {
         data_inputs.iter().all(|&x| {
             let reach = self.reachable_set(x);
-            control_outputs.iter().all(|y| !reach.contains(y) && *y != x)
+            control_outputs
+                .iter()
+                .all(|y| !reach.contains(y) && *y != x)
         })
     }
 }
@@ -306,6 +336,35 @@ mod tests {
         let q = PathQuery::new(&hfg);
         assert!(q.no_flow_possible(&[secret], &[done]));
         assert!(!q.no_flow_possible(&[go], &[done]));
+    }
+
+    #[test]
+    fn reachable_cone_unions_sources_and_closures() {
+        let (m, ids) = chain_module();
+        let hfg = extract_hfg(&m);
+        let q = PathQuery::new(&hfg);
+        let (a, r1, r2, out, iso, out_iso) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        // Single source: the source itself plus its downstream chain.
+        let cone = q.reachable_cone(&[a]);
+        assert_eq!(cone, {
+            let mut v = vec![a, r1, r2, out];
+            v.sort_unstable();
+            v
+        });
+        assert!(!cone.contains(&iso));
+        // Multi-source: the union, sorted, deduplicated.
+        let both = q.reachable_cone(&[a, iso, a]);
+        assert_eq!(both.len(), 6);
+        assert!(both.contains(&out_iso));
+        assert!(both.windows(2).all(|w| w[0] < w[1]));
+        // Empty sources: empty cone.
+        assert!(q.reachable_cone(&[]).is_empty());
+        // Consistency with the single-source query.
+        for &s in &[a, iso] {
+            for d in q.reachable_set(s) {
+                assert!(q.reachable_cone(&[a, iso]).contains(&d));
+            }
+        }
     }
 
     #[test]

@@ -175,11 +175,7 @@ impl ModuleBuilder {
     /// Returns [`RtlError::MultipleDrivers`] if called twice for the same
     /// register and [`RtlError::WidthMismatch`] if the expression width
     /// differs from the register width.
-    pub fn set_next(
-        &mut self,
-        reg: SignalId,
-        next: ExprId,
-    ) -> Result<(), RtlError> {
+    pub fn set_next(&mut self, reg: SignalId, next: ExprId) -> Result<(), RtlError> {
         let signal = &self.signals[reg.index()];
         assert_eq!(
             signal.kind,
@@ -442,12 +438,7 @@ impl ModuleBuilder {
     }
 
     /// 2-to-1 multiplexer.
-    pub fn mux(
-        &mut self,
-        cond: ExprId,
-        then_expr: ExprId,
-        else_expr: ExprId,
-    ) -> ExprId {
+    pub fn mux(&mut self, cond: ExprId, then_expr: ExprId, else_expr: ExprId) -> ExprId {
         self.intern(Expr::Mux {
             cond,
             then_expr,
@@ -478,8 +469,7 @@ impl ModuleBuilder {
     /// Panics if `parts` is empty.
     pub fn concat_all(&mut self, parts: &[ExprId]) -> ExprId {
         let (&first, rest) = parts.split_first().expect("concat of nothing");
-        rest.iter()
-            .fold(first, |acc, &part| self.concat(acc, part))
+        rest.iter().fold(first, |acc, &part| self.concat(acc, part))
     }
 
     /// Zero-extension to `width`.
@@ -518,11 +508,7 @@ impl ModuleBuilder {
 
     /// A priority selector: returns the value of the first case whose
     /// condition holds, or `default` if none does.
-    pub fn select(
-        &mut self,
-        cases: &[(ExprId, ExprId)],
-        default: ExprId,
-    ) -> ExprId {
+    pub fn select(&mut self, cases: &[(ExprId, ExprId)], default: ExprId) -> ExprId {
         cases
             .iter()
             .rev()
@@ -537,27 +523,14 @@ impl ModuleBuilder {
     /// # Panics
     ///
     /// Panics if `table` is empty.
-    pub fn rom_lookup(
-        &mut self,
-        addr: ExprId,
-        table: &[u64],
-        data_width: u32,
-    ) -> ExprId {
+    pub fn rom_lookup(&mut self, addr: ExprId, table: &[u64], data_width: u32) -> ExprId {
         assert!(!table.is_empty(), "ROM table must be non-empty");
         let addr_width = self.expr_widths[addr.index()];
-        let leaves: Vec<ExprId> = table
-            .iter()
-            .map(|&v| self.lit(data_width, v))
-            .collect();
+        let leaves: Vec<ExprId> = table.iter().map(|&v| self.lit(data_width, v)).collect();
         self.mux_tree(addr, addr_width, &leaves)
     }
 
-    fn mux_tree(
-        &mut self,
-        addr: ExprId,
-        addr_width: u32,
-        leaves: &[ExprId],
-    ) -> ExprId {
+    fn mux_tree(&mut self, addr: ExprId, addr_width: u32, leaves: &[ExprId]) -> ExprId {
         if leaves.len() == 1 {
             return leaves[0];
         }
@@ -783,10 +756,7 @@ mod tests {
         let m = b.build().expect("valid");
         let data_id = m.signal_by_name("data").expect("data");
         for i in 0..8u64 {
-            let mut env: Vec<BitVec> = m
-                .signals()
-                .map(|(_, s)| BitVec::zero(s.width))
-                .collect();
+            let mut env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
             env[addr.index()] = BitVec::from_u64(3, i);
             let driver = m.driver(data_id).expect("driven");
             assert_eq!(m.eval(driver, &env).to_u64(), i * 11);
@@ -808,8 +778,7 @@ mod tests {
         let m = b.build().expect("valid");
         let out_id = m.signal_by_name("out").expect("out");
         let driver = m.driver(out_id).expect("driven");
-        let mut env: Vec<BitVec> =
-            m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        let mut env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
         // both set -> first case wins
         env[c0.index()] = BitVec::from_bool(true);
         env[c1.index()] = BitVec::from_bool(true);

@@ -43,6 +43,15 @@ impl ExprId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an `ExprId` from a raw index.
+    ///
+    /// Intended for tools that walk a module's dense expression arena by
+    /// position (`0..Module::expr_count()`); the index must be in range
+    /// for the module it is used with.
+    pub fn from_index(index: usize) -> Self {
+        ExprId(index as u32)
+    }
 }
 
 /// Unary word-level operators.
@@ -194,10 +203,7 @@ mod tests {
         let c = ExprId(2);
         assert!(Expr::Const(BitVec::zero(1)).operands().is_empty());
         assert_eq!(Expr::Unary(UnaryOp::Not, a).operands(), vec![a]);
-        assert_eq!(
-            Expr::Binary(BinaryOp::Add, a, b).operands(),
-            vec![a, b]
-        );
+        assert_eq!(Expr::Binary(BinaryOp::Add, a, b).operands(), vec![a, b]);
         assert_eq!(
             Expr::Mux {
                 cond: a,

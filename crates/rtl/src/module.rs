@@ -216,12 +216,7 @@ impl Module {
     /// Evaluates an expression reusing a caller-provided memo table, so a
     /// simulator can share work across the drivers of one cycle. `memo` must
     /// have one entry per arena expression and be reset between cycles.
-    pub fn eval_memo(
-        &self,
-        root: ExprId,
-        env: &[BitVec],
-        memo: &mut [Option<BitVec>],
-    ) -> BitVec {
+    pub fn eval_memo(&self, root: ExprId, env: &[BitVec], memo: &mut [Option<BitVec>]) -> BitVec {
         if let Some(v) = &memo[root.index()] {
             return v.clone();
         }
@@ -254,20 +249,14 @@ impl Module {
                     self.eval_memo(*else_expr, env, memo)
                 }
             }
-            Expr::Slice { arg, hi, lo } => {
-                self.eval_memo(*arg, env, memo).slice(*hi, *lo)
-            }
+            Expr::Slice { arg, hi, lo } => self.eval_memo(*arg, env, memo).slice(*hi, *lo),
             Expr::Concat(hi, lo) => {
                 let h = self.eval_memo(*hi, env, memo);
                 let l = self.eval_memo(*lo, env, memo);
                 h.concat(&l)
             }
-            Expr::Zext { arg, width } => {
-                self.eval_memo(*arg, env, memo).zext(*width)
-            }
-            Expr::Sext { arg, width } => {
-                self.eval_memo(*arg, env, memo).sext(*width)
-            }
+            Expr::Zext { arg, width } => self.eval_memo(*arg, env, memo).zext(*width),
+            Expr::Sext { arg, width } => self.eval_memo(*arg, env, memo).sext(*width),
         };
         memo[root.index()] = Some(value.clone());
         value
@@ -306,11 +295,7 @@ impl fmt::Display for Module {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "module {} {{", self.name)?;
         for (_, s) in self.signals() {
-            writeln!(
-                f,
-                "  {:?} {} : {} ({:?})",
-                s.kind, s.name, s.width, s.role
-            )?;
+            writeln!(f, "  {:?} {} : {} ({:?})", s.kind, s.name, s.width, s.role)?;
         }
         write!(f, "}}")
     }
@@ -349,10 +334,7 @@ impl Module {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn with_roles(
-        &self,
-        assign: impl Fn(SignalId, &Signal) -> Option<SignalRole>,
-    ) -> Module {
+    pub fn with_roles(&self, assign: impl Fn(SignalId, &Signal) -> Option<SignalRole>) -> Module {
         let mut out = self.clone();
         for i in 0..out.signals.len() {
             let id = SignalId(i as u32);

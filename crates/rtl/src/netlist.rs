@@ -35,13 +35,7 @@ pub fn write_netlist(module: &Module) -> String {
     for (id, s) in module.signals() {
         match s.kind {
             SignalKind::Input => {
-                let _ = writeln!(
-                    out,
-                    "input {} {} {}",
-                    s.name,
-                    s.width,
-                    role_str(s.role)
-                );
+                let _ = writeln!(out, "input {} {} {}", s.name, s.width, role_str(s.role));
             }
             SignalKind::Register => {
                 let init = s.init.as_ref().expect("register init");
@@ -165,7 +159,11 @@ pub struct ParseNetlistError {
 
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "netlist parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -184,12 +182,10 @@ pub fn parse_netlist(text: &str) -> Result<Module, ParseNetlistError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        parser
-            .line(line)
-            .map_err(|message| ParseNetlistError {
-                line: lineno + 1,
-                message,
-            })?;
+        parser.line(line).map_err(|message| ParseNetlistError {
+            line: lineno + 1,
+            message,
+        })?;
     }
     parser.finish().map_err(|message| ParseNetlistError {
         line: text.lines().count(),
@@ -249,9 +245,7 @@ impl Parser {
     fn bounded_eref(&self, token: &str) -> Result<ExprId, String> {
         let index = self.parse_eref(token)?;
         if index >= self.exprs.len() {
-            return Err(format!(
-                "expression e{index} referenced before definition"
-            ));
+            return Err(format!("expression e{index} referenced before definition"));
         }
         Ok(ExprId(index as u32))
     }
@@ -260,9 +254,7 @@ impl Parser {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens.as_slice() {
             ["fastpath-netlist", "1"] => Ok(()),
-            ["fastpath-netlist", v] => {
-                Err(format!("unsupported netlist version `{v}`"))
-            }
+            ["fastpath-netlist", v] => Err(format!("unsupported netlist version `{v}`")),
             ["module", name] => {
                 if self.name.is_some() {
                     return Err("duplicate module header".into());
@@ -272,8 +264,7 @@ impl Parser {
             }
             ["input", name, width, role] => {
                 let width = parse_num(width)?;
-                let role = parse_role(role)
-                    .ok_or_else(|| format!("bad role `{role}`"))?;
+                let role = parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?;
                 self.add_signal(name, width, SignalKind::Input, role, None)?;
                 Ok(())
             }
@@ -283,47 +274,26 @@ impl Parser {
                 let role = if *role == "." {
                     SignalRole::Internal
                 } else {
-                    parse_role(role)
-                        .ok_or_else(|| format!("bad role `{role}`"))?
+                    parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?
                 };
-                self.add_signal(
-                    name,
-                    width,
-                    SignalKind::Register,
-                    role,
-                    Some(init),
-                )?;
+                self.add_signal(name, width, SignalKind::Register, role, Some(init))?;
                 Ok(())
             }
             ["wire", name, width] => {
                 let width = parse_num(width)?;
-                self.add_signal(
-                    name,
-                    width,
-                    SignalKind::Wire,
-                    SignalRole::Internal,
-                    None,
-                )?;
+                self.add_signal(name, width, SignalKind::Wire, SignalRole::Internal, None)?;
                 Ok(())
             }
             ["output", name, width, role, driver] => {
                 let width = parse_num(width)?;
-                let role = parse_role(role)
-                    .ok_or_else(|| format!("bad role `{role}`"))?;
-                let id = self.add_signal(
-                    name,
-                    width,
-                    SignalKind::Output,
-                    role,
-                    None,
-                )?;
+                let role = parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?;
+                let id = self.add_signal(name, width, SignalKind::Output, role, None)?;
                 let index = self.parse_eref(driver)?;
                 self.pending_drivers.push((id, index));
                 Ok(())
             }
             ["expr", index, rest @ ..] => {
-                let index: usize =
-                    index.parse().map_err(|_| "bad expr index")?;
+                let index: usize = index.parse().map_err(|_| "bad expr index")?;
                 if index != self.exprs.len() {
                     return Err(format!(
                         "expressions must be dense and ordered; expected \
@@ -408,10 +378,7 @@ impl Parser {
                 hi: parse_num(hi)?,
                 lo: parse_num(lo)?,
             }),
-            ["concat", a, b] => Ok(Expr::Concat(
-                self.bounded_eref(a)?,
-                self.bounded_eref(b)?,
-            )),
+            ["concat", a, b] => Ok(Expr::Concat(self.bounded_eref(a)?, self.bounded_eref(b)?)),
             ["zext", a, width] => Ok(Expr::Zext {
                 arg: self.bounded_eref(a)?,
                 width: parse_num(width)?,
@@ -454,8 +421,7 @@ impl Parser {
             comb_order: Vec::new(),
         };
         for i in 0..module.exprs.len() {
-            let width = infer_width(&module, i)
-                .map_err(|e| format!("expression e{i}: {e}"))?;
+            let width = infer_width(&module, i).map_err(|e| format!("expression e{i}: {e}"))?;
             module.expr_widths.push(width);
         }
         // Driver width checks.
@@ -476,8 +442,7 @@ impl Parser {
                 }
             }
         }
-        module.comb_order = crate::builder::topo_sort_comb(&module)
-            .map_err(|e| e.to_string())?;
+        module.comb_order = crate::builder::topo_sort_comb(&module).map_err(|e| e.to_string())?;
         Ok(module)
     }
 }
@@ -497,11 +462,7 @@ fn infer_width(module: &Module, index: usize) -> Result<u32, String> {
                 w(*a)
             } else {
                 if w(*a) != w(*b) {
-                    return Err(format!(
-                        "width mismatch {} vs {}",
-                        w(*a),
-                        w(*b)
-                    ));
+                    return Err(format!("width mismatch {} vs {}", w(*a), w(*b)));
                 }
                 if op.is_comparison() {
                     1
@@ -525,10 +486,7 @@ fn infer_width(module: &Module, index: usize) -> Result<u32, String> {
         }
         Expr::Slice { arg, hi, lo } => {
             if hi < lo || *hi >= w(*arg) {
-                return Err(format!(
-                    "invalid slice [{hi}:{lo}] of {} bits",
-                    w(*arg)
-                ));
+                return Err(format!("invalid slice [{hi}:{lo}] of {} bits", w(*arg)));
             }
             hi - lo + 1
         }
@@ -543,18 +501,14 @@ fn infer_width(module: &Module, index: usize) -> Result<u32, String> {
 }
 
 fn parse_num(token: &str) -> Result<u32, String> {
-    token
-        .parse()
-        .map_err(|_| format!("bad number `{token}`"))
+    token.parse().map_err(|_| format!("bad number `{token}`"))
 }
 
 fn parse_hex(token: &str, width: u32) -> Result<BitVec, String> {
     let mut v = BitVec::zero(width);
     let mut bit = 0u32;
     for c in token.chars().rev() {
-        let nibble = c
-            .to_digit(16)
-            .ok_or_else(|| format!("bad hex `{token}`"))?;
+        let nibble = c.to_digit(16).ok_or_else(|| format!("bad hex `{token}`"))?;
         for k in 0..4 {
             if bit + k < width && (nibble >> k) & 1 == 1 {
                 v.set_bit(bit + k, true);
@@ -626,8 +580,7 @@ mod tests {
         for seed in 0..40 {
             let m = random_module(seed, RandomModuleConfig::default());
             let text = write_netlist(&m);
-            let parsed = parse_netlist(&text)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let parsed = parse_netlist(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_same(&m, &parsed);
         }
     }
@@ -671,15 +624,13 @@ mod tests {
         // Evaluate a driver on both under a fixed environment.
         let out = m.signal_by_name("out").expect("out");
         let a = m.signal_by_name("a").expect("a");
-        let mut env: Vec<BitVec> =
-            m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        let mut env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
         env[a.index()] = BitVec::from_u64(12, 0x123);
         let r = m.signal_by_name("r").expect("r");
         env[r.index()] = BitVec::from_u64(12, 0x456);
         // Settle the wire first in both.
         let mid = m.signal_by_name("mid").expect("mid");
-        env[mid.index()] =
-            m.eval(m.driver(mid).expect("driven"), &env);
+        env[mid.index()] = m.eval(m.driver(mid).expect("driven"), &env);
         let v1 = m.eval(m.driver(out).expect("driven"), &env);
         let v2 = parsed.eval(parsed.driver(out).expect("driven"), &env);
         assert_eq!(v1, v2);

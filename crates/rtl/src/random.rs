@@ -8,6 +8,7 @@
 use crate::builder::ModuleBuilder;
 use crate::expr::{ExprId, SignalId};
 use crate::module::Module;
+use crate::regfile::RegFile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +23,14 @@ pub struct RandomModuleConfig {
     pub max_registers: usize,
     /// Number of random expression nodes to grow.
     pub max_expressions: usize,
+    /// Also draw >64-bit signal widths, exercising the multi-limb value
+    /// paths of the simulators and the wide bit-blasting paths of the
+    /// formal backend.
+    pub wide_signals: bool,
+    /// Sometimes add a small memory (a [`RegFile`] with one random write
+    /// port and one random read port), so generated state includes
+    /// address-decoded register files.
+    pub memories: bool,
 }
 
 impl Default for RandomModuleConfig {
@@ -31,6 +40,8 @@ impl Default for RandomModuleConfig {
             max_data_inputs: 3,
             max_registers: 4,
             max_expressions: 25,
+            wide_signals: false,
+            memories: false,
         }
     }
 }
@@ -56,7 +67,10 @@ impl Default for RandomModuleConfig {
 pub fn random_module(seed: u64, config: RandomModuleConfig) -> Module {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = ModuleBuilder::new(format!("fuzz_{seed:x}"));
-    let widths = [1u32, 2, 4, 8, 13];
+    let narrow = [1u32, 2, 4, 8, 13];
+    let wide = [1u32, 2, 4, 8, 13, 33, 70];
+    let widths: &[u32] = if config.wide_signals { &wide } else { &narrow };
+    let width_cap: u32 = if config.wide_signals { 128 } else { 64 };
 
     let mut exprs: Vec<ExprId> = Vec::new();
     let n_ctrl = rng.gen_range(1..=config.max_control_inputs.max(1));
@@ -81,17 +95,47 @@ pub fn random_module(seed: u64, config: RandomModuleConfig) -> Module {
         })
         .collect();
 
+    // An optional small register file; its random ports are wired after
+    // expression growth so they can tap interesting expressions. All of
+    // its randomness draws sit behind the flag, so configurations without
+    // memories see the exact same draw sequence as before.
+    let mem: Option<(RegFile, u32)> = if config.memories && rng.gen_bool(0.5) {
+        let mem_widths = [2u32, 4, 8];
+        let w = mem_widths[rng.gen_range(0..mem_widths.len())];
+        Some((RegFile::new(&mut b, "m", 4, w), w))
+    } else {
+        None
+    };
+
     for _ in 0..rng.gen_range(4..=config.max_expressions.max(4)) {
         let e = grow_expression(&mut b, &mut rng, &exprs);
-        if b.width_of(e) <= 64 {
+        if b.width_of(e) <= width_cap {
             exprs.push(e);
         }
+    }
+
+    if let Some((mut mem, w)) = mem {
+        let aw = mem.addr_width();
+        let pick = |rng: &mut StdRng| exprs[rng.gen_range(0..exprs.len())];
+        let en_src = pick(&mut rng);
+        let enable = b.red_or(en_src);
+        let waddr_src = pick(&mut rng);
+        let waddr = coerce_width(&mut b, waddr_src, aw);
+        let data_src = pick(&mut rng);
+        let data = coerce_width(&mut b, data_src, w);
+        mem.write(&mut b, enable, waddr, data);
+        let raddr_src = pick(&mut rng);
+        let raddr = coerce_width(&mut b, raddr_src, aw);
+        let read = mem.read(&mut b, raddr);
+        exprs.push(read);
+        mem.finish(&mut b).expect("memory wiring is valid");
     }
 
     for &(r, w) in &regs {
         let target = exprs[rng.gen_range(0..exprs.len())];
         let coerced = coerce_width(&mut b, target, w);
-        b.set_next(r, coerced).expect("register driver is width-correct");
+        b.set_next(r, coerced)
+            .expect("register driver is width-correct");
     }
     let outputs = exprs.len().min(3);
     for (i, &e) in exprs.iter().rev().take(outputs).enumerate() {
@@ -115,13 +159,8 @@ fn coerce_width(b: &mut ModuleBuilder, e: ExprId, width: u32) -> ExprId {
     }
 }
 
-fn grow_expression(
-    b: &mut ModuleBuilder,
-    rng: &mut StdRng,
-    exprs: &[ExprId],
-) -> ExprId {
-    let pick =
-        |rng: &mut StdRng| exprs[rng.gen_range(0..exprs.len())];
+fn grow_expression(b: &mut ModuleBuilder, rng: &mut StdRng, exprs: &[ExprId]) -> ExprId {
+    let pick = |rng: &mut StdRng| exprs[rng.gen_range(0..exprs.len())];
     let a = pick(rng);
     match rng.gen_range(0..14) {
         0 => b.not(a),
@@ -137,7 +176,10 @@ fn grow_expression(
                 2 => b.xor(a2, c2),
                 3 => b.add(a2, c2),
                 4 => b.sub(a2, c2),
-                5 => b.mul(a2, c2),
+                // Wide multiplier arrays explode under bit-blasting;
+                // above 32 bits fall back to addition.
+                5 if w <= 32 => b.mul(a2, c2),
+                5 => b.add(a2, c2),
                 6 => b.shl(a2, c2),
                 7 => b.lshr(a2, c2),
                 8 => b.ashr(a2, c2),
@@ -206,11 +248,56 @@ mod tests {
             max_data_inputs: 1,
             max_registers: 1,
             max_expressions: 4,
+            wide_signals: false,
+            memories: false,
         };
         for seed in 0..30 {
             let m = random_module(seed, config);
             assert_eq!(m.state_signals().len(), 1);
             assert_eq!(m.data_inputs().len(), 1);
+        }
+    }
+
+    #[test]
+    fn wide_and_memory_configs_generate_valid_modules() {
+        let config = RandomModuleConfig {
+            wide_signals: true,
+            memories: true,
+            ..RandomModuleConfig::default()
+        };
+        let mut saw_wide = false;
+        let mut saw_memory = false;
+        for seed in 0..60 {
+            let m = random_module(seed, config);
+            let again = random_module(seed, config);
+            assert_eq!(m.signal_count(), again.signal_count(), "seed {seed}");
+            assert_eq!(m.expr_count(), again.expr_count(), "seed {seed}");
+            if m.signals().any(|(_, s)| s.width > 64) {
+                saw_wide = true;
+            }
+            if m.signal_by_name("m_0").is_some() {
+                saw_memory = true;
+                // All four memory words are registers.
+                for i in 0..4 {
+                    let w = m.signal_by_name(&format!("m_{i}")).expect("memory word");
+                    assert!(m.state_signals().contains(&w));
+                }
+            }
+        }
+        assert!(saw_wide, "wide widths never drawn");
+        assert!(saw_memory, "memory never generated");
+    }
+
+    #[test]
+    fn extended_flags_default_off_and_preserve_behavior() {
+        // With both flags off the draw sequence is untouched: modules are
+        // identical to the flagless generator output (same arena, names).
+        let base = RandomModuleConfig::default();
+        assert!(!base.wide_signals && !base.memories);
+        for seed in 0..20 {
+            let m = random_module(seed, base);
+            assert!(m.signals().all(|(_, s)| s.width <= 64));
+            assert!(m.signal_by_name("m_0").is_none());
         }
     }
 }

@@ -34,12 +34,7 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics if `depth` is not a power of two or is < 2.
-    pub fn new(
-        b: &mut ModuleBuilder,
-        name: &str,
-        depth: usize,
-        data_width: u32,
-    ) -> Self {
+    pub fn new(b: &mut ModuleBuilder, name: &str, depth: usize, data_width: u32) -> Self {
         assert!(
             depth.is_power_of_two() && depth >= 2,
             "register file depth must be a power of two >= 2"
@@ -102,13 +97,7 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics on address or data width mismatches.
-    pub fn write(
-        &mut self,
-        b: &mut ModuleBuilder,
-        enable: ExprId,
-        addr: ExprId,
-        data: ExprId,
-    ) {
+    pub fn write(&mut self, b: &mut ModuleBuilder, enable: ExprId, addr: ExprId, data: ExprId) {
         assert_eq!(
             b.width_of(addr),
             self.addr_width,

@@ -306,9 +306,8 @@ impl BitVec {
         for i in 0..n {
             let mut carry: u128 = 0;
             for j in 0..n - i {
-                let cur = acc[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    acc[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 acc[i + j] = cur as u64;
                 carry = cur >> 64;
             }

@@ -44,8 +44,7 @@ impl Cnf {
     /// Loads the formula into a fresh solver.
     pub fn into_solver(&self) -> Solver {
         let mut solver = Solver::new();
-        let vars: Vec<Var> =
-            (0..self.num_vars).map(|_| solver.new_var()).collect();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
         let _ = vars;
         for clause in &self.clauses {
             solver.add_clause(clause);
@@ -108,8 +107,7 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
             num_vars = Some(nv);
             continue;
         }
-        let nv = num_vars
-            .ok_or_else(|| ParseDimacsError("clause before header".into()))?;
+        let nv = num_vars.ok_or_else(|| ParseDimacsError("clause before header".into()))?;
         for token in line.split_whitespace() {
             let n: i64 = token
                 .parse()
@@ -131,8 +129,7 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
         clauses.push(current);
     }
     Ok(Cnf {
-        num_vars: num_vars
-            .ok_or_else(|| ParseDimacsError("missing header".into()))?,
+        num_vars: num_vars.ok_or_else(|| ParseDimacsError("missing header".into()))?,
         clauses,
     })
 }
@@ -170,10 +167,7 @@ mod tests {
             let clauses: Vec<Vec<Lit>> = (0..rng.gen_range(0..=15usize))
                 .map(|_| {
                     (0..rng.gen_range(1..=4usize))
-                        .map(|_| {
-                            Var::from_index(rng.gen_range(0..num_vars))
-                                .lit(rng.gen_bool(0.5))
-                        })
+                        .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
                         .collect()
                 })
                 .collect();
@@ -209,12 +203,8 @@ mod tests {
         // With the assumption baked in as a unit, the formula flips to
         // UNSAT only if ¬g retirement is included — i.e. the dump
         // reflects what was actually asserted, in order.
-        let with_assumption =
-            Cnf::from_steps(proof.steps(), &[g.positive()]);
-        assert_eq!(
-            with_assumption.into_solver().solve(),
-            SolveResult::Unsat
-        );
+        let with_assumption = Cnf::from_steps(proof.steps(), &[g.positive()]);
+        assert_eq!(with_assumption.into_solver().solve(), SolveResult::Unsat);
     }
 
     #[test]

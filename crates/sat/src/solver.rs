@@ -78,9 +78,7 @@ impl VarHeap {
     fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if activity[self.heap[i].index()]
-                <= activity[self.heap[parent].index()]
-            {
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
                 break;
             }
             self.swap(i, parent);
@@ -95,8 +93,7 @@ impl VarHeap {
             let mut largest = i;
             for child in [left, right] {
                 if child < self.heap.len()
-                    && activity[self.heap[child].index()]
-                        > activity[self.heap[largest].index()]
+                    && activity[self.heap[child].index()] > activity[self.heap[largest].index()]
                 {
                     largest = child;
                 }
@@ -383,10 +380,7 @@ impl Solver {
 
     /// Literal-block distance: number of distinct decision levels.
     fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.levels[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.levels[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -444,9 +438,7 @@ impl Solver {
                 }
                 debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
                 let first = self.clauses[cref].lits[0];
-                if first != watch.blocker
-                    && self.lit_value(first) == LBool::True
-                {
+                if first != watch.blocker && self.lit_value(first) == LBool::True {
                     ws[i].blocker = first;
                     i += 1;
                     continue;
@@ -454,9 +446,7 @@ impl Solver {
                 // Find a new literal to watch.
                 let mut found = None;
                 for k in 2..self.clauses[cref].lits.len() {
-                    if self.lit_value(self.clauses[cref].lits[k])
-                        != LBool::False
-                    {
+                    if self.lit_value(self.clauses[cref].lits[k]) != LBool::False {
                         found = Some(k);
                         break;
                     }
@@ -524,8 +514,7 @@ impl Solver {
             self.bump_clause(cref);
             let start = usize::from(p.is_some());
             // Collect literals from the reason/conflict clause.
-            let lits: Vec<Lit> =
-                self.clauses[cref as usize].lits[start..].to_vec();
+            let lits: Vec<Lit> = self.clauses[cref as usize].lits[start..].to_vec();
             for q in lits {
                 let v = q.var();
                 if !self.seen[v.index()] && self.levels[v.index()] > 0 {
@@ -553,8 +542,7 @@ impl Solver {
                 break;
             }
             p = Some(lit);
-            cref = self.reasons[lit.var().index()]
-                .expect("non-decision literal has a reason");
+            cref = self.reasons[lit.var().index()].expect("non-decision literal has a reason");
         }
 
         // Recursive clause minimization (MiniSat ccmin-mode 2): a literal
@@ -598,28 +586,19 @@ impl Solver {
     /// whose entire reason cone is already `seen` (or level 0) are implied
     /// by the rest of the learnt clause. Newly visited literals are marked
     /// `seen` and recorded in `to_clear`.
-    fn lit_redundant(
-        &mut self,
-        lit: Lit,
-        abstract_levels: u32,
-        to_clear: &mut Vec<Lit>,
-    ) -> bool {
+    fn lit_redundant(&mut self, lit: Lit, abstract_levels: u32, to_clear: &mut Vec<Lit>) -> bool {
         let mut stack = vec![lit];
         let checkpoint = to_clear.len();
         while let Some(q) = stack.pop() {
-            let reason = self.reasons[q.var().index()]
-                .expect("candidate literal has a reason");
-            let lits: Vec<Lit> =
-                self.clauses[reason as usize].lits[1..].to_vec();
+            let reason = self.reasons[q.var().index()].expect("candidate literal has a reason");
+            let lits: Vec<Lit> = self.clauses[reason as usize].lits[1..].to_vec();
             for l in lits {
                 let v = l.var();
                 if self.seen[v.index()] || self.levels[v.index()] == 0 {
                     continue;
                 }
                 let has_reason = self.reasons[v.index()].is_some();
-                let level_ok = (1u32 << (self.levels[v.index()] & 31))
-                    & abstract_levels
-                    != 0;
+                let level_ok = (1u32 << (self.levels[v.index()] & 31)) & abstract_levels != 0;
                 if has_reason && level_ok {
                     self.seen[v.index()] = true;
                     to_clear.push(l);
@@ -678,13 +657,7 @@ impl Solver {
             .clauses
             .iter()
             .enumerate()
-            .filter(|(i, c)| {
-                c.learnt
-                    && !c.deleted
-                    && !locked[*i]
-                    && c.lits.len() > 2
-                    && c.lbd > 3
-            })
+            .filter(|(i, c)| c.learnt && !c.deleted && !locked[*i] && c.lits.len() > 2 && c.lbd > 3)
             .map(|(i, _)| i)
             .collect();
         learnt_indices.sort_by(|&a, &b| {
@@ -769,8 +742,7 @@ impl Solver {
                 }
                 self.var_inc /= VAR_DECAY;
                 self.clause_inc /= CLAUSE_DECAY;
-                conflicts_until_restart =
-                    conflicts_until_restart.saturating_sub(1);
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if self.stats.learnt_clauses as f64 > self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
@@ -780,8 +752,7 @@ impl Solver {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
                     self.backtrack(0);
-                    conflicts_until_restart =
-                        luby(self.stats.restarts) * LUBY_UNIT;
+                    conflicts_until_restart = luby(self.stats.restarts) * LUBY_UNIT;
                 }
                 // Re-assert pending assumptions as pseudo-decisions (one
                 // decision level per assumption, in order).
@@ -804,11 +775,7 @@ impl Solver {
                 }
                 match self.pick_branch_var() {
                     None => {
-                        self.model = self
-                            .assigns
-                            .iter()
-                            .map(|&a| a == LBool::True)
-                            .collect();
+                        self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
                         #[cfg(debug_assertions)]
                         self.debug_check_model();
                         return SolveResult::Sat;
@@ -1069,8 +1036,7 @@ mod tests {
         s.add_clause(&[g.negative(), x.negative()]);
         assert_eq!(s.solve_with(&[g.positive()]), SolveResult::Unsat);
         let snapshot = s.proof_len();
-        let prefix: Vec<ProofStep> =
-            s.proof().expect("enabled").steps()[..snapshot].to_vec();
+        let prefix: Vec<ProofStep> = s.proof().expect("enabled").steps()[..snapshot].to_vec();
         s.add_clause(&[g.negative()]); // retire
         assert_eq!(s.solve(), SolveResult::Sat);
         let proof = s.proof().expect("enabled");
@@ -1081,11 +1047,11 @@ mod tests {
     /// Brute-force evaluation of a CNF for cross-checking.
     fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
         for bits in 0u64..(1 << num_vars) {
-            let assignment =
-                |v: usize| -> bool { (bits >> v) & 1 == 1 };
-            if cnf.iter().all(|clause| {
-                clause.iter().any(|&(v, pos)| assignment(v) == pos)
-            }) {
+            let assignment = |v: usize| -> bool { (bits >> v) & 1 == 1 };
+            if cnf
+                .iter()
+                .all(|clause| clause.iter().any(|&(v, pos)| assignment(v) == pos))
+            {
                 return true;
             }
         }
@@ -1104,20 +1070,14 @@ mod tests {
                 .map(|_| {
                     let len = rng.gen_range(1..=3usize);
                     (0..len)
-                        .map(|_| {
-                            (rng.gen_range(0..num_vars), rng.gen_bool(0.5))
-                        })
+                        .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
                         .collect()
                 })
                 .collect();
             let mut s = Solver::new();
-            let vars: Vec<Var> =
-                (0..num_vars).map(|_| s.new_var()).collect();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
             for clause in &cnf {
-                let lits: Vec<Lit> = clause
-                    .iter()
-                    .map(|&(v, pos)| vars[v].lit(pos))
-                    .collect();
+                let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
                 s.add_clause(&lits);
             }
             let expected = brute_force_sat(num_vars, &cnf);
@@ -1126,9 +1086,9 @@ mod tests {
             if got {
                 // Verify the model actually satisfies the CNF.
                 for clause in &cnf {
-                    assert!(clause.iter().any(|&(v, pos)| {
-                        s.value(vars[v]) == Some(pos)
-                    }));
+                    assert!(clause
+                        .iter()
+                        .any(|&(v, pos)| { s.value(vars[v]) == Some(pos) }));
                 }
             }
         }

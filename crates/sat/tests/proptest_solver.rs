@@ -9,20 +9,13 @@ type CnfSpec = Vec<Vec<(usize, bool)>>;
 
 fn cnf_strategy() -> impl Strategy<Value = (usize, CnfSpec)> {
     (1usize..=9).prop_flat_map(|num_vars| {
-        let clause = prop::collection::vec(
-            (0..num_vars, any::<bool>()),
-            1..=3,
-        );
+        let clause = prop::collection::vec((0..num_vars, any::<bool>()), 1..=3);
         let cnf = prop::collection::vec(clause, 0..=25);
         (Just(num_vars), cnf)
     })
 }
 
-fn brute_force(
-    num_vars: usize,
-    cnf: &CnfSpec,
-    fixed: &[(usize, bool)],
-) -> bool {
+fn brute_force(num_vars: usize, cnf: &CnfSpec, fixed: &[(usize, bool)]) -> bool {
     'outer: for bits in 0u64..(1 << num_vars) {
         let assignment = |v: usize| (bits >> v) & 1 == 1;
         for &(v, polarity) in fixed {
@@ -44,8 +37,7 @@ fn load(num_vars: usize, cnf: &CnfSpec) -> (Solver, Vec<Var>) {
     let mut solver = Solver::new();
     let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
     for clause in cnf {
-        let lits: Vec<Lit> =
-            clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
         solver.add_clause(&lits);
     }
     (solver, vars)

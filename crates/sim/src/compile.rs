@@ -23,9 +23,7 @@
 //! settle-then-clock contract as the interpretive simulators.
 
 use crate::tape::{Instr, Op, SimTape, Slot};
-use fastpath_rtl::{
-    BinaryOp, BitVec, Expr, ExprId, Module, SignalKind, UnaryOp,
-};
+use fastpath_rtl::{BinaryOp, BitVec, Expr, ExprId, Module, SignalKind, UnaryOp};
 use std::collections::HashSet;
 
 const UNASSIGNED: u32 = u32::MAX;
@@ -96,14 +94,7 @@ impl<'m> Compiler<'m> {
 
     /// Appends `dest <- op(operands)` with the small-path flag
     /// precomputed.
-    fn push(
-        &self,
-        out: &mut Vec<Instr>,
-        op: Op,
-        dest: u32,
-        operands: &[u32],
-        imm: u32,
-    ) {
+    fn push(&self, out: &mut Vec<Instr>, op: Op, dest: u32, operands: &[u32], imm: u32) {
         let small = std::iter::once(dest)
             .chain(operands.iter().copied())
             .all(|s| self.slots[s as usize].limbs == 1);
@@ -190,11 +181,7 @@ impl<'m> Compiler<'m> {
 
     fn run(mut self) -> SimTape {
         // 1. One slot per signal, in signal order.
-        let signal_widths: Vec<u32> = self
-            .module
-            .signals()
-            .map(|(_, s)| s.width)
-            .collect();
+        let signal_widths: Vec<u32> = self.module.signals().map(|(_, s)| s.width).collect();
         for width in signal_widths {
             let slot = self.alloc_slot(width);
             self.signal_slot.push(slot);
@@ -215,17 +202,11 @@ impl<'m> Compiler<'m> {
 
         // 3. Clock section: next-state cones, staging, commits.
         let regs = self.module.state_signals();
-        let reg_slots: HashSet<u32> = regs
-            .iter()
-            .map(|r| self.signal_slot[r.index()])
-            .collect();
+        let reg_slots: HashSet<u32> = regs.iter().map(|r| self.signal_slot[r.index()]).collect();
         let mut clock = Vec::new();
         let mut srcs = Vec::with_capacity(regs.len());
         for &reg in &regs {
-            let drv = self
-                .module
-                .driver(reg)
-                .expect("registers are driven");
+            let drv = self.module.driver(reg).expect("registers are driven");
             srcs.push(self.emit(drv, &mut clock));
         }
         // A source that *is* a register slot (next-state is directly
@@ -248,20 +229,15 @@ impl<'m> Compiler<'m> {
         let mut init = vec![0u64; self.arena_len as usize];
         for (slot, v) in &self.consts {
             let s = self.slots[*slot as usize];
-            v.write_limbs(
-                &mut init[s.offset as usize..][..s.limbs as usize],
-            );
+            v.write_limbs(&mut init[s.offset as usize..][..s.limbs as usize]);
         }
         for (id, signal) in self.module.signals() {
             if signal.kind != SignalKind::Register {
                 continue;
             }
             if let Some(iv) = &signal.init {
-                let s = self.slots
-                    [self.signal_slot[id.index()] as usize];
-                iv.write_limbs(
-                    &mut init[s.offset as usize..][..s.limbs as usize],
-                );
+                let s = self.slots[self.signal_slot[id.index()] as usize];
+                iv.write_limbs(&mut init[s.offset as usize..][..s.limbs as usize]);
             }
         }
 
@@ -307,8 +283,7 @@ mod tests {
         assert!(tape.is_small_only());
         assert!(tape.instruction_count() > 0);
         // Register init value must be in the reset image.
-        let r_slot =
-            tape.slots[tape.signal_slot[r.index()] as usize];
+        let r_slot = tape.slots[tape.signal_slot[r.index()] as usize];
         assert_eq!(tape.init[r_slot.offset as usize], 7);
     }
 

@@ -63,11 +63,7 @@ impl IftSimulation {
     ///
     /// Inputs are driven each cycle; all `DataIn` inputs carry HIGH labels,
     /// everything else LOW.
-    pub fn run(
-        &self,
-        module: &Module,
-        testbench: &mut dyn Testbench,
-    ) -> IftReport {
+    pub fn run(&self, module: &Module, testbench: &mut dyn Testbench) -> IftReport {
         let sim = TaintSimulator::new(module, self.policy);
         self.run_inner(module, testbench, sim, None)
     }
@@ -95,11 +91,7 @@ impl IftSimulation {
         tape: &Arc<SimTape>,
         testbench: &mut dyn Testbench,
     ) -> IftReport {
-        let sim = CompiledTaintSim::with_tape(
-            module,
-            Arc::clone(tape),
-            self.policy,
-        );
+        let sim = CompiledTaintSim::with_tape(module, Arc::clone(tape), self.policy);
         self.run_inner(module, testbench, sim, None)
     }
 
@@ -127,8 +119,7 @@ impl IftSimulation {
         mut sim: E,
         mut recorder: Option<&mut crate::VcdRecorder>,
     ) -> IftReport {
-        let data_inputs: HashSet<SignalId> =
-            module.data_inputs().into_iter().collect();
+        let data_inputs: HashSet<SignalId> = module.data_inputs().into_iter().collect();
         let control_outputs = module.control_outputs();
 
         for &d in &self.declassify {
@@ -136,8 +127,7 @@ impl IftSimulation {
         }
 
         let mut violations = Vec::new();
-        let mut first_taint_cycle: Vec<Option<u64>> =
-            vec![None; module.signal_count()];
+        let mut first_taint_cycle: Vec<Option<u64>> = vec![None; module.signal_count()];
 
         'cycles: for cycle in 0..self.cycles {
             for (input, value) in testbench.drive(cycle) {
@@ -151,15 +141,13 @@ impl IftSimulation {
             // Record first-taint cycles for combinational signals and check
             // the property on the settled outputs.
             for (id, _) in module.signals() {
-                if sim.is_tainted(id) && first_taint_cycle[id.index()].is_none()
-                {
+                if sim.is_tainted(id) && first_taint_cycle[id.index()].is_none() {
                     first_taint_cycle[id.index()] = Some(cycle);
                 }
             }
             for &yc in &control_outputs {
                 if sim.is_tainted(yc) {
-                    let already_reported =
-                        violations.iter().any(|v: &IftViolation| v.output == yc);
+                    let already_reported = violations.iter().any(|v: &IftViolation| v.output == yc);
                     if !already_reported {
                         violations.push(IftViolation { output: yc, cycle });
                         if self.stop_at_first_violation {
@@ -172,9 +160,7 @@ impl IftSimulation {
             // Registers latch at the edge; record their first-taint cycle
             // against the cycle whose inputs caused it.
             for reg in module.state_signals() {
-                if sim.is_tainted(reg)
-                    && first_taint_cycle[reg.index()].is_none()
-                {
+                if sim.is_tainted(reg) && first_taint_cycle[reg.index()].is_none() {
                     first_taint_cycle[reg.index()] = Some(cycle);
                 }
             }
@@ -381,8 +367,7 @@ mod tests {
         let m = oblivious_module();
         let mut tb = RandomTestbench::new(&m, 5);
         let report = IftSimulation::new(50).run(&m, &mut tb);
-        let total =
-            report.tainted_state.len() + report.untainted_state.len();
+        let total = report.tainted_state.len() + report.untainted_state.len();
         assert_eq!(total, m.state_signals().len());
     }
 
@@ -403,26 +388,10 @@ mod tests {
         let busy = m.signal_by_name("busy").expect("busy");
         let result = m.signal_by_name("result").expect("result");
         let mut tb = RandomTestbench::new(&m, 3);
-        assert!(check_no_flow(
-            &m,
-            &mut tb,
-            &[data],
-            &[busy],
-            100,
-            FlowPolicy::Precise
-        )
-        .is_ok());
+        assert!(check_no_flow(&m, &mut tb, &[data], &[busy], 100, FlowPolicy::Precise).is_ok());
         let mut tb = RandomTestbench::new(&m, 3);
         // Data is *supposed* to flow into the result.
-        assert!(check_no_flow(
-            &m,
-            &mut tb,
-            &[data],
-            &[result],
-            100,
-            FlowPolicy::Precise
-        )
-        .is_err());
+        assert!(check_no_flow(&m, &mut tb, &[data], &[result], 100, FlowPolicy::Precise).is_err());
     }
 
     use fastpath_rtl::Module;
@@ -449,8 +418,7 @@ mod vcd_tests {
         let m = b.build().expect("valid");
         let mut tb = RandomTestbench::new(&m, 1);
         let mut rec = VcdRecorder::all_signals(&m);
-        let report =
-            IftSimulation::new(20).run_with_vcd(&m, &mut tb, &mut rec);
+        let report = IftSimulation::new(20).run_with_vcd(&m, &mut tb, &mut rec);
         assert!(!report.property_holds());
         assert_eq!(rec.len(), 20);
         let text = rec.render();

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod compile;
+pub mod diff;
 mod ift;
 mod simulator;
 mod taint;
@@ -61,10 +62,7 @@ mod tape;
 mod testbench;
 mod vcd;
 
-pub use ift::{
-    check_no_flow, observation_targets, IftReport, IftSimulation,
-    IftViolation,
-};
+pub use ift::{check_no_flow, observation_targets, IftReport, IftSimulation, IftViolation};
 pub use simulator::Simulator;
 pub use taint::{FlowPolicy, Labeled, TaintEngine, TaintSimulator};
 pub use tape::{CompiledSim, CompiledTaintSim, SimEngine, SimTape};

@@ -151,9 +151,7 @@ impl<'m> Simulator<'m> {
         for i in 0..self.module.comb_order().len() {
             let sig = self.module.comb_order()[i];
             let driver = self.module.driver(sig).expect("comb signal driven");
-            let value =
-                self.module
-                    .eval_memo(driver, &self.values, &mut self.memo);
+            let value = self.module.eval_memo(driver, &self.values, &mut self.memo);
             self.values[sig.index()] = value;
         }
     }
@@ -168,11 +166,7 @@ impl<'m> Simulator<'m> {
             .into_iter()
             .map(|reg| {
                 let driver = self.module.driver(reg).expect("reg driven");
-                let v = self.module.eval_memo(
-                    driver,
-                    &self.values,
-                    &mut self.memo,
-                );
+                let v = self.module.eval_memo(driver, &self.values, &mut self.memo);
                 (reg, v)
             })
             .collect();

@@ -17,9 +17,7 @@
 //! untainted signal at the end of simulation genuinely received no
 //! influence from the sources *for the stimuli exercised*.
 
-use fastpath_rtl::{
-    BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp,
-};
+use fastpath_rtl::{BinaryOp, BitVec, Expr, ExprId, Module, SignalId, SignalKind, UnaryOp};
 use std::collections::HashSet;
 
 /// The common interface of the interpretive [`TaintSimulator`] and the
@@ -329,7 +327,6 @@ impl<'m> TaintSimulator<'m> {
             }
         }
     }
-
 }
 
 impl TaintEngine for TaintSimulator<'_> {
@@ -374,11 +371,7 @@ fn conservative(value: BitVec, inputs: &[&Labeled]) -> Labeled {
 
 /// Per-op taint kernel for unary operators, shared between the
 /// interpretive [`TaintSimulator`] and the compiled tape's wide fallback.
-pub(crate) fn label_unary(
-    policy: FlowPolicy,
-    op: UnaryOp,
-    a: &Labeled,
-) -> Labeled {
+pub(crate) fn label_unary(policy: FlowPolicy, op: UnaryOp, a: &Labeled) -> Labeled {
     use fastpath_rtl::UnaryOp::*;
     let value = match op {
         Not => !&a.value,
@@ -395,14 +388,12 @@ pub(crate) fn label_unary(
         Neg => carry_taint(&a.taint),
         RedAnd => {
             // A definite (untainted) 0 bit forces the result to 0.
-            let forced_zero = (0..a.value.width())
-                .any(|i| !a.taint.bit(i) && !a.value.bit(i));
+            let forced_zero = (0..a.value.width()).any(|i| !a.taint.bit(i) && !a.value.bit(i));
             BitVec::from_bool(!forced_zero && !a.taint.is_zero())
         }
         RedOr => {
             // A definite 1 bit forces the result to 1.
-            let forced_one = (0..a.value.width())
-                .any(|i| !a.taint.bit(i) && a.value.bit(i));
+            let forced_one = (0..a.value.width()).any(|i| !a.taint.bit(i) && a.value.bit(i));
             BitVec::from_bool(!forced_one && !a.taint.is_zero())
         }
         RedXor => BitVec::from_bool(!a.taint.is_zero()),
@@ -411,12 +402,7 @@ pub(crate) fn label_unary(
 }
 
 /// Per-op taint kernel for binary operators (see [`label_unary`]).
-pub(crate) fn label_binary(
-    policy: FlowPolicy,
-    op: BinaryOp,
-    a: &Labeled,
-    b: &Labeled,
-) -> Labeled {
+pub(crate) fn label_binary(policy: FlowPolicy, op: BinaryOp, a: &Labeled, b: &Labeled) -> Labeled {
     use fastpath_rtl::BinaryOp::*;
     let value = fastpath_rtl::eval_binary(op, &a.value, &b.value);
     if policy == FlowPolicy::Conservative {
@@ -461,8 +447,7 @@ pub(crate) fn label_binary(
                     BitVec::ones(value.width())
                 }
             } else {
-                let amount =
-                    b.value.try_to_u64().unwrap_or(u64::MAX);
+                let amount = b.value.try_to_u64().unwrap_or(u64::MAX);
                 match op {
                     Shl => a.taint.shl(amount),
                     Lshr => a.taint.lshr(amount),
@@ -477,24 +462,16 @@ pub(crate) fn label_binary(
             let both_clean = &!&a.taint & &!&b.taint;
             let diff = &a.value ^ &b.value;
             let determined = !(&both_clean & &diff).is_zero();
-            let any_taint =
-                !a.taint.is_zero() || !b.taint.is_zero();
+            let any_taint = !a.taint.is_zero() || !b.taint.is_zero();
             BitVec::from_bool(!determined && any_taint)
         }
-        Ult | Ule | Slt | Sle => BitVec::from_bool(
-            !a.taint.is_zero() || !b.taint.is_zero(),
-        ),
+        Ult | Ule | Slt | Sle => BitVec::from_bool(!a.taint.is_zero() || !b.taint.is_zero()),
     };
     Labeled { value, taint }
 }
 
 /// Per-op taint kernel for the 2:1 mux (see [`label_unary`]).
-pub(crate) fn label_mux(
-    policy: FlowPolicy,
-    c: &Labeled,
-    t: &Labeled,
-    e: &Labeled,
-) -> Labeled {
+pub(crate) fn label_mux(policy: FlowPolicy, c: &Labeled, t: &Labeled, e: &Labeled) -> Labeled {
     let take_then = c.value.is_true();
     let value = if take_then {
         t.value.clone()

@@ -31,12 +31,8 @@
 //! `sim_engine_equivalence` suite asserts bit-for-bit agreement on values
 //! and taint masks under both policies.
 
-use crate::taint::{
-    label_binary, label_mux, label_unary, FlowPolicy, Labeled, TaintEngine,
-};
-use fastpath_rtl::{
-    BinaryOp, BitVec, Module, SignalId, SignalKind, UnaryOp,
-};
+use crate::taint::{label_binary, label_mux, label_unary, FlowPolicy, Labeled, TaintEngine};
+use fastpath_rtl::{BinaryOp, BitVec, Module, SignalId, SignalKind, UnaryOp};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -211,15 +207,11 @@ fn load_bits(values: &[u64], slot: Slot) -> BitVec {
 
 fn store_bits(values: &mut [u64], slot: Slot, v: &BitVec) {
     debug_assert_eq!(slot.width, v.width(), "slot/value width mismatch");
-    v.write_limbs(
-        &mut values[slot.offset as usize..][..slot.limbs as usize],
-    );
+    v.write_limbs(&mut values[slot.offset as usize..][..slot.limbs as usize]);
 }
 
 fn zero_slot(values: &mut [u64], slot: Slot) {
-    for l in
-        &mut values[slot.offset as usize..][..slot.limbs as usize]
-    {
+    for l in &mut values[slot.offset as usize..][..slot.limbs as usize] {
         *l = 0;
     }
 }
@@ -324,12 +316,7 @@ fn small_value(slots: &[Slot], i: &Instr, v: &[u64]) -> u64 {
 /// *pre-instruction* operand values (SSA slots never alias), so it may run
 /// before or after the value write.
 #[inline(always)]
-fn small_taint_precise(
-    slots: &[Slot],
-    i: &Instr,
-    v: &[u64],
-    t: &[u64],
-) -> u64 {
+fn small_taint_precise(slots: &[Slot], i: &Instr, v: &[u64], t: &[u64]) -> u64 {
     let s = |x: u32| slots[x as usize];
     let val = |x: u32| v[slots[x as usize].offset as usize];
     let tnt = |x: u32| t[slots[x as usize].offset as usize];
@@ -372,8 +359,7 @@ fn small_taint_precise(
             let (ta, tb) = (tnt(i.a), tnt(i.b));
             let untainted = ta == 0 && tb == 0;
             // Multiplication by a definite zero yields a definite zero.
-            let definite_zero = (ta == 0 && val(i.a) == 0)
-                || (tb == 0 && val(i.b) == 0);
+            let definite_zero = (ta == 0 && val(i.a) == 0) || (tb == 0 && val(i.b) == 0);
             if untainted || definite_zero {
                 0
             } else {
@@ -434,9 +420,7 @@ fn small_taint_precise(
             let determined = (!ta & !tb & (val(i.a) ^ val(i.b))) != 0;
             (!determined && (ta != 0 || tb != 0)) as u64
         }
-        Op::Ult | Op::Ule | Op::Slt | Op::Sle => {
-            (tnt(i.a) != 0 || tnt(i.b) != 0) as u64
-        }
+        Op::Ult | Op::Ule | Op::Slt | Op::Sle => (tnt(i.a) != 0 || tnt(i.b) != 0) as u64,
         Op::Mux => {
             if tnt(i.a) == 0 {
                 if val(i.a) != 0 {
@@ -475,11 +459,7 @@ fn small_taint_precise(
 /// structural ops (copy, slice, concat, extensions) map taint
 /// structurally, exactly like the interpreter.
 #[inline(always)]
-fn small_taint_conservative(
-    slots: &[Slot],
-    i: &Instr,
-    t: &[u64],
-) -> u64 {
+fn small_taint_conservative(slots: &[Slot], i: &Instr, t: &[u64]) -> u64 {
     let s = |x: u32| slots[x as usize];
     let tnt = |x: u32| t[slots[x as usize].offset as usize];
     let d = s(i.dest);
@@ -587,9 +567,7 @@ fn wide_value(slots: &[Slot], i: &Instr, values: &mut [u64]) {
                         load(i.c)
                     }
                 }
-                Op::Slice => {
-                    load(i.a).slice(i.imm + d.width - 1, i.imm)
-                }
+                Op::Slice => load(i.a).slice(i.imm + d.width - 1, i.imm),
                 Op::Concat => load(i.a).concat(&load(i.b)),
                 Op::Zext => load(i.a).zext(d.width),
                 Op::Sext => load(i.a).sext(d.width),
@@ -623,9 +601,7 @@ fn wide_labeled(
         } else {
             match i.op {
                 Op::Copy => lab(i.a),
-                Op::Mux => {
-                    label_mux(policy, &lab(i.a), &lab(i.b), &lab(i.c))
-                }
+                Op::Mux => label_mux(policy, &lab(i.a), &lab(i.b), &lab(i.c)),
                 Op::Slice => {
                     let a = lab(i.a);
                     let hi = i.imm + d.width - 1;
@@ -686,12 +662,8 @@ fn run_labeled(
         if i.small {
             let val = small_value(&tape.slots, i, values);
             let tnt = match policy {
-                FlowPolicy::Precise => {
-                    small_taint_precise(&tape.slots, i, values, taints)
-                }
-                FlowPolicy::Conservative => {
-                    small_taint_conservative(&tape.slots, i, taints)
-                }
+                FlowPolicy::Precise => small_taint_precise(&tape.slots, i, values, taints),
+                FlowPolicy::Conservative => small_taint_conservative(&tape.slots, i, taints),
             };
             let off = tape.slots[i.dest as usize].offset as usize;
             values[off] = val;
@@ -902,11 +874,7 @@ pub struct CompiledTaintSim<'m> {
 impl<'m> CompiledTaintSim<'m> {
     /// Compiles `module` and creates an executor with no taint anywhere.
     pub fn new(module: &'m Module, policy: FlowPolicy) -> Self {
-        Self::with_tape(
-            module,
-            Arc::new(SimTape::compile(module)),
-            policy,
-        )
+        Self::with_tape(module, Arc::new(SimTape::compile(module)), policy)
     }
 
     /// Creates an executor over a precompiled tape (must have been
@@ -915,11 +883,7 @@ impl<'m> CompiledTaintSim<'m> {
     /// # Panics
     ///
     /// Panics if the tape's signal count disagrees with the module's.
-    pub fn with_tape(
-        module: &'m Module,
-        tape: Arc<SimTape>,
-        policy: FlowPolicy,
-    ) -> Self {
+    pub fn with_tape(module: &'m Module, tape: Arc<SimTape>, policy: FlowPolicy) -> Self {
         assert_eq!(
             tape.signal_count,
             module.signal_count(),
@@ -966,8 +930,7 @@ impl<'m> CompiledTaintSim<'m> {
     /// Marks a signal as declassified: its taint is cleared after every
     /// settle and clock.
     pub fn declassify(&mut self, id: SignalId) {
-        self.declassified[self.tape.signal_slot[id.index()] as usize] =
-            true;
+        self.declassified[self.tape.signal_slot[id.index()] as usize] = true;
         if !self.declassified_ids.contains(&id) {
             self.declassified_ids.push(id);
         }
@@ -994,12 +957,7 @@ impl<'m> CompiledTaintSim<'m> {
     }
 
     /// Drives an input; `tainted` taints all bits (HIGH) or none (LOW).
-    pub fn set_input(
-        &mut self,
-        id: SignalId,
-        value: BitVec,
-        tainted: bool,
-    ) {
+    pub fn set_input(&mut self, id: SignalId, value: BitVec, tainted: bool) {
         let signal = self.module.signal(id);
         assert_eq!(
             signal.kind,
@@ -1010,11 +968,9 @@ impl<'m> CompiledTaintSim<'m> {
         assert_eq!(signal.width, value.width(), "value width");
         let slot = self.tape.slot_of(id);
         store_bits(&mut self.values, slot, &value);
-        let region = &mut self.taints[slot.offset as usize..]
-            [..slot.limbs as usize];
+        let region = &mut self.taints[slot.offset as usize..][..slot.limbs as usize];
         if tainted {
-            let (last, rest) =
-                region.split_last_mut().expect("width > 0");
+            let (last, rest) = region.split_last_mut().expect("width > 0");
             for l in rest {
                 *l = u64::MAX;
             }
@@ -1033,12 +989,7 @@ impl<'m> CompiledTaintSim<'m> {
 
     /// Drives an input from a `u64` (truncated to width) without any
     /// allocation.
-    pub fn set_input_u64(
-        &mut self,
-        id: SignalId,
-        value: u64,
-        tainted: bool,
-    ) {
+    pub fn set_input_u64(&mut self, id: SignalId, value: u64, tainted: bool) {
         let signal = self.module.signal(id);
         assert_eq!(
             signal.kind,
@@ -1051,10 +1002,8 @@ impl<'m> CompiledTaintSim<'m> {
         self.values[slot.offset as usize] = value & mask_of(slot.width);
         zero_slot(&mut self.taints, slot);
         if tainted {
-            let region = &mut self.taints[slot.offset as usize..]
-                [..slot.limbs as usize];
-            let (last, rest) =
-                region.split_last_mut().expect("width > 0");
+            let region = &mut self.taints[slot.offset as usize..][..slot.limbs as usize];
+            let (last, rest) = region.split_last_mut().expect("width > 0");
             for l in rest {
                 *l = u64::MAX;
             }
@@ -1102,9 +1051,7 @@ impl<'m> CompiledTaintSim<'m> {
         for &id in &self.declassified_ids {
             if self.module.signal(id).kind == SignalKind::Input {
                 let slot = tape.slot_of(id);
-                for l in &mut self.taints[slot.offset as usize..]
-                    [..slot.limbs as usize]
-                {
+                for l in &mut self.taints[slot.offset as usize..][..slot.limbs as usize] {
                     *l = 0;
                 }
             }
@@ -1297,10 +1244,7 @@ mod tests {
     #[test]
     fn sim_engine_parses_and_displays() {
         assert_eq!("interp".parse::<SimEngine>(), Ok(SimEngine::Interp));
-        assert_eq!(
-            "compiled".parse::<SimEngine>(),
-            Ok(SimEngine::Compiled)
-        );
+        assert_eq!("compiled".parse::<SimEngine>(), Ok(SimEngine::Compiled));
         assert!("jit".parse::<SimEngine>().is_err());
         assert_eq!(SimEngine::Interp.to_string(), "interp");
         assert_eq!(SimEngine::default(), SimEngine::Compiled);

@@ -105,8 +105,9 @@ impl RandomTestbench {
     }
 
     fn random_value(rng: &mut StdRng, width: u32) -> BitVec {
-        let limbs: Vec<u64> =
-            (0..(width as usize).div_ceil(64)).map(|_| rng.gen()).collect();
+        let limbs: Vec<u64> = (0..(width as usize).div_ceil(64))
+            .map(|_| rng.gen())
+            .collect();
         BitVec::from_limbs(width, &limbs)
     }
 }

@@ -69,8 +69,7 @@ impl VcdRecorder {
 
     /// Records every signal of the module.
     pub fn all_signals(module: &Module) -> Self {
-        let ids: Vec<SignalId> =
-            module.signals().map(|(id, _)| id).collect();
+        let ids: Vec<SignalId> = module.signals().map(|(id, _)| id).collect();
         Self::new(module, &ids)
     }
 
@@ -122,11 +121,7 @@ impl VcdRecorder {
         let _ = writeln!(out, "$scope module {} $end", self.module_name);
         let with_taint = !self.taint_samples.is_empty();
         for (i, (_, name, width)) in self.signals.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "$var wire {width} {} {name} $end",
-                ident(i)
-            );
+            let _ = writeln!(out, "$var wire {width} {} {name} $end", ident(i));
             if with_taint {
                 let _ = writeln!(
                     out,
@@ -138,8 +133,7 @@ impl VcdRecorder {
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
 
-        let mut previous: Vec<Option<BitVec>> =
-            vec![None; self.signals.len() * 2];
+        let mut previous: Vec<Option<BitVec>> = vec![None; self.signals.len() * 2];
         for (t, frame) in self.samples.iter().enumerate() {
             let _ = writeln!(out, "#{t}");
             for (i, value) in frame.iter().enumerate() {
@@ -269,8 +263,7 @@ mod tests {
         let r = b.reg("r", 4, 0);
         b.set_next(r, ds).expect("drive");
         let m = b.build().expect("valid");
-        let mut sim =
-            crate::TaintSimulator::new(&m, crate::FlowPolicy::Precise);
+        let mut sim = crate::TaintSimulator::new(&m, crate::FlowPolicy::Precise);
         let mut vcd = VcdRecorder::all_signals(&m);
         sim.set_input_u64(d, 7, true);
         sim.settle();
@@ -290,9 +283,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..500 {
             let code = ident(i);
-            assert!(code
-                .chars()
-                .all(|c| (33..=126).contains(&(c as u32))));
+            assert!(code.chars().all(|c| (33..=126).contains(&(c as u32))));
             assert!(seen.insert(code), "codes must be unique");
         }
     }

@@ -46,8 +46,6 @@ fn main() {
              property checks",
             base.manual_inspections, base.timings.check_count
         );
-        println!(
-            "  => structural analysis removed 100% of the manual effort\n"
-        );
+        println!("  => structural analysis removed 100% of the manual effort\n");
     }
 }

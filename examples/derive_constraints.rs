@@ -60,9 +60,9 @@ fn main() {
             FlowEvent::ConstraintDerived { name, .. } => {
                 println!("  derived software constraint: `{name}`");
             }
-            FlowEvent::PropagationsRemoved { count } => println!(
-                "  UPEC found {count} propagation(s) the testbench missed"
-            ),
+            FlowEvent::PropagationsRemoved { count } => {
+                println!("  UPEC found {count} propagation(s) the testbench missed")
+            }
             FlowEvent::FixedPoint => println!("  fixed point reached"),
             _ => {}
         }

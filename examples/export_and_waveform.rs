@@ -44,8 +44,7 @@ fn main() -> std::io::Result<()> {
         fastpath_rtl::BitVec::from_bool(cycle % 20 == 0)
     });
     let mut recorder = VcdRecorder::all_signals(&module);
-    let report =
-        IftSimulation::new(120).run_with_vcd(&module, &mut tb, &mut recorder);
+    let report = IftSimulation::new(120).run_with_vcd(&module, &mut tb, &mut recorder);
     fs::write(dir.join("violation.vcd"), recorder.render())?;
     println!(
         "violation.vcd:  {} cycles recorded, {} violation(s) — open the \

@@ -11,9 +11,7 @@
 //! checker is torn down and re-fed every check).
 
 use fastpath::confirm_counterexample;
-use fastpath_formal::{
-    CheckCertificate, ElaborationMode, Upec2Safety, UpecOutcome, UpecSpec,
-};
+use fastpath_formal::{CheckCertificate, ElaborationMode, Upec2Safety, UpecOutcome, UpecSpec};
 use fastpath_rtl::random::{random_module, RandomModuleConfig};
 use fastpath_rtl::SignalId;
 use proptest::prelude::*;
@@ -23,23 +21,16 @@ use std::collections::BTreeSet;
 /// engines in lockstep — one certified, one not — and validates every
 /// certificate. Returns an error on the first disagreement or rejected
 /// certificate.
-fn cross_check(
-    seed: u64,
-    mode: ElaborationMode,
-) -> Result<(), TestCaseError> {
+fn cross_check(seed: u64, mode: ElaborationMode) -> Result<(), TestCaseError> {
     let module = random_module(seed, RandomModuleConfig::default());
     let spec = UpecSpec::default();
     let mut plain = Upec2Safety::with_mode(&module, &spec, mode);
     let mut certified = Upec2Safety::with_mode(&module, &spec, mode);
     certified.enable_certification();
 
-    let mut z: BTreeSet<SignalId> =
-        module.state_signals().into_iter().collect();
+    let mut z: BTreeSet<SignalId> = module.state_signals().into_iter().collect();
     for iteration in 0.. {
-        prop_assert!(
-            iteration < 1000,
-            "seed {seed}: refinement diverged"
-        );
+        prop_assert!(iteration < 1000, "seed {seed}: refinement diverged");
         let zv: Vec<SignalId> = z.iter().copied().collect();
         let a = plain.check(&zv);
         let b = certified.check_certified(&zv);
@@ -78,8 +69,7 @@ fn cross_check(
             UpecOutcome::Holds => break,
             UpecOutcome::Counterexample(cex) => {
                 // Every SAT verdict must also reproduce concretely.
-                if let Err(e) = confirm_counterexample(&module, &[], &cex)
-                {
+                if let Err(e) = confirm_counterexample(&module, &[], &cex) {
                     return Err(TestCaseError::fail(format!(
                         "seed {seed}: replay mismatch: {e}"
                     )));
@@ -96,9 +86,7 @@ fn cross_check(
         }
     }
 
-    let stats = certified
-        .cert_stats()
-        .expect("certification was enabled");
+    let stats = certified.cert_stats().expect("certification was enabled");
     prop_assert_eq!(stats.cert_failures, 0);
     prop_assert!(stats.certified_checks >= 1);
     prop_assert_eq!(stats.certified_checks, certified.checks());

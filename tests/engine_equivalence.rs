@@ -27,8 +27,7 @@ fn build(module: &Module) -> SymbolicModel {
     let mut leaves: Vec<Vec<AigLit>> = vec![Vec::new(); n];
     for (id, s) in module.signals() {
         if matches!(s.kind, SignalKind::Input | SignalKind::Register) {
-            leaves[id.index()] =
-                (0..s.width).map(|_| aig.input()).collect();
+            leaves[id.index()] = (0..s.width).map(|_| aig.input()).collect();
         }
     }
     let leaf_bits = leaves.clone();
@@ -48,9 +47,7 @@ impl SymbolicModel {
         for (id, s) in module.signals() {
             if matches!(s.kind, SignalKind::Input | SignalKind::Register) {
                 let v = sim.value(id);
-                for (i, &lit) in
-                    self.leaf_bits[id.index()].iter().enumerate()
-                {
+                for (i, &lit) in self.leaf_bits[id.index()].iter().enumerate() {
                     inputs[lit.node()] = v.bit(i as u32);
                 }
             }
@@ -72,8 +69,7 @@ impl SymbolicModel {
 #[test]
 fn bitblast_and_interpreter_agree_on_random_circuits() {
     for trial in 0..60u64 {
-        let module =
-            random_module(0xE0_0000 + trial, RandomModuleConfig::default());
+        let module = random_module(0xE0_0000 + trial, RandomModuleConfig::default());
         let model = build(&module);
         let mut sim = Simulator::new(&module);
         let mut rng = StdRng::seed_from_u64(trial);
@@ -91,10 +87,7 @@ fn bitblast_and_interpreter_agree_on_random_circuits() {
             // 1. Combinational signals agree.
             for (id, s) in module.signals() {
                 if matches!(s.kind, SignalKind::Wire | SignalKind::Output) {
-                    let symbolic = model.eval_word(
-                        model.frame.signal(id),
-                        &assignment,
-                    );
+                    let symbolic = model.eval_word(model.frame.signal(id), &assignment);
                     assert_eq!(
                         &symbolic,
                         sim.value(id),
@@ -112,8 +105,7 @@ fn bitblast_and_interpreter_agree_on_random_circuits() {
                 .map(|(_, bits)| model.eval_word(bits, &assignment))
                 .collect();
             sim.clock();
-            for (k, reg) in module.state_signals().into_iter().enumerate()
-            {
+            for (k, reg) in module.state_signals().into_iter().enumerate() {
                 assert_eq!(
                     &expected_next[k],
                     sim.value(reg),
@@ -131,11 +123,9 @@ fn taint_simulator_and_plain_simulator_agree_on_values() {
     // The taint engine must not perturb functional values.
     use fastpath_sim::{FlowPolicy, TaintSimulator};
     for trial in 0..40u64 {
-        let module =
-            random_module(0xF0_0000 + trial, RandomModuleConfig::default());
+        let module = random_module(0xF0_0000 + trial, RandomModuleConfig::default());
         let mut plain = Simulator::new(&module);
-        let mut tainted =
-            TaintSimulator::new(&module, FlowPolicy::Precise);
+        let mut tainted = TaintSimulator::new(&module, FlowPolicy::Precise);
         let mut rng = StdRng::seed_from_u64(trial ^ 0xABCD);
         let inputs: Vec<_> = module
             .signals()

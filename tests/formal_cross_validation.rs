@@ -60,11 +60,7 @@ fn bmc_witness_replays_in_the_simulator() {
 /// Runs two simulations of `module` with identical control inputs but
 /// independent data inputs and asserts that all control outputs match at
 /// every cycle. `configure` applies the derived software constraints.
-fn assert_two_run_equivalence(
-    study: &fastpath::CaseStudy,
-    cycles: u64,
-    seed: u64,
-) {
+fn assert_two_run_equivalence(study: &fastpath::CaseStudy, cycles: u64, seed: u64) {
     let instance = &study.instance;
     let module = &instance.module;
     // Constrained stimulus: reuse the study's testbench restrictions by

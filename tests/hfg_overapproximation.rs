@@ -53,10 +53,7 @@ fn early_exit_condition_equals_pairwise_emptiness() {
         let module = &study.instance.module;
         let hfg = extract_hfg(module);
         let query = PathQuery::new(&hfg);
-        let bulk = query.no_flow_possible(
-            &module.data_inputs(),
-            &module.control_outputs(),
-        );
+        let bulk = query.no_flow_possible(&module.data_inputs(), &module.control_outputs());
         let pairwise = module.data_inputs().iter().all(|&x| {
             module
                 .control_outputs()
@@ -73,16 +70,17 @@ fn guard_depth_cap_never_changes_reachability() {
     for study in fastpath_designs::all_case_studies() {
         let module = &study.instance.module;
         let full = extract_hfg(module);
-        let capped = extract_hfg_with(
-            module,
-            ExtractOptions { max_guard_depth: 0 },
-        );
+        let capped = extract_hfg_with(module, ExtractOptions { max_guard_depth: 0 });
         let qf = PathQuery::new(&full);
         let qc = PathQuery::new(&capped);
         for x in module.data_inputs() {
             let rf: BTreeSet<_> = qf.reachable_set(x).into_iter().collect();
             let rc: BTreeSet<_> = qc.reachable_set(x).into_iter().collect();
-            assert_eq!(rf, rc, "{}: guard depth must not affect reachability", study.name);
+            assert_eq!(
+                rf, rc,
+                "{}: guard depth must not affect reachability",
+                study.name
+            );
         }
     }
 }

@@ -20,8 +20,7 @@ use rand::{Rng, SeedableRng};
 fn untainted_bits_are_independent_of_data_inputs() {
     let mut rng = StdRng::seed_from_u64(0x50DE);
     for trial in 0..80u64 {
-        let module =
-            random_module(0xBEEF_0000 + trial, RandomModuleConfig::default());
+        let module = random_module(0xBEEF_0000 + trial, RandomModuleConfig::default());
         for &policy in &[FlowPolicy::Precise, FlowPolicy::Conservative] {
             check_module(&module, &mut rng, policy);
         }
@@ -105,18 +104,15 @@ fn check_module(module: &Module, rng: &mut StdRng, policy: FlowPolicy) {
 fn conservative_policy_taints_at_least_as_much_as_precise() {
     // The conservative policy is an over-approximation of the precise one.
     for trial in 0..60u64 {
-        let module =
-            random_module(0xCAFE_0000 + trial, RandomModuleConfig::default());
+        let module = random_module(0xCAFE_0000 + trial, RandomModuleConfig::default());
         let mut rng = StdRng::seed_from_u64(trial);
         let inputs: Vec<_> = module
             .signals()
             .filter(|(_, s)| s.kind == fastpath_rtl::SignalKind::Input)
             .map(|(id, s)| (id, s.width, s.role))
             .collect();
-        let mut precise =
-            TaintSimulator::new(&module, FlowPolicy::Precise);
-        let mut conservative =
-            TaintSimulator::new(&module, FlowPolicy::Conservative);
+        let mut precise = TaintSimulator::new(&module, FlowPolicy::Precise);
+        let mut conservative = TaintSimulator::new(&module, FlowPolicy::Conservative);
         for _ in 0..10 {
             for &(id, w, role) in &inputs {
                 let v = BitVec::from_u64(w, rng.gen());

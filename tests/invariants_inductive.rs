@@ -10,16 +10,10 @@ use fastpath::DesignInstance;
 use fastpath_formal::invariants_are_jointly_inductive;
 
 fn check_instance(name: &str, instance: &DesignInstance) {
-    let constraints: Vec<_> =
-        instance.constraints.iter().map(|c| c.expr).collect();
-    let invariants: Vec<_> =
-        instance.invariants.iter().map(|p| p.expr).collect();
+    let constraints: Vec<_> = instance.constraints.iter().map(|c| c.expr).collect();
+    let invariants: Vec<_> = instance.invariants.iter().map(|p| p.expr).collect();
     assert!(
-        invariants_are_jointly_inductive(
-            &instance.module,
-            &invariants,
-            &constraints
-        ),
+        invariants_are_jointly_inductive(&instance.module, &invariants, &constraints),
         "{name}: the invariant set is not jointly inductive — assuming it \
          would be unsound"
     );

@@ -6,14 +6,15 @@
 //! For random netlists driven 200 cycles with random stimuli, every
 //! signal's value *and* taint mask must match bit for bit, under both
 //! flow policies — and the `IftSimulation` reports built on top must be
-//! identical too. Hand-built wide (>64-bit) designs cover the limb
-//! fallback the random generator's small widths never reach.
+//! identical too. The checkers themselves live in `fastpath_sim::diff`
+//! (shared with the `fastpath-fuzz` differential oracle); this suite
+//! drives them from proptest. Hand-built wide (>64-bit) designs cover
+//! the limb fallback the random generator's default widths never reach.
 
 use fastpath_rtl::random::{random_module, RandomModuleConfig};
 use fastpath_rtl::{BitVec, Module, ModuleBuilder, SignalId, SignalKind};
 use fastpath_sim::{
-    CompiledSim, CompiledTaintSim, FlowPolicy, IftSimulation,
-    RandomTestbench, SimEngine, SimTape, Simulator, TaintSimulator,
+    diff, CompiledSim, CompiledTaintSim, FlowPolicy, SimTape, Simulator, TaintSimulator,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -30,105 +31,8 @@ fn inputs_of(module: &Module) -> Vec<(SignalId, u32)> {
         .collect()
 }
 
-/// Values must agree on every signal, every cycle.
-fn check_values(module: &Module, seed: u64) -> Result<(), TestCaseError> {
-    let mut interp = Simulator::new(module);
-    let mut comp = CompiledSim::new(module);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5117_AB1E);
-    let inputs = inputs_of(module);
-    for cycle in 0..CYCLES {
-        for &(id, w) in &inputs {
-            let v = BitVec::from_u64(w, rng.gen());
-            interp.set_input(id, v.clone());
-            comp.set_input(id, v);
-        }
-        interp.settle();
-        comp.settle();
-        for (id, s) in module.signals() {
-            prop_assert_eq!(
-                interp.value(id),
-                &comp.value(id),
-                "{}: value of `{}` differs at cycle {}",
-                module.name(),
-                &s.name,
-                cycle
-            );
-        }
-        interp.clock();
-        comp.clock();
-    }
-    Ok(())
-}
-
-/// Values and taint masks must agree under the given policy, with the
-/// taint of each input toggling randomly per cycle.
-fn check_taint(
-    module: &Module,
-    seed: u64,
-    policy: FlowPolicy,
-    declassify: &[SignalId],
-) -> Result<(), TestCaseError> {
-    let tape = Arc::new(SimTape::compile(module));
-    let mut interp = TaintSimulator::new(module, policy);
-    let mut comp =
-        CompiledTaintSim::with_tape(module, Arc::clone(&tape), policy);
-    for &d in declassify {
-        interp.declassify(d);
-        comp.declassify(d);
-    }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A17_7A17);
-    let inputs = inputs_of(module);
-    for cycle in 0..CYCLES {
-        for &(id, w) in &inputs {
-            let v = BitVec::from_u64(w, rng.gen());
-            let tainted = rng.gen_bool(0.5);
-            interp.set_input(id, v.clone(), tainted);
-            comp.set_input(id, v, tainted);
-        }
-        interp.settle();
-        comp.settle();
-        for (id, s) in module.signals() {
-            prop_assert_eq!(
-                interp.value(id),
-                &comp.value(id),
-                "{}: value of `{}` differs at cycle {} ({:?})",
-                module.name(),
-                &s.name,
-                cycle,
-                policy
-            );
-            prop_assert_eq!(
-                interp.taint(id),
-                &comp.taint(id),
-                "{}: taint of `{}` differs at cycle {} ({:?})",
-                module.name(),
-                &s.name,
-                cycle,
-                policy
-            );
-        }
-        interp.clock();
-        comp.clock();
-    }
-    Ok(())
-}
-
-/// The IFT reports produced through either engine must be identical.
-fn check_ift_report(
-    module: &Module,
-    seed: u64,
-    policy: FlowPolicy,
-) -> Result<(), TestCaseError> {
-    let sim = IftSimulation::new(CYCLES).with_policy(policy);
-    let mut tb = RandomTestbench::new(module, seed);
-    let interp = sim.run_with_engine(module, &mut tb, SimEngine::Interp);
-    let mut tb = RandomTestbench::new(module, seed);
-    let comp = sim.run_with_engine(module, &mut tb, SimEngine::Compiled);
-    prop_assert_eq!(&interp.violations, &comp.violations);
-    prop_assert_eq!(&interp.tainted_state, &comp.tainted_state);
-    prop_assert_eq!(&interp.untainted_state, &comp.untainted_state);
-    prop_assert_eq!(&interp.first_taint_cycle, &comp.first_taint_cycle);
-    Ok(())
+fn prop(result: Result<(), String>) -> Result<(), TestCaseError> {
+    result.map_err(TestCaseError::fail)
 }
 
 proptest! {
@@ -137,19 +41,23 @@ proptest! {
     #[test]
     fn values_agree_on_random_netlists(seed in 0u64..1_000_000) {
         let module = random_module(seed, RandomModuleConfig::default());
-        check_values(&module, seed)?;
+        prop(diff::check_values(&module, seed, CYCLES))?;
     }
 
     #[test]
     fn taint_agrees_under_precise_policy(seed in 0u64..1_000_000) {
         let module = random_module(seed, RandomModuleConfig::default());
-        check_taint(&module, seed, FlowPolicy::Precise, &[])?;
+        prop(diff::check_taint(
+            &module, seed, CYCLES, FlowPolicy::Precise, &[],
+        ))?;
     }
 
     #[test]
     fn taint_agrees_under_conservative_policy(seed in 0u64..1_000_000) {
         let module = random_module(seed, RandomModuleConfig::default());
-        check_taint(&module, seed, FlowPolicy::Conservative, &[])?;
+        prop(diff::check_taint(
+            &module, seed, CYCLES, FlowPolicy::Conservative, &[],
+        ))?;
     }
 
     #[test]
@@ -165,14 +73,31 @@ proptest! {
             .step_by(2)
             .take(2)
             .collect();
-        check_taint(&module, seed, FlowPolicy::Precise, &declassify)?;
+        prop(diff::check_taint(
+            &module, seed, CYCLES, FlowPolicy::Precise, &declassify,
+        ))?;
     }
 
     #[test]
     fn ift_reports_agree_across_engines(seed in 0u64..1_000_000) {
         let module = random_module(seed, RandomModuleConfig::default());
-        check_ift_report(&module, seed, FlowPolicy::Precise)?;
-        check_ift_report(&module, seed, FlowPolicy::Conservative)?;
+        for policy in [FlowPolicy::Precise, FlowPolicy::Conservative] {
+            prop(diff::check_ift_report(
+                &module, seed, CYCLES, policy, &[],
+            ))?;
+        }
+    }
+
+    #[test]
+    fn extended_netlists_pass_the_full_battery(seed in 0u64..1_000_000) {
+        // Wide signals and memories, through every checker at once.
+        let config = RandomModuleConfig {
+            wide_signals: true,
+            memories: true,
+            ..RandomModuleConfig::default()
+        };
+        let module = random_module(seed, config);
+        prop(diff::check_engine_equivalence(&module, seed, 100, &[]))?;
     }
 }
 
@@ -247,8 +172,7 @@ fn wide_module() -> Module {
 }
 
 fn drive_wide(rng: &mut StdRng, w: u32) -> BitVec {
-    let limbs: Vec<u64> =
-        (0..w.div_ceil(64)).map(|_| rng.gen()).collect();
+    let limbs: Vec<u64> = (0..w.div_ceil(64)).map(|_| rng.gen()).collect();
     BitVec::from_limbs(w, &limbs)
 }
 
@@ -259,11 +183,9 @@ fn wide_values_and_taint_agree() {
     assert!(!tape.is_small_only());
     for policy in [FlowPolicy::Precise, FlowPolicy::Conservative] {
         let mut plain_i = Simulator::new(&module);
-        let mut plain_c =
-            CompiledSim::with_tape(&module, Arc::clone(&tape));
+        let mut plain_c = CompiledSim::with_tape(&module, Arc::clone(&tape));
         let mut taint_i = TaintSimulator::new(&module, policy);
-        let mut taint_c =
-            CompiledTaintSim::with_tape(&module, Arc::clone(&tape), policy);
+        let mut taint_c = CompiledTaintSim::with_tape(&module, Arc::clone(&tape), policy);
         let mut rng = StdRng::seed_from_u64(0xD1CE_0000_0001);
         let inputs = inputs_of(&module);
         for cycle in 0..100u64 {

@@ -26,12 +26,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.dealloc(ptr, layout)
     }
 
-    unsafe fn realloc(
-        &self,
-        ptr: *mut u8,
-        layout: Layout,
-        new_size: usize,
-    ) -> *mut u8 {
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
@@ -100,11 +95,7 @@ fn steady_state_cycles_do_not_allocate() {
         sim.step();
         let before = allocations();
         for cycle in 0..1000u64 {
-            sim.set_input_u64(
-                data,
-                cycle.wrapping_mul(0x9E37_79B9),
-                cycle % 3 != 0,
-            );
+            sim.set_input_u64(data, cycle.wrapping_mul(0x9E37_79B9), cycle % 3 != 0);
             sim.set_input_u64(ctrl, cycle & 1, false);
             sim.step();
         }

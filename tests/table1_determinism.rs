@@ -53,8 +53,7 @@ fn certified_table_is_byte_identical_across_jobs() {
         "certification lines must render:\n{sequential}"
     );
     assert!(
-        !sequential.contains("NOT CERTIFIED")
-            && !sequential.contains("FAILURE"),
+        !sequential.contains("NOT CERTIFIED") && !sequential.contains("FAILURE"),
         "every verdict must certify:\n{sequential}"
     );
     let parallel = run_table1(&studies, &opts(4));

@@ -5,9 +5,7 @@
 //! manual-effort reduction. (Absolute counts differ from the paper because
 //! the substrates are reimplemented models; see EXPERIMENTS.md.)
 
-use fastpath::{
-    effort_reduction, run_baseline, run_fastpath, CompletionMethod, Verdict,
-};
+use fastpath::{effort_reduction, run_baseline, run_fastpath, CompletionMethod, Verdict};
 
 #[test]
 fn crypto_accelerators_prove_structurally_with_zero_effort() {

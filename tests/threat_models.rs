@@ -15,11 +15,7 @@ use fastpath_rtl::{Module, ModuleBuilder, SignalRole};
 /// `sabotaged` wires the untrusted port into the checksum update — the
 /// integrity violation to catch.
 fn build_peripheral(sabotaged: bool) -> Module {
-    let mut b = ModuleBuilder::new(if sabotaged {
-        "dma_sabotaged"
-    } else {
-        "dma"
-    });
+    let mut b = ModuleBuilder::new(if sabotaged { "dma_sabotaged" } else { "dma" });
     let stream_in = b.control_input("stream_in", 16);
     let debug_cfg = b.control_input("debug_cfg", 8);
     let s = b.sig(stream_in);
@@ -63,8 +59,7 @@ fn integrity_view(module: &Module) -> Module {
 #[test]
 fn integrity_holds_on_the_clean_peripheral() {
     let module = integrity_view(&build_peripheral(false));
-    let mut study =
-        CaseStudy::new("dma_integrity", DesignInstance::new(module));
+    let mut study = CaseStudy::new("dma_integrity", DesignInstance::new(module));
     study.cycles = 300;
     let report = run_fastpath(&study);
     assert_eq!(report.verdict, Verdict::DataOblivious);
@@ -74,8 +69,7 @@ fn integrity_holds_on_the_clean_peripheral() {
 #[test]
 fn integrity_violation_is_detected_in_the_sabotaged_variant() {
     let module = integrity_view(&build_peripheral(true));
-    let mut study =
-        CaseStudy::new("dma_sabotaged", DesignInstance::new(module));
+    let mut study = CaseStudy::new("dma_sabotaged", DesignInstance::new(module));
     study.cycles = 300;
     let report = run_fastpath(&study);
     assert_eq!(report.verdict, Verdict::NotDataOblivious);
@@ -93,10 +87,7 @@ fn the_same_module_passes_its_confidentiality_view() {
     for sabotaged in [false, true] {
         let module = build_peripheral(sabotaged);
         // No DataIn inputs at all -> no flow possible, structural proof.
-        let study = CaseStudy::new(
-            "dma_confidentiality",
-            DesignInstance::new(module),
-        );
+        let study = CaseStudy::new("dma_confidentiality", DesignInstance::new(module));
         let report = run_fastpath(&study);
         assert_eq!(report.verdict, Verdict::DataOblivious);
         assert_eq!(report.manual_inspections, 0);

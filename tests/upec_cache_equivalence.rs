@@ -15,9 +15,7 @@
 //! incremental mid-loop spec growth.
 
 use fastpath::CaseStudy;
-use fastpath_formal::{
-    ElaborationMode, Upec2Safety, UpecOutcome, UpecSpec,
-};
+use fastpath_formal::{ElaborationMode, Upec2Safety, UpecOutcome, UpecSpec};
 use fastpath_rtl::SignalId;
 use std::collections::BTreeSet;
 
@@ -28,13 +26,11 @@ fn cross_validate(study: &CaseStudy) -> u64 {
     let module = &study.instance.module;
     let spec = UpecSpec::default();
     let mut cached = Upec2Safety::new(module, &spec);
-    let mut fresh =
-        Upec2Safety::with_mode(module, &spec, ElaborationMode::Fresh);
+    let mut fresh = Upec2Safety::with_mode(module, &spec, ElaborationMode::Fresh);
     assert_eq!(cached.mode(), ElaborationMode::Cached);
     assert_eq!(fresh.mode(), ElaborationMode::Fresh);
 
-    let mut z: BTreeSet<SignalId> =
-        module.state_signals().into_iter().collect();
+    let mut z: BTreeSet<SignalId> = module.state_signals().into_iter().collect();
     let mut spec_activated = false;
     for iteration in 0.. {
         assert!(iteration < 10_000, "{}: refinement diverged", study.name);
@@ -89,8 +85,7 @@ fn cross_validate(study: &CaseStudy) -> u64 {
     // The whole point: caching must construct strictly fewer AIG nodes
     // than re-elaborating every check.
     assert!(
-        ce.template_nodes + ce.check_nodes
-            < fe.template_nodes + fe.check_nodes,
+        ce.template_nodes + ce.check_nodes < fe.template_nodes + fe.check_nodes,
         "{}: cached built {}+{} nodes, fresh {}+{}",
         study.name,
         ce.template_nodes,

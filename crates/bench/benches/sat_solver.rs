@@ -68,5 +68,51 @@ fn bench_upec_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pigeonhole, bench_upec_queries);
+/// Conflict-analysis microbench: random 3-SAT at the phase-transition
+/// ratio drives thousands of conflicts per solve, so the measurement is
+/// dominated by the 1-UIP analysis loop (trail walk, LBD stamping,
+/// minimization) rather than by propagation or decision heuristics.
+fn bench_conflict_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/conflict_analysis");
+    group.sample_size(10);
+    // Deterministic LCG keeps the instance identical across runs.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let num_vars = 140usize;
+    let num_clauses = (num_vars as f64 * 4.26) as usize;
+    let cnf: Vec<[(usize, bool); 3]> = (0..num_clauses)
+        .map(|_| {
+            [
+                (next() % num_vars, next() % 2 == 0),
+                (next() % num_vars, next() % 2 == 0),
+                (next() % num_vars, next() % 2 == 0),
+            ]
+        })
+        .collect();
+    group.bench_function("random_3sat_phase_transition/140v", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+            for clause in &cnf {
+                let lits: Vec<_> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+                solver.add_clause(&lits);
+            }
+            let _ = solver.solve();
+            assert!(solver.stats().conflicts > 0, "must exercise analysis");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pigeonhole,
+    bench_upec_queries,
+    bench_conflict_analysis
+);
 criterion_main!(benches);

@@ -232,6 +232,25 @@ pub struct SideRecord {
     pub inspections: u64,
     /// Wall-clock seconds (report-only).
     pub wall_s: f64,
+    /// Per-technique solver counters (report-only; `None` for records
+    /// predating them).
+    pub solver: Option<SolverCounters>,
+}
+
+/// Report-only SAT-solver technique counters from the `solver` object of
+/// a bench record. Absent fields parse as zero so records from before a
+/// counter was introduced still load.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct SolverCounters {
+    pub conflicts: u64,
+    pub chrono_backtracks: u64,
+    pub vivified: u64,
+    pub strengthened: u64,
+    pub subsumed: u64,
+    pub eliminated_vars: u64,
+    pub shared_imported: u64,
+    pub shared_exported: u64,
 }
 
 /// Both sides of one design row.
@@ -283,6 +302,19 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                     wall_s: s
                         .num("wall_s")
                         .ok_or_else(|| format!("{design}: {key}.wall_s"))?,
+                    solver: s.get("solver").map(|sv| {
+                        let n = |k: &str| sv.num(k).unwrap_or(0.0) as u64;
+                        SolverCounters {
+                            conflicts: n("conflicts"),
+                            chrono_backtracks: n("chrono_backtracks"),
+                            vivified: n("vivified"),
+                            strengthened: n("strengthened"),
+                            subsumed: n("subsumed"),
+                            eliminated_vars: n("eliminated_vars"),
+                            shared_imported: n("shared_imported"),
+                            shared_exported: n("shared_exported"),
+                        }
+                    }),
                 })
             };
             Ok(DesignRecord {
@@ -380,6 +412,47 @@ pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, S
                 .push(format!("{}: not in committed baseline", n.design));
         }
     }
+    // Report-only: per-technique solver counters (baseline side — the
+    // solver-bound run), base→cur where the committed record has them.
+    let counted: Vec<_> = new
+        .iter()
+        .filter_map(|n| n.baseline.solver.map(|s| (n, s)))
+        .collect();
+    if !counted.is_empty() {
+        let _ = writeln!(
+            out.markdown,
+            "\nSolver technique counters (baseline side, report-only):\n"
+        );
+        let _ = writeln!(
+            out.markdown,
+            "| Design | Conflicts | Chrono | Vivified | Strengthened | \
+             Subsumed | Elim vars | Shared in/out |",
+        );
+        let _ = writeln!(out.markdown, "|---|---|---|---|---|---|---|---|");
+        for (n, s) in counted {
+            let base = old
+                .iter()
+                .find(|o| o.design == n.design)
+                .and_then(|o| o.baseline.solver);
+            let cell = |old_v: Option<u64>, new_v: u64| match old_v {
+                Some(o) if o != new_v => format!("{o}→{new_v}"),
+                _ => new_v.to_string(),
+            };
+            let _ = writeln!(
+                out.markdown,
+                "| {} | {} | {} | {} | {} | {} | {} | {}/{} |",
+                n.design,
+                cell(base.map(|b| b.conflicts), s.conflicts),
+                cell(base.map(|b| b.chrono_backtracks), s.chrono_backtracks),
+                cell(base.map(|b| b.vivified), s.vivified),
+                cell(base.map(|b| b.strengthened), s.strengthened),
+                cell(base.map(|b| b.subsumed), s.subsumed),
+                cell(base.map(|b| b.eliminated_vars), s.eliminated_vars),
+                s.shared_imported,
+                s.shared_exported,
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -435,6 +508,33 @@ mod tests {
         let renamed = MINI.replace(r#""design": "A""#, r#""design": "B""#);
         let diff = diff_bench_records(MINI, &renamed).expect("diff");
         assert_eq!(diff.regressions.len(), 2); // A missing + B unexpected
+    }
+
+    #[test]
+    fn solver_counters_are_optional_and_report_only() {
+        // Pre-counter records (MINI) parse with `solver: None`.
+        let rows = parse_bench_record(MINI).expect("parses");
+        assert!(rows[0].baseline.solver.is_none());
+        // Records with a partial `solver` object default absent counters
+        // to zero and never gate.
+        let with_counters = MINI.replace(
+            r#""method": "UPEC", "inspections": 32}"#,
+            r#""method": "UPEC", "inspections": 32,
+               "solver": {"conflicts": 10, "vivified": 3}}"#,
+        );
+        let rows = parse_bench_record(&with_counters).expect("parses");
+        let s = rows[0].baseline.solver.expect("present");
+        assert_eq!(s.conflicts, 10);
+        assert_eq!(s.vivified, 3);
+        assert_eq!(s.eliminated_vars, 0, "absent counters default to 0");
+        let diff = diff_bench_records(MINI, &with_counters).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.markdown.contains("Solver technique counters"));
+        // Counter drift against a counted baseline is annotated, not gated.
+        let drifted = with_counters.replace(r#""vivified": 3"#, r#""vivified": 7"#);
+        let diff = diff_bench_records(&with_counters, &drifted).expect("diff");
+        assert!(diff.regressions.is_empty());
+        assert!(diff.markdown.contains("3→7"));
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   --bench-json PATH
 //!                write a machine-readable per-design benchmark record
 //!                (wall-clock, sim cycles/s, solver stats) to PATH
+//!   --sat-portfolio N
+//!                race every UPEC check over N diversified SAT solver
+//!                configurations (default 0 = sequential; the rendered
+//!                table is byte-identical for every N, only wall-clock
+//!                changes)
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -80,6 +85,17 @@ fn main() {
                     std::process::exit(2);
                 })
         }),
+        sat_portfolio: args
+            .iter()
+            .position(|a| a == "--sat-portfolio")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sat-portfolio expects a number, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

@@ -51,6 +51,10 @@ pub struct Table1Options {
     /// Timing data goes only into the file, never into the rendered
     /// table, so determinism comparisons are unaffected.
     pub bench_json: Option<PathBuf>,
+    /// Race every UPEC check over a SAT solver portfolio of this width
+    /// (`--sat-portfolio N`; 0 or 1 = sequential). The rendered table is
+    /// byte-identical for every width — only wall-clock changes.
+    pub sat_portfolio: usize,
 }
 
 impl Default for Table1Options {
@@ -66,6 +70,7 @@ impl Default for Table1Options {
             dump_artifacts: None,
             sim_engine: SimEngine::default(),
             bench_json: None,
+            sat_portfolio: 0,
         }
     }
 }
@@ -89,6 +94,7 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         certify: opts.certify,
         dump_artifacts: opts.dump_artifacts.clone(),
         sim_engine: opts.sim_engine,
+        sat_portfolio: opts.sat_portfolio,
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -154,7 +160,10 @@ fn write_bench_json(
              \"checks_s\": {:.6}}}, \
              \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
              \"propagations\": {}, \"restarts\": {}, \
-             \"learnt_clauses\": {}}}}}",
+             \"learnt_clauses\": {}, \"chrono_backtracks\": {}, \
+             \"rephases\": {}, \"vivified\": {}, \"strengthened\": {}, \
+             \"subsumed\": {}, \"eliminated_vars\": {}, \
+             \"shared_imported\": {}, \"shared_exported\": {}}}}}",
             report.verdict,
             report.method,
             report.manual_inspections,
@@ -171,6 +180,14 @@ fn write_bench_json(
             s.propagations,
             s.restarts,
             s.learnt_clauses,
+            s.chrono_backtracks,
+            s.rephases,
+            s.vivified,
+            s.strengthened,
+            s.subsumed,
+            s.eliminated_vars,
+            s.shared_imported,
+            s.shared_exported,
         );
     }
     let mut out = String::new();
@@ -378,6 +395,20 @@ fn render_runtime(out: &mut String, fast: &FlowReport) {
         "  solver:  {} conflicts, {} decisions, {} propagations, \
          {} restarts, {} learnt clauses retained",
         s.conflicts, s.decisions, s.propagations, s.restarts, s.learnt_clauses
+    );
+    let _ = writeln!(
+        out,
+        "  inproc:  {} chrono backtracks, {} rephases, {} vivified, \
+         {} strengthened, {} subsumed, {} vars eliminated, \
+         {} clauses imported / {} exported",
+        s.chrono_backtracks,
+        s.rephases,
+        s.vivified,
+        s.strengthened,
+        s.subsumed,
+        s.eliminated_vars,
+        s.shared_imported,
+        s.shared_exported
     );
     let e = &fast.elaboration;
     let _ = writeln!(

@@ -50,6 +50,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
         // iteration below (spec growth included).
         let t0 = Instant::now();
         let mut upec = Upec2Safety::new(module, &UpecSpec::default());
+        upec.set_sat_portfolio(options.sat_portfolio);
         if options.certify {
             upec.enable_certification();
             if let Some(dir) = &options.dump_artifacts {

@@ -69,6 +69,11 @@ pub struct FlowOptions {
     /// cross-checking. The tape is compiled once per design instance and
     /// reused across all constraint/policy trial re-simulations.
     pub sim_engine: SimEngine,
+    /// Race every UPEC check over a portfolio of this many diversified
+    /// SAT solver configurations (`0` or `1` = sequential). Verdicts,
+    /// methods, and inspection counts are byte-identical for every
+    /// width; only wall-clock changes.
+    pub sat_portfolio: usize,
 }
 
 /// Runs the complete FastPath flow on a case study.
@@ -171,6 +176,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     None => {
                         let t0 = Instant::now();
                         let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+                        engine.set_sat_portfolio(options.sat_portfolio);
                         if options.certify {
                             engine.enable_certification();
                             if let Some(dir) = &options.dump_artifacts {

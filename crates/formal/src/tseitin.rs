@@ -9,16 +9,38 @@ use crate::aig::{Aig, AigLit};
 use fastpath_sat::{Lit, Proof, SolveResult, Solver, Var};
 
 /// An incremental AIG→CNF encoder wrapping a [`Solver`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CnfEncoder {
     solver: Solver,
     node_vars: Vec<Option<Var>>,
 }
 
+impl Default for CnfEncoder {
+    fn default() -> Self {
+        CnfEncoder::new()
+    }
+}
+
 impl CnfEncoder {
     /// Creates an empty encoder.
+    ///
+    /// Bounded variable elimination is switched off on the underlying
+    /// solver: the refinement loop keeps encoding new cone slices over
+    /// variables a previous pass may have eliminated, and every such
+    /// `add_clause` forces a restore that permanently freezes the
+    /// variable — the eliminate/restore churn (plus the resolvents it
+    /// leaves behind) costs far more than elimination saves on this
+    /// incremental workload. The other inprocessing techniques
+    /// (vivification, subsumption, root simplification) stay on.
     pub fn new() -> Self {
-        CnfEncoder::default()
+        let mut solver = Solver::new();
+        solver.set_variable_elimination(false);
+        // Width 1 from the start: see `set_portfolio`.
+        solver.set_portfolio(1);
+        CnfEncoder {
+            solver,
+            node_vars: Vec::new(),
+        }
     }
 
     /// Access to the underlying solver (e.g. for statistics).
@@ -49,9 +71,25 @@ impl CnfEncoder {
         self.solver.model()
     }
 
-    /// Allocates a fresh, unconstrained SAT variable (for selectors etc.).
+    /// Configures a parallel solver portfolio of `workers` diversified
+    /// workers for every subsequent solve. `0` and `1` both mean "no
+    /// race", but the encoder never drops below width 1: the UPEC
+    /// engine's verdict trajectory must be byte-identical at every
+    /// width, and width 1 (a lone speculative clone whose state is
+    /// adopted only on SAT) is the canonical trajectory a width-`N`
+    /// race reproduces. See [`fastpath_sat::Solver::set_portfolio`].
+    pub fn set_portfolio(&mut self, workers: usize) {
+        self.solver.set_portfolio(workers.max(1));
+    }
+
+    /// Allocates a fresh, unconstrained SAT variable (for selectors,
+    /// activation guards etc.). The variable is frozen: guards recur as
+    /// assumptions and retirement units across checks, so inprocessing
+    /// must never eliminate them.
     pub fn fresh_var(&mut self) -> Var {
-        self.solver.new_var()
+        let v = self.solver.new_var();
+        self.solver.freeze(v);
+        v
     }
 
     /// Adds a clause over SAT literals directly.
@@ -61,8 +99,15 @@ impl CnfEncoder {
 
     /// Returns the SAT literal equisatisfiably representing `lit`,
     /// Tseitin-encoding its cone on first use.
+    ///
+    /// The returned variable is frozen: it is a cone *interface*
+    /// variable the caller holds a handle to (for assumptions, monitor
+    /// clauses, or model inspection across later checks), so bounded
+    /// variable elimination must keep it. Interior Tseitin variables of
+    /// the cone stay eliminable.
     pub fn lit(&mut self, aig: &Aig, lit: AigLit) -> Lit {
         let var = self.node_var(aig, lit.node());
+        self.solver.freeze(var);
         var.lit(!lit.is_complemented())
     }
 

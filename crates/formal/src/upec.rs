@@ -265,6 +265,9 @@ pub struct Upec2Safety<'m> {
     f0_invariants: usize,
     last_aig_nodes: usize,
     checks: u64,
+    /// Portfolio width applied to every encoder (0 = sequential);
+    /// reapplied after fresh-mode resets.
+    sat_portfolio: usize,
     /// Solver statistics of encoders discarded by fresh-mode resets.
     stats_at_reset: SolverStats,
     /// Elaboration counters of AIGs discarded by fresh-mode resets, plus
@@ -298,10 +301,23 @@ impl<'m> Upec2Safety<'m> {
             f0_invariants: 0,
             last_aig_nodes: 0,
             checks: 0,
+            sat_portfolio: 0,
             stats_at_reset: SolverStats::default(),
             elab: ElaborationStats::default(),
             cert: None,
         }
+    }
+
+    /// Races every SAT check over a portfolio of `workers` diversified
+    /// solver configurations (0 or 1 = sequential). Verdicts, models,
+    /// methods, and inspection counts are identical to the sequential
+    /// run for every width — see the determinism notes on
+    /// [`fastpath_sat::Solver::set_portfolio`] — so this only changes
+    /// wall-clock, never results. Composes with certification: each
+    /// worker keeps a self-contained proof trace.
+    pub fn set_sat_portfolio(&mut self, workers: usize) {
+        self.sat_portfolio = workers;
+        self.encoder.set_portfolio(workers);
     }
 
     /// Turns on independent certification: the solver logs a DRUP-style
@@ -481,6 +497,7 @@ impl<'m> Upec2Safety<'m> {
         self.elab.strash_misses += self.aig.strash_misses();
         self.aig = Aig::new();
         self.encoder = CnfEncoder::new();
+        self.encoder.set_portfolio(self.sat_portfolio);
         self.template = None;
         self.f0_constraints = 0;
         self.f0_invariants = 0;

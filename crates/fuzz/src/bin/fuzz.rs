@@ -13,6 +13,10 @@
 //!                    generated regression tests into DIR
 //!   --certify        certify every SAT verdict with DRUP proofs and
 //!                    check them (slower)
+//!   --sat-portfolio N
+//!                    additionally race every check over N diversified
+//!                    SAT configs and require verdict agreement with
+//!                    the sequential run (default 0 = off)
 //!   --no-shrink      keep violating cases unminimized
 //!   --no-engine-diff skip the compiled-vs-interpretive sim battery
 //!   --inject-hfg-underapprox
@@ -74,6 +78,7 @@ fn run(args: &[String]) {
         } else {
             FaultInjection::None
         },
+        portfolio: parsed_flag(args, "--sat-portfolio").unwrap_or(0),
         shrink: !args.iter().any(|a| a == "--no-shrink"),
         max_shrink_evals: 250,
     };

@@ -33,6 +33,9 @@ pub struct RunOptions {
     pub check_engines: bool,
     /// Fault injection (tests only).
     pub fault: FaultInjection,
+    /// Re-run both flows under an N-way SAT portfolio and require
+    /// agreement with the sequential verdicts (0 = skip).
+    pub portfolio: usize,
     /// Shrink violating cases.
     pub shrink: bool,
     /// Oracle-evaluation budget per shrink.
@@ -49,6 +52,7 @@ impl Default for RunOptions {
             certify: false,
             check_engines: true,
             fault: FaultInjection::None,
+            portfolio: 0,
             shrink: true,
             max_shrink_evals: 250,
         }
@@ -111,6 +115,7 @@ pub fn fuzz_run(opts: &RunOptions) -> RunSummary {
         certify: opts.certify,
         check_engines: opts.check_engines,
         fault: opts.fault,
+        portfolio: opts.portfolio,
     };
     let started = Instant::now();
     let mut summary = RunSummary::default();

@@ -28,6 +28,11 @@
 //! 6. **CertificateValid** — with certification enabled, every SAT-level
 //!    verdict along the way carries a DRUP certificate that the
 //!    independent checker accepts.
+//! 7. **PortfolioAgreement** — with a portfolio width configured, the
+//!    whole hybrid flow and the exhaustive baseline re-run with the SAT
+//!    portfolio racing every check must reproduce the sequential
+//!    verdict, completing stage, and inspection count exactly (the
+//!    portfolio's determinism contract).
 //!
 //! An extra, zero-trust cross-check — **EngineEquivalence** — runs the
 //! compiled and interpretive simulators side by side on the same case
@@ -64,6 +69,8 @@ pub enum InvariantKind {
     VerdictAgreement,
     /// A certification-enabled verdict failed its DRUP check.
     CertificateValid,
+    /// The portfolio-mode flow diverged from the sequential flow.
+    PortfolioAgreement,
     /// Compiled and interpretive simulators disagreed.
     EngineEquivalence,
 }
@@ -78,6 +85,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::RefinementTermination => "refinement-termination",
             InvariantKind::VerdictAgreement => "verdict-agreement",
             InvariantKind::CertificateValid => "certificate-valid",
+            InvariantKind::PortfolioAgreement => "portfolio-agreement",
             InvariantKind::EngineEquivalence => "engine-equivalence",
         };
         f.write_str(s)
@@ -114,6 +122,10 @@ pub struct OracleOptions {
     pub certify: bool,
     /// Also run the compiled-vs-interpretive simulator battery.
     pub check_engines: bool,
+    /// Re-run both flows with a SAT portfolio of this width and demand
+    /// verdict/method/inspection agreement with the sequential runs
+    /// (`0` or `1` = skip the check).
+    pub portfolio: usize,
     /// Fault injection (tests only).
     pub fault: FaultInjection,
 }
@@ -123,6 +135,7 @@ impl Default for OracleOptions {
         OracleOptions {
             certify: false,
             check_engines: true,
+            portfolio: 0,
             fault: FaultInjection::None,
         }
     }
@@ -474,6 +487,40 @@ pub fn check_case(case: &FuzzCase, opts: &OracleOptions) -> OracleOutcome {
         }
     }
 
+    // Portfolio determinism: racing diversified solver configurations
+    // must change wall-clock only, never results.
+    if opts.portfolio > 1 {
+        let portfolio_opts = FlowOptions {
+            certify: opts.certify,
+            sat_portfolio: opts.portfolio,
+            ..FlowOptions::default()
+        };
+        let fast_p = run_fastpath_with(&study, portfolio_opts.clone());
+        let base_p = run_baseline_with(&study, portfolio_opts);
+        for (label, seq, par) in [("fastpath", &fast, &fast_p), ("baseline", &base, &base_p)] {
+            if seq.verdict != par.verdict
+                || seq.method != par.method
+                || seq.manual_inspections != par.manual_inspections
+            {
+                violations.push(Violation {
+                    kind: InvariantKind::PortfolioAgreement,
+                    detail: format!(
+                        "{label} diverged under --sat-portfolio {}: \
+                         sequential ({}, {}, {} inspections) vs \
+                         portfolio ({}, {}, {} inspections)",
+                        opts.portfolio,
+                        seq.verdict,
+                        seq.method,
+                        seq.manual_inspections,
+                        par.verdict,
+                        par.method,
+                        par.manual_inspections,
+                    ),
+                });
+            }
+        }
+    }
+
     // Cross-engine battery (compiled vs interpretive simulators).
     if opts.check_engines {
         if let Err(err) = diff::check_engine_equivalence(
@@ -511,6 +558,24 @@ mod tests {
         for seed in 0..6 {
             let case = generate_case(seed);
             let outcome = check_case(&case, &OracleOptions::default());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_mode_agrees_with_sequential() {
+        let opts = OracleOptions {
+            portfolio: 3,
+            check_engines: false,
+            ..OracleOptions::default()
+        };
+        for seed in 0..4 {
+            let case = generate_case(seed);
+            let outcome = check_case(&case, &opts);
             assert!(
                 outcome.violations.is_empty(),
                 "seed {seed}: {:?}",

@@ -1,0 +1,202 @@
+//! First-UIP conflict analysis with recursive clause minimization.
+//!
+//! Chronology-aware: with chronological backtracking the trail is not
+//! sorted by decision level, so the backward walk filters on the
+//! conflict level explicitly rather than relying on trail position.
+//! Reason clauses are iterated by index (no per-expansion clone), and
+//! LBD computation stamps a generation counter into a reusable
+//! per-level buffer instead of allocating a set per clause.
+
+use crate::solver::{tier_for_lbd, Solver, RESCALE_LIMIT};
+use crate::types::{Lit, Var};
+
+impl Solver {
+    /// Analyzes a conflict, returning the learnt clause (asserting
+    /// literal first) and the backjump level. Must be called with the
+    /// decision level equal to the conflict's own level.
+    pub(crate) fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let conflict_level = self.decision_level();
+        debug_assert!(conflict_level > 0);
+        let mut learnt: Vec<Lit> = Vec::with_capacity(16);
+        self.analyze_toclear.clear();
+
+        let mut path = 0u32; // unresolved literals at the conflict level
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict as usize;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(cref);
+            for k in 0..self.clauses[cref].lits.len() {
+                let q = self.clauses[cref].lits[k];
+                // Skip the implied literal when expanding a reason (the
+                // binary fast path does not normalize it to position 0).
+                if p.is_some_and(|p| p.var() == q.var()) {
+                    continue;
+                }
+                let v = q.var();
+                let level = self.levels[v.index()];
+                if self.seen[v.index()] || level == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.analyze_toclear.push(q);
+                self.bump_var(v);
+                if level >= conflict_level {
+                    path += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Next seen literal at the conflict level, scanning the trail
+            // backwards. Out-of-order (chronological) assignments sit at
+            // lower levels interleaved into the suffix, hence the filter.
+            loop {
+                index -= 1;
+                let lit = self.trail[index];
+                if self.seen[lit.var().index()] && self.levels[lit.var().index()] >= conflict_level
+                {
+                    break;
+                }
+            }
+            let uip = self.trail[index];
+            self.seen[uip.var().index()] = false;
+            path -= 1;
+            if path == 0 {
+                learnt.insert(0, !uip);
+                break;
+            }
+            p = Some(uip);
+            cref = self.reasons[uip.var().index()].expect("non-UIP literal has a reason") as usize;
+        }
+
+        // Minimize: drop literals implied by the rest of the clause
+        // (recursive reason-side check, MiniSat's `lit_redundant`).
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u32, |acc, l| acc | self.abstract_level(l.var()));
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reasons[l.var().index()].is_none() || !self.lit_redundant(l, abstract_levels) {
+                learnt[j] = l;
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+
+        for i in 0..self.analyze_toclear.len() {
+            self.seen[self.analyze_toclear[i].var().index()] = false;
+        }
+
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        (learnt, backjump)
+    }
+
+    /// `true` if `lit`'s negation is implied by the remaining learnt
+    /// literals (so `lit` can be dropped). `abstract_levels` is a 32-bit
+    /// Bloom filter of the clause's decision levels: a reason literal
+    /// outside those levels can never be redundant, which prunes the
+    /// recursion cheaply.
+    fn lit_redundant(&mut self, lit: Lit, abstract_levels: u32) -> bool {
+        let Some(reason) = self.reasons[lit.var().index()] else {
+            return false;
+        };
+        let cref = reason as usize;
+        for k in 0..self.clauses[cref].lits.len() {
+            let q = self.clauses[cref].lits[k];
+            let v = q.var();
+            if v == lit.var() || self.seen[v.index()] || self.levels[v.index()] == 0 {
+                continue;
+            }
+            if self.reasons[v.index()].is_none()
+                || self.abstract_level(v) & abstract_levels == 0
+                || !self.lit_redundant(q, abstract_levels)
+            {
+                return false;
+            }
+            // Cache the positive sub-result so shared suffixes are not
+            // re-derived.
+            self.seen[v.index()] = true;
+            self.analyze_toclear.push(q);
+        }
+        true
+    }
+
+    fn abstract_level(&self, v: Var) -> u32 {
+        1u32 << (self.levels[v.index()] & 31)
+    }
+
+    /// Literal-block distance: the number of distinct non-root decision
+    /// levels among the clause's literals. Uses the generation-stamped
+    /// level buffer — no allocation, O(len).
+    pub(crate) fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen = self.lbd_gen.wrapping_add(1);
+        if self.lbd_gen == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_gen = 1;
+        }
+        let gen = self.lbd_gen;
+        let mut distinct = 0;
+        for &l in lits {
+            let level = self.levels[l.var().index()] as usize;
+            if level != 0 && self.lbd_stamp[level] != gen {
+                self.lbd_stamp[level] = gen;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    /// Bumps a clause that participated in a conflict: activity, the
+    /// used-counter that shields it from the next reductions, and — for
+    /// learnt clauses — an LBD recompute with tier promotion when the
+    /// glue improved.
+    fn bump_clause(&mut self, cref: usize) {
+        if !self.clauses[cref].learnt {
+            return;
+        }
+        self.clauses[cref].activity += self.clause_inc;
+        if self.clauses[cref].activity > RESCALE_LIMIT {
+            for c in &mut self.clauses {
+                c.activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.clause_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.clauses[cref].used = 2;
+        let lbd = {
+            let lits = std::mem::take(&mut self.clauses[cref].lits);
+            let lbd = self.compute_lbd(&lits);
+            self.clauses[cref].lits = lits;
+            lbd
+        };
+        if lbd < self.clauses[cref].lbd {
+            self.clauses[cref].lbd = lbd;
+            let tier = tier_for_lbd(lbd);
+            // Promotion only — demotion is reduce_db's job.
+            let promote = matches!(
+                (self.clauses[cref].tier, tier),
+                (crate::solver::Tier::Local, _)
+                    | (crate::solver::Tier::Mid, crate::solver::Tier::Core)
+            );
+            if promote {
+                self.clauses[cref].tier = tier;
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The VSIDS decision heap.
+
+use crate::types::Var;
+
+/// An indexed binary max-heap over variables ordered by activity.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    position: Vec<Option<u32>>,
+}
+
+impl VarHeap {
+    pub(crate) fn grow(&mut self, n: usize) {
+        self.position.resize(n, None);
+    }
+
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.position[v.index()].is_some()
+    }
+
+    pub(crate) fn push(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = Some(self.heap.len() as u32);
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index()] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    pub(crate) fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(pos) = self.position[v.index()] {
+            self.sift_up(pos as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut largest = i;
+            for child in [left, right] {
+                if child < self.heap.len()
+                    && activity[self.heap[child].index()] > activity[self.heap[largest].index()]
+                {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = Some(i as u32);
+        self.position[self.heap[j].index()] = Some(j as u32);
+    }
+}

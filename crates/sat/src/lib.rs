@@ -4,9 +4,13 @@
 //! formal verification step (the paper used a commercial property checker;
 //! see DESIGN.md for the substitution argument).
 //!
-//! Features: two-watched-literal propagation, 1-UIP learning with clause
-//! minimization, VSIDS, phase saving, Luby restarts, learnt-DB reduction,
-//! incremental solving under assumptions, and DIMACS I/O.
+//! Features: two-watched-literal propagation with a binary-clause fast
+//! path, 1-UIP learning with clause minimization, VSIDS, phase saving and
+//! target-phase rephasing, Luby restarts, chronological backtracking, a
+//! three-tier (core/mid/local) learnt database, DRUP-sound inprocessing
+//! (vivification, subsumption, bounded variable elimination), a
+//! deterministic parallel portfolio, incremental solving under
+//! assumptions, and DIMACS I/O.
 //!
 //! # Examples
 //!
@@ -24,12 +28,20 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 mod dimacs;
+mod heap;
+mod inprocess;
+mod portfolio;
 mod proof;
+mod propagate;
+mod reduce;
 mod solver;
+mod stats;
 mod types;
 
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
 pub use proof::{Proof, ProofStep};
-pub use solver::{Solver, SolverStats};
+pub use solver::Solver;
+pub use stats::SolverStats;
 pub use types::{LBool, Lit, SolveResult, Var};

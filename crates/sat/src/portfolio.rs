@@ -1,0 +1,539 @@
+//! A proof-sound parallel portfolio.
+//!
+//! [`Solver::solve_with`] with a portfolio width `N` races `N`
+//! diversified clones of the persistent solver on one check. Low-LBD
+//! learnt clauses are shared through single-producer append-only logs
+//! ([`ShareLog`]) read lock-free by the other workers; every import is
+//! re-verified by a local RUP probe before it is attached and logged, so
+//! each worker's proof trace stays self-contained.
+//!
+//! # Determinism rules
+//!
+//! The persistent solver's evolution must not depend on the portfolio
+//! width or on thread timing, because downstream verdicts, methods, and
+//! inspection counts are derived from the models it produces:
+//!
+//! * Worker 0 is the **canonical** worker: configured exactly like the
+//!   width-1 lone clone and it never imports (exports only), so its
+//!   trajectory is a pure function of the persistent state.
+//! * **SAT** answers always come from worker 0 — the race waits for it —
+//!   and its entire clone state (clause database, heuristics, proof) is
+//!   adopted wholesale.
+//! * **UNSAT** answers may come from any worker (first one wins the
+//!   wall-clock); the persistent solver adopts *nothing*. Only the
+//!   winner's `Learn` steps are spliced into the persistent proof trace
+//!   (deletions are stripped — they might name clauses the persistent
+//!   database still uses). The spliced learns are RUP where they land:
+//!   each was RUP against the winner's database, which the checker's
+//!   database includes, and RUP is monotone in the clause set.
+//!
+//! Width 1 runs the same adjudication on a lone speculative clone (no
+//! threads), so the persistent state is a function of the *SAT
+//! trajectory only* at every width: a width-`N` race adopts state only
+//! from worker 0 finishing SAT, which is byte-for-byte the width-1
+//! clone's search from the same state. Verdicts, models, and inspection
+//! counts are therefore identical for every width and every `--jobs`
+//! value; proof traces and technique counters may differ in which
+//! (valid) learns they carry, depending on which worker wins an UNSAT
+//! race.
+
+use crate::proof::ProofStep;
+use crate::solver::{Solver, SHARE_LBD_LIMIT};
+use crate::types::{LBool, Lit, SolveResult};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Longest clause a worker will export.
+const SHARE_MAX_LEN: usize = 32;
+/// Fixed capacity of one worker's outgoing log.
+const SHARE_CAPACITY: usize = 1 << 14;
+
+/// A single-producer, multi-consumer append-only clause log. The
+/// producer reserves a slot with a fetch-add and publishes the clause
+/// through a `OnceLock`; readers only ever observe fully written slots.
+#[derive(Debug)]
+pub(crate) struct ShareLog {
+    slots: Vec<OnceLock<Vec<Lit>>>,
+    len: AtomicUsize,
+}
+
+impl ShareLog {
+    pub(crate) fn new() -> Self {
+        let mut slots = Vec::with_capacity(SHARE_CAPACITY);
+        slots.resize_with(SHARE_CAPACITY, OnceLock::new);
+        ShareLog {
+            slots,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends a clause; silently drops it when the log is full.
+    pub(crate) fn push(&self, lits: Vec<Lit>) {
+        let slot = self.len.fetch_add(1, Ordering::Relaxed);
+        if let Some(cell) = self.slots.get(slot) {
+            let set = cell.set(lits);
+            debug_assert!(set.is_ok(), "slot {slot} double-written");
+        }
+    }
+
+    /// The clause in `slot`, if that slot has been fully published.
+    fn get(&self, slot: usize) -> Option<&Vec<Lit>> {
+        self.slots.get(slot).and_then(OnceLock::get)
+    }
+}
+
+/// A reader's position in another worker's [`ShareLog`].
+#[derive(Clone, Debug)]
+pub(crate) struct ShareCursor {
+    log: Arc<ShareLog>,
+    pos: usize,
+}
+
+impl ShareCursor {
+    pub(crate) fn new(log: Arc<ShareLog>) -> Self {
+        ShareCursor { log, pos: 0 }
+    }
+
+    /// The next published clause, or `None` when the reader caught up
+    /// (or hit a reserved-but-unwritten slot — it retries next round).
+    fn next(&mut self) -> Option<Vec<Lit>> {
+        let lits = self.log.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(lits)
+    }
+}
+
+impl Solver {
+    /// Exports a freshly learnt clause to portfolio peers when it is
+    /// glue-worthy (low LBD, bounded length).
+    pub(crate) fn share_export(&mut self, cref: u32) {
+        let Some(out) = &self.share_out else { return };
+        let c = &self.clauses[cref as usize];
+        if c.lbd > SHARE_LBD_LIMIT || c.lits.len() > SHARE_MAX_LEN {
+            return;
+        }
+        out.push(c.lits.clone());
+        self.stats.shared_exported += 1;
+    }
+
+    /// Imports pending peer clauses at a restart boundary (root level).
+    /// Each import is RUP-probed against *this* worker's database first;
+    /// clauses that fail the probe (possible: the exporter's database is
+    /// not ours) or mention locally eliminated variables are discarded.
+    /// Accepted clauses are logged as `Learn` steps, keeping the trace
+    /// self-contained.
+    pub(crate) fn share_import(&mut self) {
+        if self.share_in.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut cursors = std::mem::take(&mut self.share_in);
+        for cursor in &mut cursors {
+            while let Some(lits) = cursor.next() {
+                self.import_one(&lits);
+                if !self.ok {
+                    break;
+                }
+            }
+        }
+        self.share_in = cursors;
+    }
+
+    fn import_one(&mut self, lits: &[Lit]) {
+        if lits.iter().any(|l| self.eliminated[l.var().index()]) {
+            return;
+        }
+        // Root-satisfied imports carry no information; root-false
+        // literals are stripped by the probe itself.
+        let mut filtered: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.lit_value(l) {
+                LBool::True => return,
+                LBool::False => {}
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        // RUP probe: assume the negation, propagate, demand a conflict.
+        // A conflict partway through (or a probe-derived true literal,
+        // which the checker's all-at-once assumption turns into a
+        // conflict) already proves the clause.
+        self.trail_lim.push(self.trail.len());
+        let mut conflict = false;
+        for &l in &filtered {
+            match self.lit_value(l) {
+                LBool::True => {
+                    conflict = true;
+                    break;
+                }
+                LBool::False => continue,
+                LBool::Undef => {
+                    self.enqueue(!l, None);
+                    if self.propagate().is_some() {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.backtrack(0);
+        if !conflict {
+            return;
+        }
+        self.stats.shared_imported += 1;
+        if self.proof.is_some() {
+            let copy = filtered.clone();
+            self.log(|| ProofStep::Learn(copy));
+        }
+        match filtered.len() {
+            0 => self.ok = false,
+            1 => match self.lit_value(filtered[0]) {
+                LBool::False => self.ok = false,
+                LBool::True => {}
+                LBool::Undef => {
+                    self.enqueue(filtered[0], None);
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                    }
+                }
+            },
+            _ => {
+                let cref = self.attach_clause(filtered, true);
+                let c = &mut self.clauses[cref as usize];
+                // The local LBD is 0 at the root; carry the exporter's
+                // glue bound instead so reduction treats it fairly.
+                c.lbd = SHARE_LBD_LIMIT;
+            }
+        }
+    }
+
+    /// Diversifies a worker clone. Worker 0 must stay byte-for-byte the
+    /// sequential configuration (see the module docs).
+    fn diversify(&mut self, worker: usize) {
+        match worker % 4 {
+            0 => {}
+            1 => {
+                self.chrono = false;
+                for p in &mut self.phase {
+                    *p = true;
+                }
+            }
+            2 => {
+                self.chrono_threshold = 25;
+                self.rephase_kind = 2;
+            }
+            _ => {
+                self.inprocess_enabled = false;
+                for p in &mut self.phase {
+                    *p = !*p;
+                }
+            }
+        }
+    }
+
+    /// Races `portfolio_workers` diversified clones on one check and
+    /// adjudicates per the module-level determinism rules.
+    pub(crate) fn solve_portfolio(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        // Freeze/restore assumption variables on the persistent solver
+        // before cloning, so the frozen contract survives UNSAT races
+        // (which adopt nothing).
+        for a in assumptions {
+            let v = a.var();
+            if self.eliminated[v.index()] {
+                self.restore_var(v);
+            }
+            self.frozen[v.index()] = true;
+        }
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let n = self.portfolio_workers.max(1);
+        let base_stats = self.stats;
+        let base_proof_len = self.proof_len();
+        if n == 1 {
+            // Lone speculative clone: the same adjudication semantics as
+            // the race (persistent state advances only through SAT
+            // solves) without threads or share logs. Width 1 is the
+            // canonical trajectory every wider race must reproduce.
+            let mut clone = self.clone();
+            clone.portfolio_workers = 0;
+            let res = clone
+                .solve_with_core(assumptions)
+                .expect("lone worker is never stopped");
+            match res {
+                SolveResult::Sat => self.adopt_canonical(clone),
+                SolveResult::Unsat => self.adopt_unsat(&clone, &base_stats, base_proof_len),
+            }
+            return res;
+        }
+
+        let logs: Vec<Arc<ShareLog>> = (0..n).map(|_| Arc::new(ShareLog::new())).collect();
+        let stops: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+
+        let mut workers: Vec<Solver> = Vec::with_capacity(n);
+        for w in 0..n {
+            let mut clone = self.clone();
+            clone.portfolio_workers = 0;
+            clone.stop = Some(stops[w].clone());
+            clone.share_out = Some(logs[w].clone());
+            clone.share_in = if w == 0 {
+                Vec::new() // canonical: exports only
+            } else {
+                logs.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != w)
+                    .map(|(_, log)| ShareCursor::new(log.clone()))
+                    .collect()
+            };
+            clone.diversify(w);
+            workers.push(clone);
+        }
+
+        let stops_ref = &stops;
+        let results: Vec<(Solver, Option<SolveResult>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut solver)| {
+                    scope.spawn(move || {
+                        let res = solver.solve_with_core(assumptions);
+                        match res {
+                            Some(SolveResult::Unsat) => {
+                                for stop in stops_ref.iter() {
+                                    stop.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Some(SolveResult::Sat) => {
+                                // The answer must come from worker 0; stop
+                                // everyone else.
+                                for (i, stop) in stops_ref.iter().enumerate() {
+                                    if i != 0 {
+                                        stop.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            None => {}
+                        }
+                        (w, solver, res)
+                    })
+                })
+                .collect();
+            let mut out: Vec<Option<(Solver, Option<SolveResult>)>> =
+                (0..n).map(|_| None).collect();
+            for handle in handles {
+                let (w, solver, res) = handle.join().expect("portfolio worker panicked");
+                out[w] = Some((solver, res));
+            }
+            out.into_iter()
+                .map(|r| r.expect("all workers joined"))
+                .collect()
+        });
+
+        if let Some((winner, _)) = results
+            .iter()
+            .find(|(_, res)| *res == Some(SolveResult::Unsat))
+        {
+            self.adopt_unsat(winner, &base_stats, base_proof_len);
+            return SolveResult::Unsat;
+        }
+        // SAT (or a bugged universal stop): adopt the canonical worker.
+        let (canonical, res) = results
+            .into_iter()
+            .next()
+            .expect("portfolio has at least one worker");
+        let res = res.expect("canonical worker is only stopped by an UNSAT winner");
+        self.adopt_canonical(canonical);
+        res
+    }
+
+    /// Adopts a finished canonical (worker 0 / lone-clone) solver
+    /// wholesale: clause database, heuristics, model, stats, and proof,
+    /// exactly as if the solve had run in place.
+    fn adopt_canonical(&mut self, canonical: Solver) {
+        let keep_workers = self.portfolio_workers;
+        *self = canonical;
+        self.portfolio_workers = keep_workers;
+        self.stop = None;
+        self.share_out = None;
+        self.share_in = Vec::new();
+    }
+
+    /// UNSAT adjudication: adopt *nothing* of the winner's state; splice
+    /// its `Learn` steps (deletions stripped — they might name clauses
+    /// the persistent database still uses) so the persistent trace
+    /// refutes these assumptions.
+    fn adopt_unsat(
+        &mut self,
+        winner: &Solver,
+        base_stats: &crate::stats::SolverStats,
+        base_proof_len: usize,
+    ) {
+        self.stats += winner.stats.delta_since(base_stats);
+        if let (Some(proof), Some(wproof)) = (&mut self.proof, winner.proof()) {
+            for step in &wproof.steps()[base_proof_len..] {
+                if let ProofStep::Learn(lits) = step {
+                    proof.push(ProofStep::Learn(lits.clone()));
+                }
+            }
+        }
+        if !winner.ok {
+            // The winner derived the empty clause outright: the formula
+            // itself (not just the assumptions) is unsatisfiable, and
+            // the persistent solver must agree forever after.
+            self.ok = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::solver::Solver;
+    use crate::types::{Lit, SolveResult, Var};
+
+    fn brute_force_sat(num_vars: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
+        for bits in 0u64..(1 << num_vars) {
+            let assignment = |v: usize| -> bool { (bits >> v) & 1 == 1 };
+            if cnf
+                .iter()
+                .all(|clause| clause.iter().any(|&(v, pos)| assignment(v) == pos))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn random_cnf(rng: &mut impl rand::Rng, num_vars: usize) -> Vec<Vec<(usize, bool)>> {
+        let num_clauses = rng.gen_range(1..=25usize);
+        (0..num_clauses)
+            .map(|_| {
+                let len = rng.gen_range(1..=3usize);
+                (0..len)
+                    .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn portfolio_agrees_with_brute_force_and_stays_incremental() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x90F7);
+        for round in 0..120 {
+            let num_vars = rng.gen_range(2..=7usize);
+            let cnf = random_cnf(&mut rng, num_vars);
+            let mut s = Solver::new();
+            s.set_portfolio(3);
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for clause in &cnf {
+                let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+                s.add_clause(&lits);
+            }
+            let expected = brute_force_sat(num_vars, &cnf);
+            let got = s.solve() == SolveResult::Sat;
+            assert_eq!(got, expected, "round {round}: cnf {cnf:?}");
+            if got {
+                for clause in &cnf {
+                    assert!(
+                        clause.iter().any(|&(v, pos)| s.value(vars[v]) == Some(pos)),
+                        "round {round}: model falsifies {clause:?}"
+                    );
+                }
+                // The race must leave the solver usable: re-solving under a
+                // pinning assumption still works.
+                let pin = vars[0].lit(s.value(vars[0]).unwrap());
+                assert_eq!(s.solve_with(&[pin]), SolveResult::Sat);
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_models_match_the_sequential_solver() {
+        // Worker 0 is canonical and adopted on SAT, so the model must be
+        // byte-identical to a sequential run from the same state.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51D3);
+        for _ in 0..60 {
+            let num_vars = rng.gen_range(2..=7usize);
+            let cnf = random_cnf(&mut rng, num_vars);
+            let build = |portfolio: usize| {
+                let mut s = Solver::new();
+                s.set_portfolio(portfolio);
+                let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+                for clause in &cnf {
+                    let lits: Vec<Lit> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+                    s.add_clause(&lits);
+                }
+                let res = s.solve();
+                (res, s.model().to_vec())
+            };
+            let (seq_res, seq_model) = build(0);
+            for n in [1usize, 2, 4] {
+                let (par_res, par_model) = build(n);
+                assert_eq!(par_res, seq_res, "verdict must not depend on width");
+                if seq_res == SolveResult::Sat {
+                    assert_eq!(par_model, seq_model, "SAT model is canonical (worker 0)");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_unsat_trace_still_certifiable_shape() {
+        use crate::proof::ProofStep;
+        // Pigeonhole 4-into-3 under a portfolio: the spliced trace must
+        // contain only Learn steps after the axioms and end refutable.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        s.set_portfolio(3);
+        let p: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (a, b) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        let axioms = s.proof_len();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let steps = s.proof().expect("enabled").steps();
+        assert!(steps.len() > axioms, "the race must splice learns");
+        assert!(
+            steps[axioms..]
+                .iter()
+                .all(|st| matches!(st, ProofStep::Learn(_))),
+            "spliced steps are Learn-only (deletions stripped)"
+        );
+        assert!(!s.ok || steps.last() == Some(&ProofStep::Learn(Vec::new())));
+        // The persistent solver remains usable after an UNSAT race.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn share_log_roundtrip() {
+        use super::{ShareCursor, ShareLog};
+        use std::sync::Arc;
+        let log = Arc::new(ShareLog::new());
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).negative();
+        log.push(vec![a, b]);
+        log.push(vec![b]);
+        let mut cur = ShareCursor::new(log.clone());
+        assert_eq!(cur.next(), Some(vec![a, b]));
+        assert_eq!(cur.next(), Some(vec![b]));
+        assert_eq!(cur.next(), None);
+        log.push(vec![a]);
+        assert_eq!(cur.next(), Some(vec![a]), "cursor resumes after catch-up");
+    }
+}

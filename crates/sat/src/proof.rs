@@ -31,8 +31,14 @@ pub enum ProofStep {
     /// yields a conflict. An empty `Learn` clause records that the formula
     /// itself became unsatisfiable.
     Learn(Vec<Lit>),
-    /// A learnt clause removed from the database (activity-based
-    /// reduction). Deletions never remove axioms.
+    /// A clause removed from the database: a learnt clause dropped by
+    /// tiered reduction, or an original clause retired by inprocessing
+    /// (satisfied at the root, subsumed, or replaced by a strengthened
+    /// RUP version that was `Learn`-logged first). Clauses detached by
+    /// variable elimination are the one exception — they are *not*
+    /// `Delete`-logged, so the checker's axiom stream stays authoritative
+    /// (RUP is monotone in the clause database; see the
+    /// `inprocess` module docs).
     Delete(Vec<Lit>),
 }
 

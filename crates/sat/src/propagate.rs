@@ -1,0 +1,126 @@
+//! Unit propagation over two watched literals.
+//!
+//! Binary clauses never touch clause memory: their watch entry carries
+//! the other literal as the blocker, so propagating them is a single
+//! assignment check. This requires eager watch removal on deletion
+//! (see `Solver::detach_clause`) — there is no lazy `deleted` re-check
+//! on the binary path.
+
+use crate::solver::{Solver, Watch};
+use crate::types::LBool;
+
+impl Solver {
+    /// Propagates all enqueued literals. Returns the conflicting clause
+    /// reference, or `None` if propagation completes without conflict.
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let p_level = self.levels[p.var().index()];
+
+            // Take the watch list to satisfy the borrow checker; watches
+            // that stay put are written back compacted.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut kept = 0usize;
+            let mut i = 0usize;
+            let mut conflict = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Common case: the blocker already satisfies the clause.
+                let blocker_val = self.lit_value(w.blocker);
+                if blocker_val == LBool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                if w.is_binary() {
+                    // The blocker IS the other literal.
+                    ws[kept] = w;
+                    kept += 1;
+                    if blocker_val == LBool::False {
+                        conflict = Some(w.cref());
+                        break 'watches;
+                    }
+                    // The implied literal lands at p's own level — with
+                    // chronological backtracking that may lie below the
+                    // current decision level.
+                    self.enqueue_at(w.blocker, Some(w.cref()), p_level);
+                    continue;
+                }
+
+                let cref = w.cref() as usize;
+                // Lazy deletion check: a clause deleted while its watch
+                // sits in this taken list slips past eager detaching.
+                if self.clauses[cref].deleted {
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                let false_lit = !p;
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[kept] = w.with_blocker(first);
+                    kept += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    let lit = self.clauses[cref].lits[k];
+                    if self.lit_value(lit) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lit).index()].push(Watch::new(w.cref(), first, false));
+                        continue 'watches;
+                    }
+                }
+                // No new watch: the clause is unit or conflicting.
+                ws[kept] = w.with_blocker(first);
+                kept += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref());
+                    break 'watches;
+                }
+                // Unit: the implied literal lands at the level where the
+                // clause became unit (the max level among its false
+                // literals), not necessarily the current decision level.
+                let level = self.implication_level(cref);
+                self.enqueue_at(first, Some(w.cref()), level);
+            }
+            if conflict.is_some() {
+                // Keep the unvisited tail of the watch list. The queue is
+                // NOT fast-forwarded: entries enqueued below the current
+                // level (chronological backtracking) may survive the
+                // coming backtrack, and `Solver::backtrack` rewinds
+                // `qhead` so every survivor is (re-)propagated.
+                while i < ws.len() {
+                    ws[kept] = ws[i];
+                    kept += 1;
+                    i += 1;
+                }
+                ws.truncate(kept);
+                self.watches[p.index()] = ws;
+                return conflict;
+            }
+            ws.truncate(kept);
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    /// The level at which a clause with exactly one non-false literal
+    /// (at position 0) implies that literal: the maximum level among its
+    /// false literals.
+    fn implication_level(&self, cref: usize) -> u32 {
+        self.clauses[cref]
+            .lits
+            .iter()
+            .skip(1)
+            .map(|l| self.levels[l.var().index()])
+            .max()
+            .unwrap_or(0)
+    }
+}

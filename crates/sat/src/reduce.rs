@@ -1,0 +1,64 @@
+//! Glue-aware learnt-clause database reduction.
+//!
+//! Learnt clauses live in three tiers (see `Tier`): core clauses
+//! (LBD ≤ 2) are kept forever, mid clauses are kept while they keep
+//! appearing in conflicts and demoted to local when stale, and local
+//! clauses are ranked by (LBD, activity) with the worst half deleted.
+//! The `used` counter gives every clause a grace period of two
+//! reductions after each conflict it participates in.
+
+use crate::solver::{Solver, Tier};
+
+impl Solver {
+    pub(crate) fn reduce_db(&mut self) {
+        // Demote mid-tier clauses that sat out the whole window since the
+        // last reduction; give active ones another window.
+        for c in &mut self.clauses {
+            if c.learnt && !c.deleted && c.tier == Tier::Mid {
+                if c.used > 0 {
+                    c.used -= 1;
+                } else {
+                    c.tier = Tier::Local;
+                }
+            }
+        }
+        // Collect deletable local clauses. A clause currently acting as
+        // the reason for an assignment is locked; recently used clauses
+        // spend their grace counter instead of becoming candidates.
+        let mut candidates: Vec<u32> = Vec::new();
+        for cref in 0..self.clauses.len() as u32 {
+            let c = &self.clauses[cref as usize];
+            if !c.learnt || c.deleted || c.tier != Tier::Local {
+                continue;
+            }
+            if self.is_reason(cref) {
+                continue;
+            }
+            let c = &mut self.clauses[cref as usize];
+            if c.used > 0 {
+                c.used -= 1;
+                continue;
+            }
+            candidates.push(cref);
+        }
+        // Worst first: highest LBD, then lowest activity.
+        candidates.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.total_cmp(&cb.activity))
+        });
+        for &cref in &candidates[..candidates.len() / 2] {
+            self.delete_clause(cref);
+        }
+    }
+
+    /// `true` if the clause is the reason for a current assignment (its
+    /// implied literal is assigned with this clause as antecedent).
+    pub(crate) fn is_reason(&self, cref: u32) -> bool {
+        self.clauses[cref as usize]
+            .lits
+            .iter()
+            .any(|l| self.reasons[l.var().index()] == Some(cref))
+    }
+}

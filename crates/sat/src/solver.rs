@@ -1,148 +1,106 @@
 //! A CDCL (conflict-driven clause learning) SAT solver.
 //!
-//! The implementation follows the MiniSat architecture: two-watched-literal
-//! propagation, first-UIP conflict analysis with clause learning and
-//! non-chronological backjumping, VSIDS variable activities with an indexed
-//! max-heap, phase saving, Luby-sequence restarts, and activity-based
-//! learnt-clause database reduction. Incremental solving under assumptions
+//! The core follows the MiniSat architecture — two-watched-literal
+//! propagation, first-UIP conflict analysis with clause learning, VSIDS
+//! variable activities with an indexed max-heap, phase saving, and
+//! Luby-sequence restarts — extended with the techniques of contemporary
+//! solvers: special-cased binary-clause watches, a glue-aware three-tier
+//! learnt-clause database (see `reduce.rs`), chronological backtracking
+//! (see [`Solver::backtrack`]), target-phase rephasing, inprocessing
+//! between restarts (see `inprocess.rs`), and a proof-sound parallel
+//! portfolio (see `portfolio.rs`). Incremental solving under assumptions
 //! is supported, which is what the UPEC-DIT engine uses for its repeated
 //! property checks.
 
+use crate::heap::VarHeap;
+use crate::portfolio::{ShareCursor, ShareLog};
 use crate::proof::{Proof, ProofStep};
+use crate::stats::SolverStats;
 use crate::types::{LBool, Lit, SolveResult, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-const VAR_DECAY: f64 = 0.95;
-const CLAUSE_DECAY: f64 = 0.999;
-const RESCALE_LIMIT: f64 = 1e100;
-const LUBY_UNIT: u64 = 128;
+pub(crate) const VAR_DECAY: f64 = 0.95;
+pub(crate) const CLAUSE_DECAY: f64 = 0.999;
+pub(crate) const RESCALE_LIMIT: f64 = 1e100;
+pub(crate) const LUBY_UNIT: u64 = 128;
+/// Backjumps longer than this become single-level chronological
+/// backtracks, so the long propagation prefix below stays intact.
+pub(crate) const CHRONO_THRESHOLD: u32 = 100;
+/// Conflicts between phase resets.
+pub(crate) const REPHASE_INTERVAL: u64 = 4096;
+/// Conflicts before the first inprocessing pass; doubles after each pass.
+pub(crate) const INPROCESS_INTERVAL: u64 = 4096;
+/// Learnt clauses with LBD at or below this are exported to portfolio
+/// peers.
+pub(crate) const SHARE_LBD_LIMIT: u32 = 2;
+/// How often (in decisions) a portfolio worker polls the stop flag.
+const STOP_POLL_DECISIONS: u64 = 128;
+
+/// Learnt-clause storage tier. Glue (low-LBD) clauses are kept forever,
+/// mid-tier clauses survive while they keep participating in conflicts,
+/// and local clauses face activity-ranked reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// LBD ≤ 2: kept unconditionally.
+    Core,
+    /// LBD ≤ 6: kept while recently used, demoted to Local when stale.
+    Mid,
+    /// Everything else: the reduction pool.
+    Local,
+}
+
+pub(crate) fn tier_for_lbd(lbd: u32) -> Tier {
+    match lbd {
+        0..=2 => Tier::Core,
+        3..=6 => Tier::Mid,
+        _ => Tier::Local,
+    }
+}
 
 #[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    /// Literal-block distance at learning time (glue level).
-    lbd: u32,
-    deleted: bool,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f64,
+    /// Literal-block distance at learning time (glue level), updated
+    /// downward when the clause participates in later conflicts.
+    pub(crate) lbd: u32,
+    pub(crate) tier: Tier,
+    /// Reduction-protection counter: bumped when the clause appears in a
+    /// conflict, decremented by `reduce_db` instead of deleting.
+    pub(crate) used: u8,
+    pub(crate) deleted: bool,
 }
 
+/// A watch-list entry. The clause reference and the is-binary bit share
+/// one word so binary clauses propagate without touching clause memory:
+/// for them `blocker` *is* the other literal.
 #[derive(Clone, Copy, Debug)]
-struct Watch {
-    clause: u32,
-    blocker: Lit,
+pub(crate) struct Watch {
+    tag: u32,
+    pub(crate) blocker: Lit,
 }
 
-/// An indexed binary max-heap over variables ordered by activity.
-#[derive(Debug, Default)]
-struct VarHeap {
-    heap: Vec<Var>,
-    position: Vec<Option<u32>>,
-}
-
-impl VarHeap {
-    fn grow(&mut self, n: usize) {
-        self.position.resize(n, None);
-    }
-
-    fn contains(&self, v: Var) -> bool {
-        self.position[v.index()].is_some()
-    }
-
-    fn push(&mut self, v: Var, activity: &[f64]) {
-        if self.contains(v) {
-            return;
-        }
-        self.position[v.index()] = Some(self.heap.len() as u32);
-        self.heap.push(v);
-        self.sift_up(self.heap.len() - 1, activity);
-    }
-
-    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
-        let top = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty");
-        self.position[top.index()] = None;
-        if !self.heap.is_empty() {
-            self.heap[0] = last;
-            self.position[last.index()] = Some(0);
-            self.sift_down(0, activity);
-        }
-        Some(top)
-    }
-
-    fn update(&mut self, v: Var, activity: &[f64]) {
-        if let Some(pos) = self.position[v.index()] {
-            self.sift_up(pos as usize, activity);
+impl Watch {
+    pub(crate) fn new(cref: u32, blocker: Lit, binary: bool) -> Watch {
+        debug_assert!(cref < u32::MAX / 2, "clause arena overflow");
+        Watch {
+            tag: (cref << 1) | u32::from(binary),
+            blocker,
         }
     }
 
-    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
-                break;
-            }
-            self.swap(i, parent);
-            i = parent;
-        }
+    pub(crate) fn cref(self) -> u32 {
+        self.tag >> 1
     }
 
-    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
-        loop {
-            let left = 2 * i + 1;
-            let right = 2 * i + 2;
-            let mut largest = i;
-            for child in [left, right] {
-                if child < self.heap.len()
-                    && activity[self.heap[child].index()] > activity[self.heap[largest].index()]
-                {
-                    largest = child;
-                }
-            }
-            if largest == i {
-                break;
-            }
-            self.swap(i, largest);
-            i = largest;
-        }
+    pub(crate) fn with_blocker(self, blocker: Lit) -> Watch {
+        Watch { blocker, ..self }
     }
 
-    fn swap(&mut self, i: usize, j: usize) {
-        self.heap.swap(i, j);
-        self.position[self.heap[i].index()] = Some(i as u32);
-        self.position[self.heap[j].index()] = Some(j as u32);
-    }
-}
-
-/// Statistics accumulated across `solve` calls.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SolverStats {
-    /// Conflicts encountered.
-    pub conflicts: u64,
-    /// Decisions made.
-    pub decisions: u64,
-    /// Literals propagated.
-    pub propagations: u64,
-    /// Restarts performed.
-    pub restarts: u64,
-    /// Learnt clauses currently in the database.
-    pub learnt_clauses: u64,
-}
-
-impl SolverStats {
-    /// Folds another solver's statistics into this one. Used to aggregate
-    /// across engines (one per design) or across parallel workers.
-    pub fn merge(&mut self, other: &SolverStats) {
-        self.conflicts += other.conflicts;
-        self.decisions += other.decisions;
-        self.propagations += other.propagations;
-        self.restarts += other.restarts;
-        self.learnt_clauses += other.learnt_clauses;
-    }
-}
-
-impl std::ops::AddAssign for SolverStats {
-    fn add_assign(&mut self, rhs: SolverStats) {
-        self.merge(&rhs);
+    pub(crate) fn is_binary(self) -> bool {
+        self.tag & 1 != 0
     }
 }
 
@@ -164,28 +122,67 @@ impl std::ops::AddAssign for SolverStats {
 /// assert_eq!(solver.value(a), Some(true));
 /// assert_eq!(solver.value(b), Some(true));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watch>>,
-    assigns: Vec<LBool>,
-    levels: Vec<u32>,
-    reasons: Vec<Option<u32>>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
-    var_inc: f64,
-    clause_inc: f64,
-    heap: VarHeap,
-    phase: Vec<bool>,
-    seen: Vec<bool>,
-    ok: bool,
-    stats: SolverStats,
-    model: Vec<bool>,
-    max_learnts: f64,
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) watches: Vec<Vec<Watch>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) levels: Vec<u32>,
+    pub(crate) reasons: Vec<Option<u32>>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) activity: Vec<f64>,
+    pub(crate) var_inc: f64,
+    pub(crate) clause_inc: f64,
+    pub(crate) heap: VarHeap,
+    pub(crate) phase: Vec<bool>,
+    /// Phase snapshot of the deepest trail reached since the last restart
+    /// window — the "target phases" used by rephasing.
+    pub(crate) target_phase: Vec<bool>,
+    pub(crate) best_trail: usize,
+    pub(crate) seen: Vec<bool>,
+    /// Scratch for conflict analysis: literals whose `seen` marks need
+    /// clearing (reused across conflicts; no per-conflict allocation).
+    pub(crate) analyze_toclear: Vec<Lit>,
+    pub(crate) ok: bool,
+    pub(crate) stats: SolverStats,
+    pub(crate) model: Vec<bool>,
+    pub(crate) max_learnts: f64,
     /// DRUP-style proof trace; `None` keeps logging at zero cost.
-    proof: Option<Proof>,
+    pub(crate) proof: Option<Proof>,
+    /// Decision-level stamp buffer for allocation-free LBD computation.
+    pub(crate) lbd_stamp: Vec<u32>,
+    pub(crate) lbd_gen: u32,
+    /// Chronological backtracking switch (portfolio workers diversify it).
+    pub(crate) chrono: bool,
+    pub(crate) chrono_threshold: u32,
+    /// Variables exempt from elimination: assumption/activation literals
+    /// and anything the caller froze explicitly.
+    pub(crate) frozen: Vec<bool>,
+    pub(crate) eliminated: Vec<bool>,
+    /// Eliminated variables with the clauses removed on their behalf, in
+    /// elimination order; used for model reconstruction and restoration.
+    pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    pub(crate) inprocess_enabled: bool,
+    pub(crate) bve_enabled: bool,
+    pub(crate) inprocess_passes: u32,
+    pub(crate) next_inprocess: u64,
+    /// Base conflict gap between inprocessing passes (doubles per pass).
+    pub(crate) inprocess_interval: u64,
+    /// Round-robin cursor so vivification resumes where the last pass
+    /// stopped instead of re-probing the same prefix.
+    pub(crate) vivify_head: usize,
+    pub(crate) next_rephase: u64,
+    pub(crate) rephase_kind: u8,
+    /// Portfolio width on the owning solver (0 = plain sequential).
+    pub(crate) portfolio_workers: usize,
+    /// Race stop flag, set only on portfolio worker clones.
+    pub(crate) stop: Option<Arc<AtomicBool>>,
+    /// Outgoing share log (set on portfolio workers).
+    pub(crate) share_out: Option<Arc<ShareLog>>,
+    /// Incoming share logs from the other workers.
+    pub(crate) share_in: Vec<ShareCursor>,
 }
 
 impl Default for Solver {
@@ -211,20 +208,43 @@ impl Solver {
             clause_inc: 1.0,
             heap: VarHeap::default(),
             phase: Vec::new(),
+            target_phase: Vec::new(),
+            best_trail: 0,
             seen: Vec::new(),
+            analyze_toclear: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
             model: Vec::new(),
             max_learnts: 1000.0,
             proof: None,
+            lbd_stamp: vec![0],
+            lbd_gen: 0,
+            chrono: true,
+            chrono_threshold: CHRONO_THRESHOLD,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            inprocess_enabled: true,
+            bve_enabled: true,
+            inprocess_passes: 0,
+            next_inprocess: INPROCESS_INTERVAL,
+            inprocess_interval: INPROCESS_INTERVAL,
+            vivify_head: 0,
+            next_rephase: REPHASE_INTERVAL,
+            rephase_kind: 0,
+            portfolio_workers: 0,
+            stop: None,
+            share_out: None,
+            share_in: Vec::new(),
         }
     }
 
     /// Turns on DRUP-style proof logging: every asserted clause, every
-    /// learnt clause, and every deletion is appended to an in-memory
-    /// trace that an independent checker can replay (see the
-    /// `fastpath-cert` crate). Logging must be enabled before the first
-    /// clause is added so the trace covers the whole formula.
+    /// learnt (or inprocessing-derived) clause, and every deletion is
+    /// appended to an in-memory trace that an independent checker can
+    /// replay (see the `fastpath-cert` crate). Logging must be enabled
+    /// before the first clause is added so the trace covers the whole
+    /// formula.
     ///
     /// # Panics
     ///
@@ -251,12 +271,13 @@ impl Solver {
 
     /// The full model of the most recent [`SolveResult::Sat`] outcome
     /// (empty before the first successful solve), indexed by variable.
+    /// Covers eliminated variables via model reconstruction.
     pub fn model(&self) -> &[bool] {
         &self.model
     }
 
     #[inline]
-    fn log(&mut self, step: impl FnOnce() -> ProofStep) {
+    pub(crate) fn log(&mut self, step: impl FnOnce() -> ProofStep) {
         if let Some(proof) = &mut self.proof {
             proof.push(step());
         }
@@ -280,6 +301,58 @@ impl Solver {
         self.stats
     }
 
+    /// Exempts a variable from bounded variable elimination. Activation
+    /// literals and any variable that may occur in future clauses or
+    /// assumptions should be frozen; assumption variables are frozen
+    /// automatically on first use. Freezing is permanent.
+    pub fn freeze(&mut self, v: Var) {
+        self.frozen[v.index()] = true;
+    }
+
+    /// `true` if the variable is exempt from elimination.
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.index()]
+    }
+
+    /// Enables or disables inprocessing (vivification, subsumption, and
+    /// bounded variable elimination between restarts). On by default.
+    pub fn set_inprocessing(&mut self, enabled: bool) {
+        self.inprocess_enabled = enabled;
+    }
+
+    /// Sets the conflict interval between inprocessing passes (default
+    /// 4096; the gap also doubles with each completed pass). Lowering it
+    /// makes inprocessing fire on short queries — useful for tests and
+    /// for workloads dominated by many small incremental checks.
+    pub fn set_inprocess_interval(&mut self, conflicts: u64) {
+        self.inprocess_interval = conflicts.max(1);
+        self.next_inprocess = self.stats.conflicts + self.inprocess_interval;
+    }
+
+    /// Enables or disables bounded variable elimination specifically
+    /// (a sub-switch of inprocessing). On by default.
+    pub fn set_variable_elimination(&mut self, enabled: bool) {
+        self.bve_enabled = enabled;
+    }
+
+    /// Enables or disables chronological backtracking. On by default.
+    pub fn set_chrono(&mut self, enabled: bool) {
+        self.chrono = enabled;
+    }
+
+    /// Sets the portfolio width: `solve` calls race `workers` diversified
+    /// solver configurations and adjudicate deterministically (see
+    /// `portfolio.rs` for the determinism rules). `0` disables the
+    /// portfolio (plain sequential solving).
+    pub fn set_portfolio(&mut self, workers: usize) {
+        self.portfolio_workers = workers;
+    }
+
+    /// The configured portfolio width (0 = sequential).
+    pub fn portfolio(&self) -> usize {
+        self.portfolio_workers
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
@@ -288,9 +361,13 @@ impl Solver {
         self.reasons.push(None);
         self.activity.push(0.0);
         self.phase.push(false);
+        self.target_phase.push(false);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.lbd_stamp.push(0);
         self.heap.grow(self.assigns.len());
         self.heap.push(v, &self.activity);
         v
@@ -305,8 +382,18 @@ impl Solver {
     ///
     /// Panics if a literal references a variable that was never allocated.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        for &lit in lits {
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal {lit} references unallocated variable"
+            );
+        }
+        // A clause may mention a variable that bounded elimination
+        // removed; restore such variables (and their clauses) first so
+        // the elimination stays sound under incremental additions.
+        self.restore_eliminated_in(lits);
         // Record the clause verbatim (pre-simplification): the axiom
-        // stream must be the exact CNF the caller asserted, and the
+        // stream must cover the exact CNF the caller asserted, and the
         // checker's own propagation re-derives whatever the
         // simplification below exploits.
         self.log(|| ProofStep::Axiom(lits.to_vec()));
@@ -324,10 +411,6 @@ impl Solver {
         }
         let mut simplified: Vec<Lit> = Vec::with_capacity(sorted.len());
         for &lit in &sorted {
-            assert!(
-                lit.var().index() < self.num_vars(),
-                "literal {lit} references unallocated variable"
-            );
             match self.lit_value(lit) {
                 LBool::True => return true, // already satisfied at level 0
                 LBool::False => {}          // drop falsified literal
@@ -351,19 +434,12 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
-        let w0 = Watch {
-            clause: cref,
-            blocker: lits[1],
-        };
-        let w1 = Watch {
-            clause: cref,
-            blocker: lits[0],
-        };
-        self.watches[(!lits[0]).index()].push(w0);
-        self.watches[(!lits[1]).index()].push(w1);
+        let binary = lits.len() == 2;
+        self.watches[(!lits[0]).index()].push(Watch::new(cref, lits[1], binary));
+        self.watches[(!lits[1]).index()].push(Watch::new(cref, lits[0], binary));
         if learnt {
             self.stats.learnt_clauses += 1;
         }
@@ -373,20 +449,49 @@ impl Solver {
             learnt,
             activity: 0.0,
             lbd,
+            tier: if learnt {
+                tier_for_lbd(lbd)
+            } else {
+                Tier::Core
+            },
+            used: 2,
             deleted: false,
         });
         cref
     }
 
-    /// Literal-block distance: number of distinct decision levels.
-    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.levels[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+    /// Removes the clause's two watch entries. Must be called before a
+    /// clause is deleted or its watched literals change, so propagation
+    /// never sees stale references (binary watches cannot re-check).
+    pub(crate) fn detach_clause(&mut self, cref: u32) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0], c.lits[1])
+        };
+        for w in [w0, w1] {
+            let list = &mut self.watches[(!w).index()];
+            if let Some(pos) = list.iter().position(|watch| watch.cref() == cref) {
+                list.swap_remove(pos);
+            }
+        }
     }
 
-    fn lit_value(&self, lit: Lit) -> LBool {
+    /// Detaches and marks a clause deleted, logging the deletion.
+    pub(crate) fn delete_clause(&mut self, cref: u32) {
+        debug_assert!(!self.clauses[cref as usize].deleted);
+        self.detach_clause(cref);
+        let c = &mut self.clauses[cref as usize];
+        c.deleted = true;
+        if c.learnt {
+            self.stats.learnt_clauses -= 1;
+        }
+        if self.proof.is_some() {
+            let lits = self.clauses[cref as usize].lits.clone();
+            self.log(|| ProofStep::Delete(lits));
+        }
+    }
+
+    pub(crate) fn lit_value(&self, lit: Lit) -> LBool {
         self.assigns[lit.var().index()].of_lit(lit)
     }
 
@@ -396,288 +501,73 @@ impl Solver {
         self.model.get(v.index()).copied()
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+    pub(crate) fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+        self.enqueue_at(lit, reason, self.decision_level());
+    }
+
+    /// Assigns a literal at an explicit level, which may lie below the
+    /// current decision level (an "out-of-order" assignment, the heart of
+    /// chronological backtracking: the asserting literal of a learnt
+    /// clause is recorded at the level where its reason became unit).
+    pub(crate) fn enqueue_at(&mut self, lit: Lit, reason: Option<u32>, level: u32) {
         debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        debug_assert!(level <= self.decision_level());
         let v = lit.var();
         self.assigns[v.index()] = LBool::from_bool(lit.is_positive());
-        self.levels[v.index()] = self.decision_level();
-        self.reasons[v.index()] = reason;
+        self.levels[v.index()] = level;
+        // Root facts need no antecedent (analysis skips level 0), and a
+        // `None` reason lets inprocessing delete or strengthen any clause
+        // at the root without dangling reason references.
+        self.reasons[v.index()] = if level == 0 { None } else { reason };
         self.trail.push(lit);
     }
 
-    /// Unit propagation. Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<u32> {
-        while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
-            self.qhead += 1;
-            self.stats.propagations += 1;
-            let mut i = 0;
-            // Take the watch list to avoid aliasing; we push back survivors.
-            let mut ws = std::mem::take(&mut self.watches[p.index()]);
-            while i < ws.len() {
-                let watch = ws[i];
-                // Quick satisfied check via blocker.
-                if self.lit_value(watch.blocker) == LBool::True {
-                    i += 1;
-                    continue;
-                }
-                let cref = watch.clause as usize;
-                if self.clauses[cref].deleted {
-                    ws.swap_remove(i);
-                    continue;
-                }
-                // Normalize: watched literal being falsified is !p; put it
-                // at position 1.
-                let false_lit = !p;
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
-                }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
-                if first != watch.blocker && self.lit_value(first) == LBool::True {
-                    ws[i].blocker = first;
-                    i += 1;
-                    continue;
-                }
-                // Find a new literal to watch.
-                let mut found = None;
-                for k in 2..self.clauses[cref].lits.len() {
-                    if self.lit_value(self.clauses[cref].lits[k]) != LBool::False {
-                        found = Some(k);
-                        break;
-                    }
-                }
-                if let Some(k) = found {
-                    self.clauses[cref].lits.swap(1, k);
-                    let new_watched = self.clauses[cref].lits[1];
-                    self.watches[(!new_watched).index()].push(Watch {
-                        clause: watch.clause,
-                        blocker: first,
-                    });
-                    ws.swap_remove(i);
-                    continue;
-                }
-                // Clause is unit or conflicting.
-                if self.lit_value(first) == LBool::False {
-                    // Conflict: restore remaining watches and bail.
-                    self.watches[p.index()].append(&mut ws.split_off(0));
-                    self.qhead = self.trail.len();
-                    return Some(watch.clause);
-                }
-                self.enqueue(first, Some(watch.clause));
-                i += 1;
-            }
-            self.watches[p.index()].append(&mut ws);
-        }
-        None
-    }
-
-    fn bump_var(&mut self, v: Var) {
-        self.activity[v.index()] += self.var_inc;
-        if self.activity[v.index()] > RESCALE_LIMIT {
-            for a in &mut self.activity {
-                *a *= 1.0 / RESCALE_LIMIT;
-            }
-            self.var_inc *= 1.0 / RESCALE_LIMIT;
-        }
-        self.heap.update(v, &self.activity);
-    }
-
-    fn bump_clause(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        if !c.learnt {
-            return;
-        }
-        c.activity += self.clause_inc;
-        if c.activity > RESCALE_LIMIT {
-            for clause in self.clauses.iter_mut().filter(|c| c.learnt) {
-                clause.activity *= 1.0 / RESCALE_LIMIT;
-            }
-            self.clause_inc *= 1.0 / RESCALE_LIMIT;
-        }
-    }
-
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
-        let mut counter = 0usize;
-        let mut p: Option<Lit> = None;
-        let mut cref = conflict;
-        let mut index = self.trail.len();
-
-        loop {
-            self.bump_clause(cref);
-            let start = usize::from(p.is_some());
-            // Collect literals from the reason/conflict clause.
-            let lits: Vec<Lit> = self.clauses[cref as usize].lits[start..].to_vec();
-            for q in lits {
-                let v = q.var();
-                if !self.seen[v.index()] && self.levels[v.index()] > 0 {
-                    self.seen[v.index()] = true;
-                    self.bump_var(v);
-                    if self.levels[v.index()] >= self.decision_level() {
-                        counter += 1;
-                    } else {
-                        learnt.push(q);
-                    }
-                }
-            }
-            // Select next literal to expand: last seen on the trail.
-            loop {
-                index -= 1;
-                if self.seen[self.trail[index].var().index()] {
-                    break;
-                }
-            }
-            let lit = self.trail[index];
-            self.seen[lit.var().index()] = false;
-            counter -= 1;
-            if counter == 0 {
-                learnt[0] = !lit;
-                break;
-            }
-            p = Some(lit);
-            cref = self.reasons[lit.var().index()].expect("non-decision literal has a reason");
-        }
-
-        // Recursive clause minimization (MiniSat ccmin-mode 2): a literal
-        // is redundant if it is implied by the remaining learnt literals
-        // through the implication graph. `seen` is still set for every
-        // learnt literal at this point, which the check relies on.
-        for l in &learnt {
-            self.seen[l.var().index()] = true;
-        }
-        let abstract_levels: u32 = learnt[1..]
-            .iter()
-            .map(|l| 1u32 << (self.levels[l.var().index()] & 31))
-            .fold(0, |a, b| a | b);
-        let mut to_clear: Vec<Lit> = learnt.clone();
-        let keep: Vec<Lit> = learnt[1..]
-            .iter()
-            .copied()
-            .filter(|&l| {
-                self.reasons[l.var().index()].is_none()
-                    || !self.lit_redundant(l, abstract_levels, &mut to_clear)
-            })
-            .collect();
-        let mut minimized = vec![learnt[0]];
-        minimized.extend(keep);
-
-        // Backjump level = highest level among the non-UIP literals.
-        let backjump = minimized[1..]
-            .iter()
-            .map(|l| self.levels[l.var().index()])
-            .max()
-            .unwrap_or(0);
-
-        // Clear seen flags.
-        for l in &to_clear {
-            self.seen[l.var().index()] = false;
-        }
-        (minimized, backjump)
-    }
-
-    /// Recursive redundancy check through the implication graph. Literals
-    /// whose entire reason cone is already `seen` (or level 0) are implied
-    /// by the rest of the learnt clause. Newly visited literals are marked
-    /// `seen` and recorded in `to_clear`.
-    fn lit_redundant(&mut self, lit: Lit, abstract_levels: u32, to_clear: &mut Vec<Lit>) -> bool {
-        let mut stack = vec![lit];
-        let checkpoint = to_clear.len();
-        while let Some(q) = stack.pop() {
-            let reason = self.reasons[q.var().index()].expect("candidate literal has a reason");
-            let lits: Vec<Lit> = self.clauses[reason as usize].lits[1..].to_vec();
-            for l in lits {
-                let v = l.var();
-                if self.seen[v.index()] || self.levels[v.index()] == 0 {
-                    continue;
-                }
-                let has_reason = self.reasons[v.index()].is_some();
-                let level_ok = (1u32 << (self.levels[v.index()] & 31)) & abstract_levels != 0;
-                if has_reason && level_ok {
-                    self.seen[v.index()] = true;
-                    to_clear.push(l);
-                    stack.push(l);
-                } else {
-                    // Not redundant: roll back the marks from this probe.
-                    for undo in &to_clear[checkpoint..] {
-                        self.seen[undo.var().index()] = false;
-                    }
-                    to_clear.truncate(checkpoint);
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn backtrack(&mut self, level: u32) {
+    /// Backtracks to `level`. Chronology-aware: trail entries assigned at
+    /// or below the target level (out-of-order assignments from
+    /// chronological backtracking) keep their assignments and are
+    /// re-appended in order; everything else is unassigned.
+    pub(crate) fn backtrack(&mut self, level: u32) {
         if self.decision_level() <= level {
             return;
         }
         let bound = self.trail_lim[level as usize];
-        for i in (bound..self.trail.len()).rev() {
+        let mut kept = 0usize;
+        for i in bound..self.trail.len() {
             let lit = self.trail[i];
             let v = lit.var();
-            self.phase[v.index()] = lit.is_positive();
-            self.assigns[v.index()] = LBool::Undef;
-            self.reasons[v.index()] = None;
-            self.heap.push(v, &self.activity);
+            if self.levels[v.index()] <= level {
+                self.trail[bound + kept] = lit;
+                kept += 1;
+            } else {
+                self.phase[v.index()] = lit.is_positive();
+                self.assigns[v.index()] = LBool::Undef;
+                self.reasons[v.index()] = None;
+                self.heap.push(v, &self.activity);
+            }
         }
-        self.trail.truncate(bound);
+        self.trail.truncate(bound + kept);
         self.trail_lim.truncate(level as usize);
-        self.qhead = self.trail.len();
+        // Everything below `bound` was propagated to fixpoint before the
+        // level above it was opened. Survivors compacted into
+        // `bound..bound+kept` (out-of-order assignments kept by
+        // chronological backtracking) may still carry unpropagated
+        // implications — in particular when a conflict cut propagation
+        // short — so propagation must resume no later than `bound`.
+        // Re-propagating an already-propagated literal is idempotent.
+        self.qhead = self.qhead.min(bound);
     }
 
-    fn pick_branch_var(&mut self) -> Option<Var> {
+    pub(crate) fn pick_branch_var(&mut self) -> Option<Var> {
         while let Some(v) = self.heap.pop(&self.activity) {
-            if self.assigns[v.index()] == LBool::Undef {
+            if self.assigns[v.index()] == LBool::Undef && !self.eliminated[v.index()] {
                 return Some(v);
             }
         }
         None
-    }
-
-    fn reduce_db(&mut self) {
-        let mut locked = vec![false; self.clauses.len()];
-        for l in &self.trail {
-            if let Some(cref) = self.reasons[l.var().index()] {
-                locked[cref as usize] = true;
-            }
-        }
-        // Glue clauses (small LBD) are kept unconditionally; the rest are
-        // ranked worst-first by (high LBD, low activity) and the worst half
-        // removed.
-        let mut learnt_indices: Vec<usize> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| c.learnt && !c.deleted && !locked[*i] && c.lits.len() > 2 && c.lbd > 3)
-            .map(|(i, _)| i)
-            .collect();
-        learnt_indices.sort_by(|&a, &b| {
-            let ca = &self.clauses[a];
-            let cb = &self.clauses[b];
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
-                    .expect("activities are finite"),
-            )
-        });
-        let remove = learnt_indices.len() / 2;
-        for &i in &learnt_indices[..remove] {
-            self.clauses[i].deleted = true;
-            self.stats.learnt_clauses -= 1;
-            if self.proof.is_some() {
-                let lits = self.clauses[i].lits.clone();
-                self.log(|| ProofStep::Delete(lits));
-            }
-        }
     }
 
     /// Solves the formula without assumptions.
@@ -687,47 +577,106 @@ impl Solver {
 
     /// Solves under the given assumption literals: the formula plus each
     /// assumption as a unit constraint for this call only.
+    ///
+    /// With a portfolio configured (see [`Solver::set_portfolio`]), the
+    /// call races diversified worker clones and adjudicates
+    /// deterministically; otherwise it runs the plain sequential search.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
-        if !self.ok {
-            return SolveResult::Unsat;
+        if self.portfolio_workers > 0 {
+            return self.solve_portfolio(assumptions);
         }
+        self.solve_with_core(assumptions)
+            .expect("sequential search cannot be interrupted")
+    }
+
+    /// The sequential solve path. Returns `None` only when a portfolio
+    /// stop flag interrupted the search (worker clones only).
+    pub(crate) fn solve_with_core(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        // Assumption variables are permanently frozen (they may recur in
+        // later calls); restore any that elimination already removed.
+        for a in assumptions {
+            let v = a.var();
+            if self.eliminated[v.index()] {
+                self.restore_var(v);
+            }
+            self.frozen[v.index()] = true;
+        }
+        if !self.ok {
+            return Some(SolveResult::Unsat);
+        }
+        self.best_trail = self.trail.len();
         let result = self.search(assumptions);
         self.backtrack(0);
         result
     }
 
-    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+    fn should_stop(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
         let mut conflicts_until_restart = luby(self.stats.restarts) * LUBY_UNIT;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
-                if self.decision_level() == 0 {
+                // Chronological backtracking can leave the conflict's
+                // literals strictly below the current decision level;
+                // drop to the conflict's own level before analysis so
+                // the 1-UIP walk sees a standard picture.
+                let conflict_level = self.clauses[conflict as usize]
+                    .lits
+                    .iter()
+                    .map(|l| self.levels[l.var().index()])
+                    .max()
+                    .unwrap_or(0);
+                if conflict_level == 0 {
                     self.ok = false;
                     self.log(|| ProofStep::Learn(Vec::new()));
-                    return SolveResult::Unsat;
+                    return Some(SolveResult::Unsat);
+                }
+                if conflict_level < self.decision_level() {
+                    self.backtrack(conflict_level);
                 }
                 let (mut learnt, backjump) = self.analyze(conflict);
                 if self.proof.is_some() {
                     let lits = learnt.clone();
                     self.log(|| ProofStep::Learn(lits));
                 }
-                // Backjump may land below the assumption levels; the main
-                // loop re-asserts assumptions as pseudo-decisions, so this
-                // is safe and keeps the learning machinery uniform.
-                self.backtrack(backjump);
                 if learnt.len() == 1 {
-                    // Unit learnt clause: backjump is 0, assert at level 0.
-                    debug_assert_eq!(self.decision_level(), 0);
+                    // Unit learnt clause: assert at the root.
+                    self.backtrack(0);
                     match self.lit_value(learnt[0]) {
                         LBool::False => {
                             self.ok = false;
                             self.log(|| ProofStep::Learn(Vec::new()));
-                            return SolveResult::Unsat;
+                            return Some(SolveResult::Unsat);
                         }
                         LBool::Undef => self.enqueue(learnt[0], None),
                         LBool::True => {}
                     }
                 } else {
+                    // Deep backjumps throw away a long, expensively built
+                    // propagation prefix only to rebuild most of it.
+                    // Past the threshold, backtrack a single level
+                    // instead and record the asserting literal at its
+                    // real (backjump) level.
+                    let current = self.decision_level();
+                    let jump = if self.chrono && current - backjump > self.chrono_threshold {
+                        self.stats.chrono_backtracks += 1;
+                        current - 1
+                    } else {
+                        backjump
+                    };
+                    // Backjump may land below the assumption levels; the
+                    // main loop re-asserts assumptions as
+                    // pseudo-decisions, so this is safe and keeps the
+                    // learning machinery uniform.
+                    self.backtrack(jump);
                     // Watch the asserting literal and a literal from the
                     // backjump level so the watch invariant survives
                     // backtracking.
@@ -737,8 +686,9 @@ impl Solver {
                     learnt.swap(1, max_pos);
                     let asserting = learnt[0];
                     let cref = self.attach_clause(learnt, true);
+                    self.share_export(cref);
                     debug_assert_eq!(self.lit_value(asserting), LBool::Undef);
-                    self.enqueue(asserting, Some(cref));
+                    self.enqueue_at(asserting, Some(cref), backjump);
                 }
                 self.var_inc /= VAR_DECAY;
                 self.clause_inc /= CLAUSE_DECAY;
@@ -747,12 +697,46 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                 }
+                if self.should_stop() {
+                    return None;
+                }
             } else {
                 // No conflict: restart, assume, or decide.
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
+                    if self.trail.len() > self.best_trail {
+                        self.best_trail = self.trail.len();
+                        for i in 0..self.trail.len() {
+                            let lit = self.trail[i];
+                            self.target_phase[lit.var().index()] = lit.is_positive();
+                        }
+                    }
                     self.backtrack(0);
+                    // Flush survivor re-propagation before inprocessing
+                    // touches the clause database; a root conflict here
+                    // refutes the formula.
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                        self.log(|| ProofStep::Learn(Vec::new()));
+                        return Some(SolveResult::Unsat);
+                    }
                     conflicts_until_restart = luby(self.stats.restarts) * LUBY_UNIT;
+                    self.maybe_rephase();
+                    if self.inprocess_enabled && self.stats.conflicts >= self.next_inprocess {
+                        self.inprocess();
+                        self.next_inprocess = self.stats.conflicts
+                            + (self.inprocess_interval << self.inprocessings_done());
+                        if !self.ok {
+                            self.log(|| ProofStep::Learn(Vec::new()));
+                            return Some(SolveResult::Unsat);
+                        }
+                    }
+                    self.share_import();
+                    if !self.ok {
+                        self.log(|| ProofStep::Learn(Vec::new()));
+                        return Some(SolveResult::Unsat);
+                    }
+                    continue;
                 }
                 // Re-assert pending assumptions as pseudo-decisions (one
                 // decision level per assumption, in order).
@@ -765,7 +749,7 @@ impl Solver {
                             // the level↔assumption indexing aligned.
                             self.trail_lim.push(self.trail.len());
                         }
-                        LBool::False => return SolveResult::Unsat,
+                        LBool::False => return Some(SolveResult::Unsat),
                         LBool::Undef => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(a, None);
@@ -775,13 +759,16 @@ impl Solver {
                 }
                 match self.pick_branch_var() {
                     None => {
-                        self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
-                        #[cfg(debug_assertions)]
-                        self.debug_check_model();
-                        return SolveResult::Sat;
+                        self.extract_model();
+                        return Some(SolveResult::Sat);
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
+                        if self.stats.decisions.is_multiple_of(STOP_POLL_DECISIONS)
+                            && self.should_stop()
+                        {
+                            return None;
+                        }
                         let lit = v.lit(self.phase[v.index()]);
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(lit, None);
@@ -789,6 +776,40 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Number of inprocessing passes run so far, bounded for use as a
+    /// shift amount in the doubling schedule.
+    fn inprocessings_done(&self) -> u32 {
+        self.inprocess_passes.min(16)
+    }
+
+    /// Periodic phase reset: cycle between the target phases (deepest
+    /// trail seen) and the saved phases. Cheap — runs only at restart
+    /// boundaries, a handful of times per solve.
+    fn maybe_rephase(&mut self) {
+        if self.stats.conflicts < self.next_rephase {
+            return;
+        }
+        self.next_rephase = self.stats.conflicts + REPHASE_INTERVAL;
+        self.stats.rephases += 1;
+        match self.rephase_kind {
+            0 | 2 => self.phase.copy_from_slice(&self.target_phase),
+            1 => {} // keep saved phases
+            _ => {
+                for p in &mut self.phase {
+                    *p = false; // original phases
+                }
+            }
+        }
+        self.rephase_kind = (self.rephase_kind + 1) % 4;
+    }
+
+    fn extract_model(&mut self) {
+        self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
+        self.reconstruct_model();
+        #[cfg(debug_assertions)]
+        self.debug_check_model();
     }
 
     /// Debug-build tripwire: a [`SolveResult::Sat`] model must satisfy
@@ -807,15 +828,25 @@ impl Solver {
                 .any(|&l| self.model[l.var().index()] == l.is_positive());
             assert!(
                 satisfied,
-                "SAT model falsifies clause #{i} {:?}",
-                clause.lits
+                "SAT model falsifies clause #{i} {:?} (assigns {:?} at levels {:?})",
+                clause.lits,
+                clause
+                    .lits
+                    .iter()
+                    .map(|l| self.assigns[l.var().index()])
+                    .collect::<Vec<_>>(),
+                clause
+                    .lits
+                    .iter()
+                    .map(|l| self.levels[l.var().index()])
+                    .collect::<Vec<_>>(),
             );
         }
     }
 }
 
 /// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, … (0-indexed).
-fn luby(x: u64) -> u64 {
+pub(crate) fn luby(x: u64) -> u64 {
     let (mut size, mut seq) = (1u64, 0u32);
     while size < x + 1 {
         seq += 1;
@@ -829,7 +860,6 @@ fn luby(x: u64) -> u64 {
     }
     1u64 << seq
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

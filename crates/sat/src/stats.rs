@@ -1,0 +1,84 @@
+//! Solver work counters.
+
+/// Statistics accumulated across `solve` calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Conflicts resolved by a chronological backtrack (one level) instead
+    /// of a full non-chronological backjump.
+    pub chrono_backtracks: u64,
+    /// Phase-reset events (target/best rephasing).
+    pub rephases: u64,
+    /// Clauses shortened by vivification.
+    pub vivified: u64,
+    /// Literals removed by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub subsumed: u64,
+    /// Variables removed by bounded variable elimination (net of
+    /// restorations).
+    pub eliminated_vars: u64,
+    /// Learnt clauses imported from portfolio peers (after the local RUP
+    /// probe accepted them).
+    pub shared_imported: u64,
+    /// Low-LBD learnt clauses exported to portfolio peers.
+    pub shared_exported: u64,
+}
+
+impl SolverStats {
+    /// Folds another solver's statistics into this one. Used to aggregate
+    /// across engines (one per design) or across parallel workers.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.chrono_backtracks += other.chrono_backtracks;
+        self.rephases += other.rephases;
+        self.vivified += other.vivified;
+        self.strengthened += other.strengthened;
+        self.subsumed += other.subsumed;
+        self.eliminated_vars += other.eliminated_vars;
+        self.shared_imported += other.shared_imported;
+        self.shared_exported += other.shared_exported;
+    }
+
+    /// Per-field difference against an earlier snapshot of the same
+    /// counters (used to attribute portfolio-worker work to a race).
+    pub(crate) fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - earlier.conflicts,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            restarts: self.restarts - earlier.restarts,
+            // `learnt_clauses` is a level, not a counter: a delta would go
+            // negative when the race reduced the database. Report the
+            // worker's growth clamped at zero.
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            chrono_backtracks: self.chrono_backtracks - earlier.chrono_backtracks,
+            rephases: self.rephases - earlier.rephases,
+            vivified: self.vivified - earlier.vivified,
+            strengthened: self.strengthened - earlier.strengthened,
+            subsumed: self.subsumed - earlier.subsumed,
+            eliminated_vars: self.eliminated_vars.saturating_sub(earlier.eliminated_vars),
+            shared_imported: self.shared_imported - earlier.shared_imported,
+            shared_exported: self.shared_exported - earlier.shared_exported,
+        }
+    }
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.merge(&rhs);
+    }
+}

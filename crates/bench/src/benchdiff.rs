@@ -235,6 +235,21 @@ pub struct SideRecord {
     /// Per-technique solver counters (report-only; `None` for records
     /// predating them).
     pub solver: Option<SolverCounters>,
+    /// Proof-cache counters (report-only; `None` for cache-less runs and
+    /// records predating the cache).
+    pub cache: Option<CacheCounters>,
+}
+
+/// Report-only proof-cache counters from the `cache` object of a bench
+/// record (present only for `--proof-cache` runs). Absent fields parse as
+/// zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub bytes: u64,
+    pub evictions: u64,
 }
 
 /// Report-only SAT-solver technique counters from the `solver` object of
@@ -313,6 +328,15 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                             eliminated_vars: n("eliminated_vars"),
                             shared_imported: n("shared_imported"),
                             shared_exported: n("shared_exported"),
+                        }
+                    }),
+                    cache: s.get("cache").map(|cv| {
+                        let n = |k: &str| cv.num(k).unwrap_or(0.0) as u64;
+                        CacheCounters {
+                            hits: n("hits"),
+                            misses: n("misses"),
+                            bytes: n("bytes"),
+                            evictions: n("evictions"),
                         }
                     }),
                 })
@@ -453,6 +477,31 @@ pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, S
             );
         }
     }
+    // Report-only: proof-cache effectiveness (fastpath side), for
+    // `--proof-cache` runs. Never gates — warm/cold runs legitimately
+    // differ in hit/miss counts while every semantic field stays fixed.
+    let cached: Vec<_> = new
+        .iter()
+        .filter_map(|n| n.fastpath.cache.map(|c| (n, c)))
+        .collect();
+    if !cached.is_empty() {
+        let _ = writeln!(
+            out.markdown,
+            "\nProof-cache counters (fastpath side, report-only):\n"
+        );
+        let _ = writeln!(
+            out.markdown,
+            "| Design | Hits | Misses | Bytes | Evictions |"
+        );
+        let _ = writeln!(out.markdown, "|---|---|---|---|---|");
+        for (n, c) in cached {
+            let _ = writeln!(
+                out.markdown,
+                "| {} | {} | {} | {} | {} |",
+                n.design, c.hits, c.misses, c.bytes, c.evictions
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -535,6 +584,31 @@ mod tests {
         let diff = diff_bench_records(&with_counters, &drifted).expect("diff");
         assert!(diff.regressions.is_empty());
         assert!(diff.markdown.contains("3→7"));
+    }
+
+    #[test]
+    fn cache_counters_are_optional_and_report_only() {
+        // Cache-less records (MINI) parse with `cache: None`.
+        let rows = parse_bench_record(MINI).expect("parses");
+        assert!(rows[0].fastpath.cache.is_none());
+        // A `--proof-cache` record gains a report-only section; hit/miss
+        // drift between cold and warm runs never gates.
+        let cold = MINI.replace(
+            r#""method": "HFG", "inspections": 0}"#,
+            r#""method": "HFG", "inspections": 0,
+               "cache": {"hits": 0, "misses": 12, "bytes": 4096, "evictions": 0}}"#,
+        );
+        let warm = cold.replace(r#""hits": 0, "misses": 12"#, r#""hits": 12, "misses": 0"#);
+        let rows = parse_bench_record(&warm).expect("parses");
+        let c = rows[0].fastpath.cache.expect("present");
+        assert_eq!(c.hits, 12);
+        assert_eq!(c.bytes, 4096);
+        let diff = diff_bench_records(&cold, &warm).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.markdown.contains("Proof-cache counters"));
+        // And a cache-less baseline still diffs clean against a cached run.
+        let diff = diff_bench_records(MINI, &warm).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!                configurations (default 0 = sequential; the rendered
 //!                table is byte-identical for every N, only wall-clock
 //!                changes)
+//!   --proof-cache DIR
+//!                attach the content-addressed proof cache at DIR
+//!                (implies certification; cached verdicts are revalidated
+//!                on load). The rendered table is byte-identical to a
+//!                cache-less --certify run; hit/miss counters appear only
+//!                in --bench-json
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -96,6 +102,14 @@ fn main() {
                 })
             })
             .unwrap_or(0),
+        proof_cache: args.iter().position(|a| a == "--proof-cache").map(|i| {
+            args.get(i + 1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--proof-cache expects a directory");
+                    std::process::exit(2);
+                })
+        }),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

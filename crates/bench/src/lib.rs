@@ -55,6 +55,12 @@ pub struct Table1Options {
     /// (`--sat-portfolio N`; 0 or 1 = sequential). The rendered table is
     /// byte-identical for every width — only wall-clock changes.
     pub sat_portfolio: usize,
+    /// Attach the content-addressed proof cache at this directory
+    /// (`--proof-cache DIR`). Implies certification (cached verdicts are
+    /// revalidated on load), so the rendered table is byte-identical to a
+    /// cache-less `--certify` run — hit/miss counters go only into the
+    /// `--bench-json` record.
+    pub proof_cache: Option<PathBuf>,
 }
 
 impl Default for Table1Options {
@@ -71,6 +77,7 @@ impl Default for Table1Options {
             sim_engine: SimEngine::default(),
             bench_json: None,
             sat_portfolio: 0,
+            proof_cache: None,
         }
     }
 }
@@ -90,11 +97,24 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
 
     // Two tasks per design. `false` = FastPath, `true` = baseline, so
     // pairs come back adjacent: [fast0, base0, fast1, base1, ...].
+    let cache =
+        opts.proof_cache
+            .as_ref()
+            .and_then(|dir| match fastpath_serve::DiskStore::open(dir) {
+                Ok(store) => {
+                    Some(std::sync::Arc::new(store) as std::sync::Arc<dyn fastpath::ProofCache>)
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot open proof cache {}: {e}", dir.display());
+                    None
+                }
+            });
     let flow_options = FlowOptions {
         certify: opts.certify,
         dump_artifacts: opts.dump_artifacts.clone(),
         sim_engine: opts.sim_engine,
         sat_portfolio: opts.sat_portfolio,
+        cache,
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -149,6 +169,13 @@ fn write_bench_json(
         let t = &report.timings;
         let sim_s = t.simulation.as_secs_f64();
         let s = &report.solver_stats;
+        let cache = report.cache.as_ref().map_or(String::new(), |c| {
+            format!(
+                "\"cache\": {{\"hits\": {}, \"misses\": {}, \
+                 \"bytes\": {}, \"evictions\": {}}}, ",
+                c.hits, c.misses, c.bytes, c.evictions
+            )
+        });
         let _ = write!(
             out,
             "{{\"wall_s\": {wall_s:.6}, \"verdict\": \"{}\", \
@@ -157,7 +184,7 @@ fn write_bench_json(
              \"cycles\": {}, \"wall_s\": {:.6}, \
              \"cycles_per_s\": {:.1}}}, \
              \"formal\": {{\"checks\": {}, \"elaboration_s\": {:.6}, \
-             \"checks_s\": {:.6}}}, \
+             \"checks_s\": {:.6}}}, {cache}\
              \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
              \"propagations\": {}, \"restarts\": {}, \
              \"learnt_clauses\": {}, \"chrono_backtracks\": {}, \

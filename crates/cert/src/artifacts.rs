@@ -7,7 +7,18 @@
 //! line ([`model_to_text`], SAT checks). `drat-trim CHECK.cnf CHECK.drup`
 //! verifies the former; any DIMACS-aware solver confirms the latter.
 
-use fastpath_sat::{Lit, ProofStep};
+//! The module also runs the reverse direction: [`parse_drup`] reads a
+//! textual proof back into steps and [`revalidate_unsat_artifact`] replays
+//! a stored `(CNF, DRUP)` pair through the RUP checker, so a verdict
+//! served from a content-addressed proof cache is *re-certified on load*
+//! instead of trusted — a tampered or bit-rotted artifact is rejected and
+//! the check falls back to a fresh proof.
+
+use crate::checker::{check_unsat_certificate, CertError, Checker, CheckerStats};
+use fastpath_sat::{parse_dimacs, Lit, ProofStep, Var};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
 
 fn write_clause(out: &mut String, lits: &[Lit]) {
@@ -66,6 +77,475 @@ pub fn model_to_text(model: &[bool]) -> String {
     out
 }
 
+/// An error while re-validating a stored proof artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RevalidateError {
+    /// The stored CNF text is not valid DIMACS.
+    Cnf(String),
+    /// The stored proof text is not valid DRUP.
+    Drup(String),
+    /// Both artifacts parsed, but the proof does not certify the CNF
+    /// unsatisfiable (tampering, truncation, or mismatched pairing).
+    Check(CertError),
+}
+
+impl fmt::Display for RevalidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevalidateError::Cnf(m) => write!(f, "artifact CNF: {m}"),
+            RevalidateError::Drup(m) => write!(f, "artifact DRUP: {m}"),
+            RevalidateError::Check(e) => write!(f, "artifact proof rejected: {e}"),
+        }
+    }
+}
+
+impl Error for RevalidateError {}
+
+/// Parses textual DRUP (the format [`proof_to_drup`] emits) back into
+/// [`ProofStep::Learn`]/[`ProofStep::Delete`] steps.
+///
+/// Literal magnitudes must stay within `num_vars` — our proofs never use
+/// extension variables, so an out-of-range literal means corruption.
+/// Parsing stops at the first empty clause, mirroring how checkers read
+/// DRUP files.
+///
+/// # Errors
+///
+/// Returns [`RevalidateError::Drup`] on non-integer tokens, missing `0`
+/// terminators, or out-of-range literals.
+pub fn parse_drup(text: &str, num_vars: usize) -> Result<Vec<ProofStep>, RevalidateError> {
+    let bad = |m: String| RevalidateError::Drup(m);
+    let mut steps = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (is_delete, body) = match line.strip_prefix("d ") {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for token in body.split_whitespace() {
+            let n: i64 = token
+                .parse()
+                .map_err(|_| bad(format!("line {}: bad token `{token}`", lineno + 1)))?;
+            if n == 0 {
+                terminated = true;
+                break;
+            }
+            let index = n.unsigned_abs() as usize - 1;
+            if index >= num_vars {
+                return Err(bad(format!(
+                    "line {}: literal {n} exceeds {num_vars} variables",
+                    lineno + 1
+                )));
+            }
+            let var = Var::from_index(index);
+            lits.push(if n > 0 {
+                var.positive()
+            } else {
+                var.negative()
+            });
+        }
+        if !terminated {
+            return Err(bad(format!("line {}: clause not 0-terminated", lineno + 1)));
+        }
+        if is_delete {
+            steps.push(ProofStep::Delete(lits));
+        } else {
+            let empty = lits.is_empty();
+            steps.push(ProofStep::Learn(lits));
+            if empty {
+                return Ok(steps);
+            }
+        }
+    }
+    Ok(steps)
+}
+
+/// Re-validates a stored `(DIMACS CNF, DRUP proof)` artifact pair from
+/// scratch: the CNF clauses become axioms, the DRUP lines replay as
+/// learn/delete steps, and the whole derivation must certify UNSAT under
+/// the independent RUP checker.
+///
+/// This is the certification-on-load path of the proof cache: a cache hit
+/// only counts as a *certified* verdict if its artifacts still prove the
+/// claim today.
+///
+/// # Errors
+///
+/// Returns [`RevalidateError`] if either artifact fails to parse or the
+/// replayed proof is rejected.
+pub fn revalidate_unsat_artifact(
+    cnf_text: &str,
+    drup_text: &str,
+) -> Result<CheckerStats, RevalidateError> {
+    let cnf = parse_dimacs(cnf_text).map_err(|e| RevalidateError::Cnf(e.to_string()))?;
+    let mut steps: Vec<ProofStep> = cnf.clauses.iter().cloned().map(ProofStep::Axiom).collect();
+    steps.extend(parse_drup(drup_text, cnf.num_vars)?);
+    check_unsat_certificate(&steps, &[]).map_err(RevalidateError::Check)
+}
+
+/// Backward-trims a valid `(DIMACS CNF, DRUP proof)` artifact pair down to
+/// the clauses its final refutation actually uses, returning the trimmed
+/// pair `(core CNF, trimmed DRUP)`.
+///
+/// The full proof is replayed once with conflict-core tracking: every RUP
+/// probe records the clauses its unit-propagation derivation touched, and
+/// a backward pass from the final contradiction marks the transitively
+/// needed axioms and learnt clauses. Deletion lines are dropped — they
+/// only ever weaken propagation, and every retained clause is a valid
+/// consequence, so keeping them active is sound.
+///
+/// Soundness of serving the trimmed pair in place of the original:
+/// unsatisfiability of a clause *subset* implies unsatisfiability of the
+/// whole formula, so a checker that certifies the core certifies the
+/// original claim. The trimmed pair is re-validated through
+/// [`revalidate_unsat_artifact`] before being returned, so a caller can
+/// store it knowing it will certify on load.
+///
+/// This is what makes certification-on-load cheap enough for a hot proof
+/// cache: replay cost scales with the refutation's core, not with every
+/// clause the solver ever learnt.
+///
+/// # Errors
+///
+/// Returns [`RevalidateError`] if the input pair fails to parse or does
+/// not certify (only valid artifacts can be trimmed).
+pub fn trim_unsat_artifact(
+    cnf_text: &str,
+    drup_text: &str,
+) -> Result<(String, String), RevalidateError> {
+    let trimmed = trim_replay(cnf_text, drup_text)?;
+    // Never hand back a pair that would miss on load.
+    revalidate_unsat_artifact(&trimmed.core_cnf, &trimmed.drup)?;
+    Ok((trimmed.core_cnf, trimmed.drup))
+}
+
+/// Like [`trim_unsat_artifact`], but the proof side carries LRAT-style
+/// propagation hints: each retained learnt clause lists, in order, the
+/// clauses whose unit propagations derive its conflict (conflicting
+/// clause last). Validating a hinted proof ([`check_hinted_unsat_artifact`])
+/// walks the hint chains instead of running full unit propagation, so it
+/// is linear in the proof text — the format the proof cache stores.
+///
+/// # Errors
+///
+/// Returns [`RevalidateError`] if the input pair fails to parse or does
+/// not certify.
+pub fn trim_unsat_artifact_hinted(
+    cnf_text: &str,
+    drup_text: &str,
+) -> Result<(String, String), RevalidateError> {
+    let trimmed = trim_replay(cnf_text, drup_text)?;
+    // Never hand back a pair that would miss on load.
+    check_hinted_unsat_artifact(&trimmed.core_cnf, &trimmed.hinted)?;
+    Ok((trimmed.core_cnf, trimmed.hinted))
+}
+
+struct Trimmed {
+    core_cnf: String,
+    drup: String,
+    hinted: String,
+}
+
+/// The shared tracked replay behind both trim flavours.
+fn trim_replay(cnf_text: &str, drup_text: &str) -> Result<Trimmed, RevalidateError> {
+    let cnf = parse_dimacs(cnf_text).map_err(|e| RevalidateError::Cnf(e.to_string()))?;
+    let drup_steps = parse_drup(drup_text, cnf.num_vars)?;
+
+    // Tracked replay: feed step by step so each admitted clause's index
+    // can be tied back to its source (CNF clause or proof line).
+    let mut checker = Checker::with_core_tracking();
+    let mut axioms: Vec<(u32, usize)> = Vec::new(); // (cref, CNF clause index)
+    for (index, clause) in cnf.clauses.iter().enumerate() {
+        let cref = checker.clause_count() as u32;
+        checker
+            .feed(&[ProofStep::Axiom(clause.clone())])
+            .map_err(RevalidateError::Check)?;
+        if checker.clause_count() > cref as usize {
+            axioms.push((cref, index));
+        }
+    }
+    let mut learns: Vec<(u32, Vec<Lit>)> = Vec::new(); // (cref, literals)
+    for step in &drup_steps {
+        let cref = checker.clause_count() as u32;
+        checker
+            .feed(std::slice::from_ref(step))
+            .map_err(RevalidateError::Check)?;
+        if let ProofStep::Learn(lits) = step {
+            if !lits.is_empty() && checker.clause_count() > cref as usize {
+                learns.push((cref, lits.clone()));
+            }
+        }
+    }
+    checker.verify_unsat(&[]).map_err(RevalidateError::Check)?;
+    let final_hints: Vec<u32> = checker.final_core().unwrap_or(&[]).to_vec();
+
+    // Backward pass: the final conflict's core, closed under each needed
+    // learnt clause's own probe core.
+    let mut needed: HashSet<u32> = HashSet::new();
+    let mut stack: Vec<u32> = final_hints.clone();
+    while let Some(cref) = stack.pop() {
+        if needed.insert(cref) {
+            if let Some(core) = checker.learn_core(cref) {
+                stack.extend_from_slice(core);
+            }
+        }
+    }
+
+    // Renumber kept clauses: core-CNF axioms first, kept learns after, in
+    // original order. Every hint lands in `needed` by construction.
+    let kept_axioms: Vec<(u32, usize)> = axioms
+        .iter()
+        .filter(|(cref, _)| needed.contains(cref))
+        .copied()
+        .collect();
+    let kept_learns: Vec<&(u32, Vec<Lit>)> = learns
+        .iter()
+        .filter(|(cref, _)| needed.contains(cref))
+        .collect();
+    let mut new_index: HashMap<u32, u32> = HashMap::new();
+    for (next, (cref, _)) in kept_axioms.iter().enumerate() {
+        new_index.insert(*cref, next as u32);
+    }
+    for (offset, (cref, _)) in kept_learns.iter().enumerate() {
+        new_index.insert(*cref, (kept_axioms.len() + offset) as u32);
+    }
+    let map_hints = |hints: &[u32]| -> Result<Vec<u32>, RevalidateError> {
+        hints
+            .iter()
+            .map(|h| {
+                new_index
+                    .get(h)
+                    .copied()
+                    .ok_or_else(|| RevalidateError::Drup("hint outside trimmed core".into()))
+            })
+            .collect()
+    };
+
+    let mut core_cnf = format!("p cnf {} {}\n", cnf.num_vars, kept_axioms.len());
+    for &(_, index) in &kept_axioms {
+        write_clause(&mut core_cnf, &cnf.clauses[index]);
+    }
+    let mut drup = String::new();
+    let mut hinted = String::new();
+    for (cref, lits) in &kept_learns {
+        write_clause(&mut drup, lits);
+        write_hinted_line(
+            &mut hinted,
+            lits,
+            &map_hints(checker.learn_core(*cref).unwrap_or(&[]))?,
+        );
+    }
+    let _ = writeln!(drup, "0");
+    write_hinted_line(&mut hinted, &[], &map_hints(&final_hints)?);
+    Ok(Trimmed {
+        core_cnf,
+        drup,
+        hinted,
+    })
+}
+
+fn write_hinted_line(out: &mut String, lits: &[Lit], hints: &[u32]) {
+    for &lit in lits {
+        let n = lit.var().index() as i64 + 1;
+        let _ = write!(out, "{} ", if lit.is_positive() { n } else { -n });
+    }
+    let _ = write!(out, "0");
+    // Hints are 1-based on the wire: index 0 would collide with the
+    // section terminator (the same reason LRAT numbers clauses from 1).
+    for h in hints {
+        let _ = write!(out, " {}", h + 1);
+    }
+    let _ = writeln!(out, " 0");
+}
+
+/// Validates a `(core CNF, hinted proof)` pair produced by
+/// [`trim_unsat_artifact_hinted`] without running unit propagation: for
+/// each proof line the learnt clause's negation is assumed and the hint
+/// clauses are walked in order — each must be unit (its literal is
+/// assigned) or conflicting (ends the line). The final line must be the
+/// empty clause. Anything else — a hint that is satisfied or has two free
+/// literals, a missing conflict, literals out of range — is a typed
+/// rejection, so a corrupted artifact falls back to a fresh proof.
+///
+/// Soundness: every accepted line is a clause with the RUP property over
+/// the axioms and previously accepted lines (the hint walk *is* a unit
+/// propagation derivation, just one the prover scripted in advance), so
+/// an accepted empty clause certifies the CNF unsatisfiable exactly as
+/// [`revalidate_unsat_artifact`] would — only the search for the
+/// derivation is skipped, never the derivation itself.
+///
+/// # Errors
+///
+/// Returns [`RevalidateError`] on parse failure or any invalid hint step.
+pub fn check_hinted_unsat_artifact(
+    cnf_text: &str,
+    proof_text: &str,
+) -> Result<CheckerStats, RevalidateError> {
+    let cnf = parse_dimacs(cnf_text).map_err(|e| RevalidateError::Cnf(e.to_string()))?;
+    let bad = |m: String| RevalidateError::Drup(m);
+    // Duplicate literals would double-count as "free" and make a unit
+    // hint look two-free, so clauses are deduplicated up front.
+    let dedup = |lits: &[Lit]| -> Vec<Lit> {
+        let mut c = lits.to_vec();
+        c.sort_unstable_by_key(|l| (l.var().index(), l.is_positive()));
+        c.dedup();
+        c
+    };
+    let mut db: Vec<Vec<Lit>> = cnf.clauses.iter().map(|c| dedup(c)).collect();
+    let mut assign: Vec<i8> = vec![0; cnf.num_vars];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut stats = CheckerStats {
+        axioms: db.len() as u64,
+        ..CheckerStats::default()
+    };
+    let value = |assign: &[i8], l: Lit| -> i8 {
+        let v = assign[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    };
+    let mut refuted = false;
+    for (lineno, raw) in proof_text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if refuted {
+            break;
+        }
+        // `<lit>... 0 <hint>... 0`
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut hints: Vec<usize> = Vec::new();
+        let mut section = 0usize;
+        for token in line.split_whitespace() {
+            let n: i64 = token
+                .parse()
+                .map_err(|_| bad(format!("line {}: bad token `{token}`", lineno + 1)))?;
+            if n == 0 {
+                section += 1;
+                continue;
+            }
+            match section {
+                0 => {
+                    let index = n.unsigned_abs() as usize - 1;
+                    if index >= cnf.num_vars {
+                        return Err(bad(format!("line {}: literal out of range", lineno + 1)));
+                    }
+                    let var = Var::from_index(index);
+                    lits.push(if n > 0 {
+                        var.positive()
+                    } else {
+                        var.negative()
+                    });
+                }
+                1 => {
+                    if n < 1 {
+                        return Err(bad(format!("line {}: bad hint index", lineno + 1)));
+                    }
+                    hints.push(n as usize - 1);
+                }
+                _ => return Err(bad(format!("line {}: trailing tokens", lineno + 1))),
+            }
+        }
+        if section != 2 {
+            return Err(bad(format!("line {}: missing terminator", lineno + 1)));
+        }
+        // Assume the clause's negation...
+        let mut conflict = false;
+        for &l in &lits {
+            match value(&assign, l) {
+                1 => {
+                    // The literal is already true: the clause is a
+                    // tautology under the assumed negation — conflict.
+                    conflict = true;
+                    break;
+                }
+                -1 => {}
+                _ => {
+                    assign[l.var().index()] = if l.is_positive() { -1 } else { 1 };
+                    touched.push(l.var().index());
+                }
+            }
+        }
+        // ...and walk the scripted propagation chain.
+        if !conflict {
+            for &h in &hints {
+                let clause = db
+                    .get(h)
+                    .ok_or_else(|| bad(format!("line {}: hint {h} out of range", lineno + 1)))?;
+                let mut unit: Option<Lit> = None;
+                let mut nonfalse = 0usize;
+                let mut satisfied = false;
+                for &l in clause {
+                    match value(&assign, l) {
+                        -1 => {}
+                        1 => {
+                            satisfied = true;
+                            break;
+                        }
+                        _ => {
+                            nonfalse += 1;
+                            unit = Some(l);
+                        }
+                    }
+                }
+                stats.propagations += 1;
+                if satisfied {
+                    // Already-true hints are inert (their conclusion is
+                    // assigned); skipping them never adds an assignment,
+                    // so the walk stays a valid propagation derivation.
+                    continue;
+                }
+                match (nonfalse, unit) {
+                    (0, _) => {
+                        conflict = true;
+                        break;
+                    }
+                    (1, Some(u)) => {
+                        assign[u.var().index()] = if u.is_positive() { 1 } else { -1 };
+                        touched.push(u.var().index());
+                    }
+                    _ => {
+                        return Err(bad(format!(
+                            "line {}: hint {h} is neither unit nor conflicting",
+                            lineno + 1
+                        )));
+                    }
+                }
+            }
+        }
+        for v in touched.drain(..) {
+            assign[v] = 0;
+        }
+        if !conflict {
+            return Err(RevalidateError::Check(CertError::LearnNotRup {
+                step: lineno,
+                clause: lits,
+            }));
+        }
+        if lits.is_empty() {
+            refuted = true;
+        } else {
+            stats.learns += 1;
+            db.push(dedup(&lits));
+        }
+    }
+    if refuted {
+        Ok(stats)
+    } else {
+        Err(RevalidateError::Check(CertError::AssumptionsNotRefuted {
+            assumptions: Vec::new(),
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +579,227 @@ mod tests {
     fn model_line_is_dimacs_numbered() {
         assert_eq!(model_to_text(&[true, false, true]), "v 1 -2 3 0\n");
         assert_eq!(model_to_text(&[]), "v 0\n");
+    }
+
+    #[test]
+    fn parse_drup_round_trips_renderer() {
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let steps = vec![
+            ProofStep::Axiom(vec![a, b]),
+            ProofStep::Learn(vec![b]),
+            ProofStep::Delete(vec![a, b]),
+        ];
+        let text = proof_to_drup(&steps, &[!b]);
+        let parsed = parse_drup(&text, 2).expect("parses");
+        assert_eq!(
+            parsed,
+            vec![
+                ProofStep::Learn(vec![b]),
+                ProofStep::Delete(vec![a, b]),
+                ProofStep::Learn(vec![b]),
+                ProofStep::Learn(Vec::new()),
+            ]
+        );
+        // Corruption is typed, not panicked.
+        assert!(matches!(
+            parse_drup("x 0\n", 2),
+            Err(RevalidateError::Drup(_))
+        ));
+        assert!(matches!(
+            parse_drup("7 0\n", 2),
+            Err(RevalidateError::Drup(_))
+        ));
+        assert!(matches!(
+            parse_drup("1 2\n", 2),
+            Err(RevalidateError::Drup(_))
+        ));
+    }
+
+    fn unsat_artifact() -> (String, String) {
+        use fastpath_sat::{Cnf, SolveResult, Solver};
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[x.positive(), y.positive()]);
+        s.add_clause(&[x.positive(), y.negative()]);
+        s.add_clause(&[x.negative(), y.positive()]);
+        s.add_clause(&[x.negative(), y.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let steps = s.proof().expect("logged").steps().to_vec();
+        let cnf = Cnf::from_steps(&steps, &[]).to_dimacs();
+        let drup = proof_to_drup(&steps, &[]);
+        (cnf, drup)
+    }
+
+    #[test]
+    fn trimmed_artifacts_certify_and_shrink() {
+        use fastpath_sat::{Cnf, SolveResult, Solver};
+        // A formula with an obvious irrelevant half: x/y force UNSAT, the
+        // a/b clauses are satisfiable padding the trimmer should drop.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let y = s.new_var();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[x.positive(), y.positive()]);
+        s.add_clause(&[x.positive(), y.negative()]);
+        s.add_clause(&[x.negative(), y.positive()]);
+        s.add_clause(&[x.negative(), y.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let steps = s.proof().expect("logged").steps().to_vec();
+        let cnf = Cnf::from_steps(&steps, &[]).to_dimacs();
+        let drup = proof_to_drup(&steps, &[]);
+
+        let (core_cnf, trimmed) = trim_unsat_artifact(&cnf, &drup).expect("trims");
+        // The trimmed pair must certify on its own...
+        revalidate_unsat_artifact(&core_cnf, &trimmed).expect("trimmed pair certifies");
+        // ...and must not have grown.
+        assert!(core_cnf.len() <= cnf.len());
+        assert!(trimmed.len() <= drup.len());
+        // The padding clauses over a/b cannot be part of any refutation.
+        let core = parse_dimacs(&core_cnf).expect("core parses");
+        let a_lit = a.positive();
+        let b_lit = b.positive();
+        for clause in &core.clauses {
+            assert!(
+                !clause
+                    .iter()
+                    .any(|l| l.var() == a_lit.var() || l.var() == b_lit.var()),
+                "irrelevant clause survived trimming: {clause:?}"
+            );
+        }
+        // Tampering with the trimmed core is still caught.
+        let missing_axiom = core_cnf.replacen("-1 -2 0\n", "", 1);
+        if missing_axiom != core_cnf {
+            assert!(revalidate_unsat_artifact(&missing_axiom, &trimmed).is_err());
+        }
+    }
+
+    #[test]
+    fn trimming_random_unsat_instances_preserves_certification() {
+        use fastpath_sat::{Cnf, SolveResult, Solver, Var};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x7219);
+        let mut trimmed_any = false;
+        for round in 0..120 {
+            let num_vars = rng.gen_range(2..=9usize);
+            let num_clauses = rng.gen_range(4..=40usize);
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<_> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            if s.solve() != SolveResult::Unsat {
+                continue;
+            }
+            let steps = s.proof().expect("logged").steps().to_vec();
+            let cnf = Cnf::from_steps(&steps, &[]).to_dimacs();
+            let drup = proof_to_drup(&steps, &[]);
+            let (core_cnf, trimmed) = trim_unsat_artifact(&cnf, &drup)
+                .unwrap_or_else(|e| panic!("round {round}: trim failed: {e}"));
+            revalidate_unsat_artifact(&core_cnf, &trimmed)
+                .unwrap_or_else(|e| panic!("round {round}: trimmed pair rejected: {e}"));
+            trimmed_any |= core_cnf.len() < cnf.len() || trimmed.len() < drup.len();
+        }
+        assert!(trimmed_any, "no instance shrank — trimming is inert");
+    }
+
+    #[test]
+    fn hinted_artifacts_certify_and_reject_corruption() {
+        let (cnf, drup) = unsat_artifact();
+        let (core_cnf, hinted) = trim_unsat_artifact_hinted(&cnf, &drup).expect("trims");
+        let stats = check_hinted_unsat_artifact(&core_cnf, &hinted).expect("hinted certifies");
+        assert!(stats.axioms > 0);
+        // Dropping an axiom makes the scripted hints dangle or the final
+        // refutation fail — either way a typed rejection, never a verdict.
+        let tampered = core_cnf.replacen("-1 -2 0\n", "", 1);
+        assert_ne!(tampered, core_cnf);
+        assert!(check_hinted_unsat_artifact(&tampered, &hinted).is_err());
+        // Truncating the proof removes the final empty clause.
+        let truncated: String = hinted
+            .lines()
+            .take(hinted.lines().count().saturating_sub(1))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(check_hinted_unsat_artifact(&core_cnf, &truncated).is_err());
+        // Mangled hint indices are out of range or non-unit.
+        assert!(check_hinted_unsat_artifact(&core_cnf, "0 99 0\n").is_err());
+        // Garbage text is a typed parse error.
+        assert!(matches!(
+            check_hinted_unsat_artifact(&core_cnf, "1 x 0 0\n"),
+            Err(RevalidateError::Drup(_))
+        ));
+    }
+
+    #[test]
+    fn hinting_random_unsat_instances_preserves_certification() {
+        use fastpath_sat::{Cnf, SolveResult, Solver, Var};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51c3);
+        let mut checked = 0usize;
+        for round in 0..120 {
+            let num_vars = rng.gen_range(2..=9usize);
+            let num_clauses = rng.gen_range(4..=40usize);
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<_> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            if s.solve() != SolveResult::Unsat {
+                continue;
+            }
+            let steps = s.proof().expect("logged").steps().to_vec();
+            let cnf = Cnf::from_steps(&steps, &[]).to_dimacs();
+            let drup = proof_to_drup(&steps, &[]);
+            let (core_cnf, hinted) = trim_unsat_artifact_hinted(&cnf, &drup)
+                .unwrap_or_else(|e| panic!("round {round}: hinted trim failed: {e}"));
+            check_hinted_unsat_artifact(&core_cnf, &hinted)
+                .unwrap_or_else(|e| panic!("round {round}: hinted pair rejected: {e}"));
+            checked += 1;
+        }
+        assert!(checked > 10, "too few UNSAT instances exercised: {checked}");
+    }
+
+    #[test]
+    fn revalidates_stored_artifacts_and_rejects_tampering() {
+        let (cnf, drup) = unsat_artifact();
+        revalidate_unsat_artifact(&cnf, &drup).expect("genuine artifact certifies");
+        // Truncating the proof must fail the refutation probe.
+        let truncated: String = String::new();
+        assert!(matches!(
+            revalidate_unsat_artifact(&cnf, &truncated),
+            Err(RevalidateError::Check(_))
+        ));
+        // Deleting an axiom makes the formula satisfiable; a sound
+        // checker must now reject the stale proof rather than certify a
+        // SAT formula unsatisfiable.
+        let tampered = cnf.replacen("-1 -2 0\n", "", 1);
+        assert_ne!(tampered, cnf);
+        assert!(matches!(
+            revalidate_unsat_artifact(&tampered, &drup),
+            Err(RevalidateError::Check(_))
+        ));
+        // Garbage artifacts are typed errors.
+        assert!(matches!(
+            revalidate_unsat_artifact("p cnf x", &drup),
+            Err(RevalidateError::Cnf(_))
+        ));
     }
 }

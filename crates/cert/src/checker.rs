@@ -111,6 +111,18 @@ struct CClause {
     active: bool,
 }
 
+/// Sentinel reason for assumed (probe) literals.
+const NO_REASON: u32 = u32::MAX;
+
+/// What triggered a conflict, for core extraction.
+#[derive(Clone, Copy, Debug)]
+enum ConflictSeed {
+    /// A clause's literals all became false.
+    Clause(u32),
+    /// An assumed literal was already false under the current assignment.
+    Lit(Lit),
+}
+
 /// An incremental forward RUP checker.
 ///
 /// Feed trace steps in order with [`Checker::feed`]; between feeds, call
@@ -137,12 +149,118 @@ pub struct Checker {
     /// Steps fed so far (for error positions across incremental feeds).
     steps_fed: usize,
     stats: CheckerStats,
+    /// `reason[var]`: clause that propagated the variable's current
+    /// assignment, or [`NO_REASON`] for probe assumptions. Only read for
+    /// assigned variables, so stale entries are harmless.
+    reason: Vec<u32>,
+    /// `order[var]`: monotone stamp of the variable's current assignment,
+    /// for ordering derivation chains. Stale for unassigned variables.
+    order: Vec<u64>,
+    /// Next assignment stamp.
+    stamp: u64,
+    /// Record conflict cores for [backward trimming](crate::trim_unsat_artifact).
+    track_cores: bool,
+    /// Seed of the most recent conflict (valid until the next `undo_to`).
+    conflict_seed: Option<ConflictSeed>,
+    /// Per learnt clause (by clause index): the clauses its RUP probe's
+    /// conflict derivation touched. Populated only when `track_cores`.
+    learn_cores: HashMap<u32, Vec<u32>>,
+    /// Core of the root-level contradiction, captured the moment
+    /// `contradiction` was set. Populated only when `track_cores`.
+    root_core: Option<Vec<u32>>,
+    /// Core left behind by the most recent conflicting probe.
+    last_probe_core: Option<Vec<u32>>,
+    /// Core of the most recent successful `verify_unsat` probe.
+    final_core: Option<Vec<u32>>,
 }
 
 impl Checker {
     /// Creates an empty checker.
     pub fn new() -> Self {
         Checker::default()
+    }
+
+    /// Creates a checker that records, for every learnt clause and for the
+    /// final refutation, the set of clauses its conflict derivation
+    /// actually used — the raw material for backward proof trimming.
+    pub(crate) fn with_core_tracking() -> Self {
+        Checker {
+            track_cores: true,
+            ..Checker::default()
+        }
+    }
+
+    /// Clauses admitted so far (including inactive ones); the next added
+    /// clause gets this index.
+    pub(crate) fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The recorded conflict core of the learnt clause at `cref`, if any.
+    pub(crate) fn learn_core(&self, cref: u32) -> Option<&[u32]> {
+        self.learn_cores.get(&cref).map(Vec::as_slice)
+    }
+
+    /// The core of the most recent successful [`Checker::verify_unsat`]
+    /// (falling back to the root contradiction's core).
+    pub(crate) fn final_core(&self) -> Option<&[u32]> {
+        self.final_core.as_deref().or(self.root_core.as_deref())
+    }
+
+    /// Walks reasons transitively from the recorded conflict seed and
+    /// returns every clause index on the derivation, ordered so that each
+    /// clause is unit under the assignments made by its predecessors (plus
+    /// the probe assumptions), with the conflicting clause last — a
+    /// ready-made LRAT-style hint chain. Must run before the conflicting
+    /// probe is undone (reasons are only valid while their assignments
+    /// stand).
+    fn capture_core(&self) -> Vec<u32> {
+        let mut visited = vec![false; self.assign.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        let seed_clause = match self.conflict_seed {
+            Some(ConflictSeed::Clause(cref)) => {
+                stack.extend(
+                    self.clauses[cref as usize]
+                        .lits
+                        .iter()
+                        .map(|l| l.var().index()),
+                );
+                Some(cref)
+            }
+            Some(ConflictSeed::Lit(lit)) => {
+                stack.push(lit.var().index());
+                None
+            }
+            None => None,
+        };
+        // (assignment stamp, reason clause) per derivation literal: a
+        // clause propagated exactly one literal, so stamps order the
+        // chain and no clause appears twice.
+        let mut chain: Vec<(u64, u32)> = Vec::new();
+        while let Some(v) = stack.pop() {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            match self.reason.get(v) {
+                Some(&r) if r != NO_REASON => {
+                    chain.push((self.order[v], r));
+                    stack.extend(
+                        self.clauses[r as usize]
+                            .lits
+                            .iter()
+                            .map(|l| l.var().index()),
+                    );
+                }
+                _ => {}
+            }
+        }
+        chain.sort_unstable();
+        let mut core: Vec<u32> = chain.into_iter().map(|(_, r)| r).collect();
+        if let Some(cref) = seed_clause {
+            core.push(cref);
+        }
+        core
     }
 
     /// Work counters.
@@ -166,6 +284,8 @@ impl Checker {
         if self.assign.len() < need {
             self.assign.resize(need, 0);
             self.occ.resize(2 * need, Vec::new());
+            self.reason.resize(need, NO_REASON);
+            self.order.resize(need, 0);
         }
     }
 
@@ -178,14 +298,18 @@ impl Checker {
         }
     }
 
-    /// Assigns `lit` true and pushes it on the trail. Returns `false` if
+    /// Assigns `lit` true and pushes it on the trail, recording the clause
+    /// that forced it ([`NO_REASON`] for assumptions). Returns `false` if
     /// it was already false (immediate conflict).
-    fn enqueue(&mut self, lit: Lit) -> bool {
+    fn enqueue(&mut self, lit: Lit, reason: u32) -> bool {
         match self.value(lit) {
             1 => true,
             -1 => false,
             _ => {
                 self.assign[lit.var().index()] = if lit.is_positive() { 1 } else { -1 };
+                self.reason[lit.var().index()] = reason;
+                self.order[lit.var().index()] = self.stamp;
+                self.stamp += 1;
                 self.trail.push(lit);
                 true
             }
@@ -214,6 +338,7 @@ impl Checker {
                         // Only falsified literals are ever decremented, so
                         // zero non-false means no satisfied literal either.
                         conflict_at = Some(idx);
+                        self.conflict_seed = Some(ConflictSeed::Clause(cref as u32));
                         break;
                     }
                     1 => {
@@ -227,12 +352,13 @@ impl Checker {
                             .find(|&l| self.value(l) != -1);
                         match unit {
                             Some(u) if self.value(u) == 0 => {
-                                let enqueued = self.enqueue(u);
+                                let enqueued = self.enqueue(u, cref as u32);
                                 debug_assert!(enqueued);
                             }
                             Some(_) => {} // satisfied clause
                             None => {
                                 conflict_at = Some(idx);
+                                self.conflict_seed = Some(ConflictSeed::Clause(cref as u32));
                                 break;
                             }
                         }
@@ -315,6 +441,8 @@ impl Checker {
             0 => {
                 // All literals false at root (a True literal counts as
                 // non-false, so none is satisfied): conflict.
+                self.conflict_seed = Some(ConflictSeed::Clause(cref));
+                self.note_root_conflict();
                 self.contradiction = true;
             }
             1 => {
@@ -324,9 +452,10 @@ impl Checker {
                     .find(|&l| self.value(l) != -1)
                     .expect("one non-false literal");
                 if self.value(unit) == 0 {
-                    let enqueued = self.enqueue(unit);
+                    let enqueued = self.enqueue(unit, cref);
                     debug_assert!(enqueued);
                     if self.propagate() {
+                        self.note_root_conflict();
                         self.contradiction = true;
                     }
                 }
@@ -336,10 +465,21 @@ impl Checker {
         }
     }
 
+    /// Captures the core of a conflict reached at root level (while the
+    /// reasons behind it are still live) for [`Checker::final_core`].
+    fn note_root_conflict(&mut self) {
+        if self.track_cores && self.root_core.is_none() {
+            self.root_core = Some(self.capture_core());
+        }
+    }
+
     /// RUP probe: temporarily assume every literal of `assumed` true,
-    /// propagate, report whether a conflict was reached, and undo.
+    /// propagate, report whether a conflict was reached, and undo. When
+    /// core tracking is on, a conflicting probe leaves its derivation's
+    /// clause set in `last_probe_core`.
     fn probes_to_conflict(&mut self, assumed: &[Lit]) -> bool {
         if self.contradiction {
+            self.last_probe_core = self.root_core.clone();
             return true;
         }
         for &l in assumed {
@@ -349,12 +489,16 @@ impl Checker {
         debug_assert_eq!(self.qhead, mark, "root state is a fixpoint");
         let mut conflict = false;
         for &l in assumed {
-            if !self.enqueue(l) {
+            if !self.enqueue(l, NO_REASON) {
+                self.conflict_seed = Some(ConflictSeed::Lit(l));
                 conflict = true;
                 break;
             }
         }
         let conflict = conflict || self.propagate();
+        if conflict && self.track_cores {
+            self.last_probe_core = Some(self.capture_core());
+        }
         self.undo_to(mark);
         conflict
     }
@@ -393,8 +537,15 @@ impl Checker {
                         });
                     }
                     self.stats.learns += 1;
+                    let core = self.track_cores.then(|| self.last_probe_core.take());
                     if let Some(norm) = Self::normalize(lits) {
+                        let cref = self.clauses.len() as u32;
                         self.add_clause(norm);
+                        if let (Some(core), true) =
+                            (core.flatten(), self.clauses.len() > cref as usize)
+                        {
+                            self.learn_cores.insert(cref, core);
+                        }
                     }
                 }
                 ProofStep::Delete(lits) => {
@@ -438,6 +589,9 @@ impl Checker {
     /// and unit-propagating does not conflict.
     pub fn verify_unsat(&mut self, assumptions: &[Lit]) -> Result<(), CertError> {
         if self.probes_to_conflict(assumptions) {
+            if self.track_cores {
+                self.final_core = self.last_probe_core.take();
+            }
             Ok(())
         } else {
             Err(CertError::AssumptionsNotRefuted {

@@ -48,4 +48,8 @@
 pub mod artifacts;
 mod checker;
 
+pub use artifacts::{
+    check_hinted_unsat_artifact, revalidate_unsat_artifact, trim_unsat_artifact,
+    trim_unsat_artifact_hinted, RevalidateError,
+};
 pub use checker::{check_model, check_unsat_certificate, CertError, Checker, CheckerStats};

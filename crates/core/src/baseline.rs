@@ -7,7 +7,8 @@
 //! each confirmed vulnerability counts toward the effort metric. The gap
 //! between this count and FastPath's is exactly Table I's "Reduction".
 
-use crate::flow::{FlowContext, FlowOptions};
+use crate::cache::CheckKind;
+use crate::flow::{active_check_key, FlowContext, FlowOptions};
 use crate::report::{
     CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
 };
@@ -28,7 +29,8 @@ pub fn run_baseline(study: &CaseStudy) -> FlowReport {
 /// stage to ablate.
 pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport {
     let mut ctx = FlowContext::new(study);
-    if options.certify {
+    ctx.cache = options.cache.clone();
+    if options.certify || ctx.cache.is_some() {
         ctx.certification = Some(CertificationSummary::default());
     }
     let mut instance = &study.instance;
@@ -36,6 +38,10 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
 
     'design: loop {
         let module = &instance.module;
+        let canon = ctx
+            .cache
+            .is_some()
+            .then(|| fastpath_rtl::canonical_form(module));
         let mut z_prime: BTreeSet<SignalId> = module.state_signals().into_iter().collect();
         let mut active_constraints: Vec<usize> = Vec::new();
         let mut active_invariants: Vec<usize> = Vec::new();
@@ -45,62 +51,140 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
         let mut synced_invariants = 0usize;
         let mut synced_cond_eqs = 0usize;
 
-        // One engine per design instance: the frame template is elaborated
-        // once and the incremental SAT solver survives every refinement
-        // iteration below (spec growth included).
-        let t0 = Instant::now();
-        let mut upec = Upec2Safety::new(module, &UpecSpec::default());
-        upec.set_sat_portfolio(options.sat_portfolio);
-        if options.certify {
-            upec.enable_certification();
-            if let Some(dir) = &options.dump_artifacts {
-                upec.set_artifact_output(dir.clone(), format!("{}_baseline_", module.name()));
-            }
-        }
-        upec.elaborate();
-        ctx.timings.formal_elaboration += t0.elapsed();
+        // One engine per design instance, created lazily on the first
+        // cache miss: the frame template is elaborated once and the
+        // incremental SAT solver survives every refinement iteration
+        // below (spec growth included). A fully warm cache run never
+        // elaborates at all.
+        let mut upec: Option<Upec2Safety<'_>> = None;
 
-        {
-            loop {
-                // Feed spec entries activated since the last check into
-                // the engine; nothing already encoded is redone.
+        // Ensures the engine exists and is synced with every active spec
+        // entry, then evaluates to `&mut` on it. A macro (not a closure)
+        // so the borrows of `ctx` and the activation vectors stay local
+        // to each expansion.
+        macro_rules! engine {
+            () => {{
+                let engine = match upec.as_mut() {
+                    Some(engine) => engine,
+                    None => {
+                        let t0 = Instant::now();
+                        let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+                        engine.set_sat_portfolio(options.sat_portfolio);
+                        if ctx.certification.is_some() {
+                            engine.enable_certification();
+                            if ctx.cache.is_some() {
+                                engine.enable_artifact_capture();
+                            }
+                            if let Some(dir) = &options.dump_artifacts {
+                                engine.set_artifact_output(
+                                    dir.clone(),
+                                    format!("{}_baseline_", module.name()),
+                                );
+                            }
+                        }
+                        engine.elaborate();
+                        ctx.timings.formal_elaboration += t0.elapsed();
+                        upec.insert(engine)
+                    }
+                };
+                // Feed spec entries activated since the last engine-run
+                // check; nothing already encoded is redone.
                 for &i in &active_constraints[synced_constraints..] {
-                    upec.add_software_constraint(instance.constraints[i].expr);
+                    engine.add_software_constraint(instance.constraints[i].expr);
                 }
                 synced_constraints = active_constraints.len();
                 for &i in &active_invariants[synced_invariants..] {
-                    upec.add_invariant(instance.invariants[i].expr);
+                    engine.add_invariant(instance.invariants[i].expr);
                 }
                 synced_invariants = active_invariants.len();
                 for &i in &active_cond_eqs[synced_cond_eqs..] {
                     let ce = &instance.cond_eqs[i];
-                    upec.add_conditional_equality(ce.cond, ce.signal);
+                    engine.add_conditional_equality(ce.cond, ce.signal);
                 }
                 synced_cond_eqs = active_cond_eqs.len();
+                engine
+            }};
+        }
 
+        {
+            loop {
                 let z_vec: Vec<SignalId> = z_prime.iter().copied().collect();
                 // The original procedure inspects internal propagations in
                 // discovery order; only when the state partitioning is
                 // stable is the full property (including the attacker
                 // -observable outputs) concluded.
-                let t0 = Instant::now();
-                let mut outcome = if ctx.certification.is_some() {
-                    let certified = upec.check_state_only_certified(&z_vec);
-                    ctx.record_certificate(&certified);
-                    certified.outcome
-                } else {
-                    upec.check_state_only(&z_vec)
+                let key = canon.as_ref().map(|canon| {
+                    active_check_key(
+                        canon,
+                        CheckKind::StateOnly,
+                        instance,
+                        &z_vec,
+                        &active_constraints,
+                        &active_invariants,
+                        &active_cond_eqs,
+                    )
+                });
+                let mut cached = None;
+                if let Some(key) = &key {
+                    let t0 = Instant::now();
+                    cached = ctx.try_cached_check(key, module, instance, &active_cond_eqs);
+                    ctx.timings.formal_checks += t0.elapsed();
+                }
+                let mut outcome = match cached {
+                    Some(outcome) => outcome,
+                    None => {
+                        let engine = engine!();
+                        let t0 = Instant::now();
+                        let outcome = if ctx.certification.is_some() {
+                            let certified = engine.check_state_only_certified(&z_vec);
+                            ctx.record_certificate(&certified);
+                            let artifact = engine.take_last_artifact();
+                            ctx.store_cached_check(key.as_ref(), &certified, artifact);
+                            certified.outcome
+                        } else {
+                            engine.check_state_only(&z_vec)
+                        };
+                        ctx.timings.formal_checks += t0.elapsed();
+                        outcome
+                    }
                 };
                 if outcome.holds() {
-                    outcome = if ctx.certification.is_some() {
-                        let certified = upec.check_certified(&z_vec);
-                        ctx.record_certificate(&certified);
-                        certified.outcome
-                    } else {
-                        upec.check(&z_vec)
+                    let key = canon.as_ref().map(|canon| {
+                        active_check_key(
+                            canon,
+                            CheckKind::Full,
+                            instance,
+                            &z_vec,
+                            &active_constraints,
+                            &active_invariants,
+                            &active_cond_eqs,
+                        )
+                    });
+                    let mut cached = None;
+                    if let Some(key) = &key {
+                        let t0 = Instant::now();
+                        cached = ctx.try_cached_check(key, module, instance, &active_cond_eqs);
+                        ctx.timings.formal_checks += t0.elapsed();
+                    }
+                    outcome = match cached {
+                        Some(outcome) => outcome,
+                        None => {
+                            let engine = engine!();
+                            let t0 = Instant::now();
+                            let outcome = if ctx.certification.is_some() {
+                                let certified = engine.check_certified(&z_vec);
+                                ctx.record_certificate(&certified);
+                                let artifact = engine.take_last_artifact();
+                                ctx.store_cached_check(key.as_ref(), &certified, artifact);
+                                certified.outcome
+                            } else {
+                                engine.check(&z_vec)
+                            };
+                            ctx.timings.formal_checks += t0.elapsed();
+                            outcome
+                        }
                     };
                 }
-                ctx.timings.formal_checks += t0.elapsed();
                 ctx.timings.check_count += 1;
                 ctx.events.push(FlowEvent::UpecCheck {
                     holds: outcome.holds(),
@@ -119,7 +203,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                             )
                         };
                         let total = module.state_signals().len() - z_prime.len();
-                        ctx.absorb_engine(Some(&upec));
+                        ctx.absorb_engine(upec.as_ref());
                         return ctx.finish(
                             module,
                             verdict,
@@ -185,7 +269,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                         description,
                         stage: Stage::Formal,
                     });
-                    ctx.absorb_engine(Some(&upec));
+                    ctx.absorb_engine(upec.as_ref());
                     if let (Some(fixed), false) = (&study.fixed_instance, fixed_used) {
                         fixed_used = true;
                         instance = fixed;

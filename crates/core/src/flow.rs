@@ -23,17 +23,20 @@
 //!
 //! The formal-only baseline of [22] is in [`run_baseline`](crate::run_baseline).
 
+use crate::cache::{self, CacheKind, CacheStats, CheckKind, ProofCache};
 use crate::report::{
     CertificationSummary, CompletionMethod, FlowEvent, FlowReport, SimStats, Stage, StageTimings,
     Verdict,
 };
 use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::{confirm_counterexample, WitnessReplay};
+use fastpath_cert::revalidate_unsat_artifact;
 use fastpath_formal::{
-    CertifiedOutcome, ElaborationStats, Upec2Safety, UpecCounterexample, UpecOutcome, UpecSpec,
+    CertifiedOutcome, CheckCertificate, ElaborationStats, ProofArtifact, Upec2Safety,
+    UpecCounterexample, UpecOutcome, UpecSpec,
 };
 use fastpath_hfg::{extract_hfg, PathQuery};
-use fastpath_rtl::{ExprId, Module, SignalId};
+use fastpath_rtl::{CanonicalForm, Digest, ExprId, Module, SignalId};
 use fastpath_sat::SolverStats;
 use fastpath_sim::{IftReport, IftSimulation, RandomTestbench, SimEngine, SimTape};
 use std::collections::BTreeSet;
@@ -74,6 +77,12 @@ pub struct FlowOptions {
     /// methods, and inspection counts are byte-identical for every
     /// width; only wall-clock changes.
     pub sat_portfolio: usize,
+    /// Content-addressed verification cache (see [`crate::cache`]).
+    /// Attaching a cache implies certification: every served verdict is
+    /// re-validated on load (UNSAT proofs replayed through the RUP
+    /// checker, counterexamples reproduced by concrete simulation), so
+    /// the report from a warm run is identical to a cold certified run.
+    pub cache: Option<Arc<dyn ProofCache>>,
 }
 
 /// Runs the complete FastPath flow on a case study.
@@ -85,7 +94,8 @@ pub fn run_fastpath(study: &CaseStudy) -> FlowReport {
 pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport {
     let mut ctx = FlowContext::new(study);
     ctx.sim_engine = options.sim_engine;
-    if options.certify {
+    ctx.cache = options.cache.clone();
+    if options.certify || ctx.cache.is_some() {
         ctx.certification = Some(CertificationSummary::default());
     }
     let mut instance = &study.instance;
@@ -93,6 +103,12 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
 
     'design: loop {
         let module = &instance.module;
+        // Canonical form for cache keying, computed once per design
+        // instance (rename- and reorder-invariant).
+        let canon = ctx
+            .cache
+            .is_some()
+            .then(|| fastpath_rtl::canonical_form(module));
         // One UPEC engine per design instance: the formal stage elaborates
         // its frame template once and keeps one incremental SAT solver
         // alive across every refinement iteration below. Created lazily so
@@ -171,54 +187,85 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
 
             // ---- Stage 3: UPEC-DIT ---------------------------------------
             {
-                let engine = match upec.as_mut() {
-                    Some(engine) => engine,
-                    None => {
-                        let t0 = Instant::now();
-                        let mut engine = Upec2Safety::new(module, &UpecSpec::default());
-                        engine.set_sat_portfolio(options.sat_portfolio);
-                        if options.certify {
-                            engine.enable_certification();
-                            if let Some(dir) = &options.dump_artifacts {
-                                engine.set_artifact_output(
-                                    dir.clone(),
-                                    format!("{}_fastpath_", module.name()),
-                                );
-                            }
-                        }
-                        engine.elaborate();
-                        ctx.timings.formal_elaboration += t0.elapsed();
-                        upec.insert(engine)
-                    }
-                };
-
                 loop {
-                    // Feed spec entries activated since the last check
-                    // into the engine; nothing already encoded is redone.
-                    for &i in &active_constraints[synced_constraints..] {
-                        engine.add_software_constraint(instance.constraints[i].expr);
-                    }
-                    synced_constraints = active_constraints.len();
-                    for &i in &active_invariants[synced_invariants..] {
-                        engine.add_invariant(instance.invariants[i].expr);
-                    }
-                    synced_invariants = active_invariants.len();
-                    for &i in &active_cond_eqs[synced_cond_eqs..] {
-                        let ce = &instance.cond_eqs[i];
-                        engine.add_conditional_equality(ce.cond, ce.signal);
-                    }
-                    synced_cond_eqs = active_cond_eqs.len();
-
                     let z_vec: Vec<SignalId> = z_prime.iter().copied().collect();
-                    let t0 = Instant::now();
-                    let outcome = if ctx.certification.is_some() {
-                        let certified = engine.check_certified(&z_vec);
-                        ctx.record_certificate(&certified);
-                        certified.outcome
-                    } else {
-                        engine.check(&z_vec)
+                    // Content address of this exact check; a validated
+                    // cache hit answers it without ever elaborating the
+                    // 2-safety model.
+                    let key = canon.as_ref().map(|canon| {
+                        active_check_key(
+                            canon,
+                            CheckKind::Full,
+                            instance,
+                            &z_vec,
+                            &active_constraints,
+                            &active_invariants,
+                            &active_cond_eqs,
+                        )
+                    });
+                    let mut cached = None;
+                    if let Some(key) = &key {
+                        let t0 = Instant::now();
+                        cached = ctx.try_cached_check(key, module, instance, &active_cond_eqs);
+                        ctx.timings.formal_checks += t0.elapsed();
+                    }
+                    let outcome = match cached {
+                        Some(outcome) => outcome,
+                        None => {
+                            let engine = match upec.as_mut() {
+                                Some(engine) => engine,
+                                None => {
+                                    let t0 = Instant::now();
+                                    let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+                                    engine.set_sat_portfolio(options.sat_portfolio);
+                                    if ctx.certification.is_some() {
+                                        engine.enable_certification();
+                                        if ctx.cache.is_some() {
+                                            engine.enable_artifact_capture();
+                                        }
+                                        if let Some(dir) = &options.dump_artifacts {
+                                            engine.set_artifact_output(
+                                                dir.clone(),
+                                                format!("{}_fastpath_", module.name()),
+                                            );
+                                        }
+                                    }
+                                    engine.elaborate();
+                                    ctx.timings.formal_elaboration += t0.elapsed();
+                                    upec.insert(engine)
+                                }
+                            };
+                            // Feed spec entries activated since the last
+                            // engine-run check; nothing already encoded is
+                            // redone.
+                            for &i in &active_constraints[synced_constraints..] {
+                                engine.add_software_constraint(instance.constraints[i].expr);
+                            }
+                            synced_constraints = active_constraints.len();
+                            for &i in &active_invariants[synced_invariants..] {
+                                engine.add_invariant(instance.invariants[i].expr);
+                            }
+                            synced_invariants = active_invariants.len();
+                            for &i in &active_cond_eqs[synced_cond_eqs..] {
+                                let ce = &instance.cond_eqs[i];
+                                engine.add_conditional_equality(ce.cond, ce.signal);
+                            }
+                            synced_cond_eqs = active_cond_eqs.len();
+
+                            let t0 = Instant::now();
+                            let outcome = if ctx.certification.is_some() {
+                                let certified = engine.check_certified(&z_vec);
+                                ctx.record_certificate(&certified);
+                                let artifact = engine.take_last_artifact();
+                                ctx.store_cached_check(key.as_ref(), &certified, artifact);
+                                certified.outcome
+                            } else {
+                                engine.check(&z_vec)
+                            };
+                            ctx.timings.formal_checks += t0.elapsed();
+                            outcome
+                        }
                     };
-                    ctx.timings.formal_checks += t0.elapsed();
                     ctx.timings.check_count += 1;
                     ctx.events.push(FlowEvent::UpecCheck {
                         holds: outcome.holds(),
@@ -237,7 +284,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                                 )
                             };
                             let total = module.state_signals().len() - z_prime.len();
-                            ctx.absorb_engine(Some(&*engine));
+                            ctx.absorb_engine(upec.as_ref());
                             return ctx.finish(
                                 module,
                                 verdict,
@@ -309,7 +356,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                             description,
                             stage: Stage::Formal,
                         });
-                        ctx.absorb_engine(Some(&*engine));
+                        ctx.absorb_engine(upec.as_ref());
                         if let (Some(fixed), false) = (&study.fixed_instance, fixed_used) {
                             fixed_used = true;
                             instance = fixed;
@@ -339,6 +386,35 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
             }
         }
     }
+}
+
+/// The content address of a flow check, built from the active subsets of
+/// the instance's spec vocabulary in activation order.
+pub(crate) fn active_check_key(
+    canon: &CanonicalForm,
+    kind: CheckKind,
+    instance: &DesignInstance,
+    z_vec: &[SignalId],
+    active_constraints: &[usize],
+    active_invariants: &[usize],
+    active_cond_eqs: &[usize],
+) -> Digest {
+    let constraints: Vec<ExprId> = active_constraints
+        .iter()
+        .map(|&i| instance.constraints[i].expr)
+        .collect();
+    let invariants: Vec<ExprId> = active_invariants
+        .iter()
+        .map(|&i| instance.invariants[i].expr)
+        .collect();
+    let cond_eqs: Vec<(ExprId, SignalId)> = active_cond_eqs
+        .iter()
+        .map(|&i| {
+            let ce = &instance.cond_eqs[i];
+            (ce.cond, ce.signal)
+        })
+        .collect();
+    cache::check_key(canon, kind, z_vec, &constraints, &invariants, &cond_eqs)
 }
 
 /// `true` iff the conditional equality fails in the replayed witness at
@@ -372,6 +448,12 @@ pub(crate) struct FlowContext {
     tape: Option<(usize, Arc<SimTape>)>,
     sim_runs: u64,
     sim_cycles: u64,
+    /// Cross-run verification cache, when attached.
+    pub(crate) cache: Option<Arc<dyn ProofCache>>,
+    /// Hit/miss counters for this run (store-side numbers join at finish).
+    pub(crate) cache_stats: CacheStats,
+    /// Exact-netlist hash memo, keyed like `tape`.
+    exact_hash: Option<(usize, Digest)>,
 }
 
 enum SimStageResult {
@@ -398,6 +480,122 @@ impl FlowContext {
             tape: None,
             sim_runs: 0,
             sim_cycles: 0,
+            cache: None,
+            cache_stats: CacheStats::default(),
+            exact_hash: None,
+        }
+    }
+
+    /// The exact (text-level) module hash, computed on first use.
+    fn exact_hash_for(&mut self, module: &Module) -> Digest {
+        let key = module as *const Module as usize;
+        match self.exact_hash {
+            Some((k, digest)) if k == key => digest,
+            _ => {
+                let digest = cache::exact_module_hash(module);
+                self.exact_hash = Some((key, digest));
+                digest
+            }
+        }
+    }
+
+    /// Serves one UPEC check from the cache if a stored entry exists *and*
+    /// survives re-validation: an UNSAT proof must replay through the RUP
+    /// checker, a counterexample must reproduce under concrete two-instance
+    /// simulation. Anything less is a miss.
+    pub(crate) fn try_cached_check(
+        &mut self,
+        key: &Digest,
+        module: &Module,
+        instance: &DesignInstance,
+        active_cond_eqs: &[usize],
+    ) -> Option<UpecOutcome> {
+        let cache = self.cache.clone()?;
+        let outcome = self.validate_cached_check(&*cache, key, module, instance, active_cond_eqs);
+        match &outcome {
+            Some(_) => self.cache_stats.hits += 1,
+            None => self.cache_stats.misses += 1,
+        }
+        outcome
+    }
+
+    fn validate_cached_check(
+        &mut self,
+        cache: &dyn ProofCache,
+        key: &Digest,
+        module: &Module,
+        instance: &DesignInstance,
+        active_cond_eqs: &[usize],
+    ) -> Option<UpecOutcome> {
+        let text = cache.load(CacheKind::Check, key)?;
+        match cache::decode_check(&text).ok()? {
+            cache::CachedCheck::HoldsProof { cnf, drup } => {
+                let checker = revalidate_unsat_artifact(&cnf, &drup).ok()?;
+                let summary = self.certification.as_mut()?;
+                summary.stats.certified_checks += 1;
+                summary.stats.unsat_proofs += 1;
+                summary.stats.checker.merge(&checker);
+                Some(UpecOutcome::Holds)
+            }
+            cache::CachedCheck::HoldsHinted { cnf, proof } => {
+                let checker = fastpath_cert::check_hinted_unsat_artifact(&cnf, &proof).ok()?;
+                let summary = self.certification.as_mut()?;
+                summary.stats.certified_checks += 1;
+                summary.stats.unsat_proofs += 1;
+                summary.stats.checker.merge(&checker);
+                Some(UpecOutcome::Holds)
+            }
+            cache::CachedCheck::HoldsTrivial => {
+                let summary = self.certification.as_mut()?;
+                summary.stats.certified_checks += 1;
+                summary.stats.trivial_unsat += 1;
+                Some(UpecOutcome::Holds)
+            }
+            cache::CachedCheck::Cex(cached) => {
+                let cex = cached.to_counterexample(module)?;
+                let in_force: Vec<(ExprId, SignalId)> = active_cond_eqs
+                    .iter()
+                    .map(|&i| {
+                        let ce = &instance.cond_eqs[i];
+                        (ce.cond, ce.signal)
+                    })
+                    .collect();
+                confirm_counterexample(module, &in_force, &cex).ok()?;
+                let summary = self.certification.as_mut()?;
+                summary.stats.certified_checks += 1;
+                summary.stats.sat_models += 1;
+                Some(UpecOutcome::Counterexample(cex))
+            }
+        }
+    }
+
+    /// Stores a freshly certified verdict. Only independently validated
+    /// results enter the cache: an UNSAT verdict needs its captured proof
+    /// artifact, a counterexample its validated model; a rejected
+    /// certificate stores nothing.
+    pub(crate) fn store_cached_check(
+        &mut self,
+        key: Option<&Digest>,
+        certified: &CertifiedOutcome,
+        artifact: Option<ProofArtifact>,
+    ) {
+        let (Some(cache), Some(key)) = (self.cache.clone(), key) else {
+            return;
+        };
+        let entry = match (&certified.outcome, &certified.certificate) {
+            (UpecOutcome::Holds, Ok(CheckCertificate::UnsatProof { .. })) => {
+                artifact.map(cache::check_entry_from_artifact)
+            }
+            (UpecOutcome::Holds, Ok(CheckCertificate::TrivialUnsat)) => {
+                Some(cache::CachedCheck::HoldsTrivial)
+            }
+            (UpecOutcome::Counterexample(cex), Ok(CheckCertificate::SatModel { .. })) => Some(
+                cache::CachedCheck::Cex(cache::CachedCex::from_counterexample(cex)),
+            ),
+            _ => None,
+        };
+        if let Some(entry) = entry {
+            cache.store(CacheKind::Check, key, &cache::encode_check(&entry));
         }
     }
 
@@ -508,6 +706,14 @@ impl FlowContext {
                 runs: self.sim_runs,
                 cycles: self.sim_cycles,
             },
+            cache: self.cache.as_ref().map(|cache| {
+                let usage = cache.usage();
+                CacheStats {
+                    bytes: usage.bytes,
+                    evictions: usage.evictions,
+                    ..self.cache_stats
+                }
+            }),
             certification: self.certification,
         }
     }
@@ -623,6 +829,59 @@ impl FlowContext {
         declassified: &[SignalId],
     ) -> IftReport {
         let module = &instance.module;
+        let key = self.cache.is_some().then(|| {
+            let exact = self.exact_hash_for(module);
+            let names: Vec<&str> = active_constraints
+                .iter()
+                .map(|&ci| instance.constraints[ci].name.as_str())
+                .collect();
+            cache::sim_key(
+                exact,
+                &study.name,
+                study.seed,
+                study.cycles,
+                study.policy,
+                instance.configure_testbench.is_some(),
+                &names,
+                declassified,
+            )
+        });
+        if let (Some(cache), Some(key)) = (self.cache.clone(), key) {
+            let t0 = Instant::now();
+            let hit = cache
+                .load(CacheKind::Sim, &key)
+                .and_then(|text| cache::decode_sim(&text).ok())
+                .and_then(|entry| entry.to_report(module));
+            if let Some(report) = hit {
+                // Deterministic memoization: the counters stay identical
+                // to a live run so reports match byte for byte; the cache
+                // block records the provenance.
+                self.cache_stats.hits += 1;
+                self.timings.simulation += t0.elapsed();
+                self.sim_runs += 1;
+                self.sim_cycles += report.cycles_run;
+                return report;
+            }
+            self.cache_stats.misses += 1;
+            let report = self.run_ift_live(study, instance, active_constraints, declassified);
+            cache.store(
+                CacheKind::Sim,
+                &key,
+                &cache::encode_sim(&cache::CachedSim::from_report(&report)),
+            );
+            return report;
+        }
+        self.run_ift_live(study, instance, active_constraints, declassified)
+    }
+
+    fn run_ift_live(
+        &mut self,
+        study: &CaseStudy,
+        instance: &DesignInstance,
+        active_constraints: &[usize],
+        declassified: &[SignalId],
+    ) -> IftReport {
+        let module = &instance.module;
         let mut tb = RandomTestbench::new(module, study.seed);
         if let Some(configure) = &instance.configure_testbench {
             configure(module, &mut tb);
@@ -655,6 +914,7 @@ mod tests {
     use super::*;
     use crate::study::NamedPredicate;
     use fastpath_rtl::ModuleBuilder;
+    use std::time::Duration;
 
     /// Round-based "crypto" toy: secret only reaches the data output.
     fn structural_case() -> CaseStudy {
@@ -841,5 +1101,110 @@ mod tests {
         assert_eq!(report.method, CompletionMethod::Upec);
         assert_eq!(report.vulnerabilities.len(), 1);
         assert!(report.events.contains(&FlowEvent::DesignFixed));
+    }
+
+    /// Warm runs against a shared cache must be byte-identical to cold runs
+    /// and serve every check and simulation from the cache.
+    #[test]
+    fn warm_cache_run_is_identical_and_fully_served() {
+        let shared: Arc<dyn ProofCache> = Arc::new(cache::MemoryCache::new());
+        let with_cache = || FlowOptions {
+            cache: Some(Arc::clone(&shared)),
+            ..FlowOptions::default()
+        };
+        let cold = run_fastpath_with(&constrained_case(), with_cache());
+        let warm = run_fastpath_with(&constrained_case(), with_cache());
+
+        // Everything a consumer can observe besides `cache` is identical.
+        assert_eq!(cold.verdict, warm.verdict);
+        assert_eq!(cold.method, warm.method);
+        assert_eq!(cold.events, warm.events);
+        assert_eq!(cold.derived_constraints, warm.derived_constraints);
+        assert_eq!(cold.manual_inspections, warm.manual_inspections);
+        assert_eq!(cold.timings.check_count, warm.timings.check_count);
+        assert_eq!(cold.sim.runs, warm.sim.runs);
+        assert_eq!(cold.sim.cycles, warm.sim.cycles);
+
+        // The warm run never touched the solver or the simulator: every
+        // lookup hit, and no engine was ever elaborated.
+        let warm_stats = warm.cache.expect("cache attached");
+        assert_eq!(warm_stats.misses, 0, "warm run must be fully served");
+        assert!(warm_stats.hits >= warm.timings.check_count);
+        assert_eq!(warm.timings.formal_elaboration, Duration::ZERO);
+
+        // Attaching a cache implies certification, and cached verdicts are
+        // re-validated on load so the accounting still balances.
+        for report in [&cold, &warm] {
+            let cert = report.certification.as_ref().expect("cache => certify");
+            assert!(cert.fully_certified(), "{:?}", cert.failures);
+            assert_eq!(cert.stats.certified_checks, report.timings.check_count);
+        }
+        let cold_stats = cold.cache.expect("cache attached");
+        assert!(cold_stats.misses > 0, "cold run must populate the cache");
+        assert!(cold_stats.bytes > 0);
+    }
+
+    /// A cache that serves corrupted DRUP artifacts: revalidation must
+    /// reject them and the flow must re-prove rather than trust the entry.
+    #[derive(Debug)]
+    struct CorruptProofs(cache::MemoryCache);
+
+    impl ProofCache for CorruptProofs {
+        fn load(&self, kind: CacheKind, key: &fastpath_rtl::Digest) -> Option<String> {
+            let text = self.0.load(kind, key)?;
+            if kind == CacheKind::Check {
+                // Well-formed entry (checksum intact) whose proof is
+                // garbage: only semantic revalidation can catch this.
+                match cache::decode_check(&text) {
+                    Ok(cache::CachedCheck::HoldsProof { cnf, .. }) => {
+                        let bad = cache::CachedCheck::HoldsProof {
+                            cnf,
+                            drup: "garbage\n".into(),
+                        };
+                        return Some(cache::encode_check(&bad));
+                    }
+                    Ok(cache::CachedCheck::HoldsHinted { cnf, .. }) => {
+                        let bad = cache::CachedCheck::HoldsHinted {
+                            cnf,
+                            proof: "garbage\n".into(),
+                        };
+                        return Some(cache::encode_check(&bad));
+                    }
+                    _ => {}
+                }
+            }
+            Some(text)
+        }
+
+        fn store(&self, kind: CacheKind, key: &fastpath_rtl::Digest, entry: &str) {
+            self.0.store(kind, key, entry);
+        }
+    }
+
+    #[test]
+    fn corrupted_cached_proof_is_detected_and_reproved() {
+        let shared: Arc<dyn ProofCache> = Arc::new(CorruptProofs(cache::MemoryCache::new()));
+        let with_cache = || FlowOptions {
+            cache: Some(Arc::clone(&shared)),
+            ..FlowOptions::default()
+        };
+        let cold = run_fastpath_with(&constrained_case(), with_cache());
+        let warm = run_fastpath_with(&constrained_case(), with_cache());
+
+        // Identical observable results: the corrupted entries were simply
+        // re-proved, never trusted.
+        assert_eq!(cold.verdict, warm.verdict);
+        assert_eq!(cold.events, warm.events);
+        let cert = warm.certification.as_ref().expect("cache => certify");
+        assert!(cert.fully_certified(), "{:?}", cert.failures);
+        assert_eq!(cert.stats.certified_checks, warm.timings.check_count);
+
+        // At least one proof-backed entry failed revalidation on the warm
+        // run and was recounted as a miss.
+        let warm_stats = warm.cache.expect("cache attached");
+        assert!(
+            warm_stats.misses > 0,
+            "corrupted proofs must surface as misses"
+        );
     }
 }

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod baseline;
+pub mod cache;
 mod flow;
 mod pairwise;
 pub mod parallel;
@@ -64,6 +65,7 @@ mod study;
 mod witness;
 
 pub use baseline::{run_baseline, run_baseline_with};
+pub use cache::{CacheStats, MemoryCache, ProofCache};
 pub use fastpath_sim::SimEngine;
 pub use flow::{run_fastpath, run_fastpath_with, FlowOptions};
 pub use pairwise::{DynamicPairwise, PairResult, PairwiseAnalysis};

@@ -235,6 +235,10 @@ pub struct FlowReport {
     pub elaboration: ElaborationStats,
     /// Simulation backend and workload of the run.
     pub sim: SimStats,
+    /// Verification-cache effectiveness (`None` unless a cache was
+    /// attached). Provenance only: verdicts, events, and counts are
+    /// byte-identical whether a run was served warm or cold.
+    pub cache: Option<crate::cache::CacheStats>,
     /// Certification results (`None` unless the run certified verdicts).
     pub certification: Option<CertificationSummary>,
 }
@@ -331,6 +335,7 @@ mod tests {
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
             sim: SimStats::default(),
+            cache: None,
             certification: None,
         }
     }

@@ -66,8 +66,8 @@ pub use bmc::{
 pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
 pub use tseitin::CnfEncoder;
 pub use upec::{
-    ElaborationMode, ElaborationStats, StateWitness, Upec2Safety, UpecCounterexample, UpecOutcome,
-    UpecSpec,
+    ElaborationMode, ElaborationStats, ProofArtifact, StateWitness, Upec2Safety,
+    UpecCounterexample, UpecOutcome, UpecSpec,
 };
 pub use words::{
     add_with_carry, add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word,

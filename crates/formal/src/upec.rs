@@ -199,6 +199,10 @@ struct CertState {
     /// requested.
     artifact_dir: Option<PathBuf>,
     artifact_prefix: String,
+    /// Whether to retain the most recent check's artifact text in memory
+    /// (for proof caches), independent of `artifact_dir`.
+    capture: bool,
+    last_artifact: Option<ProofArtifact>,
 }
 
 impl CertState {
@@ -209,8 +213,25 @@ impl CertState {
             stats: CertStats::default(),
             artifact_dir: None,
             artifact_prefix: String::new(),
+            capture: false,
+            last_artifact: None,
         }
     }
+}
+
+/// An in-memory copy of the textual certificate of one successfully
+/// certified non-trivial UNSAT check: the exact DIMACS formula solved
+/// (activation assumption baked in as a unit) plus its DRUP proof.
+///
+/// A proof cache stores this pair; on a later hit,
+/// [`fastpath_cert::artifacts::revalidate_unsat_artifact`] replays it so
+/// the cached verdict is re-certified rather than trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofArtifact {
+    /// DIMACS CNF text of the formula the verdict is about.
+    pub cnf: String,
+    /// Textual DRUP refutation of that formula.
+    pub drup: String,
 }
 
 /// The `Z'`-independent half of the 2-safety model, elaborated once.
@@ -364,6 +385,29 @@ impl<'m> Upec2Safety<'m> {
             .expect("artifact output requires enable_certification()");
         cert.artifact_dir = Some(dir);
         cert.artifact_prefix = prefix.into();
+    }
+
+    /// Retains each non-trivial UNSAT check's `(CNF, DRUP)` text in
+    /// memory so a proof cache can store it; read it back with
+    /// [`take_last_artifact`](Self::take_last_artifact) after the check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if certification is not enabled.
+    pub fn enable_artifact_capture(&mut self) {
+        let cert = self
+            .cert
+            .as_mut()
+            .expect("artifact capture requires enable_certification()");
+        cert.capture = true;
+    }
+
+    /// Takes the artifact captured by the most recent check, if that
+    /// check was a successfully certified non-trivial UNSAT (SAT and
+    /// trivially-UNSAT checks capture nothing — their verdicts are
+    /// re-validated by replay and by construction respectively).
+    pub fn take_last_artifact(&mut self) -> Option<ProofArtifact> {
+        self.cert.as_mut().and_then(|c| c.last_artifact.take())
     }
 
     /// Accumulated certification counters, if certification is enabled.
@@ -844,23 +888,30 @@ impl<'m> Upec2Safety<'m> {
         if verdict.is_err() {
             cert.stats.cert_failures += 1;
         }
-        if let Some(dir) = &cert.artifact_dir {
-            // Rejected certificates are dumped too — that is exactly when
-            // an external cross-audit matters most.
-            if !trivial {
+        cert.last_artifact = None;
+        let render = !trivial && (cert.artifact_dir.is_some() || cert.capture);
+        if render {
+            let cnf = Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
+            let drup = (!sat).then(|| artifacts::proof_to_drup(&steps[..snapshot], &[g]));
+            if cert.capture && verdict.is_ok() {
+                if let Some(drup) = &drup {
+                    cert.last_artifact = Some(ProofArtifact {
+                        cnf: cnf.clone(),
+                        drup: drup.clone(),
+                    });
+                }
+            }
+            if let Some(dir) = &cert.artifact_dir {
+                // Rejected certificates are dumped too — that is exactly
+                // when an external cross-audit matters most.
                 let index = cert.stats.certified_checks;
                 let base = dir.join(format!("{}check{:04}", cert.artifact_prefix, index));
-                let cnf = Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
-                let (path, payload) = if sat {
-                    (
+                let (path, payload) = match drup {
+                    Some(drup) => (base.with_extension("drup"), drup),
+                    None => (
                         base.with_extension("model"),
                         artifacts::model_to_text(self.encoder.model()),
-                    )
-                } else {
-                    (
-                        base.with_extension("drup"),
-                        artifacts::proof_to_drup(&steps[..snapshot], &[g]),
-                    )
+                    ),
                 };
                 let wrote = std::fs::create_dir_all(dir).and_then(|()| {
                     std::fs::write(base.with_extension("cnf"), cnf)?;
@@ -1164,6 +1215,27 @@ mod tests {
         assert_eq!(stats.cert_failures, 0);
         assert_eq!(stats.sat_models, 1);
         assert!(stats.unsat_proofs + stats.trivial_unsat == 1);
+    }
+
+    #[test]
+    fn captured_artifacts_revalidate_in_memory() {
+        let (module, mode_off) = modal();
+        let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
+        upec.enable_certification();
+        upec.enable_artifact_capture();
+        // SAT check: nothing captured (the verdict re-validates by
+        // concrete replay instead).
+        assert!(!upec.check_certified(&[]).outcome.holds());
+        assert!(upec.take_last_artifact().is_none());
+        // UNSAT check: the (CNF, DRUP) pair must re-certify from text
+        // alone — exactly what a proof cache does on a hit.
+        upec.add_software_constraint(mode_off);
+        assert!(upec.check_certified(&[]).outcome.holds());
+        let artifact = upec.take_last_artifact().expect("captured");
+        fastpath_cert::artifacts::revalidate_unsat_artifact(&artifact.cnf, &artifact.drup)
+            .expect("captured artifact certifies");
+        // Take is destructive.
+        assert!(upec.take_last_artifact().is_none());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the canonical cone-hash scheme over the fuzz
+//! generator: the content addresses the verification service keys its
+//! proof cache on must be **stable** under semantics-preserving renames
+//! and **sensitive** to semantic edits — and a cone's hash must not move
+//! when the edit lies outside its fan-in, which is exactly what makes the
+//! daemon's incremental-revision path sound.
+//!
+//! Mutations are applied through the textual netlist format (rename every
+//! signal, flip a register's reset bit) and re-parsed, so the properties
+//! are checked end-to-end through the same serialization path
+//! `fastpathd submit` uses.
+
+use fastpath_fuzz::generate_case;
+use fastpath_rtl::{
+    cone_of_influence, extract_cone, module_hash, parse_netlist, write_netlist, Module, SignalKind,
+};
+
+const SEEDS: u64 = 60;
+
+/// Renames every signal `name` → `rn_<name>` via the netlist text.
+fn rename_all(module: &Module) -> Module {
+    let text = write_netlist(module);
+    let rewritten: String = text
+        .lines()
+        .map(|line| {
+            let mut tokens: Vec<String> = line.split(' ').map(str::to_string).collect();
+            match tokens.first().map(String::as_str) {
+                Some("input" | "reg" | "wire" | "output" | "drive") => {
+                    tokens[1] = format!("rn_{}", tokens[1]);
+                }
+                Some("expr") if tokens.get(2).map(String::as_str) == Some("sig") => {
+                    tokens[3] = format!("rn_{}", tokens[3]);
+                }
+                _ => {}
+            }
+            tokens.join(" ") + "\n"
+        })
+        .collect();
+    parse_netlist(&rewritten).expect("renamed netlist reparses")
+}
+
+/// Flips bit 0 of the reset value of the register named `target`.
+fn flip_reset_bit(module: &Module, target: &str) -> Module {
+    let text = write_netlist(module);
+    let rewritten: String = text
+        .lines()
+        .map(|line| {
+            let mut tokens: Vec<String> = line.split(' ').map(str::to_string).collect();
+            if tokens.first().map(String::as_str) == Some("reg") && tokens[1] == target {
+                // reg <name> <width> <inithex> <role>: xor the low hex
+                // digit's bit 0 — valid for every width >= 1.
+                let mut init = tokens[3].clone();
+                let last = init.pop().expect("nonempty init");
+                let flipped =
+                    char::from_digit(last.to_digit(16).expect("hex") ^ 1, 16).expect("hex digit");
+                init.push(flipped);
+                tokens[3] = init;
+            }
+            tokens.join(" ") + "\n"
+        })
+        .collect();
+    parse_netlist(&rewritten).expect("mutated netlist reparses")
+}
+
+fn cone_hashes(module: &Module) -> Vec<fastpath_rtl::Digest> {
+    module
+        .control_outputs()
+        .into_iter()
+        .map(|sid| module_hash(&extract_cone(module, &[sid]).module))
+        .collect()
+}
+
+#[test]
+fn renaming_never_moves_module_or_cone_hashes() {
+    let mut exercised = 0u32;
+    for seed in 0..SEEDS {
+        let module = generate_case(seed).module;
+        let renamed = rename_all(&module);
+        assert_eq!(
+            module_hash(&module),
+            module_hash(&renamed),
+            "seed {seed}: module hash moved under pure rename"
+        );
+        let before = cone_hashes(&module);
+        let after = cone_hashes(&renamed);
+        assert_eq!(
+            before, after,
+            "seed {seed}: a cone hash moved under pure rename"
+        );
+        exercised += u32::from(!before.is_empty());
+    }
+    assert!(
+        exercised > SEEDS as u32 / 2,
+        "generator starved the property"
+    );
+}
+
+#[test]
+fn reset_value_edits_always_move_the_module_hash() {
+    let mut exercised = 0u32;
+    for seed in 0..SEEDS {
+        let module = generate_case(seed).module;
+        let Some(reg) = module
+            .signals()
+            .find(|(_, s)| s.kind == SignalKind::Register)
+            .map(|(_, s)| s.name.clone())
+        else {
+            continue;
+        };
+        let mutated = flip_reset_bit(&module, &reg);
+        assert_ne!(
+            module_hash(&module),
+            module_hash(&mutated),
+            "seed {seed}: flipping {reg}'s reset bit left the hash unchanged"
+        );
+        exercised += 1;
+    }
+    assert!(
+        exercised > SEEDS as u32 / 2,
+        "generator starved the property"
+    );
+}
+
+#[test]
+fn edits_outside_a_cone_leave_its_hash_unchanged() {
+    let mut exercised = 0u32;
+    for seed in 0..SEEDS {
+        let module = generate_case(seed).module;
+        for out in module.control_outputs() {
+            let in_cone = cone_of_influence(&module, &[out]);
+            // A register whose value the cone can never observe.
+            let Some((reg_id, reg_name)) = module
+                .signals()
+                .find(|(id, s)| s.kind == SignalKind::Register && !in_cone.contains(id))
+                .map(|(id, s)| (id, s.name.clone()))
+            else {
+                continue;
+            };
+            let mutated = flip_reset_bit(&module, &reg_name);
+            assert_ne!(
+                module_hash(&module),
+                module_hash(&mutated),
+                "seed {seed}: whole-module hash must see the edit"
+            );
+            // Signal ids are stable across the text rewrite (declaration
+            // order is preserved), so the same output id addresses the
+            // same cone in both modules.
+            let before = module_hash(&extract_cone(&module, &[out]).module);
+            let after = module_hash(&extract_cone(&mutated, &[out]).module);
+            assert_eq!(
+                before,
+                after,
+                "seed {seed}: cone of {:?} moved though {reg_name} ({reg_id:?}) \
+                 is outside its fan-in",
+                module.signal(out).name
+            );
+            exercised += 1;
+        }
+    }
+    assert!(
+        exercised >= 10,
+        "generator starved the property ({exercised})"
+    );
+}

@@ -6,9 +6,9 @@
 //! the HFG-enabled proof optimizations (Sec. IV-A); the formal engine uses
 //! it to drop irrelevant state from the 2-safety model.
 
-use crate::expr::SignalId;
-use crate::module::Module;
-use std::collections::VecDeque;
+use crate::expr::{Expr, ExprId, SignalId};
+use crate::module::{Module, SignalKind, SignalRole};
+use std::collections::{HashMap, VecDeque};
 
 /// Computes the cone of influence of `targets`: all signals (including the
 /// targets themselves) that can structurally affect any target.
@@ -91,6 +91,130 @@ pub fn fanout_cone(module: &Module, sources: &[SignalId]) -> Vec<SignalId> {
         .collect()
 }
 
+/// A self-contained sub-module carved out of a larger design, together
+/// with the mapping back to the original signals.
+///
+/// Produced by [`extract_cone`]; the verification service decomposes a
+/// submission into one cone per control output so unchanged cones of a
+/// revised design can reuse cached verdicts.
+#[derive(Clone, Debug)]
+pub struct ConeExtraction {
+    /// The extracted cone as a stand-alone validated module.
+    pub module: Module,
+    /// For each signal index in [`ConeExtraction::module`], the id of the
+    /// corresponding signal in the original module.
+    pub signal_map: Vec<SignalId>,
+}
+
+/// Extracts the fan-in cone of `targets` as a stand-alone [`Module`].
+///
+/// The cone module contains exactly the signals returned by
+/// [`cone_of_influence`] (original declaration order and names preserved)
+/// and the expression trees reachable from their drivers, renumbered
+/// densely. Targets keep their kind and role; a non-target *output* that
+/// happens to sit inside the cone (because some expression reads it) is
+/// demoted to an internal wire, so each extracted cone exposes only the
+/// outputs under verification.
+///
+/// # Panics
+///
+/// Panics if a target id is out of range for `module`. A validated module
+/// always yields a validated cone.
+pub fn extract_cone(module: &Module, targets: &[SignalId]) -> ConeExtraction {
+    let cone = cone_of_influence(module, targets);
+    let is_target = |id: SignalId| targets.contains(&id);
+    let mut signal_of: HashMap<SignalId, SignalId> = HashMap::new();
+    let mut signals = Vec::with_capacity(cone.len());
+    for (new_index, &old) in cone.iter().enumerate() {
+        let mut s = module.signal(old).clone();
+        if s.kind == SignalKind::Output && !is_target(old) {
+            s.kind = SignalKind::Wire;
+            s.role = SignalRole::Internal;
+        }
+        signal_of.insert(old, SignalId::from_index(new_index));
+        signals.push(s);
+    }
+    // Collect every arena expression reachable from a cone driver, then
+    // copy them in (topological) arena order, remapping operand and
+    // signal references.
+    let mut needed = vec![false; module.expr_count()];
+    let mut stack: Vec<ExprId> = cone.iter().filter_map(|&id| module.driver(id)).collect();
+    while let Some(e) = stack.pop() {
+        if needed[e.index()] {
+            continue;
+        }
+        needed[e.index()] = true;
+        stack.extend(module.expr(e).operands());
+    }
+    let mut expr_of: HashMap<ExprId, ExprId> = HashMap::new();
+    let mut exprs = Vec::new();
+    let mut expr_widths = Vec::new();
+    for (i, _) in needed.iter().enumerate().filter(|(_, keep)| **keep) {
+        let old_id = ExprId::from_index(i);
+        let remap = |e: ExprId| expr_of[&e];
+        let copied = match module.expr(old_id) {
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Signal(s) => Expr::Signal(signal_of[s]),
+            Expr::Unary(op, a) => Expr::Unary(*op, remap(*a)),
+            Expr::Binary(op, a, b) => Expr::Binary(*op, remap(*a), remap(*b)),
+            Expr::Mux {
+                cond,
+                then_expr,
+                else_expr,
+            } => Expr::Mux {
+                cond: remap(*cond),
+                then_expr: remap(*then_expr),
+                else_expr: remap(*else_expr),
+            },
+            Expr::Slice { arg, hi, lo } => Expr::Slice {
+                arg: remap(*arg),
+                hi: *hi,
+                lo: *lo,
+            },
+            Expr::Concat(a, b) => Expr::Concat(remap(*a), remap(*b)),
+            Expr::Zext { arg, width } => Expr::Zext {
+                arg: remap(*arg),
+                width: *width,
+            },
+            Expr::Sext { arg, width } => Expr::Sext {
+                arg: remap(*arg),
+                width: *width,
+            },
+        };
+        expr_of.insert(old_id, ExprId::from_index(exprs.len()));
+        exprs.push(copied);
+        expr_widths.push(module.expr_width(old_id));
+    }
+    let drivers: Vec<Option<ExprId>> = cone
+        .iter()
+        .map(|&old| module.driver(old).map(|d| expr_of[&d]))
+        .collect();
+    let by_name = signals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.clone(), SignalId::from_index(i)))
+        .collect();
+    let target_names: Vec<&str> = targets
+        .iter()
+        .map(|&t| module.signal(t).name.as_str())
+        .collect();
+    let mut cone_module = Module {
+        name: format!("{}::cone::{}", module.name(), target_names.join("+")),
+        signals,
+        exprs,
+        expr_widths,
+        drivers,
+        by_name,
+        comb_order: Vec::new(),
+    };
+    cone_module.comb_order = crate::builder::topo_sort_comb(&cone_module)
+        .expect("cone of a validated module is acyclic");
+    ConeExtraction {
+        module: cone_module,
+        signal_map: cone,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +234,70 @@ mod tests {
         assert!(cone.contains(&a));
         assert!(cone.contains(&r));
         assert!(cone.contains(&out));
+    }
+
+    #[test]
+    fn extracted_cone_is_standalone_and_equivalent() {
+        use crate::value::BitVec;
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let unused = b.input("unused", 4);
+        let a_sig = b.sig(a);
+        let unused_sig = b.sig(unused);
+        let r = b.reg("r", 4, 5);
+        let r_sig = b.sig(r);
+        let next = b.add(r_sig, a_sig);
+        b.set_next(r, next).expect("drive r");
+        let parity = b.red_xor(r_sig);
+        let out = b.control_output("p", parity);
+        b.data_output("leak", unused_sig);
+        let m = b.build().expect("valid");
+
+        let extraction = extract_cone(&m, &[out]);
+        let cone = &extraction.module;
+        // `unused` and `leak` are outside the cone of `p`.
+        assert!(cone.signal_by_name("unused").is_none());
+        assert!(cone.signal_by_name("leak").is_none());
+        assert_eq!(cone.control_outputs().len(), 1);
+        // The mapping points back at the original ids.
+        for (i, &old) in extraction.signal_map.iter().enumerate() {
+            assert_eq!(
+                cone.signal(SignalId::from_index(i)).name,
+                m.signal(old).name
+            );
+        }
+        // Same output function: evaluate `p`'s driver on both modules.
+        let cp = cone.signal_by_name("p").expect("p");
+        let cr = cone.signal_by_name("r").expect("r");
+        let mut env: Vec<BitVec> = cone.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        env[cr.index()] = BitVec::from_u64(4, 0b1011);
+        let got = cone.eval(cone.driver(cp).expect("driven"), &env);
+        let mut full_env: Vec<BitVec> = m.signals().map(|(_, s)| BitVec::zero(s.width)).collect();
+        full_env[r.index()] = BitVec::from_u64(4, 0b1011);
+        let want = m.eval(m.driver(out).expect("driven"), &full_env);
+        assert_eq!(got, want);
+        // Extraction is deterministic: same input, same hash.
+        let again = extract_cone(&m, &[out]);
+        assert_eq!(
+            crate::hash::module_hash(cone),
+            crate::hash::module_hash(&again.module)
+        );
+    }
+
+    #[test]
+    fn non_target_outputs_demote_to_wires() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let a_sig = b.sig(a);
+        let mid = b.output("mid", a_sig);
+        let mid_sig = b.sig(mid);
+        let notted = b.not(mid_sig);
+        let out = b.control_output("out", notted);
+        let m = b.build().expect("valid");
+        let cone = extract_cone(&m, &[out]).module;
+        let mid_new = cone.signal_by_name("mid").expect("mid kept");
+        assert_eq!(cone.signal(mid_new).kind, SignalKind::Wire);
+        assert_eq!(cone.signal(mid_new).role, SignalRole::Internal);
     }
 
     #[test]

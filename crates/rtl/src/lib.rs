@@ -42,6 +42,7 @@ mod builder;
 mod cone;
 mod error;
 mod expr;
+mod hash;
 mod module;
 mod netlist;
 pub mod random;
@@ -50,9 +51,10 @@ mod value;
 mod verilog;
 
 pub use builder::ModuleBuilder;
-pub use cone::{cone_of_influence, fanout_cone};
+pub use cone::{cone_of_influence, extract_cone, fanout_cone, ConeExtraction};
 pub use error::RtlError;
 pub use expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
+pub use hash::{canonical_form, module_hash, CanonicalForm, Digest, StableHasher};
 pub use module::{eval_binary, Module, Signal, SignalKind, SignalRole};
 pub use netlist::{parse_netlist, write_netlist, ParseNetlistError};
 pub use regfile::RegFile;

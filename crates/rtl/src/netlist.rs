@@ -149,10 +149,20 @@ fn expr_str(module: &Module, index: usize) -> String {
 }
 
 /// An error while parsing netlist text.
+///
+/// Carries the 1-based line and column of the offending token plus the
+/// full offending line, so a service front-end can reject a malformed
+/// submission with a pointable diagnostic instead of a bare message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseNetlistError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column (byte offset) of the offending token; `1` when the
+    /// error concerns the line or file as a whole.
+    pub column: usize,
+    /// The offending line's text (empty for whole-file errors such as a
+    /// missing `endmodule`).
+    pub context: String,
     /// What went wrong.
     pub message: String,
 }
@@ -161,20 +171,58 @@ impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "netlist parse error at line {}: {}",
-            self.line, self.message
-        )
+            "netlist parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )?;
+        if !self.context.is_empty() {
+            write!(f, "\n  --> {}", self.context)?;
+        }
+        Ok(())
     }
 }
 
 impl Error for ParseNetlistError {}
+
+/// A parse failure within one line: a message plus the 0-based byte
+/// offset of the offending token inside the (trimmed) line.
+struct LineError {
+    column: usize,
+    message: String,
+}
+
+impl From<String> for LineError {
+    fn from(message: String) -> Self {
+        LineError { column: 0, message }
+    }
+}
+
+impl From<&str> for LineError {
+    fn from(message: &str) -> Self {
+        String::from(message).into()
+    }
+}
+
+/// The 0-based byte offset of `token` within `line`. `token` must be a
+/// subslice of `line` (it always is: tokens come from `split_whitespace`).
+fn offset_in(line: &str, token: &str) -> usize {
+    (token.as_ptr() as usize).saturating_sub(line.as_ptr() as usize)
+}
+
+/// Attributes a plain-message error to a specific token of the line.
+fn err_at(line: &str, token: &str, message: String) -> LineError {
+    LineError {
+        column: offset_in(line, token),
+        message,
+    }
+}
 
 /// Parses netlist text produced by [`write_netlist`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseNetlistError`] on any malformed construct, dangling
-/// reference, or failed validation (e.g. combinational cycles).
+/// reference, or failed validation (e.g. combinational cycles). The
+/// parser never panics, whatever the input.
 pub fn parse_netlist(text: &str) -> Result<Module, ParseNetlistError> {
     let mut parser = Parser::default();
     for (lineno, raw) in text.lines().enumerate() {
@@ -182,13 +230,17 @@ pub fn parse_netlist(text: &str) -> Result<Module, ParseNetlistError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        parser.line(line).map_err(|message| ParseNetlistError {
+        parser.line(line).map_err(|e| ParseNetlistError {
             line: lineno + 1,
-            message,
+            column: offset_in(raw, line) + e.column + 1,
+            context: line.to_string(),
+            message: e.message,
         })?;
     }
     parser.finish().map_err(|message| ParseNetlistError {
         line: text.lines().count(),
+        column: 1,
+        context: String::new(),
         message,
     })
 }
@@ -250,11 +302,15 @@ impl Parser {
         Ok(ExprId(index as u32))
     }
 
-    fn line(&mut self, line: &str) -> Result<(), String> {
+    fn line(&mut self, line: &str) -> Result<(), LineError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens.as_slice() {
             ["fastpath-netlist", "1"] => Ok(()),
-            ["fastpath-netlist", v] => Err(format!("unsupported netlist version `{v}`")),
+            ["fastpath-netlist", v] => Err(err_at(
+                line,
+                v,
+                format!("unsupported netlist version `{v}`"),
+            )),
             ["module", name] => {
                 if self.name.is_some() {
                     return Err("duplicate module header".into());
@@ -263,45 +319,61 @@ impl Parser {
                 Ok(())
             }
             ["input", name, width, role] => {
-                let width = parse_num(width)?;
-                let role = parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?;
-                self.add_signal(name, width, SignalKind::Input, role, None)?;
+                let w = parse_num(width).map_err(|m| err_at(line, width, m))?;
+                let role = parse_role(role)
+                    .ok_or_else(|| err_at(line, role, format!("bad role `{role}`")))?;
+                self.add_signal(name, w, SignalKind::Input, role, None)
+                    .map_err(|m| err_at(line, name, m))?;
                 Ok(())
             }
             ["reg", name, width, init, role] => {
-                let width = parse_num(width)?;
-                let init = parse_hex(init, width)?;
+                let w = parse_num(width).map_err(|m| err_at(line, width, m))?;
+                let init = parse_hex(init, w).map_err(|m| err_at(line, init, m))?;
                 let role = if *role == "." {
                     SignalRole::Internal
                 } else {
-                    parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?
+                    parse_role(role)
+                        .ok_or_else(|| err_at(line, role, format!("bad role `{role}`")))?
                 };
-                self.add_signal(name, width, SignalKind::Register, role, Some(init))?;
+                self.add_signal(name, w, SignalKind::Register, role, Some(init))
+                    .map_err(|m| err_at(line, name, m))?;
                 Ok(())
             }
             ["wire", name, width] => {
-                let width = parse_num(width)?;
-                self.add_signal(name, width, SignalKind::Wire, SignalRole::Internal, None)?;
+                let w = parse_num(width).map_err(|m| err_at(line, width, m))?;
+                self.add_signal(name, w, SignalKind::Wire, SignalRole::Internal, None)
+                    .map_err(|m| err_at(line, name, m))?;
                 Ok(())
             }
             ["output", name, width, role, driver] => {
-                let width = parse_num(width)?;
-                let role = parse_role(role).ok_or_else(|| format!("bad role `{role}`"))?;
-                let id = self.add_signal(name, width, SignalKind::Output, role, None)?;
-                let index = self.parse_eref(driver)?;
+                let w = parse_num(width).map_err(|m| err_at(line, width, m))?;
+                let role = parse_role(role)
+                    .ok_or_else(|| err_at(line, role, format!("bad role `{role}`")))?;
+                let id = self
+                    .add_signal(name, w, SignalKind::Output, role, None)
+                    .map_err(|m| err_at(line, name, m))?;
+                let index = self
+                    .parse_eref(driver)
+                    .map_err(|m| err_at(line, driver, m))?;
                 self.pending_drivers.push((id, index));
                 Ok(())
             }
             ["expr", index, rest @ ..] => {
-                let index: usize = index.parse().map_err(|_| "bad expr index")?;
-                if index != self.exprs.len() {
-                    return Err(format!(
-                        "expressions must be dense and ordered; expected \
-                         {}, got {index}",
-                        self.exprs.len()
+                let i: usize = index
+                    .parse()
+                    .map_err(|_| err_at(line, index, format!("bad expr index `{index}`")))?;
+                if i != self.exprs.len() {
+                    return Err(err_at(
+                        line,
+                        index,
+                        format!(
+                            "expressions must be dense and ordered; expected \
+                             {}, got {i}",
+                            self.exprs.len()
+                        ),
                     ));
                 }
-                let expr = self.parse_expr(rest)?;
+                let expr = self.parse_expr(line, rest)?;
                 self.exprs.push(expr);
                 Ok(())
             }
@@ -309,10 +381,12 @@ impl Parser {
                 let id = *self
                     .by_name
                     .get(*name)
-                    .ok_or_else(|| format!("unknown signal `{name}`"))?;
-                let driver = self.bounded_eref(driver)?;
+                    .ok_or_else(|| err_at(line, name, format!("unknown signal `{name}`")))?;
+                let driver = self
+                    .bounded_eref(driver)
+                    .map_err(|m| err_at(line, driver, m))?;
                 if self.drivers[id.index()].is_some() {
-                    return Err(format!("signal `{name}` driven twice"));
+                    return Err(err_at(line, name, format!("signal `{name}` driven twice")));
                 }
                 self.drivers[id.index()] = Some(driver);
                 Ok(())
@@ -321,31 +395,34 @@ impl Parser {
                 self.done = true;
                 Ok(())
             }
-            _ => Err(format!("unrecognized line `{line}`")),
+            _ => Err(format!("unrecognized line `{line}`").into()),
         }
     }
 
-    fn parse_expr(&self, tokens: &[&str]) -> Result<Expr, String> {
-        let unary = |op: UnaryOp, t: &[&str]| -> Result<Expr, String> {
-            Ok(Expr::Unary(op, self.bounded_eref(t[0])?))
+    fn parse_expr(&self, line: &str, tokens: &[&str]) -> Result<Expr, LineError> {
+        let eref = |t: &str| -> Result<ExprId, LineError> {
+            self.bounded_eref(t).map_err(|m| err_at(line, t, m))
         };
-        let binary = |op: BinaryOp, t: &[&str]| -> Result<Expr, String> {
-            Ok(Expr::Binary(
-                op,
-                self.bounded_eref(t[0])?,
-                self.bounded_eref(t[1])?,
-            ))
+        let num =
+            |t: &str| -> Result<u32, LineError> { parse_num(t).map_err(|m| err_at(line, t, m)) };
+        let unary = |op: UnaryOp, t: &[&str]| -> Result<Expr, LineError> {
+            Ok(Expr::Unary(op, eref(t[0])?))
+        };
+        let binary = |op: BinaryOp, t: &[&str]| -> Result<Expr, LineError> {
+            Ok(Expr::Binary(op, eref(t[0])?, eref(t[1])?))
         };
         match tokens {
             ["const", width, hex] => {
-                let width = parse_num(width)?;
-                Ok(Expr::Const(parse_hex(hex, width)?))
+                let w = num(width)?;
+                Ok(Expr::Const(
+                    parse_hex(hex, w).map_err(|m| err_at(line, hex, m))?,
+                ))
             }
             ["sig", name] => {
                 let id = *self
                     .by_name
                     .get(*name)
-                    .ok_or_else(|| format!("unknown signal `{name}`"))?;
+                    .ok_or_else(|| err_at(line, name, format!("unknown signal `{name}`")))?;
                 Ok(Expr::Signal(id))
             }
             ["not", a] => unary(UnaryOp::Not, &[a]),
@@ -369,25 +446,25 @@ impl Parser {
             ["slt", a, b] => binary(BinaryOp::Slt, &[a, b]),
             ["sle", a, b] => binary(BinaryOp::Sle, &[a, b]),
             ["mux", c, t, e] => Ok(Expr::Mux {
-                cond: self.bounded_eref(c)?,
-                then_expr: self.bounded_eref(t)?,
-                else_expr: self.bounded_eref(e)?,
+                cond: eref(c)?,
+                then_expr: eref(t)?,
+                else_expr: eref(e)?,
             }),
             ["slice", a, hi, lo] => Ok(Expr::Slice {
-                arg: self.bounded_eref(a)?,
-                hi: parse_num(hi)?,
-                lo: parse_num(lo)?,
+                arg: eref(a)?,
+                hi: num(hi)?,
+                lo: num(lo)?,
             }),
-            ["concat", a, b] => Ok(Expr::Concat(self.bounded_eref(a)?, self.bounded_eref(b)?)),
+            ["concat", a, b] => Ok(Expr::Concat(eref(a)?, eref(b)?)),
             ["zext", a, width] => Ok(Expr::Zext {
-                arg: self.bounded_eref(a)?,
-                width: parse_num(width)?,
+                arg: eref(a)?,
+                width: num(width)?,
             }),
             ["sext", a, width] => Ok(Expr::Sext {
-                arg: self.bounded_eref(a)?,
-                width: parse_num(width)?,
+                arg: eref(a)?,
+                width: num(width)?,
             }),
-            _ => Err(format!("unrecognized expression `{tokens:?}`")),
+            _ => Err(format!("unrecognized expression `{tokens:?}`").into()),
         }
     }
 
@@ -615,6 +692,24 @@ mod tests {
                 "expected `{needle}` in `{err}`"
             );
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_columns_and_context() {
+        let text = "fastpath-netlist 1\nmodule m\ninput a 1 badrole\nendmodule";
+        let err = parse_netlist(text).expect_err("bad role");
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 11);
+        assert_eq!(err.context, "input a 1 badrole");
+        assert!(err.to_string().contains("line 3, column 11"));
+        // Indentation counts toward the column.
+        let text = "fastpath-netlist 1\nmodule m\n  wire w nope\nendmodule";
+        let err = parse_netlist(text).expect_err("bad width");
+        assert_eq!((err.line, err.column), (3, 10));
+        // Whole-file errors point at the end with no context line.
+        let err = parse_netlist("fastpath-netlist 1\nmodule m").expect_err("no endmodule");
+        assert!(err.context.is_empty());
+        assert!(err.to_string().contains("missing endmodule"));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! `fastpathd` — the FastPath verification service CLI.
+//!
+//! ```text
+//! fastpathd serve  --root DIR [--jobs N] [--once] [--poll-ms N] [--idle-exit N]
+//! fastpathd submit --root DIR (--study NAME | FILE) [--mode full|cones]
+//!                  [--name NAME] [--cycles N] [--seed N]
+//! fastpathd status --root DIR [JOB_ID]
+//! fastpathd gc     --root DIR --max-bytes N
+//! ```
+//!
+//! `serve` drains `<root>/queue/inbox` (forever, or once with `--once`);
+//! `submit` enqueues a job and prints its id; `status` lists the spool or
+//! prints one finished result; `gc` evicts oldest artifacts until the
+//! store fits the byte budget.
+
+use fastpath_serve::{serve, Job, JobMode, JobSource, ServeOptions, Spool};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "status" => cmd_status(&args[1..]),
+        "gc" => cmd_gc(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fastpathd serve  --root DIR [--jobs N] [--once] [--poll-ms N] [--idle-exit N]\n\
+         \x20      fastpathd submit --root DIR (--study NAME | FILE) [--mode full|cones]\n\
+         \x20                       [--name NAME] [--cycles N] [--seed N]\n\
+         \x20      fastpathd status --root DIR [JOB_ID]\n\
+         \x20      fastpathd gc     --root DIR --max-bytes N"
+    );
+    exit(2)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.as_str(),
+            None => {
+                eprintln!("{flag} expects a value");
+                exit(2)
+            }
+        })
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got {v:?}");
+            exit(2)
+        })
+    })
+}
+
+fn root_of(args: &[String]) -> PathBuf {
+    match flag_value(args, "--root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            eprintln!("--root DIR is required");
+            exit(2)
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let opts = ServeOptions {
+        root: root_of(args),
+        jobs: parsed_flag(args, "--jobs").unwrap_or(1),
+        once: args.iter().any(|a| a == "--once"),
+        poll_ms: parsed_flag(args, "--poll-ms").unwrap_or(200),
+        idle_exit: parsed_flag(args, "--idle-exit"),
+    };
+    match serve(&opts) {
+        Ok(summary) => println!("processed {} job(s)", summary.processed),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_submit(args: &[String]) {
+    let root = root_of(args);
+    let mode = match flag_value(args, "--mode") {
+        None => None,
+        Some("full") => Some(JobMode::Full),
+        Some("cones") => Some(JobMode::Cones),
+        Some(other) => {
+            eprintln!("--mode expects full or cones, got {other:?}");
+            exit(2)
+        }
+    };
+    let (source, default_name, default_mode) = if let Some(study) = flag_value(args, "--study") {
+        // Named studies keep their constraint vocabulary: full flow.
+        (
+            JobSource::Study(study.to_string()),
+            study.to_string(),
+            JobMode::Full,
+        )
+    } else {
+        // A raw netlist: positional FILE argument, cone decomposition.
+        let file = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !a.starts_with("--")
+                    && !matches!(
+                        args.get(i.wrapping_sub(1)).map(String::as_str),
+                        Some("--root" | "--study" | "--mode" | "--name" | "--cycles" | "--seed")
+                    )
+            })
+            .map(|(_, a)| PathBuf::from(a))
+            .unwrap_or_else(|| {
+                eprintln!("submit needs --study NAME or a netlist FILE");
+                exit(2)
+            });
+        let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", file.display());
+            exit(1)
+        });
+        let stem = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("netlist")
+            .to_string();
+        (JobSource::Netlist(text), stem, JobMode::Cones)
+    };
+    let job = Job {
+        name: flag_value(args, "--name")
+            .map(str::to_string)
+            .unwrap_or(default_name),
+        mode: mode.unwrap_or(default_mode),
+        cycles: parsed_flag(args, "--cycles"),
+        seed: parsed_flag(args, "--seed"),
+        source,
+    };
+    let spool = Spool::open(root.join("queue")).unwrap_or_else(|e| {
+        eprintln!("cannot open spool: {e}");
+        exit(1)
+    });
+    match spool.submit(&job) {
+        Ok(id) => println!("{id}"),
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn cmd_status(args: &[String]) {
+    let root = root_of(args);
+    let spool = Spool::open(root.join("queue")).unwrap_or_else(|e| {
+        eprintln!("cannot open spool: {e}");
+        exit(1)
+    });
+    let id = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--root")
+        })
+        .map(|(_, a)| a.clone());
+    if let Some(id) = id {
+        match spool.result(&id) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("no result for {id}");
+                exit(1)
+            }
+        }
+        return;
+    }
+    let (inbox, work, done) = spool.status();
+    for (stage, ids) in [("queued", inbox), ("working", work), ("done", done)] {
+        println!("{stage} ({}):", ids.len());
+        for id in ids {
+            println!("  {id}");
+        }
+    }
+}
+
+fn cmd_gc(args: &[String]) {
+    let root = root_of(args);
+    let Some(max_bytes) = parsed_flag::<u64>(args, "--max-bytes") else {
+        eprintln!("--max-bytes N is required");
+        exit(2)
+    };
+    let store = fastpath_serve::DiskStore::open(root.join("store")).unwrap_or_else(|e| {
+        eprintln!("cannot open store: {e}");
+        exit(1)
+    });
+    let stats = store.gc(max_bytes);
+    println!(
+        "examined {} evicted {} bytes {} -> {}",
+        stats.examined, stats.evicted, stats.bytes_before, stats.bytes_after
+    );
+}

@@ -1,0 +1,373 @@
+//! Content-addressed on-disk artifact store.
+//!
+//! The store is a plain directory tree addressed by [`Digest`] hex names —
+//! no database, no index files, so concurrent readers and a single writer
+//! per key compose with nothing more than atomic renames:
+//!
+//! ```text
+//! store/
+//!   checks/<digest>    memoized UPEC verdicts (core cache wire format)
+//!   sims/<digest>      memoized IFT simulation results
+//!   cones/<digest>     per-cone flow verdicts, keyed by canonical cone hash
+//!   modules/<digest>   cone manifests, keyed by the *design name* digest
+//!   evictions          cumulative GC eviction counter
+//! ```
+//!
+//! `checks/` and `sims/` implement [`ProofCache`], so the same store that
+//! backs the daemon's cone decomposition also memoizes individual solver
+//! calls inside each flow run. Entries are written atomically (temp file +
+//! rename) and carry their own checksums: the core cache entries embed a
+//! `sum` line, and the service-level records written here do the same, so
+//! a corrupted or truncated artifact decodes as a miss and is re-proved,
+//! never trusted.
+
+use fastpath::cache::{CacheKind, CacheUsage};
+use fastpath::{ProofCache, Verdict};
+use fastpath_rtl::{Digest, StableHasher};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Domain tag for service-level record checksums ("fpsv").
+const TAG_STORE_SUM: u64 = 0x66707376;
+
+const CONE_MAGIC: &str = "fastpath-store cone 1";
+const MANIFEST_MAGIC: &str = "fastpath-store module 1";
+
+/// The four object namespaces, in deterministic GC scan order.
+const NAMESPACES: [&str; 4] = ["checks", "sims", "cones", "modules"];
+
+/// A content-addressed artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+/// Verdict record for one extracted fan-in cone, stored under the cone's
+/// canonical (rename/reorder-invariant) hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConeVerdict {
+    /// The flow verdict for the stand-alone cone module.
+    pub verdict: Verdict,
+    /// Manual inspections the flow charged for this cone.
+    pub inspections: u64,
+    /// UPEC checks performed to reach the verdict.
+    pub checks: u64,
+}
+
+/// What one garbage-collection sweep did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcStats {
+    /// Entries examined across all namespaces.
+    pub examined: u64,
+    /// Entries deleted (oldest-first) to honour the byte budget.
+    pub evicted: u64,
+    /// Store size before the sweep.
+    pub bytes_before: u64,
+    /// Store size after the sweep.
+    pub bytes_after: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskStore> {
+        let root = root.into();
+        for ns in NAMESPACES {
+            fs::create_dir_all(root.join(ns))?;
+        }
+        Ok(DiskStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, namespace: &str, key: &Digest) -> PathBuf {
+        self.root.join(namespace).join(key.to_hex())
+    }
+
+    /// Atomically writes `text` under `namespace/<key>`: a rename makes
+    /// the entry appear complete or not at all, never truncated.
+    fn write_entry(&self, namespace: &str, key: &Digest, text: &str) {
+        let path = self.entry_path(namespace, key);
+        let tmp = path.with_extension("tmp");
+        if fs::write(&tmp, text).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+
+    fn read_entry(&self, namespace: &str, key: &Digest) -> Option<String> {
+        fs::read_to_string(self.entry_path(namespace, key)).ok()
+    }
+
+    /// Loads and validates the cone-verdict record for `key`.
+    pub fn load_cone(&self, key: &Digest) -> Option<ConeVerdict> {
+        decode_cone(&self.read_entry("cones", key)?)
+    }
+
+    /// Stores the cone-verdict record for `key`.
+    pub fn store_cone(&self, key: &Digest, verdict: &ConeVerdict) {
+        self.write_entry("cones", key, &encode_cone(verdict));
+    }
+
+    /// Loads the cone manifest (control output name, cone hash) recorded
+    /// for a design-name digest.
+    pub fn load_manifest(&self, key: &Digest) -> Option<Vec<(String, Digest)>> {
+        decode_manifest(&self.read_entry("modules", key)?)
+    }
+
+    /// Stores the cone manifest for a design-name digest.
+    pub fn store_manifest(&self, key: &Digest, cones: &[(String, Digest)]) {
+        self.write_entry("modules", key, &encode_manifest(cones));
+    }
+
+    /// Every entry in the store as `(mtime, size, path)`, sorted oldest
+    /// first (ties broken by path for determinism).
+    fn inventory(&self) -> Vec<(std::time::SystemTime, u64, PathBuf)> {
+        let mut entries = Vec::new();
+        for ns in NAMESPACES {
+            let Ok(dir) = fs::read_dir(self.root.join(ns)) else {
+                continue;
+            };
+            for entry in dir.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                entries.push((mtime, meta.len(), entry.path()));
+            }
+        }
+        entries.sort();
+        entries
+    }
+
+    /// Deletes oldest-written entries until the store fits `max_bytes`.
+    ///
+    /// Eviction order is write-time (FIFO), not access-time: reads never
+    /// touch entry metadata, which keeps warm lookups pure and the sweep
+    /// deterministic. The cumulative eviction count is persisted so
+    /// [`CacheUsage::evictions`] survives daemon restarts.
+    pub fn gc(&self, max_bytes: u64) -> GcStats {
+        let inventory = self.inventory();
+        let mut stats = GcStats {
+            examined: inventory.len() as u64,
+            bytes_before: inventory.iter().map(|(_, len, _)| len).sum(),
+            ..GcStats::default()
+        };
+        let mut remaining = stats.bytes_before;
+        for (_, len, path) in &inventory {
+            if remaining <= max_bytes {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                remaining -= len;
+                stats.evicted += 1;
+            }
+        }
+        stats.bytes_after = remaining;
+        if stats.evicted > 0 {
+            let total = self.eviction_count() + stats.evicted;
+            let _ = fs::write(self.root.join("evictions"), format!("{total}\n"));
+        }
+        stats
+    }
+
+    fn eviction_count(&self) -> u64 {
+        fs::read_to_string(self.root.join("evictions"))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+}
+
+impl ProofCache for DiskStore {
+    fn load(&self, kind: CacheKind, key: &Digest) -> Option<String> {
+        self.read_entry(kind.as_str(), key)
+    }
+
+    fn store(&self, kind: CacheKind, key: &Digest, entry: &str) {
+        self.write_entry(kind.as_str(), key, entry);
+    }
+
+    fn usage(&self) -> CacheUsage {
+        CacheUsage {
+            bytes: self.inventory().iter().map(|(_, len, _)| len).sum(),
+            evictions: self.eviction_count(),
+        }
+    }
+}
+
+/// Digest of a design name — the manifest key, so a *revised* design
+/// submitted under the same name diffs against its predecessor's cones.
+pub fn name_key(name: &str) -> Digest {
+    let mut h = StableHasher::new(TAG_STORE_SUM);
+    h.write_bytes(name.as_bytes());
+    h.finish()
+}
+
+fn checksum(body: &str) -> Digest {
+    let mut h = StableHasher::new(TAG_STORE_SUM);
+    h.write_bytes(body.as_bytes());
+    h.finish()
+}
+
+fn seal(mut body: String) -> String {
+    let sum = checksum(&body);
+    body.push_str(&format!("sum {}\n", sum.to_hex()));
+    body
+}
+
+/// Splits off and verifies the trailing `sum` line; `None` on mismatch.
+fn unseal<'t>(text: &'t str, magic: &str) -> Option<&'t str> {
+    let rest = text.strip_suffix('\n')?;
+    let at = rest.rfind('\n')?;
+    let (body, last) = (&text[..at + 1], &rest[at + 1..]);
+    let sum = Digest::from_hex(last.strip_prefix("sum ")?)?;
+    if sum != checksum(body) || !body.starts_with(magic) {
+        return None;
+    }
+    Some(body)
+}
+
+fn verdict_lines(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::DataOblivious => "verdict True\nconstraints 0\n".to_string(),
+        Verdict::ConstrainedDataOblivious(names) => {
+            let mut out = format!("verdict Constrained\nconstraints {}\n", names.len());
+            for name in names {
+                out.push_str(&format!("c {name}\n"));
+            }
+            out
+        }
+        Verdict::NotDataOblivious => "verdict False\nconstraints 0\n".to_string(),
+    }
+}
+
+fn parse_verdict(lines: &mut std::str::Lines<'_>) -> Option<Verdict> {
+    let kind = lines.next()?.strip_prefix("verdict ")?.to_string();
+    let count: usize = lines.next()?.strip_prefix("constraints ")?.parse().ok()?;
+    let mut names = Vec::with_capacity(count);
+    for _ in 0..count {
+        names.push(lines.next()?.strip_prefix("c ")?.to_string());
+    }
+    match kind.as_str() {
+        "True" if names.is_empty() => Some(Verdict::DataOblivious),
+        "Constrained" if !names.is_empty() => Some(Verdict::ConstrainedDataOblivious(names)),
+        "False" if names.is_empty() => Some(Verdict::NotDataOblivious),
+        _ => None,
+    }
+}
+
+fn encode_cone(v: &ConeVerdict) -> String {
+    let mut body = format!("{CONE_MAGIC}\n");
+    body.push_str(&verdict_lines(&v.verdict));
+    body.push_str(&format!("inspections {}\n", v.inspections));
+    body.push_str(&format!("checks {}\n", v.checks));
+    seal(body)
+}
+
+fn decode_cone(text: &str) -> Option<ConeVerdict> {
+    let body = unseal(text, CONE_MAGIC)?;
+    let mut lines = body.lines();
+    lines.next()?; // magic
+    let verdict = parse_verdict(&mut lines)?;
+    let inspections = lines.next()?.strip_prefix("inspections ")?.parse().ok()?;
+    let checks = lines.next()?.strip_prefix("checks ")?.parse().ok()?;
+    Some(ConeVerdict {
+        verdict,
+        inspections,
+        checks,
+    })
+}
+
+fn encode_manifest(cones: &[(String, Digest)]) -> String {
+    let mut body = format!("{MANIFEST_MAGIC}\ncones {}\n", cones.len());
+    for (output, hash) in cones {
+        body.push_str(&format!("o {output} {}\n", hash.to_hex()));
+    }
+    seal(body)
+}
+
+fn decode_manifest(text: &str) -> Option<Vec<(String, Digest)>> {
+    let body = unseal(text, MANIFEST_MAGIC)?;
+    let mut lines = body.lines();
+    lines.next()?; // magic
+    let count: usize = lines.next()?.strip_prefix("cones ")?.parse().ok()?;
+    let mut cones = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next()?.strip_prefix("o ")?;
+        let (output, hex) = line.rsplit_once(' ')?;
+        cones.push((output.to_string(), Digest::from_hex(hex)?));
+    }
+    Some(cones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fastpath-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cone_records_round_trip_and_reject_tampering() {
+        let store = DiskStore::open(tmp_dir("cone")).expect("open");
+        let key = name_key("dut");
+        let verdict = ConeVerdict {
+            verdict: Verdict::ConstrainedDataOblivious(vec!["mode_off".into()]),
+            inspections: 3,
+            checks: 7,
+        };
+        store.store_cone(&key, &verdict);
+        assert_eq!(store.load_cone(&key), Some(verdict));
+
+        // Flip one byte in the stored file: the checksum must reject it.
+        let path = store.entry_path("cones", &key);
+        let tampered = fs::read_to_string(&path).expect("read").replace("7", "8");
+        fs::write(&path, tampered).expect("write");
+        assert_eq!(store.load_cone(&key), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn manifests_round_trip_with_spaces_in_names() {
+        let store = DiskStore::open(tmp_dir("manifest")).expect("open");
+        let cones = vec![
+            ("bus addr valid".to_string(), name_key("a")),
+            ("done".to_string(), name_key("b")),
+        ];
+        let key = name_key("AES (opencores)");
+        store.store_manifest(&key, &cones);
+        assert_eq!(store.load_manifest(&key), Some(cones));
+        assert_eq!(store.load_manifest(&name_key("other")), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_to_budget() {
+        let store = DiskStore::open(tmp_dir("gc")).expect("open");
+        // Three 100-byte proof-cache entries with strictly ordered mtimes.
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            store.store(CacheKind::Check, &name_key(name), &"x".repeat(100));
+            let path = store.entry_path("checks", &name_key(name));
+            let t = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1000 + i as u64);
+            let f = fs::File::options().write(true).open(path).expect("open");
+            f.set_modified(t).expect("set mtime");
+        }
+        let stats = store.gc(150);
+        assert_eq!(stats.examined, 3);
+        assert_eq!(stats.evicted, 2);
+        assert_eq!(stats.bytes_after, 100);
+        // Oldest two gone, newest survives; the counter persists.
+        assert!(store.load(CacheKind::Check, &name_key("a")).is_none());
+        assert!(store.load(CacheKind::Check, &name_key("b")).is_none());
+        assert!(store.load(CacheKind::Check, &name_key("c")).is_some());
+        assert_eq!(store.usage().evictions, 2);
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end differential tests for the verification service: cold vs
+//! warm submissions through the real spool and daemon loop must produce
+//! byte-identical results (apart from the honest cache-provenance lines),
+//! a planted artifact corruption must be detected and re-proved rather
+//! than trusted, and an edited design in cone mode must re-prove only the
+//! cones whose canonical hash changed.
+
+use fastpath_rtl::{write_netlist, Module, ModuleBuilder};
+use fastpath_serve::{serve, Job, JobMode, JobSource, ServeOptions, Spool};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn service_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("fastpathd-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn drain(root: &Path) {
+    let opts = ServeOptions {
+        root: root.to_path_buf(),
+        jobs: 1,
+        once: true,
+        ..ServeOptions::default()
+    };
+    serve(&opts).expect("serve --once");
+}
+
+/// Result lines with the run-dependent cache provenance stripped: what
+/// must be byte-identical between a cold and a warm run.
+fn semantic_lines(result: &str) -> String {
+    result
+        .lines()
+        .filter(|l| !l.starts_with("cache ") && !l.starts_with("cones ") && !l.starts_with("cone "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn cache_counter(result: &str, field: &str) -> u64 {
+    let line = result
+        .lines()
+        .find(|l| l.starts_with("cache "))
+        .expect("cache line");
+    let mut tokens = line.split(' ');
+    while let Some(t) = tokens.next() {
+        if t == field {
+            return tokens.next().expect("value").parse().expect("number");
+        }
+    }
+    panic!("no {field} in {line:?}");
+}
+
+#[test]
+fn warm_submission_is_identical_and_fully_cached_and_survives_corruption() {
+    let root = service_root("warm");
+    let spool = Spool::open(root.join("queue")).expect("spool");
+    let job = Job {
+        name: "FWRISCV-MDS".into(),
+        mode: JobMode::Full,
+        cycles: None,
+        seed: None,
+        source: JobSource::Study("FWRISCV-MDS".into()),
+    };
+    let cold_id = spool.submit(&job).expect("submit");
+    drain(&root);
+    let warm_id = spool.submit(&job).expect("submit");
+    drain(&root);
+    let cold = spool.result(&cold_id).expect("cold result");
+    let warm = spool.result(&warm_id).expect("warm result");
+
+    // Same verdict, method, inspections, check count, certification —
+    // byte for byte. Only the cache provenance line may differ.
+    assert_eq!(semantic_lines(&cold), semantic_lines(&warm));
+    assert!(cold.contains("certified true"), "{cold}");
+    assert!(cache_counter(&cold, "misses") > 0, "cold run must miss");
+    assert_eq!(cache_counter(&warm, "misses"), 0, "warm run must not miss");
+    assert!(cache_counter(&warm, "hits") > 0);
+
+    // Plant corruption in every stored proof artifact: flip a byte in the
+    // middle of each checks/ entry. The checksum (and, for proofs that
+    // survive it, DRUP revalidation) must catch it — the re-run recounts
+    // them as misses, re-proves, and still answers identically.
+    let checks_dir = root.join("store").join("checks");
+    let mut corrupted = 0;
+    for entry in fs::read_dir(&checks_dir).expect("checks dir").flatten() {
+        let path = entry.path();
+        let mut bytes = fs::read(&path).expect("read entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&path, bytes).expect("write corrupted entry");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "the cold run must have stored check entries");
+
+    let reproved_id = spool.submit(&job).expect("submit");
+    drain(&root);
+    let reproved = spool.result(&reproved_id).expect("reproved result");
+    assert_eq!(semantic_lines(&cold), semantic_lines(&reproved));
+    assert!(reproved.contains("certified true"), "{reproved}");
+    assert!(
+        cache_counter(&reproved, "misses") > 0,
+        "corrupted artifacts must be re-proved, not trusted"
+    );
+}
+
+/// Two independent counters feeding two control outputs: editing one
+/// counter's reset value must re-prove only that output's cone.
+fn two_cone_design(b_init: u64) -> Module {
+    let mut b = ModuleBuilder::new("two_cones");
+    let data = b.data_input("data", 8);
+    let d = b.sig(data);
+    let buf = b.reg("buf", 8, 0);
+    b.set_next(buf, d).expect("drive");
+    let buf_sig = b.sig(buf);
+    b.data_output("dout", buf_sig);
+    // Different widths keep the two cones canonically distinct — an
+    // identical pair would (correctly) share one cache entry and defeat
+    // the point of the test.
+    for (name, width, init) in [("a", 4, 3), ("b", 6, b_init)] {
+        let counter = b.reg(&format!("counter_{name}"), width, init);
+        let c = b.sig(counter);
+        let one = b.lit(width, 1);
+        let inc = b.add(c, one);
+        b.set_next(counter, inc).expect("drive");
+        let top = b.bit(c, width - 1);
+        b.control_output(&format!("tick_{name}"), top);
+    }
+    b.build().expect("valid")
+}
+
+#[test]
+fn edited_design_reproves_only_changed_cones() {
+    let root = service_root("cones");
+    let spool = Spool::open(root.join("queue")).expect("spool");
+    let submit = |module: &Module| -> String {
+        let job = Job {
+            name: "two_cones".into(),
+            mode: JobMode::Cones,
+            cycles: Some(64),
+            seed: Some(1),
+            source: JobSource::Netlist(write_netlist(module)),
+        };
+        spool.submit(&job).expect("submit")
+    };
+
+    let cold_id = submit(&two_cone_design(0));
+    drain(&root);
+    let cold = spool.result(&cold_id).expect("cold result");
+    assert!(cold.contains("cones 2 reused 0 reproved 2"), "{cold}");
+    assert!(cold.contains("verdict True"), "{cold}");
+    assert!(cold.contains("certified true"), "{cold}");
+
+    // Edit counter_b's reset value: tick_a's fan-in is untouched, so its
+    // canonical cone hash — and therefore its cached verdict — survives.
+    let edited_id = submit(&two_cone_design(5));
+    drain(&root);
+    let edited = spool.result(&edited_id).expect("edited result");
+    assert!(edited.contains("cones 2 reused 1 reproved 1"), "{edited}");
+    assert!(edited.contains("verdict True"), "{edited}");
+    let reused_line = edited
+        .lines()
+        .find(|l| l.starts_with("cone ") && l.contains(" reused "))
+        .expect("a reused cone line");
+    assert!(reused_line.ends_with("tick_a"), "{reused_line}");
+
+    // Resubmitting the edited design unchanged reuses everything.
+    let warm_id = submit(&two_cone_design(5));
+    drain(&root);
+    let warm = spool.result(&warm_id).expect("warm result");
+    assert!(warm.contains("cones 2 reused 2 reproved 0"), "{warm}");
+}

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fastpath::{run_ift_batch, BatchOptions};
 use fastpath_bench::{run_table1, Table1Options};
-use fastpath_formal::{ElaborationMode, Upec2Safety, UpecSpec};
+use fastpath_formal::{ElaborationMode, Upec2Safety, UpecEncoding, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_sim::{IftSimulation, RandomTestbench, SimEngine, SimTape};
 use std::sync::Arc;
@@ -184,6 +184,47 @@ fn bench_formal(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bit-blasted flat equality vs word-level guarded predicates with
+/// cone-pruned product construction, head to head on the CVA6 and BOOM
+/// slices. Each iteration drives one engine through a refinement-style
+/// query sequence (the full state set, then progressively smaller `Z'`
+/// sets as if divergent signals had been evicted), so the per-check
+/// product size — not just one solve — dominates the measurement.
+fn bench_product_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product_encoding");
+    group.sample_size(10);
+    let studies = [
+        fastpath_designs::cva6_div::case_study(),
+        fastpath_designs::boom::case_study(),
+    ];
+    for study in &studies {
+        let module = &study.instance.module;
+        let spec = UpecSpec {
+            software_constraints: study.instance.constraints.iter().map(|p| p.expr).collect(),
+            invariants: vec![],
+            conditional_equalities: vec![],
+        };
+        let state = module.state_signals();
+        let z_sets: Vec<Vec<_>> = (0..4)
+            .map(|skip| state.iter().copied().skip(skip).collect())
+            .collect();
+        for (label, encoding) in [("bits", UpecEncoding::Bits), ("words", UpecEncoding::Words)] {
+            group.bench_function(format!("{label}/{}", study.name), |b| {
+                b.iter(|| {
+                    let mut upec = Upec2Safety::new(module, &spec);
+                    upec.set_encoding(encoding);
+                    let mut holds = 0u32;
+                    for z in &z_sets {
+                        holds += upec.check(z).holds() as u32;
+                    }
+                    holds
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Solves the pigeonhole instance PHP(n+1, n) — reliably UNSAT with a
 /// non-trivial resolution proof — optionally logging and checking it.
 fn pigeonhole(holes: usize, log: bool, check: bool) -> usize {
@@ -283,6 +324,7 @@ criterion_group!(
     bench_ift_simulation,
     bench_sim,
     bench_formal,
+    bench_product_encoding,
     bench_certification,
     bench_parallel_driver
 );

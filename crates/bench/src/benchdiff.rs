@@ -238,6 +238,11 @@ pub struct SideRecord {
     /// Proof-cache counters (report-only; `None` for cache-less runs and
     /// records predating the cache).
     pub cache: Option<CacheCounters>,
+    /// Product-construction size counters (`None` for records predating
+    /// them). **Gated** when both sides carry them: the counts are
+    /// deterministic and machine-independent, so any drift is a real
+    /// encoding change that must come with a baseline update.
+    pub product: Option<ProductCounters>,
 }
 
 /// Report-only proof-cache counters from the `cache` object of a bench
@@ -250,6 +255,23 @@ pub struct CacheCounters {
     pub misses: u64,
     pub bytes: u64,
     pub evictions: u64,
+}
+
+/// Product-construction size counters from the `product` object of a
+/// bench record: how large the 2-safety induction queries were, summed
+/// across every UPEC check of the run. Absent fields parse as zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct ProductCounters {
+    pub checks: u64,
+    pub check_aig_nodes: u64,
+    pub check_sat_vars: u64,
+    pub check_sat_clauses: u64,
+    pub one_time_sat_vars: u64,
+    pub one_time_sat_clauses: u64,
+    pub predicates: u64,
+    pub guard_assumptions: u64,
+    pub word_fallbacks: u64,
 }
 
 /// Report-only SAT-solver technique counters from the `solver` object of
@@ -339,6 +361,20 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                             evictions: n("evictions"),
                         }
                     }),
+                    product: s.get("product").map(|pv| {
+                        let n = |k: &str| pv.num(k).unwrap_or(0.0) as u64;
+                        ProductCounters {
+                            checks: n("checks"),
+                            check_aig_nodes: n("check_aig_nodes"),
+                            check_sat_vars: n("check_sat_vars"),
+                            check_sat_clauses: n("check_sat_clauses"),
+                            one_time_sat_vars: n("one_time_sat_vars"),
+                            one_time_sat_clauses: n("one_time_sat_clauses"),
+                            predicates: n("predicates"),
+                            guard_assumptions: n("guard_assumptions"),
+                            word_fallbacks: n("word_fallbacks"),
+                        }
+                    }),
                 })
             };
             Ok(DesignRecord {
@@ -383,6 +419,64 @@ fn diff_side(design: &str, side: &str, old: &SideRecord, new: &SideRecord, out: 
             "{design} [{side}]: {:.3}s vs baseline {:.3}s (report-only)",
             new.wall_s, old.wall_s
         ));
+    }
+    // A section present on exactly one side is silent data loss waiting
+    // to happen (e.g. a cached run diffed against a cache-less baseline,
+    // or a record predating a counter group): call it out, never gate.
+    for (section, old_has, new_has) in [
+        ("cache", old.cache.is_some(), new.cache.is_some()),
+        ("product", old.product.is_some(), new.product.is_some()),
+    ] {
+        if old_has != new_has {
+            let (with, without) = if old_has {
+                ("baseline", "new record")
+            } else {
+                ("new record", "baseline")
+            };
+            out.warnings.push(format!(
+                "{design} [{side}]: `{section}` counters present in the \
+                 {with} but absent in the {without} — sides are not \
+                 comparable on them (report-only)"
+            ));
+        }
+    }
+    // Product-size counters are deterministic and machine-independent,
+    // so when both records carry them any drift is a real change to the
+    // encoding and gates like a Table I column.
+    if let (Some(o), Some(n)) = (&old.product, &new.product) {
+        for (field, a, b) in [
+            ("checks", o.checks, n.checks),
+            ("check_aig_nodes", o.check_aig_nodes, n.check_aig_nodes),
+            ("check_sat_vars", o.check_sat_vars, n.check_sat_vars),
+            (
+                "check_sat_clauses",
+                o.check_sat_clauses,
+                n.check_sat_clauses,
+            ),
+            (
+                "one_time_sat_vars",
+                o.one_time_sat_vars,
+                n.one_time_sat_vars,
+            ),
+            (
+                "one_time_sat_clauses",
+                o.one_time_sat_clauses,
+                n.one_time_sat_clauses,
+            ),
+            ("predicates", o.predicates, n.predicates),
+            (
+                "guard_assumptions",
+                o.guard_assumptions,
+                n.guard_assumptions,
+            ),
+            ("word_fallbacks", o.word_fallbacks, n.word_fallbacks),
+        ] {
+            if a != b {
+                out.regressions.push(format!(
+                    "{design} [{side}]: product {field} drifted {a} -> {b}"
+                ));
+            }
+        }
     }
 }
 
@@ -474,6 +568,49 @@ pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, S
                 cell(base.map(|b| b.eliminated_vars), s.eliminated_vars),
                 s.shared_imported,
                 s.shared_exported,
+            );
+        }
+    }
+    // Product-construction size (baseline side — the run that performs
+    // every check): gated field-by-field in `diff_side`; the table shows
+    // the current values with base→cur annotations on drift.
+    let sized: Vec<_> = new
+        .iter()
+        .filter_map(|n| n.baseline.product.map(|p| (n, p)))
+        .collect();
+    if !sized.is_empty() {
+        let _ = writeln!(
+            out.markdown,
+            "\nProduct-construction size (baseline side, gated):\n"
+        );
+        let _ = writeln!(
+            out.markdown,
+            "| Design | Checks | AIG nodes | SAT vars | SAT clauses | \
+             One-time vars/clauses | Predicates | Guards | Fallbacks |",
+        );
+        let _ = writeln!(out.markdown, "|---|---|---|---|---|---|---|---|---|");
+        for (n, p) in sized {
+            let base = old
+                .iter()
+                .find(|o| o.design == n.design)
+                .and_then(|o| o.baseline.product);
+            let cell = |old_v: Option<u64>, new_v: u64| match old_v {
+                Some(o) if o != new_v => format!("{o}→{new_v}"),
+                _ => new_v.to_string(),
+            };
+            let _ = writeln!(
+                out.markdown,
+                "| {} | {} | {} | {} | {} | {}/{} | {} | {} | {} |",
+                n.design,
+                cell(base.map(|b| b.checks), p.checks),
+                cell(base.map(|b| b.check_aig_nodes), p.check_aig_nodes),
+                cell(base.map(|b| b.check_sat_vars), p.check_sat_vars),
+                cell(base.map(|b| b.check_sat_clauses), p.check_sat_clauses),
+                cell(base.map(|b| b.one_time_sat_vars), p.one_time_sat_vars),
+                cell(base.map(|b| b.one_time_sat_clauses), p.one_time_sat_clauses),
+                cell(base.map(|b| b.predicates), p.predicates),
+                cell(base.map(|b| b.guard_assumptions), p.guard_assumptions),
+                cell(base.map(|b| b.word_fallbacks), p.word_fallbacks),
             );
         }
     }
@@ -606,9 +743,71 @@ mod tests {
         let diff = diff_bench_records(&cold, &warm).expect("diff");
         assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
         assert!(diff.markdown.contains("Proof-cache counters"));
-        // And a cache-less baseline still diffs clean against a cached run.
+        // And a cache-less baseline still diffs clean against a cached
+        // run — but the asymmetry is called out, because the sides are
+        // not comparable on the cache counters.
         let diff = diff_bench_records(MINI, &warm).expect("diff");
         assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(
+            diff.warnings
+                .iter()
+                .any(|w| w.contains("`cache` counters") && w.contains("absent")),
+            "{:?}",
+            diff.warnings
+        );
+    }
+
+    #[test]
+    fn product_counters_gate_when_both_sides_have_them() {
+        let sized = MINI.replace(
+            r#""method": "UPEC", "inspections": 32}"#,
+            r#""method": "UPEC", "inspections": 32,
+               "product": {"checks": 4, "check_aig_nodes": 100,
+                 "check_sat_vars": 500, "check_sat_clauses": 1500,
+                 "one_time_sat_vars": 900, "one_time_sat_clauses": 2700,
+                 "predicates": 7, "guard_assumptions": 12}}"#,
+        );
+        let rows = parse_bench_record(&sized).expect("parses");
+        let p = rows[0].baseline.product.expect("present");
+        assert_eq!(p.check_sat_vars, 500);
+        assert_eq!(p.predicates, 7);
+        // Identical product counters diff clean and render the table.
+        let diff = diff_bench_records(&sized, &sized).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.warnings.is_empty(), "{:?}", diff.warnings);
+        assert!(diff.markdown.contains("Product-construction size"));
+        // Any drift gates — the counters are deterministic, so a change
+        // is a real encoding change needing a baseline update.
+        let drifted = sized.replace(r#""check_sat_vars": 500"#, r#""check_sat_vars": 425"#);
+        let diff = diff_bench_records(&sized, &drifted).expect("diff");
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("check_sat_vars drifted 500 -> 425"));
+        assert!(diff.markdown.contains("500→425"));
+    }
+
+    #[test]
+    fn product_counters_absent_on_one_side_warn_not_gate() {
+        let sized = MINI.replace(
+            r#""method": "UPEC", "inspections": 32}"#,
+            r#""method": "UPEC", "inspections": 32,
+               "product": {"checks": 4}}"#,
+        );
+        // A pre-counter baseline never gates against a counted record…
+        let diff = diff_bench_records(MINI, &sized).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        // …but the one-sided section is flagged so the asymmetry is
+        // visible in the job log.
+        assert!(
+            diff.warnings
+                .iter()
+                .any(|w| w.contains("`product` counters") && w.contains("absent")),
+            "{:?}",
+            diff.warnings
+        );
+        // Same in the other direction (a record that lost the section).
+        let diff = diff_bench_records(&sized, MINI).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(!diff.warnings.is_empty());
     }
 
     #[test]

@@ -38,6 +38,12 @@
 //!                on load). The rendered table is byte-identical to a
 //!                cache-less --certify run; hit/miss counters appear only
 //!                in --bench-json
+//!   --upec-encoding bits|words
+//!                SAT encoding for every UPEC check (default: words, the
+//!                guarded word-level equivalence predicates; bits is the
+//!                flat bit-equality reference oracle). The rendered table
+//!                is byte-identical between the two — only the product
+//!                size counters in --bench-json and wall-clock differ
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -110,6 +116,17 @@ fn main() {
                     std::process::exit(2);
                 })
         }),
+        upec_encoding: args
+            .iter()
+            .position(|a| a == "--upec-encoding")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(fastpath::UpecEncoding::Words),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

@@ -12,7 +12,7 @@ pub mod benchdiff;
 use fastpath::parallel::run_ordered;
 use fastpath::{
     effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy, FlowOptions, FlowReport,
-    PairwiseAnalysis, SimEngine,
+    PairwiseAnalysis, SimEngine, UpecEncoding,
 };
 use std::fmt::Write;
 use std::path::{Path, PathBuf};
@@ -61,6 +61,11 @@ pub struct Table1Options {
     /// cache-less `--certify` run — hit/miss counters go only into the
     /// `--bench-json` record.
     pub proof_cache: Option<PathBuf>,
+    /// SAT encoding for every UPEC check (`--upec-encoding bits|words`).
+    /// The rendered table is byte-identical between the two — the
+    /// equivalence smoke test in CI relies on it; only the product-size
+    /// counters and wall-clock in `--bench-json` differ.
+    pub upec_encoding: UpecEncoding,
 }
 
 impl Default for Table1Options {
@@ -78,6 +83,7 @@ impl Default for Table1Options {
             bench_json: None,
             sat_portfolio: 0,
             proof_cache: None,
+            upec_encoding: UpecEncoding::Words,
         }
     }
 }
@@ -115,6 +121,7 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         sim_engine: opts.sim_engine,
         sat_portfolio: opts.sat_portfolio,
         cache,
+        upec_encoding: opts.upec_encoding,
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -176,6 +183,23 @@ fn write_bench_json(
                 c.hits, c.misses, c.bytes, c.evictions
             )
         });
+        let p = &report.product;
+        let product = format!(
+            "\"product\": {{\"checks\": {}, \"check_aig_nodes\": {}, \
+             \"check_sat_vars\": {}, \"check_sat_clauses\": {}, \
+             \"one_time_sat_vars\": {}, \"one_time_sat_clauses\": {}, \
+             \"predicates\": {}, \"guard_assumptions\": {}, \
+             \"word_fallbacks\": {}}}, ",
+            p.checks,
+            p.check_aig_nodes,
+            p.check_sat_vars,
+            p.check_sat_clauses,
+            p.one_time_sat_vars,
+            p.one_time_sat_clauses,
+            p.predicates,
+            p.guard_assumptions,
+            p.word_fallbacks
+        );
         let _ = write!(
             out,
             "{{\"wall_s\": {wall_s:.6}, \"verdict\": \"{}\", \
@@ -184,7 +208,7 @@ fn write_bench_json(
              \"cycles\": {}, \"wall_s\": {:.6}, \
              \"cycles_per_s\": {:.1}}}, \
              \"formal\": {{\"checks\": {}, \"elaboration_s\": {:.6}, \
-             \"checks_s\": {:.6}}}, {cache}\
+             \"checks_s\": {:.6}}}, {cache}{product}\
              \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
              \"propagations\": {}, \"restarts\": {}, \
              \"learnt_clauses\": {}, \"chrono_backtracks\": {}, \
@@ -222,8 +246,9 @@ fn write_bench_json(
     let _ = writeln!(
         out,
         "  \"generator\": \"table1 --bench-json\",\n  \
-         \"sim_engine\": \"{}\",\n  \"jobs\": {},\n  \"designs\": [",
-        opts.sim_engine, opts.jobs
+         \"sim_engine\": \"{}\",\n  \"upec_encoding\": \"{}\",\n  \
+         \"jobs\": {},\n  \"designs\": [",
+        opts.sim_engine, opts.upec_encoding, opts.jobs
     );
     for (i, study) in selected.iter().enumerate() {
         let _ = write!(
@@ -443,5 +468,21 @@ fn render_runtime(out: &mut String, fast: &FlowReport) {
         "  elab:    {} template builds ({} nodes), {} nodes across \
          per-check instantiations, strash {} hits / {} misses",
         e.template_builds, e.template_nodes, e.check_nodes, e.strash_hits, e.strash_misses
+    );
+    let p = &fast.product;
+    let _ = writeln!(
+        out,
+        "  product: {} checks, per-check {} AIG nodes / {} SAT vars / \
+         {} clauses, one-time {} vars / {} clauses, {} predicates, \
+         {} guard assumptions, {} word fallbacks",
+        p.checks,
+        p.check_aig_nodes,
+        p.check_sat_vars,
+        p.check_sat_clauses,
+        p.one_time_sat_vars,
+        p.one_time_sat_clauses,
+        p.predicates,
+        p.guard_assumptions,
+        p.word_fallbacks
     );
 }

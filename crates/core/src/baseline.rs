@@ -8,7 +8,7 @@
 //! between this count and FastPath's is exactly Table I's "Reduction".
 
 use crate::cache::CheckKind;
-use crate::flow::{active_check_key, FlowContext, FlowOptions};
+use crate::flow::{active_check_key, rerun_in_bits, FlowContext, FlowOptions};
 use crate::report::{
     CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
 };
@@ -69,6 +69,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     None => {
                         let t0 = Instant::now();
                         let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+                        engine.set_encoding(options.upec_encoding);
                         engine.set_sat_portfolio(options.sat_portfolio);
                         if ctx.certification.is_some() {
                             engine.enable_certification();
@@ -117,6 +118,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     active_check_key(
                         canon,
                         CheckKind::StateOnly,
+                        options.upec_encoding,
                         instance,
                         &z_vec,
                         &active_constraints,
@@ -137,12 +139,21 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                         let t0 = Instant::now();
                         let outcome = if ctx.certification.is_some() {
                             let certified = engine.check_state_only_certified(&z_vec);
+                            let fell = engine.product_stats().word_fallbacks;
+                            if fell > 0 {
+                                return rerun_in_bits(study, &options, fell, run_baseline_with);
+                            }
                             ctx.record_certificate(&certified);
                             let artifact = engine.take_last_artifact();
                             ctx.store_cached_check(key.as_ref(), &certified, artifact);
                             certified.outcome
                         } else {
-                            engine.check_state_only(&z_vec)
+                            let outcome = engine.check_state_only(&z_vec);
+                            let fell = engine.product_stats().word_fallbacks;
+                            if fell > 0 {
+                                return rerun_in_bits(study, &options, fell, run_baseline_with);
+                            }
+                            outcome
                         };
                         ctx.timings.formal_checks += t0.elapsed();
                         outcome
@@ -153,6 +164,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                         active_check_key(
                             canon,
                             CheckKind::Full,
+                            options.upec_encoding,
                             instance,
                             &z_vec,
                             &active_constraints,
@@ -173,12 +185,21 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                             let t0 = Instant::now();
                             let outcome = if ctx.certification.is_some() {
                                 let certified = engine.check_certified(&z_vec);
+                                let fell = engine.product_stats().word_fallbacks;
+                                if fell > 0 {
+                                    return rerun_in_bits(study, &options, fell, run_baseline_with);
+                                }
                                 ctx.record_certificate(&certified);
                                 let artifact = engine.take_last_artifact();
                                 ctx.store_cached_check(key.as_ref(), &certified, artifact);
                                 certified.outcome
                             } else {
-                                engine.check(&z_vec)
+                                let outcome = engine.check(&z_vec);
+                                let fell = engine.product_stats().word_fallbacks;
+                                if fell > 0 {
+                                    return rerun_in_bits(study, &options, fell, run_baseline_with);
+                                }
+                                outcome
                             };
                             ctx.timings.formal_checks += t0.elapsed();
                             outcome

@@ -30,7 +30,7 @@
 //! check path whenever [`crate::FlowOptions::cache`] is set, so warm and
 //! cold runs produce identical reports.
 
-use fastpath_formal::{ProofArtifact, StateWitness, UpecCounterexample};
+use fastpath_formal::{ProofArtifact, StateWitness, UpecCounterexample, UpecEncoding};
 use fastpath_rtl::{
     write_netlist, BitVec, CanonicalForm, Digest, ExprId, Module, SignalId, SignalKind,
     StableHasher,
@@ -180,10 +180,15 @@ pub fn exact_module_hash(module: &Module) -> Digest {
 /// The content address of one UPEC check: canonical module hash plus the
 /// canonical labels of everything that parameterizes the property. Two
 /// modules that differ only by signal names or declaration order map to
-/// the same key; any semantic difference changes it.
+/// the same key; any semantic difference changes it. The encoding is part
+/// of the key: verdicts are encoding-independent, but cached SAT entries
+/// carry concrete witness models whose consistency was established
+/// against one encoding's product.
+#[allow(clippy::too_many_arguments)]
 pub fn check_key(
     canon: &CanonicalForm,
     kind: CheckKind,
+    encoding: UpecEncoding,
     z_prime: &[SignalId],
     constraints: &[ExprId],
     invariants: &[ExprId],
@@ -194,6 +199,10 @@ pub fn check_key(
     h.write_u64(match kind {
         CheckKind::Full => 1,
         CheckKind::StateOnly => 2,
+    });
+    h.write_u64(match encoding {
+        UpecEncoding::Bits => 1,
+        UpecEncoding::Words => 2,
     });
     // Z' as a sorted label multiset: index order is layout-specific, label
     // order is canonical.
@@ -984,31 +993,109 @@ mod tests {
         let z_b = [tick, r];
         // Z' is a set: index order must not matter.
         assert_eq!(
-            check_key(&canon, CheckKind::Full, &z_a, &[], &[], &[]),
-            check_key(&canon, CheckKind::Full, &z_b, &[], &[], &[])
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &z_a,
+                &[],
+                &[],
+                &[]
+            ),
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &z_b,
+                &[],
+                &[],
+                &[]
+            )
         );
         // Kind, Z' membership, and spec all matter.
-        let base = check_key(&canon, CheckKind::Full, &z_a, &[], &[], &[]);
-        assert_ne!(
-            base,
-            check_key(&canon, CheckKind::StateOnly, &z_a, &[], &[], &[])
+        let base = check_key(
+            &canon,
+            CheckKind::Full,
+            UpecEncoding::Bits,
+            &z_a,
+            &[],
+            &[],
+            &[],
         );
         assert_ne!(
             base,
-            check_key(&canon, CheckKind::Full, &[r], &[], &[], &[])
+            check_key(
+                &canon,
+                CheckKind::StateOnly,
+                UpecEncoding::Bits,
+                &z_a,
+                &[],
+                &[],
+                &[]
+            )
+        );
+        assert_ne!(
+            base,
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &[r],
+                &[],
+                &[],
+                &[]
+            )
         );
         let some_expr = m.driver(tick).expect("driven");
         assert_ne!(
             base,
-            check_key(&canon, CheckKind::Full, &z_a, &[some_expr], &[], &[])
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &z_a,
+                &[some_expr],
+                &[],
+                &[]
+            )
         );
         assert_ne!(
             base,
-            check_key(&canon, CheckKind::Full, &z_a, &[], &[some_expr], &[])
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &z_a,
+                &[],
+                &[some_expr],
+                &[]
+            )
         );
         assert_ne!(
             base,
-            check_key(&canon, CheckKind::Full, &z_a, &[], &[], &[(some_expr, r)])
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Bits,
+                &z_a,
+                &[],
+                &[],
+                &[(some_expr, r)]
+            )
+        );
+        // The SAT encoding shapes any cached counterexample witness, so
+        // bits- and words-mode checks must never share a cache slot.
+        assert_ne!(
+            base,
+            check_key(
+                &canon,
+                CheckKind::Full,
+                UpecEncoding::Words,
+                &z_a,
+                &[],
+                &[],
+                &[]
+            )
         );
     }
 

@@ -32,8 +32,8 @@ use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::{confirm_counterexample, WitnessReplay};
 use fastpath_cert::revalidate_unsat_artifact;
 use fastpath_formal::{
-    CertifiedOutcome, CheckCertificate, ElaborationStats, ProofArtifact, Upec2Safety,
-    UpecCounterexample, UpecOutcome, UpecSpec,
+    CertifiedOutcome, CheckCertificate, ElaborationStats, ProductStats, ProofArtifact, Upec2Safety,
+    UpecCounterexample, UpecEncoding, UpecOutcome, UpecSpec,
 };
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_rtl::{CanonicalForm, Digest, ExprId, Module, SignalId};
@@ -49,7 +49,7 @@ use std::time::Instant;
 /// Disabling a stage removes its contribution while keeping the rest of
 /// the flow intact — the `flow_ablation` benchmarks quantify what each
 /// stage buys.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct FlowOptions {
     /// Skip the structural early-exit check (Sec. IV-A).
     pub skip_hfg: bool,
@@ -83,11 +83,56 @@ pub struct FlowOptions {
     /// checker, counterexamples reproduced by concrete simulation), so
     /// the report from a warm run is identical to a cold certified run.
     pub cache: Option<Arc<dyn ProofCache>>,
+    /// SAT encoding for every UPEC check of the flow. Verdicts, methods,
+    /// and inspection counts are byte-identical for both encodings; only
+    /// the product size and wall-clock differ. Defaults to the word-level
+    /// guarded-predicate encoding; `bits` is the flat bit-equality
+    /// reference oracle.
+    pub upec_encoding: UpecEncoding,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            skip_hfg: false,
+            skip_ift_seeding: false,
+            certify: false,
+            dump_artifacts: None,
+            sim_engine: SimEngine::default(),
+            sat_portfolio: 0,
+            cache: None,
+            // Word-level guarded predicates are the production default;
+            // `UpecEncoding::default()` stays `Bits` so the bare engine
+            // remains the reference oracle.
+            upec_encoding: UpecEncoding::Words,
+        }
+    }
 }
 
 /// Runs the complete FastPath flow on a case study.
 pub fn run_fastpath(study: &CaseStudy) -> FlowReport {
     run_fastpath_with(study, FlowOptions::default())
+}
+
+/// A word-mode check exhausted its conflict budget: the split product is
+/// structurally wrong for this design, and letting individual checks
+/// answer via the bit path would steer refinement by SAT-model noise
+/// instead of the bit-level reference trace. Rerun the whole flow in bit
+/// mode — the report then *is* the reference trace — and keep the
+/// fallback count visible in the product counters. Nothing from the
+/// abandoned word attempt is cached, so warm reruns reconverge on the
+/// same route.
+pub(crate) fn rerun_in_bits(
+    study: &CaseStudy,
+    options: &FlowOptions,
+    fallbacks: u64,
+    run: fn(&CaseStudy, FlowOptions) -> FlowReport,
+) -> FlowReport {
+    let mut bits = options.clone();
+    bits.upec_encoding = UpecEncoding::Bits;
+    let mut report = run(study, bits);
+    report.product.word_fallbacks = fallbacks;
+    report
 }
 
 /// Runs the FastPath flow with ablation options.
@@ -196,6 +241,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                         active_check_key(
                             canon,
                             CheckKind::Full,
+                            options.upec_encoding,
                             instance,
                             &z_vec,
                             &active_constraints,
@@ -217,6 +263,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                                 None => {
                                     let t0 = Instant::now();
                                     let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+                                    engine.set_encoding(options.upec_encoding);
                                     engine.set_sat_portfolio(options.sat_portfolio);
                                     if ctx.certification.is_some() {
                                         engine.enable_certification();
@@ -255,12 +302,21 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                             let t0 = Instant::now();
                             let outcome = if ctx.certification.is_some() {
                                 let certified = engine.check_certified(&z_vec);
+                                let fell = engine.product_stats().word_fallbacks;
+                                if fell > 0 {
+                                    return rerun_in_bits(study, &options, fell, run_fastpath_with);
+                                }
                                 ctx.record_certificate(&certified);
                                 let artifact = engine.take_last_artifact();
                                 ctx.store_cached_check(key.as_ref(), &certified, artifact);
                                 certified.outcome
                             } else {
-                                engine.check(&z_vec)
+                                let outcome = engine.check(&z_vec);
+                                let fell = engine.product_stats().word_fallbacks;
+                                if fell > 0 {
+                                    return rerun_in_bits(study, &options, fell, run_fastpath_with);
+                                }
+                                outcome
                             };
                             ctx.timings.formal_checks += t0.elapsed();
                             outcome
@@ -390,9 +446,11 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
 
 /// The content address of a flow check, built from the active subsets of
 /// the instance's spec vocabulary in activation order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn active_check_key(
     canon: &CanonicalForm,
     kind: CheckKind,
+    encoding: UpecEncoding,
     instance: &DesignInstance,
     z_vec: &[SignalId],
     active_constraints: &[usize],
@@ -414,7 +472,15 @@ pub(crate) fn active_check_key(
             (ce.cond, ce.signal)
         })
         .collect();
-    cache::check_key(canon, kind, z_vec, &constraints, &invariants, &cond_eqs)
+    cache::check_key(
+        canon,
+        kind,
+        encoding,
+        z_vec,
+        &constraints,
+        &invariants,
+        &cond_eqs,
+    )
 }
 
 /// `true` iff the conditional equality fails in the replayed witness at
@@ -440,6 +506,7 @@ pub(crate) struct FlowContext {
     pub(crate) invariants_added: Vec<String>,
     pub(crate) solver_stats: SolverStats,
     pub(crate) elaboration: ElaborationStats,
+    pub(crate) product: ProductStats,
     pub(crate) certification: Option<CertificationSummary>,
     pub(crate) sim_engine: SimEngine,
     /// Compiled-tape cache, keyed by module address (both design
@@ -475,6 +542,7 @@ impl FlowContext {
             invariants_added: Vec::new(),
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
+            product: ProductStats::default(),
             certification: None,
             sim_engine: SimEngine::default(),
             tape: None,
@@ -618,6 +686,7 @@ impl FlowContext {
         if let Some(engine) = engine {
             self.solver_stats.merge(&engine.solver_stats());
             self.elaboration.merge(&engine.elaboration_stats());
+            self.product.merge(&engine.product_stats());
             if let (Some(summary), Some(stats)) = (self.certification.as_mut(), engine.cert_stats())
             {
                 summary.stats.merge(&stats);
@@ -701,6 +770,7 @@ impl FlowContext {
             timings: self.timings,
             solver_stats: self.solver_stats,
             elaboration: self.elaboration,
+            product: self.product,
             sim: SimStats {
                 engine: self.sim_engine,
                 runs: self.sim_runs,

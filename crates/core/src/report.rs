@@ -1,6 +1,6 @@
 //! Verdicts, flow events, and verification reports.
 
-use fastpath_formal::{CertStats, ElaborationStats};
+use fastpath_formal::{CertStats, ElaborationStats, ProductStats};
 use fastpath_rtl::SignalId;
 use fastpath_sat::SolverStats;
 use fastpath_sim::SimEngine;
@@ -233,6 +233,10 @@ pub struct FlowReport {
     /// Elaboration-cache effectiveness across every UPEC engine of the
     /// run (AIG node construction avoided by the cached frame template).
     pub elaboration: ElaborationStats,
+    /// Product-construction size across every UPEC check of the run
+    /// (AIG nodes, SAT variables and clauses, predicate and guard
+    /// counts) — the counters the word-level encoding shrinks.
+    pub product: ProductStats,
     /// Simulation backend and workload of the run.
     pub sim: SimStats,
     /// Verification-cache effectiveness (`None` unless a cache was
@@ -334,6 +338,7 @@ mod tests {
             timings: StageTimings::default(),
             solver_stats: SolverStats::default(),
             elaboration: ElaborationStats::default(),
+            product: ProductStats::default(),
             sim: SimStats::default(),
             cache: None,
             certification: None,

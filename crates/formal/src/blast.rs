@@ -113,6 +113,72 @@ pub fn blast_expr_in_frame(
     blast_expr(aig, module, &frame.bits, &mut memo, expr)
 }
 
+/// A partially-elaborated time frame: leaves are supplied up front (or
+/// patched in later via [`LazyFrame::set_leaf`]), combinational signals are
+/// derived on demand, cone by cone, instead of walking the full
+/// `comb_order` of the module.
+///
+/// This is the cone-pruned product constructor for the word-level UPEC
+/// encoding: the second design instance only ever materializes the fan-in
+/// cones that a guarded equivalence predicate, difference monitor, or spec
+/// obligation actually reads. The expression memo persists across `ensure`
+/// calls, so overlapping cones share structure exactly like a full frame
+/// build would.
+#[derive(Clone, Debug)]
+pub struct LazyFrame {
+    bits: Vec<Vec<AigLit>>,
+    memo: Vec<Option<Vec<AigLit>>>,
+}
+
+impl LazyFrame {
+    /// Creates a frame from explicit leaf words; empty vectors mark leaves
+    /// to be patched in later (e.g. next-state words computed on demand).
+    pub fn new(module: &Module, leaves: Vec<Vec<AigLit>>) -> Self {
+        LazyFrame {
+            bits: leaves,
+            memo: vec![None; module.expr_count()],
+        }
+    }
+
+    /// Whether `id` already has a word (leaf or elaborated).
+    pub fn has(&self, id: SignalId) -> bool {
+        !self.bits[id.index()].is_empty()
+    }
+
+    /// Installs (or replaces) a leaf word.
+    pub fn set_leaf(&mut self, id: SignalId, word: Vec<AigLit>) {
+        self.bits[id.index()] = word;
+    }
+
+    /// The literal vector of an already-elaborated signal (LSB first).
+    pub fn signal(&self, id: SignalId) -> &[AigLit] {
+        &self.bits[id.index()]
+    }
+
+    /// Elaborates every not-yet-defined combinational signal selected by
+    /// `mask` (a per-signal membership mask as produced by
+    /// `fastpath_rtl::comb_cone_mask`), in topological order. Leaves inside
+    /// the mask must already be present.
+    pub fn ensure(&mut self, aig: &mut Aig, module: &Module, mask: &[bool]) {
+        for &sig in module.comb_order() {
+            if mask[sig.index()] && self.bits[sig.index()].is_empty() {
+                let driver = module.driver(sig).expect("comb signal driven");
+                let LazyFrame { bits, memo } = self;
+                let word = blast_expr(aig, module, bits, memo, driver);
+                self.bits[sig.index()] = word;
+            }
+        }
+    }
+
+    /// Blasts an expression against the frame. Every signal the expression
+    /// reads must already be present (use [`LazyFrame::ensure`] with the
+    /// expression's support cone first).
+    pub fn expr(&mut self, aig: &mut Aig, module: &Module, e: ExprId) -> Vec<AigLit> {
+        let LazyFrame { bits, memo } = self;
+        blast_expr(aig, module, bits, memo, e)
+    }
+}
+
 fn blast_expr(
     aig: &mut Aig,
     module: &Module,

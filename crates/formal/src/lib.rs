@@ -57,7 +57,7 @@ pub use aig::{Aig, AigLit};
 pub use aiger::to_aiger;
 pub use blast::{
     blast_expr_in_frame, build_frame, build_frame_with_leaves, next_state, ConstantLeaves, Frame,
-    LeafSource, SymbolicLeaves,
+    LazyFrame, LeafSource, SymbolicLeaves,
 };
 pub use bmc::{
     bmc_check, invariant_is_inductive, invariants_are_jointly_inductive, two_safety_bmc, BmcResult,
@@ -66,8 +66,8 @@ pub use bmc::{
 pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
 pub use tseitin::CnfEncoder;
 pub use upec::{
-    ElaborationMode, ElaborationStats, ProofArtifact, StateWitness, Upec2Safety,
-    UpecCounterexample, UpecOutcome, UpecSpec,
+    ElaborationMode, ElaborationStats, ProductStats, ProofArtifact, StateWitness, Upec2Safety,
+    UpecCounterexample, UpecEncoding, UpecOutcome, UpecSpec,
 };
 pub use words::{
     add_with_carry, add_word, and_word, constant_word, eq_word, mul_word, mux_word, neg_word,

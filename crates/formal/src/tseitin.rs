@@ -48,6 +48,18 @@ impl CnfEncoder {
         &self.solver
     }
 
+    /// Number of solver variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of original (non-learnt, non-deleted) clauses in the
+    /// solver. Learned clauses are excluded, so before/after snapshots
+    /// measure exactly what an encoding step added.
+    pub fn num_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
     /// Turns on DRUP proof logging on the underlying solver. Must be
     /// called before anything is encoded (see
     /// [`fastpath_sat::Solver::enable_proof_logging`]).
@@ -170,6 +182,17 @@ impl CnfEncoder {
     /// Solves under SAT-literal assumptions.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.solver.solve_with(assumptions)
+    }
+
+    /// Solves under SAT-literal assumptions with a conflict budget;
+    /// `None` when the budget ran out before an answer. See
+    /// [`Solver::solve_with_budget`].
+    pub fn solve_with_budget(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_budget: u64,
+    ) -> Option<SolveResult> {
+        self.solver.solve_with_budget(assumptions, conflict_budget)
     }
 
     /// The model value of an already-encoded AIG literal after a SAT

@@ -53,12 +53,12 @@
 //! tests and cold-elaboration benchmarks.
 
 use crate::aig::{Aig, AigLit};
-use crate::blast::{build_frame_with_leaves, next_state, Frame};
+use crate::blast::{build_frame_with_leaves, next_state, Frame, LazyFrame};
 use crate::certify::{CertStats, CertifiedOutcome, CheckCertificate};
 use crate::tseitin::CnfEncoder;
 use crate::words::eq_word;
 use fastpath_cert::{artifacts, CertError, Checker};
-use fastpath_rtl::{BitVec, ExprId, Module, SignalId, SignalKind, SignalRole};
+use fastpath_rtl::{comb_cone_mask, BitVec, ExprId, Module, SignalId, SignalKind, SignalRole};
 use fastpath_sat::{Cnf, Lit, SolveResult, SolverStats};
 use std::path::PathBuf;
 
@@ -181,6 +181,110 @@ impl std::ops::AddAssign for ElaborationStats {
     }
 }
 
+/// How `Z'` is lowered into the 2-safety SAT instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UpecEncoding {
+    /// Flat bit equality by leaf substitution: a register in `Z'` shares
+    /// instance 0's leaves, and each check re-derives instance 1's cones
+    /// over the persistent AIG. The reference oracle.
+    #[default]
+    Bits,
+    /// Guarded word-level equivalence predicates: instance 1 is built
+    /// exactly once with fully split leaves, each register `r` gets a
+    /// persistent predicate `sel_r ⇒ words equal`, and a check merely
+    /// *assumes* the selectors of the current `Z'`. Refinement weakens
+    /// guards by flipping assumptions instead of re-elaborating anything,
+    /// and only the fan-in cones actually monitored are ever bit-blasted
+    /// (see [`crate::blast::LazyFrame`]).
+    Words,
+}
+
+impl std::str::FromStr for UpecEncoding {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bits" => Ok(UpecEncoding::Bits),
+            "words" => Ok(UpecEncoding::Words),
+            other => Err(format!(
+                "unknown UPEC encoding `{other}` (expected `bits` or `words`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for UpecEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UpecEncoding::Bits => "bits",
+            UpecEncoding::Words => "words",
+        })
+    }
+}
+
+/// Conflict budget for a word-mode check before it falls back to the
+/// bit-level path. The split product trades structural folding for reuse:
+/// on cones where bit mode's shared leaves would have folded both
+/// instances to one, the solver must instead derive the equivalence by
+/// search. Healthy word checks across the Table I designs stay around a
+/// thousand conflicts; pathological ones (deep dirty cones over many
+/// selected registers) run tens of thousands, and the bit path answers
+/// them almost for free. The budget is deterministic — conflict counts
+/// don't depend on wall time — so verdicts and refinement traces stay
+/// reproducible.
+const WORD_CONFLICT_BUDGET: u64 = 8192;
+
+/// Product-size counters: how much AIG / CNF each check actually costs,
+/// split into one-time construction (template, static word product, spec
+/// obligations) and recurring per-check work. The word-level encoding's
+/// whole point is driving the per-check columns toward zero; `bench_diff`
+/// gates on these so the pruning win is measured, not eyeballed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProductStats {
+    /// Number of checks measured.
+    pub checks: u64,
+    /// AIG nodes created by per-check work, summed over all checks.
+    pub check_aig_nodes: u64,
+    /// SAT variables allocated by per-check work, summed over all checks.
+    pub check_sat_vars: u64,
+    /// CNF clauses added by per-check work, summed over all checks.
+    pub check_sat_clauses: u64,
+    /// SAT variables allocated by one-time construction.
+    pub one_time_sat_vars: u64,
+    /// CNF clauses added by one-time construction.
+    pub one_time_sat_clauses: u64,
+    /// Guarded word-equivalence predicates instantiated (0 in bit mode).
+    pub predicates: u64,
+    /// Guard literals assumed across all checks (the activation literal
+    /// plus, in word mode, one selector per state register).
+    pub guard_assumptions: u64,
+    /// Word-mode checks that exhausted the conflict budget on the split
+    /// product and were re-run through the bit-level path (0 in bit
+    /// mode).
+    pub word_fallbacks: u64,
+}
+
+impl ProductStats {
+    /// Folds another engine's counters into this one.
+    pub fn merge(&mut self, other: &ProductStats) {
+        self.checks += other.checks;
+        self.check_aig_nodes += other.check_aig_nodes;
+        self.check_sat_vars += other.check_sat_vars;
+        self.check_sat_clauses += other.check_sat_clauses;
+        self.one_time_sat_vars += other.one_time_sat_vars;
+        self.one_time_sat_clauses += other.one_time_sat_clauses;
+        self.predicates += other.predicates;
+        self.guard_assumptions += other.guard_assumptions;
+        self.word_fallbacks += other.word_fallbacks;
+    }
+}
+
+impl std::ops::AddAssign for ProductStats {
+    fn add_assign(&mut self, rhs: ProductStats) {
+        self.merge(&rhs);
+    }
+}
+
 /// Live certification state: the incremental checker plus accumulated
 /// counters. The checker consumes each new slice of the solver's proof
 /// trace exactly once (`consumed` marks progress), so certifying a
@@ -255,6 +359,109 @@ struct Template {
     input_bits_t1: Vec<(SignalId, Vec<AigLit>, Vec<AigLit>)>,
 }
 
+/// The time-frame boundary of a combinational cone: whether it reads any
+/// confidential (split-leaf) input, and the registers on its edge.
+///
+/// This is the cone-pruning oracle of the word encoding. A difference
+/// monitor over the cone can only be satisfied when the boundary meets a
+/// *divergence source* — a data input, or a register outside the current
+/// `Z'` whose split leaves are free. When every boundary register is
+/// covered by an assumed guarded equivalence predicate (and no data input
+/// is read), both instances compute the same function of pairwise-equal
+/// leaves, so the predicate holds by propagation and is skipped without
+/// ever being built or solved — the structural analogue of the constant
+/// folding that shared leaves buy the bit encoding.
+#[derive(Clone, Debug)]
+struct ConeBoundary {
+    /// The cone reads at least one `DataIn` input (split per instance).
+    reads_data: bool,
+    /// Registers on the cone's time-frame edge.
+    regs: Vec<SignalId>,
+}
+
+impl ConeBoundary {
+    /// Computes the boundary of the combinational cone of `targets`.
+    fn of(module: &Module, targets: &[SignalId]) -> ConeBoundary {
+        let mask = comb_cone_mask(module, targets);
+        let mut reads_data = false;
+        let mut regs = Vec::new();
+        for (id, signal) in module.signals() {
+            if !mask[id.index()] {
+                continue;
+            }
+            match signal.kind {
+                SignalKind::Register => regs.push(id),
+                SignalKind::Input => reads_data |= signal.role == SignalRole::DataIn,
+                _ => {}
+            }
+        }
+        ConeBoundary { reads_data, regs }
+    }
+
+    /// Computes the boundary of `reg`'s next-state function.
+    fn of_next(module: &Module, reg: SignalId) -> ConeBoundary {
+        match module.driver(reg) {
+            Some(driver) => ConeBoundary::of(module, &module.expr_supports(driver)),
+            None => ConeBoundary {
+                reads_data: false,
+                regs: Vec::new(),
+            },
+        }
+    }
+
+    /// Whether the boundary meets a divergence source under `in_z`.
+    fn dirty(&self, in_z: &[bool]) -> bool {
+        self.reads_data || self.regs.iter().any(|r| !in_z[r.index()])
+    }
+}
+
+/// The static word-level half of the product ([`UpecEncoding::Words`]):
+/// one fully-split instance 1 plus per-register guarded equivalence
+/// predicates, built lazily cone by cone and then reused — as-is — by
+/// every subsequent check.
+#[derive(Debug)]
+struct WordProduct {
+    /// For each register in `state_signals()` order: the index of its
+    /// entry in `Template::state_leaves`.
+    leaf_idx: Vec<usize>,
+    /// Per register (`state_signals()` order): the selector variable of
+    /// its guarded equivalence predicate `sel ⇒ inst0 == inst1`, created
+    /// the first time the register appears in a `Z'`. Registers that never
+    /// enter `Z'` (IFT-tainted data state) never pay for a predicate.
+    selectors: Vec<Option<fastpath_sat::Var>>,
+    /// Instance 1 at `t`: split leaves for every register, template input
+    /// leaves, cones elaborated on demand.
+    frame1_t: LazyFrame,
+    /// Instance 1 at `t+1`: register leaves are patched in from `next1`
+    /// on demand.
+    frame1_t1: LazyFrame,
+    /// Instance 1 next-state words (`state_signals()` order), on demand.
+    next1: Vec<Option<Vec<AigLit>>>,
+    /// Difference monitors `inst0.next != inst1.next` per register, on
+    /// demand — only ever built for *dirty* cones (see [`ConeBoundary`]).
+    diff_next: Vec<Option<AigLit>>,
+    /// Per register (`state_signals()` order): the boundary of its
+    /// next-state fan-in cone, computed once on first use.
+    next_cone: Vec<Option<ConeBoundary>>,
+    /// The module's control outputs, pinning the index space of
+    /// `out_cone` / `diff_out`.
+    outs: Vec<SignalId>,
+    /// Per control output: its combinational fan-in boundary.
+    out_cone: Vec<Option<ConeBoundary>>,
+    /// Control-output difference monitors over `[t, t+1]`, built on the
+    /// output's first dirty appearance.
+    diff_out: Vec<Option<AigLit>>,
+    /// Conditional-equality violation monitors at `t+1`, grown with the
+    /// spec.
+    cond_eq_violation: Vec<AigLit>,
+    /// How many spec entries already have their instance-1-side
+    /// obligations asserted (word obligations are `Z'`-independent, so
+    /// they are asserted once, unguarded, like the frame-0 side).
+    w_constraints: usize,
+    w_invariants: usize,
+    w_cond_eqs: usize,
+}
+
 /// The 2-safety UPEC-DIT model over one module.
 ///
 /// Each [`check`](Self::check) instantiates a 2-safety model in which the
@@ -277,9 +484,14 @@ pub struct Upec2Safety<'m> {
     module: &'m Module,
     spec: UpecSpec,
     mode: ElaborationMode,
+    encoding: UpecEncoding,
     aig: Aig,
     encoder: CnfEncoder,
     template: Option<Template>,
+    /// The static word-level product, when `encoding` is `Words`.
+    product: Option<WordProduct>,
+    /// Product-size counters (see [`ProductStats`]).
+    product_stats: ProductStats,
     /// How many spec entries already have their frame-0-side (one-time)
     /// obligations asserted on the persistent solver.
     f0_constraints: usize,
@@ -315,9 +527,12 @@ impl<'m> Upec2Safety<'m> {
             module,
             spec: spec.clone(),
             mode,
+            encoding: UpecEncoding::Bits,
             aig: Aig::new(),
             encoder: CnfEncoder::new(),
             template: None,
+            product: None,
+            product_stats: ProductStats::default(),
             f0_constraints: 0,
             f0_invariants: 0,
             last_aig_nodes: 0,
@@ -339,6 +554,33 @@ impl<'m> Upec2Safety<'m> {
     pub fn set_sat_portfolio(&mut self, workers: usize) {
         self.sat_portfolio = workers;
         self.encoder.set_portfolio(workers);
+    }
+
+    /// Selects how `Z'` is lowered into the SAT instance (see
+    /// [`UpecEncoding`]). Defaults to [`UpecEncoding::Bits`], the
+    /// reference oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any check has already run — the two encodings build the
+    /// product differently and cannot be mixed on one solver.
+    pub fn set_encoding(&mut self, encoding: UpecEncoding) {
+        assert_eq!(
+            self.checks, 0,
+            "encoding must be chosen before the first check"
+        );
+        self.encoding = encoding;
+    }
+
+    /// The encoding currently in force.
+    pub fn encoding(&self) -> UpecEncoding {
+        self.encoding
+    }
+
+    /// Product-size counters accumulated over all checks (see
+    /// [`ProductStats`]).
+    pub fn product_stats(&self) -> ProductStats {
+        self.product_stats
     }
 
     /// Turns on independent certification: the solver logs a DRUP-style
@@ -460,9 +702,13 @@ impl<'m> Upec2Safety<'m> {
 
     /// Forces the one-time template elaboration now (it otherwise happens
     /// lazily on the first check). Lets callers time elaboration apart
-    /// from solving.
+    /// from solving. In word mode this also sets up the static guarded
+    /// product skeleton (individual cones still materialize on demand).
     pub fn elaborate(&mut self) {
         self.ensure_template();
+        if self.encoding == UpecEncoding::Words {
+            self.ensure_word_product();
+        }
     }
 
     /// Adds a derived software constraint to the specification. It takes
@@ -543,6 +789,7 @@ impl<'m> Upec2Safety<'m> {
         self.encoder = CnfEncoder::new();
         self.encoder.set_portfolio(self.sat_portfolio);
         self.template = None;
+        self.product = None;
         self.f0_constraints = 0;
         self.f0_invariants = 0;
         if let Some(cert) = &mut self.cert {
@@ -562,6 +809,8 @@ impl<'m> Upec2Safety<'m> {
     fn ensure_template(&mut self) {
         let module = self.module;
         let nodes_before = self.aig.node_count();
+        let vars_before = self.encoder.num_vars();
+        let clauses_before = self.encoder.num_clauses();
         if self.template.is_none() {
             let aig = &mut self.aig;
             let n = module.signal_count();
@@ -636,6 +885,9 @@ impl<'m> Upec2Safety<'m> {
         }
         self.f0_invariants = self.spec.invariants.len();
         self.elab.template_nodes += aig.node_count() - nodes_before;
+        self.product_stats.one_time_sat_vars += (self.encoder.num_vars() - vars_before) as u64;
+        self.product_stats.one_time_sat_clauses +=
+            self.encoder.num_clauses().saturating_sub(clauses_before) as u64;
     }
 
     fn check_internal(
@@ -648,7 +900,37 @@ impl<'m> Upec2Safety<'m> {
             self.reset();
         }
         self.ensure_template();
+        if self.encoding == UpecEncoding::Words {
+            self.ensure_word_product();
+        }
+        // Product-size accounting: everything the one-time ensure steps
+        // added is already booked as `one_time_*`; the deltas from here to
+        // the end of the check are its recurring cost.
+        let vars_before = self.encoder.num_vars();
+        let clauses_before = self.encoder.num_clauses();
+        let nodes_before = self.aig.node_count();
+        let out = match self.encoding {
+            UpecEncoding::Bits => self.check_bits(z_prime, include_outputs),
+            UpecEncoding::Words => self.check_words(z_prime, include_outputs),
+        };
+        self.product_stats.checks += 1;
+        self.product_stats.check_sat_vars +=
+            self.encoder.num_vars().saturating_sub(vars_before) as u64;
+        self.product_stats.check_sat_clauses +=
+            self.encoder.num_clauses().saturating_sub(clauses_before) as u64;
+        self.product_stats.check_aig_nodes +=
+            self.aig.node_count().saturating_sub(nodes_before) as u64;
+        out
+    }
 
+    /// The flat bit-equality check ([`UpecEncoding::Bits`]): derive
+    /// instance 1 per check by leaf substitution and guard everything with
+    /// one activation literal.
+    fn check_bits(
+        &mut self,
+        z_prime: &[SignalId],
+        include_outputs: bool,
+    ) -> (UpecOutcome, Option<Result<CheckCertificate, CertError>>) {
         let module = self.module;
         let n = module.signal_count();
         let mut in_z = vec![false; n];
@@ -782,6 +1064,7 @@ impl<'m> Upec2Safety<'m> {
         let created = aig.node_count() - nodes_before;
         self.elab.check_nodes += created;
         self.elab.last_check_nodes = created;
+        self.product_stats.guard_assumptions += 1;
 
         let outcome = if monitored.len() == 1 {
             SolveResult::Unsat
@@ -840,13 +1123,371 @@ impl<'m> Upec2Safety<'m> {
         let certificate = if self.cert.is_some() {
             let trivial = monitored.len() == 1;
             let sat = matches!(result, UpecOutcome::Counterexample(_));
-            Some(self.certify_check(trivial, sat, g))
+            Some(self.certify_check(trivial, sat, &[g]))
         } else {
             None
         };
         // Retire this check: the unit clause ¬g permanently satisfies all
         // of its guarded obligations, while everything the solver learned
         // (implied by the clause database alone) carries over.
+        self.encoder.add_clause(&[ng]);
+        (result, certificate)
+    }
+
+    /// Builds the static word-level product skeleton if needed, then
+    /// asserts the instance-1-side obligations of any spec entries added
+    /// since the last check. In the word encoding instance 1 always reads
+    /// its own split leaves — the guarded predicates restore sharing per
+    /// check by *assumption* — so all of this is `Z'`-independent one-time
+    /// work, asserted unguarded on the persistent solver exactly like the
+    /// frame-0 side.
+    fn ensure_word_product(&mut self) {
+        let module = self.module;
+        let nodes_before = self.aig.node_count();
+        let vars_before = self.encoder.num_vars();
+        let clauses_before = self.encoder.num_clauses();
+        let state_ids = module.state_signals();
+        if self.product.is_none() {
+            let tmpl = self.template.as_ref().expect("template built");
+            let n = module.signal_count();
+            let leaf_idx: Vec<usize> = state_ids
+                .iter()
+                .map(|&r| {
+                    tmpl.state_leaves
+                        .iter()
+                        .position(|(id, _, _)| *id == r)
+                        .expect("every register has a leaf pair")
+                })
+                .collect();
+            let mut leaves1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            for (id, _, s1) in &tmpl.state_leaves {
+                leaves1[id.index()] = s1.clone();
+            }
+            for (idx, bits) in tmpl.inputs1_t.iter().enumerate() {
+                if !bits.is_empty() {
+                    leaves1[idx] = bits.clone();
+                }
+            }
+            let mut leaves1_t1: Vec<Vec<AigLit>> = vec![Vec::new(); n];
+            for (idx, bits) in tmpl.inputs1_t1.iter().enumerate() {
+                if !bits.is_empty() {
+                    leaves1_t1[idx] = bits.clone();
+                }
+            }
+            let outs = module.control_outputs();
+            self.product = Some(WordProduct {
+                leaf_idx,
+                selectors: vec![None; state_ids.len()],
+                frame1_t: LazyFrame::new(module, leaves1),
+                frame1_t1: LazyFrame::new(module, leaves1_t1),
+                next1: vec![None; state_ids.len()],
+                diff_next: vec![None; state_ids.len()],
+                next_cone: vec![None; state_ids.len()],
+                out_cone: vec![None; outs.len()],
+                diff_out: vec![None; outs.len()],
+                outs,
+                cond_eq_violation: Vec::new(),
+                w_constraints: 0,
+                w_invariants: 0,
+                w_cond_eqs: 0,
+            });
+        }
+        let tmpl = self.template.as_ref().expect("template built");
+        let product = self.product.as_mut().expect("product just built");
+        let aig = &mut self.aig;
+        let encoder = &mut self.encoder;
+        for &constraint in &self.spec.software_constraints[product.w_constraints..] {
+            let lit = word_predicate_t(aig, module, product, constraint);
+            encoder.assert_true(aig, lit);
+            let lit = word_predicate_t1(aig, module, product, &state_ids, constraint);
+            encoder.assert_true(aig, lit);
+        }
+        product.w_constraints = self.spec.software_constraints.len();
+        for &invariant in &self.spec.invariants[product.w_invariants..] {
+            let lit = word_predicate_t(aig, module, product, invariant);
+            encoder.assert_true(aig, lit);
+        }
+        product.w_invariants = self.spec.invariants.len();
+        for &(cond, signal) in &self.spec.conditional_equalities[product.w_cond_eqs..] {
+            let i = state_ids
+                .iter()
+                .position(|&r| r == signal)
+                .expect("conditional equality must target a register");
+            // Assumed at `t`: whenever `cond` holds in both instances the
+            // target register is equal. Over the split leaves this is a
+            // genuine constraint (over shared bit-mode leaves it was
+            // per-check); it states the same spec fact in every check, so
+            // it is asserted once.
+            let c0 = blast_predicate(aig, module, &tmpl.frame0_t, cond);
+            let c1 = word_predicate_t(aig, module, product, cond);
+            let both = aig.and(c0, c1);
+            let eq = {
+                let (_, b0, s1) = &tmpl.state_leaves[product.leaf_idx[i]];
+                eq_word(aig, b0, s1)
+            };
+            let implied = {
+                let nb = !both;
+                aig.or(nb, eq)
+            };
+            encoder.assert_true(aig, implied);
+            // Proven at `t+1`: the violation monitor joins every check's
+            // monitor disjunction.
+            let c0n = blast_predicate(aig, module, &tmpl.frame0_t1, cond);
+            let c1n = word_predicate_t1(aig, module, product, &state_ids, cond);
+            let bothn = aig.and(c0n, c1n);
+            let n1 = ensure_next1(aig, module, product, &state_ids, i);
+            let eqn = eq_word(aig, &tmpl.next0[i], &n1);
+            let viol = {
+                let ne = !eqn;
+                aig.and(bothn, ne)
+            };
+            product.cond_eq_violation.push(viol);
+        }
+        product.w_cond_eqs = self.spec.conditional_equalities.len();
+        self.elab.template_nodes += aig.node_count() - nodes_before;
+        self.product_stats.one_time_sat_vars +=
+            encoder.num_vars().saturating_sub(vars_before) as u64;
+        self.product_stats.one_time_sat_clauses +=
+            encoder.num_clauses().saturating_sub(clauses_before) as u64;
+    }
+
+    /// The word-level check ([`UpecEncoding::Words`]): no re-elaboration,
+    /// no fresh clauses beyond lazily-created predicates/monitors and one
+    /// guarded monitor disjunction — `Z'` is selected purely by assuming
+    /// selectors over the static product, and refinement weakens guards by
+    /// flipping those assumptions.
+    fn check_words(
+        &mut self,
+        z_prime: &[SignalId],
+        include_outputs: bool,
+    ) -> (UpecOutcome, Option<Result<CheckCertificate, CertError>>) {
+        let module = self.module;
+        let n = module.signal_count();
+        let mut in_z = vec![false; n];
+        for &z in z_prime {
+            in_z[z.index()] = true;
+        }
+        let state_ids = module.state_signals();
+        let tmpl = self.template.as_ref().expect("template built");
+        let product = self.product.as_mut().expect("product built");
+        let aig = &mut self.aig;
+        let encoder = &mut self.encoder;
+        let nodes_before = aig.node_count();
+
+        // Guarded equivalence predicates and difference monitors for the
+        // current Z', created on a register's first appearance and reused
+        // ever after. Registers that never enter Z' never pay for either,
+        // and a monitor whose fan-in boundary is *clean* — every edge
+        // register selected, no data input read — is pruned outright: the
+        // assumed predicates force both cones onto pairwise-equal leaves,
+        // so the difference is unsatisfiable by propagation and neither
+        // its AIG cone nor its CNF is ever built.
+        let mut new_predicates = 0u64;
+        let mut dirty_state = vec![false; state_ids.len()];
+        for (i, &reg) in state_ids.iter().enumerate() {
+            if !in_z[reg.index()] {
+                continue;
+            }
+            if product.selectors[i].is_none() {
+                let sel = encoder.fresh_var();
+                let ns = sel.negative();
+                let (_, b0, s1) = &tmpl.state_leaves[product.leaf_idx[i]];
+                for (&a, &b) in b0.iter().zip(s1.iter()) {
+                    let la = encoder.lit(aig, a);
+                    let lb = encoder.lit(aig, b);
+                    encoder.add_clause(&[ns, !la, lb]);
+                    encoder.add_clause(&[ns, la, !lb]);
+                }
+                product.selectors[i] = Some(sel);
+                new_predicates += 1;
+            }
+            if product.next_cone[i].is_none() {
+                product.next_cone[i] = Some(ConeBoundary::of_next(module, reg));
+            }
+            dirty_state[i] = product.next_cone[i]
+                .as_ref()
+                .expect("just built")
+                .dirty(&in_z);
+            if dirty_state[i] && product.diff_next[i].is_none() {
+                let n1 = ensure_next1(aig, module, product, &state_ids, i);
+                let eq = eq_word(aig, &tmpl.next0[i], &n1);
+                product.diff_next[i] = Some(!eq);
+            }
+        }
+        // Output monitors, cone-pruned the same way. At `t+1` an output
+        // reads next-state words, so the divergence sources are the data
+        // inputs of its own cone plus any edge register whose *next-state*
+        // boundary is dirty (whether or not that register is in Z': its
+        // `t+1` value is a function of the `t` leaves alone).
+        let mut dirty_outs: Vec<(SignalId, AigLit)> = Vec::new();
+        if include_outputs {
+            for j in 0..product.outs.len() {
+                let y = product.outs[j];
+                if product.out_cone[j].is_none() {
+                    product.out_cone[j] = Some(ConeBoundary::of(module, &[y]));
+                }
+                let boundary = product.out_cone[j].clone().expect("just built");
+                let dirty_t = boundary.dirty(&in_z);
+                let dirty_t1 = boundary.reads_data
+                    || boundary.regs.iter().any(|&r| {
+                        let i = state_ids
+                            .iter()
+                            .position(|&s| s == r)
+                            .expect("boundary registers are state signals");
+                        if product.next_cone[i].is_none() {
+                            product.next_cone[i] = Some(ConeBoundary::of_next(module, r));
+                        }
+                        product.next_cone[i]
+                            .as_ref()
+                            .expect("just built")
+                            .dirty(&in_z)
+                    });
+                if !dirty_t && !dirty_t1 {
+                    continue;
+                }
+                if product.diff_out[j].is_none() {
+                    let mask_t = comb_cone_mask(module, &[y]);
+                    product.frame1_t.ensure(aig, module, &mask_t);
+                    ensure_frame1_t1(aig, module, product, &state_ids, &[y]);
+                    let eq_a = eq_word(aig, tmpl.frame0_t.signal(y), product.frame1_t.signal(y));
+                    let eq_b = eq_word(aig, tmpl.frame0_t1.signal(y), product.frame1_t1.signal(y));
+                    let both = aig.and(eq_a, eq_b);
+                    product.diff_out[j] = Some(!both);
+                }
+                dirty_outs.push((y, product.diff_out[j].expect("just built")));
+            }
+        }
+
+        // The current Z' as assumptions: the activation guard for this
+        // check's monitor clause, the selector of every Z' register
+        // (strengthening its predicate to "words equal by propagation"),
+        // and the *negated* selector of every instantiated predicate not
+        // currently selected — the weakened guard, restoring the free
+        // split exactly as bit mode's private leaves do.
+        let guard = encoder.fresh_var();
+        let g = guard.positive();
+        let ng = guard.negative();
+        let mut assumptions = vec![g];
+        for (i, &reg) in state_ids.iter().enumerate() {
+            if in_z[reg.index()] {
+                let sel = product.selectors[i].expect("predicate created above");
+                assumptions.push(sel.positive());
+            } else if let Some(sel) = product.selectors[i] {
+                assumptions.push(sel.negative());
+            }
+        }
+
+        // --- monitors + solve -------------------------------------------
+        // Only dirty monitors reach the clause; a pruned predicate is
+        // exactly one whose bit-mode counterpart would have folded to
+        // constant false under shared leaves.
+        let mut diff_state: Vec<(SignalId, AigLit)> = Vec::new();
+        for (i, &reg) in state_ids.iter().enumerate() {
+            if in_z[reg.index()] && dirty_state[i] {
+                let d = product.diff_next[i].expect("monitor created above");
+                if d != AigLit::FALSE {
+                    diff_state.push((reg, d));
+                }
+            }
+        }
+        let diff_out = dirty_outs;
+        let cond_eq_violation = product.cond_eq_violation.clone();
+        let mut monitored: Vec<Lit> = vec![ng];
+        for &(_, d) in &diff_state {
+            monitored.push(encoder.lit(aig, d));
+        }
+        for &(_, d) in &diff_out {
+            if d != AigLit::FALSE {
+                monitored.push(encoder.lit(aig, d));
+            }
+        }
+        for &d in &cond_eq_violation {
+            if d != AigLit::FALSE {
+                monitored.push(encoder.lit(aig, d));
+            }
+        }
+        self.last_aig_nodes = aig.node_count();
+        let created = aig.node_count() - nodes_before;
+        self.elab.check_nodes += created;
+        self.elab.last_check_nodes = created;
+        self.product_stats.predicates += new_predicates;
+        self.product_stats.guard_assumptions += assumptions.len() as u64;
+
+        let outcome = if monitored.len() == 1 {
+            Some(SolveResult::Unsat)
+        } else {
+            encoder.add_clause(&monitored);
+            encoder.solve_with_budget(&assumptions, WORD_CONFLICT_BUDGET)
+        };
+        let Some(outcome) = outcome else {
+            // Budget exhausted: this check's dirty cones sit where bit
+            // mode's shared leaves would have folded the two instances
+            // structurally, and the solver is re-deriving those internal
+            // equivalences one conflict at a time. Retire the word
+            // attempt's guard (its learnt clauses are implied and stay
+            // useful) and re-run the check through the bit-level path on
+            // the same solver — verdict, model shape, and certification
+            // all follow the bit path from here.
+            self.product_stats.word_fallbacks += 1;
+            self.encoder.add_clause(&[ng]);
+            return self.check_bits(z_prime, include_outputs);
+        };
+        let result = match outcome {
+            SolveResult::Unsat => UpecOutcome::Holds,
+            SolveResult::Sat => {
+                let divergent_state = diff_state
+                    .iter()
+                    .filter(|&&(_, l)| encoder.model_value(l).unwrap_or(false))
+                    .map(|&(s, _)| s)
+                    .collect();
+                let divergent_outputs = if include_outputs {
+                    diff_out
+                        .iter()
+                        .filter(|&&(_, l)| encoder.model_value(l).unwrap_or(false))
+                        .map(|&(s, _)| s)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let violated_cond_eqs = cond_eq_violation
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| encoder.model_value(l).unwrap_or(false))
+                    .map(|(i, _)| i)
+                    .collect();
+                // Witnesses read the split leaves directly: under an
+                // assumed selector the model is forced to inst1 == inst0,
+                // so the witness is consistent with this check's sharing.
+                let witness = |bits: &[(SignalId, Vec<AigLit>, Vec<AigLit>)]| {
+                    bits.iter()
+                        .map(|(s, b0, b1)| StateWitness {
+                            signal: *s,
+                            inst0: word_value(encoder, b0),
+                            inst1: word_value(encoder, b1),
+                        })
+                        .collect::<Vec<_>>()
+                };
+                UpecOutcome::Counterexample(UpecCounterexample {
+                    divergent_state,
+                    divergent_outputs,
+                    state_values: witness(&tmpl.state_leaves),
+                    input_values_t: witness(&tmpl.input_bits_t),
+                    input_values_t1: witness(&tmpl.input_bits_t1),
+                    violated_cond_eqs,
+                })
+            }
+        };
+        // Certify BEFORE retiring, exactly as in bit mode; the refutation
+        // is of the full assumption set (guard plus selector phases).
+        let certificate = if self.cert.is_some() {
+            let trivial = monitored.len() == 1;
+            let sat = matches!(result, UpecOutcome::Counterexample(_));
+            Some(self.certify_check(trivial, sat, &assumptions))
+        } else {
+            None
+        };
+        // Retire only the activation guard; predicates and their monitors
+        // are permanent and reused by later checks.
         self.encoder.add_clause(&[ng]);
         (result, certificate)
     }
@@ -859,7 +1500,7 @@ impl<'m> Upec2Safety<'m> {
         &mut self,
         trivial: bool,
         sat: bool,
-        g: Lit,
+        assumptions: &[Lit],
     ) -> Result<CheckCertificate, CertError> {
         let cert = self.cert.as_mut().expect("certification enabled");
         let proof = self.encoder.proof().expect("proof logging on");
@@ -874,12 +1515,15 @@ impl<'m> Upec2Safety<'m> {
                     cert.stats.trivial_unsat += 1;
                     Ok(CheckCertificate::TrivialUnsat)
                 } else if sat {
-                    let clauses =
-                        fastpath_cert::check_model(&steps[..snapshot], &[g], self.encoder.model())?;
+                    let clauses = fastpath_cert::check_model(
+                        &steps[..snapshot],
+                        assumptions,
+                        self.encoder.model(),
+                    )?;
                     cert.stats.sat_models += 1;
                     Ok(CheckCertificate::SatModel { clauses })
                 } else {
-                    cert.checker.verify_unsat(&[g])?;
+                    cert.checker.verify_unsat(assumptions)?;
                     cert.stats.unsat_proofs += 1;
                     Ok(CheckCertificate::UnsatProof { steps: snapshot })
                 }
@@ -891,8 +1535,8 @@ impl<'m> Upec2Safety<'m> {
         cert.last_artifact = None;
         let render = !trivial && (cert.artifact_dir.is_some() || cert.capture);
         if render {
-            let cnf = Cnf::from_steps(&steps[..snapshot], &[g]).to_dimacs();
-            let drup = (!sat).then(|| artifacts::proof_to_drup(&steps[..snapshot], &[g]));
+            let cnf = Cnf::from_steps(&steps[..snapshot], assumptions).to_dimacs();
+            let drup = (!sat).then(|| artifacts::proof_to_drup(&steps[..snapshot], assumptions));
             if cert.capture && verdict.is_ok() {
                 if let Some(drup) = &drup {
                     cert.last_artifact = Some(ProofArtifact {
@@ -957,6 +1601,79 @@ fn blast_predicate(aig: &mut Aig, module: &Module, frame: &Frame, expr: ExprId) 
     let word = crate::blast::blast_expr_in_frame(aig, module, frame, expr);
     assert_eq!(word.len(), 1, "constraints and invariants must be 1 bit");
     word[0]
+}
+
+/// Blasts a 1-bit predicate over instance 1's `t` frame, materializing
+/// exactly the combinational cone it reads.
+fn word_predicate_t(
+    aig: &mut Aig,
+    module: &Module,
+    product: &mut WordProduct,
+    expr: ExprId,
+) -> AigLit {
+    let supports = module.expr_supports(expr);
+    let mask = comb_cone_mask(module, &supports);
+    product.frame1_t.ensure(aig, module, &mask);
+    let word = product.frame1_t.expr(aig, module, expr);
+    assert_eq!(word.len(), 1, "constraints and invariants must be 1 bit");
+    word[0]
+}
+
+/// Blasts a 1-bit predicate over instance 1's `t+1` frame.
+fn word_predicate_t1(
+    aig: &mut Aig,
+    module: &Module,
+    product: &mut WordProduct,
+    state_ids: &[SignalId],
+    expr: ExprId,
+) -> AigLit {
+    let supports = module.expr_supports(expr);
+    ensure_frame1_t1(aig, module, product, state_ids, &supports);
+    let word = product.frame1_t1.expr(aig, module, expr);
+    assert_eq!(word.len(), 1, "constraints and invariants must be 1 bit");
+    word[0]
+}
+
+/// Materializes instance 1's `t+1` cones of `targets`: next-state words
+/// for the boundary registers first (themselves demand-driven over the
+/// `t` frame), then the combinational interior.
+fn ensure_frame1_t1(
+    aig: &mut Aig,
+    module: &Module,
+    product: &mut WordProduct,
+    state_ids: &[SignalId],
+    targets: &[SignalId],
+) {
+    let mask = comb_cone_mask(module, targets);
+    for (i, &reg) in state_ids.iter().enumerate() {
+        if mask[reg.index()] && !product.frame1_t1.has(reg) {
+            let w = ensure_next1(aig, module, product, state_ids, i);
+            product.frame1_t1.set_leaf(reg, w);
+        }
+    }
+    product.frame1_t1.ensure(aig, module, &mask);
+}
+
+/// Instance 1's next-state word for register `i` (in `state_signals()`
+/// order), elaborating exactly its fan-in cone over the `t` frame on
+/// first use.
+fn ensure_next1(
+    aig: &mut Aig,
+    module: &Module,
+    product: &mut WordProduct,
+    state_ids: &[SignalId],
+    i: usize,
+) -> Vec<AigLit> {
+    if let Some(w) = &product.next1[i] {
+        return w.clone();
+    }
+    let driver = module.driver(state_ids[i]).expect("register driven");
+    let supports = module.expr_supports(driver);
+    let mask = comb_cone_mask(module, &supports);
+    product.frame1_t.ensure(aig, module, &mask);
+    let w = product.frame1_t.expr(aig, module, driver);
+    product.next1[i] = Some(w.clone());
+    w
 }
 
 #[cfg(test)]
@@ -1284,6 +2001,185 @@ mod tests {
         );
         assert!(dir.join("modal_check0002.drup").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A bits-engine and a words-engine over the same module, for
+    /// agreement tests.
+    fn bits_and_words<'a>(
+        module: &'a Module,
+        spec: &UpecSpec,
+    ) -> (Upec2Safety<'a>, Upec2Safety<'a>) {
+        let bits = Upec2Safety::new(module, spec);
+        let mut words = Upec2Safety::new(module, spec);
+        words.set_encoding(UpecEncoding::Words);
+        (bits, words)
+    }
+
+    #[test]
+    fn words_and_bits_agree_on_verdicts_and_divergence() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let (mut bits, mut words) = bits_and_words(&m, &UpecSpec::default());
+        for z in [vec![acc, cnt], vec![cnt], vec![acc], vec![], vec![cnt]] {
+            let a = bits.check(&z);
+            let b = words.check(&z);
+            assert_eq!(a.holds(), b.holds(), "disagree on Z'={z:?}");
+            if let (UpecOutcome::Counterexample(ca), UpecOutcome::Counterexample(cb)) = (&a, &b) {
+                assert_eq!(ca.divergent_state, cb.divergent_state, "Z'={z:?}");
+                assert_eq!(ca.divergent_outputs, cb.divergent_outputs, "Z'={z:?}");
+            }
+        }
+        // Output divergence agrees on the leaky design too.
+        let m = leaky();
+        let (mut bits, mut words) = bits_and_words(&m, &UpecSpec::default());
+        let (a, b) = (bits.check(&[]), words.check(&[]));
+        assert!(!a.holds() && !b.holds());
+        let (UpecOutcome::Counterexample(ca), UpecOutcome::Counterexample(cb)) = (&a, &b) else {
+            unreachable!()
+        };
+        assert_eq!(ca.divergent_outputs, cb.divergent_outputs);
+        // And the words-mode witness genuinely diverges where expected.
+        let acc = m.signal_by_name("acc").expect("acc");
+        let w = cb
+            .state_values
+            .iter()
+            .find(|w| w.signal == acc)
+            .expect("acc witness");
+        assert_ne!(w.inst0, w.inst1, "acc must differ to flip parity");
+    }
+
+    #[test]
+    fn words_spec_growth_agrees_with_bits() {
+        // Constraints added mid-engine.
+        let (module, mode_off) = modal();
+        let (mut bits, mut words) = bits_and_words(&module, &UpecSpec::default());
+        assert!(!bits.check(&[]).holds());
+        assert!(!words.check(&[]).holds());
+        bits.add_software_constraint(mode_off);
+        words.add_software_constraint(mode_off);
+        assert!(bits.check(&[]).holds());
+        assert!(words.check(&[]).holds());
+    }
+
+    #[test]
+    fn words_invariant_excludes_spurious_counterexample() {
+        // The one-hot FSM from the bits-mode invariant test.
+        let mut b = ModuleBuilder::new("onehot");
+        let data = b.data_input("data", 1);
+        let d = b.sig(data);
+        let state = b.reg("state", 2, 0b01);
+        let s = b.sig(state);
+        let s0 = b.bit(s, 0);
+        let s1 = b.bit(s, 1);
+        let swapped = b.concat(s0, s1);
+        b.set_next(state, swapped).expect("drive");
+        let data_reg = b.reg("data_reg", 1, 0);
+        b.set_next(data_reg, d).expect("drive");
+        let dr = b.sig(data_reg);
+        let both = b.and(s0, s1);
+        let leak = b.and(both, dr);
+        b.control_output("leak", leak);
+        let onehot = b.xor(s0, s1);
+        let module = b.build().expect("valid");
+        let state_id = module.signal_by_name("state").expect("state");
+        let mut words = Upec2Safety::new(&module, &UpecSpec::default());
+        words.set_encoding(UpecEncoding::Words);
+        assert!(!words.check(&[state_id]).holds());
+        words.add_invariant(onehot);
+        assert!(words.check(&[state_id]).holds());
+    }
+
+    #[test]
+    fn words_checks_certify_with_selector_assumptions() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.set_encoding(UpecEncoding::Words);
+        upec.enable_certification();
+        let holds = upec.check_certified(&[cnt]);
+        assert!(holds.outcome.holds());
+        assert!(holds.is_certified(), "{:?}", holds.certificate);
+        let cex = upec.check_certified(&[acc, cnt]);
+        assert!(!cex.outcome.holds());
+        assert!(
+            matches!(cex.certificate, Ok(CheckCertificate::SatModel { .. })),
+            "{:?}",
+            cex.certificate
+        );
+        let again = upec.check_certified(&[cnt]);
+        assert!(again.outcome.holds());
+        assert!(again.is_certified(), "{:?}", again.certificate);
+        let stats = upec.cert_stats().expect("enabled");
+        assert_eq!(stats.certified_checks, 3);
+        assert_eq!(stats.cert_failures, 0);
+    }
+
+    #[test]
+    fn words_artifacts_revalidate_in_memory() {
+        let (module, mode_off) = modal();
+        let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
+        upec.set_encoding(UpecEncoding::Words);
+        upec.enable_certification();
+        upec.enable_artifact_capture();
+        assert!(!upec.check_certified(&[]).outcome.holds());
+        assert!(upec.take_last_artifact().is_none());
+        upec.add_software_constraint(mode_off);
+        assert!(upec.check_certified(&[]).outcome.holds());
+        let artifact = upec.take_last_artifact().expect("captured");
+        // The CNF bakes in the full assumption set (guard + selector
+        // phases), so it must re-certify from text alone.
+        fastpath_cert::artifacts::revalidate_unsat_artifact(&artifact.cnf, &artifact.drup)
+            .expect("captured artifact certifies");
+    }
+
+    #[test]
+    fn words_refinement_reuses_the_static_product() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.set_encoding(UpecEncoding::Words);
+        let _ = upec.check(&[acc, cnt]);
+        let _ = upec.check(&[cnt]);
+        let after_two = upec.product_stats();
+        // Both registers got predicates on the first check; the second
+        // created none.
+        assert_eq!(after_two.predicates, 2);
+        // Re-checking a seen Z' adds no AIG nodes and only the activation
+        // guard on the SAT side: the product is static.
+        let _ = upec.check(&[cnt]);
+        let s = upec.product_stats();
+        assert_eq!(upec.elaboration_stats().last_check_nodes, 0);
+        assert_eq!(s.predicates, 2);
+        assert!(
+            s.check_sat_vars - after_two.check_sat_vars <= 1,
+            "repeat check allocated {} vars",
+            s.check_sat_vars - after_two.check_sat_vars
+        );
+        assert!(
+            s.check_sat_clauses - after_two.check_sat_clauses <= 2,
+            "repeat check added {} clauses",
+            s.check_sat_clauses - after_two.check_sat_clauses
+        );
+        // Guard assumptions: one activation per check plus the selector
+        // phases of both instantiated predicates from check 2 onward.
+        assert_eq!(s.guard_assumptions, 3 + 3 + 3);
+    }
+
+    #[test]
+    fn words_fresh_mode_agrees() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let mut cached = Upec2Safety::new(&m, &UpecSpec::default());
+        cached.set_encoding(UpecEncoding::Words);
+        let mut fresh = Upec2Safety::with_mode(&m, &UpecSpec::default(), ElaborationMode::Fresh);
+        fresh.set_encoding(UpecEncoding::Words);
+        for z in [vec![acc, cnt], vec![cnt], vec![]] {
+            assert_eq!(cached.check(&z).holds(), fresh.check(&z).holds(), "{z:?}");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!                    the sequential run (default 0 = off)
 //!   --no-shrink      keep violating cases unminimized
 //!   --no-engine-diff skip the compiled-vs-interpretive sim battery
+//!   --no-encoding-diff
+//!                    skip the words-vs-bits UPEC encoding agreement
+//!                    re-runs
 //!   --inject-hfg-underapprox
 //!                    plant a fake "no paths" HFG verdict (oracle
 //!                    self-test: the run MUST report violations)
@@ -79,6 +82,7 @@ fn run(args: &[String]) {
             FaultInjection::None
         },
         portfolio: parsed_flag(args, "--sat-portfolio").unwrap_or(0),
+        check_encodings: !args.iter().any(|a| a == "--no-encoding-diff"),
         shrink: !args.iter().any(|a| a == "--no-shrink"),
         max_shrink_evals: 250,
     };

@@ -36,6 +36,9 @@ pub struct RunOptions {
     /// Re-run both flows under an N-way SAT portfolio and require
     /// agreement with the sequential verdicts (0 = skip).
     pub portfolio: usize,
+    /// Re-run both flows with the bit-level UPEC encoding and require
+    /// agreement with the word-level verdicts.
+    pub check_encodings: bool,
     /// Shrink violating cases.
     pub shrink: bool,
     /// Oracle-evaluation budget per shrink.
@@ -53,6 +56,7 @@ impl Default for RunOptions {
             check_engines: true,
             fault: FaultInjection::None,
             portfolio: 0,
+            check_encodings: true,
             shrink: true,
             max_shrink_evals: 250,
         }
@@ -116,6 +120,7 @@ pub fn fuzz_run(opts: &RunOptions) -> RunSummary {
         check_engines: opts.check_engines,
         fault: opts.fault,
         portfolio: opts.portfolio,
+        check_encodings: opts.check_encodings,
     };
     let started = Instant::now();
     let mut summary = RunSummary::default();

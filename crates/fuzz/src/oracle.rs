@@ -33,6 +33,11 @@
 //!    portfolio racing every check must reproduce the sequential
 //!    verdict, completing stage, and inspection count exactly (the
 //!    portfolio's determinism contract).
+//! 8. **EncodingAgreement** — the word-level guarded-predicate UPEC
+//!    encoding (the flow default) and the flat bit-equality reference
+//!    oracle must reproduce each other's verdict, completing stage, and
+//!    inspection count exactly; with certification on, the bits re-run
+//!    must also be fully certified.
 //!
 //! An extra, zero-trust cross-check — **EngineEquivalence** — runs the
 //! compiled and interpretive simulators side by side on the same case
@@ -41,7 +46,7 @@
 use crate::gen::FuzzCase;
 use fastpath::{
     confirm_counterexample, run_baseline_with, run_fastpath_with, CaseStudy, CompletionMethod,
-    DesignInstance, FlowOptions, Verdict,
+    DesignInstance, FlowOptions, UpecEncoding, Verdict,
 };
 use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
@@ -71,6 +76,9 @@ pub enum InvariantKind {
     CertificateValid,
     /// The portfolio-mode flow diverged from the sequential flow.
     PortfolioAgreement,
+    /// The word-level UPEC encoding diverged from the bit-level
+    /// reference encoding.
+    EncodingAgreement,
     /// Compiled and interpretive simulators disagreed.
     EngineEquivalence,
 }
@@ -86,6 +94,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::VerdictAgreement => "verdict-agreement",
             InvariantKind::CertificateValid => "certificate-valid",
             InvariantKind::PortfolioAgreement => "portfolio-agreement",
+            InvariantKind::EncodingAgreement => "encoding-agreement",
             InvariantKind::EngineEquivalence => "engine-equivalence",
         };
         f.write_str(s)
@@ -126,6 +135,9 @@ pub struct OracleOptions {
     /// verdict/method/inspection agreement with the sequential runs
     /// (`0` or `1` = skip the check).
     pub portfolio: usize,
+    /// Re-run both flows with the bit-level UPEC encoding and demand
+    /// verdict/method/inspection agreement with the word-level runs.
+    pub check_encodings: bool,
     /// Fault injection (tests only).
     pub fault: FaultInjection,
 }
@@ -136,6 +148,7 @@ impl Default for OracleOptions {
             certify: false,
             check_engines: true,
             portfolio: 0,
+            check_encodings: true,
             fault: FaultInjection::None,
         }
     }
@@ -521,6 +534,53 @@ pub fn check_case(case: &FuzzCase, opts: &OracleOptions) -> OracleOutcome {
         }
     }
 
+    // Encoding equivalence: the word-level guarded-predicate encoding
+    // (the flow default) and the flat bit-equality reference oracle
+    // solve different CNFs over the same property, so the whole hybrid
+    // flow and the exhaustive baseline re-run under `bits` must
+    // reproduce the word-level verdict, completing stage, and
+    // inspection count exactly.
+    if opts.check_encodings {
+        let bits_opts = FlowOptions {
+            certify: opts.certify,
+            upec_encoding: UpecEncoding::Bits,
+            ..FlowOptions::default()
+        };
+        let fast_b = run_fastpath_with(&study, bits_opts.clone());
+        let base_b = run_baseline_with(&study, bits_opts);
+        for (label, words, bits) in [("fastpath", &fast, &fast_b), ("baseline", &base, &base_b)] {
+            if words.verdict != bits.verdict
+                || words.method != bits.method
+                || words.manual_inspections != bits.manual_inspections
+            {
+                violations.push(Violation {
+                    kind: InvariantKind::EncodingAgreement,
+                    detail: format!(
+                        "{label} diverged between UPEC encodings: words \
+                         ({}, {}, {} inspections) vs bits ({}, {}, {} \
+                         inspections)",
+                        words.verdict,
+                        words.method,
+                        words.manual_inspections,
+                        bits.verdict,
+                        bits.method,
+                        bits.manual_inspections,
+                    ),
+                });
+            }
+            if opts.certify && bits.fully_certified() != Some(true) {
+                violations.push(Violation {
+                    kind: InvariantKind::CertificateValid,
+                    detail: format!(
+                        "{label} bits-encoding re-run is not fully \
+                         certified: {:?}",
+                        bits.certification.as_ref().map(|c| &c.failures),
+                    ),
+                });
+            }
+        }
+    }
+
     // Cross-engine battery (compiled vs interpretive simulators).
     if opts.check_engines {
         if let Err(err) = diff::check_engine_equivalence(
@@ -558,6 +618,26 @@ mod tests {
         for seed in 0..6 {
             let case = generate_case(seed);
             let outcome = check_case(&case, &OracleOptions::default());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_agreement_holds_certified() {
+        // Words vs bits with full certification on both re-runs: the
+        // EncodingAgreement and CertificateValid invariants together.
+        let opts = OracleOptions {
+            certify: true,
+            check_engines: false,
+            ..OracleOptions::default()
+        };
+        for seed in 0..3 {
+            let case = generate_case(seed);
+            let outcome = check_case(&case, &opts);
             assert!(
                 outcome.violations.is_empty(),
                 "seed {seed}: {:?}",

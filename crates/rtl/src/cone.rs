@@ -56,6 +56,44 @@ pub fn cone_of_influence(module: &Module, targets: &[SignalId]) -> Vec<SignalId>
         .collect()
 }
 
+/// Computes the *combinational* cone of `targets` as a per-signal
+/// membership mask: the targets plus every signal reachable from them
+/// through combinational drivers, stopping at registers and inputs.
+///
+/// Unlike [`cone_of_influence`], register next-state functions are *not*
+/// expanded — registers and inputs form the boundary of one time-frame, so
+/// the mask describes exactly the signals a frame elaboration must touch
+/// to define the targets. Boundary leaves that the cone reads are included
+/// in the mask (callers use them to discover which frame leaves to
+/// materialize); their drivers are not followed.
+pub fn comb_cone_mask(module: &Module, targets: &[SignalId]) -> Vec<bool> {
+    let mut mask = vec![false; module.signal_count()];
+    let mut queue: VecDeque<SignalId> = VecDeque::new();
+    for &t in targets {
+        if !mask[t.index()] {
+            mask[t.index()] = true;
+            queue.push_back(t);
+        }
+    }
+    while let Some(sig) = queue.pop_front() {
+        if matches!(
+            module.signal(sig).kind,
+            SignalKind::Input | SignalKind::Register
+        ) {
+            continue;
+        }
+        if let Some(driver) = module.driver(sig) {
+            for dep in module.expr_supports(driver) {
+                if !mask[dep.index()] {
+                    mask[dep.index()] = true;
+                    queue.push_back(dep);
+                }
+            }
+        }
+    }
+    mask
+}
+
 /// Computes the forward fan-out cone: all signals that `sources` can
 /// structurally affect (including the sources themselves).
 pub fn fanout_cone(module: &Module, sources: &[SignalId]) -> Vec<SignalId> {
@@ -234,6 +272,31 @@ mod tests {
         assert!(cone.contains(&a));
         assert!(cone.contains(&r));
         assert!(cone.contains(&out));
+    }
+
+    #[test]
+    fn comb_cone_stops_at_registers() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let far = b.input("far", 4);
+        let a_sig = b.sig(a);
+        let far_sig = b.sig(far);
+        let r = b.reg("r", 4, 0);
+        b.set_next(r, far_sig).expect("drive r");
+        let r_sig = b.sig(r);
+        let sum = b.add(r_sig, a_sig);
+        let out = b.output("out", sum);
+        let m = b.build().expect("valid");
+        let mask = comb_cone_mask(&m, &[out]);
+        // The register is a boundary leaf: included, but its driver (`far`)
+        // is not followed.
+        assert!(mask[out.index()]);
+        assert!(mask[r.index()]);
+        assert!(mask[a.index()]);
+        assert!(!mask[far.index()]);
+        // The sequential cone, by contrast, reaches through the register.
+        let seq = cone_of_influence(&m, &[out]);
+        assert!(seq.contains(&far));
     }
 
     #[test]

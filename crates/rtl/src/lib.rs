@@ -51,7 +51,7 @@ mod value;
 mod verilog;
 
 pub use builder::ModuleBuilder;
-pub use cone::{cone_of_influence, extract_cone, fanout_cone, ConeExtraction};
+pub use cone::{comb_cone_mask, cone_of_influence, extract_cone, fanout_cone, ConeExtraction};
 pub use error::RtlError;
 pub use expr::{BinaryOp, Expr, ExprId, SignalId, UnaryOp};
 pub use hash::{canonical_form, module_hash, CanonicalForm, Digest, StableHasher};

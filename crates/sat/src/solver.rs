@@ -175,6 +175,10 @@ pub struct Solver {
     pub(crate) vivify_head: usize,
     pub(crate) next_rephase: u64,
     pub(crate) rephase_kind: u8,
+    /// Conflict ceiling for the current `solve_with_budget` call:
+    /// `stats.conflicts` crossing it aborts the search. `u64::MAX`
+    /// (the resting value) disables the check.
+    pub(crate) conflict_limit: u64,
     /// Portfolio width on the owning solver (0 = plain sequential).
     pub(crate) portfolio_workers: usize,
     /// Race stop flag, set only on portfolio worker clones.
@@ -232,6 +236,7 @@ impl Solver {
             vivify_head: 0,
             next_rephase: REPHASE_INTERVAL,
             rephase_kind: 0,
+            conflict_limit: u64::MAX,
             portfolio_workers: 0,
             stop: None,
             share_out: None,
@@ -589,8 +594,27 @@ impl Solver {
             .expect("sequential search cannot be interrupted")
     }
 
+    /// Solves under the given assumptions with a per-call conflict
+    /// budget, always on the plain sequential search — racing portfolio
+    /// workers have no deterministic budget semantics. Returns `None`
+    /// when the budget is exhausted before an answer; learnt clauses
+    /// from the aborted attempt are implied by the formula and stay in
+    /// the database (and in the proof trace), so the caller may simply
+    /// re-solve or fall back to a different query.
+    pub fn solve_with_budget(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_budget: u64,
+    ) -> Option<SolveResult> {
+        self.conflict_limit = self.stats.conflicts.saturating_add(conflict_budget);
+        let result = self.solve_with_core(assumptions);
+        self.conflict_limit = u64::MAX;
+        result
+    }
+
     /// The sequential solve path. Returns `None` only when a portfolio
-    /// stop flag interrupted the search (worker clones only).
+    /// stop flag interrupted the search (worker clones only) or when a
+    /// `solve_with_budget` conflict budget ran out.
     pub(crate) fn solve_with_core(&mut self, assumptions: &[Lit]) -> Option<SolveResult> {
         if !self.ok {
             return Some(SolveResult::Unsat);
@@ -697,7 +721,7 @@ impl Solver {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                 }
-                if self.should_stop() {
+                if self.should_stop() || self.stats.conflicts >= self.conflict_limit {
                     return None;
                 }
             } else {
@@ -959,6 +983,43 @@ mod tests {
         );
         // The solver is still usable and SAT without those assumptions.
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_zero_still_solves_conflict_free_formulas() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a.positive()]);
+        // No conflicts needed, so a zero budget never trips.
+        assert_eq!(s.solve_with_budget(&[], 0), Some(SolveResult::Sat));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none_and_solver_stays_usable() {
+        // 5 pigeons, 4 holes: small enough to stay fast, hard enough
+        // that one conflict cannot refute it.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 4]; 5];
+        for row in &mut p {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for (i, row_i) in p.iter().enumerate() {
+            for row_j in &p[i + 1..] {
+                for (a, b) in row_i.iter().zip(row_j) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_with_budget(&[], 1), None);
+        // The limit is per-call: a follow-up unbudgeted solve finishes,
+        // and the aborted attempt's learnt clauses were implied.
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

@@ -238,6 +238,12 @@ pub struct SideRecord {
     /// Proof-cache counters (report-only; `None` for cache-less runs and
     /// records predating the cache).
     pub cache: Option<CacheCounters>,
+    /// SecIC3 engine counters (report-only; `None` for `--upec-engine
+    /// induction` runs, runs that never escalated, and records predating
+    /// the engine). Like the cache counters they legitimately differ
+    /// between cold and warm (invariant-cache-served) runs, so they
+    /// never gate.
+    pub ic3: Option<Ic3Counters>,
     /// Product-construction size counters (`None` for records predating
     /// them). **Gated** when both sides carry them: the counts are
     /// deterministic and machine-independent, so any drift is a real
@@ -255,6 +261,19 @@ pub struct CacheCounters {
     pub misses: u64,
     pub bytes: u64,
     pub evictions: u64,
+}
+
+/// Report-only SecIC3 counters from the `ic3` object of a bench record
+/// (present only when at least one cold IC3 discharge attempt ran).
+/// Absent fields parse as zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct Ic3Counters {
+    pub frames: u64,
+    pub ctis: u64,
+    pub lemmas: u64,
+    pub generalization_drops: u64,
+    pub pushes: u64,
 }
 
 /// Product-construction size counters from the `product` object of a
@@ -361,6 +380,16 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                             evictions: n("evictions"),
                         }
                     }),
+                    ic3: s.get("ic3").map(|iv| {
+                        let n = |k: &str| iv.num(k).unwrap_or(0.0) as u64;
+                        Ic3Counters {
+                            frames: n("frames"),
+                            ctis: n("ctis"),
+                            lemmas: n("lemmas"),
+                            generalization_drops: n("generalization_drops"),
+                            pushes: n("pushes"),
+                        }
+                    }),
                     product: s.get("product").map(|pv| {
                         let n = |k: &str| pv.num(k).unwrap_or(0.0) as u64;
                         ProductCounters {
@@ -425,6 +454,7 @@ fn diff_side(design: &str, side: &str, old: &SideRecord, new: &SideRecord, out: 
     // or a record predating a counter group): call it out, never gate.
     for (section, old_has, new_has) in [
         ("cache", old.cache.is_some(), new.cache.is_some()),
+        ("ic3", old.ic3.is_some(), new.ic3.is_some()),
         ("product", old.product.is_some(), new.product.is_some()),
     ] {
         if old_has != new_has {
@@ -614,6 +644,32 @@ pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, S
             );
         }
     }
+    // Report-only: SecIC3 engine counters (fastpath side), for
+    // `--upec-engine ic3` runs that escalated cold. Never gates —
+    // warm invariant-cache runs legitimately drop the whole section
+    // while every semantic field stays fixed.
+    let escalated: Vec<_> = new
+        .iter()
+        .filter_map(|n| n.fastpath.ic3.map(|i| (n, i)))
+        .collect();
+    if !escalated.is_empty() {
+        let _ = writeln!(
+            out.markdown,
+            "\nSecIC3 counters (fastpath side, report-only):\n"
+        );
+        let _ = writeln!(
+            out.markdown,
+            "| Design | Frames | CTIs | Lemmas | Gen. drops | Pushes |"
+        );
+        let _ = writeln!(out.markdown, "|---|---|---|---|---|---|");
+        for (n, i) in escalated {
+            let _ = writeln!(
+                out.markdown,
+                "| {} | {} | {} | {} | {} | {} |",
+                n.design, i.frames, i.ctis, i.lemmas, i.generalization_drops, i.pushes
+            );
+        }
+    }
     // Report-only: proof-cache effectiveness (fastpath side), for
     // `--proof-cache` runs. Never gates — warm/cold runs legitimately
     // differ in hit/miss counts while every semantic field stays fixed.
@@ -752,6 +808,42 @@ mod tests {
             diff.warnings
                 .iter()
                 .any(|w| w.contains("`cache` counters") && w.contains("absent")),
+            "{:?}",
+            diff.warnings
+        );
+    }
+
+    #[test]
+    fn ic3_counters_are_optional_and_report_only() {
+        // Pre-SecIC3 records (MINI) parse with `ic3: None`.
+        let rows = parse_bench_record(MINI).expect("parses");
+        assert!(rows[0].fastpath.ic3.is_none());
+        // An escalated `--upec-engine ic3` record gains a report-only
+        // section; counter drift between runs never gates.
+        let cold = MINI.replace(
+            r#""method": "HFG", "inspections": 0}"#,
+            r#""method": "HFG", "inspections": 0,
+               "ic3": {"frames": 5, "ctis": 9, "lemmas": 14,
+                 "generalization_drops": 21, "pushes": 6}}"#,
+        );
+        let rows = parse_bench_record(&cold).expect("parses");
+        let i = rows[0].fastpath.ic3.expect("present");
+        assert_eq!(i.frames, 5);
+        assert_eq!(i.lemmas, 14);
+        let diff = diff_bench_records(&cold, &cold).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.markdown.contains("SecIC3 counters"));
+        let drifted = cold.replace(r#""lemmas": 14"#, r#""lemmas": 20"#);
+        let diff = diff_bench_records(&cold, &drifted).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        // A warm (invariant-cache-served) run drops the whole section:
+        // the asymmetry warns, never gates.
+        let diff = diff_bench_records(&cold, MINI).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(
+            diff.warnings
+                .iter()
+                .any(|w| w.contains("`ic3` counters") && w.contains("absent")),
             "{:?}",
             diff.warnings
         );

@@ -44,6 +44,12 @@
 //!                flat bit-equality reference oracle). The rendered table
 //!                is byte-identical between the two — only the product
 //!                size counters in --bench-json and wall-clock differ
+//!   --upec-engine induction|ic3
+//!                formal engine policy (default: ic3). ic3 escalates
+//!                inspection-costing counterexamples to the SecIC3
+//!                engine, whose certified relational-invariant discharges
+//!                can convert constrained verdicts into proved ones;
+//!                induction is the escalation-free reference oracle
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -127,6 +133,17 @@ fn main() {
                 })
             })
             .unwrap_or(fastpath::UpecEncoding::Words),
+        upec_engine: args
+            .iter()
+            .position(|a| a == "--upec-engine")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(fastpath::UpecEngine::Ic3),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

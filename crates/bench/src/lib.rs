@@ -12,7 +12,7 @@ pub mod benchdiff;
 use fastpath::parallel::run_ordered;
 use fastpath::{
     effort_reduction, run_baseline_with, run_fastpath_with, CaseStudy, FlowOptions, FlowReport,
-    PairwiseAnalysis, SimEngine, UpecEncoding,
+    PairwiseAnalysis, SimEngine, UpecEncoding, UpecEngine,
 };
 use std::fmt::Write;
 use std::path::{Path, PathBuf};
@@ -66,6 +66,12 @@ pub struct Table1Options {
     /// equivalence smoke test in CI relies on it; only the product-size
     /// counters and wall-clock in `--bench-json` differ.
     pub upec_encoding: UpecEncoding,
+    /// Formal engine policy (`--upec-engine induction|ic3`). `ic3` (the
+    /// default) escalates inspection-costing counterexamples to the
+    /// SecIC3 engine, whose certified discharges can convert constrained
+    /// verdicts into proved ones; `induction` is the escalation-free
+    /// reference oracle.
+    pub upec_engine: UpecEngine,
 }
 
 impl Default for Table1Options {
@@ -84,6 +90,7 @@ impl Default for Table1Options {
             sat_portfolio: 0,
             proof_cache: None,
             upec_encoding: UpecEncoding::Words,
+            upec_engine: UpecEngine::Ic3,
         }
     }
 }
@@ -122,6 +129,7 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         sat_portfolio: opts.sat_portfolio,
         cache,
         upec_encoding: opts.upec_encoding,
+        upec_engine: opts.upec_engine,
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -183,6 +191,13 @@ fn write_bench_json(
                 c.hits, c.misses, c.bytes, c.evictions
             )
         });
+        let ic3 = report.ic3.as_ref().map_or(String::new(), |i| {
+            format!(
+                "\"ic3\": {{\"frames\": {}, \"ctis\": {}, \"lemmas\": {}, \
+                 \"generalization_drops\": {}, \"pushes\": {}}}, ",
+                i.frames, i.ctis, i.lemmas, i.generalization_drops, i.pushes
+            )
+        });
         let p = &report.product;
         let product = format!(
             "\"product\": {{\"checks\": {}, \"check_aig_nodes\": {}, \
@@ -208,7 +223,7 @@ fn write_bench_json(
              \"cycles\": {}, \"wall_s\": {:.6}, \
              \"cycles_per_s\": {:.1}}}, \
              \"formal\": {{\"checks\": {}, \"elaboration_s\": {:.6}, \
-             \"checks_s\": {:.6}}}, {cache}{product}\
+             \"checks_s\": {:.6}}}, {cache}{ic3}{product}\
              \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
              \"propagations\": {}, \"restarts\": {}, \
              \"learnt_clauses\": {}, \"chrono_backtracks\": {}, \
@@ -247,8 +262,8 @@ fn write_bench_json(
         out,
         "  \"generator\": \"table1 --bench-json\",\n  \
          \"sim_engine\": \"{}\",\n  \"upec_encoding\": \"{}\",\n  \
-         \"jobs\": {},\n  \"designs\": [",
-        opts.sim_engine, opts.upec_encoding, opts.jobs
+         \"upec_engine\": \"{}\",\n  \"jobs\": {},\n  \"designs\": [",
+        opts.sim_engine, opts.upec_encoding, opts.upec_engine, opts.jobs
     );
     for (i, study) in selected.iter().enumerate() {
         let _ = write!(

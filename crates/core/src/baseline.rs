@@ -8,13 +8,16 @@
 //! between this count and FastPath's is exactly Table I's "Reduction".
 
 use crate::cache::CheckKind;
-use crate::flow::{active_check_key, rerun_in_bits, FlowContext, FlowOptions};
+use crate::flow::{
+    active_check_key, ensure_upec_engine, finish_upec_proved, rerun_in_bits, sync_spec_entries,
+    try_ic3_discharge, DischargeResult, FlowContext, FlowOptions, Ic3State, SyncedSpec,
+};
 use crate::report::{
     CertificationSummary, CompletionMethod, FlowEvent, FlowReport, Stage, Verdict,
 };
 use crate::study::CaseStudy;
 use crate::witness::WitnessReplay;
-use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
+use fastpath_formal::{Upec2Safety, UpecEngine, UpecOutcome};
 use fastpath_rtl::SignalId;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -46,10 +49,11 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
         let mut active_constraints: Vec<usize> = Vec::new();
         let mut active_invariants: Vec<usize> = Vec::new();
         let mut active_cond_eqs: Vec<usize> = Vec::new();
-        // How many active spec entries have been pushed into the engine.
-        let mut synced_constraints = 0usize;
-        let mut synced_invariants = 0usize;
-        let mut synced_cond_eqs = 0usize;
+        // How much of the active spec has been pushed into the engine.
+        let mut synced = SyncedSpec::default();
+        // The design's SecIC3 engine, created lazily on the first cold
+        // escalation attempt.
+        let mut ic3: Option<Ic3State<'_>> = None;
 
         // One engine per design instance, created lazily on the first
         // cache miss: the frame template is elaborated once and the
@@ -64,45 +68,15 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
         // to each expansion.
         macro_rules! engine {
             () => {{
-                let engine = match upec.as_mut() {
-                    Some(engine) => engine,
-                    None => {
-                        let t0 = Instant::now();
-                        let mut engine = Upec2Safety::new(module, &UpecSpec::default());
-                        engine.set_encoding(options.upec_encoding);
-                        engine.set_sat_portfolio(options.sat_portfolio);
-                        if ctx.certification.is_some() {
-                            engine.enable_certification();
-                            if ctx.cache.is_some() {
-                                engine.enable_artifact_capture();
-                            }
-                            if let Some(dir) = &options.dump_artifacts {
-                                engine.set_artifact_output(
-                                    dir.clone(),
-                                    format!("{}_baseline_", module.name()),
-                                );
-                            }
-                        }
-                        engine.elaborate();
-                        ctx.timings.formal_elaboration += t0.elapsed();
-                        upec.insert(engine)
-                    }
-                };
-                // Feed spec entries activated since the last engine-run
-                // check; nothing already encoded is redone.
-                for &i in &active_constraints[synced_constraints..] {
-                    engine.add_software_constraint(instance.constraints[i].expr);
-                }
-                synced_constraints = active_constraints.len();
-                for &i in &active_invariants[synced_invariants..] {
-                    engine.add_invariant(instance.invariants[i].expr);
-                }
-                synced_invariants = active_invariants.len();
-                for &i in &active_cond_eqs[synced_cond_eqs..] {
-                    let ce = &instance.cond_eqs[i];
-                    engine.add_conditional_equality(ce.cond, ce.signal);
-                }
-                synced_cond_eqs = active_cond_eqs.len();
+                let engine = ensure_upec_engine(&mut upec, module, &options, &mut ctx, "baseline");
+                sync_spec_entries(
+                    engine,
+                    instance,
+                    &active_constraints,
+                    &active_invariants,
+                    &active_cond_eqs,
+                    &mut synced,
+                );
                 engine
             }};
         }
@@ -212,25 +186,14 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                 });
                 let cex = match outcome {
                     UpecOutcome::Holds => {
-                        ctx.events.push(FlowEvent::FixedPoint);
-                        let verdict = if active_constraints.is_empty() {
-                            Verdict::DataOblivious
-                        } else {
-                            Verdict::ConstrainedDataOblivious(
-                                active_constraints
-                                    .iter()
-                                    .map(|&i| instance.constraints[i].name.clone())
-                                    .collect(),
-                            )
-                        };
-                        let total = module.state_signals().len() - z_prime.len();
-                        ctx.absorb_engine(upec.as_ref());
-                        return ctx.finish(
+                        return finish_upec_proved(
+                            ctx,
                             module,
-                            verdict,
-                            CompletionMethod::Upec,
+                            instance,
+                            upec.as_ref(),
+                            &active_constraints,
+                            z_prime.len(),
                             None,
-                            Some(total),
                         );
                     }
                     UpecOutcome::Counterexample(cex) => cex,
@@ -239,9 +202,52 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                 ctx.confirm_replay(module, instance, &active_cond_eqs, &cex);
                 let replay = WitnessReplay::new(module, &cex);
 
+                // Same escalation policy as the FastPath flow: on the
+                // constrained track, before any classification that costs
+                // manual inspections, SecIC3 may discharge the
+                // obligations outright (unconstrained runs, scenario
+                // exclusion and genuine output divergence are never
+                // escalated). The discharge re-validates through the
+                // full-property check, which subsumes the state-only one.
+                macro_rules! escalate {
+                    () => {
+                        if options.upec_engine == UpecEngine::Ic3 && !active_constraints.is_empty()
+                        {
+                            match try_ic3_discharge(
+                                &mut ctx,
+                                &options,
+                                module,
+                                instance,
+                                canon.as_ref(),
+                                &mut upec,
+                                &mut synced,
+                                &mut ic3,
+                                &z_vec,
+                                &active_constraints,
+                                &active_invariants,
+                                &active_cond_eqs,
+                            ) {
+                                DischargeResult::Proved => {
+                                    return finish_upec_proved(
+                                        ctx,
+                                        module,
+                                        instance,
+                                        upec.as_ref(),
+                                        &active_constraints,
+                                        z_prime.len(),
+                                        None,
+                                    );
+                                }
+                                DischargeResult::Failed => {}
+                            }
+                        }
+                    };
+                }
+
                 if let Some(ii) = instance.invariants.iter().enumerate().position(|(i, inv)| {
                     !active_invariants.contains(&i) && !replay.invariant_holds(module, inv.expr)
                 }) {
+                    escalate!();
                     ctx.inspections += 1;
                     active_invariants.push(ii);
                     ctx.events.push(FlowEvent::InvariantAdded {
@@ -254,6 +260,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     !active_cond_eqs.contains(&i)
                         && crate::flow::cond_eq_violated_in_witness(module, &replay, ce)
                 }) {
+                    escalate!();
                     ctx.inspections += 1;
                     active_cond_eqs.push(ci);
                     ctx.events.push(FlowEvent::InvariantAdded {
@@ -306,6 +313,7 @@ pub fn run_baseline_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     );
                 }
 
+                escalate!();
                 debug_assert!(!cex.divergent_state.is_empty());
                 ctx.inspections += cex.divergent_state.len() as u64;
                 for s in &cex.divergent_state {

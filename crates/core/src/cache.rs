@@ -30,7 +30,9 @@
 //! check path whenever [`crate::FlowOptions::cache`] is set, so warm and
 //! cold runs produce identical reports.
 
-use fastpath_formal::{ProofArtifact, StateWitness, UpecCounterexample, UpecEncoding};
+use fastpath_formal::{
+    ProofArtifact, RelationalClause, RelationalLit, StateWitness, UpecCounterexample, UpecEncoding,
+};
 use fastpath_rtl::{
     write_netlist, BitVec, CanonicalForm, Digest, ExprId, Module, SignalId, SignalKind,
     StableHasher,
@@ -48,13 +50,19 @@ const TAG_ENTRY_SUM: u64 = 0x66_70_65_73; // "fpes"
 /// Domain-separation seed for exact (text-level) module hashes.
 const TAG_EXACT: u64 = 0x66_70_65_78; // "fpex"
 
-/// The two entry namespaces a backend must keep apart.
+/// The entry namespaces a backend must keep apart.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CacheKind {
     /// A memoized UPEC check verdict.
     Check,
     /// A memoized IFT simulation report.
     Sim,
+    /// A machine-derived relational invariant ([`CachedInvariant`]): the
+    /// IC3 engine's closing clauses plus the certified strengthened-check
+    /// proof, keyed exactly like the plain check they discharge. A warm
+    /// hit skips frame reconstruction entirely — the stored proof is
+    /// re-certified and the clauses re-checked at reset on load.
+    Invariant,
 }
 
 impl CacheKind {
@@ -63,6 +71,7 @@ impl CacheKind {
         match self {
             CacheKind::Check => "checks",
             CacheKind::Sim => "sims",
+            CacheKind::Invariant => "invariants",
         }
     }
 }
@@ -439,6 +448,22 @@ pub enum CachedCheck {
     Cex(CachedCex),
 }
 
+/// A memoized IC3 discharge: the machine-derived relational invariant and
+/// the certified strengthened-check verdict it closed. The clauses are
+/// layout-specific (register positions in `state_signals()` order), so the
+/// flow validates them against the receiving module
+/// ([`fastpath_formal::RelationalInvariant::is_well_formed`]) and
+/// re-checks them at reset before trusting the entry; the embedded check
+/// entry is re-certified exactly like a [`CachedCheck`] hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedInvariant {
+    /// The inductive invariant's clauses, in derivation order.
+    pub clauses: Vec<RelationalClause>,
+    /// The strengthened check's stored verdict (a `Holds` form: the entry
+    /// exists only because the discharge was certified).
+    pub check: CachedCheck,
+}
+
 /// A memoized IFT simulation report.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CachedSim {
@@ -518,6 +543,7 @@ impl CachedSim {
 
 const MAGIC_CHECK: &str = "fastpath-cache check 1";
 const MAGIC_SIM: &str = "fastpath-cache sim 1";
+const MAGIC_INVARIANT: &str = "fastpath-cache invariant 1";
 
 fn entry_sum(body: &str) -> Digest {
     let mut h = StableHasher::new(TAG_ENTRY_SUM);
@@ -602,6 +628,35 @@ pub fn encode_sim(entry: &CachedSim) -> String {
         }
     }
     out.push('\n');
+    let sum = entry_sum(&out);
+    out.push_str(&format!("sum {}\n", sum.to_hex()));
+    out
+}
+
+/// Serializes an invariant entry to its storable text form (checksummed).
+/// The embedded check entry is stored as its own encoded (and thus
+/// independently checksummed) blob.
+pub fn encode_invariant(entry: &CachedInvariant) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC_INVARIANT);
+    out.push('\n');
+    out.push_str(&format!("clauses {}\n", entry.clauses.len()));
+    for clause in &entry.clauses {
+        out.push('c');
+        for lit in &clause.lits {
+            out.push_str(&format!(
+                " {} {} {} {}",
+                lit.reg,
+                lit.inst,
+                lit.bit,
+                if lit.positive { 1 } else { 0 }
+            ));
+        }
+        out.push('\n');
+    }
+    let check = encode_check(&entry.check);
+    out.push_str(&format!("check {}\n", check.len()));
+    out.push_str(&check);
     let sum = entry_sum(&out);
     out.push_str(&format!("sum {}\n", sum.to_hex()));
     out
@@ -826,6 +881,51 @@ pub fn decode_sim(text: &str) -> Result<CachedSim, CacheDecodeError> {
     })
 }
 
+/// Decodes an invariant entry, verifying its checksum (and, recursively,
+/// the embedded check entry's).
+///
+/// # Errors
+///
+/// [`CacheDecodeError`] on any structural defect; treated as a miss. The
+/// clauses are *not* validated against any module here — the caller must
+/// still run `is_well_formed` and the reset check.
+pub fn decode_invariant(text: &str) -> Result<CachedInvariant, CacheDecodeError> {
+    checked_body(text, MAGIC_INVARIANT)?;
+    let mut r = Reader::new(text);
+    r.line()?; // magic, already verified
+    let clause_count = parse_counted(r.line()?, "clauses ")?;
+    let mut clauses = Vec::with_capacity(clause_count);
+    for _ in 0..clause_count {
+        let line = r.line()?;
+        let rest = line.strip_prefix('c').ok_or_else(|| bad("clause line"))?;
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        if tokens.is_empty() || !tokens.len().is_multiple_of(4) {
+            return Err(bad("clause literal count"));
+        }
+        let mut lits = Vec::with_capacity(tokens.len() / 4);
+        for quad in tokens.chunks_exact(4) {
+            let num = |t: &str, what: &str| -> Result<u64, CacheDecodeError> {
+                t.parse().map_err(|_| bad(what))
+            };
+            let inst = num(quad[1], "literal instance")? as usize;
+            let sign = num(quad[3], "literal sign")?;
+            if inst > 1 || sign > 1 {
+                return Err(bad("literal field"));
+            }
+            lits.push(RelationalLit {
+                reg: num(quad[0], "literal register")? as usize,
+                inst,
+                bit: num(quad[2], "literal bit")? as u32,
+                positive: sign == 1,
+            });
+        }
+        clauses.push(RelationalClause { lits });
+    }
+    let check_len = parse_counted(r.line()?, "check ")?;
+    let check = decode_check(r.take(check_len)?)?;
+    Ok(CachedInvariant { clauses, check })
+}
+
 /// Packages a captured proof artifact as a storable check entry.
 pub fn check_entry_from_artifact(artifact: ProofArtifact) -> CachedCheck {
     // Backward-trim the proof to its UNSAT core before storing: the cached
@@ -916,6 +1016,65 @@ mod tests {
         // Truncation is rejected.
         assert!(decode_check(&text[..text.len() / 2]).is_err());
         assert!(decode_check("").is_err());
+    }
+
+    #[test]
+    fn invariant_entries_round_trip_and_detect_tampering() {
+        let inv = CachedInvariant {
+            clauses: vec![
+                RelationalClause {
+                    lits: vec![RelationalLit {
+                        reg: 2,
+                        inst: 0,
+                        bit: 0,
+                        positive: false,
+                    }],
+                },
+                RelationalClause {
+                    lits: vec![
+                        RelationalLit {
+                            reg: 0,
+                            inst: 0,
+                            bit: 3,
+                            positive: true,
+                        },
+                        RelationalLit {
+                            reg: 0,
+                            inst: 1,
+                            bit: 3,
+                            positive: false,
+                        },
+                    ],
+                },
+            ],
+            check: CachedCheck::HoldsHinted {
+                cnf: "p cnf 1 2\n1 0\n-1 0\n".into(),
+                proof: "0 1 2 0\n".into(),
+            },
+        };
+        let text = encode_invariant(&inv);
+        assert_eq!(decode_invariant(&text).expect("round trip"), inv);
+
+        // A flipped byte fails the outer checksum.
+        let tampered = text.replacen("c 2 0 0 0", "c 2 0 1 0", 1);
+        assert!(decode_invariant(&tampered).is_err());
+        // Truncation and garbage are rejected.
+        assert!(decode_invariant(&text[..text.len() / 2]).is_err());
+        assert!(decode_invariant("").is_err());
+        // An out-of-range instance is structurally rejected even with a
+        // valid checksum, before any module validation.
+        let bad_inst = encode_invariant(&CachedInvariant {
+            clauses: vec![RelationalClause {
+                lits: vec![RelationalLit {
+                    reg: 0,
+                    inst: 2,
+                    bit: 0,
+                    positive: false,
+                }],
+            }],
+            check: CachedCheck::HoldsTrivial,
+        });
+        assert!(decode_invariant(&bad_inst).is_err());
     }
 
     #[test]

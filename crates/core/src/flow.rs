@@ -32,8 +32,9 @@ use crate::study::{CaseStudy, DesignInstance};
 use crate::witness::{confirm_counterexample, WitnessReplay};
 use fastpath_cert::revalidate_unsat_artifact;
 use fastpath_formal::{
-    CertifiedOutcome, CheckCertificate, ElaborationStats, ProductStats, ProofArtifact, Upec2Safety,
-    UpecCounterexample, UpecEncoding, UpecOutcome, UpecSpec,
+    CertifiedOutcome, CheckCertificate, ElaborationStats, Ic3Engine, Ic3Outcome, Ic3Stats,
+    ProductStats, ProofArtifact, RelationalInvariant, Upec2Safety, UpecCounterexample,
+    UpecEncoding, UpecEngine, UpecOutcome, UpecSpec,
 };
 use fastpath_hfg::{extract_hfg, PathQuery};
 use fastpath_rtl::{CanonicalForm, Digest, ExprId, Module, SignalId};
@@ -89,6 +90,17 @@ pub struct FlowOptions {
     /// guarded-predicate encoding; `bits` is the flat bit-equality
     /// reference oracle.
     pub upec_encoding: UpecEncoding,
+    /// Formal engine policy. With [`UpecEngine::Ic3`] (the production
+    /// default), whenever a formal counterexample would cost manual
+    /// inspections — adding a vocabulary invariant, activating a
+    /// conditional equality, or removing legal propagations from `Z'` —
+    /// the SecIC3 engine first attempts to derive a relational invariant
+    /// that discharges the remaining obligations outright. A discharge is
+    /// never trusted on IC3's word alone: the invariant's clauses are
+    /// staged into the standard (certified) induction check, whose UNSAT
+    /// answer is exactly IC3's consecution theorem. `UpecEngine::default()`
+    /// stays `Induction`, the escalation-free reference oracle.
+    pub upec_engine: UpecEngine,
 }
 
 impl Default for FlowOptions {
@@ -105,6 +117,9 @@ impl Default for FlowOptions {
             // `UpecEncoding::default()` stays `Bits` so the bare engine
             // remains the reference oracle.
             upec_encoding: UpecEncoding::Words,
+            // IC3 escalation is the production default; the engine enum's
+            // own default stays `Induction` as the reference oracle.
+            upec_engine: UpecEngine::Ic3,
         }
     }
 }
@@ -160,10 +175,12 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
         // structurally-proven and simulation-terminated designs never pay
         // for elaboration.
         let mut upec: Option<Upec2Safety<'_>> = None;
-        // How many active spec entries have been pushed into the engine.
-        let mut synced_constraints = 0usize;
-        let mut synced_invariants = 0usize;
-        let mut synced_cond_eqs = 0usize;
+        // How much of the active spec has been pushed into the engine.
+        let mut synced = SyncedSpec::default();
+        // The design's SecIC3 engine, created lazily on the first cold
+        // escalation attempt — reference `induction` runs and warm
+        // invariant-cache discharges never build it.
+        let mut ic3: Option<Ic3State<'_>> = None;
 
         // ---- Stage 1: structural analysis --------------------------------
         if !options.skip_hfg {
@@ -258,46 +275,20 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     let outcome = match cached {
                         Some(outcome) => outcome,
                         None => {
-                            let engine = match upec.as_mut() {
-                                Some(engine) => engine,
-                                None => {
-                                    let t0 = Instant::now();
-                                    let mut engine = Upec2Safety::new(module, &UpecSpec::default());
-                                    engine.set_encoding(options.upec_encoding);
-                                    engine.set_sat_portfolio(options.sat_portfolio);
-                                    if ctx.certification.is_some() {
-                                        engine.enable_certification();
-                                        if ctx.cache.is_some() {
-                                            engine.enable_artifact_capture();
-                                        }
-                                        if let Some(dir) = &options.dump_artifacts {
-                                            engine.set_artifact_output(
-                                                dir.clone(),
-                                                format!("{}_fastpath_", module.name()),
-                                            );
-                                        }
-                                    }
-                                    engine.elaborate();
-                                    ctx.timings.formal_elaboration += t0.elapsed();
-                                    upec.insert(engine)
-                                }
-                            };
+                            let engine = ensure_upec_engine(
+                                &mut upec, module, &options, &mut ctx, "fastpath",
+                            );
                             // Feed spec entries activated since the last
                             // engine-run check; nothing already encoded is
                             // redone.
-                            for &i in &active_constraints[synced_constraints..] {
-                                engine.add_software_constraint(instance.constraints[i].expr);
-                            }
-                            synced_constraints = active_constraints.len();
-                            for &i in &active_invariants[synced_invariants..] {
-                                engine.add_invariant(instance.invariants[i].expr);
-                            }
-                            synced_invariants = active_invariants.len();
-                            for &i in &active_cond_eqs[synced_cond_eqs..] {
-                                let ce = &instance.cond_eqs[i];
-                                engine.add_conditional_equality(ce.cond, ce.signal);
-                            }
-                            synced_cond_eqs = active_cond_eqs.len();
+                            sync_spec_entries(
+                                engine,
+                                instance,
+                                &active_constraints,
+                                &active_invariants,
+                                &active_cond_eqs,
+                                &mut synced,
+                            );
 
                             let t0 = Instant::now();
                             let outcome = if ctx.certification.is_some() {
@@ -328,25 +319,14 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     });
                     let cex = match outcome {
                         UpecOutcome::Holds => {
-                            ctx.events.push(FlowEvent::FixedPoint);
-                            let verdict = if active_constraints.is_empty() {
-                                Verdict::DataOblivious
-                            } else {
-                                Verdict::ConstrainedDataOblivious(
-                                    active_constraints
-                                        .iter()
-                                        .map(|&i| instance.constraints[i].name.clone())
-                                        .collect(),
-                                )
-                            };
-                            let total = module.state_signals().len() - z_prime.len();
-                            ctx.absorb_engine(upec.as_ref());
-                            return ctx.finish(
+                            return finish_upec_proved(
+                                ctx,
                                 module,
-                                verdict,
-                                CompletionMethod::Upec,
+                                instance,
+                                upec.as_ref(),
+                                &active_constraints,
+                                z_prime.len(),
                                 ift_propagations,
-                                Some(total),
                             );
                         }
                         UpecOutcome::Counterexample(cex) => cex,
@@ -355,10 +335,58 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     ctx.confirm_replay(module, instance, &active_cond_eqs, &cex);
                     let replay = WitnessReplay::new(module, &cex);
 
+                    // On the constrained track — the refinement loop is
+                    // heading toward a `Constrained` verdict — any
+                    // classification below that costs manual inspections
+                    // first offers the obligation to SecIC3: a certified
+                    // discharge proves the current `Z'` outright.
+                    // Unconstrained runs never escalate (their remaining
+                    // divergences are genuine data propagations, not
+                    // unreachable-state artifacts), and scenario
+                    // exclusion (2) and genuine output divergence (3) are
+                    // never escalated — no reachability argument can
+                    // stand in for software intent or excuse a real leak.
+                    macro_rules! escalate {
+                        () => {
+                            if options.upec_engine == UpecEngine::Ic3
+                                && !active_constraints.is_empty()
+                            {
+                                match try_ic3_discharge(
+                                    &mut ctx,
+                                    &options,
+                                    module,
+                                    instance,
+                                    canon.as_ref(),
+                                    &mut upec,
+                                    &mut synced,
+                                    &mut ic3,
+                                    &z_vec,
+                                    &active_constraints,
+                                    &active_invariants,
+                                    &active_cond_eqs,
+                                ) {
+                                    DischargeResult::Proved => {
+                                        return finish_upec_proved(
+                                            ctx,
+                                            module,
+                                            instance,
+                                            upec.as_ref(),
+                                            &active_constraints,
+                                            z_prime.len(),
+                                            ift_propagations,
+                                        );
+                                    }
+                                    DischargeResult::Failed => {}
+                                }
+                            }
+                        };
+                    }
+
                     // (1) Spurious counterexample? Add an invariant.
                     if let Some(ii) = instance.invariants.iter().enumerate().position(|(i, inv)| {
                         !active_invariants.contains(&i) && !replay.invariant_holds(module, inv.expr)
                     }) {
+                        escalate!();
                         ctx.inspections += 1;
                         active_invariants.push(ii);
                         ctx.events.push(FlowEvent::InvariantAdded {
@@ -373,6 +401,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                         !active_cond_eqs.contains(&i)
                             && cond_eq_violated_in_witness(module, &replay, ce)
                     }) {
+                        escalate!();
                         ctx.inspections += 1;
                         active_cond_eqs.push(ci);
                         ctx.events.push(FlowEvent::InvariantAdded {
@@ -430,6 +459,7 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
 
                     // (4) Legal data propagation missed by simulation:
                     // remove the divergent signals from Z'.
+                    escalate!();
                     debug_assert!(!cex.divergent_state.is_empty());
                     ctx.inspections += cex.divergent_state.len() as u64;
                     for s in &cex.divergent_state {
@@ -440,6 +470,317 @@ pub fn run_fastpath_with(study: &CaseStudy, options: FlowOptions) -> FlowReport 
                     });
                 }
             }
+        }
+    }
+}
+
+/// How much of each active-spec list has been fed into an engine. The
+/// flow syncs lazily: entries activated by classification are encoded
+/// right before the next engine-run check (cache-served checks leave the
+/// counters lagging on purpose).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SyncedSpec {
+    constraints: usize,
+    invariants: usize,
+    cond_eqs: usize,
+}
+
+/// Returns the design's UPEC engine, creating and elaborating it on first
+/// use. `artifact_tag` names the flow layer in dumped artifact files.
+pub(crate) fn ensure_upec_engine<'a, 'm>(
+    upec: &'a mut Option<Upec2Safety<'m>>,
+    module: &'m Module,
+    options: &FlowOptions,
+    ctx: &mut FlowContext,
+    artifact_tag: &str,
+) -> &'a mut Upec2Safety<'m> {
+    upec.get_or_insert_with(|| {
+        let t0 = Instant::now();
+        let mut engine = Upec2Safety::new(module, &UpecSpec::default());
+        engine.set_encoding(options.upec_encoding);
+        engine.set_sat_portfolio(options.sat_portfolio);
+        if ctx.certification.is_some() {
+            engine.enable_certification();
+            if ctx.cache.is_some() {
+                engine.enable_artifact_capture();
+            }
+            if let Some(dir) = &options.dump_artifacts {
+                engine
+                    .set_artifact_output(dir.clone(), format!("{}_{artifact_tag}_", module.name()));
+            }
+        }
+        engine.elaborate();
+        ctx.timings.formal_elaboration += t0.elapsed();
+        engine
+    })
+}
+
+/// Feeds spec entries activated since the last engine-run check; nothing
+/// already encoded is redone.
+pub(crate) fn sync_spec_entries(
+    engine: &mut Upec2Safety<'_>,
+    instance: &DesignInstance,
+    active_constraints: &[usize],
+    active_invariants: &[usize],
+    active_cond_eqs: &[usize],
+    synced: &mut SyncedSpec,
+) {
+    for &i in &active_constraints[synced.constraints..] {
+        engine.add_software_constraint(instance.constraints[i].expr);
+    }
+    synced.constraints = active_constraints.len();
+    for &i in &active_invariants[synced.invariants..] {
+        engine.add_invariant(instance.invariants[i].expr);
+    }
+    synced.invariants = active_invariants.len();
+    for &i in &active_cond_eqs[synced.cond_eqs..] {
+        let ce = &instance.cond_eqs[i];
+        engine.add_conditional_equality(ce.cond, ce.signal);
+    }
+    synced.cond_eqs = active_cond_eqs.len();
+}
+
+/// The fixed point was reached (by induction or by a certified IC3
+/// discharge): emit the event, settle the verdict from the active
+/// constraints, and close the report.
+pub(crate) fn finish_upec_proved(
+    mut ctx: FlowContext,
+    module: &Module,
+    instance: &DesignInstance,
+    upec: Option<&Upec2Safety<'_>>,
+    active_constraints: &[usize],
+    z_len: usize,
+    ift_propagations: Option<usize>,
+) -> FlowReport {
+    ctx.events.push(FlowEvent::FixedPoint);
+    let verdict = if active_constraints.is_empty() {
+        Verdict::DataOblivious
+    } else {
+        Verdict::ConstrainedDataOblivious(
+            active_constraints
+                .iter()
+                .map(|&i| instance.constraints[i].name.clone())
+                .collect(),
+        )
+    };
+    let total = module.state_signals().len() - z_len;
+    ctx.absorb_engine(upec);
+    ctx.finish(
+        module,
+        verdict,
+        CompletionMethod::Upec,
+        ift_propagations,
+        Some(total),
+    )
+}
+
+/// Failed cold attempts per design instance before escalation stops
+/// offering obligations to SecIC3. Every failed attempt costs real
+/// solver work (divergence exhausts the engine's deterministic query
+/// budget), so a design whose obligations IC3 cannot crack must not pay
+/// that price at every remaining classification step.
+const IC3_ESCALATION_FUSE: u32 = 2;
+
+/// One design instance's SecIC3 engine plus how much of the active spec
+/// has been fed into it (synced lazily, exactly like the UPEC engine).
+pub(crate) struct Ic3State<'m> {
+    engine: Ic3Engine<'m>,
+    synced: SyncedSpec,
+    /// Cold attempts that ended in anything but a certified discharge.
+    failed: u32,
+}
+
+/// What an IC3 escalation attempt decided.
+pub(crate) enum DischargeResult {
+    /// An invariant was derived (or served warm) and the strengthened
+    /// check re-validated: the current `Z'` is proved.
+    Proved,
+    /// No certified discharge; classify the original counterexample as
+    /// usual. Nothing about the attempt is trusted or reused.
+    Failed,
+}
+
+/// Attempts to discharge the current obligations with a machine-derived
+/// relational invariant. The derivation itself is never trusted: a warm
+/// cache entry must re-certify its stored proof and re-check its clauses
+/// against the module and its reset state, and a cold IC3 proof is
+/// re-validated by staging the clauses into the standard (certified)
+/// induction check — whose UNSAT answer is precisely the consecution
+/// theorem for the derived invariant. IC3 bugs can therefore only cause a
+/// failure to discharge, never an unsound verdict.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_ic3_discharge<'m>(
+    ctx: &mut FlowContext,
+    options: &FlowOptions,
+    module: &'m Module,
+    instance: &DesignInstance,
+    canon: Option<&CanonicalForm>,
+    upec: &mut Option<Upec2Safety<'m>>,
+    synced: &mut SyncedSpec,
+    ic3: &mut Option<Ic3State<'m>>,
+    z_vec: &[SignalId],
+    active_constraints: &[usize],
+    active_invariants: &[usize],
+    active_cond_eqs: &[usize],
+) -> DischargeResult {
+    let key = canon.map(|canon| {
+        active_check_key(
+            canon,
+            CheckKind::Full,
+            options.upec_encoding,
+            instance,
+            z_vec,
+            active_constraints,
+            active_invariants,
+            active_cond_eqs,
+        )
+    });
+
+    // Warm path: a stored invariant for this exact check configuration
+    // skips frame reconstruction entirely — no IC3 engine, no UPEC
+    // engine, no solver.
+    if let (Some(cache), Some(key)) = (ctx.cache.clone(), key.as_ref()) {
+        let t0 = Instant::now();
+        let served = ctx.validate_cached_invariant(&*cache, key, module);
+        ctx.timings.formal_checks += t0.elapsed();
+        // An empty probe is not a miss yet: most escalation attempts
+        // fail, nothing is stored for them, and a warm resubmission
+        // must replay a fully-proved run without miss counts. The
+        // miss is booked below iff this attempt derives (and stores)
+        // an invariant the probe should have found.
+        if let Some(clauses) = served {
+            ctx.cache_stats.hits += 1;
+            ctx.timings.check_count += 1;
+            ctx.events.push(FlowEvent::Ic3Discharged { clauses });
+            ctx.events.push(FlowEvent::UpecCheck { holds: true });
+            return DischargeResult::Proved;
+        }
+    }
+
+    // Cold path: run (or resume) this design's IC3 engine. Learned
+    // frames and lemmas persist across escalation attempts.
+    let state = match ic3 {
+        Some(state) => state,
+        None => {
+            let t0 = Instant::now();
+            let state = Ic3State {
+                engine: Ic3Engine::new(module),
+                synced: SyncedSpec::default(),
+                failed: 0,
+            };
+            ctx.timings.formal_elaboration += t0.elapsed();
+            ic3.insert(state)
+        }
+    };
+    // A failure under a weaker spec says nothing about the strengthened
+    // one, so newly activated entries re-arm the fuse.
+    let grew = state.synced.constraints < active_constraints.len()
+        || state.synced.invariants < active_invariants.len()
+        || state.synced.cond_eqs < active_cond_eqs.len();
+    if grew {
+        state.failed = 0;
+    } else if state.failed >= IC3_ESCALATION_FUSE {
+        return DischargeResult::Failed;
+    }
+    for &i in &active_constraints[state.synced.constraints..] {
+        state
+            .engine
+            .add_software_constraint(instance.constraints[i].expr);
+    }
+    state.synced.constraints = active_constraints.len();
+    for &i in &active_invariants[state.synced.invariants..] {
+        state.engine.add_invariant(instance.invariants[i].expr);
+    }
+    state.synced.invariants = active_invariants.len();
+    for &i in &active_cond_eqs[state.synced.cond_eqs..] {
+        let ce = &instance.cond_eqs[i];
+        state.engine.add_conditional_equality(ce.cond, ce.signal);
+    }
+    state.synced.cond_eqs = active_cond_eqs.len();
+
+    let before = state.engine.stats();
+    let t0 = Instant::now();
+    let outcome = state.engine.prove(z_vec);
+    ctx.timings.formal_checks += t0.elapsed();
+    let after = state.engine.stats();
+    ctx.ic3
+        .get_or_insert_with(Ic3Stats::default)
+        .merge(&Ic3Stats {
+            frames: after.frames - before.frames,
+            ctis: after.ctis - before.ctis,
+            lemmas: after.lemmas - before.lemmas,
+            generalization_drops: after.generalization_drops - before.generalization_drops,
+            pushes: after.pushes - before.pushes,
+        });
+
+    let inv = match outcome {
+        // Defensive gate on the derivation itself: a malformed or
+        // reset-violating invariant is a failed attempt, nothing more,
+        // because the flow only ever acts on the re-validated check
+        // below.
+        Ic3Outcome::Proved(inv) if inv.is_well_formed(module) && inv.holds_at_reset(module) => inv,
+        _ => {
+            state.failed += 1;
+            return DischargeResult::Failed;
+        }
+    };
+
+    let engine = ensure_upec_engine(upec, module, options, ctx, "fastpath");
+    sync_spec_entries(
+        engine,
+        instance,
+        active_constraints,
+        active_invariants,
+        active_cond_eqs,
+        synced,
+    );
+    engine.add_relational_clauses(&inv.clauses);
+    let t1 = Instant::now();
+    let (outcome, certified) = if ctx.certification.is_some() {
+        let certified = engine.check_certified(z_vec);
+        (certified.outcome.clone(), Some(certified))
+    } else {
+        (engine.check(z_vec), None)
+    };
+    ctx.timings.formal_checks += t1.elapsed();
+    if let Some(certified) = &certified {
+        ctx.record_certificate(certified);
+    }
+    ctx.timings.check_count += 1;
+    match outcome {
+        UpecOutcome::Holds => {
+            // Persist the invariant with its certified proof so warm
+            // resubmissions discharge without rebuilding any frames.
+            if let (Some(cache), Some(key), Some(certified)) =
+                (ctx.cache.clone(), key.as_ref(), &certified)
+            {
+                if matches!(
+                    certified.certificate,
+                    Ok(CheckCertificate::UnsatProof { .. })
+                ) {
+                    if let Some(artifact) = engine.take_last_artifact() {
+                        let entry = cache::CachedInvariant {
+                            clauses: inv.clauses.clone(),
+                            check: cache::check_entry_from_artifact(artifact),
+                        };
+                        cache.store(CacheKind::Invariant, key, &cache::encode_invariant(&entry));
+                        ctx.cache_stats.misses += 1;
+                    }
+                }
+            }
+            ctx.events.push(FlowEvent::Ic3Discharged {
+                clauses: inv.clauses.len(),
+            });
+            ctx.events.push(FlowEvent::UpecCheck { holds: true });
+            DischargeResult::Proved
+        }
+        UpecOutcome::Counterexample(_) => {
+            // The strengthened check failed (e.g. a solver-budget
+            // artifact): its counterexample may have an empty divergence
+            // set, so it is dropped — never classified, never replayed.
+            state.failed += 1;
+            ctx.events.push(FlowEvent::UpecCheck { holds: false });
+            DischargeResult::Failed
         }
     }
 }
@@ -521,6 +862,10 @@ pub(crate) struct FlowContext {
     pub(crate) cache_stats: CacheStats,
     /// Exact-netlist hash memo, keyed like `tape`.
     exact_hash: Option<(usize, Digest)>,
+    /// SecIC3 work done this run; `None` unless at least one cold IC3
+    /// discharge attempt ran (warm invariant-cache hits and reference
+    /// `induction` runs leave it unset).
+    pub(crate) ic3: Option<Ic3Stats>,
 }
 
 enum SimStageResult {
@@ -551,6 +896,7 @@ impl FlowContext {
             cache: None,
             cache_stats: CacheStats::default(),
             exact_hash: None,
+            ic3: None,
         }
     }
 
@@ -635,6 +981,44 @@ impl FlowContext {
                 Some(UpecOutcome::Counterexample(cex))
             }
         }
+    }
+
+    /// Serves a stored SecIC3 invariant if one exists for this exact check
+    /// configuration *and* survives full re-validation: the clauses must be
+    /// well-formed for this module and hold in its reset state, and the
+    /// embedded strengthened-check proof must replay through the checker.
+    /// Returns the clause count on success; anything less is a miss.
+    fn validate_cached_invariant(
+        &mut self,
+        cache: &dyn ProofCache,
+        key: &Digest,
+        module: &Module,
+    ) -> Option<usize> {
+        let text = cache.load(CacheKind::Invariant, key)?;
+        let entry = cache::decode_invariant(&text).ok()?;
+        let inv = RelationalInvariant {
+            clauses: entry.clauses,
+        };
+        if !inv.is_well_formed(module) || !inv.holds_at_reset(module) {
+            return None;
+        }
+        let checker = match entry.check {
+            cache::CachedCheck::HoldsProof { cnf, drup } => {
+                revalidate_unsat_artifact(&cnf, &drup).ok()?
+            }
+            cache::CachedCheck::HoldsHinted { cnf, proof } => {
+                fastpath_cert::check_hinted_unsat_artifact(&cnf, &proof).ok()?
+            }
+            // A stored invariant always carries a genuine UNSAT proof —
+            // trivial or SAT entries are structurally impossible here and
+            // rejected outright.
+            _ => return None,
+        };
+        let summary = self.certification.as_mut()?;
+        summary.stats.certified_checks += 1;
+        summary.stats.unsat_proofs += 1;
+        summary.stats.checker.merge(&checker);
+        Some(inv.clauses.len())
     }
 
     /// Stores a freshly certified verdict. Only independently validated
@@ -784,6 +1168,7 @@ impl FlowContext {
                     ..self.cache_stats
                 }
             }),
+            ic3: self.ic3,
             certification: self.certification,
         }
     }

@@ -119,6 +119,13 @@ pub enum FlowEvent {
         /// Whether the inductive property held.
         holds: bool,
     },
+    /// The IC3 engine discharged the remaining obligations with a
+    /// machine-derived relational invariant (re-validated through the
+    /// standard certified check path before being trusted).
+    Ic3Discharged {
+        /// Clauses in the derived inductive invariant.
+        clauses: usize,
+    },
     /// The fixed point was reached: `Z'` is a semantic partitioning.
     FixedPoint,
 }
@@ -243,6 +250,9 @@ pub struct FlowReport {
     /// attached). Provenance only: verdicts, events, and counts are
     /// byte-identical whether a run was served warm or cold.
     pub cache: Option<crate::cache::CacheStats>,
+    /// IC3 engine work (`None` unless at least one IC3 discharge attempt
+    /// ran — the induction reference engine never sets this).
+    pub ic3: Option<fastpath_formal::Ic3Stats>,
     /// Certification results (`None` unless the run certified verdicts).
     pub certification: Option<CertificationSummary>,
 }
@@ -341,6 +351,7 @@ mod tests {
             product: ProductStats::default(),
             sim: SimStats::default(),
             cache: None,
+            ic3: None,
             certification: None,
         }
     }

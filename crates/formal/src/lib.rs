@@ -49,6 +49,7 @@ mod aiger;
 mod blast;
 mod bmc;
 mod certify;
+mod ic3;
 mod tseitin;
 mod upec;
 mod words;
@@ -64,6 +65,10 @@ pub use bmc::{
     TwoSafetyBmcResult,
 };
 pub use certify::{CertStats, CertifiedOutcome, CheckCertificate};
+pub use ic3::{
+    Ic3Engine, Ic3Outcome, Ic3Stats, RelationalClause, RelationalInvariant, RelationalLit,
+    UpecEngine,
+};
 pub use tseitin::CnfEncoder;
 pub use upec::{
     ElaborationMode, ElaborationStats, ProductStats, ProofArtifact, StateWitness, Upec2Safety,

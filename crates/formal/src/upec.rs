@@ -55,6 +55,7 @@
 use crate::aig::{Aig, AigLit};
 use crate::blast::{build_frame_with_leaves, next_state, Frame, LazyFrame};
 use crate::certify::{CertStats, CertifiedOutcome, CheckCertificate};
+use crate::ic3::RelationalClause;
 use crate::tseitin::CnfEncoder;
 use crate::words::eq_word;
 use fastpath_cert::{artifacts, CertError, Checker};
@@ -508,6 +509,9 @@ pub struct Upec2Safety<'m> {
     elab: ElaborationStats,
     /// Independent certification, when enabled.
     cert: Option<CertState>,
+    /// Relational clauses staged for the *next* check only (an IC3
+    /// discharge re-validation); consumed and guarded per check.
+    pending_relational: Vec<RelationalClause>,
 }
 
 impl<'m> Upec2Safety<'m> {
@@ -541,6 +545,7 @@ impl<'m> Upec2Safety<'m> {
             stats_at_reset: SolverStats::default(),
             elab: ElaborationStats::default(),
             cert: None,
+            pending_relational: Vec::new(),
         }
     }
 
@@ -730,6 +735,19 @@ impl<'m> Upec2Safety<'m> {
         self.spec.conditional_equalities.push((cond, signal));
     }
 
+    /// Stages machine-derived relational clauses (an IC3 candidate
+    /// invariant, see [`crate::Ic3Engine`]) for the **next check only**.
+    /// That check then decides IC3's consecution theorem: each clause is
+    /// assumed over the product state at `t` and its negation joins the
+    /// monitored disjunction at `t+1`, so `Holds` certifies
+    /// `Inv ∧ premises ∧ T → Inv' ∧ ¬Bad` through the standard
+    /// (certifiable) induction path. Everything is guarded by the check's
+    /// activation literal and retired with it — a failed re-validation
+    /// leaves no trace on later checks.
+    pub fn add_relational_clauses(&mut self, clauses: &[RelationalClause]) {
+        self.pending_relational.extend_from_slice(clauses);
+    }
+
     /// Runs the inductive property of Listing 1 for the candidate
     /// partitioning `z_prime`.
     ///
@@ -909,9 +927,20 @@ impl<'m> Upec2Safety<'m> {
         let vars_before = self.encoder.num_vars();
         let clauses_before = self.encoder.num_clauses();
         let nodes_before = self.aig.node_count();
+        // Staged relational clauses pin *individual* split leaves of both
+        // instances, so the word product's equality predicates add no
+        // abstraction value to a strengthened check — and its structural
+        // folding can leave an instance-1 leaf the clause references
+        // disconnected from the monitored cones, weakening the check.
+        // Strengthened checks therefore always decide through the bit
+        // path (on the same incremental solver), which keeps the verdict
+        // byte-identical across encodings by construction.
         let out = match self.encoding {
             UpecEncoding::Bits => self.check_bits(z_prime, include_outputs),
-            UpecEncoding::Words => self.check_words(z_prime, include_outputs),
+            UpecEncoding::Words if self.pending_relational.is_empty() => {
+                self.check_words(z_prime, include_outputs)
+            }
+            UpecEncoding::Words => self.check_bits(z_prime, include_outputs),
         };
         self.product_stats.checks += 1;
         self.product_stats.check_sat_vars +=
@@ -1023,6 +1052,41 @@ impl<'m> Upec2Safety<'m> {
             cond_eq_violation.push(viol);
         }
 
+        // --- staged relational clauses (IC3 re-validation), one-shot -----
+        // Assumed over the product state at `t` (guarded), with their
+        // negations monitored at `t+1`: exactly IC3's consecution theorem.
+        let relational = std::mem::take(&mut self.pending_relational);
+        let mut relational_broken = Vec::new();
+        for clause in &relational {
+            debug_assert!(!clause.lits.is_empty(), "empty relational clause");
+            let mut cl = vec![ng];
+            for lit in &clause.lits {
+                let (_, b0, b1) = &state_bits_t[lit.reg];
+                let bits = if lit.inst == 0 { b0 } else { b1 };
+                let l = encoder.lit(aig, bits[lit.bit as usize]);
+                cl.push(if lit.positive { l } else { !l });
+            }
+            encoder.add_clause(&cl);
+            let neg: Vec<AigLit> = clause
+                .lits
+                .iter()
+                .map(|lit| {
+                    let next = if lit.inst == 0 {
+                        &tmpl.next0[lit.reg]
+                    } else {
+                        &next1[lit.reg]
+                    };
+                    let b = next[lit.bit as usize];
+                    if lit.positive {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            relational_broken.push(aig.and_all(&neg));
+        }
+
         // --- monitors ----------------------------------------------------
         let mut diff_next = Vec::new();
         for (i, &reg) in state_ids.iter().enumerate() {
@@ -1056,6 +1120,11 @@ impl<'m> Upec2Safety<'m> {
             }
         }
         for &d in &cond_eq_violation {
+            if d != AigLit::FALSE {
+                monitored.push(encoder.lit(aig, d));
+            }
+        }
+        for &d in &relational_broken {
             if d != AigLit::FALSE {
                 monitored.push(encoder.lit(aig, d));
             }
@@ -1377,6 +1446,10 @@ impl<'m> Upec2Safety<'m> {
             }
         }
 
+        // Strengthened checks never reach this path: `check_internal`
+        // routes them through the bit encoding (see its dispatch).
+        debug_assert!(self.pending_relational.is_empty());
+
         // --- monitors + solve -------------------------------------------
         // Only dirty monitors reach the clause; a pruned predicate is
         // exactly one whose bit-mode counterpart would have folded to
@@ -1581,7 +1654,11 @@ fn word_value(encoder: &CnfEncoder, bits: &[AigLit]) -> BitVec {
     v
 }
 
-fn alloc_input(aig: &mut Aig, role: SignalRole, width: u32) -> (Vec<AigLit>, Vec<AigLit>) {
+pub(crate) fn alloc_input(
+    aig: &mut Aig,
+    role: SignalRole,
+    width: u32,
+) -> (Vec<AigLit>, Vec<AigLit>) {
     match role {
         SignalRole::DataIn => {
             // Confidential: free and independent per instance.
@@ -1597,7 +1674,12 @@ fn alloc_input(aig: &mut Aig, role: SignalRole, width: u32) -> (Vec<AigLit>, Vec
     }
 }
 
-fn blast_predicate(aig: &mut Aig, module: &Module, frame: &Frame, expr: ExprId) -> AigLit {
+pub(crate) fn blast_predicate(
+    aig: &mut Aig,
+    module: &Module,
+    frame: &Frame,
+    expr: ExprId,
+) -> AigLit {
     let word = crate::blast::blast_expr_in_frame(aig, module, frame, expr);
     assert_eq!(word.len(), 1, "constraints and invariants must be 1 bit");
     word[0]
@@ -2180,6 +2262,91 @@ mod tests {
         for z in [vec![acc, cnt], vec![cnt], vec![]] {
             assert_eq!(cached.check(&z).holds(), fresh.check(&z).holds(), "{z:?}");
         }
+    }
+
+    #[test]
+    fn relational_clauses_discharge_a_non_inductive_check() {
+        // A persistent mask bit gates the leak: `Z' = {mask}` is a true
+        // partitioning but not 1-inductive, because the symbolic product
+        // state includes the unreachable mask=1 half. IC3 derives the
+        // reachability invariant; staging its clauses turns the same
+        // induction check into the consecution theorem, which holds.
+        let mut b = ModuleBuilder::new("masked");
+        let data = b.data_input("data", 4);
+        let d = b.sig(data);
+        let mask = b.reg("mask", 1, 0);
+        let msig = b.sig(mask);
+        b.set_next(mask, msig).expect("self-loop");
+        let acc = b.reg("acc", 4, 0);
+        let a = b.sig(acc);
+        b.set_next(acc, d).expect("drive");
+        let zero = b.lit(4, 0);
+        let gated = b.mux(msig, a, zero);
+        let leak = b.red_or(gated);
+        b.control_output("leak", leak);
+        let m = b.build().expect("valid");
+        let mask_id = m.signal_by_name("mask").expect("mask");
+
+        let mut engine = crate::ic3::Ic3Engine::new(&m);
+        let crate::ic3::Ic3Outcome::Proved(inv) = engine.prove(&[mask_id]) else {
+            panic!("ic3 must prove the masked leak");
+        };
+
+        for enc in [UpecEncoding::Bits, UpecEncoding::Words] {
+            let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+            upec.set_encoding(enc);
+            assert!(
+                !upec.check(&[mask_id]).holds(),
+                "{enc}: plain induction should fail"
+            );
+            upec.add_relational_clauses(&inv.clauses);
+            assert!(
+                upec.check(&[mask_id]).holds(),
+                "{enc}: invariant-strengthened induction should hold"
+            );
+            // Staging is one-shot: the clauses retire with their check's
+            // activation literal and a plain re-check fails again.
+            assert!(
+                !upec.check(&[mask_id]).holds(),
+                "{enc}: staged clauses must not persist"
+            );
+        }
+    }
+
+    #[test]
+    fn relational_clause_discharge_is_certifiable() {
+        // The strengthened check's UNSAT proof must survive independent
+        // RUP re-validation — the exact artifact flow/cache re-check.
+        let mut b = ModuleBuilder::new("masked_cert");
+        let data = b.data_input("data", 2);
+        let d = b.sig(data);
+        let mask = b.reg("mask", 1, 0);
+        let msig = b.sig(mask);
+        b.set_next(mask, msig).expect("self-loop");
+        let acc = b.reg("acc", 2, 0);
+        let a = b.sig(acc);
+        b.set_next(acc, d).expect("drive");
+        let zero = b.lit(2, 0);
+        let gated = b.mux(msig, a, zero);
+        let leak = b.red_or(gated);
+        b.control_output("leak", leak);
+        let m = b.build().expect("valid");
+        let mask_id = m.signal_by_name("mask").expect("mask");
+
+        let mut engine = crate::ic3::Ic3Engine::new(&m);
+        let crate::ic3::Ic3Outcome::Proved(inv) = engine.prove(&[mask_id]) else {
+            panic!("ic3 must prove the masked leak");
+        };
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.enable_certification();
+        upec.add_relational_clauses(&inv.clauses);
+        let certified = upec.check_certified(&[mask_id]);
+        assert!(certified.outcome.holds(), "strengthened check should hold");
+        assert!(
+            certified.is_certified(),
+            "UNSAT proof must re-validate: {:?}",
+            certified.certificate
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   --no-encoding-diff
 //!                    skip the words-vs-bits UPEC encoding agreement
 //!                    re-runs
+//!   --no-ic3-diff    skip the ic3-vs-induction engine agreement
+//!                    re-runs
 //!   --inject-hfg-underapprox
 //!                    plant a fake "no paths" HFG verdict (oracle
 //!                    self-test: the run MUST report violations)
@@ -83,6 +85,7 @@ fn run(args: &[String]) {
         },
         portfolio: parsed_flag(args, "--sat-portfolio").unwrap_or(0),
         check_encodings: !args.iter().any(|a| a == "--no-encoding-diff"),
+        check_ic3: !args.iter().any(|a| a == "--no-ic3-diff"),
         shrink: !args.iter().any(|a| a == "--no-shrink"),
         max_shrink_evals: 250,
     };

@@ -39,6 +39,9 @@ pub struct RunOptions {
     /// Re-run both flows with the bit-level UPEC encoding and require
     /// agreement with the word-level verdicts.
     pub check_encodings: bool,
+    /// Re-run both flows with the escalation-free induction engine and
+    /// require the IC3-escalating runs are never weaker.
+    pub check_ic3: bool,
     /// Shrink violating cases.
     pub shrink: bool,
     /// Oracle-evaluation budget per shrink.
@@ -57,6 +60,7 @@ impl Default for RunOptions {
             fault: FaultInjection::None,
             portfolio: 0,
             check_encodings: true,
+            check_ic3: true,
             shrink: true,
             max_shrink_evals: 250,
         }
@@ -121,6 +125,7 @@ pub fn fuzz_run(opts: &RunOptions) -> RunSummary {
         fault: opts.fault,
         portfolio: opts.portfolio,
         check_encodings: opts.check_encodings,
+        check_ic3: opts.check_ic3,
     };
     let started = Instant::now();
     let mut summary = RunSummary::default();

@@ -38,6 +38,13 @@
 //!    oracle must reproduce each other's verdict, completing stage, and
 //!    inspection count exactly; with certification on, the bits re-run
 //!    must also be fully certified.
+//! 9. **Ic3Agreement** — the IC3-escalating flow (the engine default)
+//!    must never be *weaker* than the escalation-free induction
+//!    reference: its verdict ranks at least as strong, it never inspects
+//!    more counterexamples, and any constraint it activates the
+//!    reference activated too (a certified discharge may only remove
+//!    work, never add it); with certification on, the induction re-run
+//!    must also be fully certified.
 //!
 //! An extra, zero-trust cross-check — **EngineEquivalence** — runs the
 //! compiled and interpretive simulators side by side on the same case
@@ -46,7 +53,7 @@
 use crate::gen::FuzzCase;
 use fastpath::{
     confirm_counterexample, run_baseline_with, run_fastpath_with, CaseStudy, CompletionMethod,
-    DesignInstance, FlowOptions, UpecEncoding, Verdict,
+    DesignInstance, FlowOptions, UpecEncoding, UpecEngine, Verdict,
 };
 use fastpath_formal::{Upec2Safety, UpecOutcome, UpecSpec};
 use fastpath_hfg::{extract_hfg, PathQuery};
@@ -79,6 +86,10 @@ pub enum InvariantKind {
     /// The word-level UPEC encoding diverged from the bit-level
     /// reference encoding.
     EncodingAgreement,
+    /// The IC3-escalating flow produced a weaker verdict, more
+    /// inspections, or a larger constraint set than the escalation-free
+    /// induction reference.
+    Ic3Agreement,
     /// Compiled and interpretive simulators disagreed.
     EngineEquivalence,
 }
@@ -95,6 +106,7 @@ impl fmt::Display for InvariantKind {
             InvariantKind::CertificateValid => "certificate-valid",
             InvariantKind::PortfolioAgreement => "portfolio-agreement",
             InvariantKind::EncodingAgreement => "encoding-agreement",
+            InvariantKind::Ic3Agreement => "ic3-agreement",
             InvariantKind::EngineEquivalence => "engine-equivalence",
         };
         f.write_str(s)
@@ -138,6 +150,9 @@ pub struct OracleOptions {
     /// Re-run both flows with the bit-level UPEC encoding and demand
     /// verdict/method/inspection agreement with the word-level runs.
     pub check_encodings: bool,
+    /// Re-run both flows with the escalation-free induction engine and
+    /// demand the IC3-escalating runs are never weaker.
+    pub check_ic3: bool,
     /// Fault injection (tests only).
     pub fault: FaultInjection,
 }
@@ -149,6 +164,7 @@ impl Default for OracleOptions {
             check_engines: true,
             portfolio: 0,
             check_encodings: true,
+            check_ic3: true,
             fault: FaultInjection::None,
         }
     }
@@ -581,6 +597,57 @@ pub fn check_case(case: &FuzzCase, opts: &OracleOptions) -> OracleOutcome {
         }
     }
 
+    // Engine differential: the IC3-escalating default vs the
+    // escalation-free induction reference. Escalation may only remove
+    // work — a weaker verdict, extra inspections, or a constraint the
+    // reference never needed all mean an unsound discharge.
+    if opts.check_ic3 {
+        let rank = |v: &Verdict| match v {
+            Verdict::DataOblivious => 2,
+            Verdict::ConstrainedDataOblivious(_) => 1,
+            Verdict::NotDataOblivious => 0,
+        };
+        let ind_opts = FlowOptions {
+            certify: opts.certify,
+            upec_engine: UpecEngine::Induction,
+            ..FlowOptions::default()
+        };
+        let fast_i = run_fastpath_with(&study, ind_opts.clone());
+        let base_i = run_baseline_with(&study, ind_opts);
+        for (label, ic3, ind) in [("fastpath", &fast, &fast_i), ("baseline", &base, &base_i)] {
+            let extra_constraint = match (&ic3.verdict, &ind.verdict) {
+                (Verdict::ConstrainedDataOblivious(c3), Verdict::ConstrainedDataOblivious(ci)) => {
+                    c3.iter().any(|c| !ci.contains(c))
+                }
+                _ => false,
+            };
+            if rank(&ic3.verdict) < rank(&ind.verdict)
+                || ic3.manual_inspections > ind.manual_inspections
+                || extra_constraint
+            {
+                violations.push(Violation {
+                    kind: InvariantKind::Ic3Agreement,
+                    detail: format!(
+                        "{label} ic3 run is weaker than the induction \
+                         reference: ic3 ({}, {} inspections) vs induction \
+                         ({}, {} inspections)",
+                        ic3.verdict, ic3.manual_inspections, ind.verdict, ind.manual_inspections,
+                    ),
+                });
+            }
+            if opts.certify && ind.fully_certified() != Some(true) {
+                violations.push(Violation {
+                    kind: InvariantKind::CertificateValid,
+                    detail: format!(
+                        "{label} induction re-run is not fully certified: \
+                         {:?}",
+                        ind.certification.as_ref().map(|c| &c.failures),
+                    ),
+                });
+            }
+        }
+    }
+
     // Cross-engine battery (compiled vs interpretive simulators).
     if opts.check_engines {
         if let Err(err) = diff::check_engine_equivalence(
@@ -633,6 +700,28 @@ mod tests {
         let opts = OracleOptions {
             certify: true,
             check_engines: false,
+            ..OracleOptions::default()
+        };
+        for seed in 0..3 {
+            let case = generate_case(seed);
+            let outcome = check_case(&case, &opts);
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {:?}",
+                outcome.violations
+            );
+        }
+    }
+
+    #[test]
+    fn ic3_agreement_holds_certified() {
+        // The IC3-escalating default vs the escalation-free induction
+        // reference with full certification on the re-runs: the
+        // Ic3Agreement and CertificateValid invariants together.
+        let opts = OracleOptions {
+            certify: true,
+            check_engines: false,
+            check_encodings: false,
             ..OracleOptions::default()
         };
         for seed in 0..3 {

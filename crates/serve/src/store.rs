@@ -6,14 +6,16 @@
 //!
 //! ```text
 //! store/
-//!   checks/<digest>    memoized UPEC verdicts (core cache wire format)
-//!   sims/<digest>      memoized IFT simulation results
-//!   cones/<digest>     per-cone flow verdicts, keyed by canonical cone hash
-//!   modules/<digest>   cone manifests, keyed by the *design name* digest
-//!   evictions          cumulative GC eviction counter
+//!   checks/<digest>      memoized UPEC verdicts (core cache wire format)
+//!   sims/<digest>        memoized IFT simulation results
+//!   invariants/<digest>  machine-derived IC3 invariants + their certified
+//!                        strengthened-check proofs, keyed like checks
+//!   cones/<digest>       per-cone flow verdicts, keyed by canonical cone hash
+//!   modules/<digest>     cone manifests, keyed by the *design name* digest
+//!   evictions            cumulative GC eviction counter
 //! ```
 //!
-//! `checks/` and `sims/` implement [`ProofCache`], so the same store that
+//! `checks/`, `sims/` and `invariants/` implement [`ProofCache`], so the same store that
 //! backs the daemon's cone decomposition also memoizes individual solver
 //! calls inside each flow run. Entries are written atomically (temp file +
 //! rename) and carry their own checksums: the core cache entries embed a
@@ -34,8 +36,8 @@ const TAG_STORE_SUM: u64 = 0x66707376;
 const CONE_MAGIC: &str = "fastpath-store cone 1";
 const MANIFEST_MAGIC: &str = "fastpath-store module 1";
 
-/// The four object namespaces, in deterministic GC scan order.
-const NAMESPACES: [&str; 4] = ["checks", "sims", "cones", "modules"];
+/// The five object namespaces, in deterministic GC scan order.
+const NAMESPACES: [&str; 5] = ["checks", "sims", "invariants", "cones", "modules"];
 
 /// A content-addressed artifact store rooted at one directory.
 #[derive(Debug)]

@@ -105,3 +105,170 @@ fn cond_eq_obligations_catch_bogus_equalities() {
         }
     }
 }
+
+#[test]
+fn non_1_inductive_obligation_is_discharged_by_ic3() {
+    // A two-stage dead pipeline: `arm` latches the (constrained-to-zero)
+    // `priv_mode` input and `fire` latches `arm`, so proving the leak
+    // gate closed needs the *joint* strengthening {arm = 0, fire = 0} —
+    // `fire = 0` alone is not 1-inductive (fire' = arm). The induction
+    // engine must classify each spurious counterexample against the
+    // declared invariant vocabulary, paying one inspection per
+    // activation; the IC3 engine derives the same strengthening as
+    // machine clauses at the first classification step, discharges the
+    // obligation without touching the vocabulary, and finishes with
+    // strictly fewer inspections and the same constraint set.
+    use fastpath::{
+        run_fastpath_with, CaseStudy, DesignInstance, FlowEvent, FlowOptions, NamedPredicate,
+        UpecEngine, Verdict,
+    };
+    use fastpath_rtl::ModuleBuilder;
+    use std::sync::Arc;
+
+    let mut b = ModuleBuilder::new("delayed_mask");
+    let data = b.data_input("data", 4);
+    let d = b.sig(data);
+    let priv_in = b.input("priv_mode", 1);
+    let p = b.sig(priv_in);
+    let arm = b.reg("arm", 1, 0);
+    b.set_next(arm, p).expect("arm latches priv_mode");
+    let arms = b.sig(arm);
+    let fire = b.reg("fire", 1, 0);
+    b.set_next(fire, arms).expect("fire latches arm");
+    let fires = b.sig(fire);
+    let acc = b.reg("acc", 4, 0);
+    b.set_next(acc, d).expect("acc latches data");
+    let accs = b.sig(acc);
+    let any = b.red_or(accs);
+    let gate = b.or(fires, p);
+    let leak = b.and(gate, any);
+    b.control_output("leak", leak);
+    let no_priv = b.eq_lit(p, 0);
+    let arm_clear = b.eq_lit(arms, 0);
+    let fire_clear = b.eq_lit(fires, 0);
+    let module = b.build().expect("valid module");
+    let priv_id = module.signal_by_name("priv_mode").expect("priv_mode");
+
+    let mut instance = DesignInstance::new(module);
+    instance.constraints.push(NamedPredicate {
+        name: "no_priv".into(),
+        expr: no_priv,
+        restrict_testbench: Some(Arc::new(move |_m, tb| {
+            tb.fix(priv_id, 0);
+        })),
+    });
+    instance
+        .invariants
+        .push(NamedPredicate::new("arm_clear", arm_clear));
+    instance
+        .invariants
+        .push(NamedPredicate::new("fire_clear", fire_clear));
+    let mut study = CaseStudy::new("delayed_mask", instance);
+    study.cycles = 200;
+    study.seed = 7;
+
+    let induction = run_fastpath_with(
+        &study,
+        FlowOptions {
+            upec_engine: UpecEngine::Induction,
+            ..FlowOptions::default()
+        },
+    );
+    let ic3 = run_fastpath_with(
+        &study,
+        FlowOptions {
+            upec_engine: UpecEngine::Ic3,
+            ..FlowOptions::default()
+        },
+    );
+
+    let constrained = Verdict::ConstrainedDataOblivious(vec!["no_priv".into()]);
+    assert_eq!(induction.verdict, constrained, "induction reference");
+    assert_eq!(ic3.verdict, constrained, "ic3 must agree on the verdict");
+    assert!(
+        ic3.events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::Ic3Discharged { .. })),
+        "the non-1-inductive obligation must be discharged by IC3: {:?}",
+        ic3.events
+    );
+    assert!(
+        ic3.manual_inspections < induction.manual_inspections,
+        "a certified discharge must save inspections: ic3 {} vs induction {}",
+        ic3.manual_inspections,
+        induction.manual_inspections
+    );
+    assert!(
+        !induction
+            .events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::Ic3Discharged { .. })),
+        "the induction reference must stay escalation-free"
+    );
+}
+
+#[test]
+fn planted_non_inductive_invariant_clause_is_rejected() {
+    // Cert-side soundness: staging a machine-shaped relational clause
+    // that is NOT inductive must fail the strengthened check (its `t+1`
+    // obligation is part of the monitor clause), never silently
+    // strengthen the proof. The planted clause claims `flip = 0` in both
+    // instances, but `flip` toggles every cycle, so the clause holds at
+    // reset yet breaks after one step.
+    use fastpath_formal::{
+        RelationalClause, RelationalInvariant, RelationalLit, Upec2Safety, UpecEncoding,
+        UpecOutcome, UpecSpec,
+    };
+    use fastpath_rtl::ModuleBuilder;
+
+    let mut b = ModuleBuilder::new("toggler");
+    let data = b.data_input("data", 4);
+    let d = b.sig(data);
+    let flip = b.reg("flip", 1, 0);
+    let fs = b.sig(flip);
+    let nf = b.not(fs);
+    b.set_next(flip, nf).expect("flip toggles");
+    let acc = b.reg("acc", 4, 0);
+    b.set_next(acc, d).expect("acc latches data");
+    let accs = b.sig(acc);
+    let any = b.red_or(accs);
+    let leak = b.and(fs, any);
+    b.control_output("leak", leak);
+    let m = b.build().expect("valid module");
+    let flip_id = m.signal_by_name("flip").expect("flip");
+    let flip_pos = m
+        .state_signals()
+        .iter()
+        .position(|&s| s == flip_id)
+        .expect("flip is state");
+
+    let planted = RelationalInvariant {
+        clauses: (0..2)
+            .map(|inst| RelationalClause {
+                lits: vec![RelationalLit {
+                    reg: flip_pos,
+                    inst,
+                    bit: 0,
+                    positive: false,
+                }],
+            })
+            .collect(),
+    };
+    assert!(
+        planted.holds_at_reset(&m),
+        "the planted clause must pass the base case to prove the \
+         consecution obligation is what rejects it"
+    );
+    for encoding in [UpecEncoding::Bits, UpecEncoding::Words] {
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.set_encoding(encoding);
+        upec.elaborate();
+        upec.add_relational_clauses(&planted.clauses);
+        assert!(
+            !upec.check(&[flip_id]).holds(),
+            "{encoding:?}: a non-inductive planted clause must fail the \
+             strengthened check"
+        );
+    }
+    let _ = UpecOutcome::Holds; // silence unused-import lint paths
+}

@@ -1,0 +1,69 @@
+//! Cube-and-conquer benchmarks: the cost of lookahead cube generation
+//! and of certifying the resulting stitched proofs, on the two designs
+//! whose UPEC stage dominates Table I (CVA6-DIV and BOOM).
+//!
+//! A cube trigger of 1 conflict forces every non-trivial check through
+//! the cube tree, so `cube_generation` measures the full split/conquer
+//! machinery rather than the (deliberately rare) production trigger.
+//! The certification pair contrasts the default hinted backward check
+//! against forward DRUP replay over the same stitched proofs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastpath::{run_baseline_with, FlowOptions};
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_cube");
+    group.sample_size(10);
+
+    for study in [
+        fastpath_designs::cva6_div::case_study(),
+        fastpath_designs::boom::case_study(),
+    ] {
+        let cubed = FlowOptions {
+            cube_jobs: 4,
+            cube_trigger: Some(1),
+            ..FlowOptions::default()
+        };
+        group.bench_function(format!("{}/monolithic", study.name), |b| {
+            b.iter(|| {
+                run_baseline_with(
+                    &study,
+                    FlowOptions {
+                        cube_jobs: 0,
+                        ..FlowOptions::default()
+                    },
+                )
+            });
+        });
+        group.bench_function(format!("{}/cube_generation", study.name), |b| {
+            b.iter(|| run_baseline_with(&study, cubed.clone()));
+        });
+        group.bench_function(format!("{}/stitched_cert_hinted", study.name), |b| {
+            b.iter(|| {
+                run_baseline_with(
+                    &study,
+                    FlowOptions {
+                        certify: true,
+                        ..cubed.clone()
+                    },
+                )
+            });
+        });
+        group.bench_function(format!("{}/stitched_cert_forward", study.name), |b| {
+            b.iter(|| {
+                run_baseline_with(
+                    &study,
+                    FlowOptions {
+                        certify: true,
+                        cert_forward: true,
+                        ..cubed.clone()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

@@ -232,6 +232,12 @@ pub struct SideRecord {
     pub inspections: u64,
     /// Wall-clock seconds (report-only).
     pub wall_s: f64,
+    /// Hinted backward certification seconds (report-only; zero for
+    /// records predating the split and for `--cert-forward` runs).
+    pub cert_backward_s: f64,
+    /// Forward DRUP-replay certification seconds (report-only; zero
+    /// unless the run used `--cert-forward`).
+    pub cert_forward_s: f64,
     /// Per-technique solver counters (report-only; `None` for records
     /// predating them).
     pub solver: Option<SolverCounters>,
@@ -307,6 +313,11 @@ pub struct SolverCounters {
     pub eliminated_vars: u64,
     pub shared_imported: u64,
     pub shared_exported: u64,
+    pub cubes_generated: u64,
+    pub cubes_refuted: u64,
+    pub reuse_probed: u64,
+    pub reuse_imported: u64,
+    pub proof_bytes: u64,
 }
 
 /// Both sides of one design row.
@@ -358,6 +369,14 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                     wall_s: s
                         .num("wall_s")
                         .ok_or_else(|| format!("{design}: {key}.wall_s"))?,
+                    cert_backward_s: s
+                        .get("formal")
+                        .and_then(|f| f.num("cert_backward_s"))
+                        .unwrap_or(0.0),
+                    cert_forward_s: s
+                        .get("formal")
+                        .and_then(|f| f.num("cert_forward_s"))
+                        .unwrap_or(0.0),
                     solver: s.get("solver").map(|sv| {
                         let n = |k: &str| sv.num(k).unwrap_or(0.0) as u64;
                         SolverCounters {
@@ -369,6 +388,11 @@ pub fn parse_bench_record(text: &str) -> Result<Vec<DesignRecord>, String> {
                             eliminated_vars: n("eliminated_vars"),
                             shared_imported: n("shared_imported"),
                             shared_exported: n("shared_exported"),
+                            cubes_generated: n("cubes_generated"),
+                            cubes_refuted: n("cubes_refuted"),
+                            reuse_probed: n("reuse_probed"),
+                            reuse_imported: n("reuse_imported"),
+                            proof_bytes: n("proof_bytes"),
                         }
                     }),
                     cache: s.get("cache").map(|cv| {
@@ -644,6 +668,49 @@ pub fn diff_bench_records(old_text: &str, new_text: &str) -> Result<BenchDiff, S
             );
         }
     }
+    // Report-only: cube-and-conquer and clause-reuse counters plus the
+    // certification time split (baseline side — the run that performs
+    // every check). Cube counts depend on `--cube-jobs` and the trigger
+    // budget, reuse counts on how warm the `--clause-store` file is, and
+    // the hint/forward seconds on the machine — none of them gate.
+    let cubed: Vec<_> = new
+        .iter()
+        .filter_map(|n| n.baseline.solver.map(|s| (n, s)))
+        .filter(|(n, s)| {
+            s.cubes_generated > 0
+                || s.reuse_probed > 0
+                || s.proof_bytes > 0
+                || n.baseline.cert_backward_s > 0.0
+                || n.baseline.cert_forward_s > 0.0
+        })
+        .collect();
+    if !cubed.is_empty() {
+        let _ = writeln!(
+            out.markdown,
+            "\nCube & clause-reuse counters (baseline side, report-only):\n"
+        );
+        let _ = writeln!(
+            out.markdown,
+            "| Design | Cubes gen/refuted | Clauses probed/imported/rejected | \
+             Proof bytes | Hint-check (s) | Forward-check (s) |",
+        );
+        let _ = writeln!(out.markdown, "|---|---|---|---|---|---|");
+        for (n, s) in cubed {
+            let _ = writeln!(
+                out.markdown,
+                "| {} | {}/{} | {}/{}/{} | {} | {:.3} | {:.3} |",
+                n.design,
+                s.cubes_generated,
+                s.cubes_refuted,
+                s.reuse_probed,
+                s.reuse_imported,
+                s.reuse_probed.saturating_sub(s.reuse_imported),
+                s.proof_bytes,
+                n.baseline.cert_backward_s,
+                n.baseline.cert_forward_s,
+            );
+        }
+    }
     // Report-only: SecIC3 engine counters (fastpath side), for
     // `--upec-engine ic3` runs that escalated cold. Never gates —
     // warm invariant-cache runs legitimately drop the whole section
@@ -777,6 +844,40 @@ mod tests {
         let diff = diff_bench_records(&with_counters, &drifted).expect("diff");
         assert!(diff.regressions.is_empty());
         assert!(diff.markdown.contains("3→7"));
+    }
+
+    #[test]
+    fn cube_and_reuse_counters_are_report_only() {
+        // Records without cube/reuse activity render no cube section.
+        let diff = diff_bench_records(MINI, MINI).expect("diff");
+        assert!(!diff.markdown.contains("Cube & clause-reuse"));
+        // A cubed + clause-store record gains the section; the counters
+        // and the certification time split never gate.
+        let cubed = MINI.replace(
+            r#""method": "UPEC", "inspections": 32}"#,
+            r#""method": "UPEC", "inspections": 32,
+               "formal": {"checks": 4, "cert_backward_s": 0.25,
+                 "cert_forward_s": 0.0},
+               "solver": {"conflicts": 10, "cubes_generated": 6,
+                 "cubes_refuted": 2, "reuse_probed": 9,
+                 "reuse_imported": 5, "proof_bytes": 4096}}"#,
+        );
+        let rows = parse_bench_record(&cubed).expect("parses");
+        let s = rows[0].baseline.solver.expect("present");
+        assert_eq!(s.cubes_generated, 6);
+        assert_eq!(s.reuse_imported, 5);
+        assert_eq!(s.proof_bytes, 4096);
+        assert!((rows[0].baseline.cert_backward_s - 0.25).abs() < 1e-9);
+        let diff = diff_bench_records(&cubed, &cubed).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+        assert!(diff.markdown.contains("Cube & clause-reuse"));
+        // rejected = probed - imported.
+        assert!(diff.markdown.contains("| 9/5/4 |"));
+        // Counter drift (a warmer store, a different cube budget) is
+        // annotated nowhere and gates nothing.
+        let drifted = cubed.replace(r#""reuse_imported": 5"#, r#""reuse_imported": 8"#);
+        let diff = diff_bench_records(&cubed, &drifted).expect("diff");
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
     }
 
     #[test]

@@ -50,6 +50,19 @@
 //!                engine, whose certified relational-invariant discharges
 //!                can convert constrained verdicts into proved ones;
 //!                induction is the escalation-free reference oracle
+//!   --cube-jobs N
+//!                split hard UPEC checks into a lookahead cube tree and
+//!                conquer the cubes on N workers (default 1 = cube
+//!                sequentially; 0 disables cubing). The rendered table
+//!                is byte-identical for every N
+//!   --cert-forward
+//!                certify by forward DRUP replay instead of the default
+//!                hinted backward check (table output is identical;
+//!                only certification wall-clock moves)
+//!   --clause-store PATH
+//!                persist learnt clauses keyed by canonical cone hash in
+//!                PATH and RUP-probe them for reuse in later runs —
+//!                including runs on other designs with isomorphic cones
 
 use fastpath_bench::{run_table1, Table1Options};
 
@@ -144,6 +157,26 @@ fn main() {
                 })
             })
             .unwrap_or(fastpath::UpecEngine::Ic3),
+        cube_jobs: args
+            .iter()
+            .position(|a| a == "--cube-jobs")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cube-jobs expects a number, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(1),
+        cert_forward: args.iter().any(|a| a == "--cert-forward"),
+        clause_store: args.iter().position(|a| a == "--clause-store").map(|i| {
+            args.get(i + 1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--clause-store expects a file path");
+                    std::process::exit(2);
+                })
+        }),
     };
     if opts.dump_artifacts.is_some() && !opts.certify {
         eprintln!("--dump-artifacts requires --certify");

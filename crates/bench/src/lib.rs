@@ -72,6 +72,25 @@ pub struct Table1Options {
     /// verdicts into proved ones; `induction` is the escalation-free
     /// reference oracle.
     pub upec_engine: UpecEngine,
+    /// Cube-and-conquer width for hard UPEC checks (`--cube-jobs N`; 0
+    /// disables cubing, 1 — the default — generates and conquers cubes
+    /// sequentially). The rendered table is byte-identical for every
+    /// width; only wall-clock and the cube counters in `--bench-json`
+    /// change.
+    pub cube_jobs: usize,
+    /// Certify by forward DRUP replay instead of the default hinted
+    /// backward check (`--cert-forward`). The rendered table is
+    /// byte-identical either way — only the certification wall-clock
+    /// buckets in `--bench-json` move.
+    pub cert_forward: bool,
+    /// Persistent learnt-clause store file (`--clause-store PATH`).
+    /// Clauses learnt over a register's canonical input cone are exported
+    /// after every run and RUP-probed for import into later runs over
+    /// isomorphic cones — including cones of *other* designs. Lookups
+    /// read only the snapshot loaded at startup, so the rendered table
+    /// stays byte-identical for every `--jobs` value; the file is
+    /// rewritten (merged, deduplicated) at exit.
+    pub clause_store: Option<PathBuf>,
 }
 
 impl Default for Table1Options {
@@ -91,6 +110,9 @@ impl Default for Table1Options {
             proof_cache: None,
             upec_encoding: UpecEncoding::Words,
             upec_engine: UpecEngine::Ic3,
+            cube_jobs: 1,
+            cert_forward: false,
+            clause_store: None,
         }
     }
 }
@@ -122,6 +144,10 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
                     None
                 }
             });
+    let clause_store = opts
+        .clause_store
+        .as_ref()
+        .map(|path| std::sync::Arc::new(fastpath::ClauseStore::open(path)));
     let flow_options = FlowOptions {
         certify: opts.certify,
         dump_artifacts: opts.dump_artifacts.clone(),
@@ -130,6 +156,9 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         cache,
         upec_encoding: opts.upec_encoding,
         upec_engine: opts.upec_engine,
+        cube_jobs: opts.cube_jobs,
+        cert_forward: opts.cert_forward,
+        clause_store: clause_store.clone(),
         ..FlowOptions::default()
     };
     let tasks: Vec<_> = selected
@@ -150,6 +179,17 @@ pub fn run_table1(studies: &[CaseStudy], opts: &Table1Options) -> String {
         .collect();
     let results = run_ordered(opts.jobs, tasks);
     let (reports, walls): (Vec<FlowReport>, Vec<f64>) = results.into_iter().unzip();
+
+    // Persist the clauses every run published during this invocation, so
+    // the next table1 run (or any other consumer of the store file)
+    // starts from an enriched snapshot.
+    if let Some(store) = &clause_store {
+        if let Err(e) = store.save() {
+            if let Some(path) = store.path() {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+    }
 
     if let Some(path) = &opts.bench_json {
         if let Err(e) = write_bench_json(path, opts, &selected, &reports, &walls) {
@@ -223,13 +263,17 @@ fn write_bench_json(
              \"cycles\": {}, \"wall_s\": {:.6}, \
              \"cycles_per_s\": {:.1}}}, \
              \"formal\": {{\"checks\": {}, \"elaboration_s\": {:.6}, \
-             \"checks_s\": {:.6}}}, {cache}{ic3}{product}\
+             \"checks_s\": {:.6}, \"cert_backward_s\": {:.6}, \
+             \"cert_forward_s\": {:.6}}}, {cache}{ic3}{product}\
              \"solver\": {{\"conflicts\": {}, \"decisions\": {}, \
              \"propagations\": {}, \"restarts\": {}, \
              \"learnt_clauses\": {}, \"chrono_backtracks\": {}, \
              \"rephases\": {}, \"vivified\": {}, \"strengthened\": {}, \
              \"subsumed\": {}, \"eliminated_vars\": {}, \
-             \"shared_imported\": {}, \"shared_exported\": {}}}}}",
+             \"shared_imported\": {}, \"shared_exported\": {}, \
+             \"cubes_generated\": {}, \"cubes_refuted\": {}, \
+             \"reuse_probed\": {}, \"reuse_imported\": {}, \
+             \"proof_bytes\": {}}}}}",
             report.verdict,
             report.method,
             report.manual_inspections,
@@ -241,6 +285,8 @@ fn write_bench_json(
             t.check_count,
             t.formal_elaboration.as_secs_f64(),
             t.formal_checks.as_secs_f64(),
+            t.cert_backward.as_secs_f64(),
+            t.cert_forward.as_secs_f64(),
             s.conflicts,
             s.decisions,
             s.propagations,
@@ -254,6 +300,11 @@ fn write_bench_json(
             s.eliminated_vars,
             s.shared_imported,
             s.shared_exported,
+            s.cubes_generated,
+            s.cubes_refuted,
+            s.reuse_probed,
+            s.reuse_imported,
+            s.proof_bytes,
         );
     }
     let mut out = String::new();
@@ -476,6 +527,12 @@ fn render_runtime(out: &mut String, fast: &FlowReport) {
         s.eliminated_vars,
         s.shared_imported,
         s.shared_exported
+    );
+    let _ = writeln!(
+        out,
+        "  cube:    {} cubes generated, {} refuted by lookahead; \
+         reuse {} probed / {} imported; {} proof bytes",
+        s.cubes_generated, s.cubes_refuted, s.reuse_probed, s.reuse_imported, s.proof_bytes
     );
     let e = &fast.elaboration;
     let _ = writeln!(

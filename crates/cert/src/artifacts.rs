@@ -349,6 +349,210 @@ fn trim_replay(cnf_text: &str, drup_text: &str) -> Result<Trimmed, RevalidateErr
     })
 }
 
+/// An incremental, core-tracking replay that emits trimmed hinted
+/// artifacts directly from the live trace.
+///
+/// This is the backward-certification fast path: a long-lived engine feeds
+/// each check's new trace steps exactly once (like [`Checker`]), and after
+/// a successful [`HintedTracker::verify_unsat`] the caller asks for the
+/// check's artifact with [`HintedTracker::emit_hinted`] — the UNSAT core
+/// is extracted from conflict cores recorded *during* the replay, so no
+/// DRUP text is rendered, parsed back, or replayed a second time (the
+/// [`trim_unsat_artifact_hinted`] round trip this supersedes).
+///
+/// The one structural difference from the offline trimmer: assumptions are
+/// not baked into the fed trace, so the emitted core CNF appends one unit
+/// clause per assumption (the stored-artifact convention) and the final
+/// hint chain starts with those units — replaying them reproduces the
+/// probe's assumed literals before the recorded derivation runs.
+#[derive(Debug, Default)]
+pub struct HintedTracker {
+    checker: Checker,
+    /// Admitted axiom clauses: `(cref, literals)` in admission order.
+    axioms: Vec<(u32, Vec<Lit>)>,
+    /// Admitted learnt clauses: `(cref, literals)` in admission order.
+    learns: Vec<(u32, Vec<Lit>)>,
+}
+
+impl HintedTracker {
+    /// Creates an empty tracker.
+    ///
+    /// The underlying checker runs in *deferred* (backward) mode: `Learn`
+    /// steps are admitted without an eager RUP probe, and each
+    /// [`HintedTracker::verify_unsat`] verifies only the lemmas in the
+    /// refutation's dependency closure, each against the strictly earlier
+    /// part of the trace. On SAT-heavy incremental traces (most UPEC
+    /// checks end in a model, not a refutation) this skips nearly all of
+    /// the forward replay's probe work; lemmas nothing ever depends on
+    /// are never checked, which is the standard backward-checking trade.
+    pub fn new() -> Self {
+        HintedTracker {
+            checker: Checker::with_deferred_checking(),
+            axioms: Vec::new(),
+            learns: Vec::new(),
+        }
+    }
+
+    /// Replays trace steps in order (see [`Checker::feed`]), recording
+    /// which clause each admitted step became so cores can be mapped back
+    /// to sources at emission time.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CertError`] produced during replay.
+    pub fn feed(&mut self, steps: &[ProofStep]) -> Result<(), CertError> {
+        for step in steps {
+            let cref = self.checker.clause_count() as u32;
+            self.checker.feed(std::slice::from_ref(step))?;
+            if self.checker.clause_count() > cref as usize {
+                match step {
+                    ProofStep::Axiom(lits) => self.axioms.push((cref, lits.clone())),
+                    ProofStep::Learn(lits) => self.learns.push((cref, lits.clone())),
+                    ProofStep::Delete(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Certifies the replayed formula unsatisfiable under `assumptions`
+    /// and records the refutation's core (see [`Checker::verify_unsat`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::AssumptionsNotRefuted`] if the probe does not conflict.
+    pub fn verify_unsat(&mut self, assumptions: &[Lit]) -> Result<(), CertError> {
+        self.checker.verify_unsat(assumptions)
+    }
+
+    /// Work counters of the underlying checker.
+    pub fn stats(&self) -> CheckerStats {
+        self.checker.stats()
+    }
+
+    /// `true` once root propagation has derived the empty clause.
+    pub fn contradiction(&self) -> bool {
+        self.checker.contradiction()
+    }
+
+    /// The number of trace steps fed so far.
+    pub fn steps_fed(&self) -> usize {
+        self.checker.steps_fed()
+    }
+
+    /// Emits the trimmed `(core CNF, hinted proof)` pair for the most
+    /// recent successful [`HintedTracker::verify_unsat`]: a backward pass
+    /// from the final conflict's core closes over each needed learnt
+    /// clause's own probe core, kept clauses are renumbered (axioms,
+    /// then assumption units, then learns), and every learn line carries
+    /// its recorded LRAT-style hint chain. The pair is validated through
+    /// [`check_hinted_unsat_artifact`] before being returned, so a caller
+    /// can store it knowing it will certify on load.
+    ///
+    /// `assumptions` must be the same literals passed to `verify_unsat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevalidateError`] if no refutation core is available or
+    /// the emitted pair fails its own validation.
+    pub fn emit_hinted(&self, assumptions: &[Lit]) -> Result<(String, String), RevalidateError> {
+        let final_hints: Vec<u32> = self
+            .checker
+            .final_core()
+            .ok_or_else(|| RevalidateError::Drup("no refutation core recorded".into()))?
+            .to_vec();
+
+        // Backward pass: the final conflict's core, closed under each
+        // needed learnt clause's own probe core. Cores recorded while a
+        // since-deleted clause was active may still reach it — deletions
+        // only remove clauses from *future* derivations — so deleted
+        // clauses stay emittable and the closure never dangles.
+        let mut needed: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = final_hints.clone();
+        while let Some(cref) = stack.pop() {
+            if needed.insert(cref) {
+                if let Some(core) = self.checker.learn_core(cref) {
+                    stack.extend_from_slice(core);
+                }
+            }
+        }
+
+        let kept_axioms: Vec<&(u32, Vec<Lit>)> = self
+            .axioms
+            .iter()
+            .filter(|(cref, _)| needed.contains(cref))
+            .collect();
+        let kept_learns: Vec<&(u32, Vec<Lit>)> = self
+            .learns
+            .iter()
+            .filter(|(cref, _)| needed.contains(cref))
+            .collect();
+
+        // Renumber: kept axioms first, assumption units next, kept learns
+        // after — matching the database order the hinted checker builds.
+        let mut new_index: HashMap<u32, u32> = HashMap::new();
+        for (next, (cref, _)) in kept_axioms.iter().enumerate() {
+            new_index.insert(*cref, next as u32);
+        }
+        let assumption_base = kept_axioms.len() as u32;
+        let learn_base = assumption_base + assumptions.len() as u32;
+        for (offset, (cref, _)) in kept_learns.iter().enumerate() {
+            new_index.insert(*cref, learn_base + offset as u32);
+        }
+        let map_hints = |hints: &[u32]| -> Result<Vec<u32>, RevalidateError> {
+            hints
+                .iter()
+                .map(|h| {
+                    new_index
+                        .get(h)
+                        .copied()
+                        .ok_or_else(|| RevalidateError::Drup("hint outside trimmed core".into()))
+                })
+                .collect()
+        };
+
+        let num_vars = kept_axioms
+            .iter()
+            .flat_map(|(_, lits)| lits.iter())
+            .chain(kept_learns.iter().flat_map(|(_, lits)| lits.iter()))
+            .chain(assumptions.iter())
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut core_cnf = format!(
+            "p cnf {} {}\n",
+            num_vars,
+            kept_axioms.len() + assumptions.len()
+        );
+        for (_, lits) in &kept_axioms {
+            write_clause(&mut core_cnf, lits);
+        }
+        for &a in assumptions {
+            write_clause(&mut core_cnf, &[a]);
+        }
+
+        let mut hinted = String::new();
+        for (cref, lits) in &kept_learns {
+            write_hinted_line(
+                &mut hinted,
+                lits,
+                &map_hints(self.checker.learn_core(*cref).unwrap_or(&[]))?,
+            );
+        }
+        // The final refutation assumed the assumption literals before
+        // propagating; scripting the assumption units first reproduces
+        // those seeds in the hint walk.
+        let mut last: Vec<u32> = (assumption_base..learn_base).collect();
+        last.extend(map_hints(&final_hints)?);
+        write_hinted_line(&mut hinted, &[], &last);
+
+        // Never hand back a pair that would miss on load.
+        check_hinted_unsat_artifact(&core_cnf, &hinted)?;
+        Ok((core_cnf, hinted))
+    }
+}
+
 fn write_hinted_line(out: &mut String, lits: &[Lit], hints: &[u32]) {
     for &lit in lits {
         let n = lit.var().index() as i64 + 1;
@@ -772,6 +976,98 @@ mod tests {
                 .unwrap_or_else(|e| panic!("round {round}: hinted trim failed: {e}"));
             check_hinted_unsat_artifact(&core_cnf, &hinted)
                 .unwrap_or_else(|e| panic!("round {round}: hinted pair rejected: {e}"));
+            checked += 1;
+        }
+        assert!(checked > 10, "too few UNSAT instances exercised: {checked}");
+    }
+
+    #[test]
+    fn hinted_tracker_emits_per_check_artifacts_incrementally() {
+        use fastpath_sat::{SolveResult, Solver};
+        // The engine pattern: one long-lived solver + tracker, several
+        // guarded UNSAT checks, each fed exactly once and emitted at its
+        // own snapshot.
+        let mut s = Solver::new();
+        s.enable_proof_logging();
+        let x = s.new_var();
+        let y = s.new_var();
+        let g1 = s.new_var();
+        let g2 = s.new_var();
+        s.add_clause(&[g1.negative(), x.positive()]);
+        s.add_clause(&[g1.negative(), x.negative()]);
+        let mut tracker = HintedTracker::new();
+        let mut consumed = 0usize;
+
+        assert_eq!(s.solve_with(&[g1.positive()]), SolveResult::Unsat);
+        let snapshot = s.proof_len();
+        let steps = s.proof().expect("logged").steps();
+        tracker.feed(&steps[consumed..snapshot]).expect("replay ok");
+        consumed = snapshot;
+        tracker.verify_unsat(&[g1.positive()]).expect("check 1");
+        let (cnf1, hinted1) = tracker.emit_hinted(&[g1.positive()]).expect("emit 1");
+        check_hinted_unsat_artifact(&cnf1, &hinted1).expect("artifact 1 certifies");
+        // The g2 clauses don't exist yet; the y clauses never will be
+        // relevant — the core must only mention x and g1.
+        assert!(!cnf1.contains(&format!("{} ", g2.index() + 1)));
+
+        // Second check over a disjoint cone, same tracker.
+        s.add_clause(&[g2.negative(), y.positive()]);
+        s.add_clause(&[g2.negative(), y.negative()]);
+        assert_eq!(s.solve_with(&[g2.positive()]), SolveResult::Unsat);
+        let snapshot = s.proof_len();
+        let steps = s.proof().expect("logged").steps();
+        tracker.feed(&steps[consumed..snapshot]).expect("replay ok");
+        tracker.verify_unsat(&[g2.positive()]).expect("check 2");
+        let (cnf2, hinted2) = tracker.emit_hinted(&[g2.positive()]).expect("emit 2");
+        check_hinted_unsat_artifact(&cnf2, &hinted2).expect("artifact 2 certifies");
+
+        // A wrong claim is rejected, not silently emitted.
+        assert!(tracker.verify_unsat(&[x.positive()]).is_err());
+    }
+
+    #[test]
+    fn hinted_tracker_agrees_with_offline_trimmer_on_random_instances() {
+        use fastpath_sat::{Cnf, SolveResult, Solver, Var};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA11C);
+        let mut checked = 0usize;
+        for round in 0..120 {
+            let num_vars = rng.gen_range(2..=9usize);
+            let num_clauses = rng.gen_range(4..=40usize);
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<_> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
+                .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                .collect();
+            if s.solve_with(&assumptions) != SolveResult::Unsat {
+                continue;
+            }
+            let snapshot = s.proof_len();
+            let steps = &s.proof().expect("logged").steps()[..snapshot];
+            let mut tracker = HintedTracker::new();
+            tracker.feed(steps).expect("replay ok");
+            tracker
+                .verify_unsat(&assumptions)
+                .unwrap_or_else(|e| panic!("round {round}: verify failed: {e}"));
+            let (core_cnf, hinted) = tracker
+                .emit_hinted(&assumptions)
+                .unwrap_or_else(|e| panic!("round {round}: emit failed: {e}"));
+            check_hinted_unsat_artifact(&core_cnf, &hinted)
+                .unwrap_or_else(|e| panic!("round {round}: tracker pair rejected: {e}"));
+            // The offline round trip must agree that this is certifiable.
+            let cnf = Cnf::from_steps(steps, &assumptions).to_dimacs();
+            let drup = proof_to_drup(steps, &assumptions);
+            trim_unsat_artifact_hinted(&cnf, &drup)
+                .unwrap_or_else(|e| panic!("round {round}: offline trim failed: {e}"));
             checked += 1;
         }
         assert!(checked > 10, "too few UNSAT instances exercised: {checked}");

@@ -1,7 +1,7 @@
 //! The forward unit-propagation RUP checker.
 
 use fastpath_sat::{Lit, ProofStep};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 /// Why a certificate was rejected.
@@ -84,7 +84,9 @@ impl std::error::Error for CertError {}
 pub struct CheckerStats {
     /// Axiom clauses admitted.
     pub axioms: u64,
-    /// Learnt clauses verified (RUP probes that succeeded).
+    /// Learnt clauses verified (RUP probes that succeeded). In deferred
+    /// (backward) mode this counts only the clauses a refutation actually
+    /// needed — the rest are admitted unchecked and never probed.
     pub learns: u64,
     /// Deletions applied.
     pub deletions: u64,
@@ -172,6 +174,15 @@ pub struct Checker {
     last_probe_core: Option<Vec<u32>>,
     /// Core of the most recent successful `verify_unsat` probe.
     final_core: Option<Vec<u32>>,
+    /// Backward mode: admit `Learn` steps without probing them and verify
+    /// only the needed closure at [`Checker::verify_unsat`] time.
+    deferred: bool,
+    /// Deferred mode: clause index → trace position of its `Learn` step.
+    /// Doubles as the is-learnt predicate during backward verification.
+    learn_step: HashMap<u32, usize>,
+    /// Deferred mode: learnt clauses whose bounded RUP probe succeeded
+    /// (memoized across incremental `verify_unsat` calls).
+    verified: HashSet<u32>,
 }
 
 impl Checker {
@@ -186,6 +197,22 @@ impl Checker {
     pub(crate) fn with_core_tracking() -> Self {
         Checker {
             track_cores: true,
+            ..Checker::default()
+        }
+    }
+
+    /// Creates a *backward* checker: `Learn` steps are admitted without
+    /// their RUP probe, and [`Checker::verify_unsat`] verifies only the
+    /// clauses in the refutation's dependency closure, each against the
+    /// strictly earlier portion of the database (so no circular
+    /// justification is possible). Lemmas no refutation ever needs are
+    /// never probed at all — the standard backward-checking trade: far
+    /// less propagation work on SAT-heavy incremental traces, in exchange
+    /// for not flagging junk lemmas that nothing depends on.
+    pub(crate) fn with_deferred_checking() -> Self {
+        Checker {
+            track_cores: true,
+            deferred: true,
             ..Checker::default()
         }
     }
@@ -529,6 +556,19 @@ impl Checker {
                     }
                 }
                 ProofStep::Learn(lits) => {
+                    if self.deferred {
+                        // Admit without probing; `verify_unsat` will
+                        // RUP-check this clause iff a refutation's
+                        // dependency closure reaches it.
+                        if let Some(norm) = Self::normalize(lits) {
+                            let cref = self.clauses.len() as u32;
+                            self.add_clause(norm);
+                            if self.clauses.len() > cref as usize {
+                                self.learn_step.insert(cref, pos);
+                            }
+                        }
+                        continue;
+                    }
                     let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
                     if !self.probes_to_conflict(&negated) {
                         return Err(CertError::LearnNotRup {
@@ -592,12 +632,245 @@ impl Checker {
             if self.track_cores {
                 self.final_core = self.last_probe_core.take();
             }
+            if self.deferred {
+                let seed = self.final_core.clone().unwrap_or_default();
+                self.verify_backward(&seed)?;
+            }
             Ok(())
         } else {
             Err(CertError::AssumptionsNotRefuted {
                 assumptions: assumptions.to_vec(),
             })
         }
+    }
+
+    /// Backward verification pass: RUP-checks every unverified learnt
+    /// clause in the dependency closure of `seed`, in decreasing clause
+    /// order, each against only the clauses admitted *before* it. Cores
+    /// recorded here feed [`Checker::learn_core`] exactly as the eager
+    /// mode's probes would, so hint emission is mode-agnostic.
+    ///
+    /// The scratch assignment starts as the root trail restricted to
+    /// literals whose derivation lies entirely below the current bound —
+    /// for a lemma at index `i` that is precisely the root fixpoint the
+    /// eager checker would have probed against at admission time (every
+    /// literal assigned before step `i` has a derivation chain through
+    /// clauses `< i`; later literals cannot, because their chain passes
+    /// through the clause that triggered them). Bounds only decrease
+    /// across the pass, so the restriction is a single monotone sweep.
+    fn verify_backward(&mut self, seed: &[u32]) -> Result<(), CertError> {
+        let mut heap: BinaryHeap<u32> = seed
+            .iter()
+            .copied()
+            .filter(|c| self.learn_step.contains_key(c) && !self.verified.contains(c))
+            .collect();
+        if heap.is_empty() {
+            return Ok(());
+        }
+        let nvars = self.assign.len();
+        let mut val = vec![0i8; nvars];
+        let mut reason2 = vec![NO_REASON; nvars];
+        let mut order2 = vec![0u64; nvars];
+        // chain_max[v]: the largest clause index on the derivation of v's
+        // root assignment. Trail order guarantees reason antecedents are
+        // computed before their consequences.
+        let mut chain_max = vec![0u32; nvars];
+        for &lit in &self.trail {
+            let v = lit.var().index();
+            let r = self.reason[v];
+            let mut m = 0u32;
+            if r != NO_REASON {
+                m = r;
+                for &l in &self.clauses[r as usize].lits {
+                    let u = l.var().index();
+                    if u != v {
+                        m = m.max(chain_max[u]);
+                    }
+                }
+            }
+            chain_max[v] = m;
+            val[v] = self.assign[v];
+            reason2[v] = r;
+            order2[v] = self.order[v];
+        }
+        let mut by_chain: Vec<(u32, Lit)> = self
+            .trail
+            .iter()
+            .map(|&l| (chain_max[l.var().index()], l))
+            .collect();
+        by_chain.sort_unstable_by_key(|&(m, _)| m);
+        let mut active_end = by_chain.len();
+        let mut stamp2 = self.stamp;
+        let mut seen = vec![0u32; nvars];
+        let mut generation = 0u32;
+        let value2 = |val: &[i8], lit: Lit| -> i8 {
+            let v = val[lit.var().index()];
+            if lit.is_positive() {
+                v
+            } else {
+                -v
+            }
+        };
+        // Per-clause non-false counters under the scratch assignment, kept
+        // consistent across probes and base shrinks so each clause touch
+        // during probe propagation is O(1) — the same scheme the eager
+        // path uses, rebuilt once per backward pass.
+        let mut nonfalse2: Vec<u32> = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.iter().filter(|&&l| value2(&val, l) != -1).count() as u32)
+            .collect();
+        while let Some(cref) = heap.pop() {
+            if self.verified.contains(&cref) {
+                continue;
+            }
+            while active_end > 0 && by_chain[active_end - 1].0 >= cref {
+                let lit = by_chain[active_end - 1].1;
+                val[lit.var().index()] = 0;
+                // `!lit` occurrences were false and are now open again.
+                for &c2 in &self.occ[(!lit).index()] {
+                    nonfalse2[c2 as usize] += 1;
+                }
+                active_end -= 1;
+            }
+            let lits = self.clauses[cref as usize].lits.clone();
+            let mut trail2: Vec<Lit> = Vec::new();
+            let mut conflict: Option<ConflictSeed> = None;
+            for &l in &lits {
+                let nl = !l;
+                match value2(&val, nl) {
+                    1 => {}
+                    -1 => {
+                        conflict = Some(ConflictSeed::Lit(nl));
+                        break;
+                    }
+                    _ => {
+                        let v = nl.var().index();
+                        val[v] = if nl.is_positive() { 1 } else { -1 };
+                        reason2[v] = NO_REASON;
+                        order2[v] = stamp2;
+                        stamp2 += 1;
+                        trail2.push(nl);
+                    }
+                }
+            }
+            // Counting propagation, mirroring `propagate`'s invariant:
+            // counters reflect exactly the assignments of fully-processed
+            // trail entries; on conflict the partial pass for the current
+            // literal is rolled back. Counters are maintained for *every*
+            // clause (the undo needs symmetry), but only clauses below the
+            // bound may act as units or conflicts.
+            let mut qh = 0usize;
+            while conflict.is_none() && qh < trail2.len() {
+                let falsified = !trail2[qh];
+                let mut conflict_at: Option<usize> = None;
+                for idx in 0..self.occ[falsified.index()].len() {
+                    let c2 = self.occ[falsified.index()][idx];
+                    nonfalse2[c2 as usize] -= 1;
+                    if c2 >= cref {
+                        continue;
+                    }
+                    match nonfalse2[c2 as usize] {
+                        0 => {
+                            conflict_at = Some(idx);
+                            conflict = Some(ConflictSeed::Clause(c2));
+                            break;
+                        }
+                        1 => {
+                            let unit = self.clauses[c2 as usize]
+                                .lits
+                                .iter()
+                                .copied()
+                                .find(|&l| value2(&val, l) != -1);
+                            match unit {
+                                Some(u) if value2(&val, u) == 0 => {
+                                    let v = u.var().index();
+                                    val[v] = if u.is_positive() { 1 } else { -1 };
+                                    reason2[v] = c2;
+                                    order2[v] = stamp2;
+                                    stamp2 += 1;
+                                    trail2.push(u);
+                                }
+                                Some(_) => {}
+                                None => {
+                                    conflict_at = Some(idx);
+                                    conflict = Some(ConflictSeed::Clause(c2));
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(stop) = conflict_at {
+                    for idx in (0..=stop).rev() {
+                        nonfalse2[self.occ[falsified.index()][idx] as usize] += 1;
+                    }
+                    break;
+                }
+                qh += 1;
+                self.stats.propagations += 1;
+            }
+            let undo_probe =
+                |val: &mut [i8], nonfalse2: &mut [u32], trail2: &[Lit], qh: usize| {
+                    for i in (0..qh).rev() {
+                        let falsified = !trail2[i];
+                        for &c2 in &self.occ[falsified.index()] {
+                            nonfalse2[c2 as usize] += 1;
+                        }
+                    }
+                    for &l in trail2 {
+                        val[l.var().index()] = 0;
+                    }
+                };
+            let Some(conflict) = conflict else {
+                undo_probe(&mut val, &mut nonfalse2, &trail2, qh);
+                return Err(CertError::LearnNotRup {
+                    step: self.learn_step[&cref],
+                    clause: lits,
+                });
+            };
+            // Core capture on the scratch state, mirroring `capture_core`.
+            generation += 1;
+            let mut stack: Vec<usize> = Vec::new();
+            let seed_clause = match conflict {
+                ConflictSeed::Clause(c) => {
+                    stack.extend(self.clauses[c as usize].lits.iter().map(|l| l.var().index()));
+                    Some(c)
+                }
+                ConflictSeed::Lit(lit) => {
+                    stack.push(lit.var().index());
+                    None
+                }
+            };
+            let mut chain: Vec<(u64, u32)> = Vec::new();
+            while let Some(v) = stack.pop() {
+                if seen[v] == generation {
+                    continue;
+                }
+                seen[v] = generation;
+                let r = reason2[v];
+                if r != NO_REASON && val[v] != 0 {
+                    chain.push((order2[v], r));
+                    stack.extend(self.clauses[r as usize].lits.iter().map(|l| l.var().index()));
+                }
+            }
+            chain.sort_unstable();
+            let mut core: Vec<u32> = chain.into_iter().map(|(_, r)| r).collect();
+            if let Some(c) = seed_clause {
+                core.push(c);
+            }
+            undo_probe(&mut val, &mut nonfalse2, &trail2, qh);
+            for &c in &core {
+                if self.learn_step.contains_key(&c) && !self.verified.contains(&c) {
+                    heap.push(c);
+                }
+            }
+            self.learn_cores.insert(cref, core);
+            self.verified.insert(cref);
+            self.stats.learns += 1;
+        }
+        Ok(())
     }
 }
 
@@ -873,6 +1146,127 @@ mod tests {
             check_model(steps, &[], &model[..1]),
             Err(CertError::ModelTooShort { .. })
         ));
+    }
+
+    #[test]
+    fn deferred_mode_certifies_pigeonhole_with_fewer_probes() {
+        let s = pigeonhole_unsat_solver();
+        let steps = s.proof().expect("logged").steps();
+        let mut eager = Checker::new();
+        eager.feed(steps).expect("valid");
+        eager.verify_unsat(&[]).expect("valid");
+        let mut deferred = Checker::with_deferred_checking();
+        deferred.feed(steps).expect("replay is probe-free");
+        deferred.verify_unsat(&[]).expect("backward pass certifies");
+        assert!(
+            deferred.stats().learns <= eager.stats().learns,
+            "backward checking verifies at most the eager set \
+             ({} > {})",
+            deferred.stats().learns,
+            eager.stats().learns
+        );
+    }
+
+    #[test]
+    fn deferred_mode_rejects_corrupt_needed_lemma() {
+        // Two units force a root contradiction through a learnt clause the
+        // refutation needs; corrupting that clause must surface LearnNotRup
+        // from the backward pass even though feeding admitted it silently.
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        let steps = vec![
+            ProofStep::Axiom(vec![a, b]),
+            ProofStep::Axiom(vec![!a, b]),
+            ProofStep::Learn(vec![b]),
+            ProofStep::Axiom(vec![!b]),
+        ];
+        let mut ok = Checker::with_deferred_checking();
+        ok.feed(&steps).expect("admitted");
+        ok.verify_unsat(&[]).expect("b is RUP, closure certifies");
+        // Corrupt: claim `a` instead — not RUP, and the contradiction
+        // through it must not be accepted.
+        let bad = vec![
+            ProofStep::Axiom(vec![a, b]),
+            ProofStep::Learn(vec![!b]),
+            ProofStep::Axiom(vec![!a]),
+        ];
+        let mut checker = Checker::with_deferred_checking();
+        checker.feed(&bad).expect("feeding never probes");
+        match checker.verify_unsat(&[]) {
+            Err(CertError::LearnNotRup { step, clause }) => {
+                assert_eq!(step, 1);
+                assert_eq!(clause, vec![!b]);
+            }
+            other => panic!("expected LearnNotRup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deferred_mode_ignores_unused_junk_lemma() {
+        // A lemma nothing depends on is never probed — the backward
+        // checker's defining trade-off. The eager checker rejects the same
+        // trace at feed time.
+        let s = pigeonhole_unsat_solver();
+        let mut steps = s.proof().expect("logged").steps().to_vec();
+        let junk = ProofStep::Learn(vec![Var::from_index(97).positive()]);
+        // Insert before the first learn: admitted, over a variable no
+        // other clause mentions, so no derivation can depend on it.
+        let pos = steps
+            .iter()
+            .position(|st| matches!(st, ProofStep::Learn(_)))
+            .expect("trace has learns");
+        steps.insert(pos, junk);
+        let mut deferred = Checker::with_deferred_checking();
+        deferred.feed(&steps).expect("admitted unchecked");
+        deferred
+            .verify_unsat(&[])
+            .expect("junk is outside the closure");
+        let mut eager = Checker::new();
+        assert!(
+            eager.feed(&steps).is_err(),
+            "forward replay probes every lemma and rejects the junk"
+        );
+    }
+
+    #[test]
+    fn deferred_incremental_matches_eager_on_random_traces() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBAC4);
+        for round in 0..100 {
+            let num_vars = rng.gen_range(2..=10usize);
+            let mut s = Solver::new();
+            s.enable_proof_logging();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for _ in 0..rng.gen_range(1..=30usize) {
+                let len = rng.gen_range(1..=3usize);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(&lits);
+            }
+            // Several incremental probes over one growing trace, the
+            // engine's usage pattern: feed the delta, then verify.
+            let mut deferred = Checker::with_deferred_checking();
+            let mut fed = 0usize;
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
+                    .map(|_| vars[rng.gen_range(0..num_vars)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                let result = s.solve_with(&assumptions);
+                let snapshot = s.proof_len();
+                let steps = &s.proof().expect("logged").steps()[..snapshot];
+                deferred.feed(&steps[fed..]).expect("admitted");
+                fed = snapshot;
+                if result == SolveResult::Unsat {
+                    check_unsat_certificate(steps, &assumptions)
+                        .unwrap_or_else(|e| panic!("round {round}: eager rejected: {e}"));
+                    deferred
+                        .verify_unsat(&assumptions)
+                        .unwrap_or_else(|e| panic!("round {round}: deferred rejected: {e}"));
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,6 @@ mod checker;
 
 pub use artifacts::{
     check_hinted_unsat_artifact, revalidate_unsat_artifact, trim_unsat_artifact,
-    trim_unsat_artifact_hinted, RevalidateError,
+    trim_unsat_artifact_hinted, HintedTracker, RevalidateError,
 };
 pub use checker::{check_model, check_unsat_certificate, CertError, Checker, CheckerStats};

@@ -928,16 +928,25 @@ pub fn decode_invariant(text: &str) -> Result<CachedInvariant, CacheDecodeError>
 
 /// Packages a captured proof artifact as a storable check entry.
 pub fn check_entry_from_artifact(artifact: ProofArtifact) -> CachedCheck {
-    // Backward-trim the proof to its UNSAT core before storing: the cached
-    // pair exists only to be re-certified on load, and replaying the core
-    // is orders of magnitude cheaper than replaying everything the solver
-    // ever learnt. Unsatisfiability of the clause subset implies
-    // unsatisfiability of the full formula, so the trimmed pair attests
-    // the same verdict. The preferred form additionally carries LRAT-style
-    // propagation hints, making the load-time walk linear in the proof
-    // text; a hinting failure falls back to the plain trimmed pair, and a
-    // trim failure (it cannot happen for an artifact the live run just
-    // certified) falls back to the full pair.
+    // Hinted certification (the default) already emitted the artifact as
+    // a backward-trimmed core with inline hints — exactly the preferred
+    // stored form — so it is adopted verbatim.
+    if artifact.hinted {
+        return CachedCheck::HoldsHinted {
+            cnf: artifact.cnf,
+            proof: artifact.drup,
+        };
+    }
+    // Forward artifacts are backward-trimmed to their UNSAT core before
+    // storing: the cached pair exists only to be re-certified on load, and
+    // replaying the core is orders of magnitude cheaper than replaying
+    // everything the solver ever learnt. Unsatisfiability of the clause
+    // subset implies unsatisfiability of the full formula, so the trimmed
+    // pair attests the same verdict. The preferred form additionally
+    // carries LRAT-style propagation hints, making the load-time walk
+    // linear in the proof text; a hinting failure falls back to the plain
+    // trimmed pair, and a trim failure (it cannot happen for an artifact
+    // the live run just certified) falls back to the full pair.
     if let Ok((cnf, proof)) =
         fastpath_cert::trim_unsat_artifact_hinted(&artifact.cnf, &artifact.drup)
     {

@@ -78,6 +78,30 @@ pub struct FlowOptions {
     /// methods, and inspection counts are byte-identical for every
     /// width; only wall-clock changes.
     pub sat_portfolio: usize,
+    /// Split SAT checks that outlive their canonical conflict budget into
+    /// lookahead cube trees conquered by this many schedulers (`0`
+    /// disables cubing; `1`, the default, cubes sequentially). Verdicts,
+    /// proofs, and inspection counts are byte-identical for every
+    /// non-zero width — see [`fastpath_sat::Solver::set_cube`].
+    pub cube_jobs: usize,
+    /// Overrides the conflict budget of the canonical attempt that
+    /// precedes any cube split. Part of the determinism contract: two
+    /// runs agree byte-for-byte only when their triggers agree.
+    pub cube_trigger: Option<u64>,
+    /// With [`certify`](Self::certify), certify through forward replay
+    /// with full DRUP artifact renders instead of the default hinted
+    /// backward checking (trim to the UNSAT core, emit LRAT-style hints
+    /// inline). Verdicts and reports are identical either way; only
+    /// certification wall-clock and artifact formats change.
+    pub cert_forward: bool,
+    /// Persistent learnt-clause store: clauses recorded by earlier runs
+    /// over structurally identical next-state cones are RUP-probed into
+    /// each design's solver, and this run's own short cone-local learnt
+    /// clauses are published back to the store's pending set (the caller
+    /// decides when to [`save`](fastpath_formal::ClauseStore::save)).
+    /// Imports read only the store's immutable base snapshot, so results
+    /// stay byte-identical across every parallelism knob.
+    pub clause_store: Option<Arc<fastpath_formal::ClauseStore>>,
     /// Content-addressed verification cache (see [`crate::cache`]).
     /// Attaching a cache implies certification: every served verdict is
     /// re-validated on load (UNSAT proofs replayed through the RUP
@@ -112,6 +136,10 @@ impl Default for FlowOptions {
             dump_artifacts: None,
             sim_engine: SimEngine::default(),
             sat_portfolio: 0,
+            cube_jobs: 1,
+            cube_trigger: None,
+            cert_forward: false,
+            clause_store: None,
             cache: None,
             // Word-level guarded predicates are the production default;
             // `UpecEncoding::default()` stays `Bits` so the bare engine
@@ -499,6 +527,14 @@ pub(crate) fn ensure_upec_engine<'a, 'm>(
         let mut engine = Upec2Safety::new(module, &UpecSpec::default());
         engine.set_encoding(options.upec_encoding);
         engine.set_sat_portfolio(options.sat_portfolio);
+        engine.set_sat_cube(options.cube_jobs);
+        if let Some(trigger) = options.cube_trigger {
+            engine.set_sat_cube_trigger(trigger);
+        }
+        if let Some(store) = &options.clause_store {
+            engine.set_clause_store(Arc::clone(store));
+        }
+        engine.set_cert_forward(options.cert_forward);
         if ctx.certification.is_some() {
             engine.enable_certification();
             if ctx.cache.is_some() {
@@ -1071,6 +1107,13 @@ impl FlowContext {
             self.solver_stats.merge(&engine.solver_stats());
             self.elaboration.merge(&engine.elaboration_stats());
             self.product.merge(&engine.product_stats());
+            let (backward, forward) = engine.cert_times();
+            self.timings.cert_backward += backward;
+            self.timings.cert_forward += forward;
+            // A retiring engine offers its short cone-local learnt clauses
+            // to the attached store (a no-op without one); the caller
+            // decides when the pending set is saved to disk.
+            engine.export_learnt_clauses();
             if let (Some(summary), Some(stats)) = (self.certification.as_mut(), engine.cert_stats())
             {
                 summary.stats.merge(&stats);
@@ -1597,6 +1640,132 @@ mod tests {
         let cold_stats = cold.cache.expect("cache attached");
         assert!(cold_stats.misses > 0, "cold run must populate the cache");
         assert!(cold_stats.bytes > 0);
+    }
+
+    /// [`constrained_case`] plus a capture register guarded by a cycle
+    /// counter that tops out past the simulated horizon: simulation never
+    /// sees taint in it, but the symbolic product starts from an
+    /// arbitrary counter value, so the first UPEC check finds the legal
+    /// propagation (one inspection, the register leaves the clean set)
+    /// and the flow re-checks — a second check on the same engine, whose
+    /// clause-store import pass probes the cones the first check encoded.
+    fn constrained_ghost_case() -> CaseStudy {
+        let mut b = ModuleBuilder::new("modal_ghost");
+        let mode = b.control_input("mode", 1);
+        let data = b.data_input("data", 8);
+        let d = b.sig(data);
+        let acc = b.reg("acc", 8, 0);
+        let a = b.sig(acc);
+        b.set_next(acc, d).expect("drive");
+        b.data_output("result", a);
+        let cnt = b.reg("cnt", 8, 0);
+        let c = b.sig(cnt);
+        let one = b.lit(8, 1);
+        let inc = b.add(c, one);
+        b.set_next(cnt, inc).expect("drive");
+        let rare = b.eq_lit(c, 255);
+        let ghost = b.reg("ghost", 8, 0);
+        let gh = b.sig(ghost);
+        let capture = b.mux(rare, d, gh);
+        b.set_next(ghost, capture).expect("drive");
+        b.data_output("ghost_out", gh);
+        let m_sig = b.sig(mode);
+        let zero = b.lit(8, 0);
+        let visible = b.mux(m_sig, a, zero);
+        let leak = b.red_or(visible);
+        b.control_output("debug_flag", leak);
+        let tick = b.reg("tick", 1, 0);
+        let t = b.sig(tick);
+        let nt = b.not(t);
+        b.set_next(tick, nt).expect("drive");
+        b.control_output("phase", t);
+        let mode_off = b.eq_lit(m_sig, 0);
+        let m = b.build().expect("valid");
+        let mode_id = m.signal_by_name("mode").expect("mode");
+        let mut instance = DesignInstance::new(m);
+        instance.constraints.push(NamedPredicate::with_restriction(
+            "debug_mode_disabled",
+            mode_off,
+            move |_, tb| {
+                tb.fix(mode_id, 0);
+            },
+        ));
+        let mut study = CaseStudy::new("toy_modal_ghost", instance);
+        study.cycles = 200;
+        study
+    }
+
+    /// Clause-store round trip at flow level: a store seeded with one
+    /// implied cone-local clause per state register (`x ∨ ¬x`, trivially
+    /// RUP under any encoding of the cone) is probed and imported by the
+    /// run's UPEC checks, the imported clauses — short and wholly inside
+    /// one cone — are republished by the engine's export pass on
+    /// retirement, and attaching the store changes no observable result.
+    /// (Organic exports need thousands of conflicts before clause
+    /// minimization sheds the activation literal, so the toy designs
+    /// can't produce them; the engine-level test in `fastpath-formal`
+    /// and the CI warm-store smoke on the real case studies cover that
+    /// half.)
+    #[test]
+    fn clause_store_round_trips_through_the_flow() {
+        let dir = std::env::temp_dir().join(format!(
+            "fastpath_flow_store_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("store dir");
+        let path = dir.join("clauses.txt");
+        let study = constrained_ghost_case();
+        let canon = fastpath_rtl::canonical_form(&study.instance.module);
+        {
+            let seed = fastpath_formal::ClauseStore::open(&path);
+            for reg in study.instance.module.state_signals() {
+                seed.publish(canon.signal_label(reg), [vec![1, -1]]);
+            }
+            seed.save().expect("seed store");
+        }
+        let store = Arc::new(fastpath_formal::ClauseStore::open(&path));
+        assert!(store.base_clauses() > 0, "save/reopen promotes the seeds");
+        let stored = run_fastpath_with(
+            &study,
+            FlowOptions {
+                clause_store: Some(Arc::clone(&store)),
+                ..FlowOptions::default()
+            },
+        );
+        let plain = run_fastpath_with(&constrained_ghost_case(), FlowOptions::default());
+
+        // The store never changes what a consumer observes.
+        assert_eq!(stored.verdict, plain.verdict);
+        assert_eq!(stored.method, plain.method);
+        assert_eq!(stored.manual_inspections, plain.manual_inspections);
+        assert_eq!(stored.timings.check_count, plain.timings.check_count);
+
+        // Every cone the checks encoded probed its seed clause and the
+        // tautology passed the RUP probe.
+        assert!(
+            stored.solver_stats.reuse_probed > 0,
+            "the run must probe stored clauses (checks={} verdict={:?})",
+            stored.timings.check_count,
+            stored.verdict,
+        );
+        assert_eq!(
+            stored.solver_stats.reuse_imported,
+            stored.solver_stats.reuse_probed,
+            "an implied clause must survive the probe"
+        );
+        assert_eq!(plain.solver_stats.reuse_probed, 0);
+
+        // The engine's retirement export republished the imported
+        // clauses, and saving promotes them for the next run.
+        assert!(
+            store.pending_clauses() > 0,
+            "imported cone-local clauses must be re-exported"
+        );
+        store.save().expect("save");
+        let reopened = fastpath_formal::ClauseStore::open(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(reopened.base_clauses() >= store.base_clauses());
     }
 
     /// A cache that serves corrupted DRUP artifacts: revalidation must

@@ -141,6 +141,13 @@ pub struct StageTimings {
     pub formal_elaboration: Duration,
     /// All UPEC property checks.
     pub formal_checks: Duration,
+    /// Hinted backward certification (feed + core-tracked verify + hinted
+    /// artifact emission); a subset of `formal_checks` wall-clock.
+    pub cert_backward: Duration,
+    /// Forward-replay certification (feed + verify + full DRUP renders);
+    /// a subset of `formal_checks` wall-clock. At most one of the two
+    /// certification buckets is nonzero per run.
+    pub cert_forward: Duration,
     /// Number of UPEC checks performed.
     pub check_count: u64,
 }

@@ -50,6 +50,7 @@ mod blast;
 mod bmc;
 mod certify;
 mod ic3;
+mod reuse;
 mod tseitin;
 mod upec;
 mod words;
@@ -69,6 +70,7 @@ pub use ic3::{
     Ic3Engine, Ic3Outcome, Ic3Stats, RelationalClause, RelationalInvariant, RelationalLit,
     UpecEngine,
 };
+pub use reuse::{ClauseStore, MAX_REUSE_CLAUSE_LEN};
 pub use tseitin::CnfEncoder;
 pub use upec::{
     ElaborationMode, ElaborationStats, ProductStats, ProofArtifact, StateWitness, Upec2Safety,

@@ -67,6 +67,13 @@ impl CnfEncoder {
         self.solver.enable_proof_logging();
     }
 
+    /// Turns on the proof trace's buffered DRUP text renderer (see
+    /// [`fastpath_sat::Solver::enable_proof_text`]); a no-op until
+    /// proof logging is enabled.
+    pub fn enable_proof_text(&mut self) {
+        self.solver.enable_proof_text();
+    }
+
     /// The solver's proof trace, if logging is enabled.
     pub fn proof(&self) -> Option<&Proof> {
         self.solver.proof()
@@ -92,6 +99,43 @@ impl CnfEncoder {
     /// race reproduces. See [`fastpath_sat::Solver::set_portfolio`].
     pub fn set_portfolio(&mut self, workers: usize) {
         self.solver.set_portfolio(workers.max(1));
+    }
+
+    /// Sets the cube-and-conquer scheduling width on the underlying
+    /// solver (`0` disables cubing; see [`fastpath_sat::Solver::set_cube`]
+    /// for the determinism rules — results are identical for every
+    /// non-zero width).
+    pub fn set_cube(&mut self, jobs: usize) {
+        self.solver.set_cube(jobs);
+    }
+
+    /// Sets the conflict budget of the canonical attempt that precedes
+    /// any cube split (see [`fastpath_sat::Solver::set_cube_trigger`]).
+    pub fn set_cube_trigger(&mut self, conflicts: u64) {
+        self.solver.set_cube_trigger(conflicts);
+    }
+
+    /// RUP-probes an externally supplied clause against the underlying
+    /// solver and imports it on success (see
+    /// [`fastpath_sat::Solver::import_clause`]). Must be called between
+    /// solves.
+    pub fn import_clause(&mut self, lits: &[Lit]) -> bool {
+        self.solver.import_clause(lits)
+    }
+
+    /// The SAT variable already encoding an AIG node, if its cone has
+    /// been Tseitin-encoded; never encodes anything. The clause-store
+    /// import/export paths use this to translate between cone-local
+    /// numberings and solver variables without forcing elaboration.
+    pub fn node_sat_var(&self, node: usize) -> Option<Var> {
+        *self.node_vars.get(node)?
+    }
+
+    /// Visits every live learnt clause of length at most `max_len` on
+    /// the underlying solver (see
+    /// [`fastpath_sat::Solver::for_each_learnt`]).
+    pub fn for_each_learnt(&self, max_len: usize, f: impl FnMut(&[Lit])) {
+        self.solver.for_each_learnt(max_len, f);
     }
 
     /// Allocates a fresh, unconstrained SAT variable (for selectors,

@@ -56,12 +56,19 @@ use crate::aig::{Aig, AigLit};
 use crate::blast::{build_frame_with_leaves, next_state, Frame, LazyFrame};
 use crate::certify::{CertStats, CertifiedOutcome, CheckCertificate};
 use crate::ic3::RelationalClause;
+use crate::reuse::{ClauseStore, MAX_REUSE_CLAUSE_LEN};
 use crate::tseitin::CnfEncoder;
 use crate::words::eq_word;
-use fastpath_cert::{artifacts, CertError, Checker};
-use fastpath_rtl::{comb_cone_mask, BitVec, ExprId, Module, SignalId, SignalKind, SignalRole};
-use fastpath_sat::{Cnf, Lit, SolveResult, SolverStats};
+use fastpath_cert::{artifacts, CertError, Checker, HintedTracker};
+use fastpath_rtl::{
+    canonical_form, comb_cone_mask, BitVec, Digest, ExprId, Module, SignalId, SignalKind,
+    SignalRole,
+};
+use fastpath_sat::{Cnf, Lit, SolveResult, SolverStats, Var};
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Declarative inputs to the 2-safety model beyond the module itself.
 #[derive(Clone, Debug, Default)]
@@ -286,6 +293,49 @@ impl std::ops::AddAssign for ProductStats {
     }
 }
 
+/// The incremental replay checker behind certification, in one of two
+/// configurations. [`CertChecker::Hinted`] (the default) records conflict
+/// cores during replay so a check's artifact is emitted backward-trimmed
+/// with inline LRAT-style hints; [`CertChecker::Forward`]
+/// (`--cert-forward`) is the plain checker whose artifacts are full
+/// forward-replay DRUP renders.
+#[derive(Debug)]
+enum CertChecker {
+    Hinted(HintedTracker),
+    Forward(Checker),
+}
+
+impl CertChecker {
+    fn new(forward: bool) -> Self {
+        if forward {
+            CertChecker::Forward(Checker::new())
+        } else {
+            CertChecker::Hinted(HintedTracker::new())
+        }
+    }
+
+    fn feed(&mut self, steps: &[fastpath_sat::ProofStep]) -> Result<(), CertError> {
+        match self {
+            CertChecker::Hinted(t) => t.feed(steps),
+            CertChecker::Forward(c) => c.feed(steps),
+        }
+    }
+
+    fn verify_unsat(&mut self, assumptions: &[Lit]) -> Result<(), CertError> {
+        match self {
+            CertChecker::Hinted(t) => t.verify_unsat(assumptions),
+            CertChecker::Forward(c) => c.verify_unsat(assumptions),
+        }
+    }
+
+    fn stats(&self) -> fastpath_cert::CheckerStats {
+        match self {
+            CertChecker::Hinted(t) => t.stats(),
+            CertChecker::Forward(c) => c.stats(),
+        }
+    }
+}
+
 /// Live certification state: the incremental checker plus accumulated
 /// counters. The checker consumes each new slice of the solver's proof
 /// trace exactly once (`consumed` marks progress), so certifying a
@@ -293,13 +343,17 @@ impl std::ops::AddAssign for ProductStats {
 /// the trace instead of quadratic.
 #[derive(Debug)]
 struct CertState {
-    checker: Checker,
+    checker: CertChecker,
     /// Trace steps already fed to `checker`.
     consumed: usize,
     /// Accumulated counters; `stats.checker` holds only the counters of
     /// checkers already discarded by fresh-mode resets — the live
     /// checker's are folded in on read.
     stats: CertStats,
+    /// Wall-clock spent in hinted (backward-emitting) certification.
+    backward_time: Duration,
+    /// Wall-clock spent in forward-replay certification.
+    forward_time: Duration,
     /// Where to write per-check DIMACS + proof/model artifacts, if
     /// requested.
     artifact_dir: Option<PathBuf>,
@@ -311,11 +365,13 @@ struct CertState {
 }
 
 impl CertState {
-    fn new() -> Self {
+    fn new(forward: bool) -> Self {
         CertState {
-            checker: Checker::new(),
+            checker: CertChecker::new(forward),
             consumed: 0,
             stats: CertStats::default(),
+            backward_time: Duration::ZERO,
+            forward_time: Duration::ZERO,
             artifact_dir: None,
             artifact_prefix: String::new(),
             capture: false,
@@ -325,18 +381,40 @@ impl CertState {
 }
 
 /// An in-memory copy of the textual certificate of one successfully
-/// certified non-trivial UNSAT check: the exact DIMACS formula solved
-/// (activation assumption baked in as a unit) plus its DRUP proof.
+/// certified non-trivial UNSAT check: the exact DIMACS formula the
+/// verdict is about (activation assumption baked in as a unit) plus its
+/// refutation.
 ///
-/// A proof cache stores this pair; on a later hit,
-/// [`fastpath_cert::artifacts::revalidate_unsat_artifact`] replays it so
-/// the cached verdict is re-certified rather than trusted.
+/// With hinted certification (the default) the pair is the
+/// backward-trimmed UNSAT core and a hinted proof checkable by
+/// [`fastpath_cert::check_hinted_unsat_artifact`]; with forward
+/// certification it is the full formula and a plain DRUP render for
+/// [`fastpath_cert::artifacts::revalidate_unsat_artifact`]. A proof cache
+/// stores the pair; on a later hit it is replayed so the cached verdict
+/// is re-certified rather than trusted.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProofArtifact {
     /// DIMACS CNF text of the formula the verdict is about.
     pub cnf: String,
-    /// Textual DRUP refutation of that formula.
+    /// Textual refutation of that formula: hinted when `hinted`, plain
+    /// DRUP otherwise.
     pub drup: String,
+    /// Whether `drup` carries inline LRAT-style hints.
+    pub hinted: bool,
+}
+
+/// Cross-run learnt-clause reuse state: the persistent store plus the
+/// engine's per-register cone identities (WL-canonical signal labels, in
+/// `state_signals()` order) and the once-per-solver import bookkeeping.
+#[derive(Debug)]
+struct ReuseState {
+    store: Arc<ClauseStore>,
+    /// Cone key per register: the WL-canonical label of the register
+    /// signal, identical across renames, reorderings, and machines.
+    labels: Vec<Digest>,
+    /// Registers whose stored clauses were already probed against the
+    /// current solver (imports happen once per solver lifetime).
+    tried: Vec<bool>,
 }
 
 /// The `Z'`-independent half of the 2-safety model, elaborated once.
@@ -502,6 +580,11 @@ pub struct Upec2Safety<'m> {
     /// Portfolio width applied to every encoder (0 = sequential);
     /// reapplied after fresh-mode resets.
     sat_portfolio: usize,
+    /// Cube-and-conquer width applied to every encoder (0 = off);
+    /// reapplied after fresh-mode resets.
+    sat_cube: usize,
+    /// Override of the cube trigger's canonical-attempt conflict budget.
+    sat_cube_trigger: Option<u64>,
     /// Solver statistics of encoders discarded by fresh-mode resets.
     stats_at_reset: SolverStats,
     /// Elaboration counters of AIGs discarded by fresh-mode resets, plus
@@ -509,6 +592,10 @@ pub struct Upec2Safety<'m> {
     elab: ElaborationStats,
     /// Independent certification, when enabled.
     cert: Option<CertState>,
+    /// Forward-replay certification instead of the hinted default.
+    cert_forward: bool,
+    /// Cross-run learnt-clause reuse, when a store is attached.
+    reuse: Option<ReuseState>,
     /// Relational clauses staged for the *next* check only (an IC3
     /// discharge re-validation); consumed and guarded per check.
     pending_relational: Vec<RelationalClause>,
@@ -542,9 +629,13 @@ impl<'m> Upec2Safety<'m> {
             last_aig_nodes: 0,
             checks: 0,
             sat_portfolio: 0,
+            sat_cube: 0,
+            sat_cube_trigger: None,
             stats_at_reset: SolverStats::default(),
             elab: ElaborationStats::default(),
             cert: None,
+            cert_forward: false,
+            reuse: None,
             pending_relational: Vec::new(),
         }
     }
@@ -559,6 +650,88 @@ impl<'m> Upec2Safety<'m> {
     pub fn set_sat_portfolio(&mut self, workers: usize) {
         self.sat_portfolio = workers;
         self.encoder.set_portfolio(workers);
+    }
+
+    /// Splits hard checks into cube trees conquered by `jobs` schedulers
+    /// (0 disables cubing). Verdicts, models, learned state, and proofs
+    /// are byte-identical for every non-zero width — see
+    /// [`fastpath_sat::Solver::set_cube`] — so, like the portfolio, this
+    /// only changes wall-clock. Composes with certification: stitched
+    /// cube proofs splice into the single trace the checker consumes.
+    pub fn set_sat_cube(&mut self, jobs: usize) {
+        self.sat_cube = jobs;
+        self.encoder.set_cube(jobs);
+    }
+
+    /// Overrides the conflict budget of the canonical attempt that
+    /// precedes any cube split (see
+    /// [`fastpath_sat::Solver::set_cube_trigger`]). Changing the trigger
+    /// changes which checks split, hence the proof trace — it is part of
+    /// the determinism contract, not a free tuning knob.
+    pub fn set_sat_cube_trigger(&mut self, conflicts: u64) {
+        self.sat_cube_trigger = Some(conflicts);
+        self.encoder.set_cube_trigger(conflicts);
+    }
+
+    /// Switches certification to forward replay with full DRUP artifact
+    /// renders (the pre-hinted behaviour); hinted backward checking is
+    /// the default. Call order with
+    /// [`enable_certification`](Self::enable_certification) does not
+    /// matter, but the mode is fixed once checks run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any check has already run.
+    pub fn set_cert_forward(&mut self, forward: bool) {
+        assert_eq!(
+            self.checks, 0,
+            "certification mode must be chosen before the first check"
+        );
+        self.cert_forward = forward;
+        if let Some(cert) = &mut self.cert {
+            cert.checker = CertChecker::new(forward);
+            if forward {
+                self.encoder.enable_proof_text();
+            }
+        }
+    }
+
+    /// Attaches a persistent learnt-clause store: before each check,
+    /// clauses recorded by earlier runs over structurally identical
+    /// next-state cones are translated onto this design's variables and
+    /// RUP-probed into the solver (sound regardless of translation
+    /// correctness — a probe failure just skips the clause); after the
+    /// run, [`export_learnt_clauses`](Self::export_learnt_clauses)
+    /// publishes this solver's own short cone-local learnt clauses back.
+    ///
+    /// Imports only read the store's immutable base snapshot and happen
+    /// before any solving, so verdicts and proofs stay byte-identical
+    /// across every `--jobs`/`--sat-portfolio`/`--cube-jobs` combination;
+    /// cross-design clauses materialize on the *next* run against the
+    /// saved store.
+    pub fn set_clause_store(&mut self, store: Arc<ClauseStore>) {
+        let canon = canonical_form(self.module);
+        let state_ids = self.module.state_signals();
+        let labels: Vec<Digest> = state_ids.iter().map(|&r| canon.signal_label(r)).collect();
+        let tried = vec![false; state_ids.len()];
+        self.reuse = Some(ReuseState {
+            store,
+            labels,
+            tried,
+        });
+    }
+
+    /// Wall-clock spent certifying, split `(hinted backward, forward
+    /// replay)`. Exactly one side accumulates per engine, depending on
+    /// [`set_cert_forward`](Self::set_cert_forward); both zero when
+    /// certification is off. Kept out of [`CertStats`] so deterministic
+    /// reports never embed timings.
+    pub fn cert_times(&self) -> (Duration, Duration) {
+        self.cert
+            .as_ref()
+            .map_or((Duration::ZERO, Duration::ZERO), |c| {
+                (c.backward_time, c.forward_time)
+            })
     }
 
     /// Selects how `Z'` is lowered into the SAT instance (see
@@ -606,7 +779,12 @@ impl<'m> Upec2Safety<'m> {
         );
         if self.cert.is_none() {
             self.encoder.enable_proof_logging();
-            self.cert = Some(CertState::new());
+            if self.cert_forward {
+                // Forward artifacts render full DRUP text; the buffered
+                // renderer amortizes that across the run.
+                self.encoder.enable_proof_text();
+            }
+            self.cert = Some(CertState::new(self.cert_forward));
         }
     }
 
@@ -632,6 +810,10 @@ impl<'m> Upec2Safety<'m> {
             .expect("artifact output requires enable_certification()");
         cert.artifact_dir = Some(dir);
         cert.artifact_prefix = prefix.into();
+        // On-disk dumps are always plain DRUP (the format drat-trim
+        // consumes), even under hinted certification, so the buffered
+        // renderer pays off here too. Backfills already-logged steps.
+        self.encoder.enable_proof_text();
     }
 
     /// Retains each non-trivial UNSAT check's `(CNF, DRUP)` text in
@@ -806,6 +988,10 @@ impl<'m> Upec2Safety<'m> {
         self.aig = Aig::new();
         self.encoder = CnfEncoder::new();
         self.encoder.set_portfolio(self.sat_portfolio);
+        self.encoder.set_cube(self.sat_cube);
+        if let Some(trigger) = self.sat_cube_trigger {
+            self.encoder.set_cube_trigger(trigger);
+        }
         self.template = None;
         self.product = None;
         self.f0_constraints = 0;
@@ -814,9 +1000,17 @@ impl<'m> Upec2Safety<'m> {
             // A fresh solver means a fresh trace: fold the outgoing
             // checker's counters and start a matching fresh checker.
             cert.stats.checker.merge(&cert.checker.stats());
-            cert.checker = Checker::new();
+            cert.checker = CertChecker::new(self.cert_forward);
             cert.consumed = 0;
             self.encoder.enable_proof_logging();
+            if self.cert_forward || cert.artifact_dir.is_some() {
+                self.encoder.enable_proof_text();
+            }
+        }
+        if let Some(reuse) = &mut self.reuse {
+            // Fresh solver, fresh import bookkeeping: the stored clauses
+            // are probed against the new solver once its cones exist.
+            reuse.tried.iter_mut().for_each(|t| *t = false);
         }
     }
 
@@ -921,6 +1115,10 @@ impl<'m> Upec2Safety<'m> {
         if self.encoding == UpecEncoding::Words {
             self.ensure_word_product();
         }
+        // Stored clauses over cones the previous checks materialized are
+        // probed in now, at decision level 0, before anything solves —
+        // the one point where imports cannot perturb verdict trajectories.
+        self.import_reusable_clauses();
         // Product-size accounting: everything the one-time ensure steps
         // added is already booked as `one_time_*`; the deltas from here to
         // the end of the check are its recurring cost.
@@ -1565,6 +1763,119 @@ impl<'m> Upec2Safety<'m> {
         (result, certificate)
     }
 
+    /// Probes stored clauses into the solver for every register whose
+    /// instance-0 next-state cone is fully Tseitin-encoded. Each register
+    /// is tried at most once per solver lifetime; a cone that is not yet
+    /// (or not fully) encoded is skipped *without* marking it tried, so
+    /// it retries once a later check's monitors materialize it — imports
+    /// never force encoding.
+    fn import_reusable_clauses(&mut self) {
+        let Some(reuse) = &mut self.reuse else { return };
+        let Some(tmpl) = &self.template else { return };
+        for (i, roots) in tmpl.next0.iter().enumerate() {
+            if reuse.tried[i] {
+                continue;
+            }
+            let stored = reuse.store.lookup(&reuse.labels[i]);
+            if stored.is_empty() || roots.is_empty() {
+                reuse.tried[i] = true;
+                continue;
+            }
+            // Cheap gate before the full cone walk: the roots encode last,
+            // so unencoded roots mean the cone is not materialized yet.
+            if roots
+                .iter()
+                .any(|r| self.encoder.node_sat_var(r.node()).is_none())
+            {
+                continue;
+            }
+            let nodes = cone_nodes(&self.aig, roots);
+            let vars: Option<Vec<Var>> = nodes
+                .iter()
+                .map(|&n| self.encoder.node_sat_var(n))
+                .collect();
+            let Some(vars) = vars else { continue };
+            reuse.tried[i] = true;
+            for clause in stored {
+                // Cone-local literal ±k maps to the k-th node of the
+                // deterministic cone DFS. An ordinal beyond this cone is a
+                // label collision with a differently-sized cone: skip.
+                let lits: Option<Vec<Lit>> = clause
+                    .iter()
+                    .map(|&l| {
+                        let ordinal = (l.unsigned_abs() as usize).checked_sub(1)?;
+                        let var = *vars.get(ordinal)?;
+                        Some(var.lit(l > 0))
+                    })
+                    .collect();
+                if let Some(lits) = lits {
+                    self.encoder.import_clause(&lits);
+                }
+            }
+        }
+    }
+
+    /// Publishes this solver's short learnt clauses that live entirely
+    /// inside one register's instance-0 next-state cone to the attached
+    /// clause store's pending set, keyed by the cone's WL-canonical label
+    /// and renumbered cone-locally (see [`ClauseStore`]). Returns how many
+    /// clauses were offered. Call once when the engine retires; a no-op
+    /// without a store.
+    pub fn export_learnt_clauses(&self) -> u64 {
+        let Some(reuse) = &self.reuse else { return 0 };
+        let Some(tmpl) = &self.template else { return 0 };
+        // First-cone-wins assignment of solver variables to (cone,
+        // ordinal), in state order — deterministic, and clauses touching
+        // shared or unclaimed variables (guards, selectors, instance-1
+        // cones, Tseitin interiors outside any next-state cone) simply
+        // fail to map and are not exported.
+        let mut assign: HashMap<Var, (usize, i32)> = HashMap::new();
+        for (i, roots) in tmpl.next0.iter().enumerate() {
+            if roots.is_empty()
+                || roots
+                    .iter()
+                    .any(|r| self.encoder.node_sat_var(r.node()).is_none())
+            {
+                continue;
+            }
+            let nodes = cone_nodes(&self.aig, roots);
+            let vars: Option<Vec<Var>> = nodes
+                .iter()
+                .map(|&n| self.encoder.node_sat_var(n))
+                .collect();
+            let Some(vars) = vars else { continue };
+            for (ordinal, var) in vars.into_iter().enumerate() {
+                assign.entry(var).or_insert((i, ordinal as i32 + 1));
+            }
+        }
+        let mut per_cone: HashMap<usize, Vec<Vec<i32>>> = HashMap::new();
+        self.encoder.for_each_learnt(MAX_REUSE_CLAUSE_LEN, |lits| {
+            let mut cone: Option<usize> = None;
+            let mut out = Vec::with_capacity(lits.len());
+            for &l in lits {
+                match assign.get(&l.var()) {
+                    Some(&(c, ordinal)) if cone.is_none() || cone == Some(c) => {
+                        cone = Some(c);
+                        out.push(if l.is_positive() { ordinal } else { -ordinal });
+                    }
+                    _ => return,
+                }
+            }
+            if let Some(c) = cone {
+                per_cone.entry(c).or_default().push(out);
+            }
+        });
+        let mut cones: Vec<usize> = per_cone.keys().copied().collect();
+        cones.sort_unstable();
+        let mut published = 0u64;
+        for c in cones {
+            let clauses = per_cone.remove(&c).expect("key just listed");
+            published += clauses.len() as u64;
+            reuse.store.publish(reuse.labels[c], clauses);
+        }
+        published
+    }
+
     /// Certifies the check that just solved: feed the checker the trace
     /// slice this check appended, then validate the verdict — a RUP
     /// refutation of the activation literal for UNSAT, a model evaluation
@@ -1575,6 +1886,7 @@ impl<'m> Upec2Safety<'m> {
         sat: bool,
         assumptions: &[Lit],
     ) -> Result<CheckCertificate, CertError> {
+        let started = Instant::now();
         let cert = self.cert.as_mut().expect("certification enabled");
         let proof = self.encoder.proof().expect("proof logging on");
         let snapshot = proof.len();
@@ -1608,40 +1920,91 @@ impl<'m> Upec2Safety<'m> {
         cert.last_artifact = None;
         let render = !trivial && (cert.artifact_dir.is_some() || cert.capture);
         if render {
-            let cnf = Cnf::from_steps(&steps[..snapshot], assumptions).to_dimacs();
-            let drup = (!sat).then(|| artifacts::proof_to_drup(&steps[..snapshot], assumptions));
-            if cert.capture && verdict.is_ok() {
-                if let Some(drup) = &drup {
-                    cert.last_artifact = Some(ProofArtifact {
-                        cnf: cnf.clone(),
-                        drup: drup.clone(),
-                    });
+            // Hinted capture first: the tracker emits the backward-trimmed
+            // core + hinted refutation straight from the cores it recorded
+            // during replay — no DRUP text is rendered or re-parsed. On
+            // any emission failure the forward render below takes over.
+            if cert.capture && verdict.is_ok() && !sat {
+                if let CertChecker::Hinted(tracker) = &cert.checker {
+                    if let Ok((cnf, hints)) = tracker.emit_hinted(assumptions) {
+                        cert.last_artifact = Some(ProofArtifact {
+                            cnf,
+                            drup: hints,
+                            hinted: true,
+                        });
+                    }
                 }
             }
-            if let Some(dir) = &cert.artifact_dir {
-                // Rejected certificates are dumped too — that is exactly
-                // when an external cross-audit matters most.
-                let index = cert.stats.certified_checks;
-                let base = dir.join(format!("{}check{:04}", cert.artifact_prefix, index));
-                let (path, payload) = match drup {
-                    Some(drup) => (base.with_extension("drup"), drup),
-                    None => (
-                        base.with_extension("model"),
-                        artifacts::model_to_text(self.encoder.model()),
-                    ),
-                };
-                let wrote = std::fs::create_dir_all(dir).and_then(|()| {
-                    std::fs::write(base.with_extension("cnf"), cnf)?;
-                    std::fs::write(path, payload)
+            let need_forward = cert.artifact_dir.is_some()
+                || (cert.capture && verdict.is_ok() && !sat && cert.last_artifact.is_none());
+            if need_forward {
+                let cnf = Cnf::from_steps(&steps[..snapshot], assumptions).to_dimacs();
+                let drup = (!sat).then(|| {
+                    proof.render_drup(snapshot, assumptions).unwrap_or_else(|| {
+                        artifacts::proof_to_drup(&steps[..snapshot], assumptions)
+                    })
                 });
-                match wrote {
-                    Ok(()) => cert.stats.artifacts_written += 1,
-                    Err(_) => cert.stats.artifact_failures += 1,
+                if cert.capture && verdict.is_ok() && cert.last_artifact.is_none() {
+                    if let Some(drup) = &drup {
+                        cert.last_artifact = Some(ProofArtifact {
+                            cnf: cnf.clone(),
+                            drup: drup.clone(),
+                            hinted: false,
+                        });
+                    }
+                }
+                if let Some(dir) = &cert.artifact_dir {
+                    // Rejected certificates are dumped too — that is exactly
+                    // when an external cross-audit matters most.
+                    let index = cert.stats.certified_checks;
+                    let base = dir.join(format!("{}check{:04}", cert.artifact_prefix, index));
+                    let (path, payload) = match drup {
+                        Some(drup) => (base.with_extension("drup"), drup),
+                        None => (
+                            base.with_extension("model"),
+                            artifacts::model_to_text(self.encoder.model()),
+                        ),
+                    };
+                    let wrote = std::fs::create_dir_all(dir).and_then(|()| {
+                        std::fs::write(base.with_extension("cnf"), cnf)?;
+                        std::fs::write(path, payload)
+                    });
+                    match wrote {
+                        Ok(()) => cert.stats.artifacts_written += 1,
+                        Err(_) => cert.stats.artifact_failures += 1,
+                    }
                 }
             }
         }
+        match &cert.checker {
+            CertChecker::Hinted(_) => cert.backward_time += started.elapsed(),
+            CertChecker::Forward(_) => cert.forward_time += started.elapsed(),
+        }
         verdict
     }
+}
+
+/// The AIG cone of `roots` in deterministic preorder-DFS first-visit
+/// order: roots in word order, then fanin 0 before fanin 1. The ordinal a
+/// node gets is a pure function of the cone's *structure*, so two
+/// isomorphic cones — across checks, runs, designs, or machines — number
+/// their nodes identically. Cone-local clause-store literals are ordinals
+/// into this order.
+fn cone_nodes(aig: &Aig, roots: &[AigLit]) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut stack: Vec<usize> = roots.iter().rev().map(|r| r.node()).collect();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        order.push(n);
+        if let Some((a, b)) = aig.and_fanins(n) {
+            stack.push(b.node());
+            stack.push(a.node());
+        }
+    }
+    order
 }
 
 fn word_value(encoder: &CnfEncoder, bits: &[AigLit]) -> BitVec {
@@ -2026,15 +2389,39 @@ mod tests {
         // concrete replay instead).
         assert!(!upec.check_certified(&[]).outcome.holds());
         assert!(upec.take_last_artifact().is_none());
-        // UNSAT check: the (CNF, DRUP) pair must re-certify from text
-        // alone — exactly what a proof cache does on a hit.
+        // UNSAT check: the captured pair is the hinted backward trim by
+        // default, and must re-certify from text alone — exactly what a
+        // proof cache does on a hit.
         upec.add_software_constraint(mode_off);
         assert!(upec.check_certified(&[]).outcome.holds());
         let artifact = upec.take_last_artifact().expect("captured");
-        fastpath_cert::artifacts::revalidate_unsat_artifact(&artifact.cnf, &artifact.drup)
+        assert!(artifact.hinted, "hinted backward checking is the default");
+        fastpath_cert::check_hinted_unsat_artifact(&artifact.cnf, &artifact.drup)
             .expect("captured artifact certifies");
+        let (backward, forward) = upec.cert_times();
+        assert!(backward > std::time::Duration::ZERO);
+        assert_eq!(forward, std::time::Duration::ZERO);
         // Take is destructive.
         assert!(upec.take_last_artifact().is_none());
+    }
+
+    #[test]
+    fn forward_mode_captures_plain_drup() {
+        let (module, mode_off) = modal();
+        let mut upec = Upec2Safety::new(&module, &UpecSpec::default());
+        upec.set_cert_forward(true);
+        upec.enable_certification();
+        upec.enable_artifact_capture();
+        assert!(!upec.check_certified(&[]).outcome.holds());
+        upec.add_software_constraint(mode_off);
+        assert!(upec.check_certified(&[]).outcome.holds());
+        let artifact = upec.take_last_artifact().expect("captured");
+        assert!(!artifact.hinted, "--cert-forward renders plain DRUP");
+        fastpath_cert::artifacts::revalidate_unsat_artifact(&artifact.cnf, &artifact.drup)
+            .expect("forward artifact certifies");
+        let (backward, forward) = upec.cert_times();
+        assert_eq!(backward, std::time::Duration::ZERO);
+        assert!(forward > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -2212,8 +2599,87 @@ mod tests {
         let artifact = upec.take_last_artifact().expect("captured");
         // The CNF bakes in the full assumption set (guard + selector
         // phases), so it must re-certify from text alone.
-        fastpath_cert::artifacts::revalidate_unsat_artifact(&artifact.cnf, &artifact.drup)
+        assert!(artifact.hinted);
+        fastpath_cert::check_hinted_unsat_artifact(&artifact.cnf, &artifact.drup)
             .expect("captured artifact certifies");
+    }
+
+    /// One register whose next-state cone is a single AND of a control
+    /// input and a *data* input — the smallest cone that cannot constant-
+    /// fold away (the split data leaf keeps the difference monitor live,
+    /// so the cone really gets Tseitin-encoded), with a numbering known
+    /// by construction: ordinal 1 = the AND root, 2 and 3 = its fanins.
+    fn conjunction_reg() -> Module {
+        let mut b = ModuleBuilder::new("conj");
+        let x = b.control_input("x", 1);
+        let d = b.data_input("d", 1);
+        let xs = b.sig(x);
+        let ds = b.sig(d);
+        let both = b.and(xs, ds);
+        let r = b.reg("r", 1, 0);
+        b.set_next(r, both).expect("drive");
+        let rs = b.sig(r);
+        b.control_output("out", rs);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn clause_store_imports_probe_and_reexport() {
+        let m = conjunction_reg();
+        let r = m.signal_by_name("r").expect("r");
+        let label = fastpath_rtl::canonical_form(&m).signal_label(r);
+        let path = std::env::temp_dir().join(format!(
+            "fastpath_clause_store_{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Seed the store with one implied cone-local clause (¬root ∨
+        // fanin: half of the AND's Tseitin definition, hence RUP) and
+        // one garbage clause the probe must reject (root ∧ ¬fanin is
+        // satisfiable).
+        {
+            let store = ClauseStore::open(&path);
+            store.publish(label, [vec![-1, 2], vec![1, -2]]);
+            store.save().expect("save seed store");
+        }
+        let store = Arc::new(ClauseStore::open(&path));
+        assert_eq!(store.base_clauses(), 2);
+        let mut upec = Upec2Safety::new(&m, &UpecSpec::default());
+        upec.set_clause_store(store.clone());
+        let mut plain = Upec2Safety::new(&m, &UpecSpec::default());
+        // First check materializes the cone; the second one's import pass
+        // finds it encoded and probes the stored clauses. Verdicts agree
+        // with the store-less engine throughout (r takes data, so Z'={r}
+        // leaks in both).
+        for _ in 0..2 {
+            assert!(!upec.check(&[r]).holds());
+            assert!(!plain.check(&[r]).holds());
+        }
+        let stats = upec.solver_stats();
+        assert_eq!(stats.reuse_probed, 2);
+        assert_eq!(stats.reuse_imported, 1, "the garbage clause is rejected");
+        assert_eq!(plain.solver_stats().reuse_probed, 0);
+        // The imported clause is a short learnt clause wholly inside the
+        // cone, so the export pass republishes it to the pending set.
+        assert!(upec.export_learnt_clauses() >= 1);
+        assert!(store.pending_clauses() >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_cube_width_does_not_change_verdicts() {
+        let m = oblivious();
+        let acc = m.signal_by_name("acc").expect("acc");
+        let cnt = m.signal_by_name("cnt").expect("cnt");
+        let mut base = Upec2Safety::new(&m, &UpecSpec::default());
+        let mut cubed = Upec2Safety::new(&m, &UpecSpec::default());
+        cubed.set_sat_cube(4);
+        // Trigger after a single conflict so even these small checks
+        // actually split.
+        cubed.set_sat_cube_trigger(1);
+        for z in [vec![acc, cnt], vec![cnt], vec![acc], vec![]] {
+            assert_eq!(base.check(&z).holds(), cubed.check(&z).holds(), "{z:?}");
+        }
     }
 
     #[test]

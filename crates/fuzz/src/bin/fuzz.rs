@@ -19,6 +19,8 @@
 //!                    the sequential run (default 0 = off)
 //!   --no-shrink      keep violating cases unminimized
 //!   --no-engine-diff skip the compiled-vs-interpretive sim battery
+//!   --no-cube-diff   skip the cube-and-conquer vs monolithic agreement
+//!                    re-runs
 //!   --no-encoding-diff
 //!                    skip the words-vs-bits UPEC encoding agreement
 //!                    re-runs
@@ -84,6 +86,7 @@ fn run(args: &[String]) {
             FaultInjection::None
         },
         portfolio: parsed_flag(args, "--sat-portfolio").unwrap_or(0),
+        check_cubes: !args.iter().any(|a| a == "--no-cube-diff"),
         check_encodings: !args.iter().any(|a| a == "--no-encoding-diff"),
         check_ic3: !args.iter().any(|a| a == "--no-ic3-diff"),
         shrink: !args.iter().any(|a| a == "--no-shrink"),

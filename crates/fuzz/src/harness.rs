@@ -36,6 +36,10 @@ pub struct RunOptions {
     /// Re-run both flows under an N-way SAT portfolio and require
     /// agreement with the sequential verdicts (0 = skip).
     pub portfolio: usize,
+    /// Re-run both flows with every hard check forced through a
+    /// lookahead cube tree and require agreement with the monolithic
+    /// verdicts.
+    pub check_cubes: bool,
     /// Re-run both flows with the bit-level UPEC encoding and require
     /// agreement with the word-level verdicts.
     pub check_encodings: bool,
@@ -59,6 +63,7 @@ impl Default for RunOptions {
             check_engines: true,
             fault: FaultInjection::None,
             portfolio: 0,
+            check_cubes: true,
             check_encodings: true,
             check_ic3: true,
             shrink: true,
@@ -124,6 +129,7 @@ pub fn fuzz_run(opts: &RunOptions) -> RunSummary {
         check_engines: opts.check_engines,
         fault: opts.fault,
         portfolio: opts.portfolio,
+        check_cubes: opts.check_cubes,
         check_encodings: opts.check_encodings,
         check_ic3: opts.check_ic3,
     };

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod cube;
 mod dimacs;
 mod heap;
 mod inprocess;
@@ -40,6 +41,7 @@ mod solver;
 mod stats;
 mod types;
 
+pub use cube::CUBE_TRIGGER_CONFLICTS;
 pub use dimacs::{parse_dimacs, Cnf, ParseDimacsError};
 pub use proof::{Proof, ProofStep};
 pub use solver::Solver;

@@ -130,7 +130,9 @@ impl Solver {
         let mut cursors = std::mem::take(&mut self.share_in);
         for cursor in &mut cursors {
             while let Some(lits) = cursor.next() {
-                self.import_one(&lits);
+                if self.import_one(&lits) {
+                    self.stats.shared_imported += 1;
+                }
                 if !self.ok {
                     break;
                 }
@@ -139,16 +141,20 @@ impl Solver {
         self.share_in = cursors;
     }
 
-    fn import_one(&mut self, lits: &[Lit]) {
+    /// The shared probe-then-attach discipline behind both portfolio
+    /// share-log imports and cross-design store imports
+    /// ([`Solver::import_clause`]). Returns `true` when the clause was
+    /// accepted; the caller attributes the import to its own counter.
+    pub(crate) fn import_one(&mut self, lits: &[Lit]) -> bool {
         if lits.iter().any(|l| self.eliminated[l.var().index()]) {
-            return;
+            return false;
         }
         // Root-satisfied imports carry no information; root-false
         // literals are stripped by the probe itself.
         let mut filtered: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
             match self.lit_value(l) {
-                LBool::True => return,
+                LBool::True => return false,
                 LBool::False => {}
                 LBool::Undef => filtered.push(l),
             }
@@ -177,9 +183,8 @@ impl Solver {
         }
         self.backtrack(0);
         if !conflict {
-            return;
+            return false;
         }
-        self.stats.shared_imported += 1;
         if self.proof.is_some() {
             let copy = filtered.clone();
             self.log(|| ProofStep::Learn(copy));
@@ -204,6 +209,7 @@ impl Solver {
                 c.lbd = SHARE_LBD_LIMIT;
             }
         }
+        true
     }
 
     /// Diversifies a worker clone. Worker 0 must stay byte-for-byte the
@@ -352,10 +358,14 @@ impl Solver {
     /// Adopts a finished canonical (worker 0 / lone-clone) solver
     /// wholesale: clause database, heuristics, model, stats, and proof,
     /// exactly as if the solve had run in place.
-    fn adopt_canonical(&mut self, canonical: Solver) {
+    pub(crate) fn adopt_canonical(&mut self, canonical: Solver) {
         let keep_workers = self.portfolio_workers;
+        let keep_cube = self.cube_jobs;
+        let keep_trigger = self.cube_trigger;
         *self = canonical;
         self.portfolio_workers = keep_workers;
+        self.cube_jobs = keep_cube;
+        self.cube_trigger = keep_trigger;
         self.stop = None;
         self.share_out = None;
         self.share_in = Vec::new();
@@ -365,20 +375,22 @@ impl Solver {
     /// its `Learn` steps (deletions stripped — they might name clauses
     /// the persistent database still uses) so the persistent trace
     /// refutes these assumptions.
-    fn adopt_unsat(
+    pub(crate) fn adopt_unsat(
         &mut self,
         winner: &Solver,
         base_stats: &crate::stats::SolverStats,
         base_proof_len: usize,
     ) {
         self.stats += winner.stats.delta_since(base_stats);
+        let mut bytes = 0usize;
         if let (Some(proof), Some(wproof)) = (&mut self.proof, winner.proof()) {
             for step in &wproof.steps()[base_proof_len..] {
                 if let ProofStep::Learn(lits) = step {
-                    proof.push(ProofStep::Learn(lits.clone()));
+                    bytes += proof.push(ProofStep::Learn(lits.clone()));
                 }
             }
         }
+        self.stats.proof_bytes += bytes as u64;
         if !winner.ok {
             // The winner derived the empty clause outright: the formula
             // itself (not just the assumptions) is unsatisfiable, and

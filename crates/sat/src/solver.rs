@@ -181,6 +181,13 @@ pub struct Solver {
     pub(crate) conflict_limit: u64,
     /// Portfolio width on the owning solver (0 = plain sequential).
     pub(crate) portfolio_workers: usize,
+    /// Cube-and-conquer scheduling width (0 = cubing disabled). Affects
+    /// wall-clock only; verdicts, models, stats, and proofs are identical
+    /// for every non-zero value (see `cube.rs`).
+    pub(crate) cube_jobs: usize,
+    /// Conflicts granted to the canonical monolithic attempt before a
+    /// check is declared hard and split into cubes.
+    pub(crate) cube_trigger: u64,
     /// Race stop flag, set only on portfolio worker clones.
     pub(crate) stop: Option<Arc<AtomicBool>>,
     /// Outgoing share log (set on portfolio workers).
@@ -238,6 +245,8 @@ impl Solver {
             rephase_kind: 0,
             conflict_limit: u64::MAX,
             portfolio_workers: 0,
+            cube_jobs: 0,
+            cube_trigger: crate::cube::CUBE_TRIGGER_CONFLICTS,
             stop: None,
             share_out: None,
             share_in: Vec::new(),
@@ -284,7 +293,19 @@ impl Solver {
     #[inline]
     pub(crate) fn log(&mut self, step: impl FnOnce() -> ProofStep) {
         if let Some(proof) = &mut self.proof {
-            proof.push(step());
+            self.stats.proof_bytes += proof.push(step()) as u64;
+        }
+    }
+
+    /// Turns on the proof trace's buffered DRUP text renderer (see
+    /// [`Proof::enable_text`]): each step is rendered once as it is
+    /// logged, and any prefix certificate is served as a byte slice
+    /// instead of an O(prefix) re-render per check. A no-op until proof
+    /// logging is enabled; already-recorded steps are backfilled.
+    /// Rendered bytes are counted in `SolverStats::proof_bytes`.
+    pub fn enable_proof_text(&mut self) {
+        if let Some(proof) = &mut self.proof {
+            self.stats.proof_bytes += proof.enable_text() as u64;
         }
     }
 
@@ -356,6 +377,32 @@ impl Solver {
     /// The configured portfolio width (0 = sequential).
     pub fn portfolio(&self) -> usize {
         self.portfolio_workers
+    }
+
+    /// Sets the cube-and-conquer scheduling width. With `jobs > 0`,
+    /// `solve`/`solve_with` first runs a budgeted canonical attempt (the
+    /// width-1 portfolio discipline); a check that exhausts the attempt's
+    /// conflict budget is split by the lookahead cuber and the cubes are
+    /// conquered over `jobs` threads (see `cube.rs` for the determinism
+    /// rules — results are identical for every non-zero `jobs`). `0`
+    /// disables cubing. Takes precedence over the portfolio race;
+    /// budgeted solves (`solve_with_budget`) never cube.
+    pub fn set_cube(&mut self, jobs: usize) {
+        self.cube_jobs = jobs;
+    }
+
+    /// The configured cube scheduling width (0 = cubing disabled).
+    pub fn cube(&self) -> usize {
+        self.cube_jobs
+    }
+
+    /// Sets the conflict budget of the canonical attempt that precedes
+    /// any split (default [`crate::CUBE_TRIGGER_CONFLICTS`]).
+    /// Checks that finish within the budget never cube, so the common
+    /// case is byte-identical to the monolithic path. Machine-independent
+    /// by construction (a conflict count, not a time limit).
+    pub fn set_cube_trigger(&mut self, conflicts: u64) {
+        self.cube_trigger = conflicts.max(1);
     }
 
     /// Allocates a fresh variable.
@@ -587,11 +634,55 @@ impl Solver {
     /// call races diversified worker clones and adjudicates
     /// deterministically; otherwise it runs the plain sequential search.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.cube_jobs > 0 {
+            return self.solve_cube(assumptions);
+        }
         if self.portfolio_workers > 0 {
             return self.solve_portfolio(assumptions);
         }
         self.solve_with_core(assumptions)
             .expect("sequential search cannot be interrupted")
+    }
+
+    /// RUP-probes an externally supplied clause (e.g. from a cross-design
+    /// learnt-clause store) against *this* solver's database and imports
+    /// it on success, following the same discipline as the portfolio's
+    /// share-log imports: the clause is attached and `Learn`-logged only
+    /// if assuming its negation propagates to a conflict locally, so the
+    /// proof trace stays self-contained and a mistranslated clause is
+    /// merely rejected, never unsound. Must be called between solves
+    /// (decision level 0). Returns `true` if the clause was imported.
+    pub fn import_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        // Flush any pending root propagation so the probe starts from a
+        // fixpoint; a conflict here refutes the formula itself.
+        if self.propagate().is_some() {
+            self.ok = false;
+            self.log(|| ProofStep::Learn(Vec::new()));
+            return false;
+        }
+        self.stats.reuse_probed += 1;
+        let imported = self.import_one(lits);
+        if imported {
+            self.stats.reuse_imported += 1;
+        }
+        imported
+    }
+
+    /// Visits every live learnt clause of length at most `max_len`, in
+    /// database order. The feed for a cross-design clause store: short
+    /// learnt clauses are the ones likely to transfer, and database order
+    /// is deterministic, so the export is a pure function of the solver's
+    /// state.
+    pub fn for_each_learnt(&self, max_len: usize, mut f: impl FnMut(&[Lit])) {
+        for c in &self.clauses {
+            if c.learnt && !c.deleted && c.lits.len() <= max_len {
+                f(&c.lits);
+            }
+        }
     }
 
     /// Solves under the given assumptions with a per-call conflict

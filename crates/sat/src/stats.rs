@@ -32,6 +32,20 @@ pub struct SolverStats {
     pub shared_imported: u64,
     /// Low-LBD learnt clauses exported to portfolio peers.
     pub shared_exported: u64,
+    /// Leaf cubes produced by the lookahead cuber (see `cube.rs`).
+    pub cubes_generated: u64,
+    /// Cubes conquered UNSAT (counted deterministically: every cube in an
+    /// all-UNSAT split, and exactly the cubes below the winning index in a
+    /// SAT split).
+    pub cubes_refuted: u64,
+    /// Cross-design store clauses RUP-probed against this solver.
+    pub reuse_probed: u64,
+    /// Cross-design store clauses accepted by the probe and imported.
+    pub reuse_imported: u64,
+    /// Bytes appended to the buffered DRUP text renderer (0 unless
+    /// [`Solver::enable_proof_text`](crate::Solver::enable_proof_text)
+    /// turned incremental rendering on).
+    pub proof_bytes: u64,
 }
 
 impl SolverStats {
@@ -51,6 +65,11 @@ impl SolverStats {
         self.eliminated_vars += other.eliminated_vars;
         self.shared_imported += other.shared_imported;
         self.shared_exported += other.shared_exported;
+        self.cubes_generated += other.cubes_generated;
+        self.cubes_refuted += other.cubes_refuted;
+        self.reuse_probed += other.reuse_probed;
+        self.reuse_imported += other.reuse_imported;
+        self.proof_bytes += other.proof_bytes;
     }
 
     /// Per-field difference against an earlier snapshot of the same
@@ -73,6 +92,11 @@ impl SolverStats {
             eliminated_vars: self.eliminated_vars.saturating_sub(earlier.eliminated_vars),
             shared_imported: self.shared_imported - earlier.shared_imported,
             shared_exported: self.shared_exported - earlier.shared_exported,
+            cubes_generated: self.cubes_generated - earlier.cubes_generated,
+            cubes_refuted: self.cubes_refuted - earlier.cubes_refuted,
+            reuse_probed: self.reuse_probed - earlier.reuse_probed,
+            reuse_imported: self.reuse_imported - earlier.reuse_imported,
+            proof_bytes: self.proof_bytes - earlier.proof_bytes,
         }
     }
 }

@@ -18,7 +18,7 @@
 //! and hit the cache.
 
 use fastpath::cache::CacheStats;
-use fastpath::{CaseStudy, DesignInstance, FlowOptions, ProofCache, Verdict};
+use fastpath::{CaseStudy, ClauseStore, DesignInstance, FlowOptions, ProofCache, Verdict};
 use fastpath_rtl::{extract_cone, module_hash, parse_netlist, Module};
 use std::io;
 use std::path::PathBuf;
@@ -70,6 +70,13 @@ pub struct ServeSummary {
 pub fn serve(opts: &ServeOptions) -> io::Result<ServeSummary> {
     let store = Arc::new(DiskStore::open(opts.root.join("store"))?);
     let spool = crate::job::Spool::open(opts.root.join("queue"))?;
+    // The persistent learnt-clause store lives next to the proof store.
+    // One snapshot serves a whole batch: in-flight jobs only read the
+    // immutable base (so results never depend on batch companions or
+    // worker count) and publish their own clauses to the pending set,
+    // which is saved and reloaded between batches.
+    let clause_path = opts.root.join("store").join("clauses.txt");
+    let mut clauses = Arc::new(ClauseStore::open(&clause_path));
     let mut summary = ServeSummary::default();
     let mut idle = 0u32;
     loop {
@@ -94,10 +101,11 @@ pub fn serve(opts: &ServeOptions) -> io::Result<ServeSummary> {
             .into_iter()
             .map(|path| {
                 let store = Arc::clone(&store);
+                let clauses = Arc::clone(&clauses);
                 move || {
                     let result = match std::fs::read_to_string(&path) {
                         Ok(text) => match decode_job(&text) {
-                            Ok(job) => match process_job(&store, &job) {
+                            Ok(job) => match process_job(&store, &clauses, &job) {
                                 Ok(outcome) => encode_result(&outcome),
                                 Err(reason) => encode_error(&job.name, &reason),
                             },
@@ -112,6 +120,12 @@ pub fn serve(opts: &ServeOptions) -> io::Result<ServeSummary> {
         for (path, result) in fastpath::parallel::run_ordered(opts.jobs, tasks) {
             spool.finish(&path, &result)?;
             summary.processed += 1;
+        }
+        // Persist the batch's published clauses and reload, so the next
+        // batch's base snapshot includes them — cross-job reuse advances
+        // one batch at a time, deterministically.
+        if clauses.pending_clauses() > 0 && clauses.save().is_ok() {
+            clauses = Arc::new(ClauseStore::open(&clause_path));
         }
         if opts.once {
             break;
@@ -140,9 +154,10 @@ fn resolve_study(job: &Job) -> Result<CaseStudy, String> {
     Ok(study)
 }
 
-fn flow_options(store: &Arc<DiskStore>) -> FlowOptions {
+fn flow_options(store: &Arc<DiskStore>, clauses: &Arc<ClauseStore>) -> FlowOptions {
     FlowOptions {
         cache: Some(Arc::clone(store) as Arc<dyn ProofCache>),
+        clause_store: Some(Arc::clone(clauses)),
         ..FlowOptions::default()
     }
 }
@@ -159,12 +174,18 @@ fn cone_manifest(module: &Module) -> Vec<(String, fastpath_rtl::Digest)> {
         .collect()
 }
 
-/// Verifies one job against the shared store.
-pub fn process_job(store: &Arc<DiskStore>, job: &Job) -> Result<JobOutcome, String> {
+/// Verifies one job against the shared store. `clauses` is the batch's
+/// learnt-clause snapshot: jobs read its base and publish to its pending
+/// set; the daemon persists it between batches.
+pub fn process_job(
+    store: &Arc<DiskStore>,
+    clauses: &Arc<ClauseStore>,
+    job: &Job,
+) -> Result<JobOutcome, String> {
     let study = resolve_study(job)?;
     match job.mode {
         JobMode::Full => {
-            let report = fastpath::run_fastpath_with(&study, flow_options(store));
+            let report = fastpath::run_fastpath_with(&study, flow_options(store, clauses));
             store.store_manifest(&name_key(&job.name), &cone_manifest(&study.instance.module));
             Ok(JobOutcome {
                 name: job.name.clone(),
@@ -177,11 +198,16 @@ pub fn process_job(store: &Arc<DiskStore>, job: &Job) -> Result<JobOutcome, Stri
                 cones: Vec::new(),
             })
         }
-        JobMode::Cones => run_cones(store, job, &study),
+        JobMode::Cones => run_cones(store, clauses, job, &study),
     }
 }
 
-fn run_cones(store: &Arc<DiskStore>, job: &Job, study: &CaseStudy) -> Result<JobOutcome, String> {
+fn run_cones(
+    store: &Arc<DiskStore>,
+    clauses: &Arc<ClauseStore>,
+    job: &Job,
+    study: &CaseStudy,
+) -> Result<JobOutcome, String> {
     let module = &study.instance.module;
     let mut outcome = JobOutcome {
         name: job.name.clone(),
@@ -218,7 +244,7 @@ fn run_cones(store: &Arc<DiskStore>, job: &Job, study: &CaseStudy) -> Result<Job
         cone_study.cycles = job.cycles.unwrap_or(study.cycles);
         cone_study.seed = job.seed.unwrap_or(study.seed);
         cone_study.policy = study.policy;
-        let report = fastpath::run_fastpath_with(&cone_study, flow_options(store));
+        let report = fastpath::run_fastpath_with(&cone_study, flow_options(store, clauses));
         let certified = report.fully_certified() == Some(true);
         outcome.certified &= certified;
         outcome.inspections += report.manual_inspections;
